@@ -1,0 +1,54 @@
+//===- bench/BenchUtil.h - Shared benchmark helpers -------------*- C++ -*-===//
+///
+/// \file
+/// Helpers for the experiment harness: compile-once caching, the four
+/// execution strategies, and table printing. Each bench binary
+/// reproduces one row of DESIGN.md's experiment index and prints a
+/// paper-style comparison; EXPERIMENTS.md records the measured shapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_BENCH_BENCHUTIL_H
+#define VIRGIL_BENCH_BENCHUTIL_H
+
+#include "core/Compiler.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace virgil {
+namespace bench {
+
+inline std::unique_ptr<Program> compileOrDie(const std::string &Source,
+                                             CompilerOptions Options = {}) {
+  Compiler C(Options);
+  std::string Error;
+  auto P = C.compile("bench", Source, &Error);
+  if (!P) {
+    std::fprintf(stderr, "bench program failed to compile:\n%s\n",
+                 Error.c_str());
+    std::exit(1);
+  }
+  return P;
+}
+
+inline void dieIfTrapped(bool Trapped, const std::string &Message,
+                         const char *What) {
+  if (Trapped) {
+    std::fprintf(stderr, "%s trapped: %s\n", What, Message.c_str());
+    std::exit(1);
+  }
+}
+
+/// Prints an experiment banner so concatenated bench output reads as a
+/// report.
+inline void banner(const char *Id, const char *Claim) {
+  std::printf("\n==== %s ====\n%s\n", Id, Claim);
+}
+
+} // namespace bench
+} // namespace virgil
+
+#endif // VIRGIL_BENCH_BENCHUTIL_H

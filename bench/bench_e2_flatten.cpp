@@ -1,0 +1,120 @@
+//===- bench/bench_e2_flatten.cpp - E2: flattening vs boxing (§4.2) --------===//
+///
+/// Paper claim (§4.2 tradeoffs): "For small tuples, normalization has
+/// much better performance than boxing, but large tuples might
+/// actually perform better if allocated on the heap."
+///
+/// Workload: tuples of width W created, passed through two calls, and
+/// consumed, swept over W. The boxed-interpreter cost grows with the
+/// number of heap tuples; the flattened VM pays only register moves.
+/// The table prints heap-tuple counts and per-width timings so the
+/// crossover behaviour is visible.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "corpus/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+using namespace virgil;
+using namespace virgil::bench;
+
+namespace {
+
+constexpr int Iters = 4000;
+
+Program &programFor(int Width) {
+  static std::map<int, std::unique_ptr<Program>> Cache;
+  auto &Slot = Cache[Width];
+  if (!Slot)
+    Slot = compileOrDie(corpus::genTupleWorkload(Width, Iters));
+  return *Slot;
+}
+
+void BM_E2_Boxed(benchmark::State &State) {
+  int Width = (int)State.range(0);
+  Program &P = programFor(Width);
+  uint64_t Tuples = 0;
+  for (auto _ : State) {
+    InterpResult R = P.interpret();
+    dieIfTrapped(R.Trapped, R.TrapMessage, "E2 interp");
+    Tuples = R.Counters.HeapTuples;
+    benchmark::DoNotOptimize(R.Result);
+  }
+  State.counters["heap_tuples"] = (double)Tuples;
+  State.counters["width"] = Width;
+}
+BENCHMARK(BM_E2_Boxed)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E2_FlatSameEngine(benchmark::State &State) {
+  // Same interpreter engine, flattened code: isolates boxing cost from
+  // engine speed.
+  int Width = (int)State.range(0);
+  Program &P = programFor(Width);
+  for (auto _ : State) {
+    InterpResult R = P.interpretNorm();
+    dieIfTrapped(R.Trapped, R.TrapMessage, "E2 norm-interp");
+    benchmark::DoNotOptimize(R.Result);
+  }
+  State.counters["heap_tuples"] = 0;
+  State.counters["width"] = Width;
+}
+BENCHMARK(BM_E2_FlatSameEngine)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E2_Flattened(benchmark::State &State) {
+  int Width = (int)State.range(0);
+  Program &P = programFor(Width);
+  for (auto _ : State) {
+    VmResult R = P.runVm();
+    dieIfTrapped(R.Trapped, R.TrapMessage, "E2 vm");
+    benchmark::DoNotOptimize(R.ResultBits);
+  }
+  State.counters["heap_tuples"] = 0;
+  State.counters["width"] = (double)State.range(0);
+}
+BENCHMARK(BM_E2_Flattened)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  banner("E2: tuple flattening vs boxing (paper §4.2)",
+         "Boxed interpreter allocates one heap tuple per create; "
+         "flattened code allocates none at any width.");
+  std::printf("%-6s %16s %16s %12s\n", "width", "boxed heap-tuples",
+              "flat heap-tuples", "agree");
+  for (int Width : {1, 2, 4, 8, 16}) {
+    Program &P = programFor(Width);
+    InterpResult I = P.interpret();
+    VmResult V = P.runVm();
+    std::printf("%-6d %16llu %16d %12s\n", Width,
+                (unsigned long long)I.Counters.HeapTuples, 0,
+                (!I.Trapped && I.Result.asInt() == (int)V.ResultBits)
+                    ? "yes"
+                    : "NO");
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- examples/paper_patterns.cpp - The §3 design patterns, live ----------===//
+///
+/// Runs every design pattern from the paper's §3 — interface adapters,
+/// abstract data types, ad-hoc polymorphism, the polymorphic matcher,
+/// variant types, and variance inversion — printing each program's
+/// output and result. The sources are the corpus programs the test
+/// suite also verifies against all four execution strategies.
+///
+///   ./build/examples/paper_patterns           # run all patterns
+///   ./build/examples/paper_patterns hashmap_adt  # run one, with source
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "corpus/Corpus.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace virgil;
+
+namespace {
+
+struct PatternInfo {
+  const char *CorpusName;
+  const char *PaperRef;
+  const char *Summary;
+};
+
+const PatternInfo Patterns[] = {
+    {"classes_basics", "§2.1-2.2 (a1-b7)",
+     "classes, object methods a.m, unbound methods A.m, constructors "
+     "A.new as functions"},
+    {"operators_first_class", "§2.2 (b8-b15)",
+     "the four universal operators and arithmetic as first-class "
+     "functions"},
+    {"list_apply", "§2.4 (d1-d14)",
+     "generic cons list, inference, runtime-distinguishable "
+     "instantiations"},
+    {"time_func", "§2.4 (e1-e5)",
+     "time<A,B>: functions + type params + tuples in one utility"},
+    {"interface_adapter", "§3.1 (f1-g9)",
+     "interfaces emulated by classes of function-typed fields"},
+    {"number_adt", "§3.2 (h1-h9)",
+     "abstract data types from a parameterized interface of operators"},
+    {"hashmap_adt", "§3.2 (i1-i18)",
+     "HashMap<K,V> taking hash/equals functions; a.apply(b.set) copies "
+     "maps without a loop"},
+    {"adhoc_print", "§3.3 (j1-j9)",
+     "ad-hoc polymorphism from a parameterized method + cast chain"},
+    {"poly_matcher", "§3.4 (k1-m8)",
+     "the polymorphic matcher: Box<T>/Any + runtime type queries"},
+    {"variants_instr", "§3.5 (n1-n20)",
+     "variant types: InstrOf<T> closing over assembler methods"},
+    {"variance_apply", "§3.6 (o1-o7)",
+     "contravariant function arguments replace class covariance"},
+    {"tuple_callconv", "§4.1 (p1-p17)",
+     "the tuple calling-convention ambiguity, resolved"},
+    {"normalization_corners", "§4.2 (q1-q8)",
+     "void params/fields/arrays and arrays of tuples"},
+};
+
+int runOne(const PatternInfo &Info, bool ShowSource) {
+  const corpus::CorpusProgram &Prog = corpus::program(Info.CorpusName);
+  std::printf("--- %s  [%s]\n    %s\n", Info.CorpusName, Info.PaperRef,
+              Info.Summary);
+  if (ShowSource)
+    std::printf("%s\n", Prog.Source);
+  Compiler C;
+  std::string Error;
+  auto P = C.compile(Info.CorpusName, Prog.Source, &Error);
+  if (!P) {
+    std::fprintf(stderr, "%s", Error.c_str());
+    return 1;
+  }
+  VmResult R = P->runVm();
+  if (R.Trapped) {
+    std::fprintf(stderr, "trap: %s\n", R.TrapMessage.c_str());
+    return 1;
+  }
+  if (!R.Output.empty())
+    std::printf("    output: %s", R.Output.c_str());
+  std::printf("    result: %d (expected %d)\n\n", (int)R.ResultBits,
+              Prog.ExpectedResult);
+  return (int)R.ResultBits == Prog.ExpectedResult ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::printf("== Virgil III design patterns (paper §2-§4), executed ==\n\n");
+  if (Argc > 1) {
+    for (const PatternInfo &Info : Patterns)
+      if (std::strcmp(Info.CorpusName, Argv[1]) == 0)
+        return runOne(Info, /*ShowSource=*/true);
+    std::fprintf(stderr, "unknown pattern '%s'\n", Argv[1]);
+    return 2;
+  }
+  int Failures = 0;
+  for (const PatternInfo &Info : Patterns)
+    Failures += runOne(Info, /*ShowSource=*/false);
+  std::printf("%s\n", Failures == 0 ? "all patterns behave as the paper "
+                                      "describes"
+                                    : "SOME PATTERNS FAILED");
+  return Failures;
+}

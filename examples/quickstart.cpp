@@ -1,0 +1,84 @@
+//===- examples/quickstart.cpp - Embedding the compiler in 60 lines --------===//
+///
+/// The minimal embedding: compile a Virgil-core program from a string,
+/// run it on the VM, read its output and result, and peek at the
+/// pipeline statistics. Build and run:
+///
+///   cmake --build build && ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+
+#include <cstdio>
+
+int main() {
+  // A program using all four harmonized features: a generic class
+  // (type parameters), a first-class method (functions), a pair return
+  // (tuples), and inheritance (classes).
+  const char *Source = R"(
+class Shape {
+  def area() -> int { return 0; }
+}
+class Rect extends Shape {
+  var w: int;
+  var h: int;
+  new(w, h) { }
+  def area() -> int { return w * h; }
+}
+class List<T> {
+  var head: T;
+  var tail: List<T>;
+  new(head, tail) { }
+}
+def fold<A, B>(list: List<A>, f: (B, A) -> B, init: B) -> B {
+  var acc = init;
+  for (l = list; l != null; l = l.tail) acc = f(acc, l.head);
+  return acc;
+}
+def addArea(acc: int, s: Shape) -> int { return acc + s.area(); }
+def minmax(a: int, b: int) -> (int, int) {
+  if (a < b) return (a, b);
+  return (b, a);
+}
+def main() -> int {
+  var shapes = List<Shape>.new(Rect.new(3, 4),
+                 List<Shape>.new(Rect.new(5, 6), null));
+  var total = fold(shapes, addArea, 0);
+  var mm = minmax(total, 42);
+  System.puts("total area: ");
+  System.puti(total);
+  System.ln();
+  return mm.0;
+}
+)";
+
+  virgil::Compiler Compiler;
+  std::string Error;
+  auto Program = Compiler.compile("quickstart", Source, &Error);
+  if (!Program) {
+    std::fprintf(stderr, "compile failed:\n%s", Error.c_str());
+    return 1;
+  }
+
+  // Run the compiled program (monomorphized, normalized, optimized,
+  // emitted to bytecode, executed with a semispace-collected heap).
+  virgil::VmResult R = Program->runVm();
+  if (R.Trapped) {
+    std::fprintf(stderr, "trap: %s\n", R.TrapMessage.c_str());
+    return 1;
+  }
+  std::printf("%s", R.Output.c_str());
+  std::printf("main returned: %d\n", (int)R.ResultBits);
+  std::printf("heap objects allocated: %llu (explicit news only)\n",
+              (unsigned long long)R.Counters.HeapObjects);
+
+  // The same program is also runnable on the reference interpreter —
+  // the paper's baseline strategy — with identical results.
+  virgil::InterpResult I = Program->interpret();
+  std::printf("interpreter agrees: %s\n",
+              (!I.Trapped && I.Result.asInt() == (int)R.ResultBits)
+                  ? "yes"
+                  : "no");
+  return 0;
+}

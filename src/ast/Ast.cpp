@@ -1,0 +1,20 @@
+//===- ast/Ast.cpp --------------------------------------------------------===//
+
+#include "ast/Ast.h"
+
+#include "types/TypeStore.h"
+
+namespace virgil {
+
+/// Computes the collapsed parameter type of a method: the tuple of its
+/// parameter types, obeying the degenerate rules (no params -> void,
+/// one param -> its type).
+Type *collapsedParamType(const MethodDecl *M, TypeStore &Store) {
+  std::vector<Type *> Elems;
+  Elems.reserve(M->Params.size());
+  for (const LocalVar *P : M->Params)
+    Elems.push_back(P->Ty);
+  return Store.tuple(Elems);
+}
+
+} // namespace virgil

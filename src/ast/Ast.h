@@ -1,0 +1,575 @@
+//===- ast/Ast.h - Abstract syntax for the Virgil core ----------*- C++ -*-===//
+///
+/// \file
+/// AST node definitions. Nodes are arena-allocated by the parser and
+/// annotated in place by semantic analysis (resolved symbols in RefInfo,
+/// checked types in Expr::Ty). The grammar covered is exactly the
+/// language subset the paper's examples use; see DESIGN.md §3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_AST_AST_H
+#define VIRGIL_AST_AST_H
+
+#include "support/Casting.h"
+#include "support/Source.h"
+#include "support/StringInterner.h"
+#include "types/Type.h"
+
+#include <vector>
+
+namespace virgil {
+
+class Expr;
+class Stmt;
+class TypeRef;
+struct ClassDecl;
+struct MethodDecl;
+struct FieldDecl;
+struct GlobalDecl;
+struct LocalVar;
+
+//===----------------------------------------------------------------------===//
+// Type references (syntactic types, resolved by sema)
+//===----------------------------------------------------------------------===//
+
+enum class TypeRefKind : uint8_t { Named, Tuple, Func };
+
+class TypeRef {
+public:
+  TypeRefKind kind() const { return Kind; }
+  SourceLoc Loc;
+  /// The resolved semantic type; set by sema.
+  Type *Resolved = nullptr;
+
+protected:
+  TypeRef(TypeRefKind Kind, SourceLoc Loc) : Loc(Loc), Kind(Kind) {}
+
+private:
+  TypeRefKind Kind;
+};
+
+/// `int`, `List<byte>`, `Array<T>`, `T` — any identifier with optional
+/// type arguments. Resolution decides whether it names a primitive, a
+/// class, Array, or a type parameter in scope.
+class NamedTypeRef : public TypeRef {
+public:
+  NamedTypeRef(SourceLoc Loc, Ident Name, std::vector<TypeRef *> Args)
+      : TypeRef(TypeRefKind::Named, Loc), Name(Name), Args(std::move(Args)) {}
+
+  Ident Name;
+  std::vector<TypeRef *> Args;
+
+  static bool classof(const TypeRef *T) {
+    return T->kind() == TypeRefKind::Named;
+  }
+};
+
+/// `(A, B, ...)` — also the spellings `()` and `(A)` which resolve to
+/// void and A per the degenerate rules.
+class TupleTypeRef : public TypeRef {
+public:
+  TupleTypeRef(SourceLoc Loc, std::vector<TypeRef *> Elems)
+      : TypeRef(TypeRefKind::Tuple, Loc), Elems(std::move(Elems)) {}
+
+  std::vector<TypeRef *> Elems;
+
+  static bool classof(const TypeRef *T) {
+    return T->kind() == TypeRefKind::Tuple;
+  }
+};
+
+/// `A -> B`, right-associative.
+class FuncTypeRef : public TypeRef {
+public:
+  FuncTypeRef(SourceLoc Loc, TypeRef *Param, TypeRef *Ret)
+      : TypeRef(TypeRefKind::Func, Loc), Param(Param), Ret(Ret) {}
+
+  TypeRef *Param;
+  TypeRef *Ret;
+
+  static bool classof(const TypeRef *T) {
+    return T->kind() == TypeRefKind::Func;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Resolved references
+//===----------------------------------------------------------------------===//
+
+/// What a name/member expression resolved to.
+enum class RefKind : uint8_t {
+  None,
+  Local,         ///< A local variable or parameter (Decl = LocalVar*).
+  Global,        ///< A top-level var/def (Decl = GlobalDecl*).
+  Func,          ///< A top-level function (Decl = MethodDecl*).
+  TypeName,      ///< A bare type in expression position (e.g. `A` in A.m).
+  Field,         ///< expr.field (Decl = FieldDecl*, BaseType = class).
+  MethodBound,   ///< expr.m — closure bound to the receiver.
+  MethodUnbound, ///< Class.m — receiver becomes the first parameter.
+  Ctor,          ///< Class.new.
+  ArrayNew,      ///< Array<T>.new.
+  ArrayLength,   ///< expr.length on an array.
+  TupleIndex,    ///< expr.K on a tuple (Index = K).
+  OpFunc,        ///< Type.op — ==, !=, !, ?, +, -, *, /, %, <, <=, >, >=.
+  Builtin,       ///< System.xxx (Index = BuiltinKind).
+  SystemName,    ///< The bare `System` component.
+};
+
+/// Operator selector for RefKind::OpFunc.
+enum class OpSel : uint8_t {
+  Eq,
+  Ne,
+  Cast,
+  Query,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+};
+
+/// Builtin System functions. `puts` and friends write to a captured
+/// output buffer; `ticks` reads a monotonic counter; `error` traps.
+enum class BuiltinKind : uint8_t { Puts, Puti, Putc, Ln, Ticks, Error };
+
+struct RefInfo {
+  RefKind Kind = RefKind::None;
+  void *Decl = nullptr;
+  /// Receiver/base type: the class type for Field/Method*, the T in T.op.
+  Type *BaseType = nullptr;
+  /// Resolved type arguments (explicit or inferred).
+  std::vector<Type *> TypeArgs;
+  int Index = -1;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  TypeLit,
+  IntLit,
+  ByteLit,
+  BoolLit,
+  StringLit,
+  NullLit,
+  TupleLit,
+  Name,
+  Member,
+  IndexOp,
+  Call,
+  Binary,
+  Unary,
+  Ternary,
+  This,
+};
+
+enum class BinOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+  Assign,
+};
+
+enum class UnOp : uint8_t { Neg, Not };
+
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  SourceLoc Loc;
+  /// The checked type; set by sema.
+  Type *Ty = nullptr;
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Loc(Loc), Kind(Kind) {}
+
+private:
+  ExprKind Kind;
+};
+
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(SourceLoc Loc, int64_t Value)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+  int64_t Value;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+};
+
+class ByteLitExpr : public Expr {
+public:
+  ByteLitExpr(SourceLoc Loc, uint8_t Value)
+      : Expr(ExprKind::ByteLit, Loc), Value(Value) {}
+  uint8_t Value;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::ByteLit; }
+};
+
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(SourceLoc Loc, bool Value)
+      : Expr(ExprKind::BoolLit, Loc), Value(Value) {}
+  bool Value;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::BoolLit; }
+};
+
+class StringLitExpr : public Expr {
+public:
+  StringLitExpr(SourceLoc Loc, std::string Value)
+      : Expr(ExprKind::StringLit, Loc), Value(std::move(Value)) {}
+  std::string Value;
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::StringLit;
+  }
+};
+
+class NullLitExpr : public Expr {
+public:
+  explicit NullLitExpr(SourceLoc Loc) : Expr(ExprKind::NullLit, Loc) {}
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::NullLit; }
+};
+
+/// `(e0, e1, ...)`; zero elements is the void value `()`, one element is
+/// just a parenthesized expression.
+class TupleLitExpr : public Expr {
+public:
+  TupleLitExpr(SourceLoc Loc, std::vector<Expr *> Elems)
+      : Expr(ExprKind::TupleLit, Loc), Elems(std::move(Elems)) {}
+  std::vector<Expr *> Elems;
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::TupleLit;
+  }
+};
+
+/// A bare identifier, possibly with explicit type arguments `f<int>`.
+class NameExpr : public Expr {
+public:
+  NameExpr(SourceLoc Loc, Ident Name, std::vector<TypeRef *> TypeArgs)
+      : Expr(ExprKind::Name, Loc), Name(Name),
+        TypeArgs(std::move(TypeArgs)) {}
+  Ident Name;
+  std::vector<TypeRef *> TypeArgs;
+  RefInfo Ref;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Name; }
+};
+
+/// A parenthesized *type* in expression position, e.g. the base of
+/// `((int, int) -> int).?(x)`. Only legal as the base of an operator
+/// member; anywhere else the checker rejects it.
+class TypeLitExpr : public Expr {
+public:
+  TypeLitExpr(SourceLoc Loc, TypeRef *Ref)
+      : Expr(ExprKind::TypeLit, Loc), Ref(Ref) {}
+  TypeRef *Ref;
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::TypeLit;
+  }
+};
+
+/// What follows the `.` in a member expression.
+enum class MemberSel : uint8_t { Name, TupleIndex, Op };
+
+/// `base.name`, `base.0`, `base.==`, `base.!<T>`, `base.new`, ...
+class MemberExpr : public Expr {
+public:
+  MemberExpr(SourceLoc Loc, Expr *Base)
+      : Expr(ExprKind::Member, Loc), Base(Base) {}
+  Expr *Base;
+  MemberSel Sel = MemberSel::Name;
+  Ident Name = nullptr;    ///< For Sel == Name (includes `new`, `length`).
+  int TupleIndex = -1;     ///< For Sel == TupleIndex.
+  OpSel Op = OpSel::Eq;    ///< For Sel == Op.
+  std::vector<TypeRef *> TypeArgs;
+  RefInfo Ref;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Member; }
+};
+
+/// `base[index]` — array element access.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(SourceLoc Loc, Expr *Base, Expr *Index)
+      : Expr(ExprKind::IndexOp, Loc), Base(Base), Index(Index) {}
+  Expr *Base;
+  Expr *Index;
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::IndexOp;
+  }
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLoc Loc, Expr *Callee, std::vector<Expr *> Args)
+      : Expr(ExprKind::Call, Loc), Callee(Callee), Args(std::move(Args)) {}
+  Expr *Callee;
+  /// Syntactic argument list; semantically a single tuple.
+  std::vector<Expr *> Args;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLoc Loc, BinOp Op, Expr *Lhs, Expr *Rhs)
+      : Expr(ExprKind::Binary, Loc), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  BinOp Op;
+  Expr *Lhs;
+  Expr *Rhs;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLoc Loc, UnOp Op, Expr *Operand)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(Operand) {}
+  UnOp Op;
+  Expr *Operand;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+};
+
+/// `c ? a : b` (used by the paper's examples, e.g. (p3)).
+class TernaryExpr : public Expr {
+public:
+  TernaryExpr(SourceLoc Loc, Expr *Cond, Expr *Then, Expr *Else)
+      : Expr(ExprKind::Ternary, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *Cond;
+  Expr *Then;
+  Expr *Else;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Ternary; }
+};
+
+class ThisExpr : public Expr {
+public:
+  explicit ThisExpr(SourceLoc Loc) : Expr(ExprKind::This, Loc) {}
+  /// The enclosing class's self type; set by sema.
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::This; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  LocalDecl,
+  If,
+  While,
+  For,
+  Return,
+  Break,
+  Continue,
+  ExprEval,
+  Empty,
+};
+
+/// A local variable, parameter, or for-loop induction variable.
+struct LocalVar {
+  SourceLoc Loc;
+  Ident Name = nullptr;
+  bool IsMutable = true; ///< var vs def.
+  TypeRef *DeclaredType = nullptr;
+  Expr *Init = nullptr;
+  /// Checked type (sema) and virtual register (lowering).
+  Type *Ty = nullptr;
+  int Reg = -1;
+};
+
+class Stmt {
+public:
+  StmtKind kind() const { return Kind; }
+  SourceLoc Loc;
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc) : Loc(Loc), Kind(Kind) {}
+
+private:
+  StmtKind Kind;
+};
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(SourceLoc Loc, std::vector<Stmt *> Stmts)
+      : Stmt(StmtKind::Block, Loc), Stmts(std::move(Stmts)) {}
+  std::vector<Stmt *> Stmts;
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Block; }
+};
+
+class LocalDeclStmt : public Stmt {
+public:
+  LocalDeclStmt(SourceLoc Loc, std::vector<LocalVar *> Vars)
+      : Stmt(StmtKind::LocalDecl, Loc), Vars(std::move(Vars)) {}
+  std::vector<LocalVar *> Vars;
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::LocalDecl;
+  }
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, Expr *Cond, Stmt *Then, Stmt *Else)
+      : Stmt(StmtKind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else; ///< May be null.
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLoc Loc, Expr *Cond, Stmt *Body)
+      : Stmt(StmtKind::While, Loc), Cond(Cond), Body(Body) {}
+  Expr *Cond;
+  Stmt *Body;
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+};
+
+/// `for (i = init; cond; update) body` — binds a fresh induction
+/// variable `i` (paper (d7) style).
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLoc Loc, LocalVar *Var, Expr *Cond, Expr *Update, Stmt *Body)
+      : Stmt(StmtKind::For, Loc), Var(Var), Cond(Cond), Update(Update),
+        Body(Body) {}
+  LocalVar *Var; ///< Var->Init is the init expression.
+  Expr *Cond;    ///< May be null (infinite loop).
+  Expr *Update;  ///< May be null.
+  Stmt *Body;
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLoc Loc, Expr *Value)
+      : Stmt(StmtKind::Return, Loc), Value(Value) {}
+  Expr *Value; ///< May be null (returns void).
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(StmtKind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(StmtKind::Continue, Loc) {}
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Continue;
+  }
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLoc Loc, Expr *E) : Stmt(StmtKind::ExprEval, Loc), E(E) {}
+  Expr *E;
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::ExprEval;
+  }
+};
+
+class EmptyStmt : public Stmt {
+public:
+  explicit EmptyStmt(SourceLoc Loc) : Stmt(StmtKind::Empty, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Empty; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct FieldDecl {
+  SourceLoc Loc;
+  Ident Name = nullptr;
+  bool IsMutable = true; ///< var vs def.
+  TypeRef *DeclaredType = nullptr;
+  Expr *Init = nullptr; ///< Optional initializer.
+  /// Sema results.
+  ClassDecl *Owner = nullptr;
+  Type *Ty = nullptr;
+  /// Field index within the full (inherited-first) object layout.
+  int Index = -1;
+};
+
+/// A method, constructor, or top-level function. Constructors have
+/// IsCtor set and Name == "new"; top-level functions have Owner == null.
+struct MethodDecl {
+  SourceLoc Loc;
+  Ident Name = nullptr;
+  bool IsPrivate = false;
+  bool IsCtor = false;
+  std::vector<Ident> TypeParamNames;
+  std::vector<LocalVar *> Params;
+  TypeRef *RetTypeRef = nullptr; ///< Null means void.
+  BlockStmt *Body = nullptr;     ///< Null for abstract methods (n2).
+  /// Constructor-only: explicit `super(args)` clause.
+  bool HasSuper = false;
+  std::vector<Expr *> SuperArgs;
+  /// Constructor-only: parameters that auto-assign the same-named field
+  /// (those declared without a type). Filled by sema.
+  std::vector<FieldDecl *> AutoAssign;
+  /// Sema results.
+  ClassDecl *Owner = nullptr;
+  std::vector<TypeParamDef *> TypeParams; ///< Own params (not class's).
+  Type *RetTy = nullptr;
+  /// The collapsed function type Tp -> Tr where Tp tuples the params
+  /// (receiver excluded).
+  Type *FuncTy = nullptr;
+  /// Virtual dispatch slot within the owner's vtable; -1 if non-virtual.
+  int Slot = -1;
+  /// The method this one overrides, if any.
+  MethodDecl *Overridden = nullptr;
+};
+
+struct GlobalDecl {
+  SourceLoc Loc;
+  Ident Name = nullptr;
+  bool IsMutable = true;
+  TypeRef *DeclaredType = nullptr;
+  Expr *Init = nullptr;
+  Type *Ty = nullptr;
+  int Index = -1;
+};
+
+struct ClassDecl {
+  SourceLoc Loc;
+  Ident Name = nullptr;
+  std::vector<Ident> TypeParamNames;
+  /// Compact constructor-parameter fields: `class C(x: int) {}`.
+  std::vector<FieldDecl *> CompactFields;
+  NamedTypeRef *ParentRef = nullptr; ///< extends clause, may be null.
+  std::vector<FieldDecl *> Fields;   ///< Includes compact fields.
+  std::vector<MethodDecl *> Methods;
+  MethodDecl *Ctor = nullptr; ///< Explicit or synthesized.
+  /// Sema results.
+  ClassDef *Def = nullptr;
+  ClassDecl *Parent = nullptr;
+  /// Full virtual method table: inherited slots first, then new ones.
+  std::vector<MethodDecl *> VTable;
+  /// Full field layout: inherited fields first.
+  std::vector<FieldDecl *> Layout;
+};
+
+/// One parsed compilation unit.
+struct Module {
+  std::vector<ClassDecl *> Classes;
+  std::vector<MethodDecl *> Funcs;
+  std::vector<GlobalDecl *> Globals;
+  /// All declarations in source order (for initialization order).
+  std::vector<GlobalDecl *> InitOrder;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_AST_AST_H

@@ -1,0 +1,485 @@
+//===- ast/AstPrinter.cpp -------------------------------------------------===//
+
+#include "ast/AstPrinter.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace virgil;
+
+namespace {
+
+class Printer {
+public:
+  explicit Printer(bool WithTypes) : WithTypes(WithTypes) {}
+
+  std::string str() { return OS.str(); }
+
+  void printTypeRef(const TypeRef *T) {
+    if (!T) {
+      OS << "<null-type>";
+      return;
+    }
+    switch (T->kind()) {
+    case TypeRefKind::Named: {
+      const auto *N = cast<NamedTypeRef>(T);
+      OS << *N->Name;
+      if (!N->Args.empty()) {
+        OS << '<';
+        for (size_t I = 0; I != N->Args.size(); ++I) {
+          if (I)
+            OS << ", ";
+          printTypeRef(N->Args[I]);
+        }
+        OS << '>';
+      }
+      return;
+    }
+    case TypeRefKind::Tuple: {
+      const auto *Tu = cast<TupleTypeRef>(T);
+      OS << '(';
+      for (size_t I = 0; I != Tu->Elems.size(); ++I) {
+        if (I)
+          OS << ", ";
+        printTypeRef(Tu->Elems[I]);
+      }
+      OS << ')';
+      return;
+    }
+    case TypeRefKind::Func: {
+      const auto *F = cast<FuncTypeRef>(T);
+      printTypeRef(F->Param);
+      OS << " -> ";
+      printTypeRef(F->Ret);
+      return;
+    }
+    }
+  }
+
+  void printExpr(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::TypeLit:
+      OS << '(';
+      printTypeRef(cast<TypeLitExpr>(E)->Ref);
+      OS << ')';
+      return;
+    case ExprKind::IntLit:
+      OS << cast<IntLitExpr>(E)->Value;
+      return;
+    case ExprKind::ByteLit: {
+      uint8_t B = cast<ByteLitExpr>(E)->Value;
+      if (B >= 32 && B < 127)
+        OS << '\'' << (char)B << '\'';
+      else
+        OS << "'\\" << (int)B << '\'';
+      return;
+    }
+    case ExprKind::BoolLit:
+      OS << (cast<BoolLitExpr>(E)->Value ? "true" : "false");
+      return;
+    case ExprKind::StringLit:
+      OS << '"' << cast<StringLitExpr>(E)->Value << '"';
+      return;
+    case ExprKind::NullLit:
+      OS << "null";
+      return;
+    case ExprKind::This:
+      OS << "this";
+      return;
+    case ExprKind::TupleLit: {
+      const auto *T = cast<TupleLitExpr>(E);
+      OS << '(';
+      for (size_t I = 0; I != T->Elems.size(); ++I) {
+        if (I)
+          OS << ", ";
+        printExpr(T->Elems[I]);
+      }
+      OS << ')';
+      return;
+    }
+    case ExprKind::Name: {
+      const auto *N = cast<NameExpr>(E);
+      OS << *N->Name;
+      printTypeArgs(N->TypeArgs);
+      return;
+    }
+    case ExprKind::Member: {
+      const auto *M = cast<MemberExpr>(E);
+      printExpr(M->Base);
+      OS << '.';
+      switch (M->Sel) {
+      case MemberSel::Name:
+        OS << *M->Name;
+        break;
+      case MemberSel::TupleIndex:
+        OS << M->TupleIndex;
+        break;
+      case MemberSel::Op:
+        OS << opName(M->Op);
+        break;
+      }
+      printTypeArgs(M->TypeArgs);
+      return;
+    }
+    case ExprKind::IndexOp: {
+      const auto *I = cast<IndexExpr>(E);
+      printExpr(I->Base);
+      OS << '[';
+      printExpr(I->Index);
+      OS << ']';
+      return;
+    }
+    case ExprKind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      printExpr(C->Callee);
+      OS << '(';
+      for (size_t I = 0; I != C->Args.size(); ++I) {
+        if (I)
+          OS << ", ";
+        printExpr(C->Args[I]);
+      }
+      OS << ')';
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      OS << '(';
+      printExpr(B->Lhs);
+      OS << ' ' << binName(B->Op) << ' ';
+      printExpr(B->Rhs);
+      OS << ')';
+      return;
+    }
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      OS << (U->Op == UnOp::Neg ? '-' : '!');
+      printExpr(U->Operand);
+      return;
+    }
+    case ExprKind::Ternary: {
+      const auto *T = cast<TernaryExpr>(E);
+      OS << '(';
+      printExpr(T->Cond);
+      OS << " ? ";
+      printExpr(T->Then);
+      OS << " : ";
+      printExpr(T->Else);
+      OS << ')';
+      return;
+    }
+    }
+  }
+
+  void printStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Block: {
+      line() << "{";
+      ++Indent;
+      for (const Stmt *Inner : cast<BlockStmt>(S)->Stmts)
+        printStmt(Inner);
+      --Indent;
+      line() << "}";
+      return;
+    }
+    case StmtKind::LocalDecl: {
+      const auto *D = cast<LocalDeclStmt>(S);
+      auto &L = line();
+      for (size_t I = 0; I != D->Vars.size(); ++I) {
+        const LocalVar *V = D->Vars[I];
+        L << (I == 0 ? (V->IsMutable ? "var " : "def ") : ", ");
+        L << *V->Name;
+        if (V->DeclaredType) {
+          L << ": ";
+          printTypeRef(V->DeclaredType);
+        }
+        if (V->Init) {
+          L << " = ";
+          printExpr(V->Init);
+        }
+      }
+      L << ";";
+      maybeType(D->Vars.empty() ? nullptr : D->Vars[0]->Ty);
+      return;
+    }
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      auto &L = line();
+      L << "if (";
+      printExpr(I->Cond);
+      L << ")";
+      ++Indent;
+      printStmt(I->Then);
+      --Indent;
+      if (I->Else) {
+        line() << "else";
+        ++Indent;
+        printStmt(I->Else);
+        --Indent;
+      }
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      auto &L = line();
+      L << "while (";
+      printExpr(W->Cond);
+      L << ")";
+      ++Indent;
+      printStmt(W->Body);
+      --Indent;
+      return;
+    }
+    case StmtKind::For: {
+      const auto *F = cast<ForStmt>(S);
+      auto &L = line();
+      L << "for (" << *F->Var->Name << " = ";
+      printExpr(F->Var->Init);
+      L << "; ";
+      if (F->Cond)
+        printExpr(F->Cond);
+      L << "; ";
+      if (F->Update)
+        printExpr(F->Update);
+      L << ")";
+      ++Indent;
+      printStmt(F->Body);
+      --Indent;
+      return;
+    }
+    case StmtKind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      auto &L = line();
+      L << "return";
+      if (R->Value) {
+        L << ' ';
+        printExpr(R->Value);
+      }
+      L << ";";
+      return;
+    }
+    case StmtKind::Break:
+      line() << "break;";
+      return;
+    case StmtKind::Continue:
+      line() << "continue;";
+      return;
+    case StmtKind::ExprEval: {
+      auto &L = line();
+      printExpr(cast<ExprStmt>(S)->E);
+      L << ";";
+      maybeType(cast<ExprStmt>(S)->E->Ty);
+      return;
+    }
+    case StmtKind::Empty:
+      line() << ";";
+      return;
+    }
+  }
+
+  void printMethod(const MethodDecl *M) {
+    auto &L = line();
+    if (M->IsPrivate)
+      L << "private ";
+    if (M->IsCtor)
+      L << "new(";
+    else {
+      L << "def " << *M->Name;
+      if (!M->TypeParamNames.empty()) {
+        L << '<';
+        for (size_t I = 0; I != M->TypeParamNames.size(); ++I) {
+          if (I)
+            L << ", ";
+          L << *M->TypeParamNames[I];
+        }
+        L << '>';
+      }
+      L << '(';
+    }
+    for (size_t I = 0; I != M->Params.size(); ++I) {
+      if (I)
+        L << ", ";
+      L << *M->Params[I]->Name;
+      if (M->Params[I]->DeclaredType) {
+        L << ": ";
+        printTypeRef(M->Params[I]->DeclaredType);
+      }
+    }
+    L << ')';
+    if (M->RetTypeRef) {
+      L << " -> ";
+      printTypeRef(M->RetTypeRef);
+    }
+    if (!M->Body) {
+      L << ';';
+      return;
+    }
+    ++Indent;
+    printStmt(M->Body);
+    --Indent;
+  }
+
+  void printModule(const Module &M) {
+    for (const ClassDecl *C : M.Classes) {
+      auto &L = line();
+      L << "class " << *C->Name;
+      if (!C->TypeParamNames.empty()) {
+        L << '<';
+        for (size_t I = 0; I != C->TypeParamNames.size(); ++I) {
+          if (I)
+            L << ", ";
+          L << *C->TypeParamNames[I];
+        }
+        L << '>';
+      }
+      if (C->ParentRef) {
+        L << " extends ";
+        printTypeRef(C->ParentRef);
+      }
+      L << " {";
+      ++Indent;
+      for (const FieldDecl *F : C->Fields) {
+        auto &FL = line();
+        FL << (F->IsMutable ? "var " : "def ") << *F->Name;
+        if (F->DeclaredType) {
+          FL << ": ";
+          printTypeRef(F->DeclaredType);
+        }
+        if (F->Init) {
+          FL << " = ";
+          printExpr(F->Init);
+        }
+        FL << ';';
+      }
+      if (C->Ctor && C->Ctor->Body)
+        printMethod(C->Ctor);
+      for (const MethodDecl *Me : C->Methods)
+        printMethod(Me);
+      --Indent;
+      line() << "}";
+    }
+    for (const GlobalDecl *G : M.Globals) {
+      auto &L = line();
+      L << (G->IsMutable ? "var " : "def ") << *G->Name;
+      if (G->DeclaredType) {
+        L << ": ";
+        printTypeRef(G->DeclaredType);
+      }
+      if (G->Init) {
+        L << " = ";
+        printExpr(G->Init);
+      }
+      L << ';';
+    }
+    for (const MethodDecl *F : M.Funcs)
+      printMethod(F);
+  }
+
+private:
+  std::ostringstream &line() {
+    OS << '\n';
+    for (int I = 0; I < Indent; ++I)
+      OS << "  ";
+    return OS;
+  }
+
+  void maybeType(const Type *T) {
+    if (WithTypes && T)
+      OS << "  // : " << T->toString();
+  }
+
+  void printTypeArgs(const std::vector<TypeRef *> &Args) {
+    if (Args.empty())
+      return;
+    OS << '<';
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      printTypeRef(Args[I]);
+    }
+    OS << '>';
+  }
+
+  static const char *opName(OpSel Op) {
+    switch (Op) {
+    case OpSel::Eq:
+      return "==";
+    case OpSel::Ne:
+      return "!=";
+    case OpSel::Cast:
+      return "!";
+    case OpSel::Query:
+      return "?";
+    case OpSel::Add:
+      return "+";
+    case OpSel::Sub:
+      return "-";
+    case OpSel::Mul:
+      return "*";
+    case OpSel::Div:
+      return "/";
+    case OpSel::Mod:
+      return "%";
+    case OpSel::Lt:
+      return "<";
+    case OpSel::Le:
+      return "<=";
+    case OpSel::Gt:
+      return ">";
+    case OpSel::Ge:
+      return ">=";
+    }
+    return "?op?";
+  }
+
+  static const char *binName(BinOp Op) {
+    switch (Op) {
+    case BinOp::Add:
+      return "+";
+    case BinOp::Sub:
+      return "-";
+    case BinOp::Mul:
+      return "*";
+    case BinOp::Div:
+      return "/";
+    case BinOp::Mod:
+      return "%";
+    case BinOp::Eq:
+      return "==";
+    case BinOp::Ne:
+      return "!=";
+    case BinOp::Lt:
+      return "<";
+    case BinOp::Le:
+      return "<=";
+    case BinOp::Gt:
+      return ">";
+    case BinOp::Ge:
+      return ">=";
+    case BinOp::And:
+      return "&&";
+    case BinOp::Or:
+      return "||";
+    case BinOp::Assign:
+      return "=";
+    }
+    return "?bin?";
+  }
+
+  std::ostringstream OS;
+  int Indent = 0;
+  bool WithTypes;
+};
+
+} // namespace
+
+std::string virgil::printModule(const Module &M, bool WithTypes) {
+  Printer P(WithTypes);
+  P.printModule(M);
+  return P.str();
+}
+
+std::string virgil::printExpr(const Expr *E) {
+  Printer P(false);
+  P.printExpr(E);
+  return P.str();
+}

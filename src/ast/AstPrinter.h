@@ -1,0 +1,27 @@
+//===- ast/AstPrinter.h - Debug rendering of the AST ------------*- C++ -*-===//
+///
+/// \file
+/// Renders a parsed (optionally checked) module back to a readable
+/// source-like form, used by tests and the `virgilc --dump-ast` mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_AST_ASTPRINTER_H
+#define VIRGIL_AST_ASTPRINTER_H
+
+#include "ast/Ast.h"
+
+#include <string>
+
+namespace virgil {
+
+/// Pretty-prints the module. If types have been checked, expression
+/// types are included as comments when \p WithTypes is set.
+std::string printModule(const Module &M, bool WithTypes = false);
+
+/// Pretty-prints one expression.
+std::string printExpr(const Expr *E);
+
+} // namespace virgil
+
+#endif // VIRGIL_AST_ASTPRINTER_H

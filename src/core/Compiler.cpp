@@ -1,0 +1,123 @@
+//===- core/Compiler.cpp --------------------------------------------------===//
+
+#include "core/Compiler.h"
+
+#include "ir/IrVerifier.h"
+#include "lower/Lower.h"
+#include "parse/Parser.h"
+#include "vm/BytecodeEmitter.h"
+
+using namespace virgil;
+
+Program::Program() = default;
+Program::~Program() = default;
+
+InterpResult Program::interpret() {
+  Interpreter I(*PolyIr);
+  return I.run();
+}
+
+InterpResult Program::interpretMono() {
+  assert(MonoIr && "pipeline stopped before monomorphization");
+  Interpreter I(*MonoIr);
+  return I.run();
+}
+
+InterpResult Program::interpretNorm() {
+  assert(NormIr && "pipeline stopped before normalization");
+  Interpreter I(*NormIr);
+  return I.run();
+}
+
+VmResult Program::runVm() {
+  assert(Bytecode && "pipeline stopped before bytecode emission");
+  Vm V(*Bytecode);
+  return V.run();
+}
+
+std::unique_ptr<Program> Compiler::compile(const std::string &Name,
+                                           const std::string &Source,
+                                           std::string *ErrorOut) {
+  auto P = std::make_unique<Program>();
+  P->File = std::make_unique<SourceFile>(Name, Source);
+  P->Diags.setFile(P->File.get());
+
+  auto fail = [&]() -> std::unique_ptr<Program> {
+    if (ErrorOut)
+      *ErrorOut = P->Diags.render();
+    return nullptr;
+  };
+  auto internalFail = [&](const std::vector<std::string> &Problems,
+                          const char *Stage) -> std::unique_ptr<Program> {
+    std::string Msg = std::string("internal error after ") + Stage + ":";
+    for (const std::string &Pr : Problems)
+      Msg += "\n  " + Pr;
+    if (ErrorOut)
+      *ErrorOut = Msg;
+    return nullptr;
+  };
+
+  // Parse.
+  Parser TheParser(*P->File, P->AstNodes, P->Idents, P->Diags);
+  P->Ast = TheParser.parseModule();
+  if (P->Diags.hasErrors())
+    return fail();
+
+  // Semantic analysis.
+  P->TheSema = std::make_unique<Sema>(*P->Ast, P->Types, P->Idents,
+                                      P->Diags, P->AstNodes);
+  if (!P->TheSema->run())
+    return fail();
+
+  // Lower to polymorphic IR.
+  P->PolyIr = std::make_unique<IrModule>(P->Types);
+  Lowerer Lower(P->TheSema->resolver(), *P->PolyIr);
+  if (!Lower.run()) {
+    P->Diags.error(SourceLoc::invalid(), "lowering failed");
+    return fail();
+  }
+  if (Options.Verify) {
+    auto Problems = verifyModule(*P->PolyIr);
+    if (!Problems.empty())
+      return internalFail(Problems, "lowering");
+  }
+  P->Stats.Poly = computeStats(*P->PolyIr);
+  if (Options.StopAfterLower)
+    return P;
+
+  // Monomorphize (§4.3).
+  Monomorphizer Mono(*P->PolyIr);
+  P->MonoIr = Mono.run();
+  if (!P->MonoIr) {
+    P->Diags.error(SourceLoc::invalid(),
+                   "monomorphization exceeded the instantiation cap "
+                   "(undetected polymorphic recursion?)");
+    return fail();
+  }
+  P->Stats.Mono = Mono.stats();
+  if (Options.Verify) {
+    auto Problems = verifyModule(*P->MonoIr);
+    if (!Problems.empty())
+      return internalFail(Problems, "monomorphization");
+  }
+  if (Options.Optimize)
+    P->Stats.OptAfterMono = optimizeModule(*P->MonoIr, Options.Opt);
+  P->Stats.MonoIr = computeStats(*P->MonoIr);
+
+  // Normalize tuples away (§4.2).
+  Normalizer Norm(*P->MonoIr);
+  P->NormIr = Norm.run();
+  P->Stats.Norm = Norm.stats();
+  if (Options.Verify) {
+    auto Problems = verifyModule(*P->NormIr);
+    if (!Problems.empty())
+      return internalFail(Problems, "normalization");
+  }
+  if (Options.Optimize)
+    P->Stats.OptAfterNorm = optimizeModule(*P->NormIr, Options.Opt);
+  P->Stats.NormIr = computeStats(*P->NormIr);
+
+  // Emit bytecode.
+  P->Bytecode = emitBytecode(*P->NormIr);
+  return P;
+}

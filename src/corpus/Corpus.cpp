@@ -1,0 +1,649 @@
+//===- corpus/Corpus.cpp --------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <cassert>
+
+using namespace virgil;
+using namespace virgil::corpus;
+
+namespace {
+
+// --- hello: trivial smoke test. ---
+const char *HelloSrc = R"(
+def main() -> int {
+  System.puts("hello");
+  System.ln();
+  return 42;
+}
+)";
+
+// --- classes_basics: paper (a1)-(b7): classes, object methods,
+// unbound class methods, constructors as functions. ---
+const char *ClassesBasicsSrc = R"(
+class A {
+  var f: int;
+  def g: int;
+  new(f, g) { }
+  def m(a: byte) -> int { return f + g + int.!(a); }
+}
+class B extends A {
+  new(f: int, g: int) super(f, g) { }
+  def m(a: byte) -> int { return 1000 + int.!(a); }
+}
+def main() -> int {
+  var a = A.new(0, 1);
+  var m1 = a.m;            // byte -> int
+  var m2 = A.m;            // (A, byte) -> int
+  var x = a.m('\0');       // 1
+  var y = m1(4);           // 5
+  var z = m2(a, 6);        // 7
+  var w = A.new;           // (int, int) -> A
+  var a2 = w(10, 20);
+  var b: A = B.new(1, 2);
+  var v = b.m(3);          // 1003: virtual dispatch
+  var u = m2(b, 1);        // 1001: unbound methods dispatch too
+  return x + y + z + a2.m('\0') + v + u;   // 1+5+7+30+1003+1001
+}
+)";
+
+// --- operators_first_class: paper (b8)-(b15). ---
+const char *OperatorsSrc = R"(
+class A { }
+class B extends A { }
+def apply2(f: (int, int) -> int, a: int, b: int) -> int {
+  return f(a, b);
+}
+def main() -> int {
+  var p = int.+;
+  var m = int.-;
+  var eqb = byte.==;
+  var t = 0;
+  if (eqb('a', 'a')) t = t + 1;
+  var w = A.!=;
+  var a = A.new();
+  if (w(a, null)) t = t + 10;
+  var c = A.!<B>;          // B -> A
+  var q = A.?<B>;          // B -> bool
+  var b = B.new();
+  if (q(b)) t = t + 100;
+  var up: A = c(b);
+  if (up != null) t = t + 1000;
+  return t + apply2(p, 20000, 3000) + m(10000, 4000);  // 1111+23000+6000
+}
+)";
+
+// --- list_apply: paper (d1)-(d12'): generic list, inference. ---
+const char *ListApplySrc = R"(
+class List<T> {
+  var head: T;
+  var tail: List<T>;
+  new(head, tail) { }
+}
+def apply<A>(list: List<A>, f: A -> void) {
+  for (l = list; l != null; l = l.tail) f(l.head);
+}
+var sum = 0;
+def addInt(i: int) { sum = sum + i; }
+def addPair(p: (int, int)) { sum = sum + p.0 * p.1; }
+def main() -> int {
+  var a = List<int>.new(1, List<int>.new(2, null));
+  var b = List.new((3, 4), List.new((5, 6), null));
+  apply<int>(a, addInt);
+  apply(b, addPair);
+  var e = List<bool>.?(a);    // false (d13)
+  var f = List<void>.?(a);    // false (d14)
+  if (e) sum = sum + 1000000;
+  if (f) sum = sum + 1000000;
+  return sum;                  // 1+2+12+30 = 45
+}
+)";
+
+// --- time_func: paper (e1)-(e5): functions + type params + tuples. ---
+const char *TimeFuncSrc = R"(
+def time<A, B>(func: A -> B, a: A) -> (B, int) {
+  var start = System.ticks();
+  var r = func(a);
+  return (r, System.ticks() - start);
+}
+def isqrt(x: int) -> int {
+  var r = 0;
+  while ((r + 1) * (r + 1) <= x) r = r + 1;
+  return r;
+}
+def main() -> int {
+  var p = time(isqrt, 37);
+  return p.0;                  // 6
+}
+)";
+
+// --- interface_adapter: paper (f1)-(g9). ---
+const char *InterfaceAdapterSrc = R"(
+class Record {
+  var id: int;
+  new(id) { }
+}
+class DatastoreInterface(
+  create: () -> Record,
+  load: int -> Record,
+  store: Record -> ()) {
+}
+class DatastoreImpl {
+  var data: Array<Record>;
+  new() { data = Array<Record>.new(16); }
+  def create() -> Record { return Record.new(7); }
+  def load(k: int) -> Record { return data[k]; }
+  def store(r: Record) { data[r.id] = r; }
+  def adapt() -> DatastoreInterface {
+    return DatastoreInterface.new(create, load, store);
+  }
+}
+def useStore(ds: DatastoreInterface) -> int {
+  var r = ds.create();
+  ds.store(r);
+  var r2 = ds.load(7);
+  if (r == r2) return 1;
+  return 0;
+}
+def main() -> int {
+  var impl = DatastoreImpl.new();
+  return useStore(impl.adapt());
+}
+)";
+
+// --- number_adt: paper (h1)-(h9). ---
+const char *NumberAdtSrc = R"(
+class NumberInterface<T>(
+  add: (T, T) -> T,
+  sub: (T, T) -> T,
+  compare: (T, T) -> bool,
+  one: T,
+  zero: T) {
+}
+def IntInterface = NumberInterface.new(int.+, int.-, int.==, 1, 0);
+def sumOnes<T>(n: NumberInterface<T>, count: int) -> T {
+  var acc = n.zero;
+  for (i = 0; i < count; i = i + 1) acc = n.add(acc, n.one);
+  return acc;
+}
+def main() -> int {
+  var r = sumOnes(IntInterface, 5);
+  if (IntInterface.compare(r, 5)) return r;
+  return 0 - 1;
+}
+)";
+
+// --- hashmap_adt: paper (i1)-(i18): type params + function fields. ---
+const char *HashMapAdtSrc = R"(
+class HashMap<K, V> {
+  def hash: K -> int;
+  def equals: (K, K) -> bool;
+  var keys: Array<K>;
+  var vals: Array<V>;
+  var used: Array<bool>;
+  new(hash, equals) {
+    keys = Array<K>.new(64);
+    vals = Array<V>.new(64);
+    used = Array<bool>.new(64);
+  }
+  def get(key: K) -> V {
+    return vals[slot(key)];
+  }
+  def set(key: K, val: V) {
+    var i = slot(key);
+    used[i] = true;
+    keys[i] = key;
+    vals[i] = val;
+  }
+  private def slot(key: K) -> int {
+    var h = hash(key) % 64;
+    if (h < 0) h = h + 64;
+    while (used[h] && !equals(keys[h], key)) h = (h + 1) % 64;
+    return h;
+  }
+  def apply(f: (K, V) -> void) {
+    for (i = 0; i < 64; i = i + 1) {
+      if (used[i]) f(keys[i], vals[i]);
+    }
+  }
+}
+def idHash(x: int) -> int { return x * 31; }
+def pairHash(p: (int, int)) -> int { return p.0 * 31 + p.1; }
+def main() -> int {
+  var m = HashMap<int, int>.new(idHash, int.==);
+  m.set(3, 30);
+  m.set(67, 670);
+  var m2 = HashMap<(int, int), int>.new(pairHash, (int, int).==);
+  m2.set((1, 2), 100);
+  m2.set((2, 1), 200);
+  // a.apply(b.set) copies a into b without a loop (paper §3.6).
+  var copy = HashMap<int, int>.new(idHash, int.==);
+  m.apply(copy.set);
+  return m.get(3) + m.get(67) + m2.get((1, 2)) + m2.get((2, 1)) +
+         copy.get(3) + copy.get(67);   // 30+670+100+200+30+670 = 1700
+}
+)";
+
+// --- adhoc_print: paper (j1)-(j9): emulated ad hoc polymorphism. ---
+const char *AdhocPrintSrc = R"(
+def printInt(fmt: string, a: int) {
+  System.puts(fmt);
+  System.puti(a);
+  System.ln();
+}
+def printBool(fmt: string, a: bool) {
+  System.puts(fmt);
+  if (a) System.puts("true");
+  if (!a) System.puts("false");
+  System.ln();
+}
+def printString(fmt: string, a: string) {
+  System.puts(fmt);
+  System.puts(a);
+  System.ln();
+}
+def printByte(fmt: string, a: byte) {
+  System.puts(fmt);
+  System.putc(a);
+  System.ln();
+}
+def print1<T>(fmt: string, a: T) {
+  if (int.?(a)) printInt(fmt, int.!(a));
+  if (bool.?(a)) printBool(fmt, bool.!(a));
+  if (string.?(a)) printString(fmt, string.!(a));
+  if (byte.?(a)) printByte(fmt, byte.!(a));
+}
+def main() -> int {
+  print1("Result: ", 0);
+  print1("Boolean: ", false);
+  print1("Hello ", "world");
+  print1("Char: ", 'x');
+  return 0;
+}
+)";
+
+// --- poly_matcher: paper (k1)-(m8): Box/Any + runtime type args. ---
+const char *PolyMatcherSrc = R"(
+class Any { }
+class Box<T> extends Any {
+  var val: T;
+  new(val) { }
+  def unbox() -> T { return val; }
+}
+class List<T> {
+  var head: T;
+  var tail: List<T>;
+  new(head, tail) { }
+}
+class Matcher {
+  var matches: List<Any>;
+  def add<T>(f: T -> void) {
+    matches = List<Any>.new(Box.new(f), matches);
+  }
+  def dispatch<T>(v: T) {
+    for (l = matches; l != null; l = l.tail) {
+      var f = l.head;
+      if (Box<T -> void>.?(f)) {
+        Box<T -> void>.!(f).unbox()(v);
+        return;
+      }
+    }
+    System.puts("no match");
+    System.ln();
+  }
+}
+def printInt(p: (string, int)) {
+  System.puts(p.0);
+  System.puti(p.1);
+  System.ln();
+}
+def printBool(p: (string, bool)) {
+  System.puts(p.0);
+  if (p.1) System.puts("true");
+  if (!p.1) System.puts("false");
+  System.ln();
+}
+def printString(p: (string, string)) {
+  System.puts(p.0);
+  System.puts(p.1);
+  System.ln();
+}
+def main() -> int {
+  var m = Matcher.new();
+  m.add(printInt);
+  m.add(printBool);
+  m.add(printString);
+  m.dispatch(("Result: ", 1));
+  m.dispatch(("Boolean: ", true));
+  m.dispatch(("Hello ", "world"));
+  m.dispatch(4);
+  return 0;
+}
+)";
+
+// --- variants_instr: paper (n1)-(n20): variant types from four
+// features. ---
+const char *VariantsInstrSrc = R"(
+class Buffer {
+  var data: Array<int>;
+  var pos: int;
+  new() { data = Array<int>.new(64); }
+  def put(v: int) {
+    data[pos] = v;
+    pos = pos + 1;
+  }
+}
+class Instr {
+  def emit(buf: Buffer);
+}
+class InstrOf<T> extends Instr {
+  var emitFunc: (Buffer, T) -> void;
+  var val: T;
+  new(emitFunc, val) { }
+  def emit(buf: Buffer) {
+    emitFunc(buf, val);
+  }
+}
+class Asm {
+  def add(buf: Buffer, ops: (int, int)) {
+    buf.put(1);
+    buf.put(ops.0);
+    buf.put(ops.1);
+  }
+  def addi(buf: Buffer, ops: (int, int)) {
+    buf.put(2);
+    buf.put(ops.0);
+    buf.put(ops.1);
+  }
+  def neg(buf: Buffer, r: int) {
+    buf.put(3);
+    buf.put(r);
+  }
+}
+def main() -> int {
+  var asm = Asm.new();
+  var i: Instr = InstrOf.new(asm.add, (10, 11));
+  var j: Instr = InstrOf.new(asm.addi, (10, 0 - 11));
+  var k: Instr = InstrOf.new(asm.neg, 10);
+  var buf = Buffer.new();
+  i.emit(buf);
+  j.emit(buf);
+  k.emit(buf);
+  var tagged = 0;
+  if (InstrOf<(int, int)>.?(i)) tagged = tagged + 1;
+  if (InstrOf<int>.?(i)) tagged = tagged + 10;
+  if (InstrOf<int>.?(k)) tagged = tagged + 100;
+  var sum = 0;
+  for (x = 0; x < buf.pos; x = x + 1) sum = sum + buf.data[x];
+  return tagged * 1000 + sum;  // 101 * 1000 + (1+10+11+2+10-11+3+10)=36
+}
+)";
+
+// --- variance_apply: paper (o1)-(o7): contravariant function args
+// substitute for class covariance. ---
+const char *VarianceApplySrc = R"(
+class Animal {
+  def noise() -> int { return 1; }
+}
+class Bat extends Animal {
+  def noise() -> int { return 2; }
+}
+class List<T> {
+  var head: T;
+  var tail: List<T>;
+  new(head, tail) { }
+}
+def apply<A>(list: List<A>, f: A -> void) {
+  for (l = list; l != null; l = l.tail) f(l.head);
+}
+var total = 0;
+def g(a: Animal) { total = total + a.noise(); }
+def main() -> int {
+  var b: List<Bat> = List.new(Bat.new(), List.new(Bat.new(), null));
+  apply(b, g);   // OK: Animal -> void <: Bat -> void
+  return total;  // 4
+}
+)";
+
+// --- tuple_callconv: paper (p1)-(p17): the calling-convention
+// ambiguity between scalar and tuple parameter shapes. ---
+const char *TupleCallconvSrc = R"(
+def f(a: int, b: int) -> int { return a + b; }
+def g(a: (int, int)) -> int { return a.0 * a.1; }
+class P {
+  def m(a: int, b: int) -> int { return a - b; }
+}
+class Q extends P {
+  def m(a: (int, int)) -> int { return a.0 * 100 + a.1; }
+}
+def pick(z: bool) -> (int, int) -> int {
+  return z ? f : g;
+}
+def main() -> int {
+  var x = pick(true);
+  var y = pick(false);
+  var t = (3, 4);
+  var r = x(3, 4) + x(t) + y(3, 4) + y(t);  // 7+7+12+12 = 38
+  var p: P = Q.new();
+  var s = p.m(5, 6);                        // 506: adapted override
+  var u: P = P.new();
+  return r * 1000 + s + u.m(5, 6);          // 38000+506-1
+}
+)";
+
+// --- normalization_corners: paper (q1)-(q8): void params, void
+// fields, arrays of void, arrays of tuples. ---
+const char *NormalizationCornersSrc = R"(
+class C {
+  var v: void;
+  var p: (int, bool);
+  new() { p = (3, true); }
+}
+def fv(v: void) -> int { return 7; }
+def main() -> int {
+  var b = ("x", 15);
+  var t: void;
+  var r = fv(t);
+  var c = C.new();
+  c.v = t;
+  var voids = Array<void>.new(4);
+  var n = voids.length;
+  voids[3];
+  var pairs = Array<(int, int)>.new(3);
+  pairs[0] = (1, 2);
+  pairs[1] = (3, 4);
+  pairs[2] = (pairs[0].0 + pairs[1].0, pairs[0].1 + pairs[1].1);
+  var q = pairs[2];
+  var sum = q.0 * 10 + q.1;   // 46
+  if (c.p.1) sum = sum + c.p.0;   // +3
+  return r * 100 + n * 10000 + sum + b.1;  // 700+40000+49+15
+}
+)";
+
+// --- sort_pairs: §5 "define a list of tuples and sort them by the
+// first element". ---
+const char *SortPairsSrc = R"(
+def sortPairs(a: Array<(int, int)>) {
+  for (i = 1; i < a.length; i = i + 1) {
+    var key = a[i];
+    var j = i - 1;
+    while (j >= 0 && a[j].0 > key.0) {
+      a[j + 1] = a[j];
+      j = j - 1;
+    }
+    a[j + 1] = key;
+  }
+}
+def main() -> int {
+  var a = Array<(int, int)>.new(5);
+  a[0] = (5, 50);
+  a[1] = (3, 30);
+  a[2] = (4, 40);
+  a[3] = (1, 10);
+  a[4] = (2, 20);
+  sortPairs(a);
+  var acc = 0;
+  for (i = 0; i < a.length; i = i + 1) {
+    acc = acc * 10 + a[i].0;
+    if (a[i].1 != a[i].0 * 10) return 0 - 1;
+  }
+  return acc;  // 12345
+}
+)";
+
+// --- fib: plain compute kernel (recursion). ---
+const char *FibSrc = R"(
+def fib(n: int) -> int {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+def main() -> int {
+  return fib(15);   // 610
+}
+)";
+
+// --- printf_footnote5: the paper's footnote 5: print accepts the
+// standard primitive types and also functions of type
+// StringBuffer -> void; classes expose render methods and callers
+// pass o.render. ---
+const char *PrintfFootnote5Src = R"(
+class StringBuffer {
+  var data: Array<byte>;
+  var n: int;
+  new() { data = Array<byte>.new(64); }
+  def putc(c: byte) {
+    data[n] = c;
+    n = n + 1;
+  }
+  def puts(s: string) {
+    for (i = 0; i < s.length; i = i + 1) putc(s[i]);
+  }
+  def puti(v: int) {
+    if (v == 0) {
+      putc('0');
+      return;
+    }
+    var digits = Array<byte>.new(12);
+    var k = 0;
+    var x = v;
+    while (x > 0) {
+      digits[k] = byte.!(x % 10 + 48);
+      k = k + 1;
+      x = x / 10;
+    }
+    while (k > 0) {
+      k = k - 1;
+      putc(digits[k]);
+    }
+  }
+  def flush() {
+    for (i = 0; i < n; i = i + 1) System.putc(data[i]);
+    n = 0;
+  }
+}
+def print<T>(a: T) {
+  var buf = StringBuffer.new();
+  if (int.?(a)) buf.puti(int.!(a));
+  if (bool.?(a)) {
+    if (bool.!(a)) buf.puts("true");
+    if (!bool.!(a)) buf.puts("false");
+  }
+  if (string.?(a)) buf.puts(string.!(a));
+  if ((StringBuffer -> void).?(a)) {
+    (StringBuffer -> void).!(a)(buf);
+  }
+  buf.flush();
+  System.ln();
+}
+class Point {
+  var x: int;
+  var y: int;
+  new(x, y) { }
+  def render(buf: StringBuffer) {
+    buf.putc('(');
+    buf.puti(x);
+    buf.puts(", ");
+    buf.puti(y);
+    buf.putc(')');
+  }
+}
+def main() -> int {
+  print(42);
+  print(false);
+  print("hello");
+  var p = Point.new(3, 4);
+  print(p.render);
+  return 0;
+}
+)";
+
+// --- gc_churn: allocation stress for the semispace collector. ---
+const char *GcChurnSrc = R"(
+class Node {
+  var value: int;
+  var next: Node;
+  new(value, next) { }
+}
+def buildList(n: int) -> Node {
+  var head: Node = null;
+  for (i = 0; i < n; i = i + 1) head = Node.new(i, head);
+  return head;
+}
+def sumList(l: Node) -> int {
+  var s = 0;
+  for (n = l; n != null; n = n.next) s = s + n.value;
+  return s;
+}
+def main() -> int {
+  var keep = buildList(100);
+  var acc = 0;
+  for (round = 0; round < 50; round = round + 1) {
+    var garbage = buildList(200);
+    acc = (acc + sumList(garbage)) % 1000000;
+  }
+  return acc + sumList(keep) % 1000;  // deterministic
+}
+)";
+
+const std::vector<CorpusProgram> &programsImpl() {
+  static const std::vector<CorpusProgram> Programs = {
+      {"hello", HelloSrc, "hello\n", 42},
+      {"classes_basics", ClassesBasicsSrc, "", 1 + 5 + 7 + 30 + 1003 + 1001},
+      {"operators_first_class", OperatorsSrc, "", 1111 + 23000 + 6000},
+      {"list_apply", ListApplySrc, "", 45},
+      {"time_func", TimeFuncSrc, "", 6},
+      {"interface_adapter", InterfaceAdapterSrc, "", 1},
+      {"number_adt", NumberAdtSrc, "", 5},
+      {"hashmap_adt", HashMapAdtSrc, "", 1700},
+      {"adhoc_print", AdhocPrintSrc,
+       "Result: 0\nBoolean: false\nHello world\nChar: x\n", 0},
+      {"poly_matcher", PolyMatcherSrc,
+       "Result: 1\nBoolean: true\nHello world\nno match\n", 0},
+      {"variants_instr", VariantsInstrSrc, "", 101 * 1000 + 36},
+      {"variance_apply", VarianceApplySrc, "", 4},
+      {"tuple_callconv", TupleCallconvSrc, "", 38000 + 506 - 1},
+      {"normalization_corners", NormalizationCornersSrc, "",
+       700 + 40000 + 49 + 15},
+      {"sort_pairs", SortPairsSrc, "", 12345},
+      {"fib", FibSrc, "", 610},
+      {"printf_footnote5", PrintfFootnote5Src,
+       "42\nfalse\nhello\n(3, 4)\n", 0},
+      {"gc_churn", GcChurnSrc, "", (50 * 19900) % 1000000 + 4950 % 1000},
+  };
+  return Programs;
+}
+
+} // namespace
+
+const std::vector<CorpusProgram> &virgil::corpus::allPrograms() {
+  return programsImpl();
+}
+
+const CorpusProgram &virgil::corpus::program(const std::string &Name) {
+  for (const CorpusProgram &P : programsImpl())
+    if (Name == P.Name)
+      return P;
+  assert(false && "unknown corpus program");
+  static CorpusProgram Dummy{"", "", "", 0};
+  return Dummy;
+}

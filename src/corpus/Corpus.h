@@ -1,0 +1,39 @@
+//===- corpus/Corpus.h - The paper's example programs -----------*- C++ -*-===//
+///
+/// \file
+/// Virgil-core source for every design pattern and example in the
+/// paper, plus a few compute kernels. Tests execute each program under
+/// all four strategies (poly-interp, mono-interp, norm-interp, VM) and
+/// require identical observable behaviour; benches reuse them as
+/// workloads; EXPERIMENTS.md cites them by name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_CORPUS_CORPUS_H
+#define VIRGIL_CORPUS_CORPUS_H
+
+#include <string>
+#include <vector>
+
+namespace virgil {
+namespace corpus {
+
+struct CorpusProgram {
+  const char *Name;
+  const char *Source;
+  /// Expected output (empty when the program only returns a value).
+  const char *ExpectedOutput;
+  /// Expected main() result.
+  int ExpectedResult;
+};
+
+/// All corpus programs (every §2/§3 paper example).
+const std::vector<CorpusProgram> &allPrograms();
+
+/// Looks up one program by name; asserts if missing.
+const CorpusProgram &program(const std::string &Name);
+
+} // namespace corpus
+} // namespace virgil
+
+#endif // VIRGIL_CORPUS_CORPUS_H

@@ -1,0 +1,66 @@
+//===- corpus/Generators.h - Parametric workload generators -----*- C++ -*-===//
+///
+/// \file
+/// Generates Virgil-core source for the benchmark sweeps: each
+/// generator is parameterized the way the corresponding experiment in
+/// EXPERIMENTS.md varies its workload (tuple width, handler count,
+/// instantiation count, program size).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_CORPUS_GENERATORS_H
+#define VIRGIL_CORPUS_GENERATORS_H
+
+#include <cstdint>
+#include <string>
+
+namespace virgil {
+namespace corpus {
+
+/// E1: indirect calls through `(int, int) -> int` values where half
+/// the targets take scalars and half take a tuple — every call needs
+/// the §4.1 dynamic check in the interpreter and none in the VM.
+std::string genCallConvWorkload(int Calls);
+
+/// E2: creates, passes, and consumes tuples of \p Width through
+/// non-inlinable call chains, \p Iters times.
+std::string genTupleWorkload(int Width, int Iters);
+
+/// E3: a generic pipeline (id/pair/select over T) instantiated at one
+/// type, executed \p Iters times — measures type-argument passing.
+std::string genPolyCallWorkload(int Iters);
+
+/// E4: the print1 cast-chain with \p Cases type cases, dispatched
+/// \p Iters times; plus a direct-call control.
+std::string genAdhocWorkload(int Cases, int Iters, bool Direct);
+
+/// E5: \p Generics generic functions each instantiated at \p Insts
+/// distinct types (drives code-expansion measurements).
+std::string genExpansionWorkload(int Generics, int Insts);
+
+/// E6: a polymorphic matcher with \p Handlers handlers dispatched
+/// \p Iters times.
+std::string genMatcherWorkload(int Handlers, int Iters);
+
+/// E7: list traversal through a contravariant function argument vs a
+/// monomorphic hand-written loop.
+std::string genVarianceWorkload(int Len, int Iters, bool Functional);
+
+/// E8: GC churn with \p Rounds rounds of garbage and a persistent set.
+std::string genGcWorkload(int Rounds, int LiveNodes);
+
+/// E9: a well-formed program of roughly \p Classes classes with
+/// methods and call chains (compiler throughput).
+std::string genThroughputProgram(int Classes);
+
+/// Differential fuzzing: a deterministic, type-correct random program
+/// (ints, bools, nested tuples, function calls, bounded loops, guarded
+/// division — no intentional traps). The same seed always yields the
+/// same program; all four execution strategies must agree on its
+/// result.
+std::string genRandomProgram(uint32_t Seed);
+
+} // namespace corpus
+} // namespace virgil
+
+#endif // VIRGIL_CORPUS_GENERATORS_H

@@ -1,0 +1,781 @@
+//===- interp/Interpreter.cpp ---------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace virgil;
+
+namespace {
+/// Internal unwind signal for traps; never escapes this file.
+struct TrapUnwind {
+  TrapKind Kind;
+  std::string Message;
+};
+} // namespace
+
+Interpreter::Interpreter(IrModule &M)
+    : M(M), Types(*M.Types), Rels(*M.Types) {}
+
+void Interpreter::trap(TrapKind Kind, const std::string &Extra) {
+  std::string Msg = trapKindName(Kind);
+  if (!Extra.empty())
+    Msg += ": " + Extra;
+  throw TrapUnwind{Kind, std::move(Msg)};
+}
+
+//===----------------------------------------------------------------------===//
+// Types at runtime
+//===----------------------------------------------------------------------===//
+
+Type *Interpreter::evalType(Frame &Fr, Type *T) {
+  if (!T->isPoly())
+    return T;
+  ++Counters.TypeSubsts;
+  return Types.substitute(T, Fr.Subst);
+}
+
+Value Interpreter::defaultOf(Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Prim:
+    switch (cast<PrimType>(T)->prim()) {
+    case PrimKind::Void:
+      return Value::voidV();
+    case PrimKind::Bool:
+      return Value::boolV(false);
+    case PrimKind::Byte:
+      return Value::byteV(0);
+    case PrimKind::Int:
+      return Value::intV(0);
+    }
+    break;
+  case TypeKind::Class:
+  case TypeKind::Array:
+  case TypeKind::Function:
+    return Value::nullV();
+  case TypeKind::Tuple: {
+    auto Data = std::make_shared<TupleData>();
+    for (Type *E : cast<TupleType>(T)->elems())
+      Data->Elems.push_back(defaultOf(E));
+    ++Counters.HeapTuples;
+    return Value::tuple(std::move(Data));
+  }
+  case TypeKind::TypeParam:
+    assert(false && "default of an unsubstituted type parameter");
+    break;
+  }
+  return Value::voidV();
+}
+
+Type *Interpreter::dynTypeOf(const Value &V) {
+  switch (V.kind()) {
+  case Value::Kind::Void:
+    return Types.voidTy();
+  case Value::Kind::Bool:
+    return Types.boolTy();
+  case Value::Kind::Byte:
+    return Types.byteTy();
+  case Value::Kind::Int:
+    return Types.intTy();
+  case Value::Kind::Object:
+    return V.obj()->DynType;
+  case Value::Kind::ArrayV:
+    return Types.array(V.arr()->ElemType);
+  case Value::Kind::Closure:
+    return V.clo()->DynType;
+  case Value::Kind::TupleV: {
+    std::vector<Type *> Elems;
+    for (const Value &E : V.tup()->Elems)
+      Elems.push_back(dynTypeOf(E));
+    return Types.tuple(Elems);
+  }
+  case Value::Kind::Null:
+    return nullptr;
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Casts and queries (paper §2.2/§2.3 runtime semantics)
+//===----------------------------------------------------------------------===//
+
+bool Interpreter::valueQuery(const Value &V, Type *Target) {
+  // null is not "of" any type.
+  if (V.isNull())
+    return false;
+  switch (Target->kind()) {
+  case TypeKind::Prim:
+    switch (cast<PrimType>(Target)->prim()) {
+    case PrimKind::Void:
+      return V.kind() == Value::Kind::Void;
+    case PrimKind::Bool:
+      return V.kind() == Value::Kind::Bool;
+    case PrimKind::Byte:
+      return V.kind() == Value::Kind::Byte;
+    case PrimKind::Int:
+      return V.kind() == Value::Kind::Int;
+    }
+    return false;
+  case TypeKind::Tuple: {
+    if (V.kind() != Value::Kind::TupleV)
+      return false;
+    const auto &Elems = cast<TupleType>(Target)->elems();
+    const auto &Vals = V.tup()->Elems;
+    if (Vals.size() != Elems.size())
+      return false;
+    for (size_t I = 0; I != Elems.size(); ++I)
+      if (!valueQuery(Vals[I], Elems[I]))
+        return false;
+    return true;
+  }
+  case TypeKind::Array:
+    return V.kind() == Value::Kind::ArrayV &&
+           V.arr()->ElemType == cast<ArrayType>(Target)->elem();
+  case TypeKind::Class:
+    return V.kind() == Value::Kind::Object &&
+           Rels.isSubtype(V.obj()->DynType, Target);
+  case TypeKind::Function:
+    return V.kind() == Value::Kind::Closure &&
+           Rels.isSubtype(V.clo()->DynType, Target);
+  case TypeKind::TypeParam:
+    assert(false && "query against unsubstituted type parameter");
+    return false;
+  }
+  return false;
+}
+
+bool Interpreter::valueCast(const Value &V, Type *Target, Value &Out) {
+  // Casting null to any nullable type succeeds (queries do not).
+  if (V.isNull()) {
+    switch (Target->kind()) {
+    case TypeKind::Class:
+    case TypeKind::Array:
+    case TypeKind::Function:
+      Out = V;
+      return true;
+    default:
+      return false;
+    }
+  }
+  switch (Target->kind()) {
+  case TypeKind::Prim:
+    switch (cast<PrimType>(Target)->prim()) {
+    case PrimKind::Void:
+      if (V.kind() != Value::Kind::Void)
+        return false;
+      Out = V;
+      return true;
+    case PrimKind::Bool:
+      if (V.kind() != Value::Kind::Bool)
+        return false;
+      Out = V;
+      return true;
+    case PrimKind::Byte:
+      if (V.kind() == Value::Kind::Byte) {
+        Out = V;
+        return true;
+      }
+      // int -> byte conversion: representable values only.
+      if (V.kind() == Value::Kind::Int && V.asInt() >= 0 &&
+          V.asInt() <= 255) {
+        Out = Value::byteV((uint8_t)V.asInt());
+        return true;
+      }
+      return false;
+    case PrimKind::Int:
+      if (V.kind() == Value::Kind::Int) {
+        Out = V;
+        return true;
+      }
+      if (V.kind() == Value::Kind::Byte) {
+        Out = Value::intV(V.asByte()); // byte -> int widens.
+        return true;
+      }
+      return false;
+    }
+    return false;
+  case TypeKind::Tuple: {
+    if (V.kind() != Value::Kind::TupleV)
+      return false;
+    const auto &Elems = cast<TupleType>(Target)->elems();
+    const auto &Vals = V.tup()->Elems;
+    if (Vals.size() != Elems.size())
+      return false;
+    auto Data = std::make_shared<TupleData>();
+    Data->Elems.resize(Vals.size());
+    for (size_t I = 0; I != Elems.size(); ++I)
+      if (!valueCast(Vals[I], Elems[I], Data->Elems[I]))
+        return false;
+    ++Counters.HeapTuples;
+    Out = Value::tuple(std::move(Data));
+    return true;
+  }
+  case TypeKind::Array:
+    if (V.kind() != Value::Kind::ArrayV ||
+        V.arr()->ElemType != cast<ArrayType>(Target)->elem())
+      return false;
+    Out = V;
+    return true;
+  case TypeKind::Class:
+    if (V.kind() != Value::Kind::Object ||
+        !Rels.isSubtype(V.obj()->DynType, Target))
+      return false;
+    Out = V;
+    return true;
+  case TypeKind::Function:
+    if (V.kind() != Value::Kind::Closure ||
+        !Rels.isSubtype(V.clo()->DynType, Target))
+      return false;
+    Out = V;
+    return true;
+  case TypeKind::TypeParam:
+    assert(false && "cast against unsubstituted type parameter");
+    return false;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Calls and dynamic adaptation (paper §4.1)
+//===----------------------------------------------------------------------===//
+
+void Interpreter::adaptArgs(std::vector<Value> &Args, size_t WantParams) {
+  ++Counters.AdaptChecks;
+  if (Args.size() == WantParams)
+    return;
+  if (WantParams == 1) {
+    // Pack the arguments into one tuple (or the void value).
+    ++Counters.AdaptPacks;
+    if (Args.empty()) {
+      Args.push_back(Value::voidV());
+      return;
+    }
+    auto Data = std::make_shared<TupleData>();
+    Data->Elems = std::move(Args);
+    ++Counters.HeapTuples;
+    Args.clear();
+    Args.push_back(Value::tuple(std::move(Data)));
+    return;
+  }
+  if (Args.size() == 1) {
+    // Unpack one tuple (or void) value across the parameters.
+    ++Counters.AdaptUnpacks;
+    Value V = std::move(Args[0]);
+    Args.clear();
+    if (WantParams == 0)
+      return; // A void argument feeding a zero-parameter function.
+    if (V.kind() != Value::Kind::TupleV ||
+        V.tup()->Elems.size() != WantParams)
+      trap(TrapKind::Unreachable, "calling convention mismatch");
+    Args = V.tup()->Elems;
+    return;
+  }
+  if (WantParams == 0 && Args.empty())
+    return;
+  trap(TrapKind::Unreachable, "calling convention mismatch");
+}
+
+/// The concrete (dynamic) function type of a closure over \p Fn with
+/// the given substitution applied, minus a bound receiver.
+static Type *closureDynType(TypeStore &Types, IrFunction *Fn,
+                            const TypeSubst &Subst, bool HasBound) {
+  std::vector<Type *> Params;
+  for (uint32_t I = HasBound ? 1 : 0; I != Fn->NumParams; ++I)
+    Params.push_back(Types.substitute(Fn->RegTypes[I], Subst));
+  std::vector<Type *> Rets;
+  for (Type *R : Fn->RetTypes)
+    Rets.push_back(Types.substitute(R, Subst));
+  return Types.func(Types.tuple(Params), Types.tuple(Rets));
+}
+
+std::vector<Value> Interpreter::invokeClosure(const ClosureData &C,
+                                              std::vector<Value> Args) {
+  IrFunction *Target = C.Fn;
+  std::vector<Type *> TypeArgs = C.TypeArgs;
+  if (C.HasBound) {
+    adaptArgs(Args, Target->NumParams - 1);
+    Args.insert(Args.begin(), *C.Bound);
+    return exec(Target, std::move(TypeArgs), std::move(Args));
+  }
+  if (Target->Slot >= 0 && Target->OwnerClass) {
+    // Unbound virtual method (paper b3): dispatch on the first
+    // argument's dynamic type.
+    adaptArgs(Args, Target->NumParams);
+    if (Args.empty() || Args[0].isNull())
+      trap(TrapKind::NullDeref);
+    const Value &Recv = Args[0];
+    IrClass *Dyn = Recv.obj()->Cls;
+    IrFunction *Impl = Dyn->VTable[Target->Slot];
+    if (!Impl)
+      trap(TrapKind::Unreachable, "abstract method");
+    std::vector<Type *> ClassArgs;
+    if (Impl->OwnerClass && Impl->OwnerClass->Def) {
+      ClassType *At = Rels.superAt(cast<ClassType>(Recv.obj()->DynType),
+                                   Impl->OwnerClass->Def);
+      assert(At && "dispatch owner not on chain");
+      ClassArgs = At->args();
+    }
+    return exec(Impl, std::move(ClassArgs), std::move(Args));
+  }
+  adaptArgs(Args, Target->NumParams);
+  return exec(Target, std::move(TypeArgs), std::move(Args));
+}
+
+Value Interpreter::runBuiltin(int Kind, std::vector<Value> &Args) {
+  switch ((int)Kind) {
+  case 0: { // Puts
+    if (Args[0].isNull())
+      trap(TrapKind::NullDeref);
+    for (const Value &B : Args[0].arr()->Elems)
+      Output.push_back((char)B.asByte());
+    return Value::voidV();
+  }
+  case 1: // Puti
+    Output += std::to_string(Args[0].asInt());
+    return Value::voidV();
+  case 2: // Putc
+    Output.push_back((char)Args[0].asByte());
+    return Value::voidV();
+  case 3: // Ln
+    Output.push_back('\n');
+    return Value::voidV();
+  case 4: // Ticks
+    return Value::intV(TickCounter++);
+  case 5: { // Error
+    std::string Msg;
+    if (!Args[0].isNull())
+      for (const Value &B : Args[0].arr()->Elems)
+        Msg.push_back((char)B.asByte());
+    trap(TrapKind::UserError, Msg);
+  }
+  }
+  trap(TrapKind::Unreachable, "unknown builtin");
+}
+
+//===----------------------------------------------------------------------===//
+// The main execution loop
+//===----------------------------------------------------------------------===//
+
+std::vector<Value> Interpreter::exec(IrFunction *F,
+                                     std::vector<Type *> TypeArgs,
+                                     std::vector<Value> Args) {
+  if (++Depth > 4000) {
+    --Depth;
+    trap(TrapKind::Unreachable, "interpreter stack overflow");
+  }
+  assert(TypeArgs.size() == F->TypeParams.size() &&
+         "type-argument arity mismatch");
+  assert(Args.size() == F->NumParams && "argument arity mismatch");
+  Frame Fr;
+  Fr.F = F;
+  Fr.Subst = TypeSubst{F->TypeParams, std::move(TypeArgs)};
+  Fr.Regs.resize(F->RegTypes.size());
+  for (size_t I = 0; I != Args.size(); ++I)
+    Fr.Regs[I] = std::move(Args[I]);
+
+  IrBlock *Block = F->Blocks[0];
+  for (;;) {
+    IrBlock *Next = nullptr;
+    for (IrInstr *I : Block->Instrs) {
+      ++Counters.Instrs;
+      switch (I->Op) {
+      case Opcode::ConstInt:
+        Fr.Regs[I->dst()] = Value::intV((int32_t)I->IntConst);
+        break;
+      case Opcode::ConstByte:
+        Fr.Regs[I->dst()] = Value::byteV((uint8_t)I->IntConst);
+        break;
+      case Opcode::ConstBool:
+        Fr.Regs[I->dst()] = Value::boolV(I->IntConst != 0);
+        break;
+      case Opcode::ConstNull:
+        Fr.Regs[I->dst()] = Value::nullV();
+        break;
+      case Opcode::ConstVoid:
+        Fr.Regs[I->dst()] = Value::voidV();
+        break;
+      case Opcode::ConstString: {
+        const std::string &S = M.Strings[I->Index];
+        auto Data = std::make_shared<ArrayData>();
+        Data->ElemType = Types.byteTy();
+        for (char C : S)
+          Data->Elems.push_back(Value::byteV((uint8_t)C));
+        ++Counters.HeapArrays;
+        Fr.Regs[I->dst()] = Value::array(std::move(Data));
+        break;
+      }
+      case Opcode::ConstDefault:
+        Fr.Regs[I->dst()] = defaultOf(evalType(Fr, I->Ty));
+        break;
+      case Opcode::Move:
+        Fr.Regs[I->dst()] = Fr.Regs[I->Args[0]];
+        break;
+      case Opcode::IntAdd:
+      case Opcode::IntSub:
+      case Opcode::IntMul: {
+        int64_t A = Fr.Regs[I->Args[0]].asInt();
+        int64_t B = Fr.Regs[I->Args[1]].asInt();
+        int64_t R = I->Op == Opcode::IntAdd   ? A + B
+                    : I->Op == Opcode::IntSub ? A - B
+                                              : A * B;
+        Fr.Regs[I->dst()] = Value::intV((int32_t)R);
+        break;
+      }
+      case Opcode::IntDiv:
+      case Opcode::IntMod: {
+        int64_t A = Fr.Regs[I->Args[0]].asInt();
+        int64_t B = Fr.Regs[I->Args[1]].asInt();
+        if (B == 0)
+          trap(TrapKind::DivByZero);
+        int64_t R = I->Op == Opcode::IntDiv ? A / B : A % B;
+        Fr.Regs[I->dst()] = Value::intV((int32_t)R);
+        break;
+      }
+      case Opcode::IntNeg:
+        Fr.Regs[I->dst()] =
+            Value::intV((int32_t)-(int64_t)Fr.Regs[I->Args[0]].asInt());
+        break;
+      case Opcode::IntLt:
+      case Opcode::IntLe:
+      case Opcode::IntGt:
+      case Opcode::IntGe: {
+        const Value &VA = Fr.Regs[I->Args[0]];
+        const Value &VB = Fr.Regs[I->Args[1]];
+        int64_t A = VA.kind() == Value::Kind::Byte ? VA.asByte()
+                                                   : VA.asInt();
+        int64_t B = VB.kind() == Value::Kind::Byte ? VB.asByte()
+                                                   : VB.asInt();
+        bool R = I->Op == Opcode::IntLt   ? A < B
+                 : I->Op == Opcode::IntLe ? A <= B
+                 : I->Op == Opcode::IntGt ? A > B
+                                          : A >= B;
+        Fr.Regs[I->dst()] = Value::boolV(R);
+        break;
+      }
+      case Opcode::BoolNot:
+        Fr.Regs[I->dst()] = Value::boolV(!Fr.Regs[I->Args[0]].asBool());
+        break;
+      case Opcode::BoolAnd:
+        Fr.Regs[I->dst()] = Value::boolV(Fr.Regs[I->Args[0]].asBool() &&
+                                         Fr.Regs[I->Args[1]].asBool());
+        break;
+      case Opcode::BoolOr:
+        Fr.Regs[I->dst()] = Value::boolV(Fr.Regs[I->Args[0]].asBool() ||
+                                         Fr.Regs[I->Args[1]].asBool());
+        break;
+      case Opcode::Eq:
+      case Opcode::Ne: {
+        bool E = valueEquals(Fr.Regs[I->Args[0]], Fr.Regs[I->Args[1]]);
+        Fr.Regs[I->dst()] = Value::boolV(I->Op == Opcode::Eq ? E : !E);
+        break;
+      }
+      case Opcode::TupleCreate: {
+        auto Data = std::make_shared<TupleData>();
+        for (Reg A : I->Args)
+          Data->Elems.push_back(Fr.Regs[A]);
+        ++Counters.HeapTuples;
+        Fr.Regs[I->dst()] = Value::tuple(std::move(Data));
+        break;
+      }
+      case Opcode::TupleGet: {
+        const Value &T = Fr.Regs[I->Args[0]];
+        assert(T.kind() == Value::Kind::TupleV && "tuple.get on non-tuple");
+        Fr.Regs[I->dst()] = T.tup()->Elems[I->Index];
+        break;
+      }
+      case Opcode::NewObject: {
+        auto *CT = cast<ClassType>(evalType(Fr, I->TypeOperand));
+        IrClass *Cls = nullptr;
+        for (IrClass *C : M.Classes)
+          if (C->Def == CT->def()) {
+            Cls = C;
+            break;
+          }
+        assert(Cls && "class not lowered");
+        auto Data = std::make_shared<ObjectData>();
+        Data->Cls = Cls;
+        Data->TypeArgs = CT->args();
+        Data->DynType = CT;
+        TypeSubst FieldSubst{Cls->Def->TypeParams, Data->TypeArgs};
+        for (const IrField &Field : Cls->Fields)
+          Data->Fields.push_back(
+              defaultOf(Types.substitute(Field.Ty, FieldSubst)));
+        ++Counters.HeapObjects;
+        Fr.Regs[I->dst()] = Value::object(std::move(Data));
+        break;
+      }
+      case Opcode::FieldGet: {
+        const Value &O = Fr.Regs[I->Args[0]];
+        if (O.isNull())
+          trap(TrapKind::NullDeref);
+        Fr.Regs[I->dst()] = O.obj()->Fields[I->Index];
+        break;
+      }
+      case Opcode::FieldSet: {
+        const Value &O = Fr.Regs[I->Args[0]];
+        if (O.isNull())
+          trap(TrapKind::NullDeref);
+        O.obj()->Fields[I->Index] = Fr.Regs[I->Args[1]];
+        break;
+      }
+      case Opcode::NullCheck:
+        if (Fr.Regs[I->Args[0]].isNull())
+          trap(TrapKind::NullDeref);
+        break;
+      case Opcode::NewArray: {
+        auto *AT = cast<ArrayType>(evalType(Fr, I->TypeOperand));
+        int32_t Len = Fr.Regs[I->Args[0]].asInt();
+        if (Len < 0)
+          trap(TrapKind::Bounds, "negative array length");
+        auto Data = std::make_shared<ArrayData>();
+        Data->ElemType = AT->elem();
+        Value D = defaultOf(AT->elem());
+        Data->Elems.assign((size_t)Len, D);
+        ++Counters.HeapArrays;
+        Fr.Regs[I->dst()] = Value::array(std::move(Data));
+        break;
+      }
+      case Opcode::BoundsCheck: {
+        const Value &A = Fr.Regs[I->Args[0]];
+        if (A.isNull())
+          trap(TrapKind::NullDeref);
+        int32_t Idx = Fr.Regs[I->Args[1]].asInt();
+        if (Idx < 0 || (size_t)Idx >= A.arr()->Elems.size())
+          trap(TrapKind::Bounds);
+        break;
+      }
+      case Opcode::ArrayGet: {
+        const Value &A = Fr.Regs[I->Args[0]];
+        if (A.isNull())
+          trap(TrapKind::NullDeref);
+        int32_t Idx = Fr.Regs[I->Args[1]].asInt();
+        if (Idx < 0 || (size_t)Idx >= A.arr()->Elems.size())
+          trap(TrapKind::Bounds);
+        Fr.Regs[I->dst()] = A.arr()->Elems[Idx];
+        break;
+      }
+      case Opcode::ArraySet: {
+        const Value &A = Fr.Regs[I->Args[0]];
+        if (A.isNull())
+          trap(TrapKind::NullDeref);
+        int32_t Idx = Fr.Regs[I->Args[1]].asInt();
+        if (Idx < 0 || (size_t)Idx >= A.arr()->Elems.size())
+          trap(TrapKind::Bounds);
+        A.arr()->Elems[Idx] = Fr.Regs[I->Args[2]];
+        break;
+      }
+      case Opcode::ArrayLen: {
+        const Value &A = Fr.Regs[I->Args[0]];
+        if (A.isNull())
+          trap(TrapKind::NullDeref);
+        Fr.Regs[I->dst()] = Value::intV((int32_t)A.arr()->Elems.size());
+        break;
+      }
+      case Opcode::GlobalGet:
+        Fr.Regs[I->dst()] = Globals[I->Index];
+        break;
+      case Opcode::GlobalSet:
+        Globals[I->Index] = Fr.Regs[I->Args[0]];
+        break;
+      case Opcode::CallFunc: {
+        if (!I->TypeArgs.empty())
+          Counters.TypeArgsPassed += I->TypeArgs.size();
+        std::vector<Type *> CalleeArgs;
+        CalleeArgs.reserve(I->TypeArgs.size());
+        for (Type *T : I->TypeArgs)
+          CalleeArgs.push_back(evalType(Fr, T));
+        std::vector<Value> CallArgs;
+        CallArgs.reserve(I->Args.size());
+        for (Reg A : I->Args)
+          CallArgs.push_back(Fr.Regs[A]);
+        std::vector<Value> R = exec(I->Callee, std::move(CalleeArgs),
+                                    std::move(CallArgs));
+        for (size_t K = 0; K != I->Dsts.size(); ++K)
+          Fr.Regs[I->Dsts[K]] = std::move(R[K]);
+        break;
+      }
+      case Opcode::CallVirtual: {
+        std::vector<Value> CallArgs;
+        CallArgs.reserve(I->Args.size());
+        for (Reg A : I->Args)
+          CallArgs.push_back(Fr.Regs[A]);
+        if (CallArgs.empty() || CallArgs[0].isNull())
+          trap(TrapKind::NullDeref);
+        const Value &Recv = CallArgs[0];
+        IrClass *Dyn = Recv.obj()->Cls;
+        IrFunction *Target = Dyn->VTable[I->Index];
+        if (!Target)
+          trap(TrapKind::Unreachable, "abstract method");
+        // Overrides may change the tuple/scalars shape (paper p10-p17):
+        // adapt the non-receiver arguments dynamically.
+        std::vector<Value> Rest(CallArgs.begin() + 1, CallArgs.end());
+        adaptArgs(Rest, Target->NumParams - 1);
+        std::vector<Value> Final;
+        Final.push_back(CallArgs[0]);
+        Final.insert(Final.end(), Rest.begin(), Rest.end());
+        std::vector<Type *> ClassArgs;
+        if (Target->OwnerClass && Target->OwnerClass->Def) {
+          ClassType *At =
+              Rels.superAt(cast<ClassType>(Recv.obj()->DynType),
+                           Target->OwnerClass->Def);
+          assert(At && "dispatch owner not on chain");
+          ClassArgs = At->args();
+        }
+        std::vector<Value> R =
+            exec(Target, std::move(ClassArgs), std::move(Final));
+        for (size_t K = 0; K != I->Dsts.size(); ++K)
+          Fr.Regs[I->Dsts[K]] = std::move(R[K]);
+        break;
+      }
+      case Opcode::CallIndirect: {
+        const Value &FnV = Fr.Regs[I->Args[0]];
+        if (FnV.isNull())
+          trap(TrapKind::NullDeref);
+        std::vector<Value> CallArgs;
+        for (size_t K = 1; K != I->Args.size(); ++K)
+          CallArgs.push_back(Fr.Regs[I->Args[K]]);
+        std::vector<Value> R =
+            invokeClosure(*FnV.clo(), std::move(CallArgs));
+        for (size_t K = 0; K != I->Dsts.size(); ++K)
+          Fr.Regs[I->Dsts[K]] = std::move(R[K]);
+        break;
+      }
+      case Opcode::CallBuiltin: {
+        std::vector<Value> CallArgs;
+        for (Reg A : I->Args)
+          CallArgs.push_back(Fr.Regs[A]);
+        Value R = runBuiltin(I->Index, CallArgs);
+        if (!I->Dsts.empty())
+          Fr.Regs[I->dst()] = std::move(R);
+        break;
+      }
+      case Opcode::MakeClosure: {
+        auto Data = std::make_shared<ClosureData>();
+        Data->Fn = I->Callee;
+        for (Type *T : I->TypeArgs)
+          Data->TypeArgs.push_back(evalType(Fr, T));
+        if (!I->Args.empty()) {
+          Data->HasBound = true;
+          Data->Bound = std::make_shared<Value>(Fr.Regs[I->Args[0]]);
+          // Bound virtual methods resolve their target now, against the
+          // receiver's dynamic type.
+          if (Data->Fn->Slot >= 0 && Data->Fn->OwnerClass) {
+            if (Data->Bound->isNull())
+              trap(TrapKind::NullDeref);
+            IrClass *Dyn = Data->Bound->obj()->Cls;
+            IrFunction *Impl = Dyn->VTable[Data->Fn->Slot];
+            if (!Impl)
+              trap(TrapKind::Unreachable, "abstract method");
+            Data->Fn = Impl;
+            Data->TypeArgs.clear();
+            if (Impl->OwnerClass && Impl->OwnerClass->Def) {
+              ClassType *At = Rels.superAt(
+                  cast<ClassType>(Data->Bound->obj()->DynType),
+                  Impl->OwnerClass->Def);
+              assert(At && "bound owner not on chain");
+              Data->TypeArgs = At->args();
+            }
+          }
+        }
+        TypeSubst CloSubst{Data->Fn->TypeParams, Data->TypeArgs};
+        Data->DynType =
+            closureDynType(Types, Data->Fn, CloSubst, Data->HasBound);
+        ++Counters.HeapClosures;
+        Fr.Regs[I->dst()] = Value::closure(std::move(Data));
+        break;
+      }
+      case Opcode::TypeCast: {
+        Type *Target = evalType(Fr, I->TypeOperand);
+        Value Out;
+        if (!valueCast(Fr.Regs[I->Args[0]], Target, Out))
+          trap(TrapKind::CastFail, "to " + Target->toString());
+        Fr.Regs[I->dst()] = std::move(Out);
+        break;
+      }
+      case Opcode::TypeQuery: {
+        Type *Target = evalType(Fr, I->TypeOperand);
+        Fr.Regs[I->dst()] =
+            Value::boolV(valueQuery(Fr.Regs[I->Args[0]], Target));
+        break;
+      }
+      case Opcode::Ret: {
+        --Depth;
+        std::vector<Value> Rets;
+        Rets.reserve(I->Args.size());
+        for (Reg A : I->Args)
+          Rets.push_back(Fr.Regs[A]);
+        return Rets;
+      }
+      case Opcode::Br:
+        Next = Block->Succ0;
+        break;
+      case Opcode::CondBr:
+        Next = Fr.Regs[I->Args[0]].asBool() ? Block->Succ0 : Block->Succ1;
+        break;
+      case Opcode::Trap:
+        trap((TrapKind)I->Index);
+        break;
+      }
+    }
+    assert(Next && "block fell through without a terminator");
+    Block = Next;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+bool Interpreter::runInit() {
+  Globals.clear();
+  for (const IrGlobal &G : M.Globals)
+    Globals.push_back(defaultOf(G.Ty));
+  if (!M.Init)
+    return true;
+  try {
+    exec(M.Init, {}, {});
+    return true;
+  } catch (TrapUnwind &) {
+    Depth = 0;
+    return false;
+  }
+}
+
+InterpResult Interpreter::run() {
+  InterpResult R;
+  Globals.clear();
+  for (const IrGlobal &G : M.Globals)
+    Globals.push_back(defaultOf(G.Ty));
+  try {
+    if (M.Init)
+      exec(M.Init, {}, {});
+    if (M.Main) {
+      std::vector<Value> Rets = exec(M.Main, {}, {});
+      R.Result = Rets.empty() ? Value::voidV() : std::move(Rets[0]);
+    }
+  } catch (TrapUnwind &T) {
+    Depth = 0;
+    R.Trapped = true;
+    R.TrapMessage = T.Message;
+  }
+  R.Output = Output;
+  R.Counters = Counters;
+  return R;
+}
+
+InterpResult Interpreter::call(IrFunction *F, std::vector<Type *> TypeArgs,
+                               std::vector<Value> Args) {
+  InterpResult R;
+  try {
+    std::vector<Value> Rets = exec(F, std::move(TypeArgs), std::move(Args));
+    R.Result = Rets.empty() ? Value::voidV() : std::move(Rets[0]);
+  } catch (TrapUnwind &T) {
+    Depth = 0;
+    R.Trapped = true;
+    R.TrapMessage = T.Message;
+  }
+  R.Output = Output;
+  R.Counters = Counters;
+  return R;
+}

@@ -1,0 +1,96 @@
+//===- interp/Value.cpp ---------------------------------------------------===//
+
+#include "interp/Value.h"
+
+#include <sstream>
+
+using namespace virgil;
+
+bool virgil::valueEquals(const Value &A, const Value &B) {
+  // Null compares equal only to null.
+  if (A.isNull() || B.isNull())
+    return A.isNull() && B.isNull();
+  if (A.kind() != B.kind())
+    return false;
+  switch (A.kind()) {
+  case Value::Kind::Void:
+    return true; // () == ().
+  case Value::Kind::Bool:
+    return A.asBool() == B.asBool();
+  case Value::Kind::Byte:
+    return A.asByte() == B.asByte();
+  case Value::Kind::Int:
+    return A.asInt() == B.asInt();
+  case Value::Kind::Object:
+    return A.obj().get() == B.obj().get();
+  case Value::Kind::ArrayV:
+    return A.arr().get() == B.arr().get();
+  case Value::Kind::Closure: {
+    const ClosureData *CA = A.clo().get();
+    const ClosureData *CB = B.clo().get();
+    if (CA == CB)
+      return true;
+    if (CA->Fn != CB->Fn || CA->TypeArgs != CB->TypeArgs ||
+        CA->HasBound != CB->HasBound)
+      return false;
+    if (!CA->HasBound)
+      return true;
+    return valueEquals(*CA->Bound, *CB->Bound);
+  }
+  case Value::Kind::TupleV: {
+    const TupleData *TA = A.tup().get();
+    const TupleData *TB = B.tup().get();
+    if (TA->Elems.size() != TB->Elems.size())
+      return false;
+    for (size_t I = 0; I != TA->Elems.size(); ++I)
+      if (!valueEquals(TA->Elems[I], TB->Elems[I]))
+        return false;
+    return true;
+  }
+  case Value::Kind::Null:
+    return true;
+  }
+  return false;
+}
+
+std::string Value::toString() const {
+  std::ostringstream OS;
+  switch (K) {
+  case Kind::Void:
+    OS << "()";
+    break;
+  case Kind::Bool:
+    OS << (asBool() ? "true" : "false");
+    break;
+  case Kind::Byte:
+    OS << "'" << (char)asByte() << "'";
+    break;
+  case Kind::Int:
+    OS << asInt();
+    break;
+  case Kind::Null:
+    OS << "null";
+    break;
+  case Kind::Object:
+    OS << "<" << (Obj && Obj->Cls ? Obj->Cls->Name : "object") << ">";
+    break;
+  case Kind::ArrayV:
+    OS << "[" << (Arr ? Arr->Elems.size() : 0) << " elems]";
+    break;
+  case Kind::Closure:
+    OS << "<fn " << (Clo && Clo->Fn ? Clo->Fn->Name : "?") << ">";
+    break;
+  case Kind::TupleV: {
+    OS << '(';
+    if (Tup)
+      for (size_t I = 0; I != Tup->Elems.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << Tup->Elems[I].toString();
+      }
+    OS << ')';
+    break;
+  }
+  }
+  return OS.str();
+}

@@ -1,0 +1,152 @@
+//===- interp/Value.h - Boxed runtime values --------------------*- C++ -*-===//
+///
+/// \file
+/// Values for the reference interpreter. This representation follows
+/// the paper's *interpreter* strategy deliberately: tuples are boxed
+/// heap values, objects/arrays/closures carry their concrete runtime
+/// types (the "type information stored within objects, arrays and
+/// closures" of §4.3), and equality/casts/queries are implemented
+/// recursively over them. The compiled pipeline (mono + normalize + VM)
+/// exists precisely to eliminate the costs this representation makes
+/// visible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_INTERP_VALUE_H
+#define VIRGIL_INTERP_VALUE_H
+
+#include "ir/Ir.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace virgil {
+
+class Value;
+
+struct ObjectData {
+  IrClass *Cls = nullptr;
+  /// Concrete type arguments of the object's class.
+  std::vector<Type *> TypeArgs;
+  /// The concrete dynamic class type (classType(Cls->Def, TypeArgs)).
+  Type *DynType = nullptr;
+  std::vector<Value> Fields;
+};
+
+struct ArrayData {
+  Type *ElemType = nullptr; ///< Concrete element type.
+  std::vector<Value> Elems;
+};
+
+struct ClosureData {
+  IrFunction *Fn = nullptr;
+  /// Concrete type arguments for Fn's type parameters.
+  std::vector<Type *> TypeArgs;
+  bool HasBound = false;
+  std::shared_ptr<Value> Bound;
+  /// Concrete function type of this value (its dynamic type).
+  Type *DynType = nullptr;
+};
+
+struct TupleData {
+  std::vector<Value> Elems;
+};
+
+/// A boxed runtime value.
+class Value {
+public:
+  enum class Kind : uint8_t {
+    Void,
+    Bool,
+    Byte,
+    Int,
+    Null,
+    Object,
+    ArrayV,
+    Closure,
+    TupleV,
+  };
+
+  Value() : K(Kind::Void) {}
+
+  static Value voidV() { return Value(); }
+  static Value boolV(bool B) {
+    Value V;
+    V.K = Kind::Bool;
+    V.I = B ? 1 : 0;
+    return V;
+  }
+  static Value byteV(uint8_t B) {
+    Value V;
+    V.K = Kind::Byte;
+    V.I = B;
+    return V;
+  }
+  static Value intV(int32_t N) {
+    Value V;
+    V.K = Kind::Int;
+    V.I = N;
+    return V;
+  }
+  static Value nullV() {
+    Value V;
+    V.K = Kind::Null;
+    return V;
+  }
+  static Value object(std::shared_ptr<ObjectData> O) {
+    Value V;
+    V.K = Kind::Object;
+    V.Obj = std::move(O);
+    return V;
+  }
+  static Value array(std::shared_ptr<ArrayData> A) {
+    Value V;
+    V.K = Kind::ArrayV;
+    V.Arr = std::move(A);
+    return V;
+  }
+  static Value closure(std::shared_ptr<ClosureData> C) {
+    Value V;
+    V.K = Kind::Closure;
+    V.Clo = std::move(C);
+    return V;
+  }
+  static Value tuple(std::shared_ptr<TupleData> T) {
+    Value V;
+    V.K = Kind::TupleV;
+    V.Tup = std::move(T);
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isVoid() const { return K == Kind::Void; }
+  bool isNull() const { return K == Kind::Null; }
+  bool asBool() const { return I != 0; }
+  uint8_t asByte() const { return (uint8_t)I; }
+  int32_t asInt() const { return (int32_t)I; }
+  const std::shared_ptr<ObjectData> &obj() const { return Obj; }
+  const std::shared_ptr<ArrayData> &arr() const { return Arr; }
+  const std::shared_ptr<ClosureData> &clo() const { return Clo; }
+  const std::shared_ptr<TupleData> &tup() const { return Tup; }
+
+  /// Debug rendering.
+  std::string toString() const;
+
+private:
+  Kind K;
+  int64_t I = 0;
+  std::shared_ptr<ObjectData> Obj;
+  std::shared_ptr<ArrayData> Arr;
+  std::shared_ptr<ClosureData> Clo;
+  std::shared_ptr<TupleData> Tup;
+};
+
+/// Universal equality (paper §2: all types support ==); recursive on
+/// tuples, identity on objects/arrays, function+receiver(+type args) on
+/// closures.
+bool valueEquals(const Value &A, const Value &B);
+
+} // namespace virgil
+
+#endif // VIRGIL_INTERP_VALUE_H

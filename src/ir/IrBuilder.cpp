@@ -1,0 +1,242 @@
+//===- ir/IrBuilder.cpp ---------------------------------------------------===//
+
+#include "ir/IrBuilder.h"
+
+#include <cassert>
+
+using namespace virgil;
+
+IrInstr *IrBuilder::emit(Opcode Op, std::vector<Reg> Dsts,
+                         std::vector<Reg> Args, Type *Ty, SourceLoc Loc) {
+  assert(Cur && "no current block");
+  assert(!terminated() && "appending to a terminated block");
+  auto *I = M.Nodes.make<IrInstr>();
+  I->Op = Op;
+  I->Dsts = std::move(Dsts);
+  I->Args = std::move(Args);
+  I->Ty = Ty;
+  I->Loc = Loc;
+  Cur->Instrs.push_back(I);
+  return I;
+}
+
+Reg IrBuilder::constInt(int64_t V, Type *IntTy) {
+  Reg D = F->newReg(IntTy);
+  emit(Opcode::ConstInt, {D}, {}, IntTy)->IntConst = (int32_t)V;
+  return D;
+}
+
+Reg IrBuilder::constByte(uint8_t V, Type *ByteTy) {
+  Reg D = F->newReg(ByteTy);
+  emit(Opcode::ConstByte, {D}, {}, ByteTy)->IntConst = V;
+  return D;
+}
+
+Reg IrBuilder::constBool(bool V, Type *BoolTy) {
+  Reg D = F->newReg(BoolTy);
+  emit(Opcode::ConstBool, {D}, {}, BoolTy)->IntConst = V ? 1 : 0;
+  return D;
+}
+
+Reg IrBuilder::constNull(Type *Ty) {
+  Reg D = F->newReg(Ty);
+  emit(Opcode::ConstNull, {D}, {}, Ty);
+  return D;
+}
+
+Reg IrBuilder::constVoid(Type *VoidTy) {
+  Reg D = F->newReg(VoidTy);
+  emit(Opcode::ConstVoid, {D}, {}, VoidTy);
+  return D;
+}
+
+Reg IrBuilder::constString(const std::string &S, Type *StringTy) {
+  Reg D = F->newReg(StringTy);
+  emit(Opcode::ConstString, {D}, {}, StringTy)->Index = M.internString(S);
+  return D;
+}
+
+Reg IrBuilder::move(Reg Src, Type *Ty) {
+  Reg D = F->newReg(Ty);
+  emit(Opcode::Move, {D}, {Src}, Ty);
+  return D;
+}
+
+void IrBuilder::moveInto(Reg Dst, Reg Src, Type *Ty) {
+  emit(Opcode::Move, {Dst}, {Src}, Ty);
+}
+
+Reg IrBuilder::binop(Opcode Op, Reg A, Reg B, Type *ResultTy) {
+  Reg D = F->newReg(ResultTy);
+  emit(Op, {D}, {A, B}, ResultTy);
+  return D;
+}
+
+Reg IrBuilder::unop(Opcode Op, Reg A, Type *ResultTy) {
+  Reg D = F->newReg(ResultTy);
+  emit(Op, {D}, {A}, ResultTy);
+  return D;
+}
+
+Reg IrBuilder::equality(bool Negated, Reg A, Reg B, Type *OperandTy,
+                        Type *BoolTy) {
+  Reg D = F->newReg(BoolTy);
+  IrInstr *I = emit(Negated ? Opcode::Ne : Opcode::Eq, {D}, {A, B}, BoolTy);
+  I->TypeOperand = OperandTy;
+  return D;
+}
+
+Reg IrBuilder::tupleCreate(std::vector<Reg> Elems, Type *TupleTy) {
+  Reg D = F->newReg(TupleTy);
+  emit(Opcode::TupleCreate, {D}, std::move(Elems), TupleTy);
+  return D;
+}
+
+Reg IrBuilder::tupleGet(Reg Tuple, int Index, Type *ElemTy) {
+  Reg D = F->newReg(ElemTy);
+  emit(Opcode::TupleGet, {D}, {Tuple}, ElemTy)->Index = Index;
+  return D;
+}
+
+Reg IrBuilder::newObject(Type *ClassTy) {
+  Reg D = F->newReg(ClassTy);
+  emit(Opcode::NewObject, {D}, {}, ClassTy)->TypeOperand = ClassTy;
+  return D;
+}
+
+Reg IrBuilder::fieldGet(Reg Obj, int FieldIndex, Type *RecvTy,
+                        Type *FieldTy) {
+  Reg D = F->newReg(FieldTy);
+  IrInstr *I = emit(Opcode::FieldGet, {D}, {Obj}, FieldTy);
+  I->TypeOperand = RecvTy;
+  I->Index = FieldIndex;
+  return D;
+}
+
+void IrBuilder::fieldSet(Reg Obj, int FieldIndex, Reg Value, Type *RecvTy) {
+  IrInstr *I = emit(Opcode::FieldSet, {}, {Obj, Value});
+  I->TypeOperand = RecvTy;
+  I->Index = FieldIndex;
+}
+
+void IrBuilder::nullCheck(Reg Obj, Type *RecvTy) {
+  emit(Opcode::NullCheck, {}, {Obj})->TypeOperand = RecvTy;
+}
+
+Reg IrBuilder::newArray(Reg Len, Type *ArrayTy) {
+  Reg D = F->newReg(ArrayTy);
+  emit(Opcode::NewArray, {D}, {Len}, ArrayTy)->TypeOperand = ArrayTy;
+  return D;
+}
+
+Reg IrBuilder::arrayGet(Reg Arr, Reg Index, Type *ElemTy) {
+  Reg D = F->newReg(ElemTy);
+  emit(Opcode::ArrayGet, {D}, {Arr, Index}, ElemTy);
+  return D;
+}
+
+void IrBuilder::arraySet(Reg Arr, Reg Index, Reg Value) {
+  emit(Opcode::ArraySet, {}, {Arr, Index, Value});
+}
+
+Reg IrBuilder::arrayLen(Reg Arr, Type *IntTy) {
+  Reg D = F->newReg(IntTy);
+  emit(Opcode::ArrayLen, {D}, {Arr}, IntTy);
+  return D;
+}
+
+Reg IrBuilder::globalGet(int Index, Type *Ty) {
+  Reg D = F->newReg(Ty);
+  emit(Opcode::GlobalGet, {D}, {}, Ty)->Index = Index;
+  return D;
+}
+
+void IrBuilder::globalSet(int Index, Reg Value) {
+  emit(Opcode::GlobalSet, {}, {Value})->Index = Index;
+}
+
+IrInstr *IrBuilder::callFunc(IrFunction *Callee,
+                             std::vector<Type *> TypeArgs,
+                             std::vector<Reg> Args, std::vector<Reg> Dsts) {
+  IrInstr *I = emit(Opcode::CallFunc, std::move(Dsts), std::move(Args));
+  I->Callee = Callee;
+  I->TypeArgs = std::move(TypeArgs);
+  if (!I->Dsts.empty())
+    I->Ty = F->RegTypes[I->Dsts[0]];
+  return I;
+}
+
+IrInstr *IrBuilder::callVirtual(int Slot, Type *RecvClassTy,
+                                std::vector<Type *> TypeArgs,
+                                std::vector<Reg> Args,
+                                std::vector<Reg> Dsts) {
+  IrInstr *I = emit(Opcode::CallVirtual, std::move(Dsts), std::move(Args));
+  I->TypeOperand = RecvClassTy;
+  I->Index = Slot;
+  I->TypeArgs = std::move(TypeArgs);
+  if (!I->Dsts.empty())
+    I->Ty = F->RegTypes[I->Dsts[0]];
+  return I;
+}
+
+IrInstr *IrBuilder::callIndirect(Reg Fn, std::vector<Reg> Args,
+                                 std::vector<Reg> Dsts) {
+  std::vector<Reg> All;
+  All.push_back(Fn);
+  All.insert(All.end(), Args.begin(), Args.end());
+  IrInstr *I = emit(Opcode::CallIndirect, std::move(Dsts), std::move(All));
+  if (!I->Dsts.empty())
+    I->Ty = F->RegTypes[I->Dsts[0]];
+  return I;
+}
+
+IrInstr *IrBuilder::callBuiltin(int Builtin, std::vector<Reg> Args,
+                                std::vector<Reg> Dsts) {
+  IrInstr *I = emit(Opcode::CallBuiltin, std::move(Dsts), std::move(Args));
+  I->Index = Builtin;
+  if (!I->Dsts.empty())
+    I->Ty = F->RegTypes[I->Dsts[0]];
+  return I;
+}
+
+Reg IrBuilder::makeClosure(IrFunction *Callee, std::vector<Type *> TypeArgs,
+                           std::vector<Reg> Bound, Type *FnTy) {
+  Reg D = F->newReg(FnTy);
+  IrInstr *I = emit(Opcode::MakeClosure, {D}, std::move(Bound), FnTy);
+  I->Callee = Callee;
+  I->TypeArgs = std::move(TypeArgs);
+  return D;
+}
+
+Reg IrBuilder::typeCast(Reg V, Type *Target, SourceLoc Loc) {
+  Reg D = F->newReg(Target);
+  IrInstr *I = emit(Opcode::TypeCast, {D}, {V}, Target, Loc);
+  I->TypeOperand = Target;
+  return D;
+}
+
+Reg IrBuilder::typeQuery(Reg V, Type *Target, Type *BoolTy) {
+  Reg D = F->newReg(BoolTy);
+  IrInstr *I = emit(Opcode::TypeQuery, {D}, {V}, BoolTy);
+  I->TypeOperand = Target;
+  return D;
+}
+
+void IrBuilder::ret(std::vector<Reg> Values) {
+  emit(Opcode::Ret, {}, std::move(Values));
+}
+
+void IrBuilder::br(IrBlock *Target) {
+  emit(Opcode::Br, {}, {});
+  Cur->Succ0 = Target;
+}
+
+void IrBuilder::condBr(Reg Cond, IrBlock *TrueB, IrBlock *FalseB) {
+  emit(Opcode::CondBr, {}, {Cond});
+  Cur->Succ0 = TrueB;
+  Cur->Succ1 = FalseB;
+}
+
+void IrBuilder::trap(TrapKind Kind, SourceLoc Loc) {
+  emit(Opcode::Trap, {}, {}, nullptr, Loc)->Index = (int)Kind;
+}

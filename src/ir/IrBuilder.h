@@ -1,0 +1,103 @@
+//===- ir/IrBuilder.h - Convenience builder for IR --------------*- C++ -*-===//
+///
+/// \file
+/// Appends instructions to a current block, allocating result registers
+/// from the enclosing function. Lowering and the monomorphizer use it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_IR_IRBUILDER_H
+#define VIRGIL_IR_IRBUILDER_H
+
+#include "ir/Ir.h"
+
+namespace virgil {
+
+class IrBuilder {
+public:
+  IrBuilder(IrModule &M, IrFunction *F) : M(M), F(F) {}
+
+  IrFunction *function() const { return F; }
+  IrModule &module() const { return M; }
+
+  IrBlock *newBlock() {
+    auto *B = M.Nodes.make<IrBlock>((uint32_t)F->Blocks.size());
+    F->Blocks.push_back(B);
+    return B;
+  }
+
+  void setBlock(IrBlock *B) { Cur = B; }
+  IrBlock *block() const { return Cur; }
+
+  /// True if the current block already ends in a terminator.
+  bool terminated() const {
+    return Cur && !Cur->Instrs.empty() &&
+           isTerminator(Cur->Instrs.back()->Op);
+  }
+
+  /// Appends a raw instruction (shared low-level entry point).
+  IrInstr *emit(Opcode Op, std::vector<Reg> Dsts, std::vector<Reg> Args,
+                Type *Ty = nullptr, SourceLoc Loc = SourceLoc::invalid());
+
+  // Constants.
+  Reg constInt(int64_t V, Type *IntTy);
+  Reg constByte(uint8_t V, Type *ByteTy);
+  Reg constBool(bool V, Type *BoolTy);
+  Reg constNull(Type *Ty);
+  Reg constVoid(Type *VoidTy);
+  Reg constString(const std::string &S, Type *StringTy);
+
+  Reg move(Reg Src, Type *Ty);
+  void moveInto(Reg Dst, Reg Src, Type *Ty);
+
+  Reg binop(Opcode Op, Reg A, Reg B, Type *ResultTy);
+  Reg unop(Opcode Op, Reg A, Type *ResultTy);
+  /// Universal equality of two values of static type \p OperandTy.
+  Reg equality(bool Negated, Reg A, Reg B, Type *OperandTy, Type *BoolTy);
+
+  Reg tupleCreate(std::vector<Reg> Elems, Type *TupleTy);
+  Reg tupleGet(Reg Tuple, int Index, Type *ElemTy);
+
+  Reg newObject(Type *ClassTy);
+  Reg fieldGet(Reg Obj, int FieldIndex, Type *RecvTy, Type *FieldTy);
+  void fieldSet(Reg Obj, int FieldIndex, Reg Value, Type *RecvTy);
+  void nullCheck(Reg Obj, Type *RecvTy);
+
+  Reg newArray(Reg Len, Type *ArrayTy);
+  Reg arrayGet(Reg Arr, Reg Index, Type *ElemTy);
+  void arraySet(Reg Arr, Reg Index, Reg Value);
+  Reg arrayLen(Reg Arr, Type *IntTy);
+
+  Reg globalGet(int Index, Type *Ty);
+  void globalSet(int Index, Reg Value);
+
+  IrInstr *callFunc(IrFunction *Callee, std::vector<Type *> TypeArgs,
+                    std::vector<Reg> Args, std::vector<Reg> Dsts);
+  IrInstr *callVirtual(int Slot, Type *RecvClassTy,
+                       std::vector<Type *> TypeArgs, std::vector<Reg> Args,
+                       std::vector<Reg> Dsts);
+  IrInstr *callIndirect(Reg Fn, std::vector<Reg> Args,
+                        std::vector<Reg> Dsts);
+  IrInstr *callBuiltin(int Builtin, std::vector<Reg> Args,
+                       std::vector<Reg> Dsts);
+
+  Reg makeClosure(IrFunction *Callee, std::vector<Type *> TypeArgs,
+                  std::vector<Reg> Bound, Type *FnTy);
+
+  Reg typeCast(Reg V, Type *Target, SourceLoc Loc);
+  Reg typeQuery(Reg V, Type *Target, Type *BoolTy);
+
+  void ret(std::vector<Reg> Values);
+  void br(IrBlock *Target);
+  void condBr(Reg Cond, IrBlock *TrueB, IrBlock *FalseB);
+  void trap(TrapKind Kind, SourceLoc Loc = SourceLoc::invalid());
+
+private:
+  IrModule &M;
+  IrFunction *F;
+  IrBlock *Cur = nullptr;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_IR_IRBUILDER_H

@@ -1,0 +1,135 @@
+//===- ir/IrPrinter.cpp ---------------------------------------------------===//
+
+#include "ir/IrPrinter.h"
+
+#include <sstream>
+
+using namespace virgil;
+
+namespace {
+
+void printInstr(std::ostringstream &OS, const IrInstr &I) {
+  OS << "  ";
+  if (!I.Dsts.empty()) {
+    for (size_t K = 0; K != I.Dsts.size(); ++K) {
+      if (K)
+        OS << ", ";
+      OS << '%' << I.Dsts[K];
+    }
+    OS << " = ";
+  }
+  OS << opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::ConstInt:
+  case Opcode::ConstByte:
+  case Opcode::ConstBool:
+    OS << ' ' << I.IntConst;
+    break;
+  case Opcode::ConstString:
+    OS << " #" << I.Index;
+    break;
+  case Opcode::TupleGet:
+  case Opcode::FieldGet:
+  case Opcode::FieldSet:
+  case Opcode::GlobalGet:
+  case Opcode::GlobalSet:
+  case Opcode::CallBuiltin:
+    OS << " #" << I.Index;
+    break;
+  case Opcode::CallVirtual:
+    OS << " slot=" << I.Index;
+    break;
+  case Opcode::Trap:
+    OS << " (" << trapKindName((TrapKind)I.Index) << ')';
+    break;
+  default:
+    break;
+  }
+  if (I.Callee)
+    OS << " @" << I.Callee->Name;
+  if (I.TypeOperand)
+    OS << " <" << I.TypeOperand->toString() << '>';
+  if (!I.TypeArgs.empty()) {
+    OS << " [";
+    for (size_t K = 0; K != I.TypeArgs.size(); ++K) {
+      if (K)
+        OS << ", ";
+      OS << I.TypeArgs[K]->toString();
+    }
+    OS << ']';
+  }
+  for (Reg A : I.Args)
+    OS << " %" << A;
+  if (I.Ty)
+    OS << "  : " << I.Ty->toString();
+  OS << '\n';
+}
+
+} // namespace
+
+std::string virgil::printFunction(const IrFunction &F) {
+  std::ostringstream OS;
+  OS << "func @" << F.Name;
+  if (!F.TypeParams.empty()) {
+    OS << '<';
+    for (size_t I = 0; I != F.TypeParams.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << *F.TypeParams[I]->Name;
+    }
+    OS << '>';
+  }
+  OS << '(';
+  for (uint32_t I = 0; I != F.NumParams; ++I) {
+    if (I)
+      OS << ", ";
+    OS << '%' << I << ": " << F.RegTypes[I]->toString();
+  }
+  OS << ") -> (";
+  for (size_t I = 0; I != F.RetTypes.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << F.RetTypes[I]->toString();
+  }
+  OS << ")\n";
+  for (const IrBlock *B : F.Blocks) {
+    OS << "b" << B->id() << ":";
+    if (B->Succ0)
+      OS << "  // -> b" << B->Succ0->id();
+    if (B->Succ1)
+      OS << ", b" << B->Succ1->id();
+    OS << '\n';
+    for (const IrInstr *I : B->Instrs)
+      printInstr(OS, *I);
+  }
+  return OS.str();
+}
+
+std::string virgil::printModule(const IrModule &M) {
+  std::ostringstream OS;
+  for (const IrClass *C : M.Classes) {
+    OS << "class #" << C->Id << ' ' << C->Name;
+    if (C->Parent)
+      OS << " extends #" << C->Parent->Id;
+    OS << " {";
+    for (size_t I = 0; I != C->Fields.size(); ++I) {
+      if (I)
+        OS << ';';
+      OS << ' ' << C->Fields[I].Name << ": "
+         << C->Fields[I].Ty->toString();
+    }
+    OS << " } vtable[";
+    for (size_t I = 0; I != C->VTable.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << (C->VTable[I] ? C->VTable[I]->Name : std::string("<abstract>"));
+    }
+    OS << "]\n";
+  }
+  for (const IrGlobal &G : M.Globals)
+    OS << "global #" << G.Index << ' ' << G.Name << ": "
+       << G.Ty->toString() << '\n';
+  for (const IrFunction *F : M.Functions)
+    OS << printFunction(*F) << '\n';
+  return OS.str();
+}

@@ -1,0 +1,23 @@
+//===- ir/IrPrinter.h - Textual IR dump -------------------------*- C++ -*-===//
+///
+/// \file
+/// Renders IR functions and modules as readable text, used by tests and
+/// `virgilc --dump-ir`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_IR_IRPRINTER_H
+#define VIRGIL_IR_IRPRINTER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+
+namespace virgil {
+
+std::string printFunction(const IrFunction &F);
+std::string printModule(const IrModule &M);
+
+} // namespace virgil
+
+#endif // VIRGIL_IR_IRPRINTER_H

@@ -1,0 +1,59 @@
+//===- ir/IrStats.cpp -----------------------------------------------------===//
+
+#include "ir/IrStats.h"
+
+#include <sstream>
+
+using namespace virgil;
+
+IrStats virgil::computeStats(const IrModule &M) {
+  IrStats S;
+  S.NumFunctions = M.Functions.size();
+  S.NumClasses = M.Classes.size();
+  for (const IrFunction *F : M.Functions) {
+    S.NumBlocks += F->Blocks.size();
+    S.NumRegs += F->RegTypes.size();
+    for (const IrBlock *B : F->Blocks) {
+      for (const IrInstr *I : B->Instrs) {
+        ++S.NumInstrs;
+        ++S.PerOpcode[I->Op];
+        switch (I->Op) {
+        case Opcode::TupleCreate:
+        case Opcode::TupleGet:
+          ++S.NumTupleOps;
+          break;
+        case Opcode::TypeCast:
+        case Opcode::TypeQuery:
+          ++S.NumCasts;
+          break;
+        case Opcode::CallFunc:
+        case Opcode::CallBuiltin:
+          ++S.NumCalls;
+          break;
+        case Opcode::CallVirtual:
+          ++S.NumCalls;
+          ++S.NumVirtualCalls;
+          break;
+        case Opcode::CallIndirect:
+          ++S.NumCalls;
+          ++S.NumIndirectCalls;
+          break;
+        default:
+          break;
+        }
+      }
+    }
+  }
+  return S;
+}
+
+std::string IrStats::toString() const {
+  std::ostringstream OS;
+  OS << "functions=" << NumFunctions << " classes=" << NumClasses
+     << " blocks=" << NumBlocks << " instrs=" << NumInstrs
+     << " regs=" << NumRegs << " tupleops=" << NumTupleOps
+     << " casts=" << NumCasts << " calls=" << NumCalls
+     << " (indirect=" << NumIndirectCalls
+     << ", virtual=" << NumVirtualCalls << ")";
+  return OS.str();
+}

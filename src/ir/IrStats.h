@@ -1,0 +1,40 @@
+//===- ir/IrStats.h - Static program statistics -----------------*- C++ -*-===//
+///
+/// \file
+/// Counts functions, blocks, instructions, classes, and per-opcode
+/// histograms over an IrModule. The code-expansion experiment (E5) and
+/// the compiler's statistics output are built on these numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_IR_IRSTATS_H
+#define VIRGIL_IR_IRSTATS_H
+
+#include "ir/Ir.h"
+
+#include <map>
+#include <string>
+
+namespace virgil {
+
+struct IrStats {
+  size_t NumFunctions = 0;
+  size_t NumClasses = 0;
+  size_t NumBlocks = 0;
+  size_t NumInstrs = 0;
+  size_t NumRegs = 0;
+  size_t NumTupleOps = 0;     ///< TupleCreate/TupleGet.
+  size_t NumCasts = 0;        ///< TypeCast/TypeQuery.
+  size_t NumCalls = 0;        ///< All call opcodes.
+  size_t NumIndirectCalls = 0;
+  size_t NumVirtualCalls = 0;
+  std::map<Opcode, size_t> PerOpcode;
+
+  std::string toString() const;
+};
+
+IrStats computeStats(const IrModule &M);
+
+} // namespace virgil
+
+#endif // VIRGIL_IR_IRSTATS_H

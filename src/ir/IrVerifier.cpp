@@ -1,0 +1,133 @@
+//===- ir/IrVerifier.cpp --------------------------------------------------===//
+
+#include "ir/IrVerifier.h"
+
+#include "support/Casting.h"
+
+#include <set>
+#include <sstream>
+
+using namespace virgil;
+
+namespace {
+
+/// Does a type contain a tuple anywhere (normalization must remove
+/// them all, including inside arrays and closures' static types)?
+bool containsTuple(const Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Tuple:
+    return true;
+  case TypeKind::Array:
+    return containsTuple(cast<ArrayType>(T)->elem());
+  default:
+    // Function types may still *spell* tuples after normalization (a
+    // closure value's type is a single value); only direct tuple-typed
+    // registers and array elements matter for representation.
+    return false;
+  }
+}
+
+class Verifier {
+public:
+  explicit Verifier(const IrModule &M) : M(M) {}
+
+  std::vector<std::string> run() {
+    for (const IrFunction *F : M.Functions)
+      verifyFunction(*F);
+    return std::move(Problems);
+  }
+
+private:
+  void problem(const IrFunction &F, const std::string &Message) {
+    std::ostringstream OS;
+    OS << "in function '" << F.Name << "': " << Message;
+    Problems.push_back(OS.str());
+  }
+
+  void verifyFunction(const IrFunction &F) {
+    if (F.Blocks.empty()) {
+      problem(F, "function has no blocks");
+      return;
+    }
+    if (F.NumParams > F.RegTypes.size())
+      problem(F, "more parameters than registers");
+    if (!M.Normalized && F.RetTypes.size() != 1)
+      problem(F, "pre-normalization functions return exactly one value");
+    std::set<const IrBlock *> Owned(F.Blocks.begin(), F.Blocks.end());
+    for (const IrBlock *B : F.Blocks) {
+      if (B->Instrs.empty()) {
+        problem(F, "block b" + std::to_string(B->id()) + " is empty");
+        continue;
+      }
+      for (size_t I = 0; I != B->Instrs.size(); ++I) {
+        const IrInstr *Instr = B->Instrs[I];
+        bool Last = I + 1 == B->Instrs.size();
+        if (isTerminator(Instr->Op) != Last)
+          problem(F, "terminator placement wrong in block b" +
+                         std::to_string(B->id()));
+        verifyInstr(F, *Instr);
+      }
+      const IrInstr *T = B->Instrs.back();
+      if (T->Op == Opcode::Br && (!B->Succ0 || B->Succ1))
+        problem(F, "br must have exactly one successor");
+      if (T->Op == Opcode::CondBr && (!B->Succ0 || !B->Succ1))
+        problem(F, "cond.br must have two successors");
+      if ((T->Op == Opcode::Ret || T->Op == Opcode::Trap) &&
+          (B->Succ0 || B->Succ1))
+        problem(F, "ret/trap blocks cannot have successors");
+      if (B->Succ0 && !Owned.count(B->Succ0))
+        problem(F, "successor block not owned by function");
+      if (B->Succ1 && !Owned.count(B->Succ1))
+        problem(F, "successor block not owned by function");
+    }
+    if (M.Monomorphized && !F.TypeParams.empty())
+      problem(F, "type parameters remain after monomorphization");
+    for (size_t R = 0; R != F.RegTypes.size(); ++R) {
+      const Type *T = F.RegTypes[R];
+      if (!T) {
+        problem(F, "register %" + std::to_string(R) + " has no type");
+        continue;
+      }
+      if (M.Monomorphized && T->isPoly())
+        problem(F, "polymorphic register type remains after "
+                   "monomorphization: " +
+                       T->toString());
+      if (M.Normalized &&
+          (T->kind() == TypeKind::Tuple || containsTuple(T)))
+        problem(F, "tuple-typed register remains after normalization: " +
+                       T->toString());
+      if (M.Normalized && T->isVoid())
+        problem(F, "void-typed register remains after normalization");
+    }
+  }
+
+  void verifyInstr(const IrFunction &F, const IrInstr &I) {
+    for (Reg R : I.Args)
+      if (R >= F.RegTypes.size())
+        problem(F, "operand register out of range");
+    for (Reg R : I.Dsts)
+      if (R >= F.RegTypes.size())
+        problem(F, "destination register out of range");
+    if (M.Normalized) {
+      if (I.Op == Opcode::TupleCreate || I.Op == Opcode::TupleGet)
+        problem(F, "tuple instruction remains after normalization");
+    }
+    if (M.Monomorphized && !I.TypeArgs.empty())
+      problem(F, "type arguments remain after monomorphization");
+    if ((I.Op == Opcode::CallFunc || I.Op == Opcode::MakeClosure) &&
+        !I.Callee)
+      problem(F, "call/closure without a callee");
+    if (!M.Normalized && !I.Dsts.empty() && I.Dsts.size() != 1)
+      problem(F, "multi-result instruction before normalization");
+  }
+
+  const IrModule &M;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> virgil::verifyModule(const IrModule &M) {
+  Verifier V(M);
+  return V.run();
+}

@@ -1,0 +1,32 @@
+//===- ir/IrVerifier.h - IR well-formedness checks --------------*- C++ -*-===//
+///
+/// \file
+/// Structural verification of IR invariants, run between pipeline
+/// stages in tests and (in debug builds) by the compiler driver:
+///
+/// * every block ends in exactly one terminator, which is its last
+///   instruction, and branch targets belong to the function;
+/// * register uses are within range and types are consistent where the
+///   opcode dictates them;
+/// * post-monomorphization: no type parameters anywhere;
+/// * post-normalization: no tuple-typed registers and no tuple ops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_IR_IRVERIFIER_H
+#define VIRGIL_IR_IRVERIFIER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+#include <vector>
+
+namespace virgil {
+
+/// Verifies the module; returns a list of human-readable problems
+/// (empty means well-formed).
+std::vector<std::string> verifyModule(const IrModule &M);
+
+} // namespace virgil
+
+#endif // VIRGIL_IR_IRVERIFIER_H

@@ -1,0 +1,128 @@
+//===- lower/Lower.h - AST to IR lowering -----------------------*- C++ -*-===//
+///
+/// \file
+/// Lowers a checked module to polymorphic IR:
+///
+/// * classes become IrClasses with full layouts (field types rewritten
+///   in terms of the leaf class's own type parameters) and vtables;
+/// * methods take their receiver as parameter 0 — which is also what
+///   makes `A.m` a plain function value (paper §2.2, b3);
+/// * `C.new` lowers through a synthesized wrapper (allocate + invoke
+///   constructor) so constructors are first-class too (b7);
+/// * the four universal operators and System builtins get tiny
+///   synthesized functions, created on demand, so that `int.+`, `T.==`,
+///   and `A.!<B>` are ordinary closures (b8-b15) — while *direct*
+///   operator applications inline to single instructions;
+/// * direct calls adapt the syntactic argument list to the callee's
+///   declared parameter shape statically (tuple create/spread);
+///   indirect calls keep the caller's shape and rely on the runtime's
+///   dynamic adaptation until normalization removes it (§4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_LOWER_LOWER_H
+#define VIRGIL_LOWER_LOWER_H
+
+#include "ir/IrBuilder.h"
+#include "sema/Resolver.h"
+
+#include <map>
+
+namespace virgil {
+
+class Lowerer {
+public:
+  Lowerer(Resolver &R, IrModule &M);
+
+  /// Lowers the whole module; returns false on internal errors
+  /// (diagnostics carry details).
+  bool run();
+
+private:
+  // Module-level structure.
+  void createClasses();
+  void createFunctionStubs();
+  IrFunction *stubFor(MethodDecl *Method);
+  IrFunction *wrapperFor(ClassDecl *C);
+  void lowerGlobals();
+  void lowerAllBodies();
+
+  // Synthesized helpers (created on demand, cached).
+  IrFunction *eqFunc(bool Negated);
+  IrFunction *castFunc(bool IsQuery);
+  IrFunction *intArith(OpSel Op);
+  IrFunction *cmpFunc(OpSel Op, bool IsByte);
+  IrFunction *builtinFunc(BuiltinKind Kind);
+  IrFunction *arrayNewFunc();
+
+  // Per-body lowering.
+  void lowerBody(MethodDecl *Method);
+  void lowerCtorBody(ClassDecl *C);
+
+  // Statements.
+  void lowerStmt(Stmt *S);
+  void lowerBlockStmts(BlockStmt *B);
+
+  // Expressions. Returns the value register (void values get a real
+  // register pre-normalization).
+  Reg lowerExpr(Expr *E);
+  Reg lowerName(NameExpr *E);
+  Reg lowerMember(MemberExpr *E);
+  Reg lowerCall(CallExpr *E);
+  Reg lowerBinary(BinaryExpr *E);
+  Reg lowerAssign(BinaryExpr *E);
+  Reg lowerTernary(TernaryExpr *E);
+  Reg lowerShortCircuit(BinaryExpr *E);
+
+  /// Adapts the syntactic args of a direct call to the callee's
+  /// declared parameter count.
+  std::vector<Reg> adaptArgs(const std::vector<Expr *> &Args,
+                             const std::vector<Type *> &ParamTys,
+                             SourceLoc Loc);
+
+  /// Class-part type arguments for a method of \p Owner reached through
+  /// a receiver of static type \p RecvTy.
+  std::vector<Type *> classPartArgs(Type *RecvTy, ClassDecl *Owner);
+
+  /// Full type-argument vector (class part + method part) for a method
+  /// reference.
+  std::vector<Type *> fullTypeArgs(const RefInfo &Ref, MethodDecl *Method);
+
+  /// Builds a closure value for a resolved reference (paper §2.2).
+  Reg closureFor(const RefInfo &Ref, Type *FnTy, Expr *BoundBase,
+                 SourceLoc Loc);
+
+  Reg thisReg() const { return 0; }
+
+  /// Emits the default value of \p Ty (0 / false / null / ()); emits a
+  /// ConstDefault for type parameters and tuples, which the runtime (or
+  /// post-mono rewriting) materializes.
+  Reg defaultValue(Type *Ty);
+
+  Resolver &R;
+  IrModule &M;
+  TypeStore &Types;
+
+  std::map<MethodDecl *, IrFunction *> FuncOf;
+  std::map<ClassDecl *, IrFunction *> WrapperOf;
+  std::map<ClassDecl *, IrClass *> ClassOf;
+
+  // Synthesized-function caches.
+  IrFunction *EqFn = nullptr, *NeFn = nullptr;
+  IrFunction *CastFn = nullptr, *QueryFn = nullptr;
+  std::map<int, IrFunction *> ArithFns;
+  std::map<std::pair<int, bool>, IrFunction *> CmpFns;
+  std::map<int, IrFunction *> BuiltinFns;
+  IrFunction *ArrayNewFn = nullptr;
+
+  // Current body state.
+  IrBuilder *B = nullptr;
+  MethodDecl *CurMethod = nullptr;
+  ClassDecl *CurClass = nullptr;
+  std::vector<IrBlock *> BreakTargets;
+  std::vector<IrBlock *> ContinueTargets;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_LOWER_LOWER_H

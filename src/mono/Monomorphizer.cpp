@@ -1,0 +1,252 @@
+//===- mono/Monomorphizer.cpp ---------------------------------------------===//
+
+#include "mono/Monomorphizer.h"
+
+#include "types/TypeRelations.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace virgil;
+
+Monomorphizer::Monomorphizer(IrModule &In) : In(In), Types(*In.Types) {
+  for (IrClass *C : In.Classes)
+    if (C->Def)
+      InClassByDef[C->Def] = C;
+}
+
+std::string Monomorphizer::mangle(const std::string &Base,
+                                  const TypeVec &Args) {
+  if (Args.empty())
+    return Base;
+  std::ostringstream OS;
+  OS << Base << '<';
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Args[I]->toString();
+  }
+  OS << '>';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Type translation
+//===----------------------------------------------------------------------===//
+
+Type *Monomorphizer::remapClasses(Type *T) {
+  auto It = RemapCache.find(T);
+  if (It != RemapCache.end())
+    return It->second;
+  Type *Result = T;
+  switch (T->kind()) {
+  case TypeKind::Prim:
+    break;
+  case TypeKind::Array:
+    Result = Types.array(remapClasses(cast<ArrayType>(T)->elem()));
+    break;
+  case TypeKind::Tuple: {
+    TypeVec Elems;
+    for (Type *E : cast<TupleType>(T)->elems())
+      Elems.push_back(remapClasses(E));
+    Result = Types.tuple(Elems);
+    break;
+  }
+  case TypeKind::Function: {
+    auto *FT = cast<FuncType>(T);
+    Result = Types.func(remapClasses(FT->param()), remapClasses(FT->ret()));
+    break;
+  }
+  case TypeKind::Class: {
+    auto *CT = cast<ClassType>(T);
+    auto DefIt = InClassByDef.find(CT->def());
+    if (DefIt == InClassByDef.end())
+      break; // Already a specialized def.
+    TypeVec Args;
+    for (Type *A : CT->args())
+      Args.push_back(remapClasses(A));
+    IrClass *Spec = requestClass(DefIt->second, Args);
+    Result = Spec->SelfType;
+    break;
+  }
+  case TypeKind::TypeParam:
+    assert(false && "unsubstituted type parameter in translation");
+    break;
+  }
+  RemapCache[T] = Result;
+  return Result;
+}
+
+Type *Monomorphizer::translate(Type *T, const TypeSubst &Subst) {
+  return remapClasses(Types.substitute(T, Subst));
+}
+
+//===----------------------------------------------------------------------===//
+// Class specialization
+//===----------------------------------------------------------------------===//
+
+IrClass *Monomorphizer::requestClass(IrClass *C, const TypeVec &Args) {
+  auto Key = std::make_pair(C, Args);
+  auto It = ClassSpecs.find(Key);
+  if (It != ClassSpecs.end())
+    return It->second;
+  if (Out->Classes.size() > InstantiationCap) {
+    CapExceeded = true;
+    // Return a dummy to keep the worklist draining; run() reports
+    // failure.
+    return Out->Classes.empty() ? Out->newClass("$overflow") : Out->Classes[0];
+  }
+  std::string Name = mangle(C->Name, Args);
+  IrClass *Spec = Out->newClass(Name);
+  ClassSpecs[Key] = Spec; // Insert before recursing (cycles via fields).
+  ++Stats.SpecsPerClass[C->Name];
+  ClassDef *NewDef = Types.makeClass(Types.internName(Name));
+  NewDef->AstDecl = nullptr;
+  Spec->Def = NewDef;
+  Spec->MonoArgs = Args;
+  Spec->SelfType = Types.classType(NewDef, {});
+  Spec->Depth = C->Depth;
+  TypeSubst Subst{C->Def->TypeParams, Args};
+  // Parent specialization (instantiated superclass).
+  if (C->Parent) {
+    auto *ParentTy = cast<ClassType>(
+        Types.substitute(C->Def->ParentAsWritten, Subst));
+    TypeVec PArgs(ParentTy->args().begin(), ParentTy->args().end());
+    IrClass *PSpec = requestClass(InClassByDef[ParentTy->def()], PArgs);
+    Spec->Parent = PSpec;
+    NewDef->ParentAsWritten = PSpec->SelfType;
+    NewDef->Depth = PSpec->Def->Depth + 1;
+  }
+  // Fields.
+  for (const IrField &F : C->Fields)
+    Spec->Fields.push_back(IrField{F.Name, translate(F.Ty, Subst)});
+  // Virtual table: specialize each entry at its owner's instantiation.
+  TypeRelations Rels(Types);
+  auto *SelfInst = cast<ClassType>(Types.classType(C->Def, Args));
+  for (IrFunction *V : C->VTable) {
+    if (!V) {
+      Spec->VTable.push_back(nullptr);
+      continue;
+    }
+    TypeVec OwnerArgs;
+    if (V->OwnerClass && V->OwnerClass->Def) {
+      ClassType *At = Rels.superAt(SelfInst, V->OwnerClass->Def);
+      assert(At && "vtable owner not on chain");
+      OwnerArgs.assign(At->args().begin(), At->args().end());
+    }
+    Spec->VTable.push_back(requestFunc(V, OwnerArgs));
+  }
+  return Spec;
+}
+
+//===----------------------------------------------------------------------===//
+// Function specialization
+//===----------------------------------------------------------------------===//
+
+IrFunction *Monomorphizer::requestFunc(IrFunction *F, const TypeVec &Args) {
+  assert(Args.size() == F->TypeParams.size() &&
+         "specialization arity mismatch");
+  auto Key = std::make_pair(F, Args);
+  auto It = FuncSpecs.find(Key);
+  if (It != FuncSpecs.end())
+    return It->second;
+  if (Out->Functions.size() > InstantiationCap) {
+    CapExceeded = true;
+    return Out->Functions.empty() ? Out->newFunction("$overflow")
+                                  : Out->Functions[0];
+  }
+  IrFunction *Spec = Out->newFunction(mangle(F->Name, Args));
+  FuncSpecs[Key] = Spec;
+  ++Stats.SpecsPerFunction[F->Name];
+  TypeSubst Subst{F->TypeParams, Args};
+  for (Type *RT : F->RegTypes)
+    Spec->RegTypes.push_back(translate(RT, Subst));
+  for (Type *RT : F->RetTypes)
+    Spec->RetTypes.push_back(translate(RT, Subst));
+  Spec->NumParams = F->NumParams;
+  Spec->IsCtor = F->IsCtor;
+  Spec->Slot = F->Slot;
+  if (F->OwnerClass) {
+    size_t NumClassParams = F->OwnerClass->Def->TypeParams.size();
+    TypeVec ClassArgs(Args.begin(), Args.begin() + NumClassParams);
+    Spec->OwnerClass = requestClass(F->OwnerClass, ClassArgs);
+  }
+  Worklist.push_back(WorkItem{Spec, F, Args});
+  return Spec;
+}
+
+void Monomorphizer::fillFunction(IrFunction *NewF, IrFunction *OldF,
+                                 const TypeVec &Args) {
+  TypeSubst Subst{OldF->TypeParams, Args};
+  std::map<IrBlock *, IrBlock *> BlockMap;
+  for (size_t I = 0; I != OldF->Blocks.size(); ++I) {
+    auto *B = Out->Nodes.make<IrBlock>((uint32_t)I);
+    NewF->Blocks.push_back(B);
+    BlockMap[OldF->Blocks[I]] = B;
+  }
+  for (size_t BI = 0; BI != OldF->Blocks.size(); ++BI) {
+    IrBlock *OldB = OldF->Blocks[BI];
+    IrBlock *NewB = BlockMap[OldB];
+    if (OldB->Succ0)
+      NewB->Succ0 = BlockMap[OldB->Succ0];
+    if (OldB->Succ1)
+      NewB->Succ1 = BlockMap[OldB->Succ1];
+    for (IrInstr *OldI : OldB->Instrs) {
+      auto *I = Out->Nodes.make<IrInstr>();
+      I->Op = OldI->Op;
+      I->Loc = OldI->Loc;
+      I->Dsts = OldI->Dsts;
+      I->Args = OldI->Args;
+      I->IntConst = OldI->IntConst;
+      I->Index = OldI->Index;
+      if (OldI->Ty)
+        I->Ty = translate(OldI->Ty, Subst);
+      if (OldI->TypeOperand)
+        I->TypeOperand = translate(OldI->TypeOperand, Subst);
+      // Specialize direct callees; type arguments disappear.
+      if (OldI->Callee) {
+        TypeVec CalleeArgs;
+        CalleeArgs.reserve(OldI->TypeArgs.size());
+        for (Type *A : OldI->TypeArgs)
+          CalleeArgs.push_back(Types.substitute(A, Subst));
+        // Remap class types inside the callee's type arguments so the
+        // specialization key is canonical.
+        for (Type *&A : CalleeArgs)
+          A = remapClasses(A);
+        I->Callee = requestFunc(OldI->Callee, CalleeArgs);
+      }
+      if (OldI->Op == Opcode::ConstString)
+        I->Index = Out->internString(In.Strings[OldI->Index]);
+      NewB->Instrs.push_back(I);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<IrModule> Monomorphizer::run() {
+  Out = std::make_unique<IrModule>(Types);
+  Stats.InputFunctions = In.Functions.size();
+  Stats.InputClasses = In.Classes.size();
+  // Globals keep their (already concrete) types, remapped to
+  // specialized class defs.
+  for (const IrGlobal &G : In.Globals)
+    Out->Globals.push_back(IrGlobal{G.Name, remapClasses(G.Ty), G.Index});
+  if (In.Init)
+    Out->Init = requestFunc(In.Init, {});
+  if (In.Main)
+    Out->Main = requestFunc(In.Main, {});
+  while (!Worklist.empty()) {
+    WorkItem Item = std::move(Worklist.back());
+    Worklist.pop_back();
+    fillFunction(Item.NewF, Item.OldF, Item.Args);
+    if (CapExceeded)
+      return nullptr;
+  }
+  Out->Monomorphized = true;
+  Stats.OutputFunctions = Out->Functions.size();
+  Stats.OutputClasses = Out->Classes.size();
+  return std::move(Out);
+}

@@ -1,0 +1,98 @@
+//===- mono/Monomorphizer.h - Whole-program specialization ------*- C++ -*-===//
+///
+/// \file
+/// Monomorphization (paper §4.3): produces "a specialized version of
+/// each polymorphic class or method for each distinct assignment of
+/// type arguments to type parameters". The result is a new IrModule in
+/// which no type parameters, type arguments, or polymorphic types
+/// remain: List<(int, int)> and List<byte> become distinct classes with
+/// distinct layouts, id<int> and id<byte> distinct functions.
+///
+/// Specialization is reachability-driven from main and $init, so dead
+/// generic code costs nothing. Each concrete class instantiation gets a
+/// fresh (non-generic) ClassDef whose ParentAsWritten chain mirrors the
+/// specialized hierarchy — runtime casts and queries on specialized
+/// types then work through the ordinary subtyping machinery.
+///
+/// Because the typechecker rejects polymorphic recursion, the worklist
+/// terminates; a generous instantiation cap turns any violation of that
+/// invariant into a hard error rather than an endless loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_MONO_MONOMORPHIZER_H
+#define VIRGIL_MONO_MONOMORPHIZER_H
+
+#include "ir/Ir.h"
+
+#include <map>
+#include <memory>
+
+namespace virgil {
+
+/// Code-expansion bookkeeping for experiment E5.
+struct MonoStats {
+  size_t InputFunctions = 0;
+  size_t OutputFunctions = 0;
+  size_t InputClasses = 0;
+  size_t OutputClasses = 0;
+  /// Specialization count per original polymorphic function (name ->
+  /// count); 1 means no duplication.
+  std::map<std::string, size_t> SpecsPerFunction;
+  std::map<std::string, size_t> SpecsPerClass;
+
+  double functionExpansion() const {
+    return InputFunctions ? (double)OutputFunctions / InputFunctions : 1.0;
+  }
+};
+
+class Monomorphizer {
+public:
+  explicit Monomorphizer(IrModule &In);
+
+  /// Specializes the whole program; returns the monomorphic module
+  /// (sharing the input's TypeStore), or null if the instantiation cap
+  /// was exceeded (which indicates undetected polymorphic recursion).
+  std::unique_ptr<IrModule> run();
+
+  const MonoStats &stats() const { return Stats; }
+
+private:
+  using TypeVec = std::vector<Type *>;
+
+  IrFunction *requestFunc(IrFunction *F, const TypeVec &Args);
+  IrClass *requestClass(IrClass *C, const TypeVec &Args);
+  void fillFunction(IrFunction *NewF, IrFunction *OldF,
+                    const TypeVec &Args);
+
+  /// Substitutes \p Args for \p F's params in T, then remaps all class
+  /// types to their specialized defs.
+  Type *translate(Type *T, const TypeSubst &Subst);
+  Type *remapClasses(Type *T);
+
+  std::string mangle(const std::string &Base, const TypeVec &Args);
+
+  IrModule &In;
+  std::unique_ptr<IrModule> Out;
+  TypeStore &Types;
+
+  std::map<std::pair<IrFunction *, TypeVec>, IrFunction *> FuncSpecs;
+  std::map<std::pair<IrClass *, TypeVec>, IrClass *> ClassSpecs;
+  std::map<ClassDef *, IrClass *> InClassByDef;
+  std::map<Type *, Type *> RemapCache;
+
+  struct WorkItem {
+    IrFunction *NewF;
+    IrFunction *OldF;
+    TypeVec Args;
+  };
+  std::vector<WorkItem> Worklist;
+
+  MonoStats Stats;
+  bool CapExceeded = false;
+  size_t InstantiationCap = 200000;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_MONO_MONOMORPHIZER_H

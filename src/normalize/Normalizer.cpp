@@ -1,0 +1,755 @@
+//===- normalize/Normalizer.cpp -------------------------------------------===//
+
+#include "normalize/Normalizer.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace virgil;
+
+Normalizer::Normalizer(IrModule &In) : In(In), Types(*In.Types) {}
+
+//===----------------------------------------------------------------------===//
+// Type flattening
+//===----------------------------------------------------------------------===//
+
+std::vector<Type *> Normalizer::flatten(Type *T) {
+  auto It = FlattenCache.find(T);
+  if (It != FlattenCache.end())
+    return It->second;
+  std::vector<Type *> Out;
+  switch (T->kind()) {
+  case TypeKind::Prim:
+    if (!T->isVoid())
+      Out.push_back(T);
+    break;
+  case TypeKind::Tuple:
+    for (Type *E : cast<TupleType>(T)->elems()) {
+      std::vector<Type *> Sub = flatten(E);
+      Out.insert(Out.end(), Sub.begin(), Sub.end());
+    }
+    break;
+  case TypeKind::Array: {
+    // Multiple-arrays strategy (paper §4.2): one array per scalar of
+    // the element type; a length-only Array<void> when there are none.
+    std::vector<Type *> Elems = flatten(cast<ArrayType>(T)->elem());
+    if (Elems.empty())
+      Out.push_back(Types.array(Types.voidTy()));
+    else
+      for (Type *E : Elems)
+        Out.push_back(Types.array(E));
+    break;
+  }
+  case TypeKind::Function:
+  case TypeKind::Class:
+    // Single scalar values. (A function value's *type* may spell
+    // tuples; the value itself is one reference.)
+    Out.push_back(T);
+    break;
+  case TypeKind::TypeParam:
+    assert(false && "normalizer requires a monomorphized module");
+    break;
+  }
+  Stats.MaxFlattenWidth = std::max(Stats.MaxFlattenWidth, Out.size());
+  FlattenCache[T] = Out;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Module-level structure
+//===----------------------------------------------------------------------===//
+
+void Normalizer::normalizeClasses() {
+  // Two phases: children may precede their parents in the mono
+  // module's creation order, so create every class first, then link.
+  for (IrClass *C : In.Classes) {
+    IrClass *NC = Out->newClass(C->Name);
+    NC->Def = C->Def;
+    NC->SelfType = C->SelfType;
+    NC->Depth = C->Depth;
+    NC->MonoArgs = C->MonoArgs;
+    ClassMap[C] = NC;
+  }
+  for (IrClass *C : In.Classes) {
+    IrClass *NC = ClassMap[C];
+    if (C->Parent)
+      NC->Parent = ClassMap[C->Parent];
+    std::vector<std::pair<int, int>> Map;
+    for (const IrField &F : C->Fields) {
+      ++Stats.FieldsBefore;
+      std::vector<Type *> Scalars = flatten(F.Ty);
+      Map.push_back({(int)NC->Fields.size(), (int)Scalars.size()});
+      for (size_t K = 0; K != Scalars.size(); ++K) {
+        std::string Name = F.Name;
+        if (Scalars.size() > 1)
+          Name += "." + std::to_string(K);
+        NC->Fields.push_back(IrField{Name, Scalars[K]});
+        ++Stats.FieldsAfter;
+      }
+      if (Scalars.empty())
+        ++Stats.FieldsAfter, --Stats.FieldsAfter; // Void field: none.
+    }
+    FieldMaps[C] = std::move(Map);
+  }
+}
+
+void Normalizer::normalizeGlobals() {
+  for (const IrGlobal &G : In.Globals) {
+    std::vector<Type *> Scalars = flatten(G.Ty);
+    GlobalMap.push_back({(int)Out->Globals.size(), (int)Scalars.size()});
+    for (size_t K = 0; K != Scalars.size(); ++K) {
+      std::string Name = G.Name;
+      if (Scalars.size() > 1)
+        Name += "." + std::to_string(K);
+      Out->Globals.push_back(
+          IrGlobal{Name, Scalars[K], (int)Out->Globals.size()});
+    }
+  }
+}
+
+IrFunction *Normalizer::normalizeSignature(IrFunction *F) {
+  IrFunction *NF = Out->newFunction(F->Name);
+  for (uint32_t I = 0; I != F->NumParams; ++I)
+    for (Type *S : flatten(F->RegTypes[I]))
+      NF->newReg(S);
+  NF->NumParams = (uint32_t)NF->RegTypes.size();
+  for (Type *R : F->RetTypes)
+    for (Type *S : flatten(R))
+      NF->RetTypes.push_back(S);
+  NF->IsCtor = F->IsCtor;
+  NF->Slot = F->Slot;
+  if (F->OwnerClass)
+    NF->OwnerClass = ClassMap[F->OwnerClass];
+  // Preserve the collapsed pre-flattening signature: dynamic function
+  // casts compare against it, and the degenerate tuple rules make it
+  // identical for every calling-convention variant of the same type.
+  NF->SourceFuncTy = F->funcType(Types);
+  if (F->NumParams > 0) {
+    std::vector<Type *> Rest(F->RegTypes.begin() + 1,
+                             F->RegTypes.begin() + F->NumParams);
+    Type *Ret = F->RetTypes.size() == 1 ? F->RetTypes[0]
+                                        : Types.tuple(F->RetTypes);
+    NF->BoundFuncTy = Types.func(Types.tuple(Rest), Ret);
+  }
+  return NF;
+}
+
+//===----------------------------------------------------------------------===//
+// Body rewriting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-body rewrite context.
+struct BodyCtx {
+  IrModule &Out;
+  IrFunction *NF;
+  std::vector<std::vector<Reg>> RegMap;
+  IrBlock *Cur = nullptr;
+  bool Dead = false; ///< Rest of the current source block is unreachable.
+
+  IrInstr *emit(Opcode Op) {
+    auto *I = Out.Nodes.make<IrInstr>();
+    I->Op = Op;
+    Cur->Instrs.push_back(I);
+    return I;
+  }
+};
+
+} // namespace
+
+void Normalizer::normalizeBody(IrFunction *OldF, IrFunction *NewF) {
+  BodyCtx C{*Out, NewF, {}, nullptr, false};
+  C.RegMap.resize(OldF->RegTypes.size());
+  // Parameters occupy the new function's leading registers.
+  {
+    Reg Next = 0;
+    for (uint32_t I = 0; I != OldF->NumParams; ++I) {
+      size_t N = flatten(OldF->RegTypes[I]).size();
+      for (size_t K = 0; K != N; ++K)
+        C.RegMap[I].push_back(Next++);
+    }
+  }
+  auto regsOf = [&](Reg Old) -> std::vector<Reg> & {
+    std::vector<Reg> &Slot = C.RegMap[Old];
+    if (Slot.empty()) {
+      for (Type *S : flatten(OldF->RegTypes[Old]))
+        Slot.push_back(NewF->newReg(S));
+      if (!Slot.empty() && Slot[0] < NewF->NumParams && Old >= OldF->NumParams)
+        assert(false && "register map collision");
+    }
+    return Slot;
+  };
+  // Pre-create blocks (keyed by pointer: optimizer passes leave block
+  // ids non-contiguous).
+  std::map<IrBlock *, IrBlock *> BlockMap;
+  for (size_t I = 0; I != OldF->Blocks.size(); ++I) {
+    auto *B = Out->Nodes.make<IrBlock>((uint32_t)I);
+    NewF->Blocks.push_back(B);
+    BlockMap[OldF->Blocks[I]] = B;
+  }
+
+  auto moveScalar = [&](Reg Dst, Reg Src, Type *Ty) {
+    IrInstr *I = C.emit(Opcode::Move);
+    I->Dsts = {Dst};
+    I->Args = {Src};
+    I->Ty = Ty;
+  };
+  auto emitTrap = [&](TrapKind Kind, SourceLoc Loc) {
+    IrInstr *I = C.emit(Opcode::Trap);
+    I->Index = (int)Kind;
+    I->Loc = Loc;
+    C.Dead = true;
+  };
+  // Structural cast: consumes the source scalars, writes the target
+  // scalars; emits a trap when the shapes make success impossible.
+  auto castStructural = [&](auto &&Self, Type *Src, Type *Dst,
+                            const std::vector<Reg> &SrcRegs, size_t &SrcPos,
+                            const std::vector<Reg> &DstRegs, size_t &DstPos,
+                            SourceLoc Loc) -> bool {
+    if (Src->kind() == TypeKind::Tuple || Dst->kind() == TypeKind::Tuple) {
+      auto *TS = dyn_cast<TupleType>(Src);
+      auto *TD = dyn_cast<TupleType>(Dst);
+      if (!TS || !TD || TS->size() != TD->size())
+        return false; // Shape mismatch: impossible cast.
+      for (size_t I = 0; I != TS->size(); ++I)
+        if (!Self(Self, TS->elems()[I], TD->elems()[I], SrcRegs, SrcPos,
+                  DstRegs, DstPos, Loc))
+          return false;
+      return true;
+    }
+    if (Src->isVoid() || Dst->isVoid())
+      return Src->isVoid() && Dst->isVoid();
+    size_t NS = flatten(Src).size();
+    size_t ND = flatten(Dst).size();
+    if (NS != ND)
+      return false;
+    if (Src == Dst) {
+      for (size_t K = 0; K != NS; ++K)
+        moveScalar(DstRegs[DstPos + K], SrcRegs[SrcPos + K],
+                   flatten(Dst)[K]);
+      SrcPos += NS;
+      DstPos += ND;
+      return true;
+    }
+    // Multi-scalar non-tuple shapes are arrays of tuples; arrays are
+    // invariant, so unequal array types can never cast (post-mono all
+    // types are concrete).
+    if (NS != 1)
+      return false;
+    IrInstr *I = C.emit(Opcode::TypeCast);
+    I->Dsts = {DstRegs[DstPos]};
+    I->Args = {SrcRegs[SrcPos]};
+    I->TypeOperand = Dst;
+    I->Ty = Dst;
+    I->Loc = Loc;
+    ++SrcPos;
+    ++DstPos;
+    return true;
+  };
+
+  // Structural query: returns a bool register (or a constant) that is
+  // the conjunction over the structure; false constant on mismatch.
+  auto queryStructural = [&](auto &&Self, Type *Src, Type *Dst,
+                             const std::vector<Reg> &SrcRegs,
+                             size_t &SrcPos) -> std::pair<bool, Reg> {
+    // Returns {IsConstFalse ? false : true, Reg or NoReg for "true"}.
+    if (Src->kind() == TypeKind::Tuple || Dst->kind() == TypeKind::Tuple) {
+      auto *TS = dyn_cast<TupleType>(Src);
+      auto *TD = dyn_cast<TupleType>(Dst);
+      if (!TS || !TD || TS->size() != TD->size())
+        return {false, NoReg};
+      Reg Acc = NoReg;
+      bool Ok = true;
+      for (size_t I = 0; I != TS->size(); ++I) {
+        auto Part = Self(Self, TS->elems()[I], TD->elems()[I], SrcRegs,
+                         SrcPos);
+        if (!Part.first)
+          Ok = false; // Keep consuming regs for position bookkeeping.
+        if (Part.second != NoReg && Ok) {
+          if (Acc == NoReg) {
+            Acc = Part.second;
+          } else {
+            Reg D = NewF->newReg(Types.boolTy());
+            IrInstr *I2 = C.emit(Opcode::BoolAnd);
+            I2->Dsts = {D};
+            I2->Args = {Acc, Part.second};
+            I2->Ty = Types.boolTy();
+            Acc = D;
+          }
+        }
+      }
+      if (!Ok)
+        return {false, NoReg};
+      return {true, Acc};
+    }
+    size_t NS = flatten(Src).size();
+    if (Src->isVoid() || Dst->isVoid()) {
+      SrcPos += NS;
+      return {Src->isVoid() && Dst->isVoid(), NoReg};
+    }
+    if (NS != 1 || flatten(Dst).size() != 1) {
+      // Arrays of tuples: the type part is decided statically, but a
+      // null value must still answer false, so query the first
+      // component array against its own type (a pure null check).
+      if (Src == Dst) {
+        Reg SrcReg = SrcRegs[SrcPos];
+        SrcPos += NS;
+        Reg D = NewF->newReg(Types.boolTy());
+        IrInstr *I = C.emit(Opcode::TypeQuery);
+        I->Dsts = {D};
+        I->Args = {SrcReg};
+        I->TypeOperand = flatten(Src)[0];
+        I->Ty = Types.boolTy();
+        return {true, D};
+      }
+      SrcPos += NS;
+      return {false, NoReg};
+    }
+    Reg SrcReg = SrcRegs[SrcPos++];
+    Reg D = NewF->newReg(Types.boolTy());
+    IrInstr *I = C.emit(Opcode::TypeQuery);
+    I->Dsts = {D};
+    I->Args = {SrcReg};
+    I->TypeOperand = Dst;
+    I->Ty = Types.boolTy();
+    return {true, D};
+  };
+
+  for (size_t BI = 0; BI != OldF->Blocks.size(); ++BI) {
+    IrBlock *OldB = OldF->Blocks[BI];
+    IrBlock *NewB = BlockMap[OldB];
+    C.Cur = NewB;
+    C.Dead = false;
+    if (OldB->Succ0)
+      NewB->Succ0 = BlockMap[OldB->Succ0];
+    if (OldB->Succ1)
+      NewB->Succ1 = BlockMap[OldB->Succ1];
+
+    for (IrInstr *I : OldB->Instrs) {
+      if (C.Dead)
+        break;
+      switch (I->Op) {
+      case Opcode::ConstInt:
+      case Opcode::ConstByte:
+      case Opcode::ConstBool: {
+        IrInstr *N = C.emit(I->Op);
+        N->Dsts = regsOf(I->dst());
+        N->IntConst = I->IntConst;
+        N->Ty = I->Ty;
+        break;
+      }
+      case Opcode::ConstNull: {
+        IrInstr *N = C.emit(Opcode::ConstNull);
+        N->Dsts = regsOf(I->dst());
+        N->Ty = I->Ty;
+        // A null of an array-of-tuples type is several null arrays.
+        std::vector<Reg> Dsts = N->Dsts;
+        if (Dsts.size() > 1) {
+          NewB->Instrs.pop_back();
+          const std::vector<Type *> &Sc = flatten(I->Ty);
+          for (size_t K = 0; K != Dsts.size(); ++K) {
+            IrInstr *Nk = C.emit(Opcode::ConstNull);
+            Nk->Dsts = {Dsts[K]};
+            Nk->Ty = Sc[K];
+          }
+        }
+        break;
+      }
+      case Opcode::ConstVoid:
+        break; // No scalars.
+      case Opcode::ConstString: {
+        IrInstr *N = C.emit(Opcode::ConstString);
+        N->Dsts = regsOf(I->dst());
+        N->Index = I->Index;
+        N->Ty = I->Ty;
+        break;
+      }
+      case Opcode::ConstDefault: {
+        const std::vector<Reg> &Dsts = regsOf(I->dst());
+        const std::vector<Type *> Sc = flatten(I->Ty);
+        for (size_t K = 0; K != Dsts.size(); ++K) {
+          Type *S = Sc[K];
+          IrInstr *N = nullptr;
+          if (S->isBool()) {
+            N = C.emit(Opcode::ConstBool);
+          } else if (S->isByte()) {
+            N = C.emit(Opcode::ConstByte);
+          } else if (S->isInt()) {
+            N = C.emit(Opcode::ConstInt);
+          } else {
+            N = C.emit(Opcode::ConstNull);
+          }
+          N->Dsts = {Dsts[K]};
+          N->IntConst = 0;
+          N->Ty = S;
+        }
+        break;
+      }
+      case Opcode::Move: {
+        const std::vector<Reg> &Src = regsOf(I->Args[0]);
+        const std::vector<Reg> &Dst = regsOf(I->dst());
+        const std::vector<Type *> Sc = flatten(I->Ty);
+        for (size_t K = 0; K != Dst.size(); ++K)
+          moveScalar(Dst[K], Src[K], Sc[K]);
+        break;
+      }
+      case Opcode::IntAdd:
+      case Opcode::IntSub:
+      case Opcode::IntMul:
+      case Opcode::IntDiv:
+      case Opcode::IntMod:
+      case Opcode::IntLt:
+      case Opcode::IntLe:
+      case Opcode::IntGt:
+      case Opcode::IntGe:
+      case Opcode::BoolAnd:
+      case Opcode::BoolOr: {
+        IrInstr *N = C.emit(I->Op);
+        N->Dsts = regsOf(I->dst());
+        N->Args = {regsOf(I->Args[0])[0], regsOf(I->Args[1])[0]};
+        N->Ty = I->Ty;
+        break;
+      }
+      case Opcode::IntNeg:
+      case Opcode::BoolNot: {
+        IrInstr *N = C.emit(I->Op);
+        N->Dsts = regsOf(I->dst());
+        N->Args = {regsOf(I->Args[0])[0]};
+        N->Ty = I->Ty;
+        break;
+      }
+      case Opcode::Eq:
+      case Opcode::Ne: {
+        // Componentwise over the flattened operand type; () == () is
+        // trivially true.
+        const std::vector<Reg> &A = regsOf(I->Args[0]);
+        const std::vector<Reg> &Bv = regsOf(I->Args[1]);
+        const std::vector<Type *> Sc = flatten(I->TypeOperand);
+        bool Neg = I->Op == Opcode::Ne;
+        if (Sc.empty()) {
+          IrInstr *N = C.emit(Opcode::ConstBool);
+          N->Dsts = regsOf(I->dst());
+          N->IntConst = Neg ? 0 : 1;
+          N->Ty = Types.boolTy();
+          break;
+        }
+        Reg Acc = NoReg;
+        for (size_t K = 0; K != Sc.size(); ++K) {
+          Reg D = NewF->newReg(Types.boolTy());
+          IrInstr *N = C.emit(Neg ? Opcode::Ne : Opcode::Eq);
+          N->Dsts = {D};
+          N->Args = {A[K], Bv[K]};
+          N->TypeOperand = Sc[K];
+          N->Ty = Types.boolTy();
+          if (Acc == NoReg) {
+            Acc = D;
+          } else {
+            Reg D2 = NewF->newReg(Types.boolTy());
+            IrInstr *N2 = C.emit(Neg ? Opcode::BoolOr : Opcode::BoolAnd);
+            N2->Dsts = {D2};
+            N2->Args = {Acc, D};
+            N2->Ty = Types.boolTy();
+            Acc = D2;
+          }
+        }
+        moveScalar(regsOf(I->dst())[0], Acc, Types.boolTy());
+        break;
+      }
+      case Opcode::TupleCreate: {
+        ++Stats.TupleOpsRemoved;
+        const std::vector<Reg> &Dst = regsOf(I->dst());
+        size_t Pos = 0;
+        auto *TT = cast<TupleType>(I->Ty);
+        for (size_t AI = 0; AI != I->Args.size(); ++AI) {
+          const std::vector<Reg> &Src = regsOf(I->Args[AI]);
+          const std::vector<Type *> Sc = flatten(TT->elems()[AI]);
+          for (size_t K = 0; K != Src.size(); ++K)
+            moveScalar(Dst[Pos + K], Src[K], Sc[K]);
+          Pos += Src.size();
+        }
+        break;
+      }
+      case Opcode::TupleGet: {
+        ++Stats.TupleOpsRemoved;
+        auto *TT = cast<TupleType>(OldF->RegTypes[I->Args[0]]);
+        const std::vector<Reg> &Src = regsOf(I->Args[0]);
+        const std::vector<Reg> &Dst = regsOf(I->dst());
+        size_t Offset = 0;
+        for (int K = 0; K != I->Index; ++K)
+          Offset += flatten(TT->elems()[K]).size();
+        const std::vector<Type *> Sc = flatten(TT->elems()[I->Index]);
+        for (size_t K = 0; K != Dst.size(); ++K)
+          moveScalar(Dst[K], Src[Offset + K], Sc[K]);
+        break;
+      }
+      case Opcode::NewObject: {
+        IrInstr *N = C.emit(Opcode::NewObject);
+        N->Dsts = regsOf(I->dst());
+        N->Ty = I->Ty;
+        N->TypeOperand = I->TypeOperand;
+        break;
+      }
+      case Opcode::FieldGet:
+      case Opcode::FieldSet: {
+        auto *CT = cast<ClassType>(I->TypeOperand);
+        IrClass *OldC = nullptr;
+        for (IrClass *Cl : In.Classes)
+          if (Cl->Def == CT->def()) {
+            OldC = Cl;
+            break;
+          }
+        assert(OldC && "field access on unknown class");
+        auto [Start, Count] = FieldMaps[OldC][I->Index];
+        const std::vector<Reg> &Obj = regsOf(I->Args[0]);
+        if (Count == 0) {
+          // Void-typed field: the access reduces to a null check so a
+          // null dereference still traps (paper §4.2 corner case).
+          IrInstr *N = C.emit(Opcode::NullCheck);
+          N->Args = {Obj[0]};
+          N->TypeOperand = I->TypeOperand;
+          break;
+        }
+        if (I->Op == Opcode::FieldGet) {
+          const std::vector<Reg> &Dst = regsOf(I->dst());
+          for (int K = 0; K != Count; ++K) {
+            IrInstr *N = C.emit(Opcode::FieldGet);
+            N->Dsts = {Dst[K]};
+            N->Args = {Obj[0]};
+            N->Index = Start + K;
+            N->TypeOperand = I->TypeOperand;
+            N->Ty = NewF->RegTypes[Dst[K]];
+          }
+        } else {
+          const std::vector<Reg> &Val = regsOf(I->Args[1]);
+          for (int K = 0; K != Count; ++K) {
+            IrInstr *N = C.emit(Opcode::FieldSet);
+            N->Args = {Obj[0], Val[K]};
+            N->Index = Start + K;
+            N->TypeOperand = I->TypeOperand;
+          }
+        }
+        break;
+      }
+      case Opcode::NullCheck: {
+        IrInstr *N = C.emit(Opcode::NullCheck);
+        N->Args = {regsOf(I->Args[0])[0]};
+        N->TypeOperand = I->TypeOperand;
+        break;
+      }
+      case Opcode::NewArray: {
+        const std::vector<Reg> &Dst = regsOf(I->dst());
+        Reg Len = regsOf(I->Args[0])[0];
+        const std::vector<Type *> Sc = flatten(I->Ty);
+        for (size_t K = 0; K != Dst.size(); ++K) {
+          IrInstr *N = C.emit(Opcode::NewArray);
+          N->Dsts = {Dst[K]};
+          N->Args = {Len};
+          N->Ty = Sc[K];
+          N->TypeOperand = Sc[K];
+        }
+        break;
+      }
+      case Opcode::ArrayGet: {
+        auto *AT = cast<ArrayType>(OldF->RegTypes[I->Args[0]]);
+        const std::vector<Reg> &Arr = regsOf(I->Args[0]);
+        Reg Idx = regsOf(I->Args[1])[0];
+        const std::vector<Reg> &Dst = regsOf(I->dst());
+        if (Dst.empty()) {
+          // Array<void>: length-only array, dutifully bounds-checked.
+          IrInstr *N = C.emit(Opcode::BoundsCheck);
+          N->Args = {Arr[0], Idx};
+          break;
+        }
+        (void)AT;
+        for (size_t K = 0; K != Dst.size(); ++K) {
+          IrInstr *N = C.emit(Opcode::ArrayGet);
+          N->Dsts = {Dst[K]};
+          N->Args = {Arr[K], Idx};
+          N->Ty = NewF->RegTypes[Dst[K]];
+        }
+        break;
+      }
+      case Opcode::ArraySet: {
+        const std::vector<Reg> &Arr = regsOf(I->Args[0]);
+        Reg Idx = regsOf(I->Args[1])[0];
+        const std::vector<Reg> &Val = regsOf(I->Args[2]);
+        if (Val.empty()) {
+          IrInstr *N = C.emit(Opcode::BoundsCheck);
+          N->Args = {Arr[0], Idx};
+          break;
+        }
+        for (size_t K = 0; K != Val.size(); ++K) {
+          IrInstr *N = C.emit(Opcode::ArraySet);
+          N->Args = {Arr[K], Idx, Val[K]};
+        }
+        break;
+      }
+      case Opcode::BoundsCheck: {
+        IrInstr *N = C.emit(Opcode::BoundsCheck);
+        N->Args = {regsOf(I->Args[0])[0], regsOf(I->Args[1])[0]};
+        break;
+      }
+      case Opcode::ArrayLen: {
+        IrInstr *N = C.emit(Opcode::ArrayLen);
+        N->Dsts = regsOf(I->dst());
+        N->Args = {regsOf(I->Args[0])[0]};
+        N->Ty = I->Ty;
+        break;
+      }
+      case Opcode::GlobalGet: {
+        auto [Start, Count] = GlobalMap[I->Index];
+        const std::vector<Reg> &Dst = regsOf(I->dst());
+        for (int K = 0; K != Count; ++K) {
+          IrInstr *N = C.emit(Opcode::GlobalGet);
+          N->Dsts = {Dst[K]};
+          N->Index = Start + K;
+          N->Ty = NewF->RegTypes[Dst[K]];
+        }
+        break;
+      }
+      case Opcode::GlobalSet: {
+        auto [Start, Count] = GlobalMap[I->Index];
+        const std::vector<Reg> &Val = regsOf(I->Args[0]);
+        for (int K = 0; K != Count; ++K) {
+          IrInstr *N = C.emit(Opcode::GlobalSet);
+          N->Args = {Val[K]};
+          N->Index = Start + K;
+        }
+        break;
+      }
+      case Opcode::CallFunc:
+      case Opcode::CallVirtual:
+      case Opcode::CallBuiltin: {
+        IrInstr *N = C.emit(I->Op);
+        for (Reg A : I->Args)
+          for (Reg S : regsOf(A))
+            N->Args.push_back(S);
+        if (!I->Dsts.empty())
+          N->Dsts = regsOf(I->dst());
+        if (I->Op == Opcode::CallFunc)
+          N->Callee = FuncMap[I->Callee];
+        N->Index = I->Index;
+        N->TypeOperand = I->TypeOperand;
+        if (!N->Dsts.empty())
+          N->Ty = NewF->RegTypes[N->Dsts[0]];
+        break;
+      }
+      case Opcode::CallIndirect: {
+        IrInstr *N = C.emit(Opcode::CallIndirect);
+        // All calls pass scalars after normalization: the closure ref
+        // first, then the flattened arguments (§4.2).
+        for (Reg A : I->Args)
+          for (Reg S : regsOf(A))
+            N->Args.push_back(S);
+        if (!I->Dsts.empty())
+          N->Dsts = regsOf(I->dst());
+        if (!N->Dsts.empty())
+          N->Ty = NewF->RegTypes[N->Dsts[0]];
+        break;
+      }
+      case Opcode::MakeClosure: {
+        IrInstr *N = C.emit(Opcode::MakeClosure);
+        N->Callee = FuncMap[I->Callee];
+        for (Reg A : I->Args)
+          for (Reg S : regsOf(A))
+            N->Args.push_back(S);
+        N->Dsts = regsOf(I->dst());
+        N->Ty = I->Ty;
+        break;
+      }
+      case Opcode::TypeCast: {
+        Type *Src = OldF->RegTypes[I->Args[0]];
+        Type *Dst = I->TypeOperand;
+        const std::vector<Reg> &SrcRegs = regsOf(I->Args[0]);
+        const std::vector<Reg> &DstRegs = regsOf(I->dst());
+        size_t SP = 0, DP = 0;
+        if (!castStructural(castStructural, Src, Dst, SrcRegs, SP, DstRegs,
+                            DP, I->Loc))
+          emitTrap(TrapKind::CastFail, I->Loc);
+        break;
+      }
+      case Opcode::TypeQuery: {
+        Type *Src = OldF->RegTypes[I->Args[0]];
+        Type *Dst = I->TypeOperand;
+        const std::vector<Reg> &SrcRegs = regsOf(I->Args[0]);
+        size_t SP = 0;
+        auto [Possible, Acc] =
+            queryStructural(queryStructural, Src, Dst, SrcRegs, SP);
+        Reg Out0 = regsOf(I->dst())[0];
+        if (!Possible) {
+          IrInstr *N = C.emit(Opcode::ConstBool);
+          N->Dsts = {Out0};
+          N->IntConst = 0;
+          N->Ty = Types.boolTy();
+        } else if (Acc == NoReg) {
+          IrInstr *N = C.emit(Opcode::ConstBool);
+          N->Dsts = {Out0};
+          N->IntConst = 1;
+          N->Ty = Types.boolTy();
+        } else {
+          moveScalar(Out0, Acc, Types.boolTy());
+        }
+        break;
+      }
+      case Opcode::Ret: {
+        IrInstr *N = C.emit(Opcode::Ret);
+        for (Reg A : I->Args)
+          for (Reg S : regsOf(A))
+            N->Args.push_back(S);
+        break;
+      }
+      case Opcode::Br:
+        C.emit(Opcode::Br);
+        break;
+      case Opcode::CondBr: {
+        IrInstr *N = C.emit(Opcode::CondBr);
+        N->Args = {regsOf(I->Args[0])[0]};
+        break;
+      }
+      case Opcode::Trap: {
+        IrInstr *N = C.emit(Opcode::Trap);
+        N->Index = I->Index;
+        N->Loc = I->Loc;
+        break;
+      }
+      }
+    }
+    if (C.Dead) {
+      // The block now ends in a trap; sever its successors.
+      NewB->Succ0 = nullptr;
+      NewB->Succ1 = nullptr;
+    }
+    assert(!NewB->Instrs.empty() && "normalized block is empty");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<IrModule> Normalizer::run() {
+  assert(In.Monomorphized && "normalizer requires a monomorphized module");
+  Out = std::make_unique<IrModule>(Types);
+  Out->Strings = In.Strings;
+  normalizeClasses();
+  normalizeGlobals();
+  for (IrFunction *F : In.Functions)
+    FuncMap[F] = normalizeSignature(F);
+  for (IrFunction *F : In.Functions)
+    normalizeBody(F, FuncMap[F]);
+  // Rewire vtables.
+  for (IrClass *C : In.Classes) {
+    IrClass *NC = ClassMap[C];
+    for (IrFunction *V : C->VTable)
+      NC->VTable.push_back(V ? FuncMap[V] : nullptr);
+  }
+  if (In.Main)
+    Out->Main = FuncMap[In.Main];
+  if (In.Init)
+    Out->Init = FuncMap[In.Init];
+  Out->Monomorphized = true;
+  Out->Normalized = true;
+  return std::move(Out);
+}

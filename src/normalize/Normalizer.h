@@ -1,0 +1,85 @@
+//===- normalize/Normalizer.h - Tuple flattening (paper §4.2) ---*- C++ -*-===//
+///
+/// \file
+/// Whole-program normalization: rewrites all uses of tuples into uses of
+/// scalars "regardless of where they occur, including parameters,
+/// return values, local variables, array elements, fields, and elements
+/// inside other tuples" (paper §4.2). After this pass:
+///
+/// * every function takes zero or more scalar parameters and returns
+///   zero or more scalar values (multi-value returns model the paper's
+///   "multiple return registers");
+/// * all tuple registers become register bundles; TupleCreate/TupleGet
+///   become register moves (cleaned up by copy propagation);
+/// * class fields and globals of tuple type become several fields or
+///   globals; void fields disappear, but accesses still null-check
+///   (paper corner case);
+/// * arrays of tuples use the *multiple arrays* strategy the paper
+///   names ("or to be multiple arrays, each of which stores one element
+///   of the tuple"): Array<(A, B)> is represented by an Array<A> and an
+///   Array<B> travelling together; Array<void> keeps only a length and
+///   accesses are dutifully bounds-checked;
+/// * the §4.1 calling-convention ambiguity is gone: `f(a: int, b: int)`
+///   and `g(a: (int, int))` normalize to the identical signature
+///   (int, int), so indirect calls need no dynamic checks;
+/// * casts and queries between tuple types decompose into their
+///   element casts/queries (conjoined with BoolAnd for queries).
+///
+/// Requires a monomorphized module (types must be concrete); produces a
+/// fresh module with Normalized = true.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_NORMALIZE_NORMALIZER_H
+#define VIRGIL_NORMALIZE_NORMALIZER_H
+
+#include "ir/Ir.h"
+
+#include <map>
+#include <memory>
+
+namespace virgil {
+
+struct NormalizeStats {
+  size_t TupleOpsRemoved = 0;
+  size_t FieldsBefore = 0;
+  size_t FieldsAfter = 0;
+  size_t MaxFlattenWidth = 0; ///< Widest tuple flattened.
+};
+
+class Normalizer {
+public:
+  explicit Normalizer(IrModule &In);
+
+  /// Normalizes the module; requires In.Monomorphized.
+  std::unique_ptr<IrModule> run();
+
+  const NormalizeStats &stats() const { return Stats; }
+
+  /// The scalar expansion of a type (exposed for tests):
+  /// void -> [], tuples -> concatenation, Array<E> -> one array per
+  /// scalar of E (length-only Array<void> when E has none).
+  std::vector<Type *> flatten(Type *T);
+
+private:
+  void normalizeClasses();
+  void normalizeGlobals();
+  IrFunction *normalizeSignature(IrFunction *F);
+  void normalizeBody(IrFunction *OldF, IrFunction *NewF);
+
+  IrModule &In;
+  std::unique_ptr<IrModule> Out;
+  TypeStore &Types;
+  std::map<Type *, std::vector<Type *>> FlattenCache;
+  std::map<IrFunction *, IrFunction *> FuncMap;
+  std::map<IrClass *, IrClass *> ClassMap;
+  /// Per-class: old field index -> (first new index, count).
+  std::map<IrClass *, std::vector<std::pair<int, int>>> FieldMaps;
+  /// Old global index -> (first new index, count).
+  std::vector<std::pair<int, int>> GlobalMap;
+  NormalizeStats Stats;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_NORMALIZE_NORMALIZER_H

@@ -1,0 +1,132 @@
+//===- opt/Dce.cpp - Dead code and unreachable block elimination ----------===//
+///
+/// Removes pure instructions whose results are never read anywhere in
+/// the function (global liveness over registers, iterated to a
+/// fixpoint), drops blocks unreachable from the entry, and merges
+/// straight-line block chains.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace virgil;
+
+namespace {
+
+size_t dceFunction(IrFunction *F, OptStats &Stats) {
+  size_t Changes = 0;
+
+  // 1. Unreachable blocks.
+  std::set<IrBlock *> Reached;
+  std::vector<IrBlock *> Work{F->Blocks[0]};
+  while (!Work.empty()) {
+    IrBlock *B = Work.back();
+    Work.pop_back();
+    if (!Reached.insert(B).second)
+      continue;
+    if (B->Succ0)
+      Work.push_back(B->Succ0);
+    if (B->Succ1)
+      Work.push_back(B->Succ1);
+  }
+  if (Reached.size() != F->Blocks.size()) {
+    std::vector<IrBlock *> Kept;
+    for (IrBlock *B : F->Blocks) {
+      if (Reached.count(B)) {
+        Kept.push_back(B);
+      } else {
+        ++Stats.BlocksRemoved;
+        ++Changes;
+      }
+    }
+    F->Blocks = std::move(Kept);
+  }
+
+  // 2. Merge straight-line chains: B -> S where S has exactly one
+  // predecessor.
+  for (;;) {
+    std::map<IrBlock *, int> Preds;
+    for (IrBlock *B : F->Blocks) {
+      if (B->Succ0)
+        ++Preds[B->Succ0];
+      if (B->Succ1)
+        ++Preds[B->Succ1];
+    }
+    bool Merged = false;
+    for (IrBlock *B : F->Blocks) {
+      if (!B->Succ0 || B->Succ1 || B->Succ0 == B)
+        continue;
+      IrBlock *S = B->Succ0;
+      if (S == F->Blocks[0] || Preds[S] != 1)
+        continue;
+      if (B->Instrs.empty() || B->Instrs.back()->Op != Opcode::Br)
+        continue;
+      // Splice S into B.
+      B->Instrs.pop_back();
+      B->Instrs.insert(B->Instrs.end(), S->Instrs.begin(), S->Instrs.end());
+      B->Succ0 = S->Succ0;
+      B->Succ1 = S->Succ1;
+      for (size_t I = 0; I != F->Blocks.size(); ++I) {
+        if (F->Blocks[I] == S) {
+          F->Blocks.erase(F->Blocks.begin() + I);
+          break;
+        }
+      }
+      ++Stats.BlocksRemoved;
+      ++Changes;
+      Merged = true;
+      break;
+    }
+    if (!Merged)
+      break;
+  }
+
+  // 3. Dead pure instructions (fixpoint).
+  for (;;) {
+    std::set<Reg> Used;
+    for (IrBlock *B : F->Blocks)
+      for (IrInstr *I : B->Instrs)
+        for (Reg A : I->Args)
+          Used.insert(A);
+    bool Removed = false;
+    for (IrBlock *B : F->Blocks) {
+      std::vector<IrInstr *> Kept;
+      Kept.reserve(B->Instrs.size());
+      for (IrInstr *I : B->Instrs) {
+        bool Dead = isPure(I->Op) && !I->Dsts.empty();
+        if (Dead)
+          for (Reg D : I->Dsts)
+            if (Used.count(D))
+              Dead = false;
+        // Self-moves are dead even though their dst is "used".
+        if (I->Op == Opcode::Move && I->Args[0] == I->dst())
+          Dead = true;
+        if (Dead) {
+          ++Stats.InstrsRemoved;
+          ++Changes;
+          Removed = true;
+        } else {
+          Kept.push_back(I);
+        }
+      }
+      B->Instrs = std::move(Kept);
+    }
+    if (!Removed)
+      break;
+  }
+  return Changes;
+}
+
+} // namespace
+
+size_t virgil::eliminateDeadCode(IrModule &M, OptStats &Stats) {
+  size_t Changes = 0;
+  for (IrFunction *F : M.Functions)
+    if (!F->Blocks.empty())
+      Changes += dceFunction(F, Stats);
+  return Changes;
+}

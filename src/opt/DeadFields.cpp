@@ -1,0 +1,117 @@
+//===- opt/DeadFields.cpp - Dead-field (dead data) elimination -------------===//
+///
+/// The paper's compiler performs "sophisticated dead code and dead
+/// data elimination" (§5). This pass removes object fields that are
+/// never read anywhere in the (closed, monomorphized) program:
+/// layouts shrink, stores to removed fields reduce to their null
+/// check, and surviving field indices are renumbered consistently
+/// across each inheritance group (layouts are prefix-shared, so one
+/// index map per hierarchy root serves every class in it).
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace virgil;
+
+namespace {
+
+IrClass *rootOf(IrClass *C) {
+  while (C->Parent)
+    C = C->Parent;
+  return C;
+}
+
+} // namespace
+
+size_t virgil::eliminateDeadFields(IrModule &M, OptStats &Stats) {
+  // A closed world is required: every read site must be visible.
+  if (!M.Monomorphized)
+    return 0;
+
+  // 1. Collect read indices per hierarchy group.
+  std::map<IrClass *, std::set<int>> ReadByRoot;
+  std::map<ClassDef *, IrClass *> ByDef;
+  for (IrClass *C : M.Classes)
+    if (C->Def)
+      ByDef[C->Def] = C;
+  auto groupFor = [&](Type *RecvTy) -> IrClass * {
+    auto *CT = dyn_cast_or_null<ClassType>(RecvTy);
+    if (!CT)
+      return nullptr;
+    auto It = ByDef.find(CT->def());
+    return It == ByDef.end() ? nullptr : rootOf(It->second);
+  };
+  for (IrFunction *F : M.Functions)
+    for (IrBlock *B : F->Blocks)
+      for (IrInstr *I : B->Instrs)
+        if (I->Op == Opcode::FieldGet)
+          if (IrClass *Root = groupFor(I->TypeOperand))
+            ReadByRoot[Root].insert(I->Index);
+
+  // 2. Per group, decide survivors and build the index map. The widest
+  // layout in the group defines the index universe.
+  std::map<IrClass *, std::vector<int>> MapByRoot; // old index -> new/-1.
+  size_t Removed = 0;
+  for (IrClass *C : M.Classes) {
+    IrClass *Root = rootOf(C);
+    auto &Map = MapByRoot[Root];
+    if (Map.size() < C->Fields.size())
+      Map.resize(C->Fields.size(), -2); // -2 = not yet decided.
+  }
+  for (auto &[Root, Map] : MapByRoot) {
+    const std::set<int> &Read = ReadByRoot[Root];
+    int Next = 0;
+    for (size_t I = 0; I != Map.size(); ++I)
+      Map[I] = Read.count((int)I) ? Next++ : -1;
+  }
+
+  // 3. Shrink layouts.
+  for (IrClass *C : M.Classes) {
+    const auto &Map = MapByRoot[rootOf(C)];
+    std::vector<IrField> Kept;
+    for (size_t I = 0; I != C->Fields.size(); ++I) {
+      if (Map[I] >= 0)
+        Kept.push_back(C->Fields[I]);
+      else
+        ++Removed;
+    }
+    C->Fields = std::move(Kept);
+  }
+
+  // 4. Rewrite accesses.
+  size_t Changes = 0;
+  for (IrFunction *F : M.Functions) {
+    for (IrBlock *B : F->Blocks) {
+      for (IrInstr *I : B->Instrs) {
+        if (I->Op != Opcode::FieldGet && I->Op != Opcode::FieldSet)
+          continue;
+        IrClass *Root = groupFor(I->TypeOperand);
+        if (!Root)
+          continue;
+        int NewIndex = MapByRoot[Root][I->Index];
+        if (NewIndex >= 0) {
+          if (NewIndex != I->Index) {
+            I->Index = NewIndex;
+            ++Changes;
+          }
+          continue;
+        }
+        // A store to a dead field keeps only its null check; the value
+        // operand's computation stays (it may have effects upstream,
+        // handled by DCE as usual).
+        assert(I->Op == Opcode::FieldSet && "reads keep their fields");
+        I->Op = Opcode::NullCheck;
+        I->Args.resize(1);
+        I->Index = -1;
+        ++Changes;
+      }
+    }
+  }
+  Stats.FieldsRemoved += Removed;
+  return Changes + Removed;
+}

@@ -1,0 +1,70 @@
+//===- opt/Devirtualizer.cpp - CHA-based devirtualization -----------------===//
+///
+/// Class-hierarchy analysis: a virtual call whose receiver's static
+/// class has exactly one implementation of the slot across its subtree
+/// becomes a direct call (the paper lists CHA-style whole-program
+/// optimization among the Virgil compiler's passes, and the §3
+/// patterns rely on generic classes like Matcher being effectively
+/// final after monomorphization).
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+#include "support/Casting.h"
+
+#include <set>
+
+using namespace virgil;
+
+namespace {
+
+/// True if \p Sub is \p Super or inherits from it (IrClass level).
+bool inheritsFrom(const IrClass *Sub, const IrClass *Super) {
+  for (const IrClass *C = Sub; C; C = C->Parent)
+    if (C == Super)
+      return true;
+  return false;
+}
+
+} // namespace
+
+size_t virgil::devirtualize(IrModule &M, OptStats &Stats) {
+  size_t Changes = 0;
+  // Direct calls created here carry no type arguments, so this pass is
+  // only sound once monomorphization has erased them.
+  if (!M.Monomorphized)
+    return 0;
+  for (IrFunction *F : M.Functions) {
+    for (IrBlock *B : F->Blocks) {
+      for (IrInstr *I : B->Instrs) {
+        if (I->Op != Opcode::CallVirtual)
+          continue;
+        auto *CT = dyn_cast_or_null<ClassType>(I->TypeOperand);
+        if (!CT)
+          continue;
+        IrClass *Static = nullptr;
+        for (IrClass *C : M.Classes)
+          if (C->Def == CT->def()) {
+            Static = C;
+            break;
+          }
+        if (!Static || I->Index < 0 ||
+            (size_t)I->Index >= Static->VTable.size())
+          continue;
+        std::set<IrFunction *> Impls;
+        for (IrClass *C : M.Classes)
+          if (inheritsFrom(C, Static) && C->VTable[I->Index])
+            Impls.insert(C->VTable[I->Index]);
+        if (Impls.size() != 1)
+          continue;
+        I->Op = Opcode::CallFunc;
+        I->Callee = *Impls.begin();
+        I->TypeOperand = nullptr;
+        I->Index = -1;
+        ++Changes;
+        ++Stats.CallsDevirtualized;
+      }
+    }
+  }
+  return Changes;
+}

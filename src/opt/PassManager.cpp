@@ -1,0 +1,27 @@
+//===- opt/PassManager.cpp ------------------------------------------------===//
+
+#include "opt/PassManager.h"
+
+using namespace virgil;
+
+OptStats virgil::optimizeModule(IrModule &M, const OptOptions &Options) {
+  OptStats Stats;
+  for (unsigned Round = 0; Round != Options.Rounds; ++Round) {
+    size_t Changes = 0;
+    if (Options.Devirtualize)
+      Changes += devirtualize(M, Stats);
+    if (Options.Inline)
+      Changes += inlineCalls(M, Options.InlineInstrLimit, Stats);
+    if (Options.Fold)
+      Changes += foldConstants(M, Stats);
+    if (Options.CopyProp)
+      Changes += propagateCopies(M, Stats);
+    if (Options.Dce)
+      Changes += eliminateDeadCode(M, Stats);
+    if (Options.DeadFields)
+      Changes += eliminateDeadFields(M, Stats);
+    if (Changes == 0)
+      break;
+  }
+  return Stats;
+}

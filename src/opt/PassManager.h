@@ -1,0 +1,63 @@
+//===- opt/PassManager.h - Optimization pipeline ----------------*- C++ -*-===//
+///
+/// \file
+/// The classical optimizations the paper's claims rely on (§3.3: after
+/// specialization "the type queries and casts in each version can be
+/// decided statically, the chain of if statements will be folded away,
+/// and only a call to the corresponding version remains, which the
+/// compiler may then inline, resulting in code just as efficient as if
+/// the caller had called the appropriate print* method directly"):
+///
+///  * constant folding + static cast/query folding + branch folding,
+///  * copy propagation (cleans the moves normalization introduces),
+///  * dead code and unreachable block elimination,
+///  * class-hierarchy-analysis devirtualization,
+///  * function inlining.
+///
+/// Passes run in rounds until a fixpoint or the round limit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_OPT_PASSMANAGER_H
+#define VIRGIL_OPT_PASSMANAGER_H
+
+#include "ir/Ir.h"
+
+namespace virgil {
+
+struct OptOptions {
+  bool Fold = true;
+  bool CopyProp = true;
+  bool Dce = true;
+  bool Inline = true;
+  bool Devirtualize = true;
+  bool DeadFields = true;
+  unsigned Rounds = 3;
+  size_t InlineInstrLimit = 48;
+};
+
+struct OptStats {
+  size_t Folded = 0;
+  size_t BranchesFolded = 0;
+  size_t CopiesPropagated = 0;
+  size_t InstrsRemoved = 0;
+  size_t BlocksRemoved = 0;
+  size_t CallsInlined = 0;
+  size_t CallsDevirtualized = 0;
+  size_t FieldsRemoved = 0;
+};
+
+/// Individual passes; each returns the number of changes made.
+size_t foldConstants(IrModule &M, OptStats &Stats);
+size_t propagateCopies(IrModule &M, OptStats &Stats);
+size_t eliminateDeadCode(IrModule &M, OptStats &Stats);
+size_t inlineCalls(IrModule &M, size_t InstrLimit, OptStats &Stats);
+size_t devirtualize(IrModule &M, OptStats &Stats);
+size_t eliminateDeadFields(IrModule &M, OptStats &Stats);
+
+/// Runs the configured pipeline.
+OptStats optimizeModule(IrModule &M, const OptOptions &Options = {});
+
+} // namespace virgil
+
+#endif // VIRGIL_OPT_PASSMANAGER_H

@@ -1,0 +1,360 @@
+//===- parse/Lexer.cpp ----------------------------------------------------===//
+
+#include "parse/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace virgil;
+
+Lexer::Lexer(const SourceFile &File, StringInterner &Idents,
+             DiagEngine &Diags)
+    : File(File), Text(File.text()), Idents(Idents), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advance past end");
+  return Text[Pos++];
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind, uint32_t Begin) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = SourceLoc{Begin};
+  T.Text = Text.substr(Begin, Pos - Begin);
+  return T;
+}
+
+Token Lexer::lexNumber(uint32_t Begin) {
+  int64_t Value = 0;
+  bool Overflow = false;
+  while (!atEnd() && std::isdigit((unsigned char)peek())) {
+    Value = Value * 10 + (advance() - '0');
+    if (Value > INT64_MAX / 2)
+      Overflow = true;
+  }
+  if (Overflow)
+    Diags.error(SourceLoc{Begin}, "integer literal too large");
+  Token T = makeToken(TokKind::IntLit, Begin);
+  T.IntValue = Value;
+  return T;
+}
+
+static const std::unordered_map<std::string_view, TokKind> &keywords() {
+  static const std::unordered_map<std::string_view, TokKind> Map = {
+      {"class", TokKind::KwClass},       {"extends", TokKind::KwExtends},
+      {"def", TokKind::KwDef},           {"var", TokKind::KwVar},
+      {"new", TokKind::KwNew},           {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},         {"while", TokKind::KwWhile},
+      {"for", TokKind::KwFor},           {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},       {"continue", TokKind::KwContinue},
+      {"true", TokKind::KwTrue},         {"false", TokKind::KwFalse},
+      {"null", TokKind::KwNull},         {"this", TokKind::KwThis},
+      {"private", TokKind::KwPrivate},
+  };
+  return Map;
+}
+
+Token Lexer::lexIdent(uint32_t Begin) {
+  while (!atEnd() &&
+         (std::isalnum((unsigned char)peek()) || peek() == '_'))
+    ++Pos;
+  std::string_view Spelling = Text.substr(Begin, Pos - Begin);
+  auto It = keywords().find(Spelling);
+  if (It != keywords().end())
+    return makeToken(It->second, Begin);
+  Token T = makeToken(TokKind::Identifier, Begin);
+  T.Name = Idents.intern(Spelling);
+  return T;
+}
+
+char Lexer::lexEscape() {
+  if (atEnd()) {
+    Diags.error(SourceLoc{Pos}, "unterminated escape sequence");
+    return '\0';
+  }
+  char C = advance();
+  switch (C) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case '0':
+    return '\0';
+  case '\\':
+  case '\'':
+  case '"':
+    return C;
+  default:
+    Diags.error(SourceLoc{Pos - 1}, "unknown escape sequence");
+    return C;
+  }
+}
+
+Token Lexer::lexChar(uint32_t Begin) {
+  char Value = 0;
+  if (atEnd()) {
+    Diags.error(SourceLoc{Begin}, "unterminated character literal");
+  } else {
+    char C = advance();
+    Value = C == '\\' ? lexEscape() : C;
+  }
+  if (!atEnd() && peek() == '\'')
+    ++Pos;
+  else
+    Diags.error(SourceLoc{Begin}, "unterminated character literal");
+  Token T = makeToken(TokKind::CharLit, Begin);
+  T.IntValue = (uint8_t)Value;
+  return T;
+}
+
+Token Lexer::lexString(uint32_t Begin) {
+  std::string Value;
+  while (!atEnd() && peek() != '"' && peek() != '\n') {
+    char C = advance();
+    Value.push_back(C == '\\' ? lexEscape() : C);
+  }
+  if (!atEnd() && peek() == '"')
+    ++Pos;
+  else
+    Diags.error(SourceLoc{Begin}, "unterminated string literal");
+  Token T = makeToken(TokKind::StringLit, Begin);
+  T.StringValue = std::move(Value);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  uint32_t Begin = Pos;
+  if (atEnd())
+    return makeToken(TokKind::End, Begin);
+  char C = advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokKind::LParen, Begin);
+  case ')':
+    return makeToken(TokKind::RParen, Begin);
+  case '{':
+    return makeToken(TokKind::LBrace, Begin);
+  case '}':
+    return makeToken(TokKind::RBrace, Begin);
+  case '[':
+    return makeToken(TokKind::LBracket, Begin);
+  case ']':
+    return makeToken(TokKind::RBracket, Begin);
+  case ',':
+    return makeToken(TokKind::Comma, Begin);
+  case ';':
+    return makeToken(TokKind::Semi, Begin);
+  case ':':
+    return makeToken(TokKind::Colon, Begin);
+  case '.':
+    return makeToken(TokKind::Dot, Begin);
+  case '?':
+    return makeToken(TokKind::Question, Begin);
+  case '+':
+    return makeToken(TokKind::Plus, Begin);
+  case '*':
+    return makeToken(TokKind::Star, Begin);
+  case '/':
+    return makeToken(TokKind::Slash, Begin);
+  case '%':
+    return makeToken(TokKind::Percent, Begin);
+  case '-':
+    if (peek() == '>') {
+      ++Pos;
+      return makeToken(TokKind::Arrow, Begin);
+    }
+    return makeToken(TokKind::Minus, Begin);
+  case '=':
+    if (peek() == '=') {
+      ++Pos;
+      return makeToken(TokKind::EqEq, Begin);
+    }
+    return makeToken(TokKind::Assign, Begin);
+  case '!':
+    if (peek() == '=') {
+      ++Pos;
+      return makeToken(TokKind::NotEq, Begin);
+    }
+    return makeToken(TokKind::Bang, Begin);
+  case '<':
+    if (peek() == '=') {
+      ++Pos;
+      return makeToken(TokKind::LtEq, Begin);
+    }
+    return makeToken(TokKind::Lt, Begin);
+  case '>':
+    if (peek() == '=') {
+      ++Pos;
+      return makeToken(TokKind::GtEq, Begin);
+    }
+    return makeToken(TokKind::Gt, Begin);
+  case '&':
+    if (peek() == '&') {
+      ++Pos;
+      return makeToken(TokKind::AndAnd, Begin);
+    }
+    Diags.error(SourceLoc{Begin}, "unexpected character '&'");
+    return makeToken(TokKind::End, Begin);
+  case '|':
+    if (peek() == '|') {
+      ++Pos;
+      return makeToken(TokKind::OrOr, Begin);
+    }
+    Diags.error(SourceLoc{Begin}, "unexpected character '|'");
+    return makeToken(TokKind::End, Begin);
+  case '\'':
+    return lexChar(Begin);
+  case '"':
+    return lexString(Begin);
+  default:
+    if (std::isdigit((unsigned char)C)) {
+      --Pos;
+      return lexNumber(Begin);
+    }
+    if (std::isalpha((unsigned char)C) || C == '_') {
+      --Pos;
+      return lexIdent(Begin);
+    }
+    Diags.error(SourceLoc{Begin}, "unexpected character");
+    return makeToken(TokKind::End, Begin);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = next();
+    bool Done = T.Kind == TokKind::End;
+    Tokens.push_back(std::move(T));
+    if (Done)
+      return Tokens;
+  }
+}
+
+const char *Lexer::kindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::End:
+    return "end of input";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::CharLit:
+    return "character literal";
+  case TokKind::StringLit:
+    return "string literal";
+  case TokKind::KwClass:
+    return "'class'";
+  case TokKind::KwExtends:
+    return "'extends'";
+  case TokKind::KwDef:
+    return "'def'";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwNew:
+    return "'new'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwNull:
+    return "'null'";
+  case TokKind::KwThis:
+    return "'this'";
+  case TokKind::KwPrivate:
+    return "'private'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::LtEq:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::GtEq:
+    return "'>='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  }
+  return "unknown token";
+}

@@ -1,0 +1,122 @@
+//===- parse/Lexer.h - Token definitions and lexer --------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the Virgil core language. The lexer produces the whole
+/// token stream up front, which keeps the parser's speculative
+/// type-argument parsing (needed to disambiguate `f<int>(x)` from
+/// `a < b`) a matter of saving and restoring an index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_PARSE_LEXER_H
+#define VIRGIL_PARSE_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/Source.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace virgil {
+
+enum class TokKind : uint8_t {
+  End,
+  Identifier,
+  IntLit,
+  CharLit,
+  StringLit,
+  // Keywords.
+  KwClass,
+  KwExtends,
+  KwDef,
+  KwVar,
+  KwNew,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwThis,
+  KwPrivate,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Dot,
+  Arrow,   // ->
+  Assign,  // =
+  EqEq,    // ==
+  NotEq,   // !=
+  Lt,
+  LtEq,
+  Gt,
+  GtEq,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,     // !
+  Question, // ?
+  AndAnd,   // &&
+  OrOr,     // ||
+};
+
+/// One token; Text views into the source buffer.
+struct Token {
+  TokKind Kind = TokKind::End;
+  SourceLoc Loc;
+  std::string_view Text;
+  int64_t IntValue = 0;      ///< For IntLit / CharLit.
+  std::string StringValue;   ///< For StringLit (escapes processed).
+  Ident Name = nullptr;      ///< For Identifier.
+};
+
+/// Converts source text into tokens; reports malformed input to Diags.
+class Lexer {
+public:
+  Lexer(const SourceFile &File, StringInterner &Idents, DiagEngine &Diags);
+
+  /// Lexes the whole file.
+  std::vector<Token> lexAll();
+
+  /// Spelled name of a token kind, for diagnostics.
+  static const char *kindName(TokKind Kind);
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Text.size(); }
+  void skipTrivia();
+  Token makeToken(TokKind Kind, uint32_t Begin);
+  Token lexNumber(uint32_t Begin);
+  Token lexIdent(uint32_t Begin);
+  Token lexChar(uint32_t Begin);
+  Token lexString(uint32_t Begin);
+  /// Decodes one escape sequence after a backslash; returns the byte.
+  char lexEscape();
+
+  const SourceFile &File;
+  std::string_view Text;
+  StringInterner &Idents;
+  DiagEngine &Diags;
+  uint32_t Pos = 0;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_PARSE_LEXER_H

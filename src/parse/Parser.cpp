@@ -1,0 +1,1027 @@
+//===- parse/Parser.cpp ---------------------------------------------------===//
+
+#include "parse/Parser.h"
+
+#include <cassert>
+
+using namespace virgil;
+
+Parser::Parser(const SourceFile &File, Arena &Nodes, StringInterner &Idents,
+               DiagEngine &Diags)
+    : File(File), Nodes(Nodes), Diags(Diags) {
+  NewIdent = Idents.intern("new");
+  Lexer Lex(File, Idents, Diags);
+  Tokens = Lex.lexAll();
+}
+
+Token Parser::take() {
+  Token T = cur();
+  if (Index + 1 < Tokens.size())
+    ++Index;
+  return T;
+}
+
+bool Parser::accept(TokKind K) {
+  if (!at(K))
+    return false;
+  take();
+  return true;
+}
+
+void Parser::error(const char *Message) {
+  if (!Speculating)
+    Diags.error(cur().Loc, Message);
+}
+
+bool Parser::expect(TokKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  if (!Speculating) {
+    std::string Msg = std::string("expected ") + Lexer::kindName(K) +
+                      " in " + Context + ", found " +
+                      Lexer::kindName(cur().Kind);
+    Diags.error(cur().Loc, Msg);
+  }
+  return false;
+}
+
+void Parser::syncToDeclOrStmt() {
+  // Skip forward to a likely statement/declaration boundary.
+  while (!at(TokKind::End)) {
+    TokKind K = cur().Kind;
+    if (K == TokKind::Semi) {
+      take();
+      return;
+    }
+    if (K == TokKind::RBrace || K == TokKind::KwClass ||
+        K == TokKind::KwDef || K == TokKind::KwVar)
+      return;
+    take();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+TypeRef *Parser::parseType() {
+  SourceLoc Loc = cur().Loc;
+  TypeRef *Atom = parseTypeAtom();
+  if (!Atom)
+    return nullptr;
+  if (accept(TokKind::Arrow)) {
+    TypeRef *Ret = parseType(); // Right-associative.
+    if (!Ret)
+      return nullptr;
+    return Nodes.make<FuncTypeRef>(Loc, Atom, Ret);
+  }
+  return Atom;
+}
+
+TypeRef *Parser::parseTypeAtom() {
+  SourceLoc Loc = cur().Loc;
+  if (accept(TokKind::LParen)) {
+    std::vector<TypeRef *> Elems;
+    if (!at(TokKind::RParen)) {
+      do {
+        TypeRef *E = parseType();
+        if (!E)
+          return nullptr;
+        Elems.push_back(E);
+      } while (accept(TokKind::Comma));
+    }
+    if (!expect(TokKind::RParen, "tuple type"))
+      return nullptr;
+    return Nodes.make<TupleTypeRef>(Loc, std::move(Elems));
+  }
+  if (at(TokKind::Identifier)) {
+    Token T = take();
+    std::vector<TypeRef *> Args;
+    if (at(TokKind::Lt) && !parseTypeArgs(Args))
+      return nullptr;
+    return Nodes.make<NamedTypeRef>(Loc, T.Name, std::move(Args));
+  }
+  error("expected a type");
+  return nullptr;
+}
+
+bool Parser::parseTypeArgs(std::vector<TypeRef *> &Out) {
+  if (!accept(TokKind::Lt))
+    return true; // Absent is fine.
+  do {
+    TypeRef *T = parseType();
+    if (!T)
+      return false;
+    Out.push_back(T);
+  } while (accept(TokKind::Comma));
+  return expect(TokKind::Gt, "type arguments");
+}
+
+/// Tokens that may legally follow a complete operand; used to decide
+/// whether a speculative `<...>` was really a type-argument list.
+static bool canFollowValue(TokKind K) {
+  switch (K) {
+  case TokKind::LParen:
+  case TokKind::RParen:
+  case TokKind::RBracket:
+  case TokKind::RBrace:
+  case TokKind::Comma:
+  case TokKind::Semi:
+  case TokKind::Colon:
+  case TokKind::Dot:
+  case TokKind::Question:
+  case TokKind::EqEq:
+  case TokKind::NotEq:
+  case TokKind::AndAnd:
+  case TokKind::OrOr:
+  case TokKind::Assign:
+  case TokKind::End:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Parser::tryParseTypeArgs(std::vector<TypeRef *> &Out) {
+  if (!at(TokKind::Lt))
+    return false;
+  size_t Saved = Index;
+  bool SavedSpec = Speculating;
+  Speculating = true;
+  std::vector<TypeRef *> Args;
+  bool Ok = parseTypeArgs(Args) && !Args.empty() &&
+            canFollowValue(cur().Kind);
+  Speculating = SavedSpec;
+  if (!Ok) {
+    Index = Saved;
+    return false;
+  }
+  Out = std::move(Args);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpr() {
+  Expr *Lhs = parseTernary();
+  if (!Lhs)
+    return nullptr;
+  if (at(TokKind::Assign)) {
+    SourceLoc Loc = take().Loc;
+    Expr *Rhs = parseExpr(); // Right-associative.
+    if (!Rhs)
+      return nullptr;
+    return Nodes.make<BinaryExpr>(Loc, BinOp::Assign, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseTernary() {
+  Expr *Cond = parseOr();
+  if (!Cond)
+    return nullptr;
+  if (at(TokKind::Question)) {
+    SourceLoc Loc = take().Loc;
+    Expr *Then = parseTernary();
+    if (!Then || !expect(TokKind::Colon, "conditional expression"))
+      return nullptr;
+    Expr *Else = parseTernary();
+    if (!Else)
+      return nullptr;
+    return Nodes.make<TernaryExpr>(Loc, Cond, Then, Else);
+  }
+  return Cond;
+}
+
+Expr *Parser::parseOr() {
+  Expr *Lhs = parseAnd();
+  if (!Lhs)
+    return nullptr;
+  while (at(TokKind::OrOr)) {
+    SourceLoc Loc = take().Loc;
+    Expr *Rhs = parseAnd();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Nodes.make<BinaryExpr>(Loc, BinOp::Or, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseAnd() {
+  Expr *Lhs = parseCompare();
+  if (!Lhs)
+    return nullptr;
+  while (at(TokKind::AndAnd)) {
+    SourceLoc Loc = take().Loc;
+    Expr *Rhs = parseCompare();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Nodes.make<BinaryExpr>(Loc, BinOp::And, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseCompare() {
+  Expr *Lhs = parseAdd();
+  if (!Lhs)
+    return nullptr;
+  for (;;) {
+    BinOp Op;
+    switch (cur().Kind) {
+    case TokKind::EqEq:
+      Op = BinOp::Eq;
+      break;
+    case TokKind::NotEq:
+      Op = BinOp::Ne;
+      break;
+    case TokKind::Lt:
+      Op = BinOp::Lt;
+      break;
+    case TokKind::LtEq:
+      Op = BinOp::Le;
+      break;
+    case TokKind::Gt:
+      Op = BinOp::Gt;
+      break;
+    case TokKind::GtEq:
+      Op = BinOp::Ge;
+      break;
+    default:
+      return Lhs;
+    }
+    SourceLoc Loc = take().Loc;
+    Expr *Rhs = parseAdd();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Nodes.make<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+}
+
+Expr *Parser::parseAdd() {
+  Expr *Lhs = parseMul();
+  if (!Lhs)
+    return nullptr;
+  while (at(TokKind::Plus) || at(TokKind::Minus)) {
+    BinOp Op = at(TokKind::Plus) ? BinOp::Add : BinOp::Sub;
+    SourceLoc Loc = take().Loc;
+    Expr *Rhs = parseMul();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Nodes.make<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseMul() {
+  Expr *Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  for (;;) {
+    BinOp Op;
+    switch (cur().Kind) {
+    case TokKind::Star:
+      Op = BinOp::Mul;
+      break;
+    case TokKind::Slash:
+      Op = BinOp::Div;
+      break;
+    case TokKind::Percent:
+      Op = BinOp::Mod;
+      break;
+    default:
+      return Lhs;
+    }
+    SourceLoc Loc = take().Loc;
+    Expr *Rhs = parseUnary();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Nodes.make<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  if (at(TokKind::Minus)) {
+    SourceLoc Loc = take().Loc;
+    Expr *E = parseUnary();
+    if (!E)
+      return nullptr;
+    return Nodes.make<UnaryExpr>(Loc, UnOp::Neg, E);
+  }
+  if (at(TokKind::Bang)) {
+    SourceLoc Loc = take().Loc;
+    Expr *E = parseUnary();
+    if (!E)
+      return nullptr;
+    return Nodes.make<UnaryExpr>(Loc, UnOp::Not, E);
+  }
+  return parsePostfix();
+}
+
+std::vector<Expr *> Parser::parseArgList() {
+  std::vector<Expr *> Args;
+  if (!at(TokKind::RParen)) {
+    do {
+      Expr *A = parseExpr();
+      if (!A)
+        break;
+      Args.push_back(A);
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen, "argument list");
+  return Args;
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  if (!E)
+    return nullptr;
+  for (;;) {
+    if (at(TokKind::Dot)) {
+      SourceLoc Loc = take().Loc;
+      auto *M = Nodes.make<MemberExpr>(Loc, E);
+      switch (cur().Kind) {
+      case TokKind::Identifier:
+        M->Sel = MemberSel::Name;
+        M->Name = take().Name;
+        break;
+      case TokKind::KwNew:
+        take();
+        M->Sel = MemberSel::Name;
+        M->Name = NewIdent;
+        break;
+      case TokKind::IntLit:
+        M->Sel = MemberSel::TupleIndex;
+        M->TupleIndex = (int)take().IntValue;
+        break;
+      case TokKind::EqEq:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Eq;
+        break;
+      case TokKind::NotEq:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Ne;
+        break;
+      case TokKind::Bang:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Cast;
+        break;
+      case TokKind::Question:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Query;
+        break;
+      case TokKind::Plus:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Add;
+        break;
+      case TokKind::Minus:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Sub;
+        break;
+      case TokKind::Star:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Mul;
+        break;
+      case TokKind::Slash:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Div;
+        break;
+      case TokKind::Percent:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Mod;
+        break;
+      case TokKind::Lt:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Lt;
+        break;
+      case TokKind::LtEq:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Le;
+        break;
+      case TokKind::Gt:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Gt;
+        break;
+      case TokKind::GtEq:
+        take();
+        M->Sel = MemberSel::Op;
+        M->Op = OpSel::Ge;
+        break;
+      default:
+        error("expected member name, tuple index, or operator after '.'");
+        return nullptr;
+      }
+      // Optional explicit type arguments: a.m<int>, A.!<B>, f.==<T>.
+      if (at(TokKind::Lt)) {
+        if (M->Sel == MemberSel::Op) {
+          // Unambiguous after an operator selector.
+          if (!parseTypeArgs(M->TypeArgs))
+            return nullptr;
+        } else {
+          tryParseTypeArgs(M->TypeArgs);
+        }
+      }
+      E = M;
+      continue;
+    }
+    if (at(TokKind::LParen)) {
+      SourceLoc Loc = take().Loc;
+      std::vector<Expr *> Args = parseArgList();
+      E = Nodes.make<CallExpr>(Loc, E, std::move(Args));
+      continue;
+    }
+    if (at(TokKind::LBracket)) {
+      SourceLoc Loc = take().Loc;
+      Expr *Idx = parseExpr();
+      if (!Idx || !expect(TokKind::RBracket, "array index"))
+        return nullptr;
+      E = Nodes.make<IndexExpr>(Loc, E, Idx);
+      continue;
+    }
+    return E;
+  }
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokKind::IntLit:
+    return Nodes.make<IntLitExpr>(Loc, take().IntValue);
+  case TokKind::CharLit:
+    return Nodes.make<ByteLitExpr>(Loc, (uint8_t)take().IntValue);
+  case TokKind::StringLit:
+    return Nodes.make<StringLitExpr>(Loc, take().StringValue);
+  case TokKind::KwTrue:
+    take();
+    return Nodes.make<BoolLitExpr>(Loc, true);
+  case TokKind::KwFalse:
+    take();
+    return Nodes.make<BoolLitExpr>(Loc, false);
+  case TokKind::KwNull:
+    take();
+    return Nodes.make<NullLitExpr>(Loc);
+  case TokKind::KwThis:
+    take();
+    return Nodes.make<ThisExpr>(Loc);
+  case TokKind::Identifier: {
+    Token T = take();
+    std::vector<TypeRef *> TypeArgs;
+    if (at(TokKind::Lt))
+      tryParseTypeArgs(TypeArgs);
+    return Nodes.make<NameExpr>(Loc, T.Name, std::move(TypeArgs));
+  }
+  case TokKind::LParen: {
+    // Speculative: a parenthesized *type* followed by '.' and an
+    // operator selector is a type literal, e.g. (int, byte).== or
+    // ((int, int) -> int).?(f). Only operator members disambiguate:
+    // `.0` or `.name` after parentheses always means a value
+    // expression such as (p, k).0.
+    {
+      size_t Saved = Index;
+      bool SavedSpec = Speculating;
+      Speculating = true;
+      TypeRef *T = parseType();
+      bool OpFollows = false;
+      if (T && at(TokKind::Dot)) {
+        switch (ahead().Kind) {
+        case TokKind::EqEq:
+        case TokKind::NotEq:
+        case TokKind::Bang:
+        case TokKind::Question:
+          OpFollows = true;
+          break;
+        default:
+          break;
+        }
+      }
+      bool IsTypeLit = OpFollows && T->kind() != TypeRefKind::Named;
+      Speculating = SavedSpec;
+      if (IsTypeLit)
+        return Nodes.make<TypeLitExpr>(Loc, T);
+      Index = Saved;
+    }
+    take();
+    std::vector<Expr *> Elems;
+    if (!at(TokKind::RParen)) {
+      do {
+        Expr *E = parseExpr();
+        if (!E)
+          return nullptr;
+        Elems.push_back(E);
+      } while (accept(TokKind::Comma));
+    }
+    if (!expect(TokKind::RParen, "parenthesized expression"))
+      return nullptr;
+    if (Elems.size() == 1)
+      return Elems[0];
+    return Nodes.make<TupleLitExpr>(Loc, std::move(Elems));
+  }
+  default:
+    error("expected an expression");
+    return nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+BlockStmt *Parser::parseBlock() {
+  SourceLoc Loc = cur().Loc;
+  if (!expect(TokKind::LBrace, "block"))
+    return nullptr;
+  std::vector<Stmt *> Stmts;
+  while (!at(TokKind::RBrace) && !at(TokKind::End)) {
+    Stmt *S = parseStmt();
+    if (!S) {
+      syncToDeclOrStmt();
+      continue;
+    }
+    Stmts.push_back(S);
+  }
+  expect(TokKind::RBrace, "block");
+  return Nodes.make<BlockStmt>(Loc, std::move(Stmts));
+}
+
+Stmt *Parser::parseLocalDecl(bool IsMutable) {
+  SourceLoc Loc = cur().Loc;
+  std::vector<LocalVar *> Vars;
+  do {
+    auto *V = Nodes.make<LocalVar>();
+    V->Loc = cur().Loc;
+    V->IsMutable = IsMutable;
+    if (!at(TokKind::Identifier)) {
+      error("expected variable name");
+      return nullptr;
+    }
+    V->Name = take().Name;
+    if (accept(TokKind::Colon)) {
+      V->DeclaredType = parseType();
+      if (!V->DeclaredType)
+        return nullptr;
+    }
+    if (accept(TokKind::Assign)) {
+      V->Init = parseExpr();
+      if (!V->Init)
+        return nullptr;
+    }
+    Vars.push_back(V);
+  } while (accept(TokKind::Comma));
+  expect(TokKind::Semi, "variable declaration");
+  return Nodes.make<LocalDeclStmt>(Loc, std::move(Vars));
+}
+
+Stmt *Parser::parseIf() {
+  SourceLoc Loc = take().Loc; // 'if'
+  if (!expect(TokKind::LParen, "if condition"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokKind::RParen, "if condition"))
+    return nullptr;
+  Stmt *Then = parseStmt();
+  if (!Then)
+    return nullptr;
+  Stmt *Else = nullptr;
+  if (accept(TokKind::KwElse)) {
+    Else = parseStmt();
+    if (!Else)
+      return nullptr;
+  }
+  return Nodes.make<IfStmt>(Loc, Cond, Then, Else);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLoc Loc = take().Loc; // 'while'
+  if (!expect(TokKind::LParen, "while condition"))
+    return nullptr;
+  Expr *Cond = parseExpr();
+  if (!Cond || !expect(TokKind::RParen, "while condition"))
+    return nullptr;
+  Stmt *Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return Nodes.make<WhileStmt>(Loc, Cond, Body);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLoc Loc = take().Loc; // 'for'
+  if (!expect(TokKind::LParen, "for loop"))
+    return nullptr;
+  // `for (i = init; cond; update)` introduces i as a fresh variable.
+  auto *Var = Nodes.make<LocalVar>();
+  Var->Loc = cur().Loc;
+  Var->IsMutable = true;
+  if (!at(TokKind::Identifier)) {
+    error("expected induction variable in for loop");
+    return nullptr;
+  }
+  Var->Name = take().Name;
+  if (accept(TokKind::Colon)) {
+    Var->DeclaredType = parseType();
+    if (!Var->DeclaredType)
+      return nullptr;
+  }
+  if (!expect(TokKind::Assign, "for loop initialization"))
+    return nullptr;
+  Var->Init = parseExpr();
+  if (!Var->Init || !expect(TokKind::Semi, "for loop"))
+    return nullptr;
+  Expr *Cond = nullptr;
+  if (!at(TokKind::Semi)) {
+    Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+  }
+  if (!expect(TokKind::Semi, "for loop"))
+    return nullptr;
+  Expr *Update = nullptr;
+  if (!at(TokKind::RParen)) {
+    Update = parseExpr();
+    if (!Update)
+      return nullptr;
+  }
+  if (!expect(TokKind::RParen, "for loop"))
+    return nullptr;
+  Stmt *Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return Nodes.make<ForStmt>(Loc, Var, Cond, Update, Body);
+}
+
+Stmt *Parser::parseStmt() {
+  switch (cur().Kind) {
+  case TokKind::LBrace:
+    return parseBlock();
+  case TokKind::KwVar:
+    take();
+    return parseLocalDecl(/*IsMutable=*/true);
+  case TokKind::KwDef:
+    take();
+    return parseLocalDecl(/*IsMutable=*/false);
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwWhile:
+    return parseWhile();
+  case TokKind::KwFor:
+    return parseFor();
+  case TokKind::KwReturn: {
+    SourceLoc Loc = take().Loc;
+    Expr *Value = nullptr;
+    if (!at(TokKind::Semi)) {
+      Value = parseExpr();
+      if (!Value)
+        return nullptr;
+    }
+    expect(TokKind::Semi, "return statement");
+    return Nodes.make<ReturnStmt>(Loc, Value);
+  }
+  case TokKind::KwBreak: {
+    SourceLoc Loc = take().Loc;
+    expect(TokKind::Semi, "break statement");
+    return Nodes.make<BreakStmt>(Loc);
+  }
+  case TokKind::KwContinue: {
+    SourceLoc Loc = take().Loc;
+    expect(TokKind::Semi, "continue statement");
+    return Nodes.make<ContinueStmt>(Loc);
+  }
+  case TokKind::Semi: {
+    SourceLoc Loc = take().Loc;
+    return Nodes.make<EmptyStmt>(Loc);
+  }
+  default: {
+    SourceLoc Loc = cur().Loc;
+    Expr *E = parseExpr();
+    if (!E)
+      return nullptr;
+    expect(TokKind::Semi, "expression statement");
+    return Nodes.make<ExprStmt>(Loc, E);
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+std::vector<Ident> Parser::parseTypeParamNames() {
+  std::vector<Ident> Names;
+  if (!accept(TokKind::Lt))
+    return Names;
+  do {
+    if (!at(TokKind::Identifier)) {
+      error("expected type parameter name");
+      break;
+    }
+    Names.push_back(take().Name);
+  } while (accept(TokKind::Comma));
+  expect(TokKind::Gt, "type parameter list");
+  return Names;
+}
+
+std::vector<LocalVar *> Parser::parseParamList() {
+  std::vector<LocalVar *> Params;
+  expect(TokKind::LParen, "parameter list");
+  if (!at(TokKind::RParen)) {
+    do {
+      auto *P = Nodes.make<LocalVar>();
+      P->Loc = cur().Loc;
+      P->IsMutable = false;
+      if (!at(TokKind::Identifier)) {
+        error("expected parameter name");
+        break;
+      }
+      P->Name = take().Name;
+      if (accept(TokKind::Colon)) {
+        P->DeclaredType = parseType();
+        if (!P->DeclaredType)
+          break;
+      }
+      Params.push_back(P);
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen, "parameter list");
+  return Params;
+}
+
+MethodDecl *Parser::parseMethodRest(Ident Name, SourceLoc Loc,
+                                    bool IsPrivate) {
+  auto *M = Nodes.make<MethodDecl>();
+  M->Loc = Loc;
+  M->Name = Name;
+  M->IsPrivate = IsPrivate;
+  M->TypeParamNames = parseTypeParamNames();
+  M->Params = parseParamList();
+  if (accept(TokKind::Arrow)) {
+    M->RetTypeRef = parseType();
+    if (!M->RetTypeRef)
+      return nullptr;
+  }
+  if (accept(TokKind::Semi))
+    return M; // Abstract method (paper (n2)).
+  M->Body = parseBlock();
+  return M;
+}
+
+FieldDecl *Parser::parseFieldRest(Ident Name, SourceLoc Loc,
+                                  bool IsMutable) {
+  auto *F = Nodes.make<FieldDecl>();
+  F->Loc = Loc;
+  F->Name = Name;
+  F->IsMutable = IsMutable;
+  if (accept(TokKind::Colon)) {
+    F->DeclaredType = parseType();
+    if (!F->DeclaredType)
+      return nullptr;
+  }
+  if (accept(TokKind::Assign)) {
+    F->Init = parseExpr();
+    if (!F->Init)
+      return nullptr;
+  }
+  expect(TokKind::Semi, "field declaration");
+  return F;
+}
+
+MethodDecl *Parser::parseCtor(ClassDecl *C) {
+  SourceLoc Loc = take().Loc; // 'new'
+  auto *M = Nodes.make<MethodDecl>();
+  M->Loc = Loc;
+  M->Name = NewIdent;
+  M->IsCtor = true;
+  // Constructor parameters may omit their type, in which case they bind
+  // to the same-named field and auto-assign it (paper (a4): new(f, g)).
+  expect(TokKind::LParen, "constructor");
+  if (!at(TokKind::RParen)) {
+    do {
+      auto *P = Nodes.make<LocalVar>();
+      P->Loc = cur().Loc;
+      P->IsMutable = false;
+      if (!at(TokKind::Identifier)) {
+        error("expected constructor parameter name");
+        break;
+      }
+      P->Name = take().Name;
+      if (accept(TokKind::Colon)) {
+        P->DeclaredType = parseType();
+        if (!P->DeclaredType)
+          break;
+      }
+      M->Params.push_back(P);
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen, "constructor");
+  // Optional `super(args)` clause before the body.
+  if (at(TokKind::Identifier) && *cur().Name == "super") {
+    take();
+    M->HasSuper = true;
+    if (expect(TokKind::LParen, "super clause"))
+      M->SuperArgs = parseArgList();
+  }
+  M->Body = parseBlock();
+  (void)C;
+  return M;
+}
+
+void Parser::parseClassMember(ClassDecl *C) {
+  bool IsPrivate = accept(TokKind::KwPrivate);
+  if (at(TokKind::KwNew)) {
+    MethodDecl *Ctor = parseCtor(C);
+    if (!Ctor)
+      return;
+    if (C->Ctor)
+      Diags.error(Ctor->Loc, "duplicate constructor");
+    Ctor->Owner = C;
+    C->Ctor = Ctor;
+    return;
+  }
+  bool IsDef = accept(TokKind::KwDef);
+  bool IsVar = !IsDef && accept(TokKind::KwVar);
+  if (!IsDef && !IsVar) {
+    error("expected class member");
+    syncToDeclOrStmt();
+    if (at(TokKind::KwDef) || at(TokKind::KwVar) || at(TokKind::KwNew))
+      return;
+    take();
+    return;
+  }
+  if (!at(TokKind::Identifier)) {
+    error("expected member name");
+    syncToDeclOrStmt();
+    return;
+  }
+  SourceLoc Loc = cur().Loc;
+  Ident Name = take().Name;
+  // `def m(...)` and `def m<T>(...)` are methods; everything else is a
+  // field. `var` members are always fields.
+  if (IsDef && (at(TokKind::LParen) || at(TokKind::Lt))) {
+    MethodDecl *M = parseMethodRest(Name, Loc, IsPrivate);
+    if (!M)
+      return;
+    M->Owner = C;
+    C->Methods.push_back(M);
+    return;
+  }
+  FieldDecl *F = parseFieldRest(Name, Loc, /*IsMutable=*/IsVar);
+  if (!F)
+    return;
+  F->Owner = C;
+  C->Fields.push_back(F);
+}
+
+ClassDecl *Parser::parseClass() {
+  SourceLoc Loc = take().Loc; // 'class'
+  auto *C = Nodes.make<ClassDecl>();
+  C->Loc = Loc;
+  if (!at(TokKind::Identifier)) {
+    error("expected class name");
+    return nullptr;
+  }
+  C->Name = take().Name;
+  C->TypeParamNames = parseTypeParamNames();
+  // Compact constructor-field syntax: class C(x: int, y: bool) { ... }.
+  if (accept(TokKind::LParen)) {
+    if (!at(TokKind::RParen)) {
+      do {
+        auto *F = Nodes.make<FieldDecl>();
+        F->Loc = cur().Loc;
+        F->IsMutable = false;
+        if (!at(TokKind::Identifier)) {
+          error("expected field name");
+          break;
+        }
+        F->Name = take().Name;
+        if (!expect(TokKind::Colon, "compact field"))
+          break;
+        F->DeclaredType = parseType();
+        if (!F->DeclaredType)
+          break;
+        F->Owner = C;
+        C->CompactFields.push_back(F);
+        C->Fields.push_back(F);
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "compact field list");
+  }
+  if (accept(TokKind::KwExtends)) {
+    TypeRef *P = parseTypeAtom();
+    if (P) {
+      if (auto *N = dyn_cast<NamedTypeRef>(P))
+        C->ParentRef = N;
+      else
+        Diags.error(P->Loc, "superclass must be a class type");
+    }
+  }
+  if (!expect(TokKind::LBrace, "class body"))
+    return C;
+  while (!at(TokKind::RBrace) && !at(TokKind::End))
+    parseClassMember(C);
+  expect(TokKind::RBrace, "class body");
+  return C;
+}
+
+void Parser::parseTopDef(Module *M) {
+  take(); // 'def'
+  if (!at(TokKind::Identifier)) {
+    error("expected name after 'def'");
+    syncToDeclOrStmt();
+    return;
+  }
+  SourceLoc Loc = cur().Loc;
+  Ident Name = take().Name;
+  if (at(TokKind::LParen) || at(TokKind::Lt)) {
+    MethodDecl *F = parseMethodRest(Name, Loc, /*IsPrivate=*/false);
+    if (F)
+      M->Funcs.push_back(F);
+    return;
+  }
+  // Top-level immutable value.
+  auto *G = Nodes.make<GlobalDecl>();
+  G->Loc = Loc;
+  G->Name = Name;
+  G->IsMutable = false;
+  if (accept(TokKind::Colon)) {
+    G->DeclaredType = parseType();
+    if (!G->DeclaredType)
+      return;
+  }
+  if (accept(TokKind::Assign)) {
+    G->Init = parseExpr();
+    if (!G->Init)
+      return;
+  }
+  expect(TokKind::Semi, "top-level declaration");
+  M->Globals.push_back(G);
+  M->InitOrder.push_back(G);
+}
+
+void Parser::parseTopVar(Module *M) {
+  take(); // 'var'
+  do {
+    auto *G = Nodes.make<GlobalDecl>();
+    G->Loc = cur().Loc;
+    G->IsMutable = true;
+    if (!at(TokKind::Identifier)) {
+      error("expected variable name");
+      syncToDeclOrStmt();
+      return;
+    }
+    G->Name = take().Name;
+    if (accept(TokKind::Colon)) {
+      G->DeclaredType = parseType();
+      if (!G->DeclaredType)
+        return;
+    }
+    if (accept(TokKind::Assign)) {
+      G->Init = parseExpr();
+      if (!G->Init)
+        return;
+    }
+    M->Globals.push_back(G);
+    M->InitOrder.push_back(G);
+  } while (accept(TokKind::Comma));
+  expect(TokKind::Semi, "top-level variable");
+}
+
+void Parser::parseTopLevel(Module *M) {
+  switch (cur().Kind) {
+  case TokKind::KwClass: {
+    ClassDecl *C = parseClass();
+    if (C)
+      M->Classes.push_back(C);
+    return;
+  }
+  case TokKind::KwDef:
+    parseTopDef(M);
+    return;
+  case TokKind::KwVar:
+    parseTopVar(M);
+    return;
+  default:
+    error("expected a top-level declaration");
+    syncToDeclOrStmt();
+    if (at(TokKind::RBrace) || at(TokKind::Semi))
+      take();
+    return;
+  }
+}
+
+Module *Parser::parseModule() {
+  auto *M = Nodes.make<Module>();
+  while (!at(TokKind::End))
+    parseTopLevel(M);
+  return M;
+}

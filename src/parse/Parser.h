@@ -1,0 +1,101 @@
+//===- parse/Parser.h - Recursive-descent parser ----------------*- C++ -*-===//
+///
+/// \file
+/// Parses one source file into an ast::Module. Syntax follows the
+/// paper's examples: C-descendant statements and expressions with
+/// Scala-style declarations (`var x: T = e`, `def m(a: A) -> B`).
+///
+/// The classic `f<int>(x)` vs `a < b` ambiguity is resolved by
+/// speculative parsing: after an identifier (or operator member), a
+/// `<`-list is accepted as type arguments only if it parses as types and
+/// is followed by a token that can follow a value (never the start of
+/// another operand).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_PARSE_PARSER_H
+#define VIRGIL_PARSE_PARSER_H
+
+#include "ast/Ast.h"
+#include "parse/Lexer.h"
+#include "support/Arena.h"
+
+namespace virgil {
+
+class Parser {
+public:
+  Parser(const SourceFile &File, Arena &Nodes, StringInterner &Idents,
+         DiagEngine &Diags);
+
+  /// Parses the whole file; returns a Module even on errors (check
+  /// Diags.hasErrors()).
+  Module *parseModule();
+
+private:
+  // Token stream helpers.
+  const Token &cur() const { return Tokens[Index]; }
+  const Token &ahead(unsigned N = 1) const {
+    size_t I = Index + N;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(TokKind K) const { return cur().Kind == K; }
+  Token take();
+  bool accept(TokKind K);
+  bool expect(TokKind K, const char *Context);
+  void error(const char *Message);
+  void syncToDeclOrStmt();
+
+  // Declarations.
+  void parseTopLevel(Module *M);
+  ClassDecl *parseClass();
+  void parseClassMember(ClassDecl *C);
+  MethodDecl *parseMethodRest(Ident Name, SourceLoc Loc, bool IsPrivate);
+  MethodDecl *parseCtor(ClassDecl *C);
+  FieldDecl *parseFieldRest(Ident Name, SourceLoc Loc, bool IsMutable);
+  void parseTopDef(Module *M);
+  void parseTopVar(Module *M);
+  std::vector<Ident> parseTypeParamNames();
+  std::vector<LocalVar *> parseParamList();
+
+  // Types.
+  TypeRef *parseType();
+  TypeRef *parseTypeAtom();
+  /// Parses `<T, ...>` if present; null vector means absent.
+  bool parseTypeArgs(std::vector<TypeRef *> &Out);
+  /// Speculatively parses type arguments in expression position.
+  bool tryParseTypeArgs(std::vector<TypeRef *> &Out);
+
+  // Statements.
+  Stmt *parseStmt();
+  BlockStmt *parseBlock();
+  Stmt *parseLocalDecl(bool IsMutable);
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseFor();
+
+  // Expressions.
+  Expr *parseExpr();       ///< Assignment level.
+  Expr *parseTernary();
+  Expr *parseOr();
+  Expr *parseAnd();
+  Expr *parseCompare();
+  Expr *parseAdd();
+  Expr *parseMul();
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+  std::vector<Expr *> parseArgList();
+
+  const SourceFile &File;
+  Arena &Nodes;
+  DiagEngine &Diags;
+  Ident NewIdent = nullptr;
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+  /// True while speculatively parsing (suppresses diagnostics).
+  bool Speculating = false;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_PARSE_PARSER_H

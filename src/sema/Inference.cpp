@@ -1,0 +1,170 @@
+//===- sema/Inference.cpp -------------------------------------------------===//
+
+#include "sema/Inference.h"
+
+#include <cassert>
+
+using namespace virgil;
+
+int TypeUnifier::indexOf(TypeParamDef *Def) const {
+  for (size_t I = 0, E = Vars.size(); I != E; ++I)
+    if (Vars[I] == Def)
+      return (int)I;
+  return -1;
+}
+
+void TypeUnifier::bind(int Index, Type *T) {
+  // Polarity decides how constraints combine (paper §3.6: inference
+  // must let `apply(b, g)` pick A = Bat from the invariant List<A>
+  // position while the contravariant `f: A -> void` position only
+  // imposes the upper bound Animal):
+  //  * Invariant positions pin the variable exactly;
+  //  * covariant positions are lower bounds, merged with the least
+  //    upper bound;
+  //  * contravariant positions are upper bounds, merged by keeping the
+  //    most specific one we can identify.
+  Binding &B = Bindings[Index];
+  if (WeakMode) {
+    if (!B.Exact && !B.Lower && !B.Upper)
+      B.Lower = T;
+    return;
+  }
+  switch (Polarity) {
+  case Variance::Invariant:
+    if (!B.Exact)
+      B.Exact = T;
+    // A conflicting second exact binding is left for the
+    // post-inference assignability check to report.
+    return;
+  case Variance::Covariant:
+    if (!B.Lower) {
+      B.Lower = T;
+    } else if (B.Lower != T) {
+      if (Type *Ub = Rels.upperBound(B.Lower, T))
+        B.Lower = Ub;
+    }
+    return;
+  case Variance::Contravariant:
+    if (!B.Upper) {
+      B.Upper = T;
+    } else if (B.Upper != T) {
+      if (Rels.isSubtype(T, B.Upper))
+        B.Upper = T;
+    }
+    return;
+  }
+}
+
+void TypeUnifier::collect(Type *Declared, Type *Actual) {
+  if (!Declared->isPoly() || !Actual)
+    return;
+  if (auto *TP = dyn_cast<TypeParamType>(Declared)) {
+    int Index = indexOf(TP->def());
+    if (Index >= 0)
+      bind(Index, Actual);
+    return;
+  }
+  if (Declared->kind() != Actual->kind()) {
+    if (Declared->kind() == TypeKind::Class &&
+        Actual->kind() == TypeKind::Class) {
+      // Handled below.
+    } else {
+      return; // No structural information.
+    }
+  }
+  switch (Declared->kind()) {
+  case TypeKind::Prim:
+  case TypeKind::TypeParam:
+    return;
+  case TypeKind::Array: {
+    // Array elements are invariant.
+    Variance Saved = Polarity;
+    Polarity = Variance::Invariant;
+    collect(cast<ArrayType>(Declared)->elem(),
+            cast<ArrayType>(Actual)->elem());
+    Polarity = Saved;
+    return;
+  }
+  case TypeKind::Tuple: {
+    auto *TD = cast<TupleType>(Declared);
+    auto *TA = cast<TupleType>(Actual);
+    size_t N = std::min(TD->size(), TA->size());
+    for (size_t I = 0; I != N; ++I)
+      collect(TD->elems()[I], TA->elems()[I]);
+    return;
+  }
+  case TypeKind::Function: {
+    auto *FD = cast<FuncType>(Declared);
+    auto *FA = cast<FuncType>(Actual);
+    Variance Saved = Polarity;
+    // The parameter position flips polarity.
+    Polarity = Saved == Variance::Covariant     ? Variance::Contravariant
+               : Saved == Variance::Contravariant ? Variance::Covariant
+                                                  : Variance::Invariant;
+    collect(FD->param(), FA->param());
+    Polarity = Saved;
+    collect(FD->ret(), FA->ret());
+    return;
+  }
+  case TypeKind::Class: {
+    auto *CD = cast<ClassType>(Declared);
+    auto *CA = cast<ClassType>(Actual);
+    if (CD->def() != CA->def()) {
+      ClassType *At = Rels.superAt(CA, CD->def());
+      if (!At)
+        return;
+      CA = At;
+    }
+    // Class type arguments are invariant.
+    Variance Saved = Polarity;
+    Polarity = Variance::Invariant;
+    for (size_t I = 0, E = CD->args().size(); I != E; ++I)
+      collect(CD->args()[I], CA->args()[I]);
+    Polarity = Saved;
+    return;
+  }
+  }
+}
+
+void TypeUnifier::collectWeak(Type *Declared, Type *Actual) {
+  WeakMode = true;
+  collect(Declared, Actual);
+  WeakMode = false;
+}
+
+Type *TypeUnifier::resolved(size_t Index) const {
+  const Binding &B = Bindings[Index];
+  if (B.Exact)
+    return B.Exact;
+  if (B.Lower)
+    return B.Lower;
+  return B.Upper;
+}
+
+bool TypeUnifier::allBound() const {
+  for (size_t I = 0; I != Bindings.size(); ++I)
+    if (!resolved(I))
+      return false;
+  return true;
+}
+
+TypeParamDef *TypeUnifier::firstUnbound() const {
+  for (size_t I = 0, E = Bindings.size(); I != E; ++I)
+    if (!resolved(I))
+      return Vars[I];
+  return nullptr;
+}
+
+TypeSubst TypeUnifier::subst() const {
+  assert(allBound() && "substitution requested with unbound variables");
+  TypeSubst S;
+  S.Params = Vars;
+  for (size_t I = 0; I != Bindings.size(); ++I)
+    S.Args.push_back(resolved(I));
+  return S;
+}
+
+Type *TypeUnifier::bindingFor(TypeParamDef *Def) const {
+  int Index = indexOf(Def);
+  return Index < 0 ? nullptr : resolved((size_t)Index);
+}

@@ -1,0 +1,89 @@
+//===- sema/Inference.h - Type-argument inference ---------------*- C++ -*-===//
+///
+/// \file
+/// Best-effort inference of type arguments for parameterized classes
+/// and methods (paper §2.4: "Virgil uses a best-effort type inference
+/// algorithm"). The unifier gathers *polarized* constraints by
+/// structurally matching declared (polymorphic) types against actual
+/// argument types:
+///
+///  * invariant positions (class and array type arguments, and the
+///    variable itself when matched exactly) pin the variable;
+///  * covariant positions yield lower bounds, merged by least upper
+///    bound;
+///  * contravariant positions (function parameters) yield upper bounds.
+///
+/// This is what makes the paper's §3.6 example work: in
+/// `apply(b, g)` with `b: List<Bat>` and `g: Animal -> void`, the
+/// invariant List position pins A = Bat while the contravariant
+/// function position merely bounds A above by Animal — and
+/// `Animal -> void <: Bat -> void` then passes the ordinary
+/// assignability check.
+///
+/// Inference is advisory: the checker always re-validates the
+/// substituted signature, so an imprecise merge surfaces as an
+/// ordinary type error at the call site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SEMA_INFERENCE_H
+#define VIRGIL_SEMA_INFERENCE_H
+
+#include "types/TypeRelations.h"
+#include "types/TypeStore.h"
+
+#include <span>
+#include <vector>
+
+namespace virgil {
+
+class TypeUnifier {
+public:
+  TypeUnifier(TypeStore &Store, TypeRelations &Rels,
+              std::span<TypeParamDef *const> Vars)
+      : Store(Store), Rels(Rels), Vars(Vars.begin(), Vars.end()),
+        Bindings(Vars.size()) {}
+
+  /// Gathers constraints by matching \p Declared (which may mention the
+  /// inference variables) against \p Actual at covariant polarity.
+  /// Never fails hard.
+  void collect(Type *Declared, Type *Actual);
+
+  /// Like collect, but only binds still-unconstrained variables (the
+  /// expected-return-type hint must not override argument-driven
+  /// bindings).
+  void collectWeak(Type *Declared, Type *Actual);
+
+  /// True once every variable has some resolution.
+  bool allBound() const;
+
+  /// Names the first unbound variable (diagnostics), or null.
+  TypeParamDef *firstUnbound() const;
+
+  /// The resulting substitution; call only when allBound().
+  TypeSubst subst() const;
+
+  Type *bindingFor(TypeParamDef *Def) const;
+
+private:
+  struct Binding {
+    Type *Exact = nullptr;
+    Type *Lower = nullptr;
+    Type *Upper = nullptr;
+  };
+
+  int indexOf(TypeParamDef *Def) const;
+  void bind(int Index, Type *T);
+  Type *resolved(size_t Index) const;
+
+  TypeStore &Store;
+  TypeRelations &Rels;
+  std::vector<TypeParamDef *> Vars;
+  std::vector<Binding> Bindings;
+  Variance Polarity = Variance::Covariant;
+  bool WeakMode = false;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_SEMA_INFERENCE_H

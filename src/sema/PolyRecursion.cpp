@@ -1,0 +1,258 @@
+//===- sema/PolyRecursion.cpp ---------------------------------------------===//
+
+#include "sema/PolyRecursion.h"
+
+#include <map>
+#include <vector>
+
+using namespace virgil;
+
+namespace {
+
+struct Edge {
+  MethodDecl *To;
+  bool Expanding;
+  SourceLoc Loc;
+};
+
+using Graph = std::map<MethodDecl *, std::vector<Edge>>;
+
+/// An edge is expanding when a type argument mentions a type parameter
+/// but is not itself a bare type parameter: the callee's instantiation
+/// is strictly "bigger" than the caller's, so iterating the cycle
+/// produces infinitely many instantiations.
+bool isExpandingArg(Type *Arg) {
+  return Arg->isPoly() && Arg->kind() != TypeKind::TypeParam;
+}
+
+class EdgeCollector {
+public:
+  EdgeCollector(Graph &G, MethodDecl *Context) : G(G), Context(Context) {}
+
+  void walkExpr(Expr *E) {
+    if (!E)
+      return;
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+    case ExprKind::ByteLit:
+    case ExprKind::BoolLit:
+    case ExprKind::StringLit:
+    case ExprKind::NullLit:
+    case ExprKind::This:
+    case ExprKind::TypeLit:
+      return;
+    case ExprKind::TupleLit:
+      for (Expr *Elem : cast<TupleLitExpr>(E)->Elems)
+        walkExpr(Elem);
+      return;
+    case ExprKind::Name:
+      addEdge(cast<NameExpr>(E)->Ref, E->Loc);
+      return;
+    case ExprKind::Member: {
+      auto *M = cast<MemberExpr>(E);
+      walkExpr(M->Base);
+      addEdge(M->Ref, E->Loc);
+      return;
+    }
+    case ExprKind::IndexOp:
+      walkExpr(cast<IndexExpr>(E)->Base);
+      walkExpr(cast<IndexExpr>(E)->Index);
+      return;
+    case ExprKind::Call: {
+      auto *C = cast<CallExpr>(E);
+      walkExpr(C->Callee);
+      for (Expr *A : C->Args)
+        walkExpr(A);
+      return;
+    }
+    case ExprKind::Binary:
+      walkExpr(cast<BinaryExpr>(E)->Lhs);
+      walkExpr(cast<BinaryExpr>(E)->Rhs);
+      return;
+    case ExprKind::Unary:
+      walkExpr(cast<UnaryExpr>(E)->Operand);
+      return;
+    case ExprKind::Ternary:
+      walkExpr(cast<TernaryExpr>(E)->Cond);
+      walkExpr(cast<TernaryExpr>(E)->Then);
+      walkExpr(cast<TernaryExpr>(E)->Else);
+      return;
+    }
+  }
+
+  void walkStmt(Stmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case StmtKind::Block:
+      for (Stmt *Inner : cast<BlockStmt>(S)->Stmts)
+        walkStmt(Inner);
+      return;
+    case StmtKind::LocalDecl:
+      for (LocalVar *V : cast<LocalDeclStmt>(S)->Vars)
+        walkExpr(V->Init);
+      return;
+    case StmtKind::If: {
+      auto *I = cast<IfStmt>(S);
+      walkExpr(I->Cond);
+      walkStmt(I->Then);
+      walkStmt(I->Else);
+      return;
+    }
+    case StmtKind::While: {
+      auto *W = cast<WhileStmt>(S);
+      walkExpr(W->Cond);
+      walkStmt(W->Body);
+      return;
+    }
+    case StmtKind::For: {
+      auto *F = cast<ForStmt>(S);
+      walkExpr(F->Var->Init);
+      walkExpr(F->Cond);
+      walkExpr(F->Update);
+      walkStmt(F->Body);
+      return;
+    }
+    case StmtKind::Return:
+      walkExpr(cast<ReturnStmt>(S)->Value);
+      return;
+    case StmtKind::ExprEval:
+      walkExpr(cast<ExprStmt>(S)->E);
+      return;
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Empty:
+      return;
+    }
+  }
+
+private:
+  void addEdge(const RefInfo &Ref, SourceLoc Loc) {
+    MethodDecl *Target = nullptr;
+    switch (Ref.Kind) {
+    case RefKind::Func:
+    case RefKind::MethodBound:
+    case RefKind::MethodUnbound:
+    case RefKind::Ctor:
+      Target = static_cast<MethodDecl *>(Ref.Decl);
+      break;
+    default:
+      return;
+    }
+    if (!Target || Ref.TypeArgs.empty())
+      return;
+    bool Expanding = false;
+    for (Type *A : Ref.TypeArgs)
+      Expanding |= isExpandingArg(A);
+    G[Context].push_back(Edge{Target, Expanding, Loc});
+  }
+
+  Graph &G;
+  MethodDecl *Context;
+};
+
+/// Tarjan-free SCC via iterative Kosaraju is overkill here; a simple
+/// DFS looking for a cycle that (a) returns to a node on the current
+/// stack and (b) passed an expanding edge since that node, suffices.
+class CycleFinder {
+public:
+  CycleFinder(const Graph &G, DiagEngine &Diags) : G(G), Diags(Diags) {}
+
+  bool run() {
+    bool Ok = true;
+    for (const auto &Entry : G)
+      if (!visit(Entry.first))
+        Ok = false;
+    return Ok;
+  }
+
+private:
+  enum class Color { White, Grey, Black };
+
+  bool visit(MethodDecl *Node) {
+    Color &C = Colors[Node];
+    if (C == Color::Black)
+      return true;
+    if (C == Color::Grey)
+      return true; // Cycle handled at the edge that closed it.
+    C = Color::Grey;
+    OnStack.push_back(Node);
+    bool Ok = true;
+    auto It = G.find(Node);
+    if (It != G.end()) {
+      for (const Edge &E : It->second) {
+        Color TC = Colors.count(E.To) ? Colors[E.To] : Color::White;
+        if (TC == Color::Grey) {
+          // Closed a cycle: expanding if this edge or any edge on the
+          // stack segment is expanding.
+          if (E.Expanding || stackSegmentExpanding(E.To)) {
+            Diags.error(E.Loc,
+                        "polymorphic recursion involving '" +
+                            *E.To->Name +
+                            "' is not allowed (type arguments grow on "
+                            "each iteration)");
+            Ok = false;
+          }
+          continue;
+        }
+        ExpandingStack.push_back(E.Expanding);
+        if (!visit(E.To))
+          Ok = false;
+        ExpandingStack.pop_back();
+      }
+    }
+    OnStack.pop_back();
+    C = Color::Black;
+    return Ok;
+  }
+
+  bool stackSegmentExpanding(MethodDecl *From) {
+    // Edges pushed after `From` entered the stack.
+    for (size_t I = OnStack.size(); I-- > 0;) {
+      if (I < ExpandingStack.size() && ExpandingStack[I])
+        return true;
+      if (OnStack[I] == From)
+        break;
+    }
+    return false;
+  }
+
+  const Graph &G;
+  DiagEngine &Diags;
+  std::map<MethodDecl *, Color> Colors;
+  std::vector<MethodDecl *> OnStack;
+  std::vector<bool> ExpandingStack;
+};
+
+} // namespace
+
+bool PolyRecursionChecker::run() {
+  Graph G;
+  auto collectBody = [&](MethodDecl *M) {
+    if (!M || !M->Body)
+      return;
+    EdgeCollector Collector(G, M);
+    for (Expr *A : M->SuperArgs)
+      Collector.walkExpr(A);
+    Collector.walkStmt(M->Body);
+  };
+  for (ClassDecl *C : R.M.Classes) {
+    collectBody(C->Ctor);
+    for (MethodDecl *Me : C->Methods)
+      collectBody(Me);
+  }
+  for (MethodDecl *F : R.M.Funcs)
+    collectBody(F);
+  // Field and global initializers run in monomorphic context except for
+  // field initializers of generic classes, whose context is the ctor.
+  for (ClassDecl *C : R.M.Classes) {
+    for (FieldDecl *F : C->Fields) {
+      if (!F->Init)
+        continue;
+      EdgeCollector Collector(G, C->Ctor);
+      Collector.walkExpr(F->Init);
+    }
+  }
+  CycleFinder Finder(G, R.Diags);
+  return Finder.run();
+}

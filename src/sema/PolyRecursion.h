@@ -1,0 +1,36 @@
+//===- sema/PolyRecursion.h - Polymorphic recursion detection ---*- C++ -*-===//
+///
+/// \file
+/// Virgil disallows polymorphic recursion so that monomorphization
+/// terminates (paper §4.3; the paper notes its own implementation "does
+/// not currently enforce" the restriction — we do). The checker builds
+/// the static instantiation graph between parameterized declarations and
+/// rejects any cycle that contains an *expanding* edge, i.e. a call
+/// whose type argument embeds a type parameter inside a larger type
+/// (such as `f<List<T>>` or `f<(T, T)>` inside f). Cycles whose
+/// arguments are bare type parameters (plain polymorphic recursion of
+/// the same instantiation) are harmless and admitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SEMA_POLYRECURSION_H
+#define VIRGIL_SEMA_POLYRECURSION_H
+
+#include "sema/Resolver.h"
+
+namespace virgil {
+
+class PolyRecursionChecker {
+public:
+  explicit PolyRecursionChecker(Resolver &R) : R(R) {}
+
+  /// Returns false (with diagnostics) if polymorphic recursion exists.
+  bool run();
+
+private:
+  Resolver &R;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_SEMA_POLYRECURSION_H

@@ -1,0 +1,538 @@
+//===- sema/Resolver.cpp --------------------------------------------------===//
+
+#include "sema/Resolver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace virgil;
+
+WellKnown::WellKnown(StringInterner &Idents)
+    : Int(Idents.intern("int")), Byte(Idents.intern("byte")),
+      Bool(Idents.intern("bool")), Void(Idents.intern("void")),
+      String(Idents.intern("string")), ArrayName(Idents.intern("Array")),
+      SystemName(Idents.intern("System")), Length(Idents.intern("length")),
+      New(Idents.intern("new")), Main(Idents.intern("main")),
+      Super(Idents.intern("super")), Puts(Idents.intern("puts")),
+      Puti(Idents.intern("puti")), Putc(Idents.intern("putc")),
+      Ln(Idents.intern("ln")), Ticks(Idents.intern("ticks")),
+      Error(Idents.intern("error")) {}
+
+Resolver::Resolver(Module &M, TypeStore &Types, StringInterner &Idents,
+                   DiagEngine &Diags, Arena &Nodes)
+    : M(M), Types(Types), Rels(Types), Idents(Idents), Diags(Diags),
+      Nodes(Nodes), Names(Idents) {}
+
+ClassDecl *Resolver::findClass(Ident Name) const {
+  auto It = ClassesByName.find(Name);
+  return It == ClassesByName.end() ? nullptr : It->second;
+}
+
+MethodDecl *Resolver::findFunc(Ident Name) const {
+  auto It = FuncsByName.find(Name);
+  return It == FuncsByName.end() ? nullptr : It->second;
+}
+
+GlobalDecl *Resolver::findGlobal(Ident Name) const {
+  auto It = GlobalsByName.find(Name);
+  return It == GlobalsByName.end() ? nullptr : It->second;
+}
+
+bool Resolver::lookupMember(ClassDecl *C, Ident Name, ClassDecl *FromClass,
+                            FieldDecl *&FieldOut, MethodDecl *&MethodOut,
+                            ClassDecl *&OwnerOut) {
+  FieldOut = nullptr;
+  MethodOut = nullptr;
+  OwnerOut = nullptr;
+  for (ClassDecl *D = C; D; D = D->Parent) {
+    for (FieldDecl *F : D->Fields) {
+      if (F->Name != Name)
+        continue;
+      FieldOut = F;
+      OwnerOut = D;
+      return true;
+    }
+    for (MethodDecl *Me : D->Methods) {
+      if (Me->Name != Name)
+        continue;
+      if (Me->IsPrivate && D != FromClass)
+        continue; // Private members are visible only in their class.
+      MethodOut = Me;
+      OwnerOut = D;
+      return true;
+    }
+  }
+  return false;
+}
+
+TypeParamScope Resolver::classScope(ClassDecl *C) const {
+  TypeParamScope Scope;
+  for (size_t I = 0; I != C->TypeParamNames.size(); ++I)
+    Scope.add(C->TypeParamNames[I], C->Def->TypeParams[I]);
+  return Scope;
+}
+
+//===----------------------------------------------------------------------===//
+// Type resolution
+//===----------------------------------------------------------------------===//
+
+Type *Resolver::resolveTypeRef(TypeRef *Ref, const TypeParamScope &TScope) {
+  if (!Ref)
+    return nullptr;
+  if (Ref->Resolved)
+    return Ref->Resolved;
+  Type *Result = nullptr;
+  switch (Ref->kind()) {
+  case TypeRefKind::Named: {
+    auto *N = cast<NamedTypeRef>(Ref);
+    // Type parameters shadow everything.
+    if (TypeParamDef *P = TScope.lookup(N->Name)) {
+      if (!N->Args.empty()) {
+        Diags.error(N->Loc, "type parameter cannot take type arguments");
+        return nullptr;
+      }
+      Result = Types.typeParam(P);
+      break;
+    }
+    auto expectArgs = [&](size_t Want) {
+      if (N->Args.size() == Want)
+        return true;
+      Diags.error(N->Loc, "wrong number of type arguments for '" +
+                              *N->Name + "'");
+      return false;
+    };
+    if (N->Name == Names.Int) {
+      if (!expectArgs(0))
+        return nullptr;
+      Result = Types.intTy();
+    } else if (N->Name == Names.Byte) {
+      if (!expectArgs(0))
+        return nullptr;
+      Result = Types.byteTy();
+    } else if (N->Name == Names.Bool) {
+      if (!expectArgs(0))
+        return nullptr;
+      Result = Types.boolTy();
+    } else if (N->Name == Names.Void) {
+      if (!expectArgs(0))
+        return nullptr;
+      Result = Types.voidTy();
+    } else if (N->Name == Names.String) {
+      if (!expectArgs(0))
+        return nullptr;
+      Result = Types.stringTy();
+    } else if (N->Name == Names.ArrayName) {
+      if (!expectArgs(1))
+        return nullptr;
+      Type *Elem = resolveTypeRef(N->Args[0], TScope);
+      if (!Elem)
+        return nullptr;
+      Result = Types.array(Elem);
+    } else if (ClassDecl *C = findClass(N->Name)) {
+      if (!expectArgs(C->TypeParamNames.size()))
+        return nullptr;
+      std::vector<Type *> Args;
+      Args.reserve(N->Args.size());
+      for (TypeRef *A : N->Args) {
+        Type *T = resolveTypeRef(A, TScope);
+        if (!T)
+          return nullptr;
+        Args.push_back(T);
+      }
+      Result = Types.classType(C->Def, Args);
+    } else {
+      Diags.error(N->Loc, "unknown type '" + *N->Name + "'");
+      return nullptr;
+    }
+    break;
+  }
+  case TypeRefKind::Tuple: {
+    auto *Tu = cast<TupleTypeRef>(Ref);
+    std::vector<Type *> Elems;
+    Elems.reserve(Tu->Elems.size());
+    for (TypeRef *E : Tu->Elems) {
+      Type *T = resolveTypeRef(E, TScope);
+      if (!T)
+        return nullptr;
+      Elems.push_back(T);
+    }
+    Result = Types.tuple(Elems);
+    break;
+  }
+  case TypeRefKind::Func: {
+    auto *F = cast<FuncTypeRef>(Ref);
+    Type *P = resolveTypeRef(F->Param, TScope);
+    Type *R = resolveTypeRef(F->Ret, TScope);
+    if (!P || !R)
+      return nullptr;
+    Result = Types.func(P, R);
+    break;
+  }
+  }
+  Ref->Resolved = Result;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Declaration passes
+//===----------------------------------------------------------------------===//
+
+void Resolver::declareClasses() {
+  for (ClassDecl *C : M.Classes) {
+    if (ClassesByName.count(C->Name)) {
+      Diags.error(C->Loc, "duplicate class '" + *C->Name + "'");
+      continue;
+    }
+    if (C->Name == Names.ArrayName || C->Name == Names.SystemName ||
+        C->Name == Names.Int || C->Name == Names.Byte ||
+        C->Name == Names.Bool || C->Name == Names.Void ||
+        C->Name == Names.String) {
+      Diags.error(C->Loc, "class name '" + *C->Name + "' is reserved");
+      continue;
+    }
+    ClassesByName[C->Name] = C;
+    C->Def = Types.makeClass(C->Name);
+    C->Def->AstDecl = C;
+    for (Ident P : C->TypeParamNames)
+      C->Def->TypeParams.push_back(Types.makeTypeParam(P));
+  }
+  for (MethodDecl *F : M.Funcs) {
+    if (FuncsByName.count(F->Name) || ClassesByName.count(F->Name)) {
+      Diags.error(F->Loc, "duplicate declaration '" + *F->Name + "'");
+      continue;
+    }
+    FuncsByName[F->Name] = F;
+  }
+  int Index = 0;
+  for (GlobalDecl *G : M.Globals) {
+    if (GlobalsByName.count(G->Name) || FuncsByName.count(G->Name) ||
+        ClassesByName.count(G->Name)) {
+      Diags.error(G->Loc, "duplicate declaration '" + *G->Name + "'");
+      continue;
+    }
+    GlobalsByName[G->Name] = G;
+    G->Index = Index++;
+  }
+}
+
+void Resolver::resolveParents() {
+  for (ClassDecl *C : M.Classes) {
+    if (!C->ParentRef || !C->Def)
+      continue;
+    TypeParamScope Scope = classScope(C);
+    Type *P = resolveTypeRef(C->ParentRef, Scope);
+    if (!P)
+      continue;
+    auto *CT = dyn_cast<ClassType>(P);
+    if (!CT) {
+      Diags.error(C->ParentRef->Loc, "superclass must be a class type");
+      continue;
+    }
+    C->Def->ParentAsWritten = CT;
+    C->Parent = static_cast<ClassDecl *>(CT->def()->AstDecl);
+  }
+  // Reject inheritance cycles and compute depths.
+  for (ClassDecl *C : M.Classes) {
+    if (!C->Def)
+      continue;
+    ClassDecl *Slow = C, *Fast = C;
+    bool Cycle = false;
+    while (Fast && Fast->Parent) {
+      Slow = Slow->Parent;
+      Fast = Fast->Parent->Parent;
+      if (Slow == Fast && Slow) {
+        Cycle = true;
+        break;
+      }
+    }
+    if (Cycle) {
+      Diags.error(C->Loc, "inheritance cycle involving class '" + *C->Name +
+                              "'");
+      C->Parent = nullptr;
+      C->Def->ParentAsWritten = nullptr;
+    }
+  }
+  for (ClassDecl *C : M.Classes) {
+    if (!C->Def)
+      continue;
+    uint32_t Depth = 0;
+    for (ClassDecl *P = C->Parent; P; P = P->Parent)
+      ++Depth;
+    C->Def->Depth = Depth;
+  }
+}
+
+void Resolver::resolveFuncSignature(MethodDecl *F,
+                                    const TypeParamScope &Outer) {
+  TypeParamScope Scope = Outer;
+  for (Ident PName : F->TypeParamNames) {
+    TypeParamDef *Def = Types.makeTypeParam(PName);
+    F->TypeParams.push_back(Def);
+    Scope.add(PName, Def);
+  }
+  for (LocalVar *P : F->Params) {
+    if (!P->DeclaredType) {
+      Diags.error(P->Loc, "parameter '" + *P->Name + "' needs a type");
+      P->Ty = Types.voidTy();
+      continue;
+    }
+    Type *T = resolveTypeRef(P->DeclaredType, Scope);
+    P->Ty = T ? T : Types.voidTy();
+  }
+  if (F->RetTypeRef) {
+    Type *R = resolveTypeRef(F->RetTypeRef, Scope);
+    F->RetTy = R ? R : Types.voidTy();
+  } else {
+    F->RetTy = Types.voidTy();
+  }
+  std::vector<Type *> ParamTys;
+  ParamTys.reserve(F->Params.size());
+  for (LocalVar *P : F->Params)
+    ParamTys.push_back(P->Ty);
+  F->FuncTy = Types.func(Types.tuple(ParamTys), F->RetTy);
+}
+
+void Resolver::synthesizeCtor(ClassDecl *C) {
+  // Implicit constructor: parent constructor parameters first (forwarded
+  // via super), then the compact fields.
+  auto *Ctor = Nodes.make<MethodDecl>();
+  Ctor->Loc = C->Loc;
+  Ctor->Name = Names.New;
+  Ctor->IsCtor = true;
+  Ctor->Owner = C;
+  Ctor->Body = Nodes.make<BlockStmt>(C->Loc, std::vector<Stmt *>());
+  if (C->Parent && C->Parent->Ctor && !C->Parent->Ctor->Params.empty()) {
+    Ctor->HasSuper = true;
+    for (LocalVar *PP : C->Parent->Ctor->Params) {
+      auto *P = Nodes.make<LocalVar>();
+      P->Loc = C->Loc;
+      P->Name = PP->Name;
+      P->IsMutable = false;
+      // Parent param types may mention the parent's type parameters;
+      // substitute this class's parent instantiation.
+      TypeSubst Subst{C->Parent->Def->TypeParams,
+                      cast<ClassType>(C->Def->ParentAsWritten)->args()};
+      P->Ty = Types.substitute(PP->Ty, Subst);
+      Ctor->Params.push_back(P);
+      auto *ArgRef = Nodes.make<NameExpr>(C->Loc, P->Name,
+                                          std::vector<TypeRef *>());
+      Ctor->SuperArgs.push_back(ArgRef);
+    }
+  }
+  for (FieldDecl *F : C->CompactFields) {
+    auto *P = Nodes.make<LocalVar>();
+    P->Loc = F->Loc;
+    P->Name = F->Name;
+    P->IsMutable = false;
+    P->Ty = F->Ty;
+    Ctor->Params.push_back(P);
+    Ctor->AutoAssign.push_back(F);
+  }
+  C->Ctor = Ctor;
+}
+
+void Resolver::resolveCtor(ClassDecl *C) {
+  MethodDecl *Ctor = C->Ctor;
+  TypeParamScope Scope = classScope(C);
+  for (LocalVar *P : Ctor->Params) {
+    if (P->Ty)
+      continue; // Synthesized params already have types.
+    if (P->DeclaredType) {
+      Type *T = resolveTypeRef(P->DeclaredType, Scope);
+      P->Ty = T ? T : Types.voidTy();
+      continue;
+    }
+    // Typeless parameter: binds to the same-named field and auto-assigns
+    // it (paper (a4)). A parameter naming an *inherited* field only
+    // borrows its type — the superclass constructor initializes it
+    // (typically via an explicit super(...) argument).
+    FieldDecl *Field = nullptr;
+    for (FieldDecl *F : C->Fields)
+      if (F->Name == P->Name)
+        Field = F;
+    FieldDecl *Inherited = nullptr;
+    if (!Field)
+      for (ClassDecl *D = C->Parent; D && !Inherited; D = D->Parent)
+        for (FieldDecl *F : D->Fields)
+          if (F->Name == P->Name)
+            Inherited = F;
+    if (!Field && !Inherited) {
+      Diags.error(P->Loc, "constructor parameter '" + *P->Name +
+                              "' has no type and no matching field");
+      P->Ty = Types.voidTy();
+      continue;
+    }
+    if (Inherited) {
+      // Substitute the parent instantiation into the field's type.
+      ClassType *Self = cast<ClassType>(Types.selfType(C->Def));
+      ClassType *At = Rels.superAt(Self, Inherited->Owner->Def);
+      TypeSubst Subst{Inherited->Owner->Def->TypeParams, At->args()};
+      P->Ty = Types.substitute(Inherited->Ty, Subst);
+      continue;
+    }
+    if (Field->Init)
+      Diags.error(P->Loc, "field '" + *P->Name +
+                              "' has both an initializer and a "
+                              "constructor parameter");
+    P->Ty = Field->Ty;
+    Ctor->AutoAssign.push_back(Field);
+  }
+  Ctor->RetTy = Types.voidTy();
+  std::vector<Type *> ParamTys;
+  for (LocalVar *P : Ctor->Params)
+    ParamTys.push_back(P->Ty);
+  Ctor->FuncTy = Types.func(Types.tuple(ParamTys), Types.voidTy());
+  // Validate the super clause shape (argument types are checked later).
+  if (Ctor->HasSuper && !C->Parent)
+    Diags.error(Ctor->Loc, "'super' used in a class without a superclass");
+  if (!Ctor->HasSuper && C->Parent && C->Parent->Ctor &&
+      !C->Parent->Ctor->Params.empty())
+    Diags.error(Ctor->Loc,
+                "constructor of '" + *C->Name +
+                    "' must call super: superclass constructor has "
+                    "parameters");
+}
+
+void Resolver::resolveClassSignatures(ClassDecl *C) {
+  TypeParamScope Scope = classScope(C);
+  for (FieldDecl *F : C->Fields) {
+    if (!F->DeclaredType) {
+      Diags.error(F->Loc, "field '" + *F->Name + "' needs a type");
+      F->Ty = Types.voidTy();
+      continue;
+    }
+    Type *T = resolveTypeRef(F->DeclaredType, Scope);
+    F->Ty = T ? T : Types.voidTy();
+  }
+  for (MethodDecl *Me : C->Methods)
+    resolveFuncSignature(Me, Scope);
+  // Duplicate member names (Virgil has no overloading, §3.3).
+  std::unordered_map<Ident, SourceLoc> Seen;
+  for (FieldDecl *F : C->Fields) {
+    if (Seen.count(F->Name))
+      Diags.error(F->Loc, "duplicate member '" + *F->Name + "'");
+    Seen[F->Name] = F->Loc;
+  }
+  for (MethodDecl *Me : C->Methods) {
+    if (Seen.count(Me->Name))
+      Diags.error(Me->Loc,
+                  "duplicate member '" + *Me->Name +
+                      "' (Virgil does not allow method overloading)");
+    Seen[Me->Name] = Me->Loc;
+  }
+}
+
+void Resolver::buildLayoutAndVTable(ClassDecl *C) {
+  if (LayoutDone[C])
+    return;
+  LayoutDone[C] = true;
+  if (C->Parent) {
+    buildLayoutAndVTable(C->Parent);
+    C->Layout = C->Parent->Layout;
+    C->VTable = C->Parent->VTable;
+  }
+  for (FieldDecl *F : C->Fields) {
+    // Reject shadowing of inherited fields.
+    for (FieldDecl *Inherited : C->Layout)
+      if (Inherited->Name == F->Name)
+        Diags.error(F->Loc, "field '" + *F->Name +
+                                "' shadows an inherited field");
+    F->Index = (int)C->Layout.size();
+    C->Layout.push_back(F);
+  }
+  for (MethodDecl *Me : C->Methods) {
+    // Find an inherited virtual method with the same name.
+    MethodDecl *Overridden = nullptr;
+    for (MethodDecl *V : C->VTable)
+      if (V->Name == Me->Name)
+        Overridden = V;
+    if (Overridden) {
+      if (Me->IsPrivate || Overridden->IsPrivate) {
+        Diags.error(Me->Loc, "cannot override a private method");
+        continue;
+      }
+      if (!Me->TypeParams.empty() || !Overridden->TypeParams.empty()) {
+        Diags.error(Me->Loc,
+                    "parameterized methods cannot take part in overriding");
+        continue;
+      }
+      // Override compatibility: the child's collapsed function type,
+      // with the parent's type arguments substituted into the parent
+      // signature, must be a subtype (contravariant params, covariant
+      // return). This admits the paper's (p14) tuple-vs-scalars
+      // override, whose collapsed types coincide.
+      Type *ParentFuncTy = Overridden->FuncTy;
+      if (C->Def->ParentAsWritten) {
+        // Walk up to the override's owner accumulating substitutions.
+        ClassType *Self = cast<ClassType>(Types.selfType(C->Def));
+        ClassType *At = Rels.superAt(Self, Overridden->Owner->Def);
+        assert(At && "override owner not on superclass chain");
+        TypeSubst Subst{Overridden->Owner->Def->TypeParams, At->args()};
+        ParentFuncTy = Types.substitute(ParentFuncTy, Subst);
+      }
+      if (!Rels.isSubtype(Me->FuncTy, ParentFuncTy)) {
+        Diags.error(Me->Loc, "override of '" + *Me->Name +
+                                 "' has incompatible type " +
+                                 Me->FuncTy->toString() + " (expected " +
+                                 ParentFuncTy->toString() + ")");
+        continue;
+      }
+      Me->Slot = Overridden->Slot;
+      Me->Overridden = Overridden;
+      C->VTable[Me->Slot] = Me;
+      continue;
+    }
+    if (Me->IsPrivate || !Me->TypeParams.empty())
+      continue; // Non-virtual: statically dispatched.
+    Me->Slot = (int)C->VTable.size();
+    C->VTable.push_back(Me);
+  }
+}
+
+void Resolver::resolveGlobals() {
+  for (GlobalDecl *G : M.Globals) {
+    if (G->DeclaredType) {
+      TypeParamScope Empty;
+      Type *T = resolveTypeRef(G->DeclaredType, Empty);
+      G->Ty = T ? T : Types.voidTy();
+    }
+    if (!G->DeclaredType && !G->Init)
+      Diags.error(G->Loc, "global '" + *G->Name +
+                              "' needs a type or an initializer");
+  }
+  TypeParamScope Empty;
+  for (MethodDecl *F : M.Funcs)
+    resolveFuncSignature(F, Empty);
+}
+
+bool Resolver::run() {
+  declareClasses();
+  if (Diags.hasErrors())
+    return false;
+  resolveParents();
+  if (Diags.hasErrors())
+    return false;
+  for (ClassDecl *C : M.Classes)
+    resolveClassSignatures(C);
+  // Constructors: synthesize or resolve, in hierarchy order so parent
+  // constructors exist before children forward to them.
+  std::vector<ClassDecl *> Order(M.Classes.begin(), M.Classes.end());
+  std::sort(Order.begin(), Order.end(),
+            [](ClassDecl *A, ClassDecl *B) {
+              return A->Def->Depth < B->Def->Depth;
+            });
+  for (ClassDecl *C : Order) {
+    if (C->Ctor)
+      resolveCtor(C);
+    else
+      synthesizeCtor(C);
+  }
+  // Explicit compact-field constructors: the compact fields are always
+  // auto-assigned even with an explicit constructor? No: an explicit
+  // constructor replaces the synthesized one, but compact fields behave
+  // like typeless parameters if named. Nothing extra to do here.
+  for (ClassDecl *C : M.Classes)
+    buildLayoutAndVTable(C);
+  resolveGlobals();
+  return !Diags.hasErrors();
+}

@@ -1,0 +1,87 @@
+//===- sema/Resolver.h - Module-level symbol resolution ---------*- C++ -*-===//
+///
+/// \file
+/// The first half of semantic analysis: builds ClassDefs, resolves
+/// superclasses (rejecting cycles), resolves every declared type,
+/// synthesizes constructors, computes field layouts and virtual method
+/// tables, and registers top-level functions/globals. Bodies are checked
+/// afterwards by TypeChecker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SEMA_RESOLVER_H
+#define VIRGIL_SEMA_RESOLVER_H
+
+#include "ast/Ast.h"
+#include "sema/Scope.h"
+#include "support/Arena.h"
+#include "support/Diagnostics.h"
+#include "types/TypeRelations.h"
+#include "types/TypeStore.h"
+
+#include <unordered_map>
+
+namespace virgil {
+
+/// Interned names for the built-in vocabulary.
+struct WellKnown {
+  Ident Int, Byte, Bool, Void, String, ArrayName, SystemName;
+  Ident Length, New, Main, Super;
+  Ident Puts, Puti, Putc, Ln, Ticks, Error;
+
+  explicit WellKnown(StringInterner &Idents);
+};
+
+/// Shared state for the whole semantic analysis of one module.
+class Resolver {
+public:
+  Resolver(Module &M, TypeStore &Types, StringInterner &Idents,
+           DiagEngine &Diags, Arena &Nodes);
+
+  /// Runs module-level resolution; returns false on errors.
+  bool run();
+
+  /// Resolves a syntactic type in the given type-parameter scope.
+  /// Reports and returns null on failure.
+  Type *resolveTypeRef(TypeRef *Ref, const TypeParamScope &TScope);
+
+  /// Member lookup along the superclass chain. Exactly one of the out
+  /// parameters is set on success. \p FromClass gates private access.
+  bool lookupMember(ClassDecl *C, Ident Name, ClassDecl *FromClass,
+                    FieldDecl *&FieldOut, MethodDecl *&MethodOut,
+                    ClassDecl *&OwnerOut);
+
+  ClassDecl *findClass(Ident Name) const;
+  MethodDecl *findFunc(Ident Name) const;
+  GlobalDecl *findGlobal(Ident Name) const;
+
+  /// The type-parameter scope for a class body (its own params).
+  TypeParamScope classScope(ClassDecl *C) const;
+
+  Module &M;
+  TypeStore &Types;
+  TypeRelations Rels;
+  StringInterner &Idents;
+  DiagEngine &Diags;
+  Arena &Nodes;
+  WellKnown Names;
+
+private:
+  void declareClasses();
+  void resolveParents();
+  void resolveClassSignatures(ClassDecl *C);
+  void resolveFuncSignature(MethodDecl *F, const TypeParamScope &Outer);
+  void synthesizeCtor(ClassDecl *C);
+  void resolveCtor(ClassDecl *C);
+  void buildLayoutAndVTable(ClassDecl *C);
+  void resolveGlobals();
+
+  std::unordered_map<Ident, ClassDecl *> ClassesByName;
+  std::unordered_map<Ident, MethodDecl *> FuncsByName;
+  std::unordered_map<Ident, GlobalDecl *> GlobalsByName;
+  std::unordered_map<ClassDecl *, bool> LayoutDone;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_SEMA_RESOLVER_H

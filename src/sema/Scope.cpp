@@ -1,0 +1,31 @@
+//===- sema/Scope.cpp -----------------------------------------------------===//
+
+#include "sema/Scope.h"
+
+#include <cassert>
+
+using namespace virgil;
+
+void LocalScope::push() { Frames.emplace_back(); }
+
+void LocalScope::pop() {
+  assert(!Frames.empty() && "scope underflow");
+  Frames.pop_back();
+}
+
+bool LocalScope::declare(LocalVar *Var) {
+  assert(!Frames.empty() && "no open scope");
+  for (const LocalVar *V : Frames.back())
+    if (V->Name == Var->Name)
+      return false;
+  Frames.back().push_back(Var);
+  return true;
+}
+
+LocalVar *LocalScope::lookup(Ident Name) const {
+  for (auto It = Frames.rbegin(), E = Frames.rend(); It != E; ++It)
+    for (LocalVar *V : *It)
+      if (V->Name == Name)
+        return V;
+  return nullptr;
+}

@@ -1,0 +1,53 @@
+//===- sema/Scope.h - Lexical scopes for locals and type params -*- C++ -*-===//
+///
+/// \file
+/// Scope stacks used during type checking: a value scope mapping
+/// identifiers to LocalVars, and a type scope mapping identifiers to
+/// TypeParamDefs (class parameters below method parameters).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SEMA_SCOPE_H
+#define VIRGIL_SEMA_SCOPE_H
+
+#include "ast/Ast.h"
+
+#include <vector>
+
+namespace virgil {
+
+/// A block-structured scope of local variables.
+class LocalScope {
+public:
+  void push();
+  void pop();
+  /// Declares \p Var in the innermost scope; returns false if the name
+  /// is already declared in that scope.
+  bool declare(LocalVar *Var);
+  /// Finds the innermost declaration of \p Name, or null.
+  LocalVar *lookup(Ident Name) const;
+  bool empty() const { return Frames.empty(); }
+
+private:
+  std::vector<std::vector<LocalVar *>> Frames;
+};
+
+/// Type parameters currently in scope (class params plus method params).
+class TypeParamScope {
+public:
+  void clear() { Params.clear(); }
+  void add(Ident Name, TypeParamDef *Def) { Params.push_back({Name, Def}); }
+  TypeParamDef *lookup(Ident Name) const {
+    for (auto It = Params.rbegin(), E = Params.rend(); It != E; ++It)
+      if (It->first == Name)
+        return It->second;
+    return nullptr;
+  }
+
+private:
+  std::vector<std::pair<Ident, TypeParamDef *>> Params;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_SEMA_SCOPE_H

@@ -1,0 +1,1619 @@
+//===- sema/TypeChecker.cpp -----------------------------------------------===//
+
+#include "sema/TypeChecker.h"
+
+#include "sema/PolyRecursion.h"
+
+#include <cassert>
+
+using namespace virgil;
+
+TypeChecker::TypeChecker(Resolver &R)
+    : R(R), Types(R.Types), Rels(R.Rels), Diags(R.Diags) {}
+
+void TypeChecker::error(SourceLoc Loc, std::string Message) {
+  Diags.error(Loc, std::move(Message));
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+static bool isNullLit(const Expr *E) {
+  return E->kind() == ExprKind::NullLit;
+}
+
+/// Can a value of this type be null (class, array, function)?
+static bool isNullable(const Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Class:
+  case TypeKind::Array:
+  case TypeKind::Function:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Type *TypeChecker::resolveNameAsType(NameExpr *N) {
+  // Locals and globals shadow type names.
+  if (Locals.lookup(N->Name) || R.findGlobal(N->Name) || R.findFunc(N->Name))
+    return nullptr;
+  // A type parameter in scope.
+  if (TypeParamDef *P = TScope.lookup(N->Name)) {
+    if (!N->TypeArgs.empty())
+      return nullptr;
+    return Types.typeParam(P);
+  }
+  auto resolveArgs = [&](std::vector<Type *> &Out) {
+    for (TypeRef *Ref : N->TypeArgs) {
+      Type *T = R.resolveTypeRef(Ref, TScope);
+      if (!T)
+        return false;
+      Out.push_back(T);
+    }
+    return true;
+  };
+  if (N->Name == R.Names.Int || N->Name == R.Names.Byte ||
+      N->Name == R.Names.Bool || N->Name == R.Names.Void ||
+      N->Name == R.Names.String) {
+    if (!N->TypeArgs.empty())
+      return nullptr;
+    if (N->Name == R.Names.Int)
+      return Types.intTy();
+    if (N->Name == R.Names.Byte)
+      return Types.byteTy();
+    if (N->Name == R.Names.Bool)
+      return Types.boolTy();
+    if (N->Name == R.Names.Void)
+      return Types.voidTy();
+    return Types.stringTy();
+  }
+  if (N->Name == R.Names.ArrayName) {
+    std::vector<Type *> Args;
+    if (!resolveArgs(Args) || Args.size() != 1)
+      return nullptr;
+    return Types.array(Args[0]);
+  }
+  if (ClassDecl *C = R.findClass(N->Name)) {
+    std::vector<Type *> Args;
+    if (!resolveArgs(Args))
+      return nullptr;
+    if (Args.empty() && !C->TypeParamNames.empty())
+      return Types.selfType(C->Def); // Open; used for Ctor inference.
+    if (Args.size() != C->TypeParamNames.size())
+      return nullptr;
+    return Types.classType(C->Def, Args);
+  }
+  return nullptr;
+}
+
+Type *TypeChecker::resolveExprAsType(Expr *E) {
+  if (auto *N = dyn_cast<NameExpr>(E))
+    return resolveNameAsType(N);
+  if (auto *TL = dyn_cast<TypeLitExpr>(E))
+    return R.resolveTypeRef(TL->Ref, TScope);
+  if (auto *T = dyn_cast<TupleLitExpr>(E)) {
+    std::vector<Type *> Elems;
+    for (Expr *Elem : T->Elems) {
+      Type *ET = resolveExprAsType(Elem);
+      if (!ET)
+        return nullptr;
+      Elems.push_back(ET);
+    }
+    return Types.tuple(Elems);
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Callable resolution
+//===----------------------------------------------------------------------===//
+
+int TypeChecker::resolveCallable(Expr *Callee, Callable &Out) {
+  if (auto *N = dyn_cast<NameExpr>(Callee)) {
+    if (Locals.lookup(N->Name))
+      return 0; // A local of (hopefully) function type.
+    // Implicit-this member method.
+    if (CurClass) {
+      FieldDecl *F = nullptr;
+      MethodDecl *Me = nullptr;
+      ClassDecl *Owner = nullptr;
+      if (R.lookupMember(CurClass, N->Name, CurClass, F, Me, Owner)) {
+        if (F)
+          return 0; // A field; if function-typed the call is indirect.
+        if (Me->IsCtor)
+          return 0;
+        Out.Kind = RefKind::MethodBound;
+        Out.Method = Me;
+        Out.Class = Owner;
+        Out.BaseType = Types.selfType(CurClass->Def);
+        Out.Site = N;
+        for (TypeRef *Ref : N->TypeArgs) {
+          Type *T = R.resolveTypeRef(Ref, TScope);
+          if (!T)
+            return -1;
+          Out.MethodArgs.push_back(T);
+        }
+        Out.MethodArgsExplicit = !N->TypeArgs.empty();
+        return 1;
+      }
+    }
+    if (MethodDecl *Fn = R.findFunc(N->Name)) {
+      Out.Kind = RefKind::Func;
+      Out.Method = Fn;
+      Out.Site = N;
+      for (TypeRef *Ref : N->TypeArgs) {
+        Type *T = R.resolveTypeRef(Ref, TScope);
+        if (!T)
+          return -1;
+        Out.MethodArgs.push_back(T);
+      }
+      Out.MethodArgsExplicit = !N->TypeArgs.empty();
+      return 1;
+    }
+    if (R.findGlobal(N->Name))
+      return 0;
+    if (resolveNameAsType(N)) {
+      error(N->Loc, "type '" + *N->Name + "' is not callable");
+      return -1;
+    }
+    return 0; // checkExpr will report the unknown name.
+  }
+
+  auto *M = dyn_cast<MemberExpr>(Callee);
+  if (!M)
+    return 0;
+
+  // Resolve explicit type arguments on the member, if any.
+  std::vector<Type *> MemberTypeArgs;
+  for (TypeRef *Ref : M->TypeArgs) {
+    Type *T = R.resolveTypeRef(Ref, TScope);
+    if (!T)
+      return -1;
+    MemberTypeArgs.push_back(T);
+  }
+
+  // Case 1: the base is a type (or System).
+  if (auto *BaseName = dyn_cast<NameExpr>(M->Base)) {
+    if (BaseName->Name == R.Names.SystemName &&
+        !Locals.lookup(BaseName->Name)) {
+      if (M->Sel != MemberSel::Name) {
+        error(M->Loc, "unknown System member");
+        return -1;
+      }
+      Out.Kind = RefKind::Builtin;
+      Out.Site = M;
+      if (M->Name == R.Names.Puts)
+        Out.Builtin = BuiltinKind::Puts;
+      else if (M->Name == R.Names.Puti)
+        Out.Builtin = BuiltinKind::Puti;
+      else if (M->Name == R.Names.Putc)
+        Out.Builtin = BuiltinKind::Putc;
+      else if (M->Name == R.Names.Ln)
+        Out.Builtin = BuiltinKind::Ln;
+      else if (M->Name == R.Names.Ticks)
+        Out.Builtin = BuiltinKind::Ticks;
+      else if (M->Name == R.Names.Error)
+        Out.Builtin = BuiltinKind::Error;
+      else {
+        error(M->Loc, "unknown System member '" + *M->Name + "'");
+        return -1;
+      }
+      return 1;
+    }
+  }
+  if (Type *BaseTy = resolveExprAsType(M->Base)) {
+    {
+      if (auto *BaseName = dyn_cast<NameExpr>(M->Base)) {
+        BaseName->Ref.Kind = RefKind::TypeName;
+        BaseName->Ty = nullptr;
+      }
+      // Operator member of a type: T.==, T.!=, T.!, T.?, int.+ ...
+      if (M->Sel == MemberSel::Op) {
+        Out.Kind = RefKind::OpFunc;
+        Out.Op = M->Op;
+        Out.BaseType = BaseTy;
+        Out.MethodArgs = std::move(MemberTypeArgs);
+        Out.MethodArgsExplicit = !M->TypeArgs.empty();
+        Out.Site = M;
+        // Arithmetic/comparison operators are only defined on int (and
+        // comparisons on byte).
+        switch (M->Op) {
+        case OpSel::Add:
+        case OpSel::Sub:
+        case OpSel::Mul:
+        case OpSel::Div:
+        case OpSel::Mod:
+          if (!BaseTy->isInt()) {
+            error(M->Loc, "operator is only defined on int");
+            return -1;
+          }
+          break;
+        case OpSel::Lt:
+        case OpSel::Le:
+        case OpSel::Gt:
+        case OpSel::Ge:
+          if (!BaseTy->isInt() && !BaseTy->isByte()) {
+            error(M->Loc, "comparison is only defined on int and byte");
+            return -1;
+          }
+          break;
+        default:
+          break;
+        }
+        return 1;
+      }
+      if (M->Sel != MemberSel::Name) {
+        error(M->Loc, "a type has no tuple elements");
+        return -1;
+      }
+      // Array<T>.new.
+      if (auto *AT = dyn_cast<ArrayType>(BaseTy)) {
+        if (M->Name == R.Names.New) {
+          Out.Kind = RefKind::ArrayNew;
+          Out.BaseType = AT;
+          Out.Site = M;
+          return 1;
+        }
+        error(M->Loc, "unknown array member '" + *M->Name + "'");
+        return -1;
+      }
+      auto *CT = dyn_cast<ClassType>(BaseTy);
+      if (!CT) {
+        error(M->Loc, "type " + BaseTy->toString() + " has no member '" +
+                          *M->Name + "'");
+        return -1;
+      }
+      ClassDecl *C = static_cast<ClassDecl *>(CT->def()->AstDecl);
+      auto *BaseName = dyn_cast<NameExpr>(M->Base);
+      bool Explicit =
+          (BaseName && !BaseName->TypeArgs.empty()) || !C->Def->isGeneric();
+      if (M->Name == R.Names.New) {
+        Out.Kind = RefKind::Ctor;
+        Out.Method = C->Ctor;
+        Out.Class = C;
+        Out.ClassArgs.assign(CT->args().begin(), CT->args().end());
+        Out.ClassArgsExplicit = Explicit;
+        Out.Site = M;
+        if (!MemberTypeArgs.empty()) {
+          error(M->Loc, "constructors take class type arguments "
+                        "(write C<T>.new)");
+          return -1;
+        }
+        // Reject instantiating classes with abstract methods.
+        for (MethodDecl *V : C->VTable)
+          if (!V->Body) {
+            error(M->Loc, "cannot instantiate '" + *C->Name +
+                              "': method '" + *V->Name + "' is abstract");
+            return -1;
+          }
+        return 1;
+      }
+      FieldDecl *F = nullptr;
+      MethodDecl *Me = nullptr;
+      ClassDecl *Owner = nullptr;
+      if (!R.lookupMember(C, M->Name, CurClass, F, Me, Owner)) {
+        error(M->Loc, "class '" + *C->Name + "' has no member '" +
+                          *M->Name + "'");
+        return -1;
+      }
+      if (F) {
+        error(M->Loc, "field '" + *M->Name +
+                          "' cannot be used without a receiver");
+        return -1;
+      }
+      Out.Kind = RefKind::MethodUnbound;
+      Out.Method = Me;
+      Out.Class = C;
+      Out.ClassArgs.assign(CT->args().begin(), CT->args().end());
+      Out.ClassArgsExplicit = Explicit;
+      Out.MethodArgs = std::move(MemberTypeArgs);
+      Out.MethodArgsExplicit = !M->TypeArgs.empty();
+      Out.Site = M;
+      return 1;
+    }
+  }
+
+  // Case 2: the base is an expression.
+  Type *BaseTy = checkExpr(M->Base, nullptr);
+  if (!BaseTy)
+    return -1;
+  if (M->Sel == MemberSel::Op) {
+    error(M->Loc, "operators are members of types, not values");
+    return -1;
+  }
+  if (M->Sel == MemberSel::TupleIndex)
+    return 0; // Tuple element; any call through it is indirect.
+  auto *CT = dyn_cast<ClassType>(BaseTy);
+  if (!CT)
+    return 0; // Array length etc.; calls are indirect.
+  ClassDecl *C = static_cast<ClassDecl *>(CT->def()->AstDecl);
+  FieldDecl *F = nullptr;
+  MethodDecl *Me = nullptr;
+  ClassDecl *Owner = nullptr;
+  if (!R.lookupMember(C, M->Name, CurClass, F, Me, Owner)) {
+    error(M->Loc, "class '" + *C->Name + "' has no member '" + *M->Name +
+                      "'");
+    return -1;
+  }
+  if (F)
+    return 0; // Field access; calls through it are indirect.
+  Out.Kind = RefKind::MethodBound;
+  Out.Method = Me;
+  Out.Class = Owner;
+  Out.BaseType = CT;
+  Out.MethodArgs = std::move(MemberTypeArgs);
+  Out.MethodArgsExplicit = !M->TypeArgs.empty();
+  Out.Site = M;
+  return 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Signatures of callables
+//===----------------------------------------------------------------------===//
+
+void TypeChecker::openSignature(const Callable &C, std::vector<Type *> &Params,
+                                Type *&Ret) {
+  Params.clear();
+  switch (C.Kind) {
+  case RefKind::Func: {
+    for (LocalVar *P : C.Method->Params)
+      Params.push_back(P->Ty);
+    Ret = C.Method->RetTy;
+    return;
+  }
+  case RefKind::MethodBound: {
+    // Substitute the receiver's class instantiation into the owner's
+    // signature, leaving only the method's own params open.
+    auto *Recv = cast<ClassType>(C.BaseType);
+    ClassType *At = Rels.superAt(Recv, C.Method->Owner->Def);
+    assert(At && "method owner not on receiver chain");
+    TypeSubst Subst{C.Method->Owner->Def->TypeParams, At->args()};
+    for (LocalVar *P : C.Method->Params)
+      Params.push_back(Types.substitute(P->Ty, Subst));
+    Ret = Types.substitute(C.Method->RetTy, Subst);
+    return;
+  }
+  case RefKind::MethodUnbound: {
+    TypeSubst Subst{C.Class->Def->TypeParams, C.ClassArgs};
+    Params.push_back(Types.classType(C.Class->Def, C.ClassArgs));
+    for (LocalVar *P : C.Method->Params)
+      Params.push_back(Types.substitute(P->Ty, Subst));
+    Ret = Types.substitute(C.Method->RetTy, Subst);
+    return;
+  }
+  case RefKind::Ctor: {
+    TypeSubst Subst{C.Class->Def->TypeParams, C.ClassArgs};
+    for (LocalVar *P : C.Method->Params)
+      Params.push_back(Types.substitute(P->Ty, Subst));
+    Ret = Types.classType(C.Class->Def, C.ClassArgs);
+    return;
+  }
+  case RefKind::ArrayNew:
+    Params.push_back(Types.intTy());
+    Ret = C.BaseType;
+    return;
+  case RefKind::OpFunc:
+    switch (C.Op) {
+    case OpSel::Eq:
+    case OpSel::Ne:
+      Params.push_back(C.BaseType);
+      Params.push_back(C.BaseType);
+      Ret = Types.boolTy();
+      return;
+    case OpSel::Add:
+    case OpSel::Sub:
+    case OpSel::Mul:
+    case OpSel::Div:
+    case OpSel::Mod:
+      Params.push_back(Types.intTy());
+      Params.push_back(Types.intTy());
+      Ret = Types.intTy();
+      return;
+    case OpSel::Lt:
+    case OpSel::Le:
+    case OpSel::Gt:
+    case OpSel::Ge:
+      Params.push_back(C.BaseType);
+      Params.push_back(C.BaseType);
+      Ret = Types.boolTy();
+      return;
+    case OpSel::Cast:
+      // Handled specially; the "from" type is the single method arg.
+      assert(!C.MethodArgs.empty() && "cast signature needs a from-type");
+      Params.push_back(C.MethodArgs[0]);
+      Ret = C.BaseType;
+      return;
+    case OpSel::Query:
+      assert(!C.MethodArgs.empty() && "query signature needs a from-type");
+      Params.push_back(C.MethodArgs[0]);
+      Ret = Types.boolTy();
+      return;
+    }
+    return;
+  case RefKind::Builtin:
+    switch (C.Builtin) {
+    case BuiltinKind::Puts:
+      Params.push_back(Types.stringTy());
+      Ret = Types.voidTy();
+      return;
+    case BuiltinKind::Puti:
+      Params.push_back(Types.intTy());
+      Ret = Types.voidTy();
+      return;
+    case BuiltinKind::Putc:
+      Params.push_back(Types.byteTy());
+      Ret = Types.voidTy();
+      return;
+    case BuiltinKind::Ln:
+      Ret = Types.voidTy();
+      return;
+    case BuiltinKind::Ticks:
+      Ret = Types.intTy();
+      return;
+    case BuiltinKind::Error:
+      Params.push_back(Types.stringTy());
+      Ret = Types.voidTy();
+      return;
+    }
+    return;
+  default:
+    assert(false && "not a callable kind");
+    Ret = Types.voidTy();
+  }
+}
+
+std::vector<TypeParamDef *> TypeChecker::openVars(const Callable &C) {
+  std::vector<TypeParamDef *> Vars;
+  if ((C.Kind == RefKind::Ctor || C.Kind == RefKind::MethodUnbound) &&
+      !C.ClassArgsExplicit)
+    for (TypeParamDef *P : C.Class->Def->TypeParams)
+      Vars.push_back(P);
+  if (C.Method && !C.MethodArgsExplicit)
+    for (TypeParamDef *P : C.Method->TypeParams)
+      Vars.push_back(P);
+  return Vars;
+}
+
+TypeSubst TypeChecker::explicitSubst(const Callable &C) {
+  TypeSubst Subst;
+  if (C.Method && C.MethodArgsExplicit) {
+    if (C.MethodArgs.size() != C.Method->TypeParams.size())
+      return Subst; // Arity mismatch reported by callers.
+    for (size_t I = 0; I != C.MethodArgs.size(); ++I) {
+      Subst.Params.push_back(C.Method->TypeParams[I]);
+      Subst.Args.push_back(C.MethodArgs[I]);
+    }
+  }
+  return Subst;
+}
+
+void TypeChecker::commitRef(Callable &C, const TypeSubst &Subst) {
+  RefInfo Ref;
+  Ref.Kind = C.Kind;
+  Ref.Decl = C.Method;
+  Ref.BaseType = C.BaseType;
+  Ref.Index = (int)C.Op;
+  if (C.Kind == RefKind::Builtin)
+    Ref.Index = (int)C.Builtin;
+  // Record the full, final type-argument vector: class args first.
+  if (C.Kind == RefKind::Ctor || C.Kind == RefKind::MethodUnbound) {
+    for (Type *A : C.ClassArgs)
+      Ref.TypeArgs.push_back(Types.substitute(A, Subst));
+  }
+  if (C.Method) {
+    for (size_t I = 0; I != C.Method->TypeParams.size(); ++I) {
+      Type *A = C.MethodArgsExplicit
+                    ? C.MethodArgs[I]
+                    : Subst.lookup(C.Method->TypeParams[I]);
+      assert(A && "missing method type argument");
+      Ref.TypeArgs.push_back(A);
+    }
+  }
+  if (C.Kind == RefKind::OpFunc) {
+    Ref.BaseType = Types.substitute(C.BaseType, Subst);
+    for (Type *A : C.MethodArgs)
+      Ref.TypeArgs.push_back(Types.substitute(A, Subst));
+  }
+  if (C.Kind == RefKind::MethodBound)
+    Ref.BaseType = C.BaseType;
+  if (C.Kind == RefKind::ArrayNew)
+    Ref.BaseType = C.BaseType;
+  if (auto *N = dyn_cast<NameExpr>(C.Site))
+    N->Ref = std::move(Ref);
+  else
+    cast<MemberExpr>(C.Site)->Ref = std::move(Ref);
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+Type *TypeChecker::checkDirectCall(CallExpr *E, Callable &C,
+                                   Type *Expected) {
+  // Casts and queries: the "from" type parameter is the argument's
+  // static type (paper b12-b15).
+  if (C.Kind == RefKind::OpFunc &&
+      (C.Op == OpSel::Cast || C.Op == OpSel::Query)) {
+    if (!C.MethodArgs.empty()) {
+      // Explicit from-type, e.g. A.!<B>(x): fall through to the general
+      // path with a fixed signature.
+    } else {
+      if (E->Args.size() != 1) {
+        error(E->Loc, "type cast/query takes exactly one argument");
+        return nullptr;
+      }
+      Type *From = checkExpr(E->Args[0], nullptr);
+      if (!From)
+        return nullptr;
+      C.MethodArgs.push_back(From);
+      C.MethodArgsExplicit = true;
+      Type *To = C.BaseType;
+      TypeRel Rel = C.Op == OpSel::Cast ? Rels.castRel(From, To)
+                                        : Rels.queryRel(From, To);
+      if (Rel == TypeRel::False && !From->isPoly() && !To->isPoly()) {
+        bool CrossKind = From->kind() != To->kind();
+        bool UnrelatedClasses =
+            From->kind() == TypeKind::Class && To->kind() == TypeKind::Class &&
+            !Rels.inheritsFrom(cast<ClassType>(From)->def(),
+                               cast<ClassType>(To)->def()) &&
+            !Rels.inheritsFrom(cast<ClassType>(To)->def(),
+                               cast<ClassType>(From)->def());
+        // The compiler rejects statically impossible casts; impossible
+        // *queries* between related constructors are permitted and
+        // evaluate to false (paper d13-d14).
+        if (C.Op == OpSel::Cast || CrossKind || UnrelatedClasses) {
+          error(E->Loc, (C.Op == OpSel::Cast ? "cast from " : "query of ") +
+                            From->toString() + " to " + To->toString() +
+                            " can never succeed");
+          return nullptr;
+        }
+      }
+      TypeSubst Empty;
+      commitRef(C, Empty);
+      E->Ty = C.Op == OpSel::Cast ? To : Types.boolTy();
+      return E->Ty;
+    }
+  }
+
+  std::vector<TypeParamDef *> Vars = openVars(C);
+  // Validate explicit method-arg arity.
+  if (C.Method && C.MethodArgsExplicit &&
+      C.MethodArgs.size() != C.Method->TypeParams.size()) {
+    error(E->Loc, "wrong number of type arguments for '" + *C.Method->Name +
+                      "'");
+    return nullptr;
+  }
+  std::vector<Type *> Params;
+  Type *Ret = nullptr;
+  openSignature(C, Params, Ret);
+  TypeSubst ESubst = explicitSubst(C);
+  if (!ESubst.empty()) {
+    for (Type *&P : Params)
+      P = Types.substitute(P, ESubst);
+    Ret = Types.substitute(Ret, ESubst);
+  }
+
+  // Shape adaptation between the syntactic argument list and the
+  // declared parameter list (paper §4.1: both are the same collapsed
+  // function type).
+  enum class Shape { Direct, Collapse, Spread } Shape = Shape::Direct;
+  size_t N = Params.size();
+  if (E->Args.size() == N) {
+    Shape = Shape::Direct;
+  } else if (N == 1) {
+    Shape = Shape::Collapse; // Args form a tuple for one tuple param.
+  } else if (E->Args.size() == 1) {
+    Shape = Shape::Spread; // One tuple arg feeds many params.
+  } else {
+    error(E->Loc, "wrong number of arguments: expected " +
+                      std::to_string(N) + ", got " +
+                      std::to_string(E->Args.size()));
+    return nullptr;
+  }
+
+  TypeUnifier Unifier(Types, Rels, Vars);
+  std::vector<Type *> ArgTys(E->Args.size(), nullptr);
+  std::vector<bool> Deferred(E->Args.size(), false);
+
+  auto checkArg = [&](size_t I, Type *DeclParam) -> bool {
+    if (isNullLit(E->Args[I]) && DeclParam && DeclParam->isPoly()) {
+      Deferred[I] = true; // Null gives no inference information.
+      return true;
+    }
+    Type *ExpectedArg =
+        DeclParam && !DeclParam->isPoly() ? DeclParam : nullptr;
+    Type *T = checkExpr(E->Args[I], ExpectedArg);
+    if (!T)
+      return false;
+    ArgTys[I] = T;
+    if (DeclParam)
+      Unifier.collect(DeclParam, T);
+    return true;
+  };
+
+  switch (Shape) {
+  case Shape::Direct:
+    for (size_t I = 0; I != E->Args.size(); ++I)
+      if (!checkArg(I, Params[I]))
+        return nullptr;
+    break;
+  case Shape::Collapse: {
+    // Decompose the single declared (tuple) parameter if possible.
+    Type *P0 = Params[0];
+    const TupleType *PT = dyn_cast<TupleType>(P0);
+    if (PT && PT->size() == E->Args.size()) {
+      for (size_t I = 0; I != E->Args.size(); ++I)
+        if (!checkArg(I, PT->elems()[I]))
+          return nullptr;
+    } else if (E->Args.empty()) {
+      if (!P0->isVoid() && !P0->isPoly()) {
+        error(E->Loc, "expected an argument of type " + P0->toString());
+        return nullptr;
+      }
+      if (P0->isPoly())
+        Unifier.collect(P0, Types.voidTy());
+    } else {
+      // Check all args, then unify the whole tuple.
+      std::vector<Type *> Elems;
+      for (size_t I = 0; I != E->Args.size(); ++I) {
+        if (!checkArg(I, nullptr))
+          return nullptr;
+        Elems.push_back(ArgTys[I]);
+      }
+      Unifier.collect(P0, Types.tuple(Elems));
+    }
+    break;
+  }
+  case Shape::Spread: {
+    Type *ExpectedTuple = nullptr;
+    bool AllConcrete = true;
+    for (Type *P : Params)
+      AllConcrete &= !P->isPoly();
+    if (AllConcrete)
+      ExpectedTuple = Types.tuple(Params);
+    Type *T = checkExpr(E->Args[0], ExpectedTuple);
+    if (!T)
+      return nullptr;
+    ArgTys[0] = T;
+    auto *TT = dyn_cast<TupleType>(T);
+    if (!TT || TT->size() != N) {
+      error(E->Loc, "cannot spread a value of type " + T->toString() +
+                        " over " + std::to_string(N) + " parameters");
+      return nullptr;
+    }
+    for (size_t I = 0; I != N; ++I)
+      Unifier.collect(Params[I], TT->elems()[I]);
+    break;
+  }
+  }
+
+  // Use the expected type as a weak hint for the return type.
+  if (Expected && !Vars.empty())
+    Unifier.collectWeak(Ret, Expected);
+
+  TypeSubst Inferred;
+  if (!Vars.empty()) {
+    if (!Unifier.allBound()) {
+      error(E->Loc, "cannot infer type argument '" +
+                        *Unifier.firstUnbound()->Name +
+                        "'; supply explicit type arguments");
+      return nullptr;
+    }
+    Inferred = Unifier.subst();
+    for (Type *&P : Params)
+      P = Types.substitute(P, Inferred);
+    Ret = Types.substitute(Ret, Inferred);
+  }
+
+  // Validate assignability (and check deferred nulls with their now
+  // concrete expected types).
+  auto validate = [&](size_t I, Type *Param) -> bool {
+    if (Deferred[I]) {
+      Type *T = checkExpr(E->Args[I], Param);
+      if (!T)
+        return false;
+      ArgTys[I] = T;
+    }
+    Type *T = ArgTys[I];
+    if (Shape == Shape::Spread)
+      return true; // Validated below as a whole.
+    if (!Rels.isAssignable(T, Param)) {
+      error(E->Args[I]->Loc, "argument of type " + T->toString() +
+                                 " is not assignable to parameter of "
+                                 "type " +
+                                 Param->toString());
+      return false;
+    }
+    return true;
+  };
+  switch (Shape) {
+  case Shape::Direct:
+    for (size_t I = 0; I != E->Args.size(); ++I)
+      if (!validate(I, Params[I]))
+        return nullptr;
+    break;
+  case Shape::Collapse: {
+    const TupleType *PT = dyn_cast<TupleType>(Params[0]);
+    if (PT && PT->size() == E->Args.size()) {
+      for (size_t I = 0; I != E->Args.size(); ++I)
+        if (!validate(I, PT->elems()[I]))
+          return nullptr;
+    } else {
+      std::vector<Type *> Elems;
+      for (size_t I = 0; I != E->Args.size(); ++I) {
+        if (Deferred[I]) {
+          error(E->Args[I]->Loc, "cannot infer the type of null here");
+          return nullptr;
+        }
+        Elems.push_back(ArgTys[I]);
+      }
+      Type *Whole = Types.tuple(Elems);
+      if (!Rels.isAssignable(Whole, Params[0])) {
+        error(E->Loc, "argument of type " + Whole->toString() +
+                          " is not assignable to parameter of type " +
+                          Params[0]->toString());
+        return nullptr;
+      }
+    }
+    break;
+  }
+  case Shape::Spread: {
+    Type *Whole = Types.tuple(Params);
+    if (!Rels.isAssignable(ArgTys[0], Whole)) {
+      error(E->Loc, "argument of type " + ArgTys[0]->toString() +
+                        " is not assignable to parameters of type " +
+                        Whole->toString());
+      return nullptr;
+    }
+    break;
+  }
+  }
+
+  // Finalize class args for Ctor/Unbound inference.
+  if ((C.Kind == RefKind::Ctor || C.Kind == RefKind::MethodUnbound) &&
+      !C.ClassArgsExplicit) {
+    for (Type *&A : C.ClassArgs)
+      A = Types.substitute(A, Inferred);
+  }
+  commitRef(C, Inferred);
+  E->Ty = Ret;
+  return Ret;
+}
+
+Type *TypeChecker::checkIndirectCall(CallExpr *E, Type *CalleeTy) {
+  auto *FT = dyn_cast<FuncType>(CalleeTy);
+  if (!FT) {
+    error(E->Loc, "value of type " + CalleeTy->toString() +
+                      " is not callable");
+    return nullptr;
+  }
+  Type *Param = FT->param();
+  if (E->Args.size() == 1) {
+    Type *T = checkExpr(E->Args[0], Param);
+    if (!T)
+      return nullptr;
+    if (!Rels.isAssignable(T, Param)) {
+      error(E->Args[0]->Loc, "argument of type " + T->toString() +
+                                 " is not assignable to parameter of "
+                                 "type " +
+                                 Param->toString());
+      return nullptr;
+    }
+  } else if (E->Args.empty()) {
+    if (!Param->isVoid()) {
+      error(E->Loc, "expected an argument of type " + Param->toString());
+      return nullptr;
+    }
+  } else {
+    auto *PT = dyn_cast<TupleType>(Param);
+    if (!PT || PT->size() != E->Args.size()) {
+      error(E->Loc, "wrong number of arguments for function of type " +
+                        CalleeTy->toString());
+      return nullptr;
+    }
+    for (size_t I = 0; I != E->Args.size(); ++I) {
+      Type *T = checkExpr(E->Args[I], PT->elems()[I]);
+      if (!T)
+        return nullptr;
+      if (!Rels.isAssignable(T, PT->elems()[I])) {
+        error(E->Args[I]->Loc, "argument of type " + T->toString() +
+                                   " is not assignable to parameter of "
+                                   "type " +
+                                   PT->elems()[I]->toString());
+        return nullptr;
+      }
+    }
+  }
+  E->Ty = FT->ret();
+  return E->Ty;
+}
+
+Type *TypeChecker::checkCall(CallExpr *E, Type *Expected) {
+  Callable C;
+  int R = resolveCallable(E->Callee, C);
+  if (R < 0)
+    return nullptr;
+  if (R > 0)
+    return checkDirectCall(E, C, Expected);
+  Type *CalleeTy = checkExpr(E->Callee, nullptr);
+  if (!CalleeTy)
+    return nullptr;
+  return checkIndirectCall(E, CalleeTy);
+}
+
+//===----------------------------------------------------------------------===//
+// Closing callables into function values
+//===----------------------------------------------------------------------===//
+
+Type *TypeChecker::closeCallable(Callable &C, Type *Expected,
+                                 SourceLoc Loc) {
+  // Cast/query used as a value need their from-type: A.!<B> (b14-15).
+  if (C.Kind == RefKind::OpFunc &&
+      (C.Op == OpSel::Cast || C.Op == OpSel::Query)) {
+    if (C.MethodArgs.empty()) {
+      if (auto *FT = dyn_cast_or_null<FuncType>(Expected)) {
+        C.MethodArgs.push_back(FT->param());
+        C.MethodArgsExplicit = true;
+      } else {
+        error(Loc, "a first-class cast/query needs an explicit input "
+                   "type, e.g. A.!<B>");
+        return nullptr;
+      }
+    }
+  }
+  if (C.Method && C.MethodArgsExplicit &&
+      C.MethodArgs.size() != C.Method->TypeParams.size()) {
+    error(Loc, "wrong number of type arguments for '" + *C.Method->Name +
+                   "'");
+    return nullptr;
+  }
+  std::vector<TypeParamDef *> Vars = openVars(C);
+  std::vector<Type *> Params;
+  Type *Ret = nullptr;
+  openSignature(C, Params, Ret);
+  TypeSubst ESubst = explicitSubst(C);
+  if (!ESubst.empty()) {
+    for (Type *&P : Params)
+      P = Types.substitute(P, ESubst);
+    Ret = Types.substitute(Ret, ESubst);
+  }
+  Type *FnTy = Types.func(Types.tuple(Params), Ret);
+  TypeSubst Inferred;
+  if (!Vars.empty()) {
+    TypeUnifier Unifier(Types, Rels, Vars);
+    if (Expected)
+      Unifier.collect(FnTy, Expected);
+    if (!Unifier.allBound()) {
+      error(Loc, "cannot infer type argument '" +
+                     *Unifier.firstUnbound()->Name +
+                     "' for a first-class use; supply explicit type "
+                     "arguments");
+      return nullptr;
+    }
+    Inferred = Unifier.subst();
+    FnTy = Types.substitute(FnTy, Inferred);
+    if ((C.Kind == RefKind::Ctor || C.Kind == RefKind::MethodUnbound) &&
+        !C.ClassArgsExplicit)
+      for (Type *&A : C.ClassArgs)
+        A = Types.substitute(A, Inferred);
+  }
+  commitRef(C, Inferred);
+  C.Site->Ty = FnTy;
+  return FnTy;
+}
+
+//===----------------------------------------------------------------------===//
+// Names and members
+//===----------------------------------------------------------------------===//
+
+Type *TypeChecker::checkName(NameExpr *E, Type *Expected) {
+  if (LocalVar *V = Locals.lookup(E->Name)) {
+    if (!E->TypeArgs.empty()) {
+      error(E->Loc, "a local variable takes no type arguments");
+      return nullptr;
+    }
+    E->Ref.Kind = RefKind::Local;
+    E->Ref.Decl = V;
+    E->Ty = V->Ty;
+    return E->Ty;
+  }
+  if (CurClass) {
+    FieldDecl *F = nullptr;
+    MethodDecl *Me = nullptr;
+    ClassDecl *Owner = nullptr;
+    if (R.lookupMember(CurClass, E->Name, CurClass, F, Me, Owner)) {
+      if (F) {
+        if (!E->TypeArgs.empty()) {
+          error(E->Loc, "a field takes no type arguments");
+          return nullptr;
+        }
+        E->Ref.Kind = RefKind::Field;
+        E->Ref.Decl = F;
+        E->Ref.BaseType = Types.selfType(CurClass->Def);
+        E->Ty = F->Ty;
+        return E->Ty;
+      }
+      Callable C;
+      C.Kind = RefKind::MethodBound;
+      C.Method = Me;
+      C.Class = Owner;
+      C.BaseType = Types.selfType(CurClass->Def);
+      C.Site = E;
+      for (TypeRef *Ref : E->TypeArgs) {
+        Type *T = R.resolveTypeRef(Ref, TScope);
+        if (!T)
+          return nullptr;
+        C.MethodArgs.push_back(T);
+      }
+      C.MethodArgsExplicit = !E->TypeArgs.empty();
+      return closeCallable(C, Expected, E->Loc);
+    }
+  }
+  if (MethodDecl *Fn = R.findFunc(E->Name)) {
+    Callable C;
+    C.Kind = RefKind::Func;
+    C.Method = Fn;
+    C.Site = E;
+    for (TypeRef *Ref : E->TypeArgs) {
+      Type *T = R.resolveTypeRef(Ref, TScope);
+      if (!T)
+        return nullptr;
+      C.MethodArgs.push_back(T);
+    }
+    C.MethodArgsExplicit = !E->TypeArgs.empty();
+    return closeCallable(C, Expected, E->Loc);
+  }
+  if (GlobalDecl *G = R.findGlobal(E->Name)) {
+    if (!E->TypeArgs.empty()) {
+      error(E->Loc, "a global takes no type arguments");
+      return nullptr;
+    }
+    E->Ref.Kind = RefKind::Global;
+    E->Ref.Decl = G;
+    E->Ty = G->Ty;
+    if (!E->Ty) {
+      error(E->Loc, "global '" + *E->Name +
+                        "' is used before its type is known");
+      return nullptr;
+    }
+    return E->Ty;
+  }
+  if (resolveNameAsType(E)) {
+    error(E->Loc, "type '" + *E->Name + "' cannot be used as a value");
+    return nullptr;
+  }
+  if (E->Name == R.Names.SystemName) {
+    error(E->Loc, "'System' cannot be used as a value");
+    return nullptr;
+  }
+  error(E->Loc, "unknown identifier '" + *E->Name + "'");
+  return nullptr;
+}
+
+Type *TypeChecker::checkMember(MemberExpr *E, Type *Expected) {
+  Callable C;
+  int Res = resolveCallable(E, C);
+  if (Res < 0)
+    return nullptr;
+  if (Res > 0)
+    return closeCallable(C, Expected, E->Loc);
+  // Not a direct callable: a field access, tuple element, or array
+  // length on an expression base.
+  Type *BaseTy = E->Base->Ty;
+  if (!BaseTy)
+    BaseTy = checkExpr(E->Base, nullptr);
+  if (!BaseTy)
+    return nullptr;
+  if (E->Sel == MemberSel::TupleIndex) {
+    auto *TT = dyn_cast<TupleType>(BaseTy);
+    if (!TT) {
+      error(E->Loc, "value of type " + BaseTy->toString() +
+                        " has no tuple elements");
+      return nullptr;
+    }
+    if (E->TupleIndex < 0 || (size_t)E->TupleIndex >= TT->size()) {
+      error(E->Loc, "tuple index out of range");
+      return nullptr;
+    }
+    E->Ref.Kind = RefKind::TupleIndex;
+    E->Ref.Index = E->TupleIndex;
+    E->Ty = TT->elems()[E->TupleIndex];
+    return E->Ty;
+  }
+  if (E->Sel != MemberSel::Name) {
+    error(E->Loc, "invalid member access");
+    return nullptr;
+  }
+  if (auto *AT = dyn_cast<ArrayType>(BaseTy)) {
+    if (E->Name == R.Names.Length) {
+      E->Ref.Kind = RefKind::ArrayLength;
+      E->Ty = Types.intTy();
+      return E->Ty;
+    }
+    (void)AT;
+    error(E->Loc, "unknown array member '" + *E->Name + "'");
+    return nullptr;
+  }
+  auto *CT = dyn_cast<ClassType>(BaseTy);
+  if (!CT) {
+    error(E->Loc, "value of type " + BaseTy->toString() +
+                      " has no member '" + *E->Name + "'");
+    return nullptr;
+  }
+  ClassDecl *Cls = static_cast<ClassDecl *>(CT->def()->AstDecl);
+  FieldDecl *F = nullptr;
+  MethodDecl *Me = nullptr;
+  ClassDecl *Owner = nullptr;
+  if (!R.lookupMember(Cls, E->Name, CurClass, F, Me, Owner) || !F) {
+    error(E->Loc, "class '" + *Cls->Name + "' has no field '" + *E->Name +
+                      "'");
+    return nullptr;
+  }
+  // Field type with the owner's instantiation substituted.
+  ClassType *At = Rels.superAt(CT, Owner->Def);
+  assert(At && "field owner not on chain");
+  TypeSubst Subst{Owner->Def->TypeParams, At->args()};
+  E->Ref.Kind = RefKind::Field;
+  E->Ref.Decl = F;
+  E->Ref.BaseType = CT;
+  E->Ty = Types.substitute(F->Ty, Subst);
+  return E->Ty;
+}
+
+//===----------------------------------------------------------------------===//
+// Other expressions
+//===----------------------------------------------------------------------===//
+
+bool TypeChecker::isLValue(Expr *E, bool &IsMutable) {
+  if (auto *N = dyn_cast<NameExpr>(E)) {
+    if (N->Ref.Kind == RefKind::Local) {
+      IsMutable = static_cast<LocalVar *>(N->Ref.Decl)->IsMutable;
+      return true;
+    }
+    if (N->Ref.Kind == RefKind::Global) {
+      IsMutable = static_cast<GlobalDecl *>(N->Ref.Decl)->IsMutable;
+      return true;
+    }
+    if (N->Ref.Kind == RefKind::Field) {
+      IsMutable = static_cast<FieldDecl *>(N->Ref.Decl)->IsMutable;
+      return true;
+    }
+    return false;
+  }
+  if (auto *M = dyn_cast<MemberExpr>(E)) {
+    if (M->Ref.Kind == RefKind::Field) {
+      IsMutable = static_cast<FieldDecl *>(M->Ref.Decl)->IsMutable;
+      return true;
+    }
+    return false;
+  }
+  if (isa<IndexExpr>(E)) {
+    IsMutable = true;
+    return true;
+  }
+  return false;
+}
+
+Type *TypeChecker::checkAssign(BinaryExpr *E) {
+  Type *LhsTy = checkExpr(E->Lhs, nullptr);
+  if (!LhsTy)
+    return nullptr;
+  bool IsMutable = false;
+  if (!isLValue(E->Lhs, IsMutable)) {
+    error(E->Loc, "expression is not assignable");
+    return nullptr;
+  }
+  if (!IsMutable) {
+    error(E->Loc, "cannot assign to an immutable binding");
+    return nullptr;
+  }
+  Type *RhsTy = checkExpr(E->Rhs, LhsTy);
+  if (!RhsTy)
+    return nullptr;
+  if (!Rels.isAssignable(RhsTy, LhsTy)) {
+    error(E->Loc, "cannot assign " + RhsTy->toString() + " to " +
+                      LhsTy->toString());
+    return nullptr;
+  }
+  E->Ty = LhsTy;
+  return E->Ty;
+}
+
+Type *TypeChecker::checkBinary(BinaryExpr *E, Type *Expected) {
+  (void)Expected;
+  if (E->Op == BinOp::Assign)
+    return checkAssign(E);
+  switch (E->Op) {
+  case BinOp::Add:
+  case BinOp::Sub:
+  case BinOp::Mul:
+  case BinOp::Div:
+  case BinOp::Mod: {
+    Type *L = checkExpr(E->Lhs, Types.intTy());
+    Type *Rt = checkExpr(E->Rhs, Types.intTy());
+    if (!L || !Rt)
+      return nullptr;
+    if (!L->isInt() || !Rt->isInt()) {
+      error(E->Loc, "arithmetic requires int operands (got " +
+                        L->toString() + " and " + Rt->toString() + ")");
+      return nullptr;
+    }
+    E->Ty = Types.intTy();
+    return E->Ty;
+  }
+  case BinOp::Lt:
+  case BinOp::Le:
+  case BinOp::Gt:
+  case BinOp::Ge: {
+    Type *L = checkExpr(E->Lhs, nullptr);
+    if (!L)
+      return nullptr;
+    Type *Rt = checkExpr(E->Rhs, L);
+    if (!Rt)
+      return nullptr;
+    bool Ok = (L->isInt() && Rt->isInt()) || (L->isByte() && Rt->isByte());
+    if (!Ok) {
+      error(E->Loc, "comparison requires int or byte operands");
+      return nullptr;
+    }
+    E->Ty = Types.boolTy();
+    return E->Ty;
+  }
+  case BinOp::Eq:
+  case BinOp::Ne: {
+    // Null literals take the other side's type.
+    Type *L = nullptr, *Rt = nullptr;
+    if (isNullLit(E->Lhs)) {
+      Rt = checkExpr(E->Rhs, nullptr);
+      if (!Rt)
+        return nullptr;
+      L = checkExpr(E->Lhs, Rt);
+    } else {
+      L = checkExpr(E->Lhs, nullptr);
+      if (!L)
+        return nullptr;
+      Rt = checkExpr(E->Rhs, L);
+    }
+    if (!L || !Rt)
+      return nullptr;
+    if (!Rels.isAssignable(L, Rt) && !Rels.isAssignable(Rt, L)) {
+      error(E->Loc, "cannot compare " + L->toString() + " with " +
+                        Rt->toString());
+      return nullptr;
+    }
+    E->Ty = Types.boolTy();
+    return E->Ty;
+  }
+  case BinOp::And:
+  case BinOp::Or: {
+    Type *L = checkExpr(E->Lhs, Types.boolTy());
+    Type *Rt = checkExpr(E->Rhs, Types.boolTy());
+    if (!L || !Rt)
+      return nullptr;
+    if (!L->isBool() || !Rt->isBool()) {
+      error(E->Loc, "logical operators require bool operands");
+      return nullptr;
+    }
+    E->Ty = Types.boolTy();
+    return E->Ty;
+  }
+  case BinOp::Assign:
+    break;
+  }
+  assert(false && "handled above");
+  return nullptr;
+}
+
+Type *TypeChecker::checkTernary(TernaryExpr *E, Type *Expected) {
+  Type *CondTy = checkExpr(E->Cond, Types.boolTy());
+  if (!CondTy)
+    return nullptr;
+  if (!CondTy->isBool()) {
+    error(E->Cond->Loc, "condition must be bool");
+    return nullptr;
+  }
+  // Null branches take the other branch's type when no expectation.
+  Expr *First = E->Then, *Second = E->Else;
+  if (!Expected && isNullLit(First))
+    std::swap(First, Second);
+  Type *T1 = checkExpr(First, Expected);
+  if (!T1)
+    return nullptr;
+  Type *T2 = checkExpr(Second, Expected ? Expected : T1);
+  if (!T2)
+    return nullptr;
+  Type *U = Rels.upperBound(T1, T2);
+  if (!U) {
+    error(E->Loc, "branches have incompatible types " + T1->toString() +
+                      " and " + T2->toString());
+    return nullptr;
+  }
+  E->Ty = U;
+  return U;
+}
+
+Type *TypeChecker::checkTupleLit(TupleLitExpr *E, Type *Expected) {
+  const TupleType *ET = dyn_cast_or_null<TupleType>(Expected);
+  bool Decompose = ET && ET->size() == E->Elems.size();
+  std::vector<Type *> Elems;
+  Elems.reserve(E->Elems.size());
+  for (size_t I = 0; I != E->Elems.size(); ++I) {
+    Type *T = checkExpr(E->Elems[I],
+                        Decompose ? ET->elems()[I] : nullptr);
+    if (!T)
+      return nullptr;
+    Elems.push_back(T);
+  }
+  E->Ty = Types.tuple(Elems);
+  return E->Ty;
+}
+
+Type *TypeChecker::checkIndex(IndexExpr *E) {
+  Type *BaseTy = checkExpr(E->Base, nullptr);
+  if (!BaseTy)
+    return nullptr;
+  auto *AT = dyn_cast<ArrayType>(BaseTy);
+  if (!AT) {
+    error(E->Loc, "value of type " + BaseTy->toString() +
+                      " cannot be indexed (tuples use .0, .1, ...)");
+    return nullptr;
+  }
+  Type *IdxTy = checkExpr(E->Index, Types.intTy());
+  if (!IdxTy)
+    return nullptr;
+  if (!IdxTy->isInt()) {
+    error(E->Index->Loc, "array index must be int");
+    return nullptr;
+  }
+  E->Ty = AT->elem();
+  return E->Ty;
+}
+
+Type *TypeChecker::checkExpr(Expr *E, Type *Expected) {
+  switch (E->kind()) {
+  case ExprKind::IntLit: {
+    auto *L = cast<IntLitExpr>(E);
+    // Literal adaptation: an int literal in byte range adopts the byte
+    // type when one is expected (paper (b4): a.m(5) with m(a: byte)).
+    if (Expected && Expected->isByte() && L->Value >= 0 && L->Value <= 255) {
+      E->Ty = Types.byteTy();
+      return E->Ty;
+    }
+    if (L->Value > INT32_MAX || L->Value < INT32_MIN) {
+      error(E->Loc, "integer literal does not fit in int");
+      return nullptr;
+    }
+    E->Ty = Types.intTy();
+    return E->Ty;
+  }
+  case ExprKind::ByteLit:
+    E->Ty = Types.byteTy();
+    return E->Ty;
+  case ExprKind::BoolLit:
+    E->Ty = Types.boolTy();
+    return E->Ty;
+  case ExprKind::StringLit:
+    E->Ty = Types.stringTy();
+    return E->Ty;
+  case ExprKind::NullLit:
+    if (!Expected || !isNullable(Expected)) {
+      error(E->Loc, "cannot infer the type of null here");
+      return nullptr;
+    }
+    E->Ty = Expected;
+    return E->Ty;
+  case ExprKind::This:
+    if (!CurClass || !CurMethod || (!CurMethod->Owner && !CurMethod->IsCtor)) {
+      error(E->Loc, "'this' is only available inside methods");
+      return nullptr;
+    }
+    E->Ty = Types.selfType(CurClass->Def);
+    return E->Ty;
+  case ExprKind::TypeLit:
+    error(E->Loc, "a type cannot be used as a value");
+    return nullptr;
+  case ExprKind::TupleLit:
+    return checkTupleLit(cast<TupleLitExpr>(E), Expected);
+  case ExprKind::Name:
+    return checkName(cast<NameExpr>(E), Expected);
+  case ExprKind::Member:
+    return checkMember(cast<MemberExpr>(E), Expected);
+  case ExprKind::IndexOp:
+    return checkIndex(cast<IndexExpr>(E));
+  case ExprKind::Call:
+    return checkCall(cast<CallExpr>(E), Expected);
+  case ExprKind::Binary:
+    return checkBinary(cast<BinaryExpr>(E), Expected);
+  case ExprKind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    Type *T = checkExpr(U->Operand, U->Op == UnOp::Neg ? Types.intTy()
+                                                       : Types.boolTy());
+    if (!T)
+      return nullptr;
+    if (U->Op == UnOp::Neg && !T->isInt()) {
+      error(E->Loc, "negation requires an int operand");
+      return nullptr;
+    }
+    if (U->Op == UnOp::Not && !T->isBool()) {
+      error(E->Loc, "'!' requires a bool operand");
+      return nullptr;
+    }
+    E->Ty = T;
+    return T;
+  }
+  case ExprKind::Ternary:
+    return checkTernary(cast<TernaryExpr>(E), Expected);
+  }
+  assert(false && "unknown expression kind");
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void TypeChecker::checkLocalDecl(LocalDeclStmt *S) {
+  for (LocalVar *V : S->Vars) {
+    if (V->DeclaredType) {
+      Type *T = R.resolveTypeRef(V->DeclaredType, TScope);
+      V->Ty = T ? T : Types.voidTy();
+      if (V->Init) {
+        Type *InitTy = checkExpr(V->Init, V->Ty);
+        if (InitTy && !Rels.isAssignable(InitTy, V->Ty))
+          error(V->Init->Loc, "cannot initialize " + V->Ty->toString() +
+                                  " with " + InitTy->toString());
+      }
+    } else if (V->Init) {
+      Type *InitTy = checkExpr(V->Init, nullptr);
+      V->Ty = InitTy ? InitTy : Types.voidTy();
+    } else {
+      error(V->Loc, "variable '" + *V->Name +
+                        "' needs a type or an initializer");
+      V->Ty = Types.voidTy();
+    }
+    if (!Locals.declare(V))
+      error(V->Loc, "duplicate variable '" + *V->Name + "'");
+  }
+}
+
+void TypeChecker::checkStmt(Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::Block: {
+    Locals.push();
+    for (Stmt *Inner : cast<BlockStmt>(S)->Stmts)
+      checkStmt(Inner);
+    Locals.pop();
+    return;
+  }
+  case StmtKind::LocalDecl:
+    checkLocalDecl(cast<LocalDeclStmt>(S));
+    return;
+  case StmtKind::If: {
+    auto *I = cast<IfStmt>(S);
+    Type *T = checkExpr(I->Cond, Types.boolTy());
+    if (T && !T->isBool())
+      error(I->Cond->Loc, "if condition must be bool");
+    checkStmt(I->Then);
+    if (I->Else)
+      checkStmt(I->Else);
+    return;
+  }
+  case StmtKind::While: {
+    auto *W = cast<WhileStmt>(S);
+    Type *T = checkExpr(W->Cond, Types.boolTy());
+    if (T && !T->isBool())
+      error(W->Cond->Loc, "while condition must be bool");
+    ++LoopDepth;
+    checkStmt(W->Body);
+    --LoopDepth;
+    return;
+  }
+  case StmtKind::For: {
+    auto *F = cast<ForStmt>(S);
+    Locals.push();
+    LocalVar *V = F->Var;
+    if (V->DeclaredType) {
+      Type *T = R.resolveTypeRef(V->DeclaredType, TScope);
+      V->Ty = T ? T : Types.voidTy();
+      Type *InitTy = checkExpr(V->Init, V->Ty);
+      if (InitTy && !Rels.isAssignable(InitTy, V->Ty))
+        error(V->Init->Loc, "cannot initialize " + V->Ty->toString() +
+                                " with " + InitTy->toString());
+    } else {
+      Type *InitTy = checkExpr(V->Init, nullptr);
+      V->Ty = InitTy ? InitTy : Types.voidTy();
+    }
+    Locals.declare(V);
+    if (F->Cond) {
+      Type *T = checkExpr(F->Cond, Types.boolTy());
+      if (T && !T->isBool())
+        error(F->Cond->Loc, "for condition must be bool");
+    }
+    if (F->Update)
+      checkExpr(F->Update, nullptr);
+    ++LoopDepth;
+    checkStmt(F->Body);
+    --LoopDepth;
+    Locals.pop();
+    return;
+  }
+  case StmtKind::Return: {
+    auto *Ret = cast<ReturnStmt>(S);
+    Type *Want = CurMethod ? CurMethod->RetTy : Types.voidTy();
+    if (!Ret->Value) {
+      if (!Want->isVoid())
+        error(Ret->Loc, "non-void method must return a value");
+      return;
+    }
+    Type *T = checkExpr(Ret->Value, Want);
+    if (T && !Rels.isAssignable(T, Want))
+      error(Ret->Loc, "cannot return " + T->toString() + " from a method "
+                          "returning " +
+                          Want->toString());
+    return;
+  }
+  case StmtKind::Break:
+    if (LoopDepth == 0)
+      error(S->Loc, "'break' outside a loop");
+    return;
+  case StmtKind::Continue:
+    if (LoopDepth == 0)
+      error(S->Loc, "'continue' outside a loop");
+    return;
+  case StmtKind::ExprEval:
+    checkExpr(cast<ExprStmt>(S)->E, nullptr);
+    return;
+  case StmtKind::Empty:
+    return;
+  }
+}
+
+bool TypeChecker::mustReturn(const Stmt *S) const {
+  switch (S->kind()) {
+  case StmtKind::Return:
+    return true;
+  case StmtKind::Block: {
+    for (const Stmt *Inner : cast<BlockStmt>(S)->Stmts)
+      if (mustReturn(Inner))
+        return true;
+    return false;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return I->Else && mustReturn(I->Then) && mustReturn(I->Else);
+  }
+  default:
+    return false;
+  }
+}
+
+void TypeChecker::checkBody(MethodDecl *M, ClassDecl *Owner) {
+  if (!M->Body)
+    return; // Abstract.
+  CurClass = Owner;
+  CurMethod = M;
+  TScope.clear();
+  if (Owner)
+    for (size_t I = 0; I != Owner->TypeParamNames.size(); ++I)
+      TScope.add(Owner->TypeParamNames[I], Owner->Def->TypeParams[I]);
+  for (size_t I = 0; I != M->TypeParamNames.size(); ++I)
+    TScope.add(M->TypeParamNames[I], M->TypeParams[I]);
+  Locals.push();
+  for (LocalVar *P : M->Params)
+    if (!Locals.declare(P))
+      error(P->Loc, "duplicate parameter '" + *P->Name + "'");
+  checkStmt(M->Body);
+  Locals.pop();
+  if (!M->RetTy->isVoid() && !mustReturn(M->Body))
+    error(M->Loc, "method '" + *M->Name +
+                      "' does not return a value on all paths");
+  CurClass = nullptr;
+  CurMethod = nullptr;
+}
+
+void TypeChecker::checkCtorBody(ClassDecl *C) {
+  MethodDecl *Ctor = C->Ctor;
+  CurClass = C;
+  CurMethod = Ctor;
+  TScope.clear();
+  for (size_t I = 0; I != C->TypeParamNames.size(); ++I)
+    TScope.add(C->TypeParamNames[I], C->Def->TypeParams[I]);
+  Locals.push();
+  for (LocalVar *P : Ctor->Params)
+    if (!Locals.declare(P))
+      error(P->Loc, "duplicate parameter '" + *P->Name + "'");
+  // Super arguments, checked against the parent constructor's
+  // (instantiated) parameters.
+  if (Ctor->HasSuper && C->Parent && C->Parent->Ctor) {
+    MethodDecl *PCtor = C->Parent->Ctor;
+    TypeSubst Subst{C->Parent->Def->TypeParams,
+                    cast<ClassType>(C->Def->ParentAsWritten)->args()};
+    if (Ctor->SuperArgs.size() != PCtor->Params.size()) {
+      error(Ctor->Loc, "wrong number of super arguments");
+    } else {
+      for (size_t I = 0; I != Ctor->SuperArgs.size(); ++I) {
+        Type *Want = Types.substitute(PCtor->Params[I]->Ty, Subst);
+        Type *T = checkExpr(Ctor->SuperArgs[I], Want);
+        if (T && !Rels.isAssignable(T, Want))
+          error(Ctor->SuperArgs[I]->Loc,
+                "super argument of type " + T->toString() +
+                    " is not assignable to " + Want->toString());
+      }
+    }
+  }
+  if (Ctor->Body)
+    checkStmt(Ctor->Body);
+  Locals.pop();
+  CurClass = nullptr;
+  CurMethod = nullptr;
+}
+
+bool TypeChecker::run() {
+  // Globals first, in source order; their initializers may reference
+  // earlier globals and any function.
+  TScope.clear();
+  for (GlobalDecl *G : R.M.Globals) {
+    Locals.push();
+    if (G->Init) {
+      Type *T = checkExpr(G->Init, G->Ty);
+      if (T) {
+        if (!G->Ty)
+          G->Ty = T;
+        else if (!Rels.isAssignable(T, G->Ty))
+          error(G->Init->Loc, "cannot initialize " + G->Ty->toString() +
+                                  " with " + T->toString());
+      } else if (!G->Ty) {
+        G->Ty = Types.voidTy();
+      }
+    }
+    Locals.pop();
+  }
+  // Field initializers (no this, no locals).
+  for (ClassDecl *C : R.M.Classes) {
+    CurClass = nullptr;
+    TScope = R.classScope(C);
+    for (FieldDecl *F : C->Fields) {
+      if (!F->Init)
+        continue;
+      Locals.push();
+      Type *T = checkExpr(F->Init, F->Ty);
+      if (T && !Rels.isAssignable(T, F->Ty))
+        error(F->Init->Loc, "cannot initialize field of type " +
+                                F->Ty->toString() + " with " +
+                                T->toString());
+      Locals.pop();
+    }
+  }
+  // Bodies.
+  for (ClassDecl *C : R.M.Classes) {
+    checkCtorBody(C);
+    for (MethodDecl *Me : C->Methods)
+      checkBody(Me, C);
+  }
+  for (MethodDecl *F : R.M.Funcs)
+    checkBody(F, nullptr);
+  // Entry point sanity: if main exists it must take no parameters.
+  if (MethodDecl *Main = R.findFunc(R.Names.Main)) {
+    if (!Main->Params.empty())
+      error(Main->Loc, "main must take no parameters");
+    if (!Main->TypeParams.empty())
+      error(Main->Loc, "main cannot be parameterized");
+  }
+  return !Diags.hasErrors();
+}
+
+//===----------------------------------------------------------------------===//
+// Sema facade
+//===----------------------------------------------------------------------===//
+
+bool Sema::run() {
+  if (!Res.run())
+    return false;
+  TypeChecker Checker(Res);
+  if (!Checker.run())
+    return false;
+  PolyRecursionChecker PolyCheck(Res);
+  return PolyCheck.run();
+}

@@ -1,0 +1,151 @@
+//===- sema/TypeChecker.h - Body checking and name resolution ---*- C++ -*-===//
+///
+/// \file
+/// The second half of semantic analysis: checks every initializer and
+/// body, resolves names and members (filling RefInfo on Name/Member
+/// expressions), infers type arguments, and enforces the assignability
+/// rules. Checking is bidirectional-lite: an optional expected type
+/// flows down for null literals, byte-range integer literals, tuple
+/// decomposition, and closing over generic function values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SEMA_TYPECHECKER_H
+#define VIRGIL_SEMA_TYPECHECKER_H
+
+#include "sema/Inference.h"
+#include "sema/Resolver.h"
+
+namespace virgil {
+
+class TypeChecker {
+public:
+  explicit TypeChecker(Resolver &R);
+
+  /// Checks all bodies; returns false on errors.
+  bool run();
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Callable resolution
+  //===--------------------------------------------------------------------===//
+
+  /// A callee that can be called (or closed over) directly, with its
+  /// polymorphic signature still open.
+  struct Callable {
+    RefKind Kind = RefKind::None;
+    MethodDecl *Method = nullptr;  ///< Func/MethodBound/MethodUnbound/Ctor.
+    ClassDecl *Class = nullptr;    ///< Ctor/MethodUnbound owner.
+    OpSel Op = OpSel::Eq;          ///< OpFunc.
+    BuiltinKind Builtin = BuiltinKind::Puts;
+    /// Receiver static type for MethodBound (a class type), or the T of
+    /// T.op, or the Array<T> of Array<T>.new.
+    Type *BaseType = nullptr;
+    /// Explicit class type arguments (Ctor/MethodUnbound on a generic
+    /// class); empty means "infer".
+    std::vector<Type *> ClassArgs;
+    bool ClassArgsExplicit = false;
+    /// Explicit method type arguments; empty means "infer".
+    std::vector<Type *> MethodArgs;
+    bool MethodArgsExplicit = false;
+    /// The node whose RefInfo should record the resolution.
+    Expr *Site = nullptr;
+  };
+
+  /// Tries to resolve \p Callee into a direct callable. Returns:
+  /// 1 = resolved into \p Out; 0 = not a direct callable (treat as a
+  /// value); -1 = error already reported.
+  int resolveCallable(Expr *Callee, Callable &Out);
+
+  /// Resolves a NameExpr as a *type* (class with args, primitive,
+  /// Array<T>, string, or type parameter); null if it is not a type.
+  Type *resolveNameAsType(NameExpr *N);
+
+  /// Like resolveNameAsType but also accepts tuple spellings such as
+  /// `(int, int)` as the base of an operator member (`(int, int).==`).
+  Type *resolveExprAsType(Expr *E);
+
+  //===--------------------------------------------------------------------===//
+  // Expression checking
+  //===--------------------------------------------------------------------===//
+
+  Type *checkExpr(Expr *E, Type *Expected);
+  Type *checkName(NameExpr *E, Type *Expected);
+  Type *checkMember(MemberExpr *E, Type *Expected);
+  Type *checkCall(CallExpr *E, Type *Expected);
+  Type *checkDirectCall(CallExpr *E, Callable &C, Type *Expected);
+  Type *checkIndirectCall(CallExpr *E, Type *CalleeTy);
+  Type *checkBinary(BinaryExpr *E, Type *Expected);
+  Type *checkAssign(BinaryExpr *E);
+  Type *checkTernary(TernaryExpr *E, Type *Expected);
+  Type *checkTupleLit(TupleLitExpr *E, Type *Expected);
+  Type *checkIndex(IndexExpr *E);
+
+  /// Closes a resolved callable into a function *value* (paper §2.2:
+  /// object methods, class methods, constructors, and operators are all
+  /// first-class). Needs all type arguments, explicit or inferable from
+  /// \p Expected.
+  Type *closeCallable(Callable &C, Type *Expected, SourceLoc Loc);
+
+  /// Computes the open (possibly polymorphic) parameter list and return
+  /// type of a callable, before substitution.
+  void openSignature(const Callable &C, std::vector<Type *> &Params,
+                     Type *&Ret);
+
+  /// All inference variables of a callable (class params then method
+  /// params, minus explicitly-supplied groups).
+  std::vector<TypeParamDef *> openVars(const Callable &C);
+
+  /// Builds the substitution from explicit arguments.
+  TypeSubst explicitSubst(const Callable &C);
+
+  /// Records the final resolution into the site's RefInfo.
+  void commitRef(Callable &C, const TypeSubst &Subst);
+
+  bool isLValue(Expr *E, bool &IsMutable);
+
+  //===--------------------------------------------------------------------===//
+  // Statement checking
+  //===--------------------------------------------------------------------===//
+
+  void checkStmt(Stmt *S);
+  void checkLocalDecl(LocalDeclStmt *S);
+  void checkBody(MethodDecl *M, ClassDecl *Owner);
+  void checkCtorBody(ClassDecl *C);
+  bool mustReturn(const Stmt *S) const;
+
+  /// Reports an error at \p Loc.
+  void error(SourceLoc Loc, std::string Message);
+
+  Resolver &R;
+  TypeStore &Types;
+  TypeRelations &Rels;
+  DiagEngine &Diags;
+
+  ClassDecl *CurClass = nullptr;
+  MethodDecl *CurMethod = nullptr;
+  LocalScope Locals;
+  TypeParamScope TScope;
+  int LoopDepth = 0;
+};
+
+/// Facade running the full semantic analysis (resolution, body
+/// checking, polymorphic-recursion detection).
+class Sema {
+public:
+  Sema(Module &M, TypeStore &Types, StringInterner &Idents,
+       DiagEngine &Diags, Arena &Nodes)
+      : Res(M, Types, Idents, Diags, Nodes) {}
+
+  /// Runs all phases; returns false on any error.
+  bool run();
+
+  Resolver &resolver() { return Res; }
+
+private:
+  Resolver Res;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_SEMA_TYPECHECKER_H

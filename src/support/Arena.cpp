@@ -1,0 +1,42 @@
+//===- support/Arena.cpp --------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace virgil;
+
+Arena::~Arena() {
+  // Run registered destructors in reverse construction order.
+  for (auto It = Dtors.rbegin(), E = Dtors.rend(); It != E; ++It)
+    It->Dtor(It->Obj);
+  for (const Slab &S : Slabs)
+    std::free(S.Base);
+}
+
+void Arena::addSlab(size_t MinSize) {
+  size_t Size = NextSlabSize;
+  if (Size < MinSize)
+    Size = MinSize;
+  NextSlabSize = NextSlabSize * 2;
+  char *Base = static_cast<char *>(std::malloc(Size));
+  assert(Base && "arena slab allocation failed");
+  Slabs.push_back(Slab{Base, Size});
+  Cur = Base;
+  End = Base + Size;
+}
+
+void *Arena::allocate(size_t Size, size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "align must be pow2");
+  uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+  uintptr_t Aligned = (P + Align - 1) & ~(uintptr_t)(Align - 1);
+  if (!Cur || Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+    addSlab(Size + Align);
+    P = reinterpret_cast<uintptr_t>(Cur);
+    Aligned = (P + Align - 1) & ~(uintptr_t)(Align - 1);
+  }
+  Cur = reinterpret_cast<char *>(Aligned + Size);
+  BytesAllocated += Size;
+  return reinterpret_cast<void *>(Aligned);
+}

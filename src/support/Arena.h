@@ -1,0 +1,72 @@
+//===- support/Arena.h - Bump-pointer allocation ----------------*- C++ -*-===//
+///
+/// \file
+/// A simple bump-pointer arena. AST nodes, types, and IR nodes are
+/// allocated here and never individually freed; whole phases are torn
+/// down by destroying their arena. Objects allocated with `make<T>` have
+/// trivial-enough destructors by convention (no owning members), matching
+/// the compiler's phase-oriented lifetime model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SUPPORT_ARENA_H
+#define VIRGIL_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace virgil {
+
+/// Bump allocator backed by geometrically growing slabs.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+  ~Arena();
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align);
+
+  /// Constructs a \p T in the arena. If T is not trivially destructible
+  /// its destructor runs when the arena is destroyed.
+  template <typename T, typename... Args> T *make(Args &&...A) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    T *Obj = new (Mem) T(std::forward<Args>(A)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      Dtors.push_back(DtorEntry{Obj, [](void *P) {
+                                  static_cast<T *>(P)->~T();
+                                }});
+    return Obj;
+  }
+
+  /// Total bytes handed out so far (for statistics).
+  size_t bytesAllocated() const { return BytesAllocated; }
+
+private:
+  struct Slab {
+    char *Base;
+    size_t Size;
+  };
+  struct DtorEntry {
+    void *Obj;
+    void (*Dtor)(void *);
+  };
+
+  void addSlab(size_t MinSize);
+
+  std::vector<Slab> Slabs;
+  std::vector<DtorEntry> Dtors;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t NextSlabSize = 16 * 1024;
+  size_t BytesAllocated = 0;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_SUPPORT_ARENA_H

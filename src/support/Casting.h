@@ -1,0 +1,57 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style. A class hierarchy opts in by
+/// providing a `static bool classof(const Base *)` predicate on each
+/// derived class; `isa<>`, `cast<>`, and `dyn_cast<>` then work without
+/// compiler RTTI, which this project does not use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SUPPORT_CASTING_H
+#define VIRGIL_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace virgil {
+
+/// Returns true if \p Val is an instance of \p To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null argument.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace virgil
+
+#endif // VIRGIL_SUPPORT_CASTING_H

@@ -1,0 +1,59 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace virgil;
+
+void DiagEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back(Diagnostic{DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back(Diagnostic{DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagEngine::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back(Diagnostic{DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+static void renderOne(std::ostringstream &OS, const SourceFile *File,
+                      const Diagnostic &D) {
+  if (File) {
+    LineCol LC = File->lineCol(D.Loc);
+    OS << File->name() << ':' << LC.Line << ':' << LC.Col << ": ";
+  }
+  OS << severityName(D.Severity) << ": " << D.Message << '\n';
+}
+
+std::string DiagEngine::render() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags)
+    renderOne(OS, File, D);
+  return OS.str();
+}
+
+std::string DiagEngine::firstError() const {
+  for (const Diagnostic &D : Diags) {
+    if (D.Severity != DiagSeverity::Error)
+      continue;
+    std::ostringstream OS;
+    renderOne(OS, File, D);
+    return OS.str();
+  }
+  return "";
+}

@@ -1,0 +1,65 @@
+//===- support/Diagnostics.h - Diagnostic collection ------------*- C++ -*-===//
+///
+/// \file
+/// The diagnostic engine used throughout the compiler. Phases report
+/// errors/warnings here rather than throwing; callers check hasErrors()
+/// between phases. Messages follow the LLVM convention: lower-case first
+/// word, no trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SUPPORT_DIAGNOSTICS_H
+#define VIRGIL_SUPPORT_DIAGNOSTICS_H
+
+#include "support/Source.h"
+
+#include <string>
+#include <vector>
+
+namespace virgil {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics for one compilation.
+class DiagEngine {
+public:
+  explicit DiagEngine(const SourceFile *File = nullptr) : File(File) {}
+
+  void setFile(const SourceFile *F) { File = F; }
+  const SourceFile *file() const { return File; }
+
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic as "file:line:col: severity: message".
+  std::string render() const;
+
+  /// Renders the first error only, or "" if none.
+  std::string firstError() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  const SourceFile *File;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,34 @@
+//===- support/Source.cpp -------------------------------------------------===//
+
+#include "support/Source.h"
+
+#include <algorithm>
+
+using namespace virgil;
+
+SourceFile::SourceFile(std::string Name, std::string SrcText)
+    : FileName(std::move(Name)), Text(std::move(SrcText)) {
+  LineStarts.push_back(0);
+  for (uint32_t I = 0, E = (uint32_t)Text.size(); I != E; ++I)
+    if (Text[I] == '\n')
+      LineStarts.push_back(I + 1);
+}
+
+LineCol SourceFile::lineCol(SourceLoc Loc) const {
+  if (!Loc.isValid() || Loc.Offset > Text.size())
+    return LineCol{};
+  auto It = std::upper_bound(LineStarts.begin(), LineStarts.end(), Loc.Offset);
+  uint32_t Line = (uint32_t)(It - LineStarts.begin());
+  uint32_t Col = Loc.Offset - LineStarts[Line - 1] + 1;
+  return LineCol{Line, Col};
+}
+
+std::string_view SourceFile::lineText(SourceLoc Loc) const {
+  LineCol LC = lineCol(Loc);
+  if (LC.Line == 0)
+    return {};
+  uint32_t Begin = LineStarts[LC.Line - 1];
+  uint32_t End = LC.Line < LineStarts.size() ? LineStarts[LC.Line] - 1
+                                             : (uint32_t)Text.size();
+  return std::string_view(Text).substr(Begin, End - Begin);
+}

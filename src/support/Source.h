@@ -1,0 +1,64 @@
+//===- support/Source.h - Source buffers and locations ----------*- C++ -*-===//
+///
+/// \file
+/// Source text management: a SourceFile owns the text of one compilation
+/// input; SourceLoc is a byte offset into it; SourceRange spans two
+/// offsets. Line/column mapping is computed lazily for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SUPPORT_SOURCE_H
+#define VIRGIL_SUPPORT_SOURCE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace virgil {
+
+/// A byte offset into a SourceFile. Offset ~0u means "unknown".
+struct SourceLoc {
+  uint32_t Offset = ~0u;
+
+  bool isValid() const { return Offset != ~0u; }
+  static SourceLoc invalid() { return SourceLoc{}; }
+};
+
+/// A half-open [Begin, End) byte range.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+};
+
+/// Line and column, both 1-based, for rendering diagnostics.
+struct LineCol {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+};
+
+/// One input file (or in-memory buffer) of Virgil source.
+class SourceFile {
+public:
+  SourceFile(std::string Name, std::string Text);
+
+  const std::string &name() const { return FileName; }
+  std::string_view text() const { return Text; }
+  size_t size() const { return Text.size(); }
+
+  /// Maps a location to 1-based line/column. Invalid locs map to 0:0.
+  LineCol lineCol(SourceLoc Loc) const;
+
+  /// Returns the full text of the (1-based) line containing \p Loc.
+  std::string_view lineText(SourceLoc Loc) const;
+
+private:
+  std::string FileName;
+  std::string Text;
+  /// Byte offset of the start of each line; LineStarts[0] == 0.
+  std::vector<uint32_t> LineStarts;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_SUPPORT_SOURCE_H

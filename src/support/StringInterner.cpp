@@ -1,0 +1,10 @@
+//===- support/StringInterner.cpp -----------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace virgil;
+
+Ident StringInterner::intern(std::string_view Text) {
+  auto It = Pool.emplace(Text).first;
+  return &*It;
+}

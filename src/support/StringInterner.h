@@ -1,0 +1,35 @@
+//===- support/StringInterner.h - Uniqued identifier storage ----*- C++ -*-===//
+///
+/// \file
+/// Interns identifier spellings so that name equality is pointer
+/// equality. Interned strings live as long as the interner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SUPPORT_STRINGINTERNER_H
+#define VIRGIL_SUPPORT_STRINGINTERNER_H
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace virgil {
+
+/// An interned, immutable identifier. Compare by pointer.
+using Ident = const std::string *;
+
+/// Owns a set of uniqued strings.
+class StringInterner {
+public:
+  /// Returns the canonical Ident for \p Text.
+  Ident intern(std::string_view Text);
+
+  size_t size() const { return Pool.size(); }
+
+private:
+  std::unordered_set<std::string> Pool;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,106 @@
+//===- types/Type.cpp -----------------------------------------------------===//
+
+#include "types/Type.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace virgil;
+
+bool Type::isVoid() const {
+  const auto *P = dyn_cast<PrimType>(this);
+  return P && P->prim() == PrimKind::Void;
+}
+
+bool Type::isBool() const {
+  const auto *P = dyn_cast<PrimType>(this);
+  return P && P->prim() == PrimKind::Bool;
+}
+
+bool Type::isByte() const {
+  const auto *P = dyn_cast<PrimType>(this);
+  return P && P->prim() == PrimKind::Byte;
+}
+
+bool Type::isInt() const {
+  const auto *P = dyn_cast<PrimType>(this);
+  return P && P->prim() == PrimKind::Int;
+}
+
+static void print(std::ostringstream &OS, const Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Prim:
+    switch (cast<PrimType>(T)->prim()) {
+    case PrimKind::Void:
+      OS << "void";
+      return;
+    case PrimKind::Bool:
+      OS << "bool";
+      return;
+    case PrimKind::Byte:
+      OS << "byte";
+      return;
+    case PrimKind::Int:
+      OS << "int";
+      return;
+    }
+    return;
+  case TypeKind::Array:
+    OS << "Array<";
+    print(OS, cast<ArrayType>(T)->elem());
+    OS << '>';
+    return;
+  case TypeKind::Tuple: {
+    OS << '(';
+    bool First = true;
+    for (const Type *E : cast<TupleType>(T)->elems()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      print(OS, E);
+    }
+    OS << ')';
+    return;
+  }
+  case TypeKind::Function: {
+    const auto *FT = cast<FuncType>(T);
+    // Parenthesize a function parameter that is itself a function so
+    // that the right-associativity of -> is visible.
+    bool ParenParam = FT->param()->kind() == TypeKind::Function;
+    if (ParenParam)
+      OS << '(';
+    print(OS, FT->param());
+    if (ParenParam)
+      OS << ')';
+    OS << " -> ";
+    print(OS, FT->ret());
+    return;
+  }
+  case TypeKind::Class: {
+    const auto *CT = cast<ClassType>(T);
+    OS << *CT->def()->Name;
+    if (!CT->args().empty()) {
+      OS << '<';
+      bool First = true;
+      for (const Type *A : CT->args()) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        print(OS, A);
+      }
+      OS << '>';
+    }
+    return;
+  }
+  case TypeKind::TypeParam:
+    OS << *cast<TypeParamType>(T)->def()->Name;
+    return;
+  }
+  assert(false && "unknown type kind");
+}
+
+std::string Type::toString() const {
+  std::ostringstream OS;
+  print(OS, this);
+  return OS.str();
+}

@@ -1,0 +1,198 @@
+//===- types/Type.h - The five Virgil type constructors ---------*- C++ -*-===//
+///
+/// \file
+/// Type representation for the Virgil III core language (paper §2.5).
+/// There are exactly five kinds of type constructors, plus type
+/// parameters:
+///
+///   Typecon    Type parameters          Syntax
+///   Primitive  (none)                   void | int | byte | bool
+///   Array      T (invariant)            Array<T>
+///   Tuple      +T0 ... +Tn (covariant)  (T0, ..., Tn)
+///   Function   -Tp +Tr                  Tp -> Tr
+///   Class      T0 ... Tn (invariant)    C<T0, ..., Tn>
+///
+/// Tuple types obey the paper's degenerate rules: the 0-tuple *is* void
+/// and the 1-tuple (T) *is* T; TypeStore enforces this, so a TupleType
+/// object always has >= 2 elements. Types are uniqued by TypeStore, so
+/// equality is pointer equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_TYPES_TYPE_H
+#define VIRGIL_TYPES_TYPE_H
+
+#include "support/Casting.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace virgil {
+
+class Type;
+
+/// One declared type parameter, e.g. the T in `class List<T>` or
+/// `def id<T>(x: T) -> T`. Identity (the pointer) is what matters;
+/// a TypeParamType wraps one of these.
+struct TypeParamDef {
+  Ident Name;
+  uint32_t Uid;
+};
+
+/// The types-level identity of a user-declared class. One ClassDef per
+/// `class` declaration; ClassType instances pair a ClassDef with type
+/// arguments. Populated by semantic analysis.
+struct ClassDef {
+  Ident Name;
+  uint32_t Uid = 0;
+  std::vector<TypeParamDef *> TypeParams;
+  /// The `extends` clause as written, i.e. a ClassType whose arguments
+  /// may mention this class's own type parameters; null for roots.
+  Type *ParentAsWritten = nullptr;
+  /// Depth in the inheritance chain (roots are 0). Set by sema.
+  uint32_t Depth = 0;
+  /// Opaque back-pointer to the AST declaration (ast::ClassDecl).
+  void *AstDecl = nullptr;
+
+  bool isGeneric() const { return !TypeParams.empty(); }
+};
+
+enum class TypeKind : uint8_t {
+  Prim,
+  Array,
+  Tuple,
+  Function,
+  Class,
+  TypeParam,
+};
+
+enum class PrimKind : uint8_t { Void, Bool, Byte, Int };
+
+/// Base of all uniqued types. Compare with ==; construct via TypeStore.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+  /// True if any type parameter occurs inside this type.
+  bool isPoly() const { return Poly; }
+  /// A dense id, stable within one TypeStore (useful as a map key).
+  uint32_t id() const { return Id; }
+
+  bool isVoid() const;
+  bool isBool() const;
+  bool isByte() const;
+  bool isInt() const;
+
+  /// Renders in source syntax, e.g. "(int, byte) -> bool".
+  std::string toString() const;
+
+protected:
+  Type(TypeKind Kind, bool Poly, uint32_t Id)
+      : Kind(Kind), Poly(Poly), Id(Id) {}
+
+private:
+  TypeKind Kind;
+  bool Poly;
+  uint32_t Id;
+};
+
+/// void, bool, byte, or int.
+class PrimType : public Type {
+public:
+  PrimType(PrimKind Prim, uint32_t Id)
+      : Type(TypeKind::Prim, false, Id), Prim(Prim) {}
+
+  PrimKind prim() const { return Prim; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Prim; }
+
+private:
+  PrimKind Prim;
+};
+
+/// Array<T>. Invariant in T.
+class ArrayType : public Type {
+public:
+  ArrayType(Type *Elem, uint32_t Id)
+      : Type(TypeKind::Array, Elem->isPoly(), Id), Elem(Elem) {}
+
+  Type *elem() const { return Elem; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Array; }
+
+private:
+  Type *Elem;
+};
+
+/// (T0, ..., Tn) with n >= 1 (at least two elements); covariant in every
+/// element. The degenerate 0- and 1-tuples never exist as TupleType.
+class TupleType : public Type {
+public:
+  TupleType(std::vector<Type *> Elems, bool Poly, uint32_t Id)
+      : Type(TypeKind::Tuple, Poly, Id), Elems(std::move(Elems)) {}
+
+  const std::vector<Type *> &elems() const { return Elems; }
+  size_t size() const { return Elems.size(); }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Tuple; }
+
+private:
+  std::vector<Type *> Elems;
+};
+
+/// Tp -> Tr. Contravariant in Tp, covariant in Tr.
+class FuncType : public Type {
+public:
+  FuncType(Type *Param, Type *Ret, uint32_t Id)
+      : Type(TypeKind::Function, Param->isPoly() || Ret->isPoly(), Id),
+        Param(Param), Ret(Ret) {}
+
+  Type *param() const { return Param; }
+  Type *ret() const { return Ret; }
+
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::Function;
+  }
+
+private:
+  Type *Param;
+  Type *Ret;
+};
+
+/// C<T0, ..., Tn>. Invariant in all type arguments (paper §3.6: Virgil
+/// classes are invariant in their type parameters).
+class ClassType : public Type {
+public:
+  ClassType(ClassDef *Def, std::vector<Type *> Args, bool Poly, uint32_t Id)
+      : Type(TypeKind::Class, Poly, Id), Def(Def), Args(std::move(Args)) {}
+
+  ClassDef *def() const { return Def; }
+  const std::vector<Type *> &args() const { return Args; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Class; }
+
+private:
+  ClassDef *Def;
+  std::vector<Type *> Args;
+};
+
+/// A use of a declared type parameter.
+class TypeParamType : public Type {
+public:
+  TypeParamType(TypeParamDef *Def, uint32_t Id)
+      : Type(TypeKind::TypeParam, true, Id), Def(Def) {}
+
+  TypeParamDef *def() const { return Def; }
+
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::TypeParam;
+  }
+
+private:
+  TypeParamDef *Def;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_TYPES_TYPE_H

@@ -1,0 +1,361 @@
+//===- types/TypeRelations.cpp --------------------------------------------===//
+
+#include "types/TypeRelations.h"
+
+#include <cassert>
+
+using namespace virgil;
+
+//===----------------------------------------------------------------------===//
+// Subtyping
+//===----------------------------------------------------------------------===//
+
+bool TypeRelations::inheritsFrom(ClassDef *Sub, ClassDef *SuperDef) {
+  for (ClassDef *D = Sub; D; ) {
+    if (D == SuperDef)
+      return true;
+    Type *P = D->ParentAsWritten;
+    D = P ? cast<ClassType>(P)->def() : nullptr;
+  }
+  return false;
+}
+
+ClassType *TypeRelations::superAt(ClassType *CT, ClassDef *SuperDef) {
+  while (CT) {
+    if (CT->def() == SuperDef)
+      return CT;
+    CT = Store.superOf(CT);
+  }
+  return nullptr;
+}
+
+bool TypeRelations::isSubtype(Type *Sub, Type *Super) {
+  if (Sub == Super)
+    return true;
+  // No universal supertype and no primitive subtyping: different kinds
+  // (or different primitives) are never related.
+  if (Sub->kind() != Super->kind())
+    return false;
+  switch (Sub->kind()) {
+  case TypeKind::Prim:
+  case TypeKind::TypeParam:
+    // Only reflexively (handled above).
+    return false;
+  case TypeKind::Array:
+    // Arrays are mutable and therefore invariant.
+    return false;
+  case TypeKind::Tuple: {
+    // Tuples are immutable values: covariant, equal lengths only
+    // (paper footnote 2: longer-to-shorter subtyping is rejected so
+    // arity errors stay static).
+    auto *TS = cast<TupleType>(Sub);
+    auto *TP = cast<TupleType>(Super);
+    if (TS->size() != TP->size())
+      return false;
+    for (size_t I = 0, E = TS->size(); I != E; ++I)
+      if (!isSubtype(TS->elems()[I], TP->elems()[I]))
+        return false;
+    return true;
+  }
+  case TypeKind::Function: {
+    // Contravariant parameter, covariant return.
+    auto *FS = cast<FuncType>(Sub);
+    auto *FP = cast<FuncType>(Super);
+    return isSubtype(FP->param(), FS->param()) &&
+           isSubtype(FS->ret(), FP->ret());
+  }
+  case TypeKind::Class: {
+    // Walk Sub's superclass chain; type arguments are invariant, so the
+    // instantiation at Super's class must be exactly Super.
+    auto *CS = cast<ClassType>(Sub);
+    auto *CP = cast<ClassType>(Super);
+    ClassType *At = superAt(CS, CP->def());
+    return At == CP;
+  }
+  }
+  assert(false && "unknown type kind");
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Cast / query classification
+//===----------------------------------------------------------------------===//
+
+static TypeRel conj(TypeRel A, TypeRel B) {
+  if (A == TypeRel::False || B == TypeRel::False)
+    return TypeRel::False;
+  if (A == TypeRel::True && B == TypeRel::True)
+    return TypeRel::True;
+  return TypeRel::Dynamic;
+}
+
+/// Could two types be *equal* at runtime once type parameters are
+/// instantiated? Used for invariant positions (class and array
+/// arguments), where the runtime test is type equality.
+static TypeRel equalRel(Type *A, Type *B) {
+  if (A == B)
+    return TypeRel::True;
+  if (A->kind() == TypeKind::TypeParam || B->kind() == TypeKind::TypeParam)
+    return TypeRel::Dynamic;
+  if (A->kind() != B->kind())
+    return TypeRel::False;
+  switch (A->kind()) {
+  case TypeKind::Prim:
+    return TypeRel::False; // Distinct primitives are never equal.
+  case TypeKind::Array:
+    return equalRel(cast<ArrayType>(A)->elem(), cast<ArrayType>(B)->elem());
+  case TypeKind::Tuple: {
+    auto *TA = cast<TupleType>(A);
+    auto *TB = cast<TupleType>(B);
+    if (TA->size() != TB->size())
+      return TypeRel::False;
+    TypeRel R = TypeRel::True;
+    for (size_t I = 0, E = TA->size(); I != E; ++I)
+      R = conj(R, equalRel(TA->elems()[I], TB->elems()[I]));
+    return R;
+  }
+  case TypeKind::Function: {
+    auto *FA = cast<FuncType>(A);
+    auto *FB = cast<FuncType>(B);
+    return conj(equalRel(FA->param(), FB->param()),
+                equalRel(FA->ret(), FB->ret()));
+  }
+  case TypeKind::Class: {
+    auto *CA = cast<ClassType>(A);
+    auto *CB = cast<ClassType>(B);
+    if (CA->def() != CB->def())
+      return TypeRel::False;
+    TypeRel R = TypeRel::True;
+    for (size_t I = 0, E = CA->args().size(); I != E; ++I)
+      R = conj(R, equalRel(CA->args()[I], CB->args()[I]));
+    return R;
+  }
+  case TypeKind::TypeParam:
+    break;
+  }
+  assert(false && "handled above");
+  return TypeRel::Dynamic;
+}
+
+TypeRel TypeRelations::classCast(ClassType *From, ClassType *To) {
+  if (inheritsFrom(From->def(), To->def())) {
+    // Upcast: succeeds iff the instantiation at To's level matches.
+    ClassType *At = superAt(From, To->def());
+    TypeRel R = equalRel(At, To);
+    // Casting null succeeds for any class type, so a type-correct upcast
+    // is always safe.
+    return R;
+  }
+  if (inheritsFrom(To->def(), From->def())) {
+    // Downcast: decided by the object's dynamic type.
+    return TypeRel::Dynamic;
+  }
+  // Unrelated hierarchies: statically impossible (paper: rejected).
+  return TypeRel::False;
+}
+
+TypeRel TypeRelations::castRel(Type *From, Type *To) {
+  if (From == To)
+    return TypeRel::True;
+  if (From->kind() == TypeKind::TypeParam ||
+      To->kind() == TypeKind::TypeParam)
+    return TypeRel::Dynamic; // Paper §2.2: casts may involve type params.
+  if (From->kind() != To->kind()) {
+    // The single cross-constructor conversion: none. Primitive
+    // conversions stay within Prim; everything else is impossible.
+    return TypeRel::False;
+  }
+  switch (From->kind()) {
+  case TypeKind::Prim: {
+    PrimKind F = cast<PrimType>(From)->prim();
+    PrimKind T = cast<PrimType>(To)->prim();
+    // byte -> int widens and always succeeds; int -> byte succeeds iff
+    // the value is representable (checked at runtime). bool and void do
+    // not convert.
+    if (F == PrimKind::Byte && T == PrimKind::Int)
+      return TypeRel::True;
+    if (F == PrimKind::Int && T == PrimKind::Byte)
+      return TypeRel::Dynamic;
+    return TypeRel::False;
+  }
+  case TypeKind::Array:
+    return equalRel(From, To);
+  case TypeKind::Tuple: {
+    auto *TF = cast<TupleType>(From);
+    auto *TT = cast<TupleType>(To);
+    if (TF->size() != TT->size())
+      return TypeRel::False;
+    // Recursive elementwise cast (paper §2.3).
+    TypeRel R = TypeRel::True;
+    for (size_t I = 0, E = TF->size(); I != E; ++I)
+      R = conj(R, castRel(TF->elems()[I], TT->elems()[I]));
+    return R;
+  }
+  case TypeKind::Function: {
+    // A function value's dynamic type is its creation signature; the
+    // cast succeeds iff that is a subtype of To.
+    if (isSubtype(From, To))
+      return TypeRel::True;
+    auto *FF = cast<FuncType>(From);
+    auto *FT = cast<FuncType>(To);
+    // If the shapes can never meet (no common subtype), reject.
+    if (equalRel(FF->param(), FT->param()) == TypeRel::False &&
+        !isSubtype(FT->param(), FF->param()) &&
+        !isSubtype(FF->param(), FT->param()))
+      return TypeRel::False;
+    return TypeRel::Dynamic;
+  }
+  case TypeKind::Class:
+    return classCast(cast<ClassType>(From), cast<ClassType>(To));
+  case TypeKind::TypeParam:
+    break;
+  }
+  assert(false && "handled above");
+  return TypeRel::Dynamic;
+}
+
+TypeRel TypeRelations::queryRel(Type *From, Type *To) {
+  if (From->kind() == TypeKind::TypeParam ||
+      To->kind() == TypeKind::TypeParam)
+    return TypeRel::Dynamic;
+  if (From == To) {
+    // Nullable kinds still need a runtime null check: `T.?(null)` is
+    // false for class, array, and function types.
+    switch (From->kind()) {
+    case TypeKind::Class:
+    case TypeKind::Array:
+    case TypeKind::Function:
+      return TypeRel::Dynamic;
+    default:
+      return TypeRel::True;
+    }
+  }
+  if (From->kind() != To->kind())
+    return TypeRel::False;
+  switch (From->kind()) {
+  case TypeKind::Prim:
+    // Queries are typal for primitives: a byte is not an int.
+    return TypeRel::False;
+  case TypeKind::Array: {
+    TypeRel R = equalRel(From, To);
+    return R == TypeRel::True ? TypeRel::Dynamic : R; // null check
+  }
+  case TypeKind::Tuple: {
+    auto *TF = cast<TupleType>(From);
+    auto *TT = cast<TupleType>(To);
+    if (TF->size() != TT->size())
+      return TypeRel::False;
+    TypeRel R = TypeRel::True;
+    for (size_t I = 0, E = TF->size(); I != E; ++I)
+      R = conj(R, queryRel(TF->elems()[I], TT->elems()[I]));
+    return R;
+  }
+  case TypeKind::Function: {
+    if (isSubtype(From, To))
+      return TypeRel::Dynamic; // null check only
+    auto *FF = cast<FuncType>(From);
+    auto *FT = cast<FuncType>(To);
+    if (equalRel(FF->param(), FT->param()) == TypeRel::False &&
+        !isSubtype(FT->param(), FF->param()) &&
+        !isSubtype(FF->param(), FT->param()))
+      return TypeRel::False;
+    return TypeRel::Dynamic;
+  }
+  case TypeKind::Class: {
+    auto *CF = cast<ClassType>(From);
+    auto *CT = cast<ClassType>(To);
+    if (inheritsFrom(CF->def(), CT->def())) {
+      ClassType *At = superAt(CF, CT->def());
+      TypeRel R = equalRel(At, CT);
+      return R == TypeRel::True ? TypeRel::Dynamic : R; // null check
+    }
+    if (inheritsFrom(CT->def(), CF->def()))
+      return TypeRel::Dynamic;
+    return TypeRel::False;
+  }
+  case TypeKind::TypeParam:
+    break;
+  }
+  assert(false && "handled above");
+  return TypeRel::Dynamic;
+}
+
+//===----------------------------------------------------------------------===//
+// Upper bounds
+//===----------------------------------------------------------------------===//
+
+Type *TypeRelations::upperBound(Type *A, Type *B) {
+  if (isSubtype(A, B))
+    return B;
+  if (isSubtype(B, A))
+    return A;
+  if (A->kind() != B->kind())
+    return nullptr;
+  switch (A->kind()) {
+  case TypeKind::Class: {
+    // Find the nearest common superclass instantiation.
+    auto *CA = cast<ClassType>(A);
+    auto *CB = cast<ClassType>(B);
+    for (ClassType *S = Store.superOf(CA); S; S = Store.superOf(S)) {
+      ClassType *At = superAt(CB, S->def());
+      if (At && At == S)
+        return S;
+    }
+    return nullptr;
+  }
+  case TypeKind::Tuple: {
+    auto *TA = cast<TupleType>(A);
+    auto *TB = cast<TupleType>(B);
+    if (TA->size() != TB->size())
+      return nullptr;
+    std::vector<Type *> Elems;
+    Elems.reserve(TA->size());
+    for (size_t I = 0, E = TA->size(); I != E; ++I) {
+      Type *U = upperBound(TA->elems()[I], TB->elems()[I]);
+      if (!U)
+        return nullptr;
+      Elems.push_back(U);
+    }
+    return Store.tuple(Elems);
+  }
+  case TypeKind::Function: {
+    auto *FA = cast<FuncType>(A);
+    auto *FB = cast<FuncType>(B);
+    // Parameter needs a lower bound; we only handle the subtype cases,
+    // which the top-of-function checks already covered, plus equal.
+    Type *P = nullptr;
+    if (isSubtype(FA->param(), FB->param()))
+      P = FA->param();
+    else if (isSubtype(FB->param(), FA->param()))
+      P = FB->param();
+    if (!P)
+      return nullptr;
+    Type *R = upperBound(FA->ret(), FB->ret());
+    return R ? Store.func(P, R) : nullptr;
+  }
+  default:
+    return nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Variance metadata (§2.5 table)
+//===----------------------------------------------------------------------===//
+
+Variance virgil::constructorVariance(TypeKind Kind, unsigned Index) {
+  switch (Kind) {
+  case TypeKind::Prim:
+  case TypeKind::TypeParam:
+    assert(false && "constructor has no type parameters");
+    return Variance::Invariant;
+  case TypeKind::Array:
+    return Variance::Invariant;
+  case TypeKind::Tuple:
+    return Variance::Covariant;
+  case TypeKind::Function:
+    return Index == 0 ? Variance::Contravariant : Variance::Covariant;
+  case TypeKind::Class:
+    return Variance::Invariant;
+  }
+  return Variance::Invariant;
+}

@@ -1,0 +1,87 @@
+//===- types/TypeRelations.h - Subtyping, casts, variance -------*- C++ -*-===//
+///
+/// \file
+/// The relational part of the type system:
+///
+/// * Subtyping (paper §2): class subtyping follows the `extends` chain
+///   with invariant type arguments; tuples are covariant element-wise
+///   and only between equal lengths; function types are contravariant
+///   in the parameter and covariant in the return; arrays and primitives
+///   admit no nontrivial subtyping; type parameters are subtypes only of
+///   themselves.
+///
+/// * Static cast/query classification (paper §2.2): `T.!` and `T.?` are
+///   permitted between any two types when type parameters are involved
+///   (the paper's intentional parametricity violation), but the compiler
+///   rejects statically impossible casts between unrelated concrete
+///   types. The classifier returns True / False / Dynamic so the
+///   optimizer can fold decided cases after monomorphization (§3.3).
+///
+/// * Variance metadata for the §2.5 type-constructor table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_TYPES_TYPERELATIONS_H
+#define VIRGIL_TYPES_TYPERELATIONS_H
+
+#include "types/TypeStore.h"
+
+namespace virgil {
+
+/// Three-valued result of static cast/query classification.
+enum class TypeRel : uint8_t {
+  True,    ///< Statically guaranteed to succeed.
+  False,   ///< Statically guaranteed to fail; the compiler rejects it.
+  Dynamic, ///< Requires a runtime check.
+};
+
+/// Variance of one type-constructor parameter position.
+enum class Variance : uint8_t { Invariant, Covariant, Contravariant };
+
+class TypeRelations {
+public:
+  explicit TypeRelations(TypeStore &Store) : Store(Store) {}
+
+  /// True if \p Sub <: \p Super (reflexive).
+  bool isSubtype(Type *Sub, Type *Super);
+
+  /// True if a value of \p From may be assigned/passed where \p To is
+  /// expected. In Virgil this is exactly subtyping: there are no other
+  /// implicit conversions.
+  bool isAssignable(Type *From, Type *To) { return isSubtype(From, To); }
+
+  /// Classifies the type query `To.?(v)` where v has static type From.
+  TypeRel queryRel(Type *From, Type *To);
+
+  /// Classifies the type cast `To.!(v)` where v has static type From.
+  /// True: always succeeds; False: can never succeed (compile error);
+  /// Dynamic: needs a runtime check.
+  TypeRel castRel(Type *From, Type *To);
+
+  /// Least upper bound used by ternary/inference; null if none exists
+  /// (Virgil has no universal supertype, so unrelated types have none).
+  Type *upperBound(Type *A, Type *B);
+
+  /// True if \p Sub's class definition inherits (transitively,
+  /// reflexively) from \p SuperDef.
+  bool inheritsFrom(ClassDef *Sub, ClassDef *SuperDef);
+
+  /// The supertype of \p CT at exactly the level of \p SuperDef, with
+  /// type arguments instantiated; null if CT's class does not inherit
+  /// from SuperDef.
+  ClassType *superAt(ClassType *CT, ClassDef *SuperDef);
+
+private:
+  TypeRel classCast(ClassType *From, ClassType *To);
+
+  TypeStore &Store;
+};
+
+/// Returns the variance of parameter position \p Index of the given
+/// constructor kind (for TypeKind::Function, index 0 is the parameter and
+/// index 1 the return). Drives the §2.5 table reproduction.
+Variance constructorVariance(TypeKind Kind, unsigned Index);
+
+} // namespace virgil
+
+#endif // VIRGIL_TYPES_TYPERELATIONS_H

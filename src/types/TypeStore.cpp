@@ -1,0 +1,171 @@
+//===- types/TypeStore.cpp ------------------------------------------------===//
+
+#include "types/TypeStore.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace virgil;
+
+namespace {
+
+using TypeVec = std::vector<Type *>;
+
+} // namespace
+
+struct TypeStore::Impl {
+  StringInterner Names;
+  std::map<Type *, Type *> Arrays;
+  std::map<TypeVec, Type *> Tuples;
+  std::map<std::pair<Type *, Type *>, Type *> Funcs;
+  std::map<std::pair<ClassDef *, TypeVec>, Type *> Classes;
+  std::map<TypeParamDef *, Type *> Params;
+  std::vector<std::unique_ptr<Type>> Owned;
+  std::vector<std::unique_ptr<TypeParamDef>> OwnedParams;
+  std::vector<std::unique_ptr<ClassDef>> OwnedClasses;
+
+  template <typename T, typename... Args> T *make(Args &&...A) {
+    auto Ptr = std::make_unique<T>(std::forward<Args>(A)...);
+    T *Raw = Ptr.get();
+    Owned.push_back(std::move(Ptr));
+    return Raw;
+  }
+};
+
+TypeStore::TypeStore() : Cache(std::make_unique<Impl>()) {
+  VoidTy = Cache->make<PrimType>(PrimKind::Void, nextId());
+  BoolTy = Cache->make<PrimType>(PrimKind::Bool, nextId());
+  ByteTy = Cache->make<PrimType>(PrimKind::Byte, nextId());
+  IntTy = Cache->make<PrimType>(PrimKind::Int, nextId());
+}
+
+TypeStore::~TypeStore() = default;
+
+Type *TypeStore::array(Type *Elem) {
+  assert(Elem && "array element type required");
+  Type *&Slot = Cache->Arrays[Elem];
+  if (!Slot)
+    Slot = Cache->make<ArrayType>(Elem, nextId());
+  return Slot;
+}
+
+Type *TypeStore::tuple(std::span<Type *const> Elems) {
+  // Degenerate rules (paper §2.3): () is void and (T) is T.
+  if (Elems.empty())
+    return VoidTy;
+  if (Elems.size() == 1)
+    return Elems[0];
+  TypeVec Key(Elems.begin(), Elems.end());
+  Type *&Slot = Cache->Tuples[Key];
+  if (!Slot) {
+    bool Poly = false;
+    for (Type *E : Elems)
+      Poly |= E->isPoly();
+    Slot = Cache->make<TupleType>(std::move(Key), Poly, nextId());
+  }
+  return Slot;
+}
+
+Type *TypeStore::func(Type *Param, Type *Ret) {
+  assert(Param && Ret && "function type needs both sides");
+  Type *&Slot = Cache->Funcs[{Param, Ret}];
+  if (!Slot)
+    Slot = Cache->make<FuncType>(Param, Ret, nextId());
+  return Slot;
+}
+
+Type *TypeStore::classType(ClassDef *Def, std::span<Type *const> Args) {
+  assert(Def && "class type needs a definition");
+  assert(Args.size() == Def->TypeParams.size() &&
+         "class type argument count mismatch");
+  TypeVec Key(Args.begin(), Args.end());
+  Type *&Slot = Cache->Classes[{Def, Key}];
+  if (!Slot) {
+    bool Poly = false;
+    for (Type *A : Args)
+      Poly |= A->isPoly();
+    Slot = Cache->make<ClassType>(Def, std::move(Key), Poly, nextId());
+  }
+  return Slot;
+}
+
+Type *TypeStore::selfType(ClassDef *Def) {
+  TypeVec Args;
+  Args.reserve(Def->TypeParams.size());
+  for (TypeParamDef *P : Def->TypeParams)
+    Args.push_back(typeParam(P));
+  return classType(Def, Args);
+}
+
+Type *TypeStore::typeParam(TypeParamDef *Def) {
+  assert(Def && "type parameter definition required");
+  Type *&Slot = Cache->Params[Def];
+  if (!Slot)
+    Slot = Cache->make<TypeParamType>(Def, nextId());
+  return Slot;
+}
+
+Type *TypeStore::substitute(Type *T, const TypeSubst &Subst) {
+  if (!T->isPoly() || Subst.empty())
+    return T;
+  switch (T->kind()) {
+  case TypeKind::Prim:
+    return T;
+  case TypeKind::Array:
+    return array(substitute(cast<ArrayType>(T)->elem(), Subst));
+  case TypeKind::Tuple: {
+    const auto &Elems = cast<TupleType>(T)->elems();
+    TypeVec NewElems;
+    NewElems.reserve(Elems.size());
+    for (Type *E : Elems)
+      NewElems.push_back(substitute(E, Subst));
+    return tuple(NewElems);
+  }
+  case TypeKind::Function: {
+    auto *FT = cast<FuncType>(T);
+    return func(substitute(FT->param(), Subst), substitute(FT->ret(), Subst));
+  }
+  case TypeKind::Class: {
+    auto *CT = cast<ClassType>(T);
+    TypeVec NewArgs;
+    NewArgs.reserve(CT->args().size());
+    for (Type *A : CT->args())
+      NewArgs.push_back(substitute(A, Subst));
+    return classType(CT->def(), NewArgs);
+  }
+  case TypeKind::TypeParam: {
+    Type *Repl = Subst.lookup(cast<TypeParamType>(T)->def());
+    return Repl ? Repl : T;
+  }
+  }
+  assert(false && "unknown type kind");
+  return T;
+}
+
+ClassType *TypeStore::superOf(ClassType *CT) {
+  ClassDef *Def = CT->def();
+  if (!Def->ParentAsWritten)
+    return nullptr;
+  TypeSubst Subst{Def->TypeParams, CT->args()};
+  return cast<ClassType>(substitute(Def->ParentAsWritten, Subst));
+}
+
+TypeParamDef *TypeStore::makeTypeParam(Ident Name) {
+  auto Ptr = std::make_unique<TypeParamDef>(TypeParamDef{Name, NextDefUid++});
+  TypeParamDef *Raw = Ptr.get();
+  Cache->OwnedParams.push_back(std::move(Ptr));
+  return Raw;
+}
+
+Ident TypeStore::internName(std::string_view Name) {
+  return Cache->Names.intern(Name);
+}
+
+ClassDef *TypeStore::makeClass(Ident Name) {
+  auto Ptr = std::make_unique<ClassDef>();
+  Ptr->Name = Name;
+  Ptr->Uid = NextDefUid++;
+  ClassDef *Raw = Ptr.get();
+  Cache->OwnedClasses.push_back(std::move(Ptr));
+  return Raw;
+}

@@ -1,0 +1,107 @@
+//===- types/TypeStore.h - Type uniquing and substitution -------*- C++ -*-===//
+///
+/// \file
+/// Owns and uniques every Type. Because tuple degeneracy is enforced
+/// here (`tuple({}) == void`, `tuple({T}) == T`), the equivalences the
+/// paper relies on — `() -> () = void -> void`, `(A) -> (B) = A -> B` —
+/// hold by construction: the degenerate spellings produce the very same
+/// Type pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_TYPES_TYPESTORE_H
+#define VIRGIL_TYPES_TYPESTORE_H
+
+#include "support/StringInterner.h"
+#include "types/Type.h"
+
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace virgil {
+
+/// Maps the type parameters of one declaration to concrete (or less
+/// polymorphic) arguments, positionally.
+struct TypeSubst {
+  std::vector<TypeParamDef *> Params;
+  std::vector<Type *> Args;
+
+  Type *lookup(const TypeParamDef *Def) const {
+    for (size_t I = 0, E = Params.size(); I != E; ++I)
+      if (Params[I] == Def)
+        return Args[I];
+    return nullptr;
+  }
+  bool empty() const { return Params.empty(); }
+};
+
+/// Factory and uniquer for all types in one compilation.
+class TypeStore {
+public:
+  TypeStore();
+  TypeStore(const TypeStore &) = delete;
+  TypeStore &operator=(const TypeStore &) = delete;
+  ~TypeStore();
+
+  Type *voidTy() const { return VoidTy; }
+  Type *boolTy() const { return BoolTy; }
+  Type *byteTy() const { return ByteTy; }
+  Type *intTy() const { return IntTy; }
+  /// string is an alias for Array<byte>.
+  Type *stringTy() { return array(ByteTy); }
+
+  Type *array(Type *Elem);
+
+  /// Applies the degenerate rules: 0 elems -> void, 1 elem -> that elem.
+  Type *tuple(std::span<Type *const> Elems);
+
+  Type *func(Type *Param, Type *Ret);
+
+  Type *classType(ClassDef *Def, std::span<Type *const> Args);
+
+  /// The class type with the class's own parameters as arguments
+  /// (C<T0,...,Tn> inside C's body).
+  Type *selfType(ClassDef *Def);
+
+  Type *typeParam(TypeParamDef *Def);
+
+  /// Replaces type parameters by their substitutions; types not
+  /// mentioning any substituted parameter are returned unchanged.
+  Type *substitute(Type *T, const TypeSubst &Subst);
+
+  /// The instantiated superclass type of \p CT (parent-as-written with
+  /// CT's arguments substituted), or null for hierarchy roots.
+  ClassType *superOf(ClassType *CT);
+
+  /// Creates a fresh TypeParamDef (sema and tests use this).
+  TypeParamDef *makeTypeParam(Ident Name);
+
+  /// Creates a fresh ClassDef (sema and tests use this).
+  ClassDef *makeClass(Ident Name);
+
+  /// Interns a name with the same lifetime as the store (used for the
+  /// ClassDefs of monomorphized specializations).
+  Ident internName(std::string_view Name);
+
+  size_t numTypes() const { return NextTypeId; }
+
+private:
+  uint32_t nextId() { return NextTypeId++; }
+
+  Type *VoidTy;
+  Type *BoolTy;
+  Type *ByteTy;
+  Type *IntTy;
+
+  uint32_t NextTypeId = 0;
+  uint32_t NextDefUid = 0;
+
+  struct Impl;
+  std::unique_ptr<Impl> Cache;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_TYPES_TYPESTORE_H

@@ -1,0 +1,136 @@
+//===- vm/Bytecode.cpp ----------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+
+#include "support/Casting.h"
+
+#include <sstream>
+
+using namespace virgil;
+
+SlotKind virgil::slotKindOf(const Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Prim:
+    return SlotKind::Scalar;
+  case TypeKind::Class:
+  case TypeKind::Array:
+    return SlotKind::Ref;
+  case TypeKind::Function:
+    return SlotKind::Closure;
+  case TypeKind::Tuple:
+  case TypeKind::TypeParam:
+    break;
+  }
+  // Normalized programs contain neither tuples nor type parameters.
+  return SlotKind::Scalar;
+}
+
+static const char *bcOpName(BcOp Op) {
+  switch (Op) {
+  case BcOp::Nop:
+    return "nop";
+  case BcOp::ConstI:
+    return "const";
+  case BcOp::ConstStr:
+    return "str";
+  case BcOp::Mv:
+    return "mv";
+  case BcOp::Add:
+    return "add";
+  case BcOp::Sub:
+    return "sub";
+  case BcOp::Mul:
+    return "mul";
+  case BcOp::Div:
+    return "div";
+  case BcOp::Mod:
+    return "mod";
+  case BcOp::Neg:
+    return "neg";
+  case BcOp::Lt:
+    return "lt";
+  case BcOp::Le:
+    return "le";
+  case BcOp::Gt:
+    return "gt";
+  case BcOp::Ge:
+    return "ge";
+  case BcOp::Not:
+    return "not";
+  case BcOp::And:
+    return "and";
+  case BcOp::Or:
+    return "or";
+  case BcOp::EqBits:
+    return "eq";
+  case BcOp::NeBits:
+    return "ne";
+  case BcOp::NewObj:
+    return "newobj";
+  case BcOp::NewArr:
+    return "newarr";
+  case BcOp::LdF:
+    return "ldf";
+  case BcOp::StF:
+    return "stf";
+  case BcOp::NullChk:
+    return "nullchk";
+  case BcOp::LdE:
+    return "lde";
+  case BcOp::StE:
+    return "ste";
+  case BcOp::BoundsChk:
+    return "boundschk";
+  case BcOp::ArrLen:
+    return "arrlen";
+  case BcOp::LdG:
+    return "ldg";
+  case BcOp::StG:
+    return "stg";
+  case BcOp::CallF:
+    return "callf";
+  case BcOp::CallV:
+    return "callv";
+  case BcOp::CallInd:
+    return "callind";
+  case BcOp::CallB:
+    return "callb";
+  case BcOp::MkClo:
+    return "mkclo";
+  case BcOp::CastClass:
+    return "castclass";
+  case BcOp::QueryClass:
+    return "queryclass";
+  case BcOp::CastIntByte:
+    return "castintbyte";
+  case BcOp::CastFunc:
+    return "castfunc";
+  case BcOp::QueryFunc:
+    return "queryfunc";
+  case BcOp::CastNullOnly:
+    return "castnullonly";
+  case BcOp::QueryNonNull:
+    return "querynonnull";
+  case BcOp::Jmp:
+    return "jmp";
+  case BcOp::JmpIfFalse:
+    return "jmpf";
+  case BcOp::RetOp:
+    return "ret";
+  case BcOp::TrapOp:
+    return "trap";
+  }
+  return "?";
+}
+
+std::string virgil::printBcFunction(const BcFunction &F) {
+  std::ostringstream OS;
+  OS << "bcfunc " << F.Name << " regs=" << F.NumRegs
+     << " params=" << F.NumParams << " rets=" << F.NumRets << '\n';
+  for (size_t I = 0; I != F.Code.size(); ++I) {
+    const BcInstr &BI = F.Code[I];
+    OS << "  " << I << ": " << bcOpName(BI.Op) << " A=" << BI.A
+       << " B=" << BI.B << " C=" << BI.C << " Imm=" << BI.Imm << '\n';
+  }
+  return OS.str();
+}

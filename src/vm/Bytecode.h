@@ -1,0 +1,175 @@
+//===- vm/Bytecode.h - Register bytecode for normalized programs -*- C++ -*-===//
+///
+/// \file
+/// The VM's executable format, standing in for the paper's native x86
+/// target. It exists to make §4.2/§4.3's end-state observable:
+///
+/// * only *normalized, monomorphized* IR can be emitted — every call
+///   passes scalars, functions may return several values ("multiple
+///   return registers"), there are no tuples, no type parameters, and
+///   no dynamic calling-convention checks;
+/// * values are single 64-bit slots. Function values are *flat*: a
+///   closure packs (function id, optional bound reference) into one
+///   slot, so creating one allocates nothing — matching the paper's
+///   claim that the native implementation "never allocates memory on
+///   the heap except when done explicitly by the programmer";
+/// * objects and arrays live in a semispace-collected heap with precise
+///   reference maps derived from static types (slot kinds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_VM_BYTECODE_H
+#define VIRGIL_VM_BYTECODE_H
+
+#include "ir/Ir.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace virgil {
+
+/// What a 64-bit slot holds, derived from its static type. The GC
+/// scans Ref slots as heap references and Closure slots as packed
+/// (function id, bound-ref) pairs.
+enum class SlotKind : uint8_t { Scalar, Ref, Closure };
+
+/// Classifies a (normalized, concrete) type into its slot kind.
+SlotKind slotKindOf(const Type *T);
+
+/// Array element classes for array headers.
+enum class ElemKind : uint8_t { Scalar, Ref, Closure, Void };
+
+enum class BcOp : uint8_t {
+  Nop,
+  ConstI,   ///< R[A] <- Imm.
+  ConstStr, ///< R[A] <- fresh byte array of string #Imm (allocates).
+  Mv,       ///< R[A] <- R[B].
+  Add,
+  Sub,
+  Mul,
+  Div, ///< Traps on zero.
+  Mod,
+  Neg,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Not,
+  And,
+  Or,
+  /// Universal equality: all values (prims, references, packed
+  /// closures) are canonical 64-bit slots, so equality is bit equality.
+  EqBits,
+  NeBits,
+  NewObj,    ///< R[A] <- allocate class #Imm.
+  NewArr,    ///< R[A] <- allocate array, elem kind Imm, length R[B].
+  LdF,       ///< R[A] <- R[B].field[Imm]; null-checked.
+  StF,       ///< R[A].field[Imm] <- R[B]; null-checked.
+  NullChk,   ///< Trap if R[A] == null.
+  LdE,       ///< R[A] <- R[B][R[C]]; null+bounds checked.
+  StE,       ///< R[A][R[B]] <- R[C].
+  BoundsChk, ///< Null+bounds check R[A][R[B]] (void arrays).
+  ArrLen,    ///< R[A] <- length of R[B].
+  LdG,       ///< R[A] <- global #Imm.
+  StG,       ///< global #Imm <- R[A].
+  CallF,     ///< Call function #Imm with descriptor #A.
+  CallV,     ///< Virtual call through slot #Imm, descriptor #A.
+  CallInd,   ///< Indirect call; callee closure = first descriptor arg.
+  CallB,     ///< Builtin #Imm with descriptor #A.
+  MkClo,     ///< R[A] <- closure(func #Imm, bound R[B] if C).
+  CastClass, ///< R[A] <- R[B] checked against class #Imm (null passes).
+  QueryClass,
+  CastIntByte, ///< R[A] <- R[B] if 0 <= R[B] <= 255 else trap.
+  CastFunc,    ///< R[A] <- R[B] checked against type table #Imm.
+  QueryFunc,
+  CastNullOnly, ///< R[A] <- R[B] if null, else cast-failure trap.
+  QueryNonNull, ///< R[A] <- (R[B] != null).
+  Jmp,          ///< pc <- Imm.
+  JmpIfFalse,   ///< if !R[A] then pc <- Imm.
+  RetOp,        ///< Return values named by descriptor #A.
+  TrapOp,       ///< Trap with TrapKind Imm.
+};
+
+/// One fixed-width instruction.
+struct BcInstr {
+  BcOp Op = BcOp::Nop;
+  int32_t A = 0;
+  int32_t B = 0;
+  int32_t C = 0;
+  int64_t Imm = 0;
+};
+
+/// Argument/result register lists for calls and returns.
+struct CallDesc {
+  std::vector<uint16_t> Args;
+  std::vector<uint16_t> Dsts;
+};
+
+struct BcFunction {
+  std::string Name;
+  uint32_t NumRegs = 0;
+  uint32_t NumParams = 0;
+  uint32_t NumRets = 0;
+  std::vector<SlotKind> RegKinds;
+  std::vector<BcInstr> Code;
+  std::vector<CallDesc> Descs;
+  /// Virtual dispatch info (from the IR function).
+  int Slot = -1;
+  int OwnerClassId = -1;
+  /// The collapsed source-level function type including the receiver
+  /// (for first-class casts/queries on function values); may be null
+  /// for synthesized functions never taken first-class.
+  Type *SourceFuncTy = nullptr;
+  /// Same, minus the receiver (the type of a bound closure).
+  Type *BoundFuncTy = nullptr;
+};
+
+struct BcClass {
+  std::string Name;
+  int ParentId = -1;
+  uint32_t Depth = 0;
+  std::vector<SlotKind> FieldKinds;
+  std::vector<int> VTable; ///< Function ids; -1 for abstract slots.
+};
+
+/// A complete executable program.
+struct BcModule {
+  std::vector<BcFunction> Functions;
+  std::vector<BcClass> Classes;
+  std::vector<SlotKind> GlobalKinds;
+  std::vector<std::string> Strings;
+  /// Types referenced by CastFunc/QueryFunc.
+  std::vector<Type *> TypeTable;
+  int MainId = -1;
+  int InitId = -1;
+  TypeStore *Types = nullptr;
+
+  int internType(Type *T) {
+    for (size_t I = 0; I != TypeTable.size(); ++I)
+      if (TypeTable[I] == T)
+        return (int)I;
+    TypeTable.push_back(T);
+    return (int)TypeTable.size() - 1;
+  }
+};
+
+/// Renders a function's bytecode for debugging.
+std::string printBcFunction(const BcFunction &F);
+
+/// Flat closure encoding: (funcId + 1) << 33 | boundRef << 1 |
+/// hasBound. Zero is the null function value. Creating one allocates
+/// nothing.
+inline uint64_t packClosure(int FuncId, uint64_t Bound, bool HasBound) {
+  return ((uint64_t)(FuncId + 1) << 33) | (Bound << 1) |
+         (HasBound ? 1u : 0u);
+}
+inline int closureFuncId(uint64_t Slot) { return (int)(Slot >> 33) - 1; }
+inline uint64_t closureBoundRef(uint64_t Slot) {
+  return (Slot >> 1) & 0xFFFFFFFFu;
+}
+inline bool closureIsBound(uint64_t Slot) { return (Slot & 1) != 0; }
+
+} // namespace virgil
+
+#endif // VIRGIL_VM_BYTECODE_H

@@ -1,0 +1,368 @@
+//===- vm/BytecodeEmitter.cpp ---------------------------------------------===//
+
+#include "vm/BytecodeEmitter.h"
+
+#include "types/TypeRelations.h"
+
+#include <cassert>
+#include <map>
+
+using namespace virgil;
+
+namespace {
+
+class Emitter {
+public:
+  explicit Emitter(IrModule &M)
+      : M(M), Types(*M.Types), Rels(*M.Types),
+        Out(std::make_unique<BcModule>()) {}
+
+  std::unique_ptr<BcModule> run();
+
+private:
+  void emitClasses();
+  void emitFunction(IrFunction *F, BcFunction &BF);
+  int classIdOf(Type *ClassTy);
+
+  static ElemKind elemKindOf(const Type *Elem) {
+    if (Elem->isVoid())
+      return ElemKind::Void;
+    switch (slotKindOf(Elem)) {
+    case SlotKind::Scalar:
+      return ElemKind::Scalar;
+    case SlotKind::Ref:
+      return ElemKind::Ref;
+    case SlotKind::Closure:
+      return ElemKind::Closure;
+    }
+    return ElemKind::Scalar;
+  }
+
+  IrModule &M;
+  TypeStore &Types;
+  TypeRelations Rels;
+  std::unique_ptr<BcModule> Out;
+  std::map<ClassDef *, int> ClassIds;
+};
+
+int Emitter::classIdOf(Type *ClassTy) {
+  auto *CT = cast<ClassType>(ClassTy);
+  auto It = ClassIds.find(CT->def());
+  assert(It != ClassIds.end() && "class not emitted");
+  return It->second;
+}
+
+void Emitter::emitClasses() {
+  for (size_t I = 0; I != M.Classes.size(); ++I)
+    ClassIds[M.Classes[I]->Def] = (int)I;
+  for (IrClass *C : M.Classes) {
+    BcClass BC;
+    BC.Name = C->Name;
+    BC.ParentId = C->Parent ? (int)ClassIds[C->Parent->Def] : -1;
+    BC.Depth = C->Depth;
+    for (const IrField &F : C->Fields)
+      BC.FieldKinds.push_back(slotKindOf(F.Ty));
+    for (IrFunction *V : C->VTable)
+      BC.VTable.push_back(V ? (int)V->id() : -1);
+    Out->Classes.push_back(std::move(BC));
+  }
+}
+
+void Emitter::emitFunction(IrFunction *F, BcFunction &BF) {
+  BF.Name = F->Name;
+  BF.NumRegs = (uint32_t)F->RegTypes.size();
+  BF.NumParams = F->NumParams;
+  BF.NumRets = (uint32_t)F->RetTypes.size();
+  for (Type *T : F->RegTypes)
+    BF.RegKinds.push_back(slotKindOf(T));
+  BF.Slot = F->Slot;
+  BF.OwnerClassId =
+      F->OwnerClass ? (int)ClassIds[F->OwnerClass->Def] : -1;
+  BF.SourceFuncTy = F->SourceFuncTy;
+  BF.BoundFuncTy = F->BoundFuncTy;
+
+  // Linearize blocks in order; record block starting pcs and patch
+  // branch targets afterwards.
+  std::map<const IrBlock *, size_t> BlockPc;
+  struct Patch {
+    size_t InstrIdx;
+    const IrBlock *Target;
+  };
+  std::vector<Patch> Patches;
+
+  auto emit = [&](BcOp Op, int32_t A = 0, int32_t B = 0, int32_t C = 0,
+                  int64_t Imm = 0) -> size_t {
+    BF.Code.push_back(BcInstr{Op, A, B, C, Imm});
+    return BF.Code.size() - 1;
+  };
+  auto newDesc = [&](const std::vector<Reg> &Args,
+                     const std::vector<Reg> &Dsts) -> int {
+    CallDesc D;
+    for (Reg R : Args)
+      D.Args.push_back((uint16_t)R);
+    for (Reg R : Dsts)
+      D.Dsts.push_back((uint16_t)R);
+    BF.Descs.push_back(std::move(D));
+    return (int)BF.Descs.size() - 1;
+  };
+
+  for (IrBlock *Block : F->Blocks) {
+    BlockPc[Block] = BF.Code.size();
+    for (IrInstr *I : Block->Instrs) {
+      switch (I->Op) {
+      case Opcode::ConstInt:
+      case Opcode::ConstByte:
+      case Opcode::ConstBool:
+        emit(BcOp::ConstI, (int32_t)I->dst(), 0, 0,
+             (uint32_t)(int64_t)I->IntConst);
+        break;
+      case Opcode::ConstNull:
+        emit(BcOp::ConstI, (int32_t)I->dst(), 0, 0, 0);
+        break;
+      case Opcode::ConstString:
+        emit(BcOp::ConstStr, (int32_t)I->dst(), 0, 0, I->Index);
+        break;
+      case Opcode::ConstVoid:
+      case Opcode::ConstDefault:
+      case Opcode::TupleCreate:
+      case Opcode::TupleGet:
+        assert(false && "tuple/void op survived normalization");
+        break;
+      case Opcode::Move:
+        emit(BcOp::Mv, (int32_t)I->dst(), (int32_t)I->Args[0]);
+        break;
+      case Opcode::IntAdd:
+        emit(BcOp::Add, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::IntSub:
+        emit(BcOp::Sub, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::IntMul:
+        emit(BcOp::Mul, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::IntDiv:
+        emit(BcOp::Div, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::IntMod:
+        emit(BcOp::Mod, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::IntNeg:
+        emit(BcOp::Neg, (int32_t)I->dst(), (int32_t)I->Args[0]);
+        break;
+      case Opcode::IntLt:
+        emit(BcOp::Lt, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::IntLe:
+        emit(BcOp::Le, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::IntGt:
+        emit(BcOp::Gt, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::IntGe:
+        emit(BcOp::Ge, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::BoolNot:
+        emit(BcOp::Not, (int32_t)I->dst(), (int32_t)I->Args[0]);
+        break;
+      case Opcode::BoolAnd:
+        emit(BcOp::And, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::BoolOr:
+        emit(BcOp::Or, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::Eq:
+        emit(BcOp::EqBits, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::Ne:
+        emit(BcOp::NeBits, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::NewObject:
+        emit(BcOp::NewObj, (int32_t)I->dst(), 0, 0,
+             classIdOf(I->TypeOperand));
+        break;
+      case Opcode::FieldGet:
+        emit(BcOp::LdF, (int32_t)I->dst(), (int32_t)I->Args[0], 0,
+             I->Index);
+        break;
+      case Opcode::FieldSet:
+        emit(BcOp::StF, (int32_t)I->Args[0], (int32_t)I->Args[1], 0,
+             I->Index);
+        break;
+      case Opcode::NullCheck:
+        emit(BcOp::NullChk, (int32_t)I->Args[0]);
+        break;
+      case Opcode::NewArray: {
+        auto *AT = cast<ArrayType>(I->TypeOperand);
+        emit(BcOp::NewArr, (int32_t)I->dst(), (int32_t)I->Args[0], 0,
+             (int64_t)elemKindOf(AT->elem()));
+        break;
+      }
+      case Opcode::ArrayGet:
+        emit(BcOp::LdE, (int32_t)I->dst(), (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::BoundsCheck:
+        emit(BcOp::BoundsChk, 0, (int32_t)I->Args[0],
+             (int32_t)I->Args[1]);
+        break;
+      case Opcode::ArraySet:
+        emit(BcOp::StE, (int32_t)I->Args[0], (int32_t)I->Args[1],
+             (int32_t)I->Args[2]);
+        break;
+      case Opcode::ArrayLen:
+        emit(BcOp::ArrLen, (int32_t)I->dst(), (int32_t)I->Args[0]);
+        break;
+      case Opcode::GlobalGet:
+        emit(BcOp::LdG, (int32_t)I->dst(), 0, 0, I->Index);
+        break;
+      case Opcode::GlobalSet:
+        emit(BcOp::StG, (int32_t)I->Args[0], 0, 0, I->Index);
+        break;
+      case Opcode::CallFunc:
+        emit(BcOp::CallF, newDesc(I->Args, I->Dsts), 0, 0,
+             (int64_t)I->Callee->id());
+        break;
+      case Opcode::CallVirtual:
+        emit(BcOp::CallV, newDesc(I->Args, I->Dsts), 0, 0, I->Index);
+        break;
+      case Opcode::CallIndirect:
+        emit(BcOp::CallInd, newDesc(I->Args, I->Dsts));
+        break;
+      case Opcode::CallBuiltin:
+        emit(BcOp::CallB, newDesc(I->Args, I->Dsts), 0, 0, I->Index);
+        break;
+      case Opcode::MakeClosure: {
+        bool HasBound = !I->Args.empty();
+        emit(BcOp::MkClo, (int32_t)I->dst(),
+             HasBound ? (int32_t)I->Args[0] : 0, HasBound ? 1 : 0,
+             (int64_t)I->Callee->id());
+        break;
+      }
+      case Opcode::TypeCast: {
+        Type *From = F->RegTypes[I->Args[0]];
+        Type *To = I->TypeOperand;
+        TypeRel Rel = Rels.castRel(From, To);
+        int32_t D = (int32_t)I->dst();
+        int32_t S = (int32_t)I->Args[0];
+        if (Rel == TypeRel::True) {
+          // byte -> int widening or identical types: representations
+          // coincide in 64-bit slots.
+          emit(BcOp::Mv, D, S);
+          break;
+        }
+        if (Rel == TypeRel::False) {
+          // Nullable-to-nullable impossible casts still pass null.
+          bool FromNullable = From->kind() == TypeKind::Class ||
+                              From->kind() == TypeKind::Array ||
+                              From->kind() == TypeKind::Function;
+          bool ToNullable = To->kind() == TypeKind::Class ||
+                            To->kind() == TypeKind::Array ||
+                            To->kind() == TypeKind::Function;
+          if (FromNullable && ToNullable)
+            emit(BcOp::CastNullOnly, D, S);
+          else
+            emit(BcOp::TrapOp, 0, 0, 0, (int64_t)TrapKind::CastFail);
+          break;
+        }
+        // Dynamic.
+        if (To->isByte()) {
+          emit(BcOp::CastIntByte, D, S);
+        } else if (To->kind() == TypeKind::Class) {
+          emit(BcOp::CastClass, D, S, 0, classIdOf(To));
+        } else if (To->kind() == TypeKind::Function) {
+          emit(BcOp::CastFunc, D, S, 0, Out->internType(To));
+        } else {
+          assert(false && "unexpected dynamic cast shape");
+          emit(BcOp::TrapOp, 0, 0, 0, (int64_t)TrapKind::CastFail);
+        }
+        break;
+      }
+      case Opcode::TypeQuery: {
+        Type *From = F->RegTypes[I->Args[0]];
+        Type *To = I->TypeOperand;
+        TypeRel Rel = Rels.queryRel(From, To);
+        int32_t D = (int32_t)I->dst();
+        int32_t S = (int32_t)I->Args[0];
+        if (Rel == TypeRel::True) {
+          emit(BcOp::ConstI, D, 0, 0, 1);
+        } else if (Rel == TypeRel::False) {
+          emit(BcOp::ConstI, D, 0, 0, 0);
+        } else if (To->kind() == TypeKind::Class) {
+          if (Rels.isSubtype(From, To))
+            emit(BcOp::QueryNonNull, D, S);
+          else
+            emit(BcOp::QueryClass, D, S, 0, classIdOf(To));
+        } else if (To->kind() == TypeKind::Function) {
+          if (Rels.isSubtype(From, To))
+            emit(BcOp::QueryNonNull, D, S);
+          else
+            emit(BcOp::QueryFunc, D, S, 0, Out->internType(To));
+        } else if (To->kind() == TypeKind::Array) {
+          emit(BcOp::QueryNonNull, D, S);
+        } else {
+          assert(false && "unexpected dynamic query shape");
+          emit(BcOp::ConstI, D, 0, 0, 0);
+        }
+        break;
+      }
+      case Opcode::Ret:
+        emit(BcOp::RetOp, newDesc(I->Args, {}));
+        break;
+      case Opcode::Br: {
+        size_t Idx = emit(BcOp::Jmp);
+        Patches.push_back(Patch{Idx, Block->Succ0});
+        break;
+      }
+      case Opcode::CondBr: {
+        size_t Idx = emit(BcOp::JmpIfFalse, (int32_t)I->Args[0]);
+        Patches.push_back(Patch{Idx, Block->Succ1});
+        size_t Idx2 = emit(BcOp::Jmp);
+        Patches.push_back(Patch{Idx2, Block->Succ0});
+        break;
+      }
+      case Opcode::Trap:
+        emit(BcOp::TrapOp, 0, 0, 0, I->Index);
+        break;
+      }
+    }
+  }
+  for (const Patch &P : Patches)
+    BF.Code[P.InstrIdx].Imm = (int64_t)BlockPc[P.Target];
+}
+
+std::unique_ptr<BcModule> Emitter::run() {
+  assert(M.Normalized && "bytecode requires a normalized module");
+  Out->Types = M.Types;
+  Out->Strings = M.Strings;
+  emitClasses();
+  for (const IrGlobal &G : M.Globals)
+    Out->GlobalKinds.push_back(slotKindOf(G.Ty));
+  Out->Functions.resize(M.Functions.size());
+  for (IrFunction *F : M.Functions)
+    emitFunction(F, Out->Functions[F->id()]);
+  if (M.Main)
+    Out->MainId = (int)M.Main->id();
+  if (M.Init)
+    Out->InitId = (int)M.Init->id();
+  return std::move(Out);
+}
+
+} // namespace
+
+std::unique_ptr<BcModule> virgil::emitBytecode(IrModule &M) {
+  Emitter E(M);
+  return E.run();
+}

@@ -1,0 +1,29 @@
+//===- vm/BytecodeEmitter.h - Normalized IR to bytecode ---------*- C++ -*-===//
+///
+/// \file
+/// Emits a BcModule from normalized, monomorphized IR. Emission is the
+/// point where the remaining symbolic type tests become concrete
+/// machine operations: class casts become class-id subtype walks,
+/// int->byte casts become range checks, statically-decided casts become
+/// moves or unconditional traps, and everything else is a plain
+/// register instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_VM_BYTECODEEMITTER_H
+#define VIRGIL_VM_BYTECODEEMITTER_H
+
+#include "ir/Ir.h"
+#include "vm/Bytecode.h"
+
+#include <memory>
+
+namespace virgil {
+
+/// Compiles the module; requires M.Normalized. Never fails on verified
+/// input.
+std::unique_ptr<BcModule> emitBytecode(IrModule &M);
+
+} // namespace virgil
+
+#endif // VIRGIL_VM_BYTECODEEMITTER_H

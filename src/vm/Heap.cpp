@@ -1,0 +1,162 @@
+//===- vm/Heap.cpp --------------------------------------------------------===//
+
+#include "vm/Heap.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace virgil;
+
+namespace {
+
+constexpr uint64_t TagObject = 1;
+constexpr uint64_t TagArray = 2;
+constexpr uint64_t TagForward = 7;
+
+/// Closure slots pack (funcId + 1) << 33 | boundRef << 1 | hasBound.
+uint64_t closureBound(uint64_t Slot) { return (Slot >> 1) & 0xFFFFFFFFu; }
+bool closureHasBound(uint64_t Slot) { return Slot & 1; }
+uint64_t repackClosure(uint64_t Slot, uint64_t NewBound) {
+  return (Slot & ~(uint64_t)0x1FFFFFFFE) | (NewBound << 1);
+}
+
+} // namespace
+
+Heap::Heap(const BcModule &M, size_t InitialSlots) : M(M) {
+  Space.assign(InitialSlots < 16 ? 16 : InitialSlots, 0);
+}
+
+void Heap::setRoots(std::vector<uint64_t> *S, std::vector<SlotKind> *K,
+                    std::vector<uint64_t> *G) {
+  Stack = S;
+  StackKinds = K;
+  Globals = G;
+}
+
+size_t Heap::sizeOf(uint64_t Ref) const {
+  uint64_t Header = Space[Ref];
+  if ((Header & 7) == TagObject)
+    return 1 + M.Classes[Header >> 3].FieldKinds.size();
+  assert((Header & 7) == TagArray && "bad header");
+  ElemKind Kind = (ElemKind)(Header >> 3);
+  int64_t Len = (int64_t)Space[Ref + 1];
+  return 2 + (Kind == ElemKind::Void ? 0 : (size_t)Len);
+}
+
+uint64_t Heap::allocRaw(size_t Slots) {
+  if (Top + Slots > Space.size())
+    collect(Slots);
+  uint64_t Ref = Top;
+  Top += Slots;
+  Stats.SlotsAllocated += Slots;
+  std::memset(&Space[Ref], 0, Slots * sizeof(uint64_t));
+  return Ref;
+}
+
+uint64_t Heap::allocObject(int ClassId) {
+  size_t Slots = 1 + M.Classes[ClassId].FieldKinds.size();
+  uint64_t Ref = allocRaw(Slots);
+  Space[Ref] = ((uint64_t)ClassId << 3) | TagObject;
+  ++Stats.ObjectsAllocated;
+  return Ref;
+}
+
+uint64_t Heap::allocArray(ElemKind Kind, int64_t Len) {
+  assert(Len >= 0 && "caller checks negative lengths");
+  size_t Slots = 2 + (Kind == ElemKind::Void ? 0 : (size_t)Len);
+  uint64_t Ref = allocRaw(Slots);
+  Space[Ref] = ((uint64_t)Kind << 3) | TagArray;
+  Space[Ref + 1] = (uint64_t)Len;
+  ++Stats.ArraysAllocated;
+  return Ref;
+}
+
+uint64_t Heap::forward(uint64_t Ref, std::vector<uint64_t> &To,
+                       size_t &Top2) {
+  if (Ref == 0)
+    return 0;
+  uint64_t Header = Space[Ref];
+  if ((Header & 7) == TagForward)
+    return Header >> 3;
+  size_t Slots = sizeOf(Ref);
+  uint64_t NewRef = Top2;
+  std::memcpy(&To[Top2], &Space[Ref], Slots * sizeof(uint64_t));
+  Top2 += Slots;
+  Stats.SlotsCopied += Slots;
+  Space[Ref] = (NewRef << 3) | TagForward;
+  return NewRef;
+}
+
+void Heap::scanSlot(uint64_t &Slot, SlotKind Kind,
+                    std::vector<uint64_t> &To, size_t &Top2) {
+  switch (Kind) {
+  case SlotKind::Scalar:
+    return;
+  case SlotKind::Ref:
+    Slot = forward(Slot, To, Top2);
+    return;
+  case SlotKind::Closure:
+    if (Slot != 0 && closureHasBound(Slot))
+      Slot = repackClosure(Slot, forward(closureBound(Slot), To, Top2));
+    return;
+  }
+}
+
+void Heap::collect(size_t NeedSlots) {
+  ++Stats.Collections;
+  size_t NewSize = Space.size();
+  // Grow if the heap looks tight: keep at least 2x the live estimate.
+  while (NewSize < Top + NeedSlots + 16)
+    NewSize *= 2;
+  std::vector<uint64_t> To(NewSize, 0);
+  size_t Top2 = 1;
+
+  // Roots: the register stack and the globals.
+  if (Stack) {
+    assert(StackKinds && Stack->size() == StackKinds->size());
+    for (size_t I = 0; I != Stack->size(); ++I)
+      scanSlot((*Stack)[I], (*StackKinds)[I], To, Top2);
+  }
+  if (Globals)
+    for (size_t I = 0; I != Globals->size(); ++I)
+      scanSlot((*Globals)[I], M.GlobalKinds[I], To, Top2);
+
+  // Cheney scan.
+  size_t Scan = 1;
+  while (Scan < Top2) {
+    uint64_t Header = To[Scan];
+    if ((Header & 7) == TagObject) {
+      const BcClass &Cls = M.Classes[Header >> 3];
+      for (size_t F = 0; F != Cls.FieldKinds.size(); ++F)
+        scanSlot(To[Scan + 1 + F], Cls.FieldKinds[F], To, Top2);
+      Scan += 1 + Cls.FieldKinds.size();
+      continue;
+    }
+    assert((Header & 7) == TagArray && "bad header in to-space");
+    ElemKind Kind = (ElemKind)(Header >> 3);
+    int64_t Len = (int64_t)To[Scan + 1];
+    if (Kind == ElemKind::Ref || Kind == ElemKind::Closure) {
+      SlotKind SK = Kind == ElemKind::Ref ? SlotKind::Ref
+                                          : SlotKind::Closure;
+      for (int64_t E = 0; E != Len; ++E)
+        scanSlot(To[Scan + 2 + E], SK, To, Top2);
+    }
+    Scan += 2 + (Kind == ElemKind::Void ? 0 : (size_t)Len);
+  }
+
+  Space = std::move(To);
+  Top = Top2;
+  LiveAfterGc = Top2;
+  Stats.MaxLiveSlots = std::max(Stats.MaxLiveSlots, (uint64_t)Top2);
+
+  // If even after collection the request does not fit, grow and retry
+  // (collect() above already grew NewSize, so this is rare).
+  if (Top + NeedSlots > Space.size()) {
+    size_t Bigger = Space.size();
+    while (Bigger < Top + NeedSlots + 16)
+      Bigger *= 2;
+    Space.resize(Bigger, 0);
+  }
+}
+
+void Heap::collectNow() { collect(0); }

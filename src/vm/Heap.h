@@ -1,0 +1,94 @@
+//===- vm/Heap.h - Precise semispace copying collector ----------*- C++ -*-===//
+///
+/// \file
+/// The VM heap: a Cheney-style semispace copying collector, the same
+/// algorithm as the "precise semi-space garbage collector (also written
+/// in Virgil)" the paper ships on native targets. Precision comes from
+/// static slot kinds: the register stack, globals, object fields, and
+/// array elements each know whether a slot is a scalar, a heap
+/// reference, or a packed closure (whose embedded bound reference the
+/// collector rewrites in place).
+///
+/// References are slot indices into the from-space; 0 is null. Object
+/// layout: [header | fields...]; array layout: [header | length |
+/// elements...] (void arrays store only the length).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_VM_HEAP_H
+#define VIRGIL_VM_HEAP_H
+
+#include "vm/Bytecode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace virgil {
+
+struct HeapStats {
+  uint64_t ObjectsAllocated = 0;
+  uint64_t ArraysAllocated = 0;
+  uint64_t SlotsAllocated = 0;
+  uint64_t Collections = 0;
+  uint64_t SlotsCopied = 0;
+  uint64_t MaxLiveSlots = 0;
+};
+
+class Heap {
+public:
+  Heap(const BcModule &M, size_t InitialSlots = 1 << 14);
+
+  /// GC roots: the VM's register stack (with per-slot kinds) and the
+  /// global table. Must be set before allocating.
+  void setRoots(std::vector<uint64_t> *Stack,
+                std::vector<SlotKind> *StackKinds,
+                std::vector<uint64_t> *Globals);
+
+  /// Allocates an object of class \p ClassId with zeroed fields.
+  uint64_t allocObject(int ClassId);
+
+  /// Allocates an array (elements zeroed). \p Len must be >= 0.
+  uint64_t allocArray(ElemKind Kind, int64_t Len);
+
+  // Accessors. Offsets are unchecked here; the VM performs the
+  // semantic null/bounds checks.
+  int classIdOf(uint64_t Ref) const {
+    return (int)(Space[Ref] >> 3);
+  }
+  bool isArray(uint64_t Ref) const { return (Space[Ref] & 7) == 2; }
+  ElemKind arrayElemKind(uint64_t Ref) const {
+    return (ElemKind)(Space[Ref] >> 3);
+  }
+  int64_t arrayLen(uint64_t Ref) const { return (int64_t)Space[Ref + 1]; }
+  uint64_t &field(uint64_t Ref, int Index) { return Space[Ref + 1 + Index]; }
+  uint64_t &elem(uint64_t Ref, int64_t Index) {
+    return Space[Ref + 2 + Index];
+  }
+
+  const HeapStats &stats() const { return Stats; }
+  size_t liveSlotsAfterLastGc() const { return LiveAfterGc; }
+
+  /// Forces a collection (exposed for the GC stress benchmark).
+  void collectNow();
+
+private:
+  size_t sizeOf(uint64_t Ref) const;
+  void collect(size_t NeedSlots);
+  uint64_t forward(uint64_t Ref, std::vector<uint64_t> &To, size_t &Top);
+  void scanSlot(uint64_t &Slot, SlotKind Kind, std::vector<uint64_t> &To,
+                size_t &Top);
+  uint64_t allocRaw(size_t Slots);
+
+  const BcModule &M;
+  std::vector<uint64_t> Space; ///< Current from-space.
+  size_t Top = 1;              ///< Next free slot (0 is reserved/null).
+  std::vector<uint64_t> *Stack = nullptr;
+  std::vector<SlotKind> *StackKinds = nullptr;
+  std::vector<uint64_t> *Globals = nullptr;
+  HeapStats Stats;
+  size_t LiveAfterGc = 0;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_VM_HEAP_H

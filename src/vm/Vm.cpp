@@ -1,0 +1,489 @@
+//===- vm/Vm.cpp ----------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include <cassert>
+
+using namespace virgil;
+
+Vm::Vm(const BcModule &M)
+    : M(M), TheHeap(M), Rels(*M.Types) {
+  TheHeap.setRoots(&Stack, &StackKinds, &Globals);
+  Globals.assign(M.GlobalKinds.size(), 0);
+}
+
+void Vm::doTrap(TrapKind Kind, const std::string &Extra) {
+  Trapped = true;
+  TrapMessage = trapKindName(Kind);
+  if (!Extra.empty())
+    TrapMessage += ": " + Extra;
+}
+
+uint64_t Vm::makeString(int Index) {
+  const std::string &S = M.Strings[Index];
+  uint64_t Ref = TheHeap.allocArray(ElemKind::Scalar, (int64_t)S.size());
+  for (size_t I = 0; I != S.size(); ++I)
+    TheHeap.elem(Ref, (int64_t)I) = (uint8_t)S[I];
+  ++Counters.StringAllocs;
+  return Ref;
+}
+
+void Vm::pushFrame(int FuncId, const CallDesc *Desc, size_t CallerBase,
+                   const std::vector<uint64_t> &Args) {
+  const BcFunction &F = M.Functions[FuncId];
+  Frame Fr;
+  Fr.FuncId = FuncId;
+  Fr.Pc = 0;
+  Fr.Base = Stack.size();
+  Fr.Pending = Desc;
+  Fr.CallerBase = CallerBase;
+  Stack.resize(Stack.size() + F.NumRegs, 0);
+  StackKinds.insert(StackKinds.end(), F.RegKinds.begin(), F.RegKinds.end());
+  assert(Args.size() == F.NumParams && "argument arity mismatch");
+  for (size_t I = 0; I != Args.size(); ++I)
+    Stack[Fr.Base + I] = Args[I];
+  Frames.push_back(Fr);
+}
+
+bool Vm::builtin(int Kind, const CallDesc &Desc, size_t Base) {
+  switch (Kind) {
+  case 0: { // Puts.
+    uint64_t Ref = Stack[Base + Desc.Args[0]];
+    if (Ref == 0) {
+      doTrap(TrapKind::NullDeref);
+      return false;
+    }
+    int64_t Len = TheHeap.arrayLen(Ref);
+    for (int64_t I = 0; I != Len; ++I)
+      Output.push_back((char)TheHeap.elem(Ref, I));
+    return true;
+  }
+  case 1: // Puti.
+    Output += std::to_string((int32_t)Stack[Base + Desc.Args[0]]);
+    return true;
+  case 2: // Putc.
+    Output.push_back((char)Stack[Base + Desc.Args[0]]);
+    return true;
+  case 3: // Ln.
+    Output.push_back('\n');
+    return true;
+  case 4: // Ticks.
+    if (!Desc.Dsts.empty())
+      Stack[Base + Desc.Dsts[0]] = (uint32_t)TickCounter++;
+    return true;
+  case 5: { // Error.
+    uint64_t Ref = Stack[Base + Desc.Args[0]];
+    std::string Msg;
+    if (Ref != 0) {
+      int64_t Len = TheHeap.arrayLen(Ref);
+      for (int64_t I = 0; I != Len; ++I)
+        Msg.push_back((char)TheHeap.elem(Ref, I));
+    }
+    doTrap(TrapKind::UserError, Msg);
+    return false;
+  }
+  }
+  doTrap(TrapKind::Unreachable, "unknown builtin");
+  return false;
+}
+
+/// Is class \p Sub (an id) equal to or a subclass of \p Super?
+static bool classSubtype(const BcModule &M, int Sub, int Super) {
+  for (int C = Sub; C >= 0; C = M.Classes[C].ParentId)
+    if (C == Super)
+      return true;
+  return false;
+}
+
+bool Vm::runLoop() {
+  while (!Frames.empty()) {
+    Frame &Fr = Frames.back();
+    const BcFunction &F = M.Functions[Fr.FuncId];
+    const BcInstr &I = F.Code[Fr.Pc++];
+    size_t B = Fr.Base;
+    ++Counters.Instrs;
+    if (MaxInstrs && Counters.Instrs > MaxInstrs) {
+      doTrap(TrapKind::Unreachable, "instruction budget exceeded");
+      return false;
+    }
+    switch (I.Op) {
+    case BcOp::Nop:
+      break;
+    case BcOp::ConstI:
+      Stack[B + I.A] = (uint64_t)I.Imm;
+      break;
+    case BcOp::ConstStr:
+      Stack[B + I.A] = makeString((int)I.Imm);
+      break;
+    case BcOp::Mv:
+      Stack[B + I.A] = Stack[B + I.B];
+      break;
+    case BcOp::Add:
+      Stack[B + I.A] = (uint32_t)((int32_t)Stack[B + I.B] +
+                                  (int32_t)Stack[B + I.C]);
+      break;
+    case BcOp::Sub:
+      Stack[B + I.A] = (uint32_t)((int32_t)Stack[B + I.B] -
+                                  (int32_t)Stack[B + I.C]);
+      break;
+    case BcOp::Mul:
+      Stack[B + I.A] = (uint32_t)((int32_t)Stack[B + I.B] *
+                                  (int32_t)Stack[B + I.C]);
+      break;
+    case BcOp::Div:
+    case BcOp::Mod: {
+      int32_t Lhs = (int32_t)Stack[B + I.B];
+      int32_t Rhs = (int32_t)Stack[B + I.C];
+      if (Rhs == 0) {
+        doTrap(TrapKind::DivByZero);
+        return false;
+      }
+      int64_t R = I.Op == BcOp::Div ? (int64_t)Lhs / Rhs
+                                    : (int64_t)Lhs % Rhs;
+      Stack[B + I.A] = (uint32_t)(int32_t)R;
+      break;
+    }
+    case BcOp::Neg:
+      Stack[B + I.A] = (uint32_t)(-(int32_t)Stack[B + I.B]);
+      break;
+    case BcOp::Lt:
+      Stack[B + I.A] = (int32_t)Stack[B + I.B] < (int32_t)Stack[B + I.C];
+      break;
+    case BcOp::Le:
+      Stack[B + I.A] = (int32_t)Stack[B + I.B] <= (int32_t)Stack[B + I.C];
+      break;
+    case BcOp::Gt:
+      Stack[B + I.A] = (int32_t)Stack[B + I.B] > (int32_t)Stack[B + I.C];
+      break;
+    case BcOp::Ge:
+      Stack[B + I.A] = (int32_t)Stack[B + I.B] >= (int32_t)Stack[B + I.C];
+      break;
+    case BcOp::Not:
+      Stack[B + I.A] = Stack[B + I.B] == 0;
+      break;
+    case BcOp::And:
+      Stack[B + I.A] = (Stack[B + I.B] != 0) && (Stack[B + I.C] != 0);
+      break;
+    case BcOp::Or:
+      Stack[B + I.A] = (Stack[B + I.B] != 0) || (Stack[B + I.C] != 0);
+      break;
+    case BcOp::EqBits:
+      // Every value is canonical 64 bits (prims, refs, packed
+      // closures), so universal equality is bit equality.
+      Stack[B + I.A] = Stack[B + I.B] == Stack[B + I.C];
+      break;
+    case BcOp::NeBits:
+      Stack[B + I.A] = Stack[B + I.B] != Stack[B + I.C];
+      break;
+    case BcOp::NewObj:
+      Stack[B + I.A] = TheHeap.allocObject((int)I.Imm);
+      ++Counters.HeapObjects;
+      break;
+    case BcOp::NewArr: {
+      int64_t Len = (int32_t)Stack[B + I.B];
+      if (Len < 0) {
+        doTrap(TrapKind::Bounds, "negative array length");
+        return false;
+      }
+      Stack[B + I.A] = TheHeap.allocArray((ElemKind)I.Imm, Len);
+      ++Counters.HeapArrays;
+      break;
+    }
+    case BcOp::LdF: {
+      uint64_t Ref = Stack[B + I.B];
+      if (Ref == 0) {
+        doTrap(TrapKind::NullDeref);
+        return false;
+      }
+      Stack[B + I.A] = TheHeap.field(Ref, (int)I.Imm);
+      break;
+    }
+    case BcOp::StF: {
+      uint64_t Ref = Stack[B + I.A];
+      if (Ref == 0) {
+        doTrap(TrapKind::NullDeref);
+        return false;
+      }
+      TheHeap.field(Ref, (int)I.Imm) = Stack[B + I.B];
+      break;
+    }
+    case BcOp::NullChk:
+      if (Stack[B + I.A] == 0) {
+        doTrap(TrapKind::NullDeref);
+        return false;
+      }
+      break;
+    case BcOp::LdE:
+    case BcOp::BoundsChk: {
+      uint64_t Ref = Stack[B + I.B];
+      if (Ref == 0) {
+        doTrap(TrapKind::NullDeref);
+        return false;
+      }
+      int64_t Idx = (int32_t)Stack[B + I.C];
+      if (Idx < 0 || Idx >= TheHeap.arrayLen(Ref)) {
+        doTrap(TrapKind::Bounds);
+        return false;
+      }
+      if (I.Op == BcOp::LdE)
+        Stack[B + I.A] = TheHeap.elem(Ref, Idx);
+      break;
+    }
+    case BcOp::StE: {
+      uint64_t Ref = Stack[B + I.A];
+      if (Ref == 0) {
+        doTrap(TrapKind::NullDeref);
+        return false;
+      }
+      int64_t Idx = (int32_t)Stack[B + I.B];
+      if (Idx < 0 || Idx >= TheHeap.arrayLen(Ref)) {
+        doTrap(TrapKind::Bounds);
+        return false;
+      }
+      TheHeap.elem(Ref, Idx) = Stack[B + I.C];
+      break;
+    }
+    case BcOp::ArrLen: {
+      uint64_t Ref = Stack[B + I.B];
+      if (Ref == 0) {
+        doTrap(TrapKind::NullDeref);
+        return false;
+      }
+      Stack[B + I.A] = (uint64_t)TheHeap.arrayLen(Ref);
+      break;
+    }
+    case BcOp::LdG:
+      Stack[B + I.A] = Globals[I.Imm];
+      break;
+    case BcOp::StG:
+      Globals[I.Imm] = Stack[B + I.A];
+      break;
+    case BcOp::CallF: {
+      ++Counters.Calls;
+      const CallDesc &Desc = F.Descs[I.A];
+      if (!callFunction((int)I.Imm, &Desc, B, nullptr, false))
+        return false;
+      break;
+    }
+    case BcOp::CallV: {
+      ++Counters.Calls;
+      ++Counters.VirtualCalls;
+      const CallDesc &Desc = F.Descs[I.A];
+      uint64_t Recv = Stack[B + Desc.Args[0]];
+      if (Recv == 0) {
+        doTrap(TrapKind::NullDeref);
+        return false;
+      }
+      int ClassId = TheHeap.classIdOf(Recv);
+      int Target = M.Classes[ClassId].VTable[I.Imm];
+      if (Target < 0) {
+        doTrap(TrapKind::Unreachable, "abstract method");
+        return false;
+      }
+      if (!callFunction(Target, &Desc, B, nullptr, false))
+        return false;
+      break;
+    }
+    case BcOp::CallInd: {
+      ++Counters.Calls;
+      ++Counters.IndirectCalls;
+      const CallDesc &Desc = F.Descs[I.A];
+      uint64_t Clo = Stack[B + Desc.Args[0]];
+      if (Clo == 0) {
+        doTrap(TrapKind::NullDeref);
+        return false;
+      }
+      int FuncId = closureFuncId(Clo);
+      const BcFunction &G = M.Functions[FuncId];
+      if (closureIsBound(Clo)) {
+        uint64_t Bound = closureBoundRef(Clo);
+        if (!callFunction(FuncId, &Desc, B, &Bound, true))
+          return false;
+        break;
+      }
+      if (G.Slot >= 0 && G.OwnerClassId >= 0) {
+        // Unbound virtual method: dispatch on the first argument.
+        if (Desc.Args.size() < 2 || Stack[B + Desc.Args[1]] == 0) {
+          doTrap(TrapKind::NullDeref);
+          return false;
+        }
+        int ClassId = TheHeap.classIdOf(Stack[B + Desc.Args[1]]);
+        int Target = M.Classes[ClassId].VTable[G.Slot];
+        if (Target < 0) {
+          doTrap(TrapKind::Unreachable, "abstract method");
+          return false;
+        }
+        FuncId = Target;
+      }
+      if (!callFunction(FuncId, &Desc, B, nullptr, true))
+        return false;
+      break;
+    }
+    case BcOp::CallB: {
+      ++Counters.Calls;
+      const CallDesc &Desc = F.Descs[I.A];
+      if (!builtin((int)I.Imm, Desc, B))
+        return false;
+      break;
+    }
+    case BcOp::MkClo: {
+      int FuncId = (int)I.Imm;
+      bool HasBound = I.C != 0;
+      uint64_t Bound = 0;
+      if (HasBound) {
+        Bound = Stack[B + I.B];
+        const BcFunction &G = M.Functions[FuncId];
+        if (G.Slot >= 0 && G.OwnerClassId >= 0) {
+          // Bound virtual method: resolve against the receiver's
+          // dynamic class at creation.
+          if (Bound == 0) {
+            doTrap(TrapKind::NullDeref);
+            return false;
+          }
+          int ClassId = TheHeap.classIdOf(Bound);
+          int Target = M.Classes[ClassId].VTable[G.Slot];
+          if (Target < 0) {
+            doTrap(TrapKind::Unreachable, "abstract method");
+            return false;
+          }
+          FuncId = Target;
+        }
+      }
+      Stack[B + I.A] = packClosure(FuncId, Bound, HasBound);
+      break;
+    }
+    case BcOp::CastClass: {
+      uint64_t Ref = Stack[B + I.B];
+      if (Ref != 0 &&
+          !classSubtype(M, TheHeap.classIdOf(Ref), (int)I.Imm)) {
+        doTrap(TrapKind::CastFail, M.Classes[I.Imm].Name);
+        return false;
+      }
+      Stack[B + I.A] = Ref;
+      break;
+    }
+    case BcOp::QueryClass: {
+      uint64_t Ref = Stack[B + I.B];
+      Stack[B + I.A] =
+          Ref != 0 && classSubtype(M, TheHeap.classIdOf(Ref), (int)I.Imm);
+      break;
+    }
+    case BcOp::CastIntByte: {
+      int32_t V = (int32_t)Stack[B + I.B];
+      if (V < 0 || V > 255) {
+        doTrap(TrapKind::CastFail, "int to byte");
+        return false;
+      }
+      Stack[B + I.A] = (uint32_t)V;
+      break;
+    }
+    case BcOp::CastFunc:
+    case BcOp::QueryFunc: {
+      uint64_t Clo = Stack[B + I.B];
+      bool Ok = false;
+      if (Clo != 0) {
+        const BcFunction &G = M.Functions[closureFuncId(Clo)];
+        Type *Dyn = closureIsBound(Clo) ? G.BoundFuncTy : G.SourceFuncTy;
+        Ok = Dyn && Rels.isSubtype(Dyn, M.TypeTable[I.Imm]);
+      }
+      if (I.Op == BcOp::QueryFunc) {
+        Stack[B + I.A] = Ok;
+      } else {
+        if (Clo != 0 && !Ok) {
+          doTrap(TrapKind::CastFail, "function type");
+          return false;
+        }
+        Stack[B + I.A] = Clo;
+      }
+      break;
+    }
+    case BcOp::CastNullOnly:
+      if (Stack[B + I.B] != 0) {
+        doTrap(TrapKind::CastFail);
+        return false;
+      }
+      Stack[B + I.A] = 0;
+      break;
+    case BcOp::QueryNonNull:
+      Stack[B + I.A] = Stack[B + I.B] != 0;
+      break;
+    case BcOp::Jmp:
+      Fr.Pc = (size_t)I.Imm;
+      break;
+    case BcOp::JmpIfFalse:
+      if (Stack[B + I.A] == 0)
+        Fr.Pc = (size_t)I.Imm;
+      break;
+    case BcOp::RetOp: {
+      const CallDesc &Desc = F.Descs[I.A];
+      RetBuf.clear();
+      for (uint16_t R : Desc.Args)
+        RetBuf.push_back(Stack[B + R]);
+      Frame Done = Fr;
+      Frames.pop_back();
+      Stack.resize(Done.Base);
+      StackKinds.resize(Done.Base);
+      if (Done.Pending) {
+        const CallDesc &P = *Done.Pending;
+        for (size_t K = 0; K != P.Dsts.size(); ++K)
+          Stack[Done.CallerBase + P.Dsts[K]] = RetBuf[K];
+      } else {
+        FinalRets.clear();
+        for (uint64_t V : RetBuf)
+          FinalRets.push_back((int64_t)V);
+      }
+      break;
+    }
+    case BcOp::TrapOp:
+      doTrap((TrapKind)I.Imm);
+      return false;
+    }
+    if (Frames.size() > 100000) {
+      doTrap(TrapKind::Unreachable, "stack overflow");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Vm::callFunction(int FuncId, const CallDesc *Desc, size_t CallerBase,
+                      const uint64_t *PrependArg, bool SkipFirst) {
+  const BcFunction &G = M.Functions[FuncId];
+  std::vector<uint64_t> Args;
+  Args.reserve(G.NumParams);
+  if (PrependArg)
+    Args.push_back(*PrependArg);
+  // SkipFirst: indirect calls name the closure in Args[0].
+  for (size_t I = SkipFirst ? 1 : 0; I != Desc->Args.size(); ++I)
+    Args.push_back(Stack[CallerBase + Desc->Args[I]]);
+  if (Args.size() != G.NumParams) {
+    doTrap(TrapKind::Unreachable, "calling convention mismatch in '" +
+                                      G.Name + "'");
+    return false;
+  }
+  pushFrame(FuncId, Desc, CallerBase, Args);
+  return true;
+}
+
+VmResult Vm::run() {
+  VmResult R;
+  Globals.assign(M.GlobalKinds.size(), 0);
+  if (M.InitId >= 0 && !Trapped) {
+    pushFrame(M.InitId, nullptr, 0, {});
+    runLoop();
+  }
+  if (M.MainId >= 0 && !Trapped) {
+    pushFrame(M.MainId, nullptr, 0, {});
+    runLoop();
+    if (!Trapped && !FinalRets.empty()) {
+      R.ResultBits = (int32_t)FinalRets[0];
+      R.HasResult = true;
+    }
+  }
+  R.Trapped = Trapped;
+  R.TrapMessage = TrapMessage;
+  R.Output = Output;
+  R.Counters = Counters;
+  R.Heap = TheHeap.stats();
+  return R;
+}

@@ -1,0 +1,100 @@
+//===- vm/Vm.h - Bytecode virtual machine -----------------------*- C++ -*-===//
+///
+/// \file
+/// Executes BcModules: the compiled counterpart of the reference
+/// interpreter. Where the interpreter pays for boxed tuples, runtime
+/// type arguments, and dynamic calling-convention checks, the VM runs
+/// the normalized program with none of those: all calls pass scalar
+/// slots, functions return multiple values through a return buffer
+/// ("multiple return registers"), closures are flat packed slots, and
+/// the only remaining dynamic type machinery is class-id subtype walks
+/// for explicit casts/queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_VM_VM_H
+#define VIRGIL_VM_VM_H
+
+#include "types/TypeRelations.h"
+#include "vm/Heap.h"
+
+#include <string>
+
+namespace virgil {
+
+struct VmCounters {
+  uint64_t Instrs = 0;
+  uint64_t Calls = 0;
+  uint64_t IndirectCalls = 0;
+  uint64_t VirtualCalls = 0;
+  /// Explicit allocations only — `C.new(...)`, `Array<T>.new(n)`, and
+  /// string literals. Nothing else allocates (paper §4.3).
+  uint64_t HeapObjects = 0;
+  uint64_t HeapArrays = 0;
+  uint64_t StringAllocs = 0;
+};
+
+struct VmResult {
+  bool Trapped = false;
+  std::string TrapMessage;
+  /// First return value of main as raw bits (int32 for int mains).
+  int64_t ResultBits = 0;
+  bool HasResult = false;
+  std::string Output;
+  VmCounters Counters;
+  HeapStats Heap;
+};
+
+class Vm {
+public:
+  explicit Vm(const BcModule &M);
+
+  /// Runs $init then main.
+  VmResult run();
+
+  /// Optional fuel limit (0 = unlimited); exceeding it traps.
+  void setMaxInstrs(uint64_t Max) { MaxInstrs = Max; }
+
+  /// Forces a GC between runs (benchmarks).
+  Heap &heap() { return TheHeap; }
+
+private:
+  struct Frame {
+    int FuncId;
+    size_t Pc;
+    size_t Base;
+    /// Where our return values go in the caller (null for the
+    /// outermost frame).
+    const CallDesc *Pending;
+    size_t CallerBase;
+  };
+
+  bool callFunction(int FuncId, const CallDesc *Desc, size_t CallerBase,
+                    const uint64_t *PrependArg, bool SkipFirst);
+  void doTrap(TrapKind Kind, const std::string &Extra = "");
+  bool runLoop();
+  void pushFrame(int FuncId, const CallDesc *Desc, size_t CallerBase,
+                 const std::vector<uint64_t> &Args);
+  uint64_t makeString(int Index);
+  bool builtin(int Kind, const CallDesc &Desc, size_t Base);
+
+  const BcModule &M;
+  Heap TheHeap;
+  TypeRelations Rels;
+  std::vector<uint64_t> Stack;
+  std::vector<SlotKind> StackKinds;
+  std::vector<uint64_t> Globals;
+  std::vector<Frame> Frames;
+  std::vector<uint64_t> RetBuf;
+  std::string Output;
+  VmCounters Counters;
+  bool Trapped = false;
+  std::string TrapMessage;
+  uint64_t MaxInstrs = 0;
+  int32_t TickCounter = 0;
+  std::vector<int64_t> FinalRets;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_VM_VM_H

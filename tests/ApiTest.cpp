@@ -1,0 +1,140 @@
+//===- tests/ApiTest.cpp - Public API surface tests -------------------------===//
+///
+/// The embedding API a downstream user sees: Compiler options, staged
+/// Program accessors, the Interpreter's direct-call interface, and the
+/// printers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "ast/AstPrinter.h"
+#include "ir/IrPrinter.h"
+
+using namespace virgil;
+using namespace virgil::testing;
+
+namespace {
+
+TEST(ApiTest, StopAfterLowerKeepsOnlyPolyIr) {
+  CompilerOptions Options;
+  Options.StopAfterLower = true;
+  auto P = compileOk("def main() -> int { return 1; }", Options);
+  ASSERT_NE(P, nullptr);
+  EXPECT_FALSE(P->hasMonoIr());
+  EXPECT_FALSE(P->hasNormIr());
+  EXPECT_FALSE(P->hasBytecode());
+  // The interpreter still runs the polymorphic IR.
+  InterpResult R = P->interpret();
+  EXPECT_FALSE(R.Trapped);
+  EXPECT_EQ(R.Result.asInt(), 1);
+}
+
+TEST(ApiTest, FullPipelineExposesEveryStage) {
+  auto P = compileOk("def main() -> int { return 2; }");
+  EXPECT_TRUE(P->hasMonoIr());
+  EXPECT_TRUE(P->hasNormIr());
+  EXPECT_TRUE(P->hasBytecode());
+  EXPECT_TRUE(P->polyIr().Main != nullptr);
+  EXPECT_TRUE(P->monoIr().Monomorphized);
+  EXPECT_TRUE(P->normIr().Normalized);
+  EXPECT_GE(P->bytecode().Functions.size(), 2u); // main + $init.
+}
+
+TEST(ApiTest, InterpreterDirectCallInterface) {
+  auto P = compileOk(R"(
+var base = 30;
+def addBase(x: int, y: (int, int)) -> int {
+  return base + x + y.0 + y.1;
+}
+def main() -> int { return 0; }
+)");
+  IrFunction *F = nullptr;
+  for (IrFunction *Fn : P->polyIr().Functions)
+    if (Fn->Name == "addBase")
+      F = Fn;
+  ASSERT_NE(F, nullptr);
+  Interpreter I(P->polyIr());
+  ASSERT_TRUE(I.runInit()) << "globals must initialize";
+  auto Tup = std::make_shared<TupleData>();
+  Tup->Elems.push_back(Value::intV(4));
+  Tup->Elems.push_back(Value::intV(2));
+  InterpResult R =
+      I.call(F, {}, {Value::intV(6), Value::tuple(std::move(Tup))});
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  EXPECT_EQ(R.Result.asInt(), 42);
+}
+
+TEST(ApiTest, GenericFunctionCallWithExplicitTypeArgs) {
+  auto P = compileOk(R"(
+def pick<T>(a: T, b: T, first: bool) -> T {
+  if (first) return a;
+  return b;
+}
+def main() -> int { return 0; }
+)");
+  IrFunction *F = nullptr;
+  for (IrFunction *Fn : P->polyIr().Functions)
+    if (Fn->Name == "pick")
+      F = Fn;
+  ASSERT_NE(F, nullptr);
+  Interpreter I(P->polyIr());
+  InterpResult R = I.call(F, {P->types().intTy()},
+                          {Value::intV(7), Value::intV(9),
+                           Value::boolV(false)});
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.Result.asInt(), 9);
+}
+
+TEST(ApiTest, DiagnosticsSurviveInErrorString) {
+  Compiler C;
+  std::string Error;
+  auto P = C.compile("myfile.v3", "def f( { }", &Error);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_NE(Error.find("myfile.v3:1:"), std::string::npos) << Error;
+}
+
+TEST(ApiTest, AstPrinterWithTypes) {
+  auto P = compileOk(R"(
+def main() -> int {
+  var x = (1, true);
+  return x.0;
+}
+)");
+  std::string S = printModule(P->ast(), /*WithTypes=*/true);
+  EXPECT_NE(S.find("(int, bool)"), std::string::npos) << S;
+}
+
+TEST(ApiTest, IrModulePrinterCoversClassesAndGlobals) {
+  auto P = compileOk(R"(
+class K { var v: int; new(v) { } }
+var g = K.new(1);
+def main() -> int { return g.v; }
+)");
+  std::string S = printModule(P->polyIr());
+  EXPECT_NE(S.find("class #0 K"), std::string::npos) << S;
+  EXPECT_NE(S.find("global #0 g"), std::string::npos) << S;
+  EXPECT_NE(S.find("func @main"), std::string::npos) << S;
+}
+
+TEST(ApiTest, ProgramsAreIndependent) {
+  // Two programs from one Compiler share nothing observable.
+  Compiler C;
+  std::string E1, E2;
+  auto P1 = C.compile("a", "var g = 1; def main() -> int { g = g + 1; return g; }", &E1);
+  auto P2 = C.compile("b", "var g = 5; def main() -> int { return g; }", &E2);
+  ASSERT_NE(P1, nullptr);
+  ASSERT_NE(P2, nullptr);
+  EXPECT_EQ(P1->runVm().ResultBits, 2);
+  EXPECT_EQ(P2->runVm().ResultBits, 5);
+  EXPECT_EQ(P1->runVm().ResultBits, 2) << "re-running is idempotent";
+}
+
+TEST(ApiTest, OptionRoundsZeroMeansNoOptimization) {
+  CompilerOptions Options;
+  Options.Opt.Rounds = 0;
+  auto P = compileOk("def main() -> int { return 6 * 7; }", Options);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->runVm().ResultBits, 42);
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+//===- tests/DiagnosticsTest.cpp - Diagnostic quality tests -----------------===//
+///
+/// Error messages carry locations, name the entities involved, and the
+/// engine renders them in file:line:col form.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace virgil;
+using namespace virgil::testing;
+
+namespace {
+
+TEST(DiagnosticsTest, RenderIncludesLineAndColumn) {
+  std::string Err = compileErr("def f() {\n  var x: Nope;\n}");
+  EXPECT_NE(Err.find("test:2:"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("Nope"), std::string::npos) << Err;
+}
+
+TEST(DiagnosticsTest, UnknownIdentifierNamesIt) {
+  std::string Err = compileErr("def main() -> int { return missing; }");
+  EXPECT_NE(Err.find("missing"), std::string::npos) << Err;
+}
+
+TEST(DiagnosticsTest, NoMemberNamesClassAndMember) {
+  std::string Err = compileErr(R"(
+class Widget { }
+def main() -> int { return Widget.new().frobnicate(); }
+)");
+  EXPECT_NE(Err.find("Widget"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("frobnicate"), std::string::npos) << Err;
+}
+
+TEST(DiagnosticsTest, AssignmentMismatchShowsBothTypes) {
+  std::string Err =
+      compileErr("def main() -> int { var x: bool = 3; return 0; }");
+  EXPECT_NE(Err.find("bool"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("int"), std::string::npos) << Err;
+}
+
+TEST(DiagnosticsTest, InferenceFailureNamesTheParameter) {
+  std::string Err = compileErr(R"(
+def id<Elem>(x: Elem) -> Elem { return x; }
+def main() -> int { var x = id(null); return 0; }
+)");
+  EXPECT_NE(Err.find("Elem"), std::string::npos) << Err;
+}
+
+TEST(DiagnosticsTest, ImpossibleCastShowsBothTypes) {
+  std::string Err =
+      compileErr("def f(g: int -> int) -> int { return int.!(g); }");
+  EXPECT_NE(Err.find("int -> int"), std::string::npos) << Err;
+}
+
+TEST(DiagnosticsTest, MultipleErrorsAllReported) {
+  Compiler C;
+  std::string Error;
+  auto P = C.compile("test", R"(
+def f() { var a: Nope1; }
+def g() { var b: Nope2; }
+def h() { var c: Nope3; }
+)",
+                     &Error);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_NE(Error.find("Nope1"), std::string::npos);
+  EXPECT_NE(Error.find("Nope2"), std::string::npos);
+  EXPECT_NE(Error.find("Nope3"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, OverrideErrorShowsSignatures) {
+  std::string Err = compileErr(R"(
+class A { def m(a: int) -> int { return 0; } }
+class B extends A { def m(a: bool) -> bool { return false; } }
+)");
+  EXPECT_NE(Err.find("bool -> bool"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("int -> int"), std::string::npos) << Err;
+}
+
+TEST(DiagnosticsTest, WrongArityReportsCounts) {
+  std::string Err = compileErr(R"(
+def f(a: int, b: int, c: int) -> int { return a; }
+def main() -> int { return f(1, 2); }
+)");
+  EXPECT_NE(Err.find("3"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("2"), std::string::npos) << Err;
+}
+
+TEST(DiagnosticsTest, TrapMessagesCarryContext) {
+  expectTrap(R"(
+class A { }
+class B extends A { }
+def main() -> int {
+  var a = A.new();
+  var b = B.!(a);
+  return 0;
+}
+)",
+             "cast");
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+//===- tests/EndToEndTest.cpp - Whole-pipeline behaviour tests -------------===//
+///
+/// Cross-cutting programs exercising several features at once, each run
+/// through all four strategies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "corpus/Generators.h"
+
+using namespace virgil;
+using namespace virgil::testing;
+
+namespace {
+
+TEST(EndToEndTest, InsertionSortOnIntArray) {
+  expectResult(R"(
+def sort(a: Array<int>) {
+  for (i = 1; i < a.length; i = i + 1) {
+    var key = a[i];
+    var j = i - 1;
+    while (j >= 0 && a[j] > key) {
+      a[j + 1] = a[j];
+      j = j - 1;
+    }
+    a[j + 1] = key;
+  }
+}
+def main() -> int {
+  var a = Array<int>.new(6);
+  a[0] = 3; a[1] = 1; a[2] = 9; a[3] = 2; a[4] = 8; a[5] = 0;
+  sort(a);
+  var acc = 0;
+  for (i = 0; i < a.length; i = i + 1) acc = acc * 10 + a[i];
+  return acc;
+}
+)",
+               12389);
+}
+
+TEST(EndToEndTest, HigherOrderFoldOverList) {
+  expectResult(R"(
+class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }
+def fold<A, B>(list: List<A>, f: (B, A) -> B, init: B) -> B {
+  var acc = init;
+  for (l = list; l != null; l = l.tail) acc = f(acc, l.head);
+  return acc;
+}
+def add(a: int, b: int) -> int { return a + b; }
+def main() -> int {
+  var l = List.new(1, List.new(2, List.new(3, null)));
+  return fold(l, add, 36);
+}
+)",
+               42);
+}
+
+TEST(EndToEndTest, MapOverArrayWithClosure) {
+  expectResult(R"(
+class Scaler {
+  var k: int;
+  new(k) { }
+  def scale(x: int) -> int { return x * k; }
+}
+def map(a: Array<int>, f: int -> int) {
+  for (i = 0; i < a.length; i = i + 1) a[i] = f(a[i]);
+}
+def main() -> int {
+  var a = Array<int>.new(3);
+  a[0] = 1; a[1] = 2; a[2] = 3;
+  map(a, Scaler.new(7).scale);
+  return a[0] + a[1] + a[2];
+}
+)",
+               42);
+}
+
+TEST(EndToEndTest, MutualRecursion) {
+  expectResult(R"(
+def isEven(n: int) -> bool {
+  if (n == 0) return true;
+  return isOdd(n - 1);
+}
+def isOdd(n: int) -> bool {
+  if (n == 0) return false;
+  return isEven(n - 1);
+}
+def main() -> int {
+  if (isEven(40) && isOdd(41)) return 1;
+  return 0;
+}
+)",
+               1);
+}
+
+TEST(EndToEndTest, StringManipulation) {
+  expectOutput(R"(
+def reverse(s: string) -> string {
+  var r = Array<byte>.new(s.length);
+  for (i = 0; i < s.length; i = i + 1)
+    r[i] = s[s.length - 1 - i];
+  return r;
+}
+def main() -> int {
+  System.puts(reverse("stressed"));
+  return 0;
+}
+)",
+               "desserts");
+}
+
+TEST(EndToEndTest, TupleKeyedAssociation) {
+  // The paper's motivating "list of tuples" usage (§5).
+  expectResult(R"(
+class Assoc {
+  var keys: Array<(int, int)>;
+  var vals: Array<int>;
+  var n: int;
+  new() {
+    keys = Array<(int, int)>.new(8);
+    vals = Array<int>.new(8);
+  }
+  def put(k: (int, int), v: int) {
+    keys[n] = k;
+    vals[n] = v;
+    n = n + 1;
+  }
+  def get(k: (int, int)) -> int {
+    for (i = 0; i < n; i = i + 1) {
+      if (keys[i] == k) return vals[i];
+    }
+    return 0 - 1;
+  }
+}
+def main() -> int {
+  var m = Assoc.new();
+  m.put((1, 2), 12);
+  m.put((2, 1), 21);
+  return m.get((1, 2)) * 100 + m.get((2, 1)) + m.get((9, 9));
+}
+)",
+               1220);
+}
+
+TEST(EndToEndTest, GeneratedCallConvWorkloadRuns) {
+  RunOutcome O =
+      runAllStrategies(corpus::genCallConvWorkload(/*Calls=*/200));
+  EXPECT_FALSE(O.Trapped) << O.TrapMessage;
+}
+
+TEST(EndToEndTest, GeneratedTupleWorkloadsSweep) {
+  for (int Width : {1, 2, 4, 8}) {
+    RunOutcome O =
+        runAllStrategies(corpus::genTupleWorkload(Width, /*Iters=*/50));
+    EXPECT_FALSE(O.Trapped) << "width " << Width << ": " << O.TrapMessage;
+  }
+}
+
+TEST(EndToEndTest, GeneratedAdhocWorkloadMatchesDirect) {
+  RunOutcome Chain = runAllStrategies(
+      corpus::genAdhocWorkload(/*Cases=*/4, /*Iters=*/100, false));
+  RunOutcome Direct = runAllStrategies(
+      corpus::genAdhocWorkload(/*Cases=*/4, /*Iters=*/100, true));
+  EXPECT_FALSE(Chain.Trapped);
+  EXPECT_EQ(Chain.Result, Direct.Result)
+      << "print1 dispatch must behave like the direct call";
+}
+
+TEST(EndToEndTest, GeneratedMatcherWorkloadRuns) {
+  RunOutcome O = runAllStrategies(
+      corpus::genMatcherWorkload(/*Handlers=*/3, /*Iters=*/20));
+  EXPECT_FALSE(O.Trapped) << O.TrapMessage;
+}
+
+TEST(EndToEndTest, GeneratedVarianceWorkloadsAgree) {
+  RunOutcome F = runAllStrategies(
+      corpus::genVarianceWorkload(/*Len=*/20, /*Iters=*/5, true));
+  RunOutcome L = runAllStrategies(
+      corpus::genVarianceWorkload(/*Len=*/20, /*Iters=*/5, false));
+  EXPECT_EQ(F.Result, L.Result)
+      << "functional style computes the same total";
+}
+
+TEST(EndToEndTest, GeneratedExpansionWorkloadRuns) {
+  RunOutcome O =
+      runAllStrategies(corpus::genExpansionWorkload(/*Generics=*/3,
+                                                    /*Insts=*/4));
+  EXPECT_FALSE(O.Trapped) << O.TrapMessage;
+}
+
+TEST(EndToEndTest, GeneratedThroughputProgramRuns) {
+  RunOutcome O =
+      runAllStrategies(corpus::genThroughputProgram(/*Classes=*/10));
+  EXPECT_FALSE(O.Trapped) << O.TrapMessage;
+}
+
+TEST(EndToEndTest, StagedGlobalInitialization) {
+  // Globals initialize in order before main, including heap objects —
+  // the residue of Virgil's staged-initialization model.
+  expectResult(R"(
+class Table { var data: Array<int>; new() { data = Array<int>.new(4); } }
+var table = Table.new();
+var filled = fill();
+def fill() -> int {
+  for (i = 0; i < 4; i = i + 1) table.data[i] = i * i;
+  return 1;
+}
+def main() -> int {
+  return table.data[3] + filled;
+}
+)",
+               10);
+}
+
+} // namespace

@@ -1,0 +1,206 @@
+//===- tests/InferenceTest.cpp - Type-argument inference tests -------------===//
+///
+/// The paper's best-effort inference (§2.4, d10'-d12') plus the §3.6
+/// polarity behaviour that lets contravariant function positions act
+/// as upper bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace virgil;
+using namespace virgil::testing;
+
+namespace {
+
+TEST(InferenceTest, CtorArgsInferClassArgs) {
+  // (d10'): var c = List.new(0, null).
+  expectResult(R"(
+class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }
+def main() -> int {
+  var c = List.new(7, null);
+  if (List<int>.?(c)) return c.head;
+  return 0;
+}
+)",
+               7);
+}
+
+TEST(InferenceTest, TupleArgsInferClassArgs) {
+  // (d11'): var d = List.new((3, 4), null).
+  expectResult(R"(
+class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }
+def main() -> int {
+  var d = List.new((3, 4), null);
+  return d.head.0 * 10 + d.head.1;
+}
+)",
+               34);
+}
+
+TEST(InferenceTest, MethodArgsInferredFromFunctionArg) {
+  // (d12'): apply(c, print) infers A = int from print's type.
+  expectResult(R"(
+class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }
+def apply<A>(list: List<A>, f: A -> void) {
+  for (l = list; l != null; l = l.tail) f(l.head);
+}
+var sum = 0;
+def addInt(i: int) { sum = sum + i; }
+def main() -> int {
+  apply(List.new(40, List.new(2, null)), addInt);
+  return sum;
+}
+)",
+               42);
+}
+
+TEST(InferenceTest, ReturnTypeHintFromExpected) {
+  // The expected type closes generic values: (p7) r<(int, int)>.
+  expectResult(R"(
+def id<T>(x: T) -> T { return x; }
+def main() -> int {
+  var f: int -> int = id;
+  return f(21) * 2;
+}
+)",
+               42);
+}
+
+TEST(InferenceTest, ExplicitArgsBeatInference) {
+  expectResult(R"(
+def size<T>(x: T) -> int {
+  if ((int, int).?(x)) return 2;
+  return 1;
+}
+def main() -> int {
+  return size<(int, int)>((1, 2)) * 10 + size(3);
+}
+)",
+               21);
+}
+
+TEST(InferenceTest, ContravariantPositionIsUpperBound) {
+  // Paper (o7): apply(b, g) with g: Animal -> void and b: List<Bat>
+  // must infer A = Bat, not Animal.
+  expectResult(R"(
+class Animal { def noise() -> int { return 1; } }
+class Bat extends Animal { def noise() -> int { return 2; } }
+class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }
+def apply<A>(list: List<A>, f: A -> void) {
+  for (l = list; l != null; l = l.tail) f(l.head);
+}
+var total = 0;
+def g(a: Animal) { total = total + a.noise(); }
+def main() -> int {
+  var b: List<Bat> = List.new(Bat.new(), null);
+  apply(b, g);
+  return total;
+}
+)",
+               2);
+}
+
+TEST(InferenceTest, CovariantMergeTakesUpperBound) {
+  // T inferred from two class arguments merges at their common
+  // superclass.
+  expectResult(R"(
+class Animal { def noise() -> int { return 1; } }
+class Bat extends Animal { def noise() -> int { return 2; } }
+class Cat extends Animal { def noise() -> int { return 3; } }
+def both<T>(a: T, b: T) -> T { return b; }
+def main() -> int {
+  var x = both(Bat.new(), Cat.new());
+  return x.noise();
+}
+)",
+               3);
+}
+
+TEST(InferenceTest, UnresolvableReportsParameter) {
+  std::string Err = compileErr(R"(
+def id<T>(x: T) -> T { return x; }
+def main() -> int {
+  var x = id(null);
+  return 0;
+}
+)");
+  EXPECT_NE(Err.find("cannot infer"), std::string::npos) << Err;
+}
+
+TEST(InferenceTest, NullArgsDeferredWithExpectedHint) {
+  // null contributes nothing; the other argument plus the expected
+  // type decide, and the null is re-checked against the result.
+  expectResult(R"(
+class Pair<A, B> { var a: A; var b: B; new(a, b) { } }
+class Box { var v: int; new(v) { } }
+def main() -> int {
+  var p: Pair<int, Box> = Pair.new(5, null);
+  if (p.b == null) return p.a;
+  return 0;
+}
+)",
+               5);
+}
+
+TEST(InferenceTest, TimeGenericFromPaper) {
+  // (e1)-(e5): time<A, B> fully inferred from func and args.
+  expectResult(R"(
+def time<A, B>(func: A -> B, a: A) -> (B, int) {
+  var start = System.ticks();
+  var r = func(a);
+  return (r, System.ticks() - start);
+}
+def twice(p: (int, int)) -> int { return p.0 + p.1; }
+def main() -> int {
+  var r = time(twice, (20, 22));
+  return r.0;
+}
+)",
+               42);
+}
+
+TEST(InferenceTest, NestedGenericCallsCompose) {
+  expectResult(R"(
+def id<T>(x: T) -> T { return x; }
+def pair<A, B>(a: A, b: B) -> (A, B) { return (a, b); }
+def main() -> int {
+  var p = pair(id(20), id((11, 11)));
+  return p.0 + p.1.0 + p.1.1;
+}
+)",
+               42);
+}
+
+TEST(InferenceTest, VoidCanBeInferred) {
+  expectResult(R"(
+def id<T>(x: T) -> T { return x; }
+def main() -> int {
+  var v = id(());
+  if (void.?(v)) return 9;
+  return 0;
+}
+)",
+               9);
+}
+
+TEST(InferenceTest, DispatchCollapsesArgsToTuple) {
+  // A one-parameter generic called with two arguments infers T as the
+  // tuple of both (paper m6-m8 dispatch style).
+  expectResult(R"(
+var got = 0;
+def dispatch<T>(v: T) {
+  if ((int, bool).?(v)) got = 21;
+  if (int.?(v)) got = 42;
+}
+def main() -> int {
+  dispatch(1, true);
+  var a = got;
+  dispatch(7);
+  return a + got;
+}
+)",
+               63);
+}
+
+} // namespace

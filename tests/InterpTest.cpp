@@ -1,0 +1,258 @@
+//===- tests/InterpTest.cpp - Reference interpreter tests ------------------===//
+///
+/// Semantics of the baseline strategy, including the counters the
+/// benchmarks rely on: §4.1 dynamic adaptation checks and §4.3 runtime
+/// type substitutions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace virgil;
+using namespace virgil::testing;
+
+namespace {
+
+InterpResult interp(const std::string &Source) {
+  auto P = compileOk(Source);
+  return P->interpret();
+}
+
+TEST(InterpTest, ArithmeticWrapsAt32Bits) {
+  InterpResult R = interp(R"(
+def main() -> int { return 2147483647 + 1; }
+)");
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.Result.asInt(), INT32_MIN);
+}
+
+TEST(InterpTest, DivisionByZeroTraps) {
+  expectTrap("def main() -> int { var z = 0; return 1 / z; }",
+             "division by zero");
+}
+
+TEST(InterpTest, NullDerefTraps) {
+  expectTrap(R"(
+class A { var x: int; new(x) { } }
+def main() -> int { var a: A = null; return a.x; }
+)",
+             "null");
+}
+
+TEST(InterpTest, BoundsTraps) {
+  expectTrap(R"(
+def main() -> int { var a = Array<int>.new(3); return a[3]; }
+)",
+             "bounds");
+}
+
+TEST(InterpTest, NegativeLengthTraps) {
+  expectTrap(R"(
+def main() -> int { var n = 0 - 1; var a = Array<int>.new(n); return 0; }
+)",
+             "negative");
+}
+
+TEST(InterpTest, CastFailTraps) {
+  expectTrap(R"(
+class A { }
+class B extends A { }
+def main() -> int { var a = A.new(); var b = B.!(a); return 0; }
+)",
+             "cast");
+}
+
+TEST(InterpTest, IntToByteCastChecksRange) {
+  expectResult("def main() -> int { return int.!(byte.!(255)); }", 255);
+  expectTrap("def main() -> int { var x = 256; return int.!(byte.!(x)); }",
+             "cast");
+}
+
+TEST(InterpTest, CastOfNullSucceedsQueryIsFalse) {
+  // Casting null to a class type yields null; querying is false.
+  expectResult(R"(
+class A { }
+class B extends A { }
+def main() -> int {
+  var a: A = null;
+  var b = B.!(a);
+  var q = 0;
+  if (B.?(a)) q = 1;
+  if (b == null) return 10 + q;
+  return 0;
+}
+)",
+               10);
+}
+
+TEST(InterpTest, UserErrorTraps) {
+  expectTrap(R"(
+def main() -> int { System.error("boom"); return 0; }
+)",
+             "boom");
+}
+
+TEST(InterpTest, TupleEqualityIsStructural) {
+  // §2.3: tuples with equivalent elements are always equal.
+  expectResult(R"(
+def make() -> (int, (bool, byte)) { return (1, (true, 'x')); }
+def main() -> int {
+  if (make() == make()) return 1;
+  return 0;
+}
+)",
+               1);
+}
+
+TEST(InterpTest, ClosureEqualitySameMethodSameReceiver) {
+  expectResult(R"(
+class A { def m() -> int { return 1; } }
+def main() -> int {
+  var a = A.new();
+  var b = A.new();
+  var r = 0;
+  if (a.m == a.m) r = r + 1;
+  if (a.m != b.m) r = r + 10;
+  if (A.m == A.m) r = r + 100;
+  return r;
+}
+)",
+               111);
+}
+
+TEST(InterpTest, ObjectEqualityIsIdentity) {
+  expectResult(R"(
+class A { var x: int; new(x) { } }
+def main() -> int {
+  var a = A.new(1);
+  var b = A.new(1);
+  var r = 0;
+  if (a == a) r = r + 1;
+  if (a != b) r = r + 10;
+  return r;
+}
+)",
+               11);
+}
+
+TEST(InterpTest, AdaptationCountersTrackIndirectCalls) {
+  // The §4.1 dynamic checks happen at indirect call sites.
+  auto P = compileOk(R"(
+def f(a: int, b: int) -> int { return a + b; }
+def main() -> int {
+  var h: (int, int) -> int = f;
+  var acc = 0;
+  for (i = 0; i < 10; i = i + 1) acc = acc + h(i, 1);
+  return acc;
+}
+)");
+  InterpResult R = P->interpret();
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_GE(R.Counters.AdaptChecks, 10u);
+}
+
+TEST(InterpTest, PackUnpackCountersFire) {
+  // Calling a tuple-taking function through a scalar-shaped site packs;
+  // the converse unpacks (paper p4/p5).
+  auto P = compileOk(R"(
+def f(a: int, b: int) -> int { return a + b; }
+def g(a: (int, int)) -> int { return a.0 * a.1; }
+def main() -> int {
+  var x: (int, int) -> int = f;
+  var y: (int, int) -> int = g;
+  var t = (3, 4);
+  return x(t) + y(5, 6);
+}
+)");
+  InterpResult R = P->interpret();
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_GE(R.Counters.AdaptUnpacks, 1u) << "x(t) unpacks for f";
+  EXPECT_GE(R.Counters.AdaptPacks, 1u) << "y(5,6) packs for g";
+}
+
+TEST(InterpTest, TypeSubstCountersTrackPolymorphism) {
+  auto P = compileOk(R"(
+def id<T>(x: T) -> T { return x; }
+def main() -> int {
+  var acc = 0;
+  for (i = 0; i < 10; i = i + 1) acc = acc + id(i);
+  return acc;
+}
+)");
+  InterpResult R = P->interpret();
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_GE(R.Counters.TypeArgsPassed, 10u)
+      << "type arguments travel as invisible parameters (§4.3)";
+  // The same program monomorphized passes none.
+  InterpResult R2 = P->interpretMono();
+  EXPECT_EQ(R2.Counters.TypeArgsPassed, 0u);
+  EXPECT_EQ(R2.Counters.TypeSubsts, 0u);
+}
+
+TEST(InterpTest, TupleBoxCountersVanishAfterNormalization) {
+  auto P = compileOk(R"(
+def make(i: int) -> (int, int) { return (i, i + 1); }
+def main() -> int {
+  var acc = 0;
+  for (i = 0; i < 10; i = i + 1) acc = acc + make(i).1;
+  return acc;
+}
+)");
+  InterpResult Poly = P->interpret();
+  InterpResult Norm = P->interpretNorm();
+  ASSERT_FALSE(Poly.Trapped);
+  EXPECT_GT(Poly.Counters.HeapTuples, 0u);
+  EXPECT_EQ(Norm.Counters.HeapTuples, 0u)
+      << "normalization eliminates all tuple boxing (§4.2)";
+}
+
+TEST(InterpTest, UnboundVirtualMethodDispatches) {
+  // (b3)+(a9): A.m used first-class still dispatches on the receiver.
+  expectResult(R"(
+class A { def m() -> int { return 1; } }
+class B extends A { def m() -> int { return 2; } }
+def main() -> int {
+  var f = A.m;
+  var r = f(A.new()) * 10 + f(B.new());
+  return r;
+}
+)",
+               12);
+}
+
+TEST(InterpTest, BoundClosureCapturesDynamicTarget) {
+  expectResult(R"(
+class A { def m() -> int { return 1; } }
+class B extends A { def m() -> int { return 2; } }
+def main() -> int {
+  var a: A = B.new();
+  var f = a.m;
+  return f();
+}
+)",
+               2);
+}
+
+TEST(InterpTest, RecursionDepthGuardTraps) {
+  expectTrap(R"(
+def loop(n: int) -> int { return loop(n + 1); }
+def main() -> int { return loop(0); }
+)");
+}
+
+TEST(InterpTest, DefaultValues) {
+  expectResult(R"(
+class C { var i: int; var b: bool; var y: byte; var s: string; }
+def main() -> int {
+  var c = C.new();
+  var r = c.i;
+  if (!c.b) r = r + 10;
+  if (c.y == '\0') r = r + 100;
+  if (c.s == null) r = r + 1000;
+  return r;
+}
+)",
+               1110);
+}
+
+} // namespace

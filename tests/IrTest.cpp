@@ -1,0 +1,161 @@
+//===- tests/IrTest.cpp - IR, builder, verifier, printer unit tests --------===//
+
+#include "ir/IrBuilder.h"
+#include "ir/IrPrinter.h"
+#include "ir/IrStats.h"
+#include "ir/IrVerifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace virgil;
+
+namespace {
+
+struct IrFixture {
+  TypeStore Types;
+  IrModule M;
+  IrFixture() : M(Types) {}
+
+  /// Builds `func add(a: int, b: int) -> int { return a + b; }`.
+  IrFunction *makeAdd() {
+    IrFunction *F = M.newFunction("add");
+    F->newReg(Types.intTy());
+    F->newReg(Types.intTy());
+    F->NumParams = 2;
+    F->RetTypes.push_back(Types.intTy());
+    IrBuilder B(M, F);
+    B.setBlock(B.newBlock());
+    Reg D = B.binop(Opcode::IntAdd, 0, 1, Types.intTy());
+    B.ret({D});
+    return F;
+  }
+};
+
+TEST(IrTest, BuilderProducesVerifiableFunction) {
+  IrFixture Fx;
+  Fx.makeAdd();
+  EXPECT_TRUE(verifyModule(Fx.M).empty());
+}
+
+TEST(IrTest, VerifierCatchesMissingTerminator) {
+  IrFixture Fx;
+  IrFunction *F = Fx.M.newFunction("bad");
+  F->RetTypes.push_back(Fx.Types.voidTy());
+  IrBuilder B(Fx.M, F);
+  B.setBlock(B.newBlock());
+  B.constInt(1, Fx.Types.intTy()); // No terminator.
+  auto Problems = verifyModule(Fx.M);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(IrTest, VerifierCatchesOutOfRangeRegisters) {
+  IrFixture Fx;
+  IrFunction *F = Fx.M.newFunction("bad");
+  F->RetTypes.push_back(Fx.Types.intTy());
+  IrBuilder B(Fx.M, F);
+  B.setBlock(B.newBlock());
+  B.ret({99}); // Register 99 does not exist.
+  auto Problems = verifyModule(Fx.M);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("out of range"), std::string::npos);
+}
+
+TEST(IrTest, VerifierCatchesBadSuccessors) {
+  IrFixture Fx;
+  IrFunction *F = Fx.M.newFunction("bad");
+  F->RetTypes.push_back(Fx.Types.voidTy());
+  IrBuilder B(Fx.M, F);
+  IrBlock *Entry = B.newBlock();
+  B.setBlock(Entry);
+  B.emit(Opcode::Br, {}, {});
+  // Br with no successor set.
+  auto Problems = verifyModule(Fx.M);
+  ASSERT_FALSE(Problems.empty());
+}
+
+TEST(IrTest, VerifierEnforcesMonoInvariant) {
+  IrFixture Fx;
+  IrFunction *F = Fx.M.newFunction("poly");
+  StringInterner Names;
+  TypeParamDef *T = Fx.Types.makeTypeParam(Names.intern("T"));
+  F->TypeParams.push_back(T);
+  F->RetTypes.push_back(Fx.Types.voidTy());
+  IrBuilder B(Fx.M, F);
+  B.setBlock(B.newBlock());
+  B.ret({B.constVoid(Fx.Types.voidTy())});
+  EXPECT_TRUE(verifyModule(Fx.M).empty()) << "fine pre-mono";
+  Fx.M.Monomorphized = true;
+  auto Problems = verifyModule(Fx.M);
+  ASSERT_FALSE(Problems.empty());
+  EXPECT_NE(Problems[0].find("type parameters"), std::string::npos);
+}
+
+TEST(IrTest, VerifierEnforcesNormalizedInvariant) {
+  IrFixture Fx;
+  IrFunction *F = Fx.M.newFunction("tuply");
+  Type *Pair = Fx.Types.tuple(
+      std::vector<Type *>{Fx.Types.intTy(), Fx.Types.intTy()});
+  F->RetTypes.push_back(Pair);
+  IrBuilder B(Fx.M, F);
+  B.setBlock(B.newBlock());
+  Reg A = B.constInt(1, Fx.Types.intTy());
+  Reg T = B.tupleCreate({A, A}, Pair);
+  B.ret({T});
+  Fx.M.Monomorphized = true;
+  Fx.M.Normalized = true;
+  auto Problems = verifyModule(Fx.M);
+  EXPECT_GE(Problems.size(), 2u) << "tuple reg + tuple op + multi-ret";
+}
+
+TEST(IrTest, PrinterRendersInstructions) {
+  IrFixture Fx;
+  IrFunction *F = Fx.makeAdd();
+  std::string S = printFunction(*F);
+  EXPECT_NE(S.find("func @add"), std::string::npos);
+  EXPECT_NE(S.find("int.add"), std::string::npos);
+  EXPECT_NE(S.find("ret"), std::string::npos);
+  EXPECT_NE(S.find("%0: int"), std::string::npos);
+}
+
+TEST(IrTest, StatsCountOpcodes) {
+  IrFixture Fx;
+  Fx.makeAdd();
+  IrStats S = computeStats(Fx.M);
+  EXPECT_EQ(S.NumFunctions, 1u);
+  EXPECT_EQ(S.NumBlocks, 1u);
+  EXPECT_EQ(S.NumInstrs, 2u);
+  EXPECT_EQ(S.PerOpcode.at(Opcode::IntAdd), 1u);
+  EXPECT_EQ(S.NumCalls, 0u);
+}
+
+TEST(IrTest, FuncTypeCollapsesParams) {
+  IrFixture Fx;
+  IrFunction *F = Fx.makeAdd();
+  Type *FT = F->funcType(Fx.Types);
+  EXPECT_EQ(FT->toString(), "(int, int) -> int");
+}
+
+TEST(IrTest, OpcodePredicates) {
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_TRUE(isTerminator(Opcode::Trap));
+  EXPECT_FALSE(isTerminator(Opcode::Move));
+  EXPECT_TRUE(isPure(Opcode::TupleCreate));
+  EXPECT_TRUE(isPure(Opcode::TypeQuery));
+  EXPECT_FALSE(isPure(Opcode::TypeCast)) << "casts can trap";
+  EXPECT_FALSE(isPure(Opcode::IntDiv)) << "division can trap";
+  EXPECT_FALSE(isPure(Opcode::NewArray)) << "allocation is observable";
+  EXPECT_FALSE(isPure(Opcode::CallFunc));
+}
+
+TEST(IrTest, StringInterningDeduplicates) {
+  IrFixture Fx;
+  int A = Fx.M.internString("hello");
+  int B = Fx.M.internString("world");
+  int C = Fx.M.internString("hello");
+  EXPECT_EQ(A, C);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Fx.M.Strings.size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,451 @@
+//===- tests/LanguageSemanticsTest.cpp - Corner-case semantics -------------===//
+///
+/// Pins down the trickier consequences of the paper's design: string
+/// identity, nested generic instantiations, deep hierarchies with
+/// generic members, nested flattening, first-class constructors of
+/// generic classes, and the interaction of `this` with closures. Every
+/// test runs differentially across all four strategies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace virgil;
+using namespace virgil::testing;
+
+namespace {
+
+TEST(LangTest, StringLiteralsAreDistinctArrays) {
+  // Strings are Array<byte>: mutable, compared by identity. Two
+  // evaluations of the same literal are different arrays.
+  expectResult(R"(
+def main() -> int {
+  var a = "abc";
+  var b = "abc";
+  var r = 0;
+  if (a != b) r = r + 1;     // distinct arrays
+  if (a == a) r = r + 10;    // self identity
+  a[0] = 'x';                // and they are mutable
+  if (a[0] == 'x') r = r + 100;
+  return r;
+}
+)",
+               111);
+}
+
+TEST(LangTest, NestedGenericInstantiation) {
+  expectResult(R"(
+class Box<T> {
+  var v: T;
+  new(v) { }
+  def get() -> T { return v; }
+}
+def main() -> int {
+  var bb = Box.new(Box.new(21));
+  var r = 0;
+  if (Box<Box<int>>.?(bb)) r = 1;
+  return bb.get().get() * 2 * r;
+}
+)",
+               42);
+}
+
+TEST(LangTest, GenericMethodOnGenericClass) {
+  // Class and method type parameters coexist; both specialize.
+  expectResult(R"(
+class Holder<T> {
+  var v: T;
+  new(v) { }
+  def zip<U>(u: U) -> (T, U) { return (v, u); }
+}
+def main() -> int {
+  var h = Holder.new(40);
+  var p = h.zip(true);
+  var q = h.zip((1, 1));
+  if (p.1) return p.0 + q.1.0 + q.1.1;
+  return 0;
+}
+)",
+               42);
+}
+
+TEST(LangTest, ThreeLevelHierarchyMiddleOverride) {
+  expectResult(R"(
+class A { def tag() -> int { return 1; } }
+class B extends A { def tag() -> int { return 2; } }
+class C extends B { }
+def main() -> int {
+  var xs = Array<A>.new(3);
+  xs[0] = A.new();
+  xs[1] = B.new();
+  xs[2] = C.new();   // Inherits B's override.
+  var acc = 0;
+  for (i = 0; i < 3; i = i + 1) acc = acc * 10 + xs[i].tag();
+  return acc;
+}
+)",
+               122);
+}
+
+TEST(LangTest, MutuallyRecursiveGenericClasses) {
+  expectResult(R"(
+class Even<T> {
+  var v: T;
+  var next: Odd<T>;
+  new(v, next) { }
+}
+class Odd<T> {
+  var v: T;
+  var next: Even<T>;
+  new(v, next) { }
+}
+def main() -> int {
+  var chain = Even.new(1, Odd.new(2, Even.new(3, null)));
+  return chain.v * 100 + chain.next.v * 10 + chain.next.next.v;
+}
+)",
+               123);
+}
+
+TEST(LangTest, CtorOfGenericClassAsValue) {
+  // (b7) meets §2.4: List<int>.new is an (int, List<int>) -> List<int>
+  // function value.
+  expectResult(R"(
+class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }
+def main() -> int {
+  var mk = List<int>.new;
+  var l = mk(5, mk(6, null));
+  return l.head * 10 + l.tail.head;
+}
+)",
+               56);
+}
+
+TEST(LangTest, UnboundMethodOfGenericClass) {
+  expectResult(R"(
+class Box<T> {
+  var v: T;
+  new(v) { }
+  def get() -> T { return v; }
+}
+def main() -> int {
+  var g = Box<int>.get;    // Box<int> -> int
+  return g(Box.new(42));
+}
+)",
+               42);
+}
+
+TEST(LangTest, ArraysOfArraysOfTuples) {
+  // Nested flattening: Array<Array<(int, int)>> becomes two parallel
+  // arrays of arrays.
+  expectResult(R"(
+def main() -> int {
+  var grid = Array<Array<(int, int)>>.new(2);
+  grid[0] = Array<(int, int)>.new(2);
+  grid[1] = Array<(int, int)>.new(2);
+  grid[0][0] = (1, 2);
+  grid[1][1] = (3, 4);
+  var a = grid[0][0];
+  var b = grid[1][1];
+  return a.0 * 1000 + a.1 * 100 + b.0 * 10 + b.1;
+}
+)",
+               1234);
+}
+
+TEST(LangTest, ArraysOfFunctions) {
+  expectResult(R"(
+def inc(x: int) -> int { return x + 1; }
+def dbl(x: int) -> int { return x * 2; }
+def main() -> int {
+  var fs = Array<int -> int>.new(2);
+  fs[0] = inc;
+  fs[1] = dbl;
+  var v = 10;
+  for (i = 0; i < 2; i = i + 1) v = fs[i](v);
+  return v;   // (10+1)*2
+}
+)",
+               22);
+}
+
+TEST(LangTest, FieldsOfGenericTypeInsideArrays) {
+  expectResult(R"(
+class Buf<T> {
+  var data: Array<T>;
+  var n: int;
+  new() { data = Array<T>.new(4); }
+  def push(v: T) {
+    data[n] = v;
+    n = n + 1;
+  }
+  def get(i: int) -> T { return data[i]; }
+}
+def main() -> int {
+  var b = Buf<(int, bool)>.new();
+  b.push((7, true));
+  b.push((8, false));
+  var x = b.get(0);
+  var y = b.get(1);
+  var r = x.0 * 10 + y.0;
+  if (x.1 && !y.1) r = r + 100;
+  return r;
+}
+)",
+               178);
+}
+
+TEST(LangTest, VoidEqualityIsTrue) {
+  // void's one value () always equals itself (paper footnote 1).
+  expectResult(R"(
+def main() -> int {
+  var u: void;
+  var v = ();
+  var r = 0;
+  if (u == v) r = r + 1;
+  if (void.==(u, v)) r = r + 10;
+  return r;
+}
+)",
+               11);
+}
+
+TEST(LangTest, ThisEscapesViaClosure) {
+  expectResult(R"(
+class Counter {
+  var n: int;
+  def bump() -> int {
+    n = n + 1;
+    return n;
+  }
+  def self() -> Counter { return this; }
+}
+def main() -> int {
+  var c = Counter.new();
+  var f = c.self().bump;
+  f();
+  f();
+  return c.bump();   // 3
+}
+)",
+               3);
+}
+
+TEST(LangTest, TupleWithClassComponentsQueriesRecursively) {
+  expectResult(R"(
+class A { }
+class B extends A { }
+def probe<T>(x: T) -> int {
+  if ((B, int).?(x)) return 2;
+  if ((A, int).?(x)) return 1;
+  return 0;
+}
+def main() -> int {
+  var pa: (A, int) = (A.new(), 1);
+  var pb: (A, int) = (B.new(), 1);
+  // Queries check the *dynamic* types of the components.
+  return probe(pa) * 10 + probe(pb);
+}
+)",
+               12);
+}
+
+TEST(LangTest, TupleCastWithClassComponents) {
+  expectResult(R"(
+class A { }
+class B extends A { def mark() -> int { return 9; } }
+def main() -> int {
+  var p: (A, int) = (B.new(), 33);
+  var q = (B, int).!(p);
+  return q.0.mark() * 100 + q.1;
+}
+)",
+               933);
+}
+
+TEST(LangTest, OperatorValuesOnByteAndBool) {
+  expectResult(R"(
+def main() -> int {
+  var beq = bool.==;
+  var blt = byte.<;
+  var r = 0;
+  if (beq(true, true)) r = r + 1;
+  if (blt('a', 'b')) r = r + 10;
+  return r;
+}
+)",
+               11);
+}
+
+TEST(LangTest, ChainedComparisonsAreLeftAssociative) {
+  // (1 < 2) is bool; bool == bool works: ((1 < 2) == true).
+  expectResult(R"(
+def main() -> int {
+  if (1 < 2 == true) return 1;
+  return 0;
+}
+)",
+               1);
+}
+
+TEST(LangTest, ModAndDivTruncateTowardZero) {
+  expectResult(R"(
+def main() -> int {
+  var a = 0 - 7;
+  var r = 0;
+  if (a / 2 == 0 - 3) r = r + 1;
+  if (a % 2 == 0 - 1) r = r + 10;
+  if (7 / (0 - 2) == 0 - 3) r = r + 100;
+  return r;
+}
+)",
+               111);
+}
+
+TEST(LangTest, GlobalsOfFunctionTypeDispatch) {
+  expectResult(R"(
+class A { def m() -> int { return 1; } }
+class B extends A { def m() -> int { return 2; } }
+var probe = A.m;
+def main() -> int {
+  return probe(B.new()) * 10 + probe(A.new());
+}
+)",
+               21);
+}
+
+TEST(LangTest, ForLoopScopesInductionVariable) {
+  expectResult(R"(
+def main() -> int {
+  var i = 100;
+  var acc = 0;
+  for (i = 0; i < 3; i = i + 1) acc = acc + i;
+  // The loop bound a *fresh* i; the outer one is untouched.
+  return i + acc;
+}
+)",
+               103);
+}
+
+TEST(LangTest, WhileWithBreakAndContinue) {
+  expectResult(R"(
+def main() -> int {
+  var i = 0;
+  var acc = 0;
+  while (true) {
+    i = i + 1;
+    if (i > 10) break;
+    if (i % 2 == 0) continue;
+    acc = acc + i;   // 1+3+5+7+9
+  }
+  return acc;
+}
+)",
+               25);
+}
+
+TEST(LangTest, ReturnInsideLoopUnwinds) {
+  expectResult(R"(
+def find(a: Array<int>, want: int) -> int {
+  for (i = 0; i < a.length; i = i + 1) {
+    if (a[i] == want) return i;
+  }
+  return 0 - 1;
+}
+def main() -> int {
+  var a = Array<int>.new(4);
+  a[2] = 9;
+  return find(a, 9) * 10 + find(a, 5);
+}
+)",
+               19);
+}
+
+TEST(LangTest, FieldInitializersRunAtConstruction) {
+  expectResult(R"(
+var order = 0;
+def stamp() -> int {
+  order = order + 1;
+  return order;
+}
+class K {
+  var a: int = stamp();
+  var b: int = stamp();
+}
+def main() -> int {
+  var k1 = K.new();
+  var k2 = K.new();
+  return k1.a * 1000 + k1.b * 100 + k2.a * 10 + k2.b;
+}
+)",
+               1234);
+}
+
+TEST(LangTest, InheritedFieldsInitializeThroughSuperChain) {
+  expectResult(R"(
+class A {
+  var x: int;
+  var tagA: int = 7;
+  new(x) { }
+}
+class B extends A {
+  var y: int;
+  // x names the *inherited* field (type borrowed, initialized via
+  // super); y names the own field (auto-assigned, paper a4).
+  new(x, y) super(x) { }
+}
+def main() -> int {
+  var b = B.new(1, 2);
+  return b.x * 100 + b.y * 10 + b.tagA;
+}
+)",
+               127);
+}
+
+TEST(LangTest, EqualityOnClosuresOverSameGenericInstantiation) {
+  expectResult(R"(
+def id<T>(x: T) -> T { return x; }
+def main() -> int {
+  var f: int -> int = id;
+  var g: int -> int = id;
+  var h: bool -> bool = id;
+  var r = 0;
+  if (f == g) r = r + 1;    // Same instantiation id<int>.
+  if (h(true)) r = r + 10;  // Different instantiation works fine.
+  return r;
+}
+)",
+               11);
+}
+
+TEST(LangTest, DeepTupleNestingRoundTrips) {
+  expectResult(R"(
+def spin(t: ((int, (int, int)), ((int, int), int)))
+    -> ((int, (int, int)), ((int, int), int)) {
+  return t;
+}
+def main() -> int {
+  var t = ((1, (2, 3)), ((4, 5), 6));
+  var u = spin(spin(t));
+  if (u == t) {
+    return u.0.0 + u.0.1.0 + u.0.1.1 + u.1.0.0 + u.1.0.1 + u.1.1;
+  }
+  return 0;
+}
+)",
+               21);
+}
+
+TEST(LangTest, LocalDefIsImmutableButUsable) {
+  expectResult(R"(
+def main() -> int {
+  def base = 40;
+  var x = base + 2;
+  return x;
+}
+)",
+               42);
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- tests/LexerTest.cpp - Lexer unit tests ------------------------------===//
+
+#include "parse/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace virgil;
+
+namespace {
+
+/// Keeps the source buffer and interner alive for the tokens' views.
+struct Lexed {
+  SourceFile File;
+  StringInterner Idents;
+  DiagEngine Diags;
+  std::vector<Token> Tokens;
+
+  explicit Lexed(const std::string &Text, bool ExpectErrors = false)
+      : File("test", Text) {
+    Diags.setFile(&File);
+    Lexer L(File, Idents, Diags);
+    Tokens = L.lexAll();
+    EXPECT_EQ(Diags.hasErrors(), ExpectErrors) << Diags.render();
+  }
+  Lexed(const Lexed &) = delete;
+  Lexed &operator=(const Lexed &) = delete;
+  const Token &operator[](size_t I) const { return Tokens[I]; }
+  size_t size() const { return Tokens.size(); }
+};
+
+/// Guaranteed copy elision: the prvalue is constructed in place, so the
+/// tokens' views into File stay valid.
+Lexed lex(const std::string &Text, bool ExpectErrors = false) {
+  return Lexed(Text, ExpectErrors);
+}
+
+std::vector<TokKind> kinds(const Lexed &L) {
+  std::vector<TokKind> Out;
+  for (const Token &T : L.Tokens)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto T = lex("");
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_EQ(T[0].Kind, TokKind::End);
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto T = lex("class def var new foo classy");
+  EXPECT_EQ(kinds(T),
+            (std::vector<TokKind>{TokKind::KwClass, TokKind::KwDef,
+                                  TokKind::KwVar, TokKind::KwNew,
+                                  TokKind::Identifier, TokKind::Identifier,
+                                  TokKind::End}));
+  EXPECT_EQ(*T[4].Name, "foo");
+  EXPECT_EQ(*T[5].Name, "classy") << "keyword prefixes stay identifiers";
+}
+
+TEST(LexerTest, IdentifiersAreInterned) {
+  auto T = lex("abc xyz abc");
+  EXPECT_EQ(T[0].Name, T[2].Name);
+  EXPECT_NE(T[0].Name, T[1].Name);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto T = lex("0 42 2147483647");
+  EXPECT_EQ(T[0].IntValue, 0);
+  EXPECT_EQ(T[1].IntValue, 42);
+  EXPECT_EQ(T[2].IntValue, 2147483647);
+}
+
+TEST(LexerTest, CharLiteralsAndEscapes) {
+  auto T = lex(R"('a' '\n' '\0' '\\' '\'')");
+  EXPECT_EQ(T[0].IntValue, 'a');
+  EXPECT_EQ(T[1].IntValue, '\n');
+  EXPECT_EQ(T[2].IntValue, 0);
+  EXPECT_EQ(T[3].IntValue, '\\');
+  EXPECT_EQ(T[4].IntValue, '\'');
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto T = lex(R"("hello" "a\tb" "")");
+  EXPECT_EQ(T[0].StringValue, "hello");
+  EXPECT_EQ(T[1].StringValue, "a\tb");
+  EXPECT_EQ(T[2].StringValue, "");
+}
+
+TEST(LexerTest, OperatorsMaximalMunch) {
+  auto T = lex("-> - == = != ! <= < >= > && ||");
+  EXPECT_EQ(kinds(T),
+            (std::vector<TokKind>{
+                TokKind::Arrow, TokKind::Minus, TokKind::EqEq,
+                TokKind::Assign, TokKind::NotEq, TokKind::Bang,
+                TokKind::LtEq, TokKind::Lt, TokKind::GtEq, TokKind::Gt,
+                TokKind::AndAnd, TokKind::OrOr, TokKind::End}));
+}
+
+TEST(LexerTest, TupleIndexLexesAsDotInt) {
+  auto T = lex("x.0.1");
+  EXPECT_EQ(kinds(T),
+            (std::vector<TokKind>{TokKind::Identifier, TokKind::Dot,
+                                  TokKind::IntLit, TokKind::Dot,
+                                  TokKind::IntLit, TokKind::End}));
+}
+
+TEST(LexerTest, OperatorMembers) {
+  // b8-b15 spellings: int.+, A.!=, A.!<B>, A.?<B>.
+  auto T = lex("int.+ A.!= A.!<B> A.?<B>");
+  EXPECT_EQ(T[0].Kind, TokKind::Identifier);
+  EXPECT_EQ(T[1].Kind, TokKind::Dot);
+  EXPECT_EQ(T[2].Kind, TokKind::Plus);
+  EXPECT_EQ(T[5].Kind, TokKind::NotEq);
+  EXPECT_EQ(T[8].Kind, TokKind::Bang);
+  EXPECT_EQ(T[9].Kind, TokKind::Lt);
+  EXPECT_EQ(T[14].Kind, TokKind::Question);
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  auto T = lex("a // this is a comment\nb");
+  EXPECT_EQ(kinds(T), (std::vector<TokKind>{TokKind::Identifier,
+                                            TokKind::Identifier,
+                                            TokKind::End}));
+}
+
+TEST(LexerTest, LocationsAreByteOffsets) {
+  Lexed L("ab\ncd");
+  EXPECT_EQ(L[0].Loc.Offset, 0u);
+  EXPECT_EQ(L[1].Loc.Offset, 3u);
+  LineCol LC = L.File.lineCol(L[1].Loc);
+  EXPECT_EQ(LC.Line, 2u);
+  EXPECT_EQ(LC.Col, 1u);
+}
+
+TEST(LexerTest, UnterminatedStringIsAnError) {
+  lex("\"abc", /*ExpectErrors=*/true);
+}
+
+TEST(LexerTest, StrayCharacterIsAnError) {
+  lex("a $ b", /*ExpectErrors=*/true);
+}
+
+TEST(LexerTest, SingleAmpersandIsAnError) {
+  lex("a & b", /*ExpectErrors=*/true);
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+//===- tests/LowerTest.cpp - AST-to-IR lowering tests ----------------------===//
+
+#include "TestUtil.h"
+#include "ir/IrPrinter.h"
+#include "ir/IrVerifier.h"
+
+using namespace virgil;
+using namespace virgil::testing;
+
+namespace {
+
+/// Finds a lowered function by (exact) name.
+IrFunction *findFunc(IrModule &M, const std::string &Name) {
+  for (IrFunction *F : M.Functions)
+    if (F->Name == Name)
+      return F;
+  return nullptr;
+}
+
+size_t countOps(IrFunction *F, Opcode Op) {
+  size_t N = 0;
+  for (IrBlock *B : F->Blocks)
+    for (IrInstr *I : B->Instrs)
+      N += I->Op == Op;
+  return N;
+}
+
+TEST(LowerTest, PolyIrAlwaysVerifies) {
+  auto P = compileOk(R"(
+class A { var x: int; new(x) { } def m() -> int { return x; } }
+def main() -> int { return A.new(3).m(); }
+)");
+  EXPECT_TRUE(verifyModule(P->polyIr()).empty());
+}
+
+TEST(LowerTest, MethodsTakeReceiverAsParamZero) {
+  // Paper (b3): A.m has type (A, byte) -> int.
+  auto P = compileOk(R"(
+class A { def m(a: byte) -> int { return 1; } }
+def main() -> int { return 0; }
+)");
+  IrFunction *M = findFunc(P->polyIr(), "A.m");
+  ASSERT_NE(M, nullptr);
+  ASSERT_EQ(M->NumParams, 2u);
+  EXPECT_EQ(M->RegTypes[0]->toString(), "A");
+  EXPECT_EQ(M->RegTypes[1]->toString(), "byte");
+}
+
+TEST(LowerTest, CtorWrapperSynthesized) {
+  // (b7): A.new is a function (int, int) -> A via a synthesized
+  // allocate+construct wrapper.
+  auto P = compileOk(R"(
+class A { var f: int; def g: int; new(f, g) { } }
+def main() -> int { var w = A.new; return w(1, 2).f; }
+)");
+  IrFunction *W = findFunc(P->polyIr(), "A.$new");
+  ASSERT_NE(W, nullptr);
+  EXPECT_EQ(W->NumParams, 2u);
+  EXPECT_EQ(countOps(W, Opcode::NewObject), 1u);
+}
+
+TEST(LowerTest, DirectOperatorCallsInline) {
+  // int.+(a, b) lowers to a single IntAdd, not a call.
+  auto P = compileOk(R"(
+def main() -> int { return int.+(20, 22); }
+)");
+  IrFunction *Main = findFunc(P->polyIr(), "main");
+  EXPECT_EQ(countOps(Main, Opcode::IntAdd), 1u);
+  EXPECT_EQ(countOps(Main, Opcode::CallFunc), 0u);
+}
+
+TEST(LowerTest, FirstClassOperatorMakesClosure) {
+  auto P = compileOk(R"(
+def main() -> int { var p = int.+; return p(20, 22); }
+)");
+  IrFunction *Main = findFunc(P->polyIr(), "main");
+  EXPECT_EQ(countOps(Main, Opcode::MakeClosure), 1u);
+  EXPECT_EQ(countOps(Main, Opcode::CallIndirect), 1u);
+  EXPECT_NE(findFunc(P->polyIr(), "$int_add"), nullptr);
+}
+
+TEST(LowerTest, VirtualCallsUseSlots) {
+  auto P = compileOk(R"(
+class A { def m() -> int { return 1; } }
+class B extends A { def m() -> int { return 2; } }
+def main() -> int { var a: A = B.new(); return a.m(); }
+)");
+  IrFunction *Main = findFunc(P->polyIr(), "main");
+  EXPECT_EQ(countOps(Main, Opcode::CallVirtual), 1u);
+}
+
+TEST(LowerTest, PrivateAndGenericMethodsCallDirect) {
+  auto P = compileOk(R"(
+class A {
+  private def p() -> int { return 1; }
+  def g<T>(x: T) -> int { return 2; }
+  def both() -> int { return p() + g(true); }
+}
+def main() -> int { return A.new().both(); }
+)");
+  IrFunction *Both = findFunc(P->polyIr(), "A.both");
+  EXPECT_EQ(countOps(Both, Opcode::CallVirtual), 0u);
+  EXPECT_EQ(countOps(Both, Opcode::CallFunc), 2u);
+}
+
+TEST(LowerTest, ShortCircuitBranches) {
+  auto P = compileOk(R"(
+def f(a: bool, b: bool) -> bool { return a && b; }
+def main() -> int { return 0; }
+)");
+  IrFunction *F = findFunc(P->polyIr(), "f");
+  EXPECT_GE(F->Blocks.size(), 3u) << "&& must lower to control flow";
+}
+
+TEST(LowerTest, ArgumentShapeAdaptationIsStatic) {
+  // (q3): m(b) where b is a tuple and m takes two params lowers to
+  // TupleGets, with no runtime adaptation.
+  auto P = compileOk(R"(
+def m(a: string, b: int) -> int { return b; }
+def main() -> int {
+  var b = ("hello", 15);
+  return m(b);
+}
+)");
+  IrFunction *Main = findFunc(P->polyIr(), "main");
+  EXPECT_EQ(countOps(Main, Opcode::TupleGet), 2u);
+}
+
+TEST(LowerTest, CollapseArgsIntoTupleParam) {
+  auto P = compileOk(R"(
+def g(a: (int, int)) -> int { return a.0; }
+def main() -> int { return g(1, 2); }
+)");
+  IrFunction *Main = findFunc(P->polyIr(), "main");
+  EXPECT_EQ(countOps(Main, Opcode::TupleCreate), 1u);
+}
+
+TEST(LowerTest, SuperCtorCalledFirst) {
+  auto P = compileOk(R"(
+class A { var x: int; new(x) { } }
+class B extends A { var y: int; new(x: int, y: int) super(x) { } }
+def main() -> int { var b = B.new(1, 2); return b.x + b.y; }
+)");
+  IrFunction *Ctor = findFunc(P->polyIr(), "B.new");
+  ASSERT_NE(Ctor, nullptr);
+  // First call instruction must target A.new.
+  bool FoundSuper = false;
+  for (IrBlock *B : Ctor->Blocks)
+    for (IrInstr *I : B->Instrs)
+      if (I->Op == Opcode::CallFunc) {
+        EXPECT_EQ(I->Callee->Name, "A.new");
+        FoundSuper = true;
+        goto done;
+      }
+done:
+  EXPECT_TRUE(FoundSuper);
+}
+
+TEST(LowerTest, GlobalInitializersInInitFunction) {
+  auto P = compileOk(R"(
+var a = 10;
+var b = a + 5;
+def main() -> int { return b; }
+)");
+  ASSERT_NE(P->polyIr().Init, nullptr);
+  EXPECT_EQ(countOps(P->polyIr().Init, Opcode::GlobalSet), 2u);
+  expectResult(R"(
+var a = 10;
+var b = a + 5;
+def main() -> int { return b; }
+)",
+               15);
+}
+
+TEST(LowerTest, AbstractMethodBodyTraps) {
+  auto P = compileOk(R"(
+class I { def m() -> int; }
+class C extends I { def m() -> int { return 1; } }
+def main() -> int { return C.new().m(); }
+)");
+  IrFunction *Abstract = findFunc(P->polyIr(), "I.m");
+  ASSERT_NE(Abstract, nullptr);
+  EXPECT_EQ(countOps(Abstract, Opcode::Trap), 1u);
+}
+
+TEST(LowerTest, CastAndQueryLowerToTypeOps) {
+  auto P = compileOk(R"(
+class A { }
+class B extends A { }
+def main() -> int {
+  var a: A = B.new();
+  if (B.?(a)) return int.!('x');
+  return 0;
+}
+)");
+  IrFunction *Main = findFunc(P->polyIr(), "main");
+  EXPECT_EQ(countOps(Main, Opcode::TypeQuery), 1u);
+  EXPECT_EQ(countOps(Main, Opcode::TypeCast), 1u);
+}
+
+} // namespace

@@ -1,0 +1,254 @@
+//===- tests/NormalizeTest.cpp - Tuple normalization tests (§4.2) ----------===//
+
+#include "TestUtil.h"
+#include "ir/IrStats.h"
+#include "ir/IrVerifier.h"
+#include "normalize/Normalizer.h"
+
+using namespace virgil;
+using namespace virgil::testing;
+
+namespace {
+
+IrFunction *findFunc(IrModule &M, const std::string &Name) {
+  for (IrFunction *F : M.Functions)
+    if (F->Name == Name)
+      return F;
+  return nullptr;
+}
+
+TEST(NormalizeTest, NoTuplesAnywhereAfterNormalization) {
+  auto P = compileOk(R"(
+class C { var p: ((int, bool), byte); new() { p = ((1, true), 'x'); } }
+def swap(p: (int, int)) -> (int, int) { return (p.1, p.0); }
+def main() -> int {
+  var c = C.new();
+  var s = swap((3, 4));
+  return s.0 * 10 + s.1 + c.p.0.0;
+}
+)");
+  IrModule &M = P->normIr();
+  EXPECT_TRUE(M.Normalized);
+  EXPECT_TRUE(verifyModule(M).empty());
+  IrStats S = computeStats(M);
+  EXPECT_EQ(S.NumTupleOps, 0u);
+}
+
+TEST(NormalizeTest, SignaturesBecomeScalar) {
+  // All calls pass scalars; returns use multiple values.
+  CompilerOptions NoOpt;
+  NoOpt.Optimize = false;
+  auto P = compileOk(R"(
+def swap(p: (int, bool)) -> (bool, int) { return (p.1, p.0); }
+def main() -> int { return swap((7, true)).1; }
+)",
+                     NoOpt);
+  IrFunction *Swap = findFunc(P->normIr(), "swap");
+  ASSERT_NE(Swap, nullptr);
+  EXPECT_EQ(Swap->NumParams, 2u);
+  ASSERT_EQ(Swap->RetTypes.size(), 2u);
+  EXPECT_TRUE(Swap->RetTypes[0]->isBool());
+  EXPECT_TRUE(Swap->RetTypes[1]->isInt());
+}
+
+TEST(NormalizeTest, AmbiguousShapesGetIdenticalSignatures) {
+  // The §4.1 resolution: f(int, int) and g((int, int)) normalize to
+  // the same scalar signature.
+  CompilerOptions NoOpt;
+  NoOpt.Optimize = false;
+  auto P = compileOk(R"(
+def f(a: int, b: int) -> int { return a + b; }
+def g(a: (int, int)) -> int { return a.0 * a.1; }
+def main() -> int {
+  var x: (int, int) -> int = f;
+  var y: (int, int) -> int = g;
+  return x(1, 2) + y(3, 4);
+}
+)",
+                     NoOpt);
+  IrFunction *F = findFunc(P->normIr(), "f");
+  IrFunction *G = findFunc(P->normIr(), "g");
+  ASSERT_NE(F, nullptr);
+  ASSERT_NE(G, nullptr);
+  EXPECT_EQ(F->NumParams, G->NumParams);
+  EXPECT_EQ(F->NumParams, 2u);
+  EXPECT_EQ(F->RetTypes, G->RetTypes);
+}
+
+TEST(NormalizeTest, VoidParamsVanish) {
+  // (q6): def f(v: void) normalizes to zero parameters.
+  CompilerOptions NoOpt;
+  NoOpt.Optimize = false;
+  auto P = compileOk(R"(
+def f(v: void) -> int { return 7; }
+def main() -> int { var t: void; return f(t); }
+)",
+                     NoOpt);
+  IrFunction *F = findFunc(P->normIr(), "f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->NumParams, 0u);
+}
+
+TEST(NormalizeTest, TupleFieldsFlattenIntoClassLayout) {
+  CompilerOptions NoOpt;
+  NoOpt.Optimize = false;
+  auto P = compileOk(R"(
+class C { var p: (int, bool); var q: int; new() { p = (1, true); q = 2; } }
+def main() -> int { return C.new().q; }
+)",
+                     NoOpt);
+  IrClass *C = P->normIr().Classes[0];
+  ASSERT_EQ(C->Fields.size(), 3u);
+  EXPECT_EQ(C->Fields[0].Name, "p.0");
+  EXPECT_EQ(C->Fields[1].Name, "p.1");
+  EXPECT_EQ(C->Fields[2].Name, "q");
+}
+
+TEST(NormalizeTest, VoidFieldAccessesKeepNullChecks) {
+  // Paper corner case: accesses to void fields become null checks so a
+  // null dereference still traps.
+  expectTrap(R"(
+class C { var v: void; }
+def main() -> int {
+  var c: C = null;
+  var x = c.v;
+  return 0;
+}
+)",
+             "null");
+}
+
+TEST(NormalizeTest, VoidArraysKeepLengthAndBoundsChecks) {
+  // (paper §4.2): Array<void> stores only a length; accesses are
+  // dutifully bounds checked.
+  expectResult(R"(
+def main() -> int {
+  var a = Array<void>.new(5);
+  a[4];
+  return a.length;
+}
+)",
+               5);
+  expectTrap(R"(
+def main() -> int {
+  var a = Array<void>.new(5);
+  a[5];
+  return 0;
+}
+)",
+             "bounds");
+}
+
+TEST(NormalizeTest, ArraysOfTuplesUseParallelArrays) {
+  CompilerOptions NoOpt;
+  NoOpt.Optimize = false;
+  auto P = compileOk(R"(
+def main() -> int {
+  var a = Array<(int, bool)>.new(2);
+  a[0] = (7, true);
+  if (a[0].1) return a[0].0;
+  return 0;
+}
+)",
+                     NoOpt);
+  // A register of type Array<(int, bool)> flattens into two arrays.
+  Normalizer N(P->monoIr());
+  TypeStore &T = P->types();
+  Type *ArrTy = T.array(
+      T.tuple(std::vector<Type *>{T.intTy(), T.boolTy()}));
+  auto Flat = N.flatten(ArrTy);
+  ASSERT_EQ(Flat.size(), 2u);
+  EXPECT_EQ(Flat[0]->toString(), "Array<int>");
+  EXPECT_EQ(Flat[1]->toString(), "Array<bool>");
+}
+
+TEST(NormalizeTest, FlattenRules) {
+  auto P = compileOk("def main() -> int { return 0; }");
+  TypeStore &T = P->types();
+  Normalizer N(P->monoIr());
+  EXPECT_TRUE(N.flatten(T.voidTy()).empty());
+  EXPECT_EQ(N.flatten(T.intTy()).size(), 1u);
+  Type *Nested = T.tuple(std::vector<Type *>{
+      T.tuple(std::vector<Type *>{T.intTy(), T.byteTy()}), T.boolTy()});
+  EXPECT_EQ(N.flatten(Nested).size(), 3u);
+  // Array<void> stays one slot (length-only).
+  EXPECT_EQ(N.flatten(T.array(T.voidTy())).size(), 1u);
+  // Functions are single values regardless of their tuple spelling.
+  Type *F = T.func(T.tuple(std::vector<Type *>{T.intTy(), T.intTy()}),
+                   T.voidTy());
+  EXPECT_EQ(N.flatten(F).size(), 1u);
+}
+
+TEST(NormalizeTest, TupleEqualityDecomposes) {
+  expectResult(R"(
+def main() -> int {
+  var a = ((1, 2), true);
+  var b = ((1, 2), true);
+  var c = ((1, 3), true);
+  var r = 0;
+  if (a == b) r = r + 1;
+  if (a != c) r = r + 10;
+  return r;
+}
+)",
+               11);
+}
+
+TEST(NormalizeTest, TupleCastsDecompose) {
+  // A cast of (int, int) to (byte, byte) checks both elements.
+  expectResult(R"(
+def main() -> int {
+  var t = (1, 2);
+  var b = (byte, byte).!(t);
+  return int.!(b.0) + int.!(b.1);
+}
+)",
+               3);
+  expectTrap(R"(
+def main() -> int {
+  var t = (1, 300);
+  var b = (byte, byte).!(t);
+  return 0;
+}
+)",
+             "cast");
+}
+
+TEST(NormalizeTest, MultiValueReturnsThroughCalls) {
+  expectResult(R"(
+def three() -> (int, int, int) { return (10, 20, 12); }
+def sum3(t: (int, int, int)) -> int { return t.0 + t.1 + t.2; }
+def main() -> int { return sum3(three()); }
+)",
+               42);
+}
+
+TEST(NormalizeTest, GlobalsOfTupleTypeSplit) {
+  CompilerOptions NoOpt;
+  NoOpt.Optimize = false;
+  auto P = compileOk(R"(
+var g = (1, true, 'x');
+def main() -> int { return g.0; }
+)",
+                     NoOpt);
+  EXPECT_EQ(P->normIr().Globals.size(), 3u);
+  expectResult(R"(
+var g = (1, true, 'x');
+def main() -> int {
+  if (g.1 && g.2 == 'x') return g.0;
+  return 0;
+}
+)",
+               1);
+}
+
+TEST(NormalizeTest, StatsReportRemovedTupleOps) {
+  auto P = compileOk(R"(
+def f(p: (int, int)) -> (int, int) { return (p.1, p.0); }
+def main() -> int { return f((1, 2)).0; }
+)");
+  EXPECT_GT(P->stats().Norm.TupleOpsRemoved, 0u);
+  EXPECT_GE(P->stats().Norm.MaxFlattenWidth, 2u);
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+//===- tests/ParserTest.cpp - Parser unit tests ----------------------------===//
+
+#include "ast/AstPrinter.h"
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace virgil;
+
+namespace {
+
+struct Parsed {
+  SourceFile File;
+  StringInterner Idents;
+  Arena Nodes;
+  DiagEngine Diags;
+  Module *M = nullptr;
+
+  explicit Parsed(const std::string &Text) : File("test", Text) {
+    Diags.setFile(&File);
+    Parser P(File, Nodes, Idents, Diags);
+    M = P.parseModule();
+  }
+};
+
+std::unique_ptr<Parsed> parseOk(const std::string &Text) {
+  auto P = std::make_unique<Parsed>(Text);
+  EXPECT_FALSE(P->Diags.hasErrors()) << P->Diags.render();
+  return P;
+}
+
+void parseErr(const std::string &Text, const std::string &Needle = "") {
+  Parsed P(Text);
+  EXPECT_TRUE(P.Diags.hasErrors()) << "expected parse error";
+  if (!Needle.empty())
+    EXPECT_NE(P.Diags.render().find(Needle), std::string::npos)
+        << P.Diags.render();
+}
+
+TEST(ParserTest, EmptyModule) {
+  auto P = parseOk("");
+  EXPECT_TRUE(P->M->Classes.empty());
+  EXPECT_TRUE(P->M->Funcs.empty());
+}
+
+TEST(ParserTest, ClassWithMembers) {
+  auto P = parseOk(R"(
+class A {
+  var f: int;
+  def g: int;
+  new(f, g) { }
+  def m(a: byte) -> int { return 0; }
+  private def p() { }
+}
+)");
+  ASSERT_EQ(P->M->Classes.size(), 1u);
+  ClassDecl *C = P->M->Classes[0];
+  EXPECT_EQ(*C->Name, "A");
+  ASSERT_EQ(C->Fields.size(), 2u);
+  EXPECT_TRUE(C->Fields[0]->IsMutable);
+  EXPECT_FALSE(C->Fields[1]->IsMutable);
+  ASSERT_NE(C->Ctor, nullptr);
+  EXPECT_EQ(C->Ctor->Params.size(), 2u);
+  EXPECT_EQ(C->Ctor->Params[0]->DeclaredType, nullptr)
+      << "typeless ctor params bind to fields";
+  ASSERT_EQ(C->Methods.size(), 2u);
+  EXPECT_FALSE(C->Methods[0]->IsPrivate);
+  EXPECT_TRUE(C->Methods[1]->IsPrivate);
+}
+
+TEST(ParserTest, GenericClassAndExtends) {
+  auto P = parseOk("class B<T, U> extends A<(T, U)> { }");
+  ClassDecl *C = P->M->Classes[0];
+  EXPECT_EQ(C->TypeParamNames.size(), 2u);
+  ASSERT_NE(C->ParentRef, nullptr);
+  EXPECT_EQ(*C->ParentRef->Name, "A");
+  ASSERT_EQ(C->ParentRef->Args.size(), 1u);
+  EXPECT_EQ(C->ParentRef->Args[0]->kind(), TypeRefKind::Tuple);
+}
+
+TEST(ParserTest, CompactFieldSyntax) {
+  // Paper (f1): class with constructor-parameter fields.
+  auto P = parseOk(
+      "class I(create: () -> int, load: int -> int) { }");
+  ClassDecl *C = P->M->Classes[0];
+  EXPECT_EQ(C->CompactFields.size(), 2u);
+  EXPECT_FALSE(C->CompactFields[0]->IsMutable);
+}
+
+TEST(ParserTest, FunctionTypesRightAssociative) {
+  auto P = parseOk("def f(g: int -> int -> int) { }");
+  MethodDecl *F = P->M->Funcs[0];
+  auto *FT = dyn_cast<FuncTypeRef>(F->Params[0]->DeclaredType);
+  ASSERT_NE(FT, nullptr);
+  EXPECT_EQ(FT->Param->kind(), TypeRefKind::Named);
+  EXPECT_EQ(FT->Ret->kind(), TypeRefKind::Func);
+}
+
+TEST(ParserTest, TupleTypesAndVoid) {
+  auto P = parseOk("def f(a: (int, byte), b: ()) -> (bool, bool) { }");
+  MethodDecl *F = P->M->Funcs[0];
+  EXPECT_EQ(F->Params[0]->DeclaredType->kind(), TypeRefKind::Tuple);
+  auto *Unit = dyn_cast<TupleTypeRef>(F->Params[1]->DeclaredType);
+  ASSERT_NE(Unit, nullptr);
+  EXPECT_TRUE(Unit->Elems.empty());
+}
+
+TEST(ParserTest, TypeArgsVsComparisonAmbiguity) {
+  // f<int>(x) is a call with type arguments; a < b is a comparison.
+  auto P = parseOk(R"(
+def main() {
+  f<int>(1);
+  var x = a < b;
+  var y = a < b && c > d;
+  var z = r<(int, int)> ;
+}
+)");
+  (void)P;
+}
+
+TEST(ParserTest, TernaryAndAssignment) {
+  auto P = parseOk("def f(z: bool) { var x = z ? 1 : 2; x = x + 1; }");
+  (void)P;
+}
+
+TEST(ParserTest, MemberSelectors) {
+  auto P = parseOk(R"(
+def main() {
+  var a = t.0;
+  var b = t.0.1;
+  var c = x.field;
+  var d = int.+;
+  var e = A.!= ;
+  var f = A.!<B>;
+  var g = A.?<B>;
+  var h = A.new;
+  var i = arr[0];
+  var j = obj.m(1, 2);
+}
+)");
+  (void)P;
+}
+
+TEST(ParserTest, ForLoopPaperStyle) {
+  // (d7): for (l = list; l != null; l = l.tail).
+  auto P = parseOk(
+      "def f(list: List<int>) { for (l = list; l != null; l = l.tail) g(l); }");
+  (void)P;
+}
+
+TEST(ParserTest, SuperClause) {
+  auto P = parseOk(
+      "class B extends A { new(x: int) super(x) { } }");
+  ClassDecl *C = P->M->Classes[0];
+  ASSERT_NE(C->Ctor, nullptr);
+  EXPECT_TRUE(C->Ctor->HasSuper);
+  EXPECT_EQ(C->Ctor->SuperArgs.size(), 1u);
+}
+
+TEST(ParserTest, AbstractMethod) {
+  // (n2): def emit(buf: Buffer);
+  auto P = parseOk("class I { def emit(buf: int); }");
+  EXPECT_EQ(P->M->Classes[0]->Methods[0]->Body, nullptr);
+}
+
+TEST(ParserTest, MultiVarDecl) {
+  // (q1'): var b0 = "hello", b1 = 15;
+  auto P = parseOk("def f() { var b0 = \"hello\", b1 = 15; }");
+  auto *Block = P->M->Funcs[0]->Body;
+  auto *Decl = dyn_cast<LocalDeclStmt>(Block->Stmts[0]);
+  ASSERT_NE(Decl, nullptr);
+  EXPECT_EQ(Decl->Vars.size(), 2u);
+}
+
+TEST(ParserTest, PrinterRoundTripParses) {
+  const char *Source = R"(
+class Pair<A, B> {
+  var fst: A;
+  var snd: B;
+  new(fst, snd) { }
+  def swap() -> Pair<B, A> { return Pair.new(snd, fst); }
+}
+def main() -> int {
+  var p = Pair.new(1, true);
+  var q = p.swap();
+  if (q.fst) return p.fst;
+  return 0;
+}
+)";
+  auto P1 = parseOk(Source);
+  std::string Printed = printModule(*P1->M);
+  auto P2 = parseOk(Printed);
+  // Printing the reparse reproduces the same text (fixpoint).
+  EXPECT_EQ(printModule(*P2->M), Printed);
+}
+
+TEST(ParserTest, ErrorMissingSemicolon) {
+  parseErr("def f() { var x = 1 }", "expected ';'");
+}
+
+TEST(ParserTest, ErrorBadTopLevel) {
+  parseErr("42;", "top-level");
+}
+
+TEST(ParserTest, ErrorUnclosedClass) {
+  parseErr("class A {");
+}
+
+TEST(ParserTest, ErrorRecoveryContinues) {
+  // The parser recovers and reports errors in *both* functions.
+  Parsed P("def f() { var = 1; }\ndef g() { return @; }");
+  EXPECT_GE(P.Diags.errorCount(), 2u);
+}
+
+} // namespace

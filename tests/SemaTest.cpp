@@ -1,0 +1,298 @@
+//===- tests/SemaTest.cpp - Semantic analysis tests ------------------------===//
+///
+/// Resolution and checking: class hierarchies, member lookup, vtables,
+/// overriding (including the paper's tuple/scalars override p10-p17),
+/// visibility, mutability, and the language's deliberate restrictions
+/// (no overloading §3.3, no polymorphic recursion §4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace virgil;
+using namespace virgil::testing;
+
+namespace {
+
+TEST(SemaTest, DuplicateClassRejected) {
+  EXPECT_NE(compileErr("class A { } class A { }").find("duplicate"),
+            std::string::npos);
+}
+
+TEST(SemaTest, NoMethodOverloading) {
+  // Paper §3.3: "Virgil chooses to disallow overloading altogether".
+  std::string Err = compileErr(R"(
+class A {
+  def m(a: int) { }
+  def m(a: bool) { }
+}
+def main() -> int { return 0; }
+)");
+  EXPECT_NE(Err.find("overloading"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, InheritanceCycleRejected) {
+  EXPECT_NE(compileErr("class A extends B { } class B extends A { }")
+                .find("cycle"),
+            std::string::npos);
+}
+
+TEST(SemaTest, UnknownTypeRejected) {
+  EXPECT_NE(compileErr("def f(a: Nope) { }").find("unknown type"),
+            std::string::npos);
+}
+
+TEST(SemaTest, FieldShadowingRejected) {
+  EXPECT_NE(compileErr(R"(
+class A { var x: int; }
+class B extends A { var x: int; }
+)")
+                .find("shadows"),
+            std::string::npos);
+}
+
+TEST(SemaTest, OverrideIncompatibleTypeRejected) {
+  std::string Err = compileErr(R"(
+class A { def m(a: int) -> int { return 0; } }
+class B extends A { def m(a: bool) -> int { return 0; } }
+)");
+  EXPECT_NE(Err.find("incompatible"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, OverrideWithTupleShapeAccepted) {
+  // Paper (p10)-(p15): overriding (int, int) with ((int, int)) is legal
+  // because the collapsed types coincide.
+  compileOk(R"(
+class P { def m(a: int, b: int) -> int { return a - b; } }
+class Q extends P { def m(a: (int, int)) -> int { return a.0 + a.1; } }
+def main() -> int { return 0; }
+)");
+}
+
+TEST(SemaTest, CovariantReturnOverrideAccepted) {
+  compileOk(R"(
+class Animal { }
+class Bat extends Animal { }
+class Maker { def make() -> Animal { return Animal.new(); } }
+class BatMaker extends Maker { def make() -> Bat { return Bat.new(); } }
+def main() -> int { return 0; }
+)");
+}
+
+TEST(SemaTest, PrivateMethodInvisibleOutside) {
+  std::string Err = compileErr(R"(
+class A { private def secret() -> int { return 1; } }
+def main() -> int { return A.new().secret(); }
+)");
+  EXPECT_NE(Err.find("no member"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, PrivateMethodVisibleInside) {
+  expectResult(R"(
+class A {
+  private def secret() -> int { return 41; }
+  def reveal() -> int { return secret() + 1; }
+}
+def main() -> int { return A.new().reveal(); }
+)",
+               42);
+}
+
+TEST(SemaTest, ImmutableLocalNotAssignable) {
+  EXPECT_NE(compileErr("def main() -> int { def x = 1; x = 2; return x; }")
+                .find("immutable"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ImmutableFieldNotAssignable) {
+  std::string Err = compileErr(R"(
+class A { def g: int; new(g) { } }
+def main() -> int { var a = A.new(1); a.g = 2; return 0; }
+)");
+  EXPECT_NE(Err.find("immutable"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, MissingReturnRejected) {
+  std::string Err = compileErr(
+      "def f(c: bool) -> int { if (c) return 1; }");
+  EXPECT_NE(Err.find("return"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, BothBranchesReturnAccepted) {
+  compileOk("def f(c: bool) -> int { if (c) return 1; else return 2; }");
+}
+
+TEST(SemaTest, BreakOutsideLoopRejected) {
+  EXPECT_NE(compileErr("def f() { break; }").find("break"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ArityErrorIsStatic) {
+  // Footnote 2: passing too many arguments stays a static error.
+  std::string Err = compileErr(R"(
+def f(a: int, b: int) -> int { return a + b; }
+def main() -> int { return f(1, 2, 3); }
+)");
+  EXPECT_NE(Err.find("argument"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, InvariantClassArgsRejectedAtCall) {
+  // Paper (o6): f(b) with b: List<Bat>, f: List<Animal> -> void ERRORs.
+  std::string Err = compileErr(R"(
+class Animal { }
+class Bat extends Animal { }
+class List<T> { var head: T; new(head) { } }
+def f(list: List<Animal>) { }
+def main() -> int {
+  var b = List.new(Bat.new());
+  f(b);
+  return 0;
+}
+)");
+  EXPECT_NE(Err.find("not assignable"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, ImpossibleConcreteCastRejected) {
+  std::string Err = compileErr(R"(
+def main() -> int { var x = bool.!(3); return 0; }
+)");
+  EXPECT_NE(Err.find("never succeed"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, CrossKindQueryRejected) {
+  // "between a function type and a primitive type" is rejected.
+  std::string Err = compileErr(R"(
+def f(g: int -> int) -> bool { return int.?(g); }
+)");
+  EXPECT_NE(Err.find("never succeed"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, SameClassDifferentArgsQueryAllowed) {
+  // (d13): List<bool>.?(a: List<int>) is legal, constant false.
+  expectResult(R"(
+class List<T> { var head: T; new(head) { } }
+def main() -> int {
+  var a = List.new(1);
+  if (List<bool>.?(a)) return 1;
+  return 0;
+}
+)",
+               0);
+}
+
+TEST(SemaTest, PolymorphicRecursionRejected) {
+  // §4.3: expanding instantiation cycles are statically rejected.
+  std::string Err = compileErr(R"(
+def f<T>(x: T, n: int) -> int {
+  if (n == 0) return 0;
+  return f((x, x), n - 1);
+}
+def main() -> int { return f(1, 3); }
+)");
+  EXPECT_NE(Err.find("polymorphic recursion"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, IndirectPolymorphicRecursionRejected) {
+  // The expanding cycle goes through a helper: f -> g -> f<(T, T)>.
+  std::string Err = compileErr(R"(
+def f<T>(x: T, n: int) -> int {
+  if (n == 0) return 0;
+  return g(x, n);
+}
+def g<U>(y: U, n: int) -> int {
+  return f((y, y), n - 1);
+}
+def main() -> int { return f(1, 3); }
+)");
+  EXPECT_NE(Err.find("polymorphic recursion"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, PlainGenericRecursionAccepted) {
+  // Same-instantiation recursion is fine.
+  expectResult(R"(
+def len<T>(x: T, n: int) -> int {
+  if (n == 0) return 0;
+  return 1 + len(x, n - 1);
+}
+def main() -> int { return len(true, 5); }
+)",
+               5);
+}
+
+TEST(SemaTest, SuperRequiredWhenParentCtorHasParams) {
+  std::string Err = compileErr(R"(
+class A { var x: int; new(x) { } }
+class B extends A { new() { } }
+)");
+  EXPECT_NE(Err.find("super"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, SynthesizedCtorForwardsToParent) {
+  expectResult(R"(
+class A { var x: int; new(x) { } }
+class B extends A { }
+def main() -> int { return B.new(42).x; }
+)",
+               42);
+}
+
+TEST(SemaTest, AbstractClassNotInstantiable) {
+  std::string Err = compileErr(R"(
+class I { def m() -> int; }
+def main() -> int { return I.new().m(); }
+)");
+  EXPECT_NE(Err.find("abstract"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, MainMustHaveNoParams) {
+  EXPECT_NE(compileErr("def main(x: int) -> int { return x; }")
+                .find("main"),
+            std::string::npos);
+}
+
+TEST(SemaTest, NullNeedsContext) {
+  EXPECT_NE(compileErr("def main() -> int { var x = null; return 0; }")
+                .find("null"),
+            std::string::npos);
+}
+
+TEST(SemaTest, TypeUsedAsValueRejected) {
+  EXPECT_NE(compileErr("class A { } def main() -> int { var x = A; return 0; }")
+                .find("value"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ByteLiteralAdaptation) {
+  // (b4): an int literal adapts to a byte parameter.
+  expectResult(R"(
+def f(b: byte) -> int { return int.!(b); }
+def main() -> int { return f(200); }
+)",
+               200);
+}
+
+TEST(SemaTest, ByteLiteralOutOfRangeRejected) {
+  std::string Err = compileErr(R"(
+def f(b: byte) -> int { return 0; }
+def main() -> int { return f(300); }
+)");
+  EXPECT_NE(Err.find("not assignable"), std::string::npos) << Err;
+}
+
+TEST(SemaTest, VoidEverywhere) {
+  // void is a first-class value and type argument (paper §2.4).
+  expectResult(R"(
+class List<T> { var head: T; new(head) { } }
+def id<T>(x: T) -> T { return x; }
+def main() -> int {
+  var u: void = ();
+  var l = List<void>.new(u);
+  l.head = id(());
+  if (void.?(l.head)) return 1;
+  return 0;
+}
+)",
+               1);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- tests/SupportTest.cpp - Support substrate unit tests ----------------===//
+
+#include "support/Arena.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/Source.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+using namespace virgil;
+
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena A;
+  void *P1 = A.allocate(1, 1);
+  void *P8 = A.allocate(8, 8);
+  void *P16 = A.allocate(16, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P8) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P16) % 16, 0u);
+  EXPECT_NE(P1, P8);
+  EXPECT_NE(P8, P16);
+  EXPECT_GE(A.bytesAllocated(), 25u);
+}
+
+TEST(ArenaTest, GrowsAcrossSlabs) {
+  Arena A;
+  // Allocate more than the initial slab in chunks.
+  char *Prev = nullptr;
+  for (int I = 0; I < 100; ++I) {
+    char *P = static_cast<char *>(A.allocate(1024, 8));
+    P[0] = (char)I;
+    P[1023] = (char)I;
+    EXPECT_NE(P, Prev);
+    Prev = P;
+  }
+  EXPECT_GE(A.bytesAllocated(), 100 * 1024u);
+}
+
+TEST(ArenaTest, RunsDestructorsOfNonTrivialObjects) {
+  static int Destroyed = 0;
+  struct Tracked {
+    ~Tracked() { ++Destroyed; }
+    std::vector<int> Payload{1, 2, 3};
+  };
+  Destroyed = 0;
+  {
+    Arena A;
+    A.make<Tracked>();
+    A.make<Tracked>();
+    A.make<int>(5); // Trivial: no registration.
+  }
+  EXPECT_EQ(Destroyed, 2);
+}
+
+TEST(InternerTest, SameSpellingSamePointer) {
+  StringInterner I;
+  Ident A = I.intern("hello");
+  Ident B = I.intern(std::string("hel") + "lo");
+  Ident C = I.intern("world");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(*A, "hello");
+  EXPECT_EQ(I.size(), 2u);
+}
+
+TEST(SourceTest, LineColMapping) {
+  SourceFile F("f.v3", "one\ntwo\n\nfour");
+  EXPECT_EQ(F.lineCol(SourceLoc{0}).Line, 1u);
+  EXPECT_EQ(F.lineCol(SourceLoc{0}).Col, 1u);
+  EXPECT_EQ(F.lineCol(SourceLoc{4}).Line, 2u);
+  EXPECT_EQ(F.lineCol(SourceLoc{6}).Col, 3u);
+  EXPECT_EQ(F.lineCol(SourceLoc{9}).Line, 4u);
+  EXPECT_EQ(F.lineCol(SourceLoc::invalid()).Line, 0u);
+}
+
+TEST(SourceTest, LineTextExtraction) {
+  SourceFile F("f.v3", "alpha\nbeta\ngamma");
+  EXPECT_EQ(F.lineText(SourceLoc{0}), "alpha");
+  EXPECT_EQ(F.lineText(SourceLoc{7}), "beta");
+  EXPECT_EQ(F.lineText(SourceLoc{11}), "gamma");
+}
+
+TEST(DiagTest, RenderFormatsFileLineCol) {
+  SourceFile F("prog.v3", "abc\ndef");
+  DiagEngine D(&F);
+  D.error(SourceLoc{5}, "something bad");
+  D.warning(SourceLoc{0}, "heads up");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  std::string R = D.render();
+  EXPECT_NE(R.find("prog.v3:2:2: error: something bad"),
+            std::string::npos)
+      << R;
+  EXPECT_NE(R.find("prog.v3:1:1: warning: heads up"), std::string::npos);
+  EXPECT_NE(D.firstError().find("something bad"), std::string::npos);
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+}
+
+// LLVM-style casting over a tiny hierarchy.
+struct Base {
+  enum Kind { K_Left, K_Right } TheKind;
+  explicit Base(Kind K) : TheKind(K) {}
+};
+struct Left : Base {
+  Left() : Base(K_Left) {}
+  static bool classof(const Base *B) { return B->TheKind == K_Left; }
+};
+struct Right : Base {
+  Right() : Base(K_Right) {}
+  static bool classof(const Base *B) { return B->TheKind == K_Right; }
+};
+
+TEST(CastingTest, IsaCastDynCast) {
+  Left L;
+  Base *B = &L;
+  EXPECT_TRUE(isa<Left>(B));
+  EXPECT_FALSE(isa<Right>(B));
+  EXPECT_EQ(cast<Left>(B), &L);
+  EXPECT_EQ(dyn_cast<Right>(B), nullptr);
+  EXPECT_NE(dyn_cast<Left>(B), nullptr);
+  Base *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<Left>(Null), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the test suite: one-call compilation, the
+/// four-strategy differential runner (poly-interp, mono-interp,
+/// norm-interp, VM must agree), and error-expectation utilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_TESTS_TESTUTIL_H
+#define VIRGIL_TESTS_TESTUTIL_H
+
+#include "core/Compiler.h"
+
+#include <gtest/gtest.h>
+
+namespace virgil {
+namespace testing {
+
+/// Compiles or fails the test with diagnostics.
+inline std::unique_ptr<Program> compileOk(const std::string &Source,
+                                          CompilerOptions Options = {}) {
+  Compiler C(Options);
+  std::string Error;
+  auto P = C.compile("test", Source, &Error);
+  EXPECT_NE(P, nullptr) << Error;
+  return P;
+}
+
+/// Expects compilation to fail and returns the rendered diagnostics.
+inline std::string compileErr(const std::string &Source) {
+  Compiler C;
+  std::string Error;
+  auto P = C.compile("test", Source, &Error);
+  EXPECT_EQ(P, nullptr) << "expected a compile error";
+  return Error;
+}
+
+struct RunOutcome {
+  bool Trapped = false;
+  std::string TrapMessage;
+  int Result = 0;
+  bool IsInt = false;
+  std::string Output;
+};
+
+inline RunOutcome fromInterp(const InterpResult &R) {
+  RunOutcome O;
+  O.Trapped = R.Trapped;
+  O.TrapMessage = R.TrapMessage;
+  O.Output = R.Output;
+  if (!R.Trapped && R.Result.kind() == Value::Kind::Int) {
+    O.IsInt = true;
+    O.Result = R.Result.asInt();
+  }
+  return O;
+}
+
+inline RunOutcome fromVm(const VmResult &R) {
+  RunOutcome O;
+  O.Trapped = R.Trapped;
+  O.TrapMessage = R.TrapMessage;
+  O.Output = R.Output;
+  if (!R.Trapped && R.HasResult) {
+    O.IsInt = true;
+    O.Result = (int)R.ResultBits;
+  }
+  return O;
+}
+
+/// Runs the program under all four strategies and checks they agree on
+/// result, output, and trap-or-not; returns the VM outcome.
+inline RunOutcome runAllStrategies(const std::string &Source,
+                                   CompilerOptions Options = {}) {
+  auto P = compileOk(Source, Options);
+  if (!P) {
+    RunOutcome Failed;
+    Failed.Trapped = true;
+    Failed.TrapMessage = "compile error";
+    return Failed;
+  }
+  RunOutcome Poly = fromInterp(P->interpret());
+  RunOutcome Mono = fromInterp(P->interpretMono());
+  RunOutcome Norm = fromInterp(P->interpretNorm());
+  RunOutcome Vm = fromVm(P->runVm());
+  EXPECT_EQ(Poly.Trapped, Mono.Trapped) << "poly vs mono trap state";
+  EXPECT_EQ(Poly.Trapped, Norm.Trapped) << "poly vs norm trap state";
+  EXPECT_EQ(Poly.Trapped, Vm.Trapped)
+      << "poly vs vm trap state (vm: " << Vm.TrapMessage
+      << ", poly: " << Poly.TrapMessage << ")";
+  if (!Poly.Trapped) {
+    EXPECT_EQ(Poly.Result, Mono.Result) << "poly vs mono result";
+    EXPECT_EQ(Poly.Result, Norm.Result) << "poly vs norm result";
+    EXPECT_EQ(Poly.Result, Vm.Result) << "poly vs vm result";
+    EXPECT_EQ(Poly.Output, Mono.Output) << "poly vs mono output";
+    EXPECT_EQ(Poly.Output, Norm.Output) << "poly vs norm output";
+    EXPECT_EQ(Poly.Output, Vm.Output) << "poly vs vm output";
+  }
+  return Vm;
+}
+
+/// Runs under all strategies and checks the int result.
+inline void expectResult(const std::string &Source, int Expected) {
+  RunOutcome O = runAllStrategies(Source);
+  EXPECT_FALSE(O.Trapped) << O.TrapMessage;
+  EXPECT_TRUE(O.IsInt) << "main did not return an int";
+  EXPECT_EQ(O.Result, Expected);
+}
+
+/// Runs under all strategies and checks the captured System output.
+inline void expectOutput(const std::string &Source,
+                         const std::string &Expected) {
+  RunOutcome O = runAllStrategies(Source);
+  EXPECT_FALSE(O.Trapped) << O.TrapMessage;
+  EXPECT_EQ(O.Output, Expected);
+}
+
+/// Expects every strategy to trap (with a message containing \p Needle
+/// if non-empty).
+inline void expectTrap(const std::string &Source,
+                       const std::string &Needle = "") {
+  RunOutcome O = runAllStrategies(Source);
+  EXPECT_TRUE(O.Trapped) << "expected a trap";
+  if (!Needle.empty()) {
+    EXPECT_NE(O.TrapMessage.find(Needle), std::string::npos)
+        << "trap message: " << O.TrapMessage;
+  }
+}
+
+} // namespace testing
+} // namespace virgil
+
+#endif // VIRGIL_TESTS_TESTUTIL_H

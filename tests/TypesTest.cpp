@@ -1,0 +1,281 @@
+//===- tests/TypesTest.cpp - Type system unit tests ------------------------===//
+///
+/// Covers the five type constructors (§2.5), the degenerate tuple rules
+/// (§2.3), subtyping with the paper's variance assignments, and the
+/// static cast/query classifier (§2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "types/TypeRelations.h"
+#include "types/TypeStore.h"
+
+#include <gtest/gtest.h>
+
+using namespace virgil;
+
+namespace {
+
+class TypesTest : public ::testing::Test {
+protected:
+  TypesTest() : Rels(Store) {
+    TA = Store.makeClass(Names.intern("A"));
+    TB = Store.makeClass(Names.intern("B"));
+    TB->ParentAsWritten = Store.classType(TA, {});
+    TB->Depth = 1;
+    // Generic class G<T> and its subclass H<U> extends G<(U, U)>.
+    G = Store.makeClass(Names.intern("G"));
+    G->TypeParams.push_back(Store.makeTypeParam(Names.intern("T")));
+    H = Store.makeClass(Names.intern("H"));
+    H->TypeParams.push_back(Store.makeTypeParam(Names.intern("U")));
+    Type *UU = Store.tuple(std::vector<Type *>{
+        Store.typeParam(H->TypeParams[0]),
+        Store.typeParam(H->TypeParams[0])});
+    H->ParentAsWritten = Store.classType(G, std::vector<Type *>{UU});
+    H->Depth = 1;
+  }
+
+  Type *tup(std::vector<Type *> Elems) { return Store.tuple(Elems); }
+  Type *cls(ClassDef *D, std::vector<Type *> Args = {}) {
+    return Store.classType(D, Args);
+  }
+
+  StringInterner Names;
+  TypeStore Store;
+  TypeRelations Rels;
+  ClassDef *TA, *TB, *G, *H;
+};
+
+TEST_F(TypesTest, PrimitivesAreSingletons) {
+  EXPECT_EQ(Store.intTy(), Store.intTy());
+  EXPECT_NE(Store.intTy(), Store.byteTy());
+  EXPECT_TRUE(Store.voidTy()->isVoid());
+  EXPECT_TRUE(Store.boolTy()->isBool());
+}
+
+TEST_F(TypesTest, DegenerateTupleRules) {
+  // Paper §2.3: () = void and (T) = T.
+  EXPECT_EQ(tup({}), Store.voidTy());
+  EXPECT_EQ(tup({Store.intTy()}), Store.intTy());
+  Type *Pair = tup({Store.intTy(), Store.boolTy()});
+  EXPECT_EQ(Pair->kind(), TypeKind::Tuple);
+  EXPECT_EQ(tup({Store.intTy(), Store.boolTy()}), Pair) << "uniqued";
+}
+
+TEST_F(TypesTest, DegenerateFunctionEquivalences) {
+  // () -> () == void -> void and (A) -> (B) == A -> B.
+  Type *F1 = Store.func(tup({}), tup({}));
+  Type *F2 = Store.func(Store.voidTy(), Store.voidTy());
+  EXPECT_EQ(F1, F2);
+  Type *F3 = Store.func(tup({Store.intTy()}), tup({Store.byteTy()}));
+  Type *F4 = Store.func(Store.intTy(), Store.byteTy());
+  EXPECT_EQ(F3, F4);
+}
+
+TEST_F(TypesTest, NestedTuplesAreDistinct) {
+  Type *I = Store.intTy();
+  Type *Flat = tup({I, I, I});
+  Type *NestL = tup({tup({I, I}), I});
+  Type *NestR = tup({I, tup({I, I})});
+  EXPECT_NE(Flat, NestL);
+  EXPECT_NE(NestL, NestR);
+}
+
+TEST_F(TypesTest, ToStringRendersSourceSyntax) {
+  EXPECT_EQ(Store.intTy()->toString(), "int");
+  EXPECT_EQ(tup({Store.intTy(), Store.byteTy()})->toString(),
+            "(int, byte)");
+  EXPECT_EQ(Store.func(Store.intTy(), Store.boolTy())->toString(),
+            "int -> bool");
+  EXPECT_EQ(Store.array(Store.byteTy())->toString(), "Array<byte>");
+  Type *FF = Store.func(Store.func(Store.intTy(), Store.intTy()),
+                        Store.intTy());
+  EXPECT_EQ(FF->toString(), "(int -> int) -> int");
+}
+
+TEST_F(TypesTest, ClassSubtypingFollowsExtends) {
+  Type *A = cls(TA), *B = cls(TB);
+  EXPECT_TRUE(Rels.isSubtype(B, A));
+  EXPECT_FALSE(Rels.isSubtype(A, B));
+  EXPECT_TRUE(Rels.isSubtype(A, A));
+}
+
+TEST_F(TypesTest, NoUniversalSupertype) {
+  ClassDef *C = Store.makeClass(Names.intern("C"));
+  EXPECT_FALSE(Rels.isSubtype(cls(C), cls(TA)));
+  EXPECT_FALSE(Rels.isSubtype(cls(TA), cls(C)));
+  EXPECT_EQ(Rels.upperBound(cls(C), cls(TA)), nullptr);
+}
+
+TEST_F(TypesTest, TuplesAreCovariantSameLengthOnly) {
+  Type *A = cls(TA), *B = cls(TB), *I = Store.intTy();
+  EXPECT_TRUE(Rels.isSubtype(tup({B, I}), tup({A, I})));
+  EXPECT_FALSE(Rels.isSubtype(tup({A, I}), tup({B, I})));
+  // Footnote 2: longer tuples are not subtypes of shorter ones.
+  EXPECT_FALSE(Rels.isSubtype(tup({B, I, I}), tup({A, I})));
+}
+
+TEST_F(TypesTest, FunctionsContravariantParamCovariantReturn) {
+  Type *A = cls(TA), *B = cls(TB);
+  Type *AtoB = Store.func(A, B);
+  Type *BtoA = Store.func(B, A);
+  Type *AtoA = Store.func(A, A);
+  Type *BtoB = Store.func(B, B);
+  EXPECT_TRUE(Rels.isSubtype(AtoB, BtoA));
+  EXPECT_TRUE(Rels.isSubtype(AtoB, AtoA));
+  EXPECT_TRUE(Rels.isSubtype(AtoB, BtoB));
+  EXPECT_FALSE(Rels.isSubtype(BtoA, AtoB));
+  // Paper §3.6: Animal -> void <: Bat -> void.
+  Type *V = Store.voidTy();
+  EXPECT_TRUE(Rels.isSubtype(Store.func(A, V), Store.func(B, V)));
+}
+
+TEST_F(TypesTest, ArraysAreInvariant) {
+  Type *A = cls(TA), *B = cls(TB);
+  EXPECT_FALSE(Rels.isSubtype(Store.array(B), Store.array(A)));
+  EXPECT_FALSE(Rels.isSubtype(Store.array(A), Store.array(B)));
+  EXPECT_TRUE(Rels.isSubtype(Store.array(A), Store.array(A)));
+}
+
+TEST_F(TypesTest, ClassTypeArgumentsAreInvariant) {
+  Type *A = cls(TA), *B = cls(TB);
+  Type *GA = cls(G, {A}), *GB = cls(G, {B});
+  EXPECT_FALSE(Rels.isSubtype(GB, GA)) << "List<Bat> </: List<Animal>";
+  EXPECT_FALSE(Rels.isSubtype(GA, GB));
+}
+
+TEST_F(TypesTest, GenericSuperclassInstantiation) {
+  // H<int> <: G<(int, int)> via the substituted extends clause.
+  Type *I = Store.intTy();
+  Type *Hi = cls(H, {I});
+  Type *Gii = cls(G, {tup({I, I})});
+  EXPECT_TRUE(Rels.isSubtype(Hi, Gii));
+  EXPECT_FALSE(Rels.isSubtype(Hi, cls(G, {I})));
+}
+
+TEST_F(TypesTest, SubstitutionReplacesParameters) {
+  TypeParamDef *T = Store.makeTypeParam(Names.intern("T"));
+  Type *TT = Store.typeParam(T);
+  Type *ListT = Store.func(tup({TT, TT}), Store.array(TT));
+  TypeSubst S{{T}, {Store.intTy()}};
+  Type *Inst = Store.substitute(ListT, S);
+  EXPECT_EQ(Inst->toString(), "(int, int) -> Array<int>");
+  EXPECT_EQ(Store.substitute(Inst, S), Inst);
+}
+
+TEST_F(TypesTest, CastClassifierPrims) {
+  EXPECT_EQ(Rels.castRel(Store.byteTy(), Store.intTy()), TypeRel::True);
+  EXPECT_EQ(Rels.castRel(Store.intTy(), Store.byteTy()),
+            TypeRel::Dynamic);
+  EXPECT_EQ(Rels.castRel(Store.intTy(), Store.boolTy()), TypeRel::False);
+  EXPECT_EQ(Rels.castRel(Store.intTy(), Store.intTy()), TypeRel::True);
+}
+
+TEST_F(TypesTest, CastClassifierClasses) {
+  Type *A = cls(TA), *B = cls(TB);
+  EXPECT_EQ(Rels.castRel(B, A), TypeRel::True) << "upcast";
+  EXPECT_EQ(Rels.castRel(A, B), TypeRel::Dynamic) << "downcast";
+  ClassDef *C = Store.makeClass(Names.intern("CC"));
+  EXPECT_EQ(Rels.castRel(A, cls(C)), TypeRel::False) << "unrelated";
+}
+
+TEST_F(TypesTest, CastClassifierPolymorphicIsDynamic) {
+  // Paper §2.2: casts/queries are permitted between any two types when
+  // type parameters are involved.
+  TypeParamDef *T = Store.makeTypeParam(Names.intern("T"));
+  Type *TT = Store.typeParam(T);
+  EXPECT_EQ(Rels.castRel(TT, Store.intTy()), TypeRel::Dynamic);
+  EXPECT_EQ(Rels.castRel(Store.intTy(), TT), TypeRel::Dynamic);
+  EXPECT_EQ(Rels.queryRel(TT, Store.stringTy()), TypeRel::Dynamic);
+}
+
+TEST_F(TypesTest, QueryClassifierIsTypal) {
+  EXPECT_EQ(Rels.queryRel(Store.byteTy(), Store.intTy()), TypeRel::False);
+  EXPECT_EQ(Rels.queryRel(Store.intTy(), Store.intTy()), TypeRel::True);
+  // Nullable kinds need a null check even on exact matches.
+  Type *A = cls(TA);
+  EXPECT_EQ(Rels.queryRel(A, A), TypeRel::Dynamic);
+}
+
+TEST_F(TypesTest, QuerySameClassDifferentArgsIsFalse) {
+  // Paper (d13): List<bool>.?(a : List<int>) compiles and is false.
+  Type *GInt = cls(G, {Store.intTy()});
+  Type *GBool = cls(G, {Store.boolTy()});
+  EXPECT_EQ(Rels.queryRel(GInt, GBool), TypeRel::False);
+}
+
+TEST_F(TypesTest, TupleCastsAreElementwise) {
+  Type *I = Store.intTy(), *By = Store.byteTy();
+  EXPECT_EQ(Rels.castRel(tup({By, By}), tup({I, I})), TypeRel::True);
+  EXPECT_EQ(Rels.castRel(tup({I, I}), tup({By, By})), TypeRel::Dynamic);
+  EXPECT_EQ(Rels.castRel(tup({I, I}), tup({I, Store.boolTy()})),
+            TypeRel::False);
+  EXPECT_EQ(Rels.castRel(tup({I, I}), tup({I, I, I})), TypeRel::False);
+}
+
+TEST_F(TypesTest, UpperBounds) {
+  Type *A = cls(TA), *B = cls(TB);
+  EXPECT_EQ(Rels.upperBound(B, A), A);
+  EXPECT_EQ(Rels.upperBound(A, B), A);
+  EXPECT_EQ(Rels.upperBound(tup({B, B}), tup({A, B})), tup({A, B}));
+  EXPECT_EQ(Rels.upperBound(Store.intTy(), Store.boolTy()), nullptr);
+}
+
+TEST_F(TypesTest, VarianceTableMatchesPaper) {
+  // The §2.5 type constructor table.
+  EXPECT_EQ(constructorVariance(TypeKind::Array, 0), Variance::Invariant);
+  EXPECT_EQ(constructorVariance(TypeKind::Tuple, 0), Variance::Covariant);
+  EXPECT_EQ(constructorVariance(TypeKind::Tuple, 5), Variance::Covariant);
+  EXPECT_EQ(constructorVariance(TypeKind::Function, 0),
+            Variance::Contravariant);
+  EXPECT_EQ(constructorVariance(TypeKind::Function, 1),
+            Variance::Covariant);
+  EXPECT_EQ(constructorVariance(TypeKind::Class, 0), Variance::Invariant);
+}
+
+TEST_F(TypesTest, StringIsArrayOfByte) {
+  EXPECT_EQ(Store.stringTy(), Store.array(Store.byteTy()));
+}
+
+TEST_F(TypesTest, SubtypingLawsOverPool) {
+  std::vector<Type *> Pool = {
+      Store.intTy(),
+      Store.byteTy(),
+      Store.boolTy(),
+      Store.voidTy(),
+      cls(TA),
+      cls(TB),
+      Store.array(Store.intTy()),
+      Store.array(cls(TA)),
+      tup({cls(TA), Store.intTy()}),
+      tup({cls(TB), Store.intTy()}),
+      Store.func(cls(TA), cls(TB)),
+      Store.func(cls(TB), cls(TA)),
+      Store.func(Store.voidTy(), Store.intTy()),
+      cls(G, {Store.intTy()}),
+      cls(H, {Store.intTy()}),
+      cls(G, {tup({Store.intTy(), Store.intTy()})}),
+  };
+  for (Type *X : Pool) {
+    EXPECT_TRUE(Rels.isSubtype(X, X)) << X->toString();
+    for (Type *Y : Pool)
+      for (Type *Z : Pool)
+        if (Rels.isSubtype(X, Y) && Rels.isSubtype(Y, Z))
+          EXPECT_TRUE(Rels.isSubtype(X, Z))
+              << X->toString() << " <: " << Y->toString()
+              << " <: " << Z->toString();
+  }
+  // Antisymmetry: mutual subtypes are identical (types are uniqued).
+  for (Type *X : Pool)
+    for (Type *Y : Pool)
+      if (Rels.isSubtype(X, Y) && Rels.isSubtype(Y, X))
+        EXPECT_EQ(X, Y);
+  // Classifier coherence: X <: Y implies the cast X -> Y is not
+  // statically impossible.
+  for (Type *X : Pool)
+    for (Type *Y : Pool)
+      if (Rels.isSubtype(X, Y))
+        EXPECT_NE(Rels.castRel(X, Y), TypeRel::False)
+            << X->toString() << " -> " << Y->toString();
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+//===- tests/VmTest.cpp - Bytecode VM tests --------------------------------===//
+///
+/// The compiled strategy: flat closures, scalar calls, class-id casts,
+/// and the headline §4.2/§4.3 claim — zero implicit heap allocations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace virgil;
+using namespace virgil::testing;
+
+namespace {
+
+VmResult runVm(const std::string &Source) {
+  auto P = compileOk(Source);
+  if (!P) {
+    VmResult Failed;
+    Failed.Trapped = true;
+    Failed.TrapMessage = "compile error";
+    return Failed;
+  }
+  return P->runVm();
+}
+
+TEST(VmTest, ClosureCreationAllocatesNothing) {
+  // The paper's claim: the native implementation never allocates
+  // except explicitly. First-class functions are flat values.
+  VmResult R = runVm(R"(
+class A { def m(x: int) -> int { return x + 1; } }
+def top(x: int) -> int { return x * 2; }
+def main() -> int {
+  var a = A.new();
+  var acc = 0;
+  for (i = 0; i < 100; i = i + 1) {
+    var f = a.m;          // bound closure
+    var g = A.m;          // unbound method
+    var h = top;          // top-level function
+    var p = int.+;        // operator
+    acc = acc + f(i) + g(a, i) + h(i) + p(i, 1);
+  }
+  return acc % 1000;
+}
+)");
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  EXPECT_EQ(R.Counters.HeapObjects, 1u) << "only the explicit A.new()";
+  EXPECT_EQ(R.Counters.HeapArrays, 0u);
+}
+
+TEST(VmTest, TuplesAllocateNothing) {
+  // §4.2: normalization guarantees tuples never reach the heap.
+  VmResult R = runVm(R"(
+def roll(t: (int, int, int)) -> (int, int, int) {
+  return (t.2, t.0, t.1);
+}
+def main() -> int {
+  var t = (1, 2, 3);
+  for (i = 0; i < 1000; i = i + 1) t = roll(t);
+  return t.0 + t.1 * 10 + t.2 * 100;
+}
+)");
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.Counters.HeapObjects, 0u);
+  EXPECT_EQ(R.Counters.HeapArrays, 0u);
+  EXPECT_EQ(R.Heap.ObjectsAllocated + R.Heap.ArraysAllocated, 0u);
+}
+
+TEST(VmTest, OnlyExplicitAllocationsCount) {
+  VmResult R = runVm(R"(
+class Node { var v: int; new(v) { } }
+def main() -> int {
+  var n = Node.new(1);
+  var a = Array<int>.new(10);
+  var s = "bytes";
+  return n.v + a.length + s.length;
+}
+)");
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.Counters.HeapObjects, 1u);
+  EXPECT_EQ(R.Counters.HeapArrays, 1u);
+  EXPECT_EQ(R.Counters.StringAllocs, 1u);
+  EXPECT_EQ(R.ResultBits, 1 + 10 + 5);
+}
+
+TEST(VmTest, MultiValueReturnsWork) {
+  VmResult R = runVm(R"(
+def divmod(a: int, b: int) -> (int, int) { return (a / b, a % b); }
+def main() -> int {
+  var r = divmod(47, 10);
+  return r.0 * 100 + r.1;
+}
+)");
+  EXPECT_EQ(R.ResultBits, 407);
+}
+
+TEST(VmTest, ClassCastsWalkClassIds) {
+  VmResult R = runVm(R"(
+class A { }
+class B extends A { }
+class C extends B { }
+def classify(a: A) -> int {
+  if (C.?(a)) return 3;
+  if (B.?(a)) return 2;
+  return 1;
+}
+def main() -> int {
+  return classify(A.new()) * 100 + classify(B.new()) * 10 +
+         classify(C.new());
+}
+)");
+  EXPECT_EQ(R.ResultBits, 123);
+}
+
+TEST(VmTest, FunctionValueCastsUseSourceTypes) {
+  // First-class function casts compare against the collapsed source
+  // type, so scalar/tuple shape variants of the same type agree.
+  VmResult R = runVm(R"(
+class Box { var f: (int, int) -> int; new(f) { } }
+def f(a: int, b: int) -> int { return a + b; }
+def g(t: (int, int)) -> int { return t.0 * t.1; }
+def check(b: Box) -> int {
+  if (((int, int) -> int).?(b.f)) return 1;
+  return 0;
+}
+def main() -> int {
+  return check(Box.new(f)) * 10 + check(Box.new(g));
+}
+)");
+  EXPECT_EQ(R.ResultBits, 11);
+}
+
+TEST(VmTest, DeepRecursionOverflowsGracefully) {
+  VmResult R = runVm(R"(
+def down(n: int) -> int {
+  if (n == 0) return 0;
+  return down(n - 1) + 1;
+}
+def main() -> int { return down(100000000); }
+)");
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("stack"), std::string::npos);
+}
+
+TEST(VmTest, InstructionBudgetStopsRunaways) {
+  auto P = compileOk(R"(
+def main() -> int {
+  var i = 0;
+  while (true) i = i + 1;
+  return i;
+}
+)");
+  Vm V(P->bytecode());
+  V.setMaxInstrs(100000);
+  VmResult R = V.run();
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("budget"), std::string::npos);
+}
+
+TEST(VmTest, OutputMatchesInterpreter) {
+  const char *Source = R"(
+def main() -> int {
+  System.puts("n=");
+  System.puti(42);
+  System.ln();
+  System.putc('!');
+  return 0;
+}
+)";
+  auto P = compileOk(Source);
+  EXPECT_EQ(P->runVm().Output, P->interpret().Output);
+  EXPECT_EQ(P->runVm().Output, "n=42\n!");
+}
+
+TEST(VmTest, NullFunctionValueTrapsOnCall) {
+  VmResult R = runVm(R"(
+class H { var f: int -> int; }
+def main() -> int {
+  var h = H.new();
+  return h.f(1);
+}
+)");
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("null"), std::string::npos);
+}
+
+TEST(VmTest, ParallelArraysBehaveAsOne) {
+  // Arrays of tuples (two parallel arrays at runtime) keep aggregate
+  // semantics: equality is per-component identity, null is shared.
+  VmResult R = runVm(R"(
+def main() -> int {
+  var a = Array<(int, bool)>.new(3);
+  var b = a;
+  var r = 0;
+  if (a == b) r = r + 1;
+  a[1] = (5, true);
+  if (b[1].0 == 5) r = r + 10;
+  var c: Array<(int, bool)> = null;
+  if (c == null) r = r + 100;
+  return r;
+}
+)");
+  EXPECT_EQ(R.ResultBits, 111);
+}
+
+} // namespace

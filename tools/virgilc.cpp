@@ -1,0 +1,129 @@
+//===- tools/virgilc.cpp - Command-line compiler driver --------------------===//
+///
+/// \file
+/// `virgilc [options] file.v3` — compiles and runs a Virgil-core
+/// program through the full pipeline.
+///
+/// Options:
+///   --interp        run the polymorphic interpreter instead of the VM
+///   --dump-ast      print the checked AST
+///   --dump-ir       print the polymorphic IR
+///   --dump-mono     print the monomorphized (optimized) IR
+///   --dump-norm     print the normalized (optimized) IR
+///   --stats         print pipeline statistics
+///   --no-opt        disable the optimizer
+///   -e <source>     compile <source> text instead of a file
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AstPrinter.h"
+#include "core/Compiler.h"
+#include "ir/IrPrinter.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace virgil;
+
+static void usage() {
+  std::fprintf(stderr,
+               "usage: virgilc [--interp] [--dump-ast|--dump-ir|"
+               "--dump-mono|--dump-norm] [--stats] [--no-opt] "
+               "(file.v3 | -e <source>)\n");
+}
+
+int main(int Argc, char **Argv) {
+  bool UseInterp = false, DumpAst = false, DumpIr = false;
+  bool DumpMono = false, DumpNorm = false, ShowStats = false;
+  CompilerOptions Options;
+  std::string Path, Source, Name = "<cmdline>";
+  bool HaveSource = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--interp")
+      UseInterp = true;
+    else if (Arg == "--dump-ast")
+      DumpAst = true;
+    else if (Arg == "--dump-ir")
+      DumpIr = true;
+    else if (Arg == "--dump-mono")
+      DumpMono = true;
+    else if (Arg == "--dump-norm")
+      DumpNorm = true;
+    else if (Arg == "--stats")
+      ShowStats = true;
+    else if (Arg == "--no-opt")
+      Options.Optimize = false;
+    else if (Arg == "-e" && I + 1 < Argc) {
+      Source = Argv[++I];
+      HaveSource = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (!HaveSource) {
+    if (Path.empty()) {
+      usage();
+      return 2;
+    }
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "virgilc: cannot open '%s'\n", Path.c_str());
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+    Name = Path;
+  }
+
+  Compiler TheCompiler(Options);
+  std::string Error;
+  auto Program = TheCompiler.compile(Name, Source, &Error);
+  if (!Program) {
+    std::fprintf(stderr, "%s", Error.c_str());
+    return 1;
+  }
+  if (DumpAst)
+    std::printf("%s\n", printModule(Program->ast()).c_str());
+  if (DumpIr)
+    std::printf("%s", printModule(Program->polyIr()).c_str());
+  if (DumpMono)
+    std::printf("%s", printModule(Program->monoIr()).c_str());
+  if (DumpNorm)
+    std::printf("%s", printModule(Program->normIr()).c_str());
+  if (ShowStats) {
+    const PipelineStats &S = Program->stats();
+    std::printf("poly: %s\n", S.Poly.toString().c_str());
+    std::printf("mono: %s (expansion %.2fx functions)\n",
+                S.MonoIr.toString().c_str(), S.Mono.functionExpansion());
+    std::printf("norm: %s\n", S.NormIr.toString().c_str());
+  }
+  if (DumpAst || DumpIr || DumpMono || DumpNorm)
+    return 0;
+
+  if (UseInterp) {
+    InterpResult R = Program->interpret();
+    std::fputs(R.Output.c_str(), stdout);
+    if (R.Trapped) {
+      std::fprintf(stderr, "trap: %s\n", R.TrapMessage.c_str());
+      return 1;
+    }
+    if (R.Result.kind() == Value::Kind::Int)
+      return (int)(R.Result.asInt() & 0xFF);
+    return 0;
+  }
+  VmResult R = Program->runVm();
+  std::fputs(R.Output.c_str(), stdout);
+  if (R.Trapped) {
+    std::fprintf(stderr, "trap: %s\n", R.TrapMessage.c_str());
+    return 1;
+  }
+  return R.HasResult ? (int)(R.ResultBits & 0xFF) : 0;
+}
