@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_callconv.dir/bench_e1_callconv.cpp.o"
+  "CMakeFiles/bench_e1_callconv.dir/bench_e1_callconv.cpp.o.d"
+  "bench_e1_callconv"
+  "bench_e1_callconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_callconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_flatten.dir/bench_e2_flatten.cpp.o"
+  "CMakeFiles/bench_e2_flatten.dir/bench_e2_flatten.cpp.o.d"
+  "bench_e2_flatten"
+  "bench_e2_flatten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_flatten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_mono.dir/bench_e3_mono.cpp.o"
+  "CMakeFiles/bench_e3_mono.dir/bench_e3_mono.cpp.o.d"
+  "bench_e3_mono"
+  "bench_e3_mono.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_mono.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_adhoc.dir/bench_e4_adhoc.cpp.o"
+  "CMakeFiles/bench_e4_adhoc.dir/bench_e4_adhoc.cpp.o.d"
+  "bench_e4_adhoc"
+  "bench_e4_adhoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_adhoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

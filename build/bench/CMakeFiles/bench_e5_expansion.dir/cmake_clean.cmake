@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_expansion.dir/bench_e5_expansion.cpp.o"
+  "CMakeFiles/bench_e5_expansion.dir/bench_e5_expansion.cpp.o.d"
+  "bench_e5_expansion"
+  "bench_e5_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_matcher.dir/bench_e6_matcher.cpp.o"
+  "CMakeFiles/bench_e6_matcher.dir/bench_e6_matcher.cpp.o.d"
+  "bench_e6_matcher"
+  "bench_e6_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

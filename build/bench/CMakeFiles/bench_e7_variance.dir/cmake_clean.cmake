@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_variance.dir/bench_e7_variance.cpp.o"
+  "CMakeFiles/bench_e7_variance.dir/bench_e7_variance.cpp.o.d"
+  "bench_e7_variance"
+  "bench_e7_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_alloc_gc.dir/bench_e8_alloc_gc.cpp.o"
+  "CMakeFiles/bench_e8_alloc_gc.dir/bench_e8_alloc_gc.cpp.o.d"
+  "bench_e8_alloc_gc"
+  "bench_e8_alloc_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_alloc_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

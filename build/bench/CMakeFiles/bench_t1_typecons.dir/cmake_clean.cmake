@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_typecons.dir/bench_t1_typecons.cpp.o"
+  "CMakeFiles/bench_t1_typecons.dir/bench_t1_typecons.cpp.o.d"
+  "bench_t1_typecons"
+  "bench_t1_typecons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_typecons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

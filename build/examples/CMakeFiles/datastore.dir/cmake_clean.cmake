@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datastore.dir/datastore.cpp.o"
+  "CMakeFiles/datastore.dir/datastore.cpp.o.d"
+  "datastore"
+  "datastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_patterns.dir/paper_patterns.cpp.o"
+  "CMakeFiles/paper_patterns.dir/paper_patterns.cpp.o.d"
+  "paper_patterns"
+  "paper_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

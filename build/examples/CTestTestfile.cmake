@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(v3_nqueens_vm "bash" "-c" "/root/repo/build/tools/virgilc /root/repo/examples/v3/nqueens.v3; test \$? -eq 4")
+set_tests_properties(v3_nqueens_vm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(v3_nqueens_interp "bash" "-c" "/root/repo/build/tools/virgilc --interp /root/repo/examples/v3/nqueens.v3; test \$? -eq 4")
+set_tests_properties(v3_nqueens_interp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(v3_sieve_vm "bash" "-c" "/root/repo/build/tools/virgilc /root/repo/examples/v3/sieve.v3; test \$? -eq 25")
+set_tests_properties(v3_sieve_vm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(v3_sieve_interp "bash" "-c" "/root/repo/build/tools/virgilc --interp /root/repo/examples/v3/sieve.v3; test \$? -eq 25")
+set_tests_properties(v3_sieve_interp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(v3_pairs_vm "bash" "-c" "/root/repo/build/tools/virgilc /root/repo/examples/v3/pairs.v3; test \$? -eq 1")
+set_tests_properties(v3_pairs_vm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(v3_pairs_interp "bash" "-c" "/root/repo/build/tools/virgilc --interp /root/repo/examples/v3/pairs.v3; test \$? -eq 1")
+set_tests_properties(v3_pairs_interp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(v3_calculator_vm "bash" "-c" "/root/repo/build/tools/virgilc /root/repo/examples/v3/calculator.v3; test \$? -eq 18")
+set_tests_properties(v3_calculator_vm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(v3_calculator_interp "bash" "-c" "/root/repo/build/tools/virgilc --interp /root/repo/examples/v3/calculator.v3; test \$? -eq 18")
+set_tests_properties(v3_calculator_interp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(v3_gc_demo_vm "bash" "-c" "/root/repo/build/tools/virgilc /root/repo/examples/v3/gc_demo.v3; test \$? -eq 0")
+set_tests_properties(v3_gc_demo_vm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(v3_gc_demo_interp "bash" "-c" "/root/repo/build/tools/virgilc --interp /root/repo/examples/v3/gc_demo.v3; test \$? -eq 0")
+set_tests_properties(v3_gc_demo_interp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/Ast.cpp" "src/CMakeFiles/virgil.dir/ast/Ast.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/ast/Ast.cpp.o.d"
+  "/root/repo/src/ast/AstPrinter.cpp" "src/CMakeFiles/virgil.dir/ast/AstPrinter.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/ast/AstPrinter.cpp.o.d"
+  "/root/repo/src/core/Compiler.cpp" "src/CMakeFiles/virgil.dir/core/Compiler.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/core/Compiler.cpp.o.d"
+  "/root/repo/src/corpus/Corpus.cpp" "src/CMakeFiles/virgil.dir/corpus/Corpus.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/corpus/Corpus.cpp.o.d"
+  "/root/repo/src/corpus/Generators.cpp" "src/CMakeFiles/virgil.dir/corpus/Generators.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/corpus/Generators.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/virgil.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/interp/Value.cpp" "src/CMakeFiles/virgil.dir/interp/Value.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/interp/Value.cpp.o.d"
+  "/root/repo/src/ir/Ir.cpp" "src/CMakeFiles/virgil.dir/ir/Ir.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/ir/Ir.cpp.o.d"
+  "/root/repo/src/ir/IrBuilder.cpp" "src/CMakeFiles/virgil.dir/ir/IrBuilder.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/ir/IrBuilder.cpp.o.d"
+  "/root/repo/src/ir/IrPrinter.cpp" "src/CMakeFiles/virgil.dir/ir/IrPrinter.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/ir/IrPrinter.cpp.o.d"
+  "/root/repo/src/ir/IrStats.cpp" "src/CMakeFiles/virgil.dir/ir/IrStats.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/ir/IrStats.cpp.o.d"
+  "/root/repo/src/ir/IrVerifier.cpp" "src/CMakeFiles/virgil.dir/ir/IrVerifier.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/ir/IrVerifier.cpp.o.d"
+  "/root/repo/src/lower/Lower.cpp" "src/CMakeFiles/virgil.dir/lower/Lower.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/lower/Lower.cpp.o.d"
+  "/root/repo/src/mono/Monomorphizer.cpp" "src/CMakeFiles/virgil.dir/mono/Monomorphizer.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/mono/Monomorphizer.cpp.o.d"
+  "/root/repo/src/normalize/Normalizer.cpp" "src/CMakeFiles/virgil.dir/normalize/Normalizer.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/normalize/Normalizer.cpp.o.d"
+  "/root/repo/src/opt/ConstFold.cpp" "src/CMakeFiles/virgil.dir/opt/ConstFold.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/opt/ConstFold.cpp.o.d"
+  "/root/repo/src/opt/CopyProp.cpp" "src/CMakeFiles/virgil.dir/opt/CopyProp.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/opt/CopyProp.cpp.o.d"
+  "/root/repo/src/opt/Dce.cpp" "src/CMakeFiles/virgil.dir/opt/Dce.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/opt/Dce.cpp.o.d"
+  "/root/repo/src/opt/DeadFields.cpp" "src/CMakeFiles/virgil.dir/opt/DeadFields.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/opt/DeadFields.cpp.o.d"
+  "/root/repo/src/opt/Devirtualizer.cpp" "src/CMakeFiles/virgil.dir/opt/Devirtualizer.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/opt/Devirtualizer.cpp.o.d"
+  "/root/repo/src/opt/Inliner.cpp" "src/CMakeFiles/virgil.dir/opt/Inliner.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/opt/Inliner.cpp.o.d"
+  "/root/repo/src/opt/PassManager.cpp" "src/CMakeFiles/virgil.dir/opt/PassManager.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/opt/PassManager.cpp.o.d"
+  "/root/repo/src/parse/Lexer.cpp" "src/CMakeFiles/virgil.dir/parse/Lexer.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/parse/Lexer.cpp.o.d"
+  "/root/repo/src/parse/Parser.cpp" "src/CMakeFiles/virgil.dir/parse/Parser.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/parse/Parser.cpp.o.d"
+  "/root/repo/src/sema/Inference.cpp" "src/CMakeFiles/virgil.dir/sema/Inference.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/sema/Inference.cpp.o.d"
+  "/root/repo/src/sema/PolyRecursion.cpp" "src/CMakeFiles/virgil.dir/sema/PolyRecursion.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/sema/PolyRecursion.cpp.o.d"
+  "/root/repo/src/sema/Resolver.cpp" "src/CMakeFiles/virgil.dir/sema/Resolver.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/sema/Resolver.cpp.o.d"
+  "/root/repo/src/sema/Scope.cpp" "src/CMakeFiles/virgil.dir/sema/Scope.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/sema/Scope.cpp.o.d"
+  "/root/repo/src/sema/TypeChecker.cpp" "src/CMakeFiles/virgil.dir/sema/TypeChecker.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/sema/TypeChecker.cpp.o.d"
+  "/root/repo/src/support/Arena.cpp" "src/CMakeFiles/virgil.dir/support/Arena.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/support/Arena.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/virgil.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/Source.cpp" "src/CMakeFiles/virgil.dir/support/Source.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/support/Source.cpp.o.d"
+  "/root/repo/src/support/StringInterner.cpp" "src/CMakeFiles/virgil.dir/support/StringInterner.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/support/StringInterner.cpp.o.d"
+  "/root/repo/src/types/Type.cpp" "src/CMakeFiles/virgil.dir/types/Type.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/types/Type.cpp.o.d"
+  "/root/repo/src/types/TypeRelations.cpp" "src/CMakeFiles/virgil.dir/types/TypeRelations.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/types/TypeRelations.cpp.o.d"
+  "/root/repo/src/types/TypeStore.cpp" "src/CMakeFiles/virgil.dir/types/TypeStore.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/types/TypeStore.cpp.o.d"
+  "/root/repo/src/vm/Bytecode.cpp" "src/CMakeFiles/virgil.dir/vm/Bytecode.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/vm/Bytecode.cpp.o.d"
+  "/root/repo/src/vm/BytecodeEmitter.cpp" "src/CMakeFiles/virgil.dir/vm/BytecodeEmitter.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/vm/BytecodeEmitter.cpp.o.d"
+  "/root/repo/src/vm/Heap.cpp" "src/CMakeFiles/virgil.dir/vm/Heap.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/vm/Heap.cpp.o.d"
+  "/root/repo/src/vm/Vm.cpp" "src/CMakeFiles/virgil.dir/vm/Vm.cpp.o" "gcc" "src/CMakeFiles/virgil.dir/vm/Vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

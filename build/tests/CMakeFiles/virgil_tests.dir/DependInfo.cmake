@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ApiTest.cpp" "tests/CMakeFiles/virgil_tests.dir/ApiTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/ApiTest.cpp.o.d"
+  "/root/repo/tests/BytecodeTest.cpp" "tests/CMakeFiles/virgil_tests.dir/BytecodeTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/BytecodeTest.cpp.o.d"
+  "/root/repo/tests/CorpusTest.cpp" "tests/CMakeFiles/virgil_tests.dir/CorpusTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/CorpusTest.cpp.o.d"
+  "/root/repo/tests/DiagnosticsTest.cpp" "tests/CMakeFiles/virgil_tests.dir/DiagnosticsTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/DiagnosticsTest.cpp.o.d"
+  "/root/repo/tests/EndToEndTest.cpp" "tests/CMakeFiles/virgil_tests.dir/EndToEndTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/EndToEndTest.cpp.o.d"
+  "/root/repo/tests/HeapTest.cpp" "tests/CMakeFiles/virgil_tests.dir/HeapTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/HeapTest.cpp.o.d"
+  "/root/repo/tests/InferenceTest.cpp" "tests/CMakeFiles/virgil_tests.dir/InferenceTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/InferenceTest.cpp.o.d"
+  "/root/repo/tests/InterpTest.cpp" "tests/CMakeFiles/virgil_tests.dir/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/InterpTest.cpp.o.d"
+  "/root/repo/tests/IrTest.cpp" "tests/CMakeFiles/virgil_tests.dir/IrTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/IrTest.cpp.o.d"
+  "/root/repo/tests/LanguageSemanticsTest.cpp" "tests/CMakeFiles/virgil_tests.dir/LanguageSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/LanguageSemanticsTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/virgil_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/LowerTest.cpp" "tests/CMakeFiles/virgil_tests.dir/LowerTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/LowerTest.cpp.o.d"
+  "/root/repo/tests/MonoTest.cpp" "tests/CMakeFiles/virgil_tests.dir/MonoTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/MonoTest.cpp.o.d"
+  "/root/repo/tests/NormalizeTest.cpp" "tests/CMakeFiles/virgil_tests.dir/NormalizeTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/NormalizeTest.cpp.o.d"
+  "/root/repo/tests/OptTest.cpp" "tests/CMakeFiles/virgil_tests.dir/OptTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/OptTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/virgil_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/virgil_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/SemaTest.cpp" "tests/CMakeFiles/virgil_tests.dir/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/SemaTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/virgil_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TypesTest.cpp" "tests/CMakeFiles/virgil_tests.dir/TypesTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/TypesTest.cpp.o.d"
+  "/root/repo/tests/VmTest.cpp" "tests/CMakeFiles/virgil_tests.dir/VmTest.cpp.o" "gcc" "tests/CMakeFiles/virgil_tests.dir/VmTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/virgil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virgilc.dir/virgilc.cpp.o"
+  "CMakeFiles/virgilc.dir/virgilc.cpp.o.d"
+  "virgilc"
+  "virgilc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virgilc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

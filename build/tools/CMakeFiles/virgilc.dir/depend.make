@@ -1,0 +1,2 @@
+# Empty dependencies file for virgilc.
+# This may be replaced when dependencies are built.
