@@ -7,7 +7,63 @@
 #include "parse/Parser.h"
 #include "vm/BytecodeEmitter.h"
 
+#include <chrono>
+#include <cstdio>
+
 using namespace virgil;
+
+namespace {
+
+/// Stopwatch for per-phase timings: each call to mark() banks the time
+/// since the previous mark into one PhaseTimings field.
+class PhaseClock {
+public:
+  explicit PhaseClock(PhaseTimings &T)
+      : T(T), Start(Clock::now()), Last(Start) {}
+
+  void mark(double PhaseTimings::*Field) {
+    auto Now = Clock::now();
+    T.*Field += std::chrono::duration<double, std::milli>(Now - Last).count();
+    Last = Now;
+  }
+  void finish() {
+    T.TotalMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - Start)
+            .count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  PhaseTimings &T;
+  Clock::time_point Start;
+  Clock::time_point Last;
+};
+
+} // namespace
+
+PhaseTimings &PhaseTimings::operator+=(const PhaseTimings &O) {
+  ParseMs += O.ParseMs;
+  SemaMs += O.SemaMs;
+  LowerMs += O.LowerMs;
+  MonoMs += O.MonoMs;
+  OptMonoMs += O.OptMonoMs;
+  NormMs += O.NormMs;
+  OptNormMs += O.OptNormMs;
+  EmitMs += O.EmitMs;
+  TotalMs += O.TotalMs;
+  return *this;
+}
+
+std::string PhaseTimings::toString() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "parse %.2fms sema %.2fms lower %.2fms mono %.2fms "
+                "opt-mono %.2fms norm %.2fms opt-norm %.2fms emit %.2fms "
+                "total %.2fms",
+                ParseMs, SemaMs, LowerMs, MonoMs, OptMonoMs, NormMs,
+                OptNormMs, EmitMs, TotalMs);
+  return Buf;
+}
 
 Program::Program() = default;
 Program::~Program() = default;
@@ -41,6 +97,7 @@ std::unique_ptr<Program> Compiler::compile(const std::string &Name,
   auto P = std::make_unique<Program>();
   P->File = std::make_unique<SourceFile>(Name, Source);
   P->Diags.setFile(P->File.get());
+  PhaseClock Timer(P->Stats.Timings);
 
   auto fail = [&]() -> std::unique_ptr<Program> {
     if (ErrorOut)
@@ -62,12 +119,14 @@ std::unique_ptr<Program> Compiler::compile(const std::string &Name,
   P->Ast = TheParser.parseModule();
   if (P->Diags.hasErrors())
     return fail();
+  Timer.mark(&PhaseTimings::ParseMs);
 
   // Semantic analysis.
   P->TheSema = std::make_unique<Sema>(*P->Ast, P->Types, P->Idents,
                                       P->Diags, P->AstNodes);
   if (!P->TheSema->run())
     return fail();
+  Timer.mark(&PhaseTimings::SemaMs);
 
   // Lower to polymorphic IR.
   P->PolyIr = std::make_unique<IrModule>(P->Types);
@@ -82,8 +141,11 @@ std::unique_ptr<Program> Compiler::compile(const std::string &Name,
       return internalFail(Problems, "lowering");
   }
   P->Stats.Poly = computeStats(*P->PolyIr);
-  if (Options.StopAfterLower)
+  Timer.mark(&PhaseTimings::LowerMs);
+  if (Options.StopAfterLower) {
+    Timer.finish();
     return P;
+  }
 
   // Monomorphize (§4.3).
   Monomorphizer Mono(*P->PolyIr);
@@ -100,9 +162,11 @@ std::unique_ptr<Program> Compiler::compile(const std::string &Name,
     if (!Problems.empty())
       return internalFail(Problems, "monomorphization");
   }
+  Timer.mark(&PhaseTimings::MonoMs);
   if (Options.Optimize)
     P->Stats.OptAfterMono = optimizeModule(*P->MonoIr, Options.Opt);
   P->Stats.MonoIr = computeStats(*P->MonoIr);
+  Timer.mark(&PhaseTimings::OptMonoMs);
 
   // Normalize tuples away (§4.2).
   Normalizer Norm(*P->MonoIr);
@@ -113,11 +177,15 @@ std::unique_ptr<Program> Compiler::compile(const std::string &Name,
     if (!Problems.empty())
       return internalFail(Problems, "normalization");
   }
+  Timer.mark(&PhaseTimings::NormMs);
   if (Options.Optimize)
     P->Stats.OptAfterNorm = optimizeModule(*P->NormIr, Options.Opt);
   P->Stats.NormIr = computeStats(*P->NormIr);
+  Timer.mark(&PhaseTimings::OptNormMs);
 
   // Emit bytecode.
   P->Bytecode = emitBytecode(*P->NormIr);
+  Timer.mark(&PhaseTimings::EmitMs);
+  Timer.finish();
   return P;
 }

@@ -54,6 +54,25 @@ struct CompilerOptions {
   bool Verify = true;
 };
 
+/// Wall-clock milliseconds spent in each pipeline phase of one
+/// compilation. The compile service aggregates these across a batch to
+/// report where compile time goes (and what a cache hit skips).
+struct PhaseTimings {
+  double ParseMs = 0;
+  double SemaMs = 0;
+  double LowerMs = 0;
+  double MonoMs = 0;
+  double OptMonoMs = 0;
+  double NormMs = 0;
+  double OptNormMs = 0;
+  double EmitMs = 0;
+  double TotalMs = 0;
+
+  PhaseTimings &operator+=(const PhaseTimings &O);
+  /// One line, e.g. "parse 0.12ms sema 0.34ms ... total 1.23ms".
+  std::string toString() const;
+};
+
 struct PipelineStats {
   MonoStats Mono;
   NormalizeStats Norm;
@@ -62,6 +81,7 @@ struct PipelineStats {
   IrStats Poly;
   IrStats MonoIr;
   IrStats NormIr;
+  PhaseTimings Timings;
 };
 
 /// A successfully compiled program with all its stages.

@@ -1,0 +1,89 @@
+//===- service/BytecodeCache.h - Content-addressed artifact cache -*- C++ -*-===//
+///
+/// \file
+/// On-disk cache of serialized BcModules, keyed by a content hash of
+/// (source text, compiler options, format version). A hit skips the
+/// entire front-end: the cached bytes deserialize straight into a
+/// runnable module.
+///
+/// Invalidation rules:
+///   * any change to the source text or the options that affect code
+///     generation changes the key (a different entry is consulted);
+///   * a bump of kBcFormatVersion changes every key, and entries whose
+///     header carries a stale version are deleted on contact (or in
+///     bulk by evictMismatched());
+///   * entries that fail the header checksum or structural validation
+///     (truncation, bit rot) are deleted and treated as misses — the
+///     caller recompiles, never crashes.
+///
+/// Writes are atomic (temp file + rename), so concurrent compile
+/// workers storing the same key race benignly: readers only ever see a
+/// complete entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SERVICE_BYTECODECACHE_H
+#define VIRGIL_SERVICE_BYTECODECACHE_H
+
+#include "core/Compiler.h"
+#include "vm/BytecodeSerializer.h"
+
+#include <mutex>
+#include <string>
+
+namespace virgil {
+
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  /// Entries deleted because they failed checksum/validation.
+  uint64_t CorruptEvictions = 0;
+  /// Entries deleted because their header version was stale.
+  uint64_t VersionEvictions = 0;
+  uint64_t Stores = 0;
+};
+
+class BytecodeCache {
+public:
+  /// Opens (creating if needed) the cache at \p Dir. \p FormatVersion
+  /// is kBcFormatVersion in production; tests override it to exercise
+  /// version-bump invalidation.
+  explicit BytecodeCache(std::string Dir,
+                         uint32_t FormatVersion = kBcFormatVersion);
+
+  /// The content-address of one compile job: FNV-1a over the format
+  /// version, an options fingerprint, and the source text.
+  static uint64_t keyFor(std::string_view Source, const CompilerOptions &O,
+                         uint32_t FormatVersion);
+  uint64_t keyFor(std::string_view Source, const CompilerOptions &O) const {
+    return keyFor(Source, O, Version);
+  }
+
+  /// Loads the entry for \p Key; null on miss. Corrupt or
+  /// version-stale entries are deleted and reported as misses.
+  std::unique_ptr<LoadedModule> load(uint64_t Key);
+
+  /// Serializes and atomically stores \p M under \p Key.
+  bool store(uint64_t Key, const BcModule &M);
+
+  /// Deletes every entry in the cache directory whose header version
+  /// differs from this cache's; returns how many were removed.
+  size_t evictMismatched();
+
+  /// `<dir>/<16-hex-digits>.vbc`.
+  std::string entryPath(uint64_t Key) const;
+
+  const std::string &dir() const { return Dir; }
+  uint32_t formatVersion() const { return Version; }
+  CacheStats stats() const;
+
+private:
+  std::string Dir;
+  uint32_t Version;
+  mutable std::mutex Mu;
+  CacheStats S;
+};
+
+} // namespace virgil
+
+#endif // VIRGIL_SERVICE_BYTECODECACHE_H

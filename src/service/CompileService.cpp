@@ -1,0 +1,112 @@
+//===- service/CompileService.cpp -----------------------------------------===//
+
+#include "service/CompileService.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace virgil;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+VmResult CompiledUnit::runVm() {
+  Vm V(bytecode());
+  return V.run();
+}
+
+CompileService::CompileService(ServiceOptions Options)
+    : Options(std::move(Options)) {
+  if (!this->Options.CacheDir.empty())
+    Cache = std::make_unique<BytecodeCache>(
+        this->Options.CacheDir, this->Options.CacheFormatVersion);
+}
+
+CompileService::~CompileService() = default;
+
+JobResult CompileService::compileOne(const CompileJob &Job) {
+  JobResult R;
+  R.Name = Job.Name;
+  auto Start = Clock::now();
+
+  uint64_t Key = 0;
+  if (Cache) {
+    Key = Cache->keyFor(Job.Source, Options.Compile);
+    if (auto L = Cache->load(Key)) {
+      R.Ok = true;
+      R.CacheHit = true;
+      R.Unit = std::make_unique<CompiledUnit>(std::move(L));
+      R.Ms = msSince(Start);
+      return R;
+    }
+  }
+
+  Compiler C(Options.Compile);
+  std::string Error;
+  auto P = C.compile(Job.Name, Job.Source, &Error);
+  if (!P) {
+    R.Error = std::move(Error);
+    R.Ms = msSince(Start);
+    return R;
+  }
+  R.Timings = P->stats().Timings;
+  if (Cache && P->hasBytecode())
+    Cache->store(Key, P->bytecode());
+  R.Ok = true;
+  R.Unit = std::make_unique<CompiledUnit>(std::move(P));
+  R.Ms = msSince(Start);
+  return R;
+}
+
+std::vector<JobResult>
+CompileService::compileBatch(const std::vector<CompileJob> &Jobs) {
+  std::vector<JobResult> Results(Jobs.size());
+  auto Start = Clock::now();
+
+  size_t Want = Options.Jobs > 0
+                    ? (size_t)Options.Jobs
+                    : std::max(1u, std::thread::hardware_concurrency());
+  size_t NumWorkers = std::max<size_t>(1, std::min(Want, Jobs.size()));
+
+  // Dynamic work-stealing by index: each worker claims the next
+  // unclaimed job. Results are slotted by index, so scheduling order
+  // never affects the batch outcome.
+  std::atomic<size_t> Next{0};
+  auto Worker = [&]() {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Jobs.size())
+        return;
+      Results[I] = compileOne(Jobs[I]);
+    }
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(NumWorkers - 1);
+  for (size_t T = 1; T < NumWorkers; ++T)
+    Pool.emplace_back(Worker);
+  Worker();
+  for (std::thread &T : Pool)
+    T.join();
+
+  BatchStats S;
+  S.Jobs = Jobs.size();
+  S.WallMs = msSince(Start);
+  for (const JobResult &R : Results) {
+    (R.Ok ? S.Succeeded : S.Failed)++;
+    if (Cache)
+      (R.CacheHit ? S.Hits : S.Misses)++;
+    S.TotalJobMs += R.Ms;
+    S.Phases += R.Timings;
+  }
+  LastBatch = S;
+  return Results;
+}

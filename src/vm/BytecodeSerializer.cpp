@@ -1,0 +1,799 @@
+//===- vm/BytecodeSerializer.cpp ------------------------------------------===//
+//
+// Layout (all integers little-endian):
+//
+//   header:  u32 magic 'VBCM' | u32 format version | u64 payload length
+//            | u64 FNV-1a(payload)
+//   payload: strings, type-parameter defs, class defs, the type graph
+//            (post-order, children before parents), class-def parent
+//            patch, cast/query type table, globals, classes, functions,
+//            main/init ids.
+//
+// The checksum is the integrity gate: any truncation or bit corruption
+// fails the hash compare before decoding begins. Structural validation
+// on top of it (enum ranges, index ranges for every statically
+// unambiguous table access the VM performs) keeps even a colliding or
+// hand-edited file from crashing the reader or the VM.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/BytecodeSerializer.h"
+
+#include <cstring>
+#include <map>
+
+using namespace virgil;
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4D434256; // "VBCM" in LE byte order.
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 8;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+class Writer {
+public:
+  void u8(uint8_t V) { Out.push_back((char)V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Out.push_back((char)((V >> (8 * I)) & 0xFF));
+  }
+  void i32(int32_t V) { u32((uint32_t)V); }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Out.push_back((char)((V >> (8 * I)) & 0xFF));
+  }
+  void i64(int64_t V) { u64((uint64_t)V); }
+  void str(const std::string &S) {
+    u32((uint32_t)S.size());
+    Out.append(S);
+  }
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+};
+
+//===----------------------------------------------------------------------===//
+// Reader (never throws, never reads out of bounds; any malformation
+// sets the failure flag and sticks).
+//===----------------------------------------------------------------------===//
+
+class Reader {
+public:
+  explicit Reader(std::string_view Bytes) : Bytes(Bytes) {}
+
+  bool ok() const { return Ok; }
+  void fail(const char *Reason) {
+    if (Ok) {
+      Ok = false;
+      Why = Reason;
+    }
+  }
+  const char *reason() const { return Why; }
+  size_t remaining() const { return Ok ? Bytes.size() - Pos : 0; }
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return (uint8_t)Bytes[Pos++];
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= (uint32_t)(uint8_t)Bytes[Pos++] << (8 * I);
+    return V;
+  }
+  int32_t i32() { return (int32_t)u32(); }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= (uint64_t)(uint8_t)Bytes[Pos++] << (8 * I);
+    return V;
+  }
+  int64_t i64() { return (int64_t)u64(); }
+  std::string str() {
+    uint32_t N = u32();
+    if (!need(N))
+      return std::string();
+    std::string S(Bytes.substr(Pos, N));
+    Pos += N;
+    return S;
+  }
+  /// Reads an element count whose elements occupy at least
+  /// \p MinElemBytes each; rejects counts the remaining bytes cannot
+  /// possibly hold (guards reserve() from hostile sizes).
+  uint32_t count(size_t MinElemBytes = 1) {
+    uint32_t N = u32();
+    if (Ok && (uint64_t)N * MinElemBytes > remaining())
+      fail("element count exceeds remaining bytes");
+    return Ok ? N : 0;
+  }
+
+private:
+  bool need(size_t N) {
+    if (!Ok)
+      return false;
+    if (Bytes.size() - Pos < N) {
+      fail("unexpected end of data");
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view Bytes;
+  size_t Pos = 0;
+  bool Ok = true;
+  const char *Why = "ok";
+};
+
+//===----------------------------------------------------------------------===//
+// Type graph collection (serialization side)
+//===----------------------------------------------------------------------===//
+
+/// Assigns dense indices to every type, class def, and type-parameter
+/// def reachable from the module, in a deterministic order: types are
+/// post-order (children before parents), defs in first-visit order.
+struct TypeGraph {
+  std::vector<Type *> Types;
+  std::map<Type *, uint32_t> TypeIdx;
+  std::vector<ClassDef *> Defs;
+  std::map<ClassDef *, uint32_t> DefIdx;
+  std::vector<TypeParamDef *> Params;
+  std::map<TypeParamDef *, uint32_t> ParamIdx;
+
+  uint32_t addParam(TypeParamDef *P) {
+    auto It = ParamIdx.find(P);
+    if (It != ParamIdx.end())
+      return It->second;
+    uint32_t I = (uint32_t)Params.size();
+    Params.push_back(P);
+    ParamIdx[P] = I;
+    return I;
+  }
+
+  uint32_t addDef(ClassDef *D) {
+    auto It = DefIdx.find(D);
+    if (It != DefIdx.end())
+      return It->second;
+    uint32_t I = (uint32_t)Defs.size();
+    Defs.push_back(D);
+    DefIdx[D] = I;
+    for (TypeParamDef *P : D->TypeParams)
+      addParam(P);
+    return I;
+  }
+
+  uint32_t addType(Type *T) {
+    auto It = TypeIdx.find(T);
+    if (It != TypeIdx.end())
+      return It->second;
+    switch (T->kind()) {
+    case TypeKind::Prim:
+      break;
+    case TypeKind::Array:
+      addType(cast<ArrayType>(T)->elem());
+      break;
+    case TypeKind::Tuple:
+      for (Type *E : cast<TupleType>(T)->elems())
+        addType(E);
+      break;
+    case TypeKind::Function:
+      addType(cast<FuncType>(T)->param());
+      addType(cast<FuncType>(T)->ret());
+      break;
+    case TypeKind::Class: {
+      auto *CT = cast<ClassType>(T);
+      addDef(CT->def());
+      for (Type *A : CT->args())
+        addType(A);
+      break;
+    }
+    case TypeKind::TypeParam:
+      addParam(cast<TypeParamType>(T)->def());
+      break;
+    }
+    uint32_t I = (uint32_t)Types.size();
+    Types.push_back(T);
+    TypeIdx[T] = I;
+    return I;
+  }
+
+  /// Collects everything reachable from \p M, including the extends
+  /// chains of every referenced class def (subtype checks walk them at
+  /// runtime). Defs may grow while parents are walked.
+  void collect(const BcModule &M) {
+    for (Type *T : M.TypeTable)
+      addType(T);
+    for (const BcFunction &F : M.Functions) {
+      if (F.SourceFuncTy)
+        addType(F.SourceFuncTy);
+      if (F.BoundFuncTy)
+        addType(F.BoundFuncTy);
+    }
+    for (size_t I = 0; I != Defs.size(); ++I)
+      if (Defs[I]->ParentAsWritten)
+        addType(Defs[I]->ParentAsWritten);
+  }
+
+  int32_t indexOrNull(Type *T) const {
+    if (!T)
+      return -1;
+    return (int32_t)TypeIdx.at(T);
+  }
+};
+
+void writeTypeGraph(Writer &W, const TypeGraph &G) {
+  W.u32((uint32_t)G.Params.size());
+  for (const TypeParamDef *P : G.Params)
+    W.str(*P->Name);
+
+  W.u32((uint32_t)G.Defs.size());
+  for (const ClassDef *D : G.Defs) {
+    W.str(*D->Name);
+    W.u32((uint32_t)D->TypeParams.size());
+    for (TypeParamDef *P : D->TypeParams)
+      W.u32(G.ParamIdx.at(P));
+  }
+
+  W.u32((uint32_t)G.Types.size());
+  for (Type *T : G.Types) {
+    W.u8((uint8_t)T->kind());
+    switch (T->kind()) {
+    case TypeKind::Prim:
+      W.u8((uint8_t)cast<PrimType>(T)->prim());
+      break;
+    case TypeKind::Array:
+      W.u32(G.TypeIdx.at(cast<ArrayType>(T)->elem()));
+      break;
+    case TypeKind::Tuple: {
+      const auto &Elems = cast<TupleType>(T)->elems();
+      W.u32((uint32_t)Elems.size());
+      for (Type *E : Elems)
+        W.u32(G.TypeIdx.at(E));
+      break;
+    }
+    case TypeKind::Function:
+      W.u32(G.TypeIdx.at(cast<FuncType>(T)->param()));
+      W.u32(G.TypeIdx.at(cast<FuncType>(T)->ret()));
+      break;
+    case TypeKind::Class: {
+      auto *CT = cast<ClassType>(T);
+      W.u32(G.DefIdx.at(CT->def()));
+      W.u32((uint32_t)CT->args().size());
+      for (Type *A : CT->args())
+        W.u32(G.TypeIdx.at(A));
+      break;
+    }
+    case TypeKind::TypeParam:
+      W.u32(G.ParamIdx.at(cast<TypeParamType>(T)->def()));
+      break;
+    }
+  }
+
+  // Parent patch: the extends chain, resolvable only once all types
+  // exist (a parent-as-written may mention its own subclass).
+  for (const ClassDef *D : G.Defs) {
+    W.i32(G.indexOrNull(D->ParentAsWritten));
+    W.u32(D->Depth);
+  }
+}
+
+/// Rebuilt type tables on the deserialization side.
+struct TypeTables {
+  std::vector<TypeParamDef *> Params;
+  std::vector<ClassDef *> Defs;
+  std::vector<Type *> Types;
+
+  Type *type(Reader &R, uint32_t Idx) const {
+    if (Idx >= Types.size()) {
+      R.fail("type index out of range");
+      return nullptr;
+    }
+    return Types[Idx];
+  }
+  Type *typeOrNull(Reader &R, int32_t Idx) const {
+    return Idx < 0 ? nullptr : type(R, (uint32_t)Idx);
+  }
+};
+
+bool readTypeGraph(Reader &R, TypeStore &Store, TypeTables &T) {
+  uint32_t NumParams = R.count();
+  T.Params.reserve(NumParams);
+  for (uint32_t I = 0; R.ok() && I != NumParams; ++I)
+    T.Params.push_back(Store.makeTypeParam(Store.internName(R.str())));
+
+  uint32_t NumDefs = R.count();
+  T.Defs.reserve(NumDefs);
+  for (uint32_t I = 0; R.ok() && I != NumDefs; ++I) {
+    ClassDef *D = Store.makeClass(Store.internName(R.str()));
+    uint32_t N = R.count(4);
+    for (uint32_t J = 0; R.ok() && J != N; ++J) {
+      uint32_t P = R.u32();
+      if (P >= T.Params.size()) {
+        R.fail("type-parameter index out of range");
+        break;
+      }
+      D->TypeParams.push_back(T.Params[P]);
+    }
+    T.Defs.push_back(D);
+  }
+
+  uint32_t NumTypes = R.count();
+  T.Types.reserve(NumTypes);
+  for (uint32_t I = 0; R.ok() && I != NumTypes; ++I) {
+    uint8_t Kind = R.u8();
+    Type *Built = nullptr;
+    switch (Kind) {
+    case (uint8_t)TypeKind::Prim: {
+      uint8_t P = R.u8();
+      switch (P) {
+      case (uint8_t)PrimKind::Void:
+        Built = Store.voidTy();
+        break;
+      case (uint8_t)PrimKind::Bool:
+        Built = Store.boolTy();
+        break;
+      case (uint8_t)PrimKind::Byte:
+        Built = Store.byteTy();
+        break;
+      case (uint8_t)PrimKind::Int:
+        Built = Store.intTy();
+        break;
+      default:
+        R.fail("invalid primitive kind");
+      }
+      break;
+    }
+    case (uint8_t)TypeKind::Array: {
+      Type *E = T.type(R, R.u32());
+      if (E)
+        Built = Store.array(E);
+      break;
+    }
+    case (uint8_t)TypeKind::Tuple: {
+      uint32_t N = R.count(4);
+      std::vector<Type *> Elems;
+      Elems.reserve(N);
+      for (uint32_t J = 0; R.ok() && J != N; ++J)
+        Elems.push_back(T.type(R, R.u32()));
+      if (R.ok())
+        Built = Store.tuple(Elems); // Degenerate arities collapse.
+      break;
+    }
+    case (uint8_t)TypeKind::Function: {
+      Type *P = T.type(R, R.u32());
+      Type *Ret = T.type(R, R.u32());
+      if (P && Ret)
+        Built = Store.func(P, Ret);
+      break;
+    }
+    case (uint8_t)TypeKind::Class: {
+      uint32_t DefI = R.u32();
+      uint32_t N = R.count(4);
+      std::vector<Type *> Args;
+      Args.reserve(N);
+      for (uint32_t J = 0; R.ok() && J != N; ++J)
+        Args.push_back(T.type(R, R.u32()));
+      if (DefI >= T.Defs.size()) {
+        R.fail("class-def index out of range");
+        break;
+      }
+      if (R.ok() && Args.size() != T.Defs[DefI]->TypeParams.size()) {
+        R.fail("class type argument count mismatch");
+        break;
+      }
+      if (R.ok())
+        Built = Store.classType(T.Defs[DefI], Args);
+      break;
+    }
+    case (uint8_t)TypeKind::TypeParam: {
+      uint32_t P = R.u32();
+      if (P >= T.Params.size()) {
+        R.fail("type-parameter index out of range");
+        break;
+      }
+      Built = Store.typeParam(T.Params[P]);
+      break;
+    }
+    default:
+      R.fail("invalid type kind");
+    }
+    if (!R.ok())
+      return false;
+    T.Types.push_back(Built);
+  }
+
+  for (uint32_t I = 0; R.ok() && I != NumDefs; ++I) {
+    int32_t ParentI = R.i32();
+    uint32_t Depth = R.u32();
+    Type *Parent = T.typeOrNull(R, ParentI);
+    if (!R.ok())
+      break;
+    if (Parent && !isa<ClassType>(Parent)) {
+      R.fail("class parent is not a class type");
+      break;
+    }
+    T.Defs[I]->ParentAsWritten = Parent;
+    T.Defs[I]->Depth = Depth;
+  }
+  return R.ok();
+}
+
+//===----------------------------------------------------------------------===//
+// Module payload
+//===----------------------------------------------------------------------===//
+
+void writeSlotKinds(Writer &W, const std::vector<SlotKind> &Kinds) {
+  W.u32((uint32_t)Kinds.size());
+  for (SlotKind K : Kinds)
+    W.u8((uint8_t)K);
+}
+
+bool readSlotKinds(Reader &R, std::vector<SlotKind> &Kinds) {
+  uint32_t N = R.count();
+  Kinds.reserve(N);
+  for (uint32_t I = 0; R.ok() && I != N; ++I) {
+    uint8_t K = R.u8();
+    if (K > (uint8_t)SlotKind::Closure) {
+      R.fail("invalid slot kind");
+      return false;
+    }
+    Kinds.push_back((SlotKind)K);
+  }
+  return R.ok();
+}
+
+void writePayload(Writer &W, const BcModule &M, const TypeGraph &G) {
+  W.u32((uint32_t)M.Strings.size());
+  for (const std::string &S : M.Strings)
+    W.str(S);
+
+  writeTypeGraph(W, G);
+
+  W.u32((uint32_t)M.TypeTable.size());
+  for (Type *T : M.TypeTable)
+    W.u32(G.TypeIdx.at(T));
+
+  writeSlotKinds(W, M.GlobalKinds);
+
+  W.u32((uint32_t)M.Classes.size());
+  for (const BcClass &C : M.Classes) {
+    W.str(C.Name);
+    W.i32(C.ParentId);
+    W.u32(C.Depth);
+    writeSlotKinds(W, C.FieldKinds);
+    W.u32((uint32_t)C.VTable.size());
+    for (int F : C.VTable)
+      W.i32(F);
+  }
+
+  W.u32((uint32_t)M.Functions.size());
+  for (const BcFunction &F : M.Functions) {
+    W.str(F.Name);
+    W.u32(F.NumRegs);
+    W.u32(F.NumParams);
+    W.u32(F.NumRets);
+    writeSlotKinds(W, F.RegKinds);
+    W.u32((uint32_t)F.Code.size());
+    for (const BcInstr &I : F.Code) {
+      W.u8((uint8_t)I.Op);
+      W.i32(I.A);
+      W.i32(I.B);
+      W.i32(I.C);
+      W.i64(I.Imm);
+    }
+    W.u32((uint32_t)F.Descs.size());
+    for (const CallDesc &D : F.Descs) {
+      W.u32((uint32_t)D.Args.size());
+      for (uint16_t A : D.Args)
+        W.u32(A);
+      W.u32((uint32_t)D.Dsts.size());
+      for (uint16_t A : D.Dsts)
+        W.u32(A);
+    }
+    W.i32(F.Slot);
+    W.i32(F.OwnerClassId);
+    W.i32(G.indexOrNull(F.SourceFuncTy));
+    W.i32(G.indexOrNull(F.BoundFuncTy));
+  }
+
+  W.i32(M.MainId);
+  W.i32(M.InitId);
+}
+
+bool readDescRegs(Reader &R, uint32_t NumRegs, std::vector<uint16_t> &Out) {
+  uint32_t N = R.count(4);
+  Out.reserve(N);
+  for (uint32_t I = 0; R.ok() && I != N; ++I) {
+    uint32_t Reg = R.u32();
+    if (Reg >= NumRegs || Reg > 0xFFFF) {
+      R.fail("call descriptor register out of range");
+      return false;
+    }
+    Out.push_back((uint16_t)Reg);
+  }
+  return R.ok();
+}
+
+/// Index-range checks for every statically unambiguous table the VM
+/// indexes with an instruction operand: function/class/string/global/
+/// type ids, call descriptors, and jump targets. Register operands are
+/// not re-verified per-op (operand roles vary by opcode); the payload
+/// checksum is the integrity gate for those.
+bool validateFunction(Reader &R, const BcModule &M, const BcFunction &F) {
+  size_t NumFuncs = M.Functions.size();
+  size_t NumClasses = M.Classes.size();
+  auto checkDesc = [&](int32_t A) {
+    if (A < 0 || (size_t)A >= F.Descs.size())
+      R.fail("call descriptor index out of range");
+  };
+  for (const BcInstr &I : F.Code) {
+    switch (I.Op) {
+    case BcOp::ConstStr:
+      if (I.Imm < 0 || (size_t)I.Imm >= M.Strings.size())
+        R.fail("string index out of range");
+      break;
+    case BcOp::NewObj:
+    case BcOp::CastClass:
+    case BcOp::QueryClass:
+      if (I.Imm < 0 || (size_t)I.Imm >= NumClasses)
+        R.fail("class id out of range");
+      break;
+    case BcOp::NewArr:
+      if (I.Imm < 0 || I.Imm > (int64_t)ElemKind::Void)
+        R.fail("invalid array element kind");
+      break;
+    case BcOp::LdG:
+    case BcOp::StG:
+      if (I.Imm < 0 || (size_t)I.Imm >= M.GlobalKinds.size())
+        R.fail("global index out of range");
+      break;
+    case BcOp::CallF:
+      checkDesc(I.A);
+      if (I.Imm < 0 || (size_t)I.Imm >= NumFuncs)
+        R.fail("callee function id out of range");
+      break;
+    case BcOp::CallV:
+    case BcOp::CallInd:
+    case BcOp::CallB:
+    case BcOp::RetOp:
+      checkDesc(I.A);
+      break;
+    case BcOp::MkClo:
+      if (I.Imm < 0 || (size_t)I.Imm >= NumFuncs)
+        R.fail("closure function id out of range");
+      break;
+    case BcOp::CastFunc:
+    case BcOp::QueryFunc:
+      if (I.Imm < 0 || (size_t)I.Imm >= M.TypeTable.size())
+        R.fail("type-table index out of range");
+      break;
+    case BcOp::Jmp:
+    case BcOp::JmpIfFalse:
+      if (I.Imm < 0 || (size_t)I.Imm >= F.Code.size())
+        R.fail("jump target out of range");
+      break;
+    case BcOp::TrapOp:
+      if (I.Imm < 0 || I.Imm > (int64_t)TrapKind::Unreachable)
+        R.fail("invalid trap kind");
+      break;
+    default:
+      break;
+    }
+    if (!R.ok())
+      return false;
+  }
+  return true;
+}
+
+bool readPayload(Reader &R, TypeStore &Store, BcModule &M) {
+  uint32_t NumStrings = R.count(4);
+  M.Strings.reserve(NumStrings);
+  for (uint32_t I = 0; R.ok() && I != NumStrings; ++I)
+    M.Strings.push_back(R.str());
+
+  TypeTables T;
+  if (!readTypeGraph(R, Store, T))
+    return false;
+
+  uint32_t NumTableTypes = R.count(4);
+  M.TypeTable.reserve(NumTableTypes);
+  for (uint32_t I = 0; R.ok() && I != NumTableTypes; ++I)
+    M.TypeTable.push_back(T.type(R, R.u32()));
+
+  if (!readSlotKinds(R, M.GlobalKinds))
+    return false;
+
+  uint32_t NumClasses = R.count();
+  M.Classes.reserve(NumClasses);
+  for (uint32_t I = 0; R.ok() && I != NumClasses; ++I) {
+    BcClass C;
+    C.Name = R.str();
+    C.ParentId = R.i32();
+    C.Depth = R.u32();
+    if (C.ParentId < -1 || C.ParentId >= (int)NumClasses) {
+      R.fail("class parent id out of range");
+      return false;
+    }
+    if (!readSlotKinds(R, C.FieldKinds))
+      return false;
+    uint32_t NumVt = R.count(4);
+    C.VTable.reserve(NumVt);
+    for (uint32_t J = 0; R.ok() && J != NumVt; ++J)
+      C.VTable.push_back(R.i32());
+    M.Classes.push_back(std::move(C));
+  }
+
+  uint32_t NumFuncs = R.count();
+  M.Functions.reserve(NumFuncs);
+  for (uint32_t I = 0; R.ok() && I != NumFuncs; ++I) {
+    BcFunction F;
+    F.Name = R.str();
+    F.NumRegs = R.u32();
+    F.NumParams = R.u32();
+    F.NumRets = R.u32();
+    if (!readSlotKinds(R, F.RegKinds))
+      return false;
+    if (R.ok() && (F.RegKinds.size() != F.NumRegs ||
+                   F.NumParams > F.NumRegs)) {
+      R.fail("inconsistent register counts");
+      return false;
+    }
+    uint32_t NumInstrs = R.count(21);
+    F.Code.reserve(NumInstrs);
+    for (uint32_t J = 0; R.ok() && J != NumInstrs; ++J) {
+      BcInstr In;
+      uint8_t Op = R.u8();
+      if (Op > (uint8_t)BcOp::TrapOp) {
+        R.fail("invalid opcode");
+        return false;
+      }
+      In.Op = (BcOp)Op;
+      In.A = R.i32();
+      In.B = R.i32();
+      In.C = R.i32();
+      In.Imm = R.i64();
+      F.Code.push_back(In);
+    }
+    uint32_t NumDescs = R.count(8);
+    F.Descs.reserve(NumDescs);
+    for (uint32_t J = 0; R.ok() && J != NumDescs; ++J) {
+      CallDesc D;
+      if (!readDescRegs(R, F.NumRegs, D.Args) ||
+          !readDescRegs(R, F.NumRegs, D.Dsts))
+        return false;
+      F.Descs.push_back(std::move(D));
+    }
+    F.Slot = R.i32();
+    F.OwnerClassId = R.i32();
+    F.SourceFuncTy = T.typeOrNull(R, R.i32());
+    F.BoundFuncTy = T.typeOrNull(R, R.i32());
+    if (R.ok() && (F.OwnerClassId < -1 || F.OwnerClassId >= (int)NumClasses)) {
+      R.fail("owner class id out of range");
+      return false;
+    }
+    M.Functions.push_back(std::move(F));
+  }
+
+  M.MainId = R.i32();
+  M.InitId = R.i32();
+  if (!R.ok())
+    return false;
+  if (M.MainId < -1 || M.MainId >= (int)M.Functions.size() ||
+      M.InitId < -1 || M.InitId >= (int)M.Functions.size()) {
+    R.fail("entry point id out of range");
+    return false;
+  }
+  for (const BcClass &C : M.Classes)
+    for (int V : C.VTable)
+      if (V < -1 || V >= (int)M.Functions.size()) {
+        R.fail("vtable function id out of range");
+        return false;
+      }
+  for (const BcFunction &F : M.Functions)
+    if (!validateFunction(R, M, F))
+      return false;
+  if (R.remaining() != 0) {
+    R.fail("trailing bytes after module");
+    return false;
+  }
+  return R.ok();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public API
+//===----------------------------------------------------------------------===//
+
+uint64_t virgil::fnv1a64(std::string_view Bytes, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (char C : Bytes) {
+    H ^= (uint8_t)C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+LoadedModule::LoadedModule()
+    : Types(std::make_unique<TypeStore>()),
+      Module(std::make_unique<BcModule>()) {
+  Module->Types = Types.get();
+}
+
+LoadedModule::~LoadedModule() = default;
+
+std::string virgil::serializeModule(const BcModule &M,
+                                    uint32_t FormatVersion) {
+  TypeGraph G;
+  G.collect(M);
+
+  Writer Payload;
+  writePayload(Payload, M, G);
+  std::string Body = Payload.take();
+
+  Writer W;
+  W.u32(kMagic);
+  W.u32(FormatVersion);
+  W.u64(Body.size());
+  W.u64(fnv1a64(Body));
+  std::string Out = W.take();
+  Out += Body;
+  return Out;
+}
+
+bool virgil::peekFormatVersion(std::string_view Bytes,
+                               uint32_t *VersionOut) {
+  Reader R(Bytes);
+  if (R.u32() != kMagic || !R.ok())
+    return false;
+  uint32_t V = R.u32();
+  if (!R.ok())
+    return false;
+  *VersionOut = V;
+  return true;
+}
+
+std::unique_ptr<LoadedModule>
+virgil::deserializeModule(std::string_view Bytes, uint32_t ExpectVersion,
+                          std::string *ErrorOut) {
+  auto fail = [&](const char *Why) -> std::unique_ptr<LoadedModule> {
+    if (ErrorOut)
+      *ErrorOut = Why;
+    return nullptr;
+  };
+
+  Reader Header(Bytes);
+  if (Header.u32() != kMagic || !Header.ok())
+    return fail("bad magic");
+  uint32_t Version = Header.u32();
+  if (!Header.ok())
+    return fail("truncated header");
+  if (Version != ExpectVersion)
+    return fail("format version mismatch");
+  uint64_t Len = Header.u64();
+  uint64_t Hash = Header.u64();
+  if (!Header.ok())
+    return fail("truncated header");
+  std::string_view Body = Bytes.substr(kHeaderSize);
+  if (Body.size() != Len)
+    return fail("payload length mismatch");
+  if (fnv1a64(Body) != Hash)
+    return fail("payload checksum mismatch");
+
+  auto L = std::unique_ptr<LoadedModule>(new LoadedModule());
+  Reader R(Body);
+  if (!readPayload(R, *L->Types, *L->Module)) {
+    if (ErrorOut)
+      *ErrorOut = R.reason();
+    return nullptr;
+  }
+  return L;
+}

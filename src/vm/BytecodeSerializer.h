@@ -1,0 +1,85 @@
+//===- vm/BytecodeSerializer.h - BcModule <-> bytes -------------*- C++ -*-===//
+///
+/// \file
+/// Round-trips a complete BcModule to a versioned, checksummed binary
+/// format so compiled artifacts can outlive the compilation that
+/// produced them (the compile service's on-disk cache). The format
+/// captures everything the VM needs to run the module:
+///
+///   * functions (code, register kinds, call descriptors, dispatch
+///     slots, first-class function types),
+///   * classes (field kinds, vtables, class-id subtype chains),
+///   * globals, strings, and the cast/query type table,
+///   * a structural encoding of the type graph reachable from the
+///     module, so a deserialized module owns a fresh TypeStore and is
+///     fully divorced from the front-end that emitted it.
+///
+/// Robustness contract: deserializeModule never crashes on malformed
+/// input. The header carries the format version and an FNV-1a checksum
+/// of the payload; truncation, bit corruption, or a version mismatch
+/// all yield a null result (the cache then falls back to a clean
+/// recompile).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_VM_BYTECODESERIALIZER_H
+#define VIRGIL_VM_BYTECODESERIALIZER_H
+
+#include "types/TypeStore.h"
+#include "vm/Bytecode.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace virgil {
+
+/// Version of the on-disk bytecode format. Bump on ANY layout change;
+/// readers reject mismatched versions and the cache recompiles.
+constexpr uint32_t kBcFormatVersion = 1;
+
+/// A BcModule deserialized from bytes. Owns the TypeStore backing the
+/// module's type table (casts/queries on first-class functions consult
+/// it at runtime).
+class LoadedModule {
+public:
+  LoadedModule();
+  ~LoadedModule();
+  LoadedModule(const LoadedModule &) = delete;
+  LoadedModule &operator=(const LoadedModule &) = delete;
+
+  BcModule &module() { return *Module; }
+  const BcModule &module() const { return *Module; }
+  TypeStore &types() { return *Types; }
+
+private:
+  friend std::unique_ptr<LoadedModule>
+  deserializeModule(std::string_view, uint32_t, std::string *);
+
+  std::unique_ptr<TypeStore> Types;
+  std::unique_ptr<BcModule> Module;
+};
+
+/// Serializes \p M with header, \p FormatVersion, and payload checksum.
+std::string serializeModule(const BcModule &M,
+                            uint32_t FormatVersion = kBcFormatVersion);
+
+/// Deserializes \p Bytes; returns null on truncation, corruption, or a
+/// format version other than \p ExpectVersion (reason in \p ErrorOut).
+std::unique_ptr<LoadedModule>
+deserializeModule(std::string_view Bytes,
+                  uint32_t ExpectVersion = kBcFormatVersion,
+                  std::string *ErrorOut = nullptr);
+
+/// Reads just the format version out of a serialized header (cache
+/// eviction sweeps); false if the header is malformed.
+bool peekFormatVersion(std::string_view Bytes, uint32_t *VersionOut);
+
+/// FNV-1a 64-bit over \p Bytes, chainable through \p Seed (cache keys
+/// and payload checksums).
+uint64_t fnv1a64(std::string_view Bytes,
+                 uint64_t Seed = 0xcbf29ce484222325ull);
+
+} // namespace virgil
+
+#endif // VIRGIL_VM_BYTECODESERIALIZER_H

@@ -1,0 +1,292 @@
+//===- tests/ServiceTest.cpp - CompileService + BytecodeCache -------------===//
+///
+/// \file
+/// The service layer's contract: batches are deterministic at any job
+/// count; the cache misses cold and hits warm; a format-version bump
+/// invalidates and evicts old entries; and a corrupted (truncated or
+/// bit-rotted) cache entry falls back to a clean recompile — correct
+/// results, no trap, no stale module.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "corpus/Generators.h"
+#include "service/CompileService.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+using namespace virgil;
+
+namespace {
+
+/// A unique cache directory under the system temp dir, removed on
+/// scope exit.
+class TempCacheDir {
+public:
+  explicit TempCacheDir(const std::string &Tag) {
+    static int Counter = 0;
+    Path = (fs::temp_directory_path() /
+            ("virgil-service-test-" + std::to_string(::getpid()) + "-" +
+             Tag + "-" + std::to_string(Counter++)))
+               .string();
+    fs::remove_all(Path);
+  }
+  ~TempCacheDir() {
+    std::error_code Ec;
+    fs::remove_all(Path, Ec);
+  }
+  const std::string &str() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+std::vector<CompileJob> corpusJobs() {
+  std::vector<CompileJob> Jobs;
+  for (const corpus::CorpusProgram &P : corpus::allPrograms())
+    Jobs.push_back({P.Name, P.Source});
+  return Jobs;
+}
+
+size_t countEntries(const std::string &Dir) {
+  size_t N = 0;
+  for (const auto &E : fs::directory_iterator(Dir))
+    N += E.path().extension() == ".vbc";
+  return N;
+}
+
+TEST(ServiceTest, ColdBatchMissesWarmBatchHits) {
+  TempCacheDir Dir("warm");
+  ServiceOptions O;
+  O.Jobs = 4;
+  O.CacheDir = Dir.str();
+  std::vector<CompileJob> Jobs = corpusJobs();
+
+  CompileService Service(O);
+  auto Cold = Service.compileBatch(Jobs);
+  BatchStats S1 = Service.lastBatchStats();
+  EXPECT_EQ(S1.Jobs, Jobs.size());
+  EXPECT_EQ(S1.Failed, 0u);
+  EXPECT_EQ(S1.Hits, 0u);
+  EXPECT_EQ(S1.Misses, Jobs.size());
+  EXPECT_EQ(countEntries(Dir.str()), Jobs.size());
+  // Misses carry phase timings (the compile actually ran).
+  EXPECT_GT(S1.Phases.TotalMs, 0.0);
+
+  auto Warm = Service.compileBatch(Jobs);
+  BatchStats S2 = Service.lastBatchStats();
+  EXPECT_EQ(S2.Failed, 0u);
+  EXPECT_EQ(S2.Hits, Jobs.size());
+  EXPECT_EQ(S2.Misses, 0u);
+  EXPECT_DOUBLE_EQ(S2.hitRatePct(), 100.0);
+  // Hits skipped the front-end entirely: no phase time accrued.
+  EXPECT_DOUBLE_EQ(S2.Phases.TotalMs, 0.0);
+
+  // Hit modules behave identically to fresh compiles.
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    ASSERT_TRUE(Cold[I].Ok && Warm[I].Ok) << Jobs[I].Name;
+    EXPECT_FALSE(Cold[I].CacheHit);
+    EXPECT_TRUE(Warm[I].CacheHit);
+    EXPECT_TRUE(Warm[I].Unit->fromCache());
+    VmResult A = Cold[I].Unit->runVm();
+    VmResult B = Warm[I].Unit->runVm();
+    EXPECT_EQ(A.Trapped, B.Trapped) << Jobs[I].Name;
+    EXPECT_EQ(A.ResultBits, B.ResultBits) << Jobs[I].Name;
+    EXPECT_EQ(A.Output, B.Output) << Jobs[I].Name;
+    EXPECT_EQ(A.Counters.Instrs, B.Counters.Instrs) << Jobs[I].Name;
+  }
+}
+
+TEST(ServiceTest, ParallelBatchMatchesSerial) {
+  std::vector<CompileJob> Jobs;
+  for (uint32_t Seed = 1; Seed <= 12; ++Seed)
+    Jobs.push_back({"random-" + std::to_string(Seed),
+                    corpus::genRandomProgram(Seed)});
+
+  ServiceOptions Serial;
+  Serial.Jobs = 1;
+  CompileService S1(Serial);
+  auto A = S1.compileBatch(Jobs);
+
+  ServiceOptions Parallel;
+  Parallel.Jobs = 4;
+  CompileService S4(Parallel);
+  auto B = S4.compileBatch(Jobs);
+
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Ok, B[I].Ok) << Jobs[I].Name;
+    ASSERT_TRUE(A[I].Ok) << A[I].Error;
+    VmResult Ra = A[I].Unit->runVm();
+    VmResult Rb = B[I].Unit->runVm();
+    EXPECT_EQ(Ra.Trapped, Rb.Trapped) << Jobs[I].Name;
+    EXPECT_EQ(Ra.ResultBits, Rb.ResultBits) << Jobs[I].Name;
+    EXPECT_EQ(Ra.Output, Rb.Output) << Jobs[I].Name;
+  }
+}
+
+TEST(ServiceTest, FailedJobsReportErrorsOthersSucceed) {
+  ServiceOptions O;
+  O.Jobs = 4;
+  std::vector<CompileJob> Jobs = {
+      {"good", "def main() -> int { return 1; }"},
+      {"bad-syntax", "def main( -> int { return 2; }"},
+      {"bad-types", "def main() -> int { return true; }"},
+      {"good2", "def main() -> int { return 4; }"},
+  };
+  CompileService Service(O);
+  auto R = Service.compileBatch(Jobs);
+  EXPECT_TRUE(R[0].Ok);
+  EXPECT_FALSE(R[1].Ok);
+  EXPECT_FALSE(R[1].Error.empty());
+  EXPECT_EQ(R[1].Unit, nullptr);
+  EXPECT_FALSE(R[2].Ok);
+  EXPECT_TRUE(R[3].Ok);
+  BatchStats S = Service.lastBatchStats();
+  EXPECT_EQ(S.Succeeded, 2u);
+  EXPECT_EQ(S.Failed, 2u);
+}
+
+TEST(ServiceTest, DuplicateSourcesShareOneCacheEntry) {
+  TempCacheDir Dir("dup");
+  ServiceOptions O;
+  O.Jobs = 4;
+  O.CacheDir = Dir.str();
+  std::string Source = corpus::program("fib").Source;
+  std::vector<CompileJob> Jobs = {
+      {"a", Source}, {"b", Source}, {"c", Source}, {"d", Source}};
+  CompileService Service(O);
+  auto R = Service.compileBatch(Jobs);
+  for (size_t I = 0; I != R.size(); ++I)
+    EXPECT_TRUE(R[I].Ok) << R[I].Error;
+  // Identical content hashes to one address (workers may race to
+  // store it, but the entry count must still be 1).
+  EXPECT_EQ(countEntries(Dir.str()), 1u);
+  Service.compileBatch(Jobs);
+  EXPECT_EQ(Service.lastBatchStats().Hits, 4u);
+}
+
+TEST(ServiceTest, CorruptedEntryRecompilesCleanly) {
+  TempCacheDir Dir("corrupt");
+  ServiceOptions O;
+  O.Jobs = 2;
+  O.CacheDir = Dir.str();
+  std::vector<CompileJob> Jobs = {
+      {"sort", corpus::program("sort_pairs").Source},
+      {"fib", corpus::program("fib").Source},
+  };
+  CompileService Service(O);
+  auto Cold = Service.compileBatch(Jobs);
+  ASSERT_TRUE(Cold[0].Ok && Cold[1].Ok);
+
+  // Hand-corrupt every entry: truncate one, bit-flip the other.
+  std::vector<fs::path> Entries;
+  for (const auto &E : fs::directory_iterator(Dir.str()))
+    if (E.path().extension() == ".vbc")
+      Entries.push_back(E.path());
+  ASSERT_EQ(Entries.size(), 2u);
+  {
+    // Truncation.
+    auto Size = fs::file_size(Entries[0]);
+    fs::resize_file(Entries[0], Size / 2);
+    // Bit rot in the payload.
+    std::fstream F(Entries[1],
+                   std::ios::in | std::ios::out | std::ios::binary);
+    F.seekp(48);
+    char Byte = 0;
+    F.seekg(48);
+    F.get(Byte);
+    F.seekp(48);
+    F.put((char)(Byte ^ 0xFF));
+  }
+
+  auto Warm = Service.compileBatch(Jobs);
+  BatchStats S = Service.lastBatchStats();
+  // No hit, no trap, no stale module: both jobs recompiled cleanly.
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Failed, 0u);
+  CacheStats CS = Service.cache()->stats();
+  EXPECT_EQ(CS.CorruptEvictions, 2u);
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    ASSERT_TRUE(Warm[I].Ok) << Warm[I].Error;
+    EXPECT_FALSE(Warm[I].CacheHit);
+    EXPECT_FALSE(Warm[I].Unit->fromCache());
+    VmResult A = Cold[I].Unit->runVm();
+    VmResult B = Warm[I].Unit->runVm();
+    EXPECT_FALSE(B.Trapped) << B.TrapMessage;
+    EXPECT_EQ(A.ResultBits, B.ResultBits);
+    EXPECT_EQ(A.Output, B.Output);
+  }
+
+  // The healed entries hit again on the next batch.
+  Service.compileBatch(Jobs);
+  EXPECT_EQ(Service.lastBatchStats().Hits, 2u);
+}
+
+TEST(ServiceTest, VersionBumpInvalidatesAndEvicts) {
+  TempCacheDir Dir("version");
+  std::string Source = "def main() -> int { return 9; }";
+  CompilerOptions CO;
+
+  // Populate with version V.
+  BytecodeCache CacheV(Dir.str(), kBcFormatVersion);
+  {
+    Compiler C(CO);
+    std::string Error;
+    auto P = C.compile("v", Source, &Error);
+    ASSERT_NE(P, nullptr) << Error;
+    uint64_t Key = CacheV.keyFor(Source, CO);
+    ASSERT_TRUE(CacheV.store(Key, P->bytecode()));
+    EXPECT_NE(CacheV.load(Key), nullptr);
+  }
+
+  // A version bump changes the content address: the old entry is not
+  // even consulted for the new key.
+  BytecodeCache CacheV1(Dir.str(), kBcFormatVersion + 1);
+  EXPECT_NE(CacheV.keyFor(Source, CO), CacheV1.keyFor(Source, CO));
+  EXPECT_EQ(CacheV1.load(CacheV1.keyFor(Source, CO)), nullptr);
+  EXPECT_EQ(CacheV1.stats().Misses, 1u);
+
+  // If a stale-version file somehow sits at the consulted address
+  // (same key, old header), the loader rejects and deletes it.
+  uint64_t SharedKey = 0x1234;
+  {
+    Compiler C(CO);
+    std::string Error;
+    auto P = C.compile("v", Source, &Error);
+    ASSERT_NE(P, nullptr);
+    ASSERT_TRUE(CacheV.store(SharedKey, P->bytecode()));
+  }
+  EXPECT_EQ(CacheV1.load(SharedKey), nullptr);
+  EXPECT_EQ(CacheV1.stats().VersionEvictions, 1u);
+  EXPECT_FALSE(fs::exists(CacheV1.entryPath(SharedKey)));
+
+  // Bulk sweep: the remaining version-V entry is evicted, and the
+  // directory is empty afterwards.
+  EXPECT_EQ(countEntries(Dir.str()), 1u);
+  EXPECT_EQ(CacheV1.evictMismatched(), 1u);
+  EXPECT_EQ(countEntries(Dir.str()), 0u);
+}
+
+TEST(ServiceTest, CacheKeyTracksOptionsAndSource) {
+  CompilerOptions A;
+  CompilerOptions NoOpt;
+  NoOpt.Optimize = false;
+  CompilerOptions NoInline;
+  NoInline.Opt.Inline = false;
+  std::string S1 = "def main() -> int { return 1; }";
+  std::string S2 = "def main() -> int { return 2; }";
+  uint64_t Base = BytecodeCache::keyFor(S1, A, kBcFormatVersion);
+  EXPECT_NE(Base, BytecodeCache::keyFor(S2, A, kBcFormatVersion));
+  EXPECT_NE(Base, BytecodeCache::keyFor(S1, NoOpt, kBcFormatVersion));
+  EXPECT_NE(Base, BytecodeCache::keyFor(S1, NoInline, kBcFormatVersion));
+  EXPECT_NE(Base, BytecodeCache::keyFor(S1, A, kBcFormatVersion + 1));
+  EXPECT_EQ(Base, BytecodeCache::keyFor(S1, A, kBcFormatVersion));
+}
+
+} // namespace

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+#===- tools/check_cache_roundtrip.sh - service cache smoke test ----------===#
+#
+# Batch-compiles examples/v3/*.v3 twice through `virgilc batch` with a
+# fresh cache directory and asserts:
+#   * virgilc with no input exits non-zero with a usage message,
+#   * the cold run has zero hits and populates the cache,
+#   * the warm run reports a 100% hit rate,
+#   * cached modules still execute correctly (--run outputs match).
+#
+# usage: check_cache_roundtrip.sh [path-to-virgilc] [examples-dir]
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+VIRGILC=${1:-build/tools/virgilc}
+EXAMPLES=${2:-examples/v3}
+
+if [ ! -x "$VIRGILC" ]; then
+  echo "FAIL: virgilc not found at $VIRGILC (build first)" >&2
+  exit 1
+fi
+
+CACHE=$(mktemp -d)
+trap 'rm -rf "$CACHE"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# No input file and no -e source must print usage and exit non-zero,
+# not silently compile an empty program.
+if "$VIRGILC" >/dev/null 2>&1; then
+  fail "virgilc with no input should exit non-zero"
+fi
+("$VIRGILC" 2>&1 || true) | grep -q "usage:" \
+  || fail "virgilc with no input should print usage"
+if "$VIRGILC" batch >/dev/null 2>&1; then
+  fail "virgilc batch with no files should exit non-zero"
+fi
+
+FILES=("$EXAMPLES"/*.v3)
+N=${#FILES[@]}
+[ "$N" -gt 0 ] || fail "no .v3 examples found under $EXAMPLES"
+
+COLD=$("$VIRGILC" batch --jobs 4 --cache-dir "$CACHE" --run "${FILES[@]}")
+echo "$COLD"
+echo "$COLD" | grep -q "\"hits\":0," || fail "cold run should have 0 hits"
+echo "$COLD" | grep -q "\"failed\":0," || fail "cold run should have 0 failures"
+[ "$(ls "$CACHE"/*.vbc 2>/dev/null | wc -l)" -eq "$N" ] \
+  || fail "cold run should leave $N cache entries"
+
+WARM=$("$VIRGILC" batch --jobs 4 --cache-dir "$CACHE" --run "${FILES[@]}")
+echo "$WARM"
+echo "$WARM" | grep -q "\"hits\":$N," || fail "warm run should hit all $N entries"
+echo "$WARM" | grep -q "\"hit_rate_pct\":100.0" || fail "warm hit rate should be 100%"
+
+# Deterministic artifacts: everything after the status tags (program
+# output, results) must be identical cold vs warm.
+strip() { grep -v -e '^\[hit \]' -e '^\[miss\]' -e '^batch:' -e '^{'; }
+if [ "$(echo "$COLD" | strip)" != "$(echo "$WARM" | strip)" ]; then
+  fail "cold and warm runs produced different program output"
+fi
+
+echo "PASS: $N examples, cold 0 hits -> warm 100% hit rate, identical output"

@@ -10,20 +10,36 @@
 ///   --dump-ir       print the polymorphic IR
 ///   --dump-mono     print the monomorphized (optimized) IR
 ///   --dump-norm     print the normalized (optimized) IR
-///   --stats         print pipeline statistics
+///   --stats         print pipeline statistics (including phase timings)
 ///   --no-opt        disable the optimizer
 ///   -e <source>     compile <source> text instead of a file
+///
+/// `virgilc batch [options] <files...>` — compiles many programs
+/// through the parallel compile service, with an optional
+/// content-addressed bytecode cache:
+///
+///   --jobs N        worker threads (default 1; 0 = all cores)
+///   --cache-dir D   enable the on-disk bytecode cache at D
+///   --run           also execute each compiled module on the VM
+///   --stats         print aggregate per-phase compile timings
+///   --no-opt        disable the optimizer
+///
+/// Per-job status lines are followed by an aggregate summary and a
+/// machine-readable JSON line (hit rate, wall time) for scripts.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "ast/AstPrinter.h"
 #include "core/Compiler.h"
 #include "ir/IrPrinter.h"
+#include "service/CompileService.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace virgil;
 
@@ -31,10 +47,124 @@ static void usage() {
   std::fprintf(stderr,
                "usage: virgilc [--interp] [--dump-ast|--dump-ir|"
                "--dump-mono|--dump-norm] [--stats] [--no-opt] "
-               "(file.v3 | -e <source>)\n");
+               "(file.v3 | -e <source>)\n"
+               "       virgilc batch [--jobs N] [--cache-dir D] [--run] "
+               "[--stats] [--no-opt] <files...>\n");
 }
 
+static bool readWholeFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// batch mode
+//===----------------------------------------------------------------------===//
+
+static int runBatch(int Argc, char **Argv) {
+  ServiceOptions Options;
+  bool RunVm = false, ShowStats = false;
+  std::vector<std::string> Paths;
+
+  for (int I = 0; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--jobs" && I + 1 < Argc) {
+      Options.Jobs = std::atoi(Argv[++I]);
+      if (Options.Jobs < 0) {
+        std::fprintf(stderr, "virgilc: --jobs must be >= 0\n");
+        return 2;
+      }
+    } else if (Arg == "--cache-dir" && I + 1 < Argc) {
+      Options.CacheDir = Argv[++I];
+    } else if (Arg == "--run") {
+      RunVm = true;
+    } else if (Arg == "--stats") {
+      ShowStats = true;
+    } else if (Arg == "--no-opt") {
+      Options.Compile.Optimize = false;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "virgilc: unknown batch option '%s'\n",
+                   Arg.c_str());
+      usage();
+      return 2;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::vector<CompileJob> Jobs;
+  Jobs.reserve(Paths.size());
+  for (const std::string &Path : Paths) {
+    CompileJob Job;
+    Job.Name = Path;
+    if (!readWholeFile(Path, Job.Source)) {
+      std::fprintf(stderr, "virgilc: cannot open '%s'\n", Path.c_str());
+      return 2;
+    }
+    Jobs.push_back(std::move(Job));
+  }
+
+  CompileService Service(Options);
+  std::vector<JobResult> Results = Service.compileBatch(Jobs);
+
+  bool AnyFailed = false;
+  for (JobResult &R : Results) {
+    const char *Tag = !R.Ok ? "fail" : R.CacheHit ? "hit " : "miss";
+    if (R.Ok) {
+      std::printf("[%s] %-40s %10.2f ms\n", Tag, R.Name.c_str(), R.Ms);
+    } else {
+      AnyFailed = true;
+      std::string FirstLine = R.Error.substr(0, R.Error.find('\n'));
+      std::printf("[%s] %-40s %s\n", Tag, R.Name.c_str(),
+                  FirstLine.c_str());
+    }
+    if (R.Ok && RunVm) {
+      VmResult V = R.Unit->runVm();
+      std::fputs(V.Output.c_str(), stdout);
+      if (V.Trapped) {
+        AnyFailed = true;
+        std::printf("  -> trap: %s\n", V.TrapMessage.c_str());
+      } else if (V.HasResult) {
+        std::printf("  -> result %lld\n", (long long)V.ResultBits);
+      }
+    }
+  }
+
+  const BatchStats &S = Service.lastBatchStats();
+  std::printf("batch: %zu jobs, %zu ok, %zu failed", S.Jobs, S.Succeeded,
+              S.Failed);
+  if (Service.cache())
+    std::printf("; cache: %zu hits / %zu misses (%.1f%% hit rate)",
+                S.Hits, S.Misses, S.hitRatePct());
+  std::printf("; wall %.2f ms (%.2f ms of job time)\n", S.WallMs,
+              S.TotalJobMs);
+  if (ShowStats)
+    std::printf("phases: %s\n", S.Phases.toString().c_str());
+  std::printf("{\"jobs\":%d,\"files\":%zu,\"ok\":%zu,\"failed\":%zu,"
+              "\"hits\":%zu,\"misses\":%zu,\"hit_rate_pct\":%.1f,"
+              "\"wall_ms\":%.2f}\n",
+              Options.Jobs, S.Jobs, S.Succeeded, S.Failed, S.Hits,
+              S.Misses, S.hitRatePct(), S.WallMs);
+  return AnyFailed ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// single-file mode
+//===----------------------------------------------------------------------===//
+
 int main(int Argc, char **Argv) {
+  if (Argc >= 2 && std::string(Argv[1]) == "batch")
+    return runBatch(Argc - 2, Argv + 2);
+
   bool UseInterp = false, DumpAst = false, DumpIr = false;
   bool DumpMono = false, DumpNorm = false, ShowStats = false;
   CompilerOptions Options;
@@ -61,25 +191,24 @@ int main(int Argc, char **Argv) {
       Source = Argv[++I];
       HaveSource = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "virgilc: unknown option '%s'\n", Arg.c_str());
       usage();
       return 2;
     } else {
       Path = Arg;
     }
   }
+  // No input at all: report usage and fail rather than compiling an
+  // empty program.
   if (!HaveSource) {
     if (Path.empty()) {
       usage();
       return 2;
     }
-    std::ifstream In(Path);
-    if (!In) {
+    if (!readWholeFile(Path, Source)) {
       std::fprintf(stderr, "virgilc: cannot open '%s'\n", Path.c_str());
       return 2;
     }
-    std::ostringstream Buf;
-    Buf << In.rdbuf();
-    Source = Buf.str();
     Name = Path;
   }
 
@@ -104,6 +233,7 @@ int main(int Argc, char **Argv) {
     std::printf("mono: %s (expansion %.2fx functions)\n",
                 S.MonoIr.toString().c_str(), S.Mono.functionExpansion());
     std::printf("norm: %s\n", S.NormIr.toString().c_str());
+    std::printf("time: %s\n", S.Timings.toString().c_str());
   }
   if (DumpAst || DumpIr || DumpMono || DumpNorm)
     return 0;
