@@ -305,6 +305,15 @@ public:
       }
     }
     L << ')';
+    if (M->HasSuper) {
+      L << " super(";
+      for (size_t I = 0; I != M->SuperArgs.size(); ++I) {
+        if (I)
+          L << ", ";
+        printExpr(M->SuperArgs[I]);
+      }
+      L << ')';
+    }
     if (M->RetTypeRef) {
       L << " -> ";
       printTypeRef(M->RetTypeRef);

@@ -331,27 +331,39 @@ std::string corpus::genThroughputProgram(int Classes) {
 // Random differential-fuzzing programs
 //===----------------------------------------------------------------------===//
 
+std::string corpus::GenConfig::summary() const {
+  std::string S;
+  auto add = [&](bool On, const char *Name) {
+    if (!On)
+      return;
+    if (!S.empty())
+      S += ',';
+    S += Name;
+  };
+  add(VirtualDispatch, "virtual-dispatch");
+  add(NestedTuples, "nested-tuples");
+  add(HigherOrder, "higher-order");
+  add(DeepGenerics, "deep-generics");
+  add(OperatorValues, "operator-values");
+  add(CastChains, "cast-chains");
+  add(Loops, "loops");
+  return S.empty() ? "none" : S;
+}
+
 namespace {
+
+using corpus::GenConfig;
 
 /// Deterministic generator state for random programs.
 class ProgramGen {
 public:
-  explicit ProgramGen(uint32_t Seed) : State(Seed * 2654435761u + 1) {}
+  ProgramGen(uint32_t Seed, const GenConfig &Config)
+      : Config(Config), State(Seed * 2654435761u + 1) {}
 
   std::string run() {
-    // A small class pair (base + override) every program can use, a
-    // few helper functions with random signatures, then main.
-    OS << "class Cell {\n"
-       << "  var a: int;\n"
-       << "  var b: (int, int);\n"
-       << "  new(a, b) { }\n"
-       << "  def sum() -> int { return a + b.0 + b.1; }\n"
-       << "}\n"
-       << "class WeightedCell extends Cell {\n"
-       << "  new(a: int, b: (int, int)) super(a, b) { }\n"
-       << "  def sum() -> int { return a * 2 + b.0 - b.1; }\n"
-       << "}\n";
-    int NumFuncs = 2 + (int)(next() % 3);
+    genPrelude();
+    int MaxFuncs = Config.MaxFuncs < 2 ? 2 : Config.MaxFuncs;
+    int NumFuncs = 2 + range(MaxFuncs - 1);
     for (int F = 0; F != NumFuncs; ++F)
       genFunction(F);
     genMain(NumFuncs);
@@ -359,6 +371,108 @@ public:
   }
 
 private:
+  /// Fixed helper declarations; each config toggle contributes its own
+  /// block, so a disabled feature is absent from the whole program.
+  void genPrelude() {
+    if (Config.VirtualDispatch) {
+      // A base/override pair used behind the base type.
+      OS << "class Cell {\n"
+         << "  var a: int;\n"
+         << "  var b: (int, int);\n"
+         << "  new(a, b) { }\n"
+         << "  def sum() -> int { return a + b.0 + b.1; }\n"
+         << "}\n"
+         << "class WeightedCell extends Cell {\n"
+         << "  new(a: int, b: (int, int)) super(a, b) { }\n"
+         << "  def sum() -> int { return a * 2 + b.0 - b.1; }\n"
+         << "}\n"
+         << "def cellSum(c: Cell) -> int { return c.sum(); }\n";
+    }
+    if (Config.NestedTuples) {
+      // Tuples nested in an array and in fields, read back through
+      // projections (normalizer stress: scalarized fields + arrays of
+      // flattened tuples).
+      OS << "class Grid {\n"
+         << "  var cells: Array<(int, int)>;\n"
+         << "  var corner: ((int, int), int);\n"
+         << "  new(n: int, corner) {\n"
+         << "    cells = Array<(int, int)>.new(n);\n";
+      // The Loops toggle governs every loop in the program, prelude
+      // included, so `--gen-off loops` output is loop-free.
+      if (Config.Loops)
+        OS << "    for (i = 0; i < n; i = i + 1) cells[i] = (i * 3, i - 1);\n";
+      else
+        OS << "    if (n > 0) cells[0] = (3, 7);\n";
+      OS << "  }\n"
+         << "  def at(i: int) -> (int, int) {\n"
+         << "    return cells[((i % cells.length) + cells.length) "
+            "% cells.length];\n"
+         << "  }\n"
+         << "  def total() -> int {\n"
+         << "    var s = 0;\n";
+      if (Config.Loops)
+        OS << "    for (i = 0; i < cells.length; i = i + 1) "
+              "s = s + cells[i].0 + cells[i].1;\n";
+      else
+        OS << "    if (cells.length > 0) s = cells[0].0 + cells[0].1;\n";
+      OS << "    return s + corner.0.0 + corner.0.1 + corner.1;\n"
+         << "  }\n"
+         << "}\n";
+    }
+    if (Config.HigherOrder) {
+      OS << "def step(a: int) -> int { return a * 2 - 3; }\n"
+         << "def hof(f: int -> int, x: int) -> int { return f(f(x)); }\n";
+    }
+    if (Config.DeepGenerics) {
+      // Type-parameter nesting depth 3 on a class and on explicit
+      // function type arguments.
+      OS << "def id<T>(x: T) -> T { return x; }\n"
+         << "class Box<T> {\n"
+         << "  var v: T;\n"
+         << "  new(v) { }\n"
+         << "  def get() -> T { return v; }\n"
+         << "}\n"
+         << "def deep3(k: int) -> int {\n"
+         << "  var b = Box<Box<Box<int>>>.new(Box.new(Box.new(k)));\n"
+         << "  var t = id<((int, int), int)>(((k, k + 1), k + 2));\n"
+         << "  return id<Box<Box<Box<int>>>>(b).v.get().v "
+            "+ t.0.0 + t.0.1 + t.1;\n"
+         << "}\n";
+    }
+    if (Config.OperatorValues) {
+      // ==, !=, ? as first-class values (§2.2's universal operators).
+      OS << "def opsProbe(a: int, b: int) -> int {\n"
+         << "  var eq = int.==;\n"
+         << "  var ne = (int, int).!=;\n"
+         << "  var isInt = int.?<int>;\n"
+         << "  var r = 0;\n"
+         << "  if (eq(a, b)) r = r + 1;\n"
+         << "  if (ne((a, b), (b, a))) r = r + 2;\n"
+         << "  if (isInt(a)) r = r + 4;\n"
+         << "  return r;\n"
+         << "}\n";
+    }
+    if (Config.CastChains) {
+      // §3.3 ad-hoc polymorphism: a query/cast chain over the pool
+      // types, fully foldable after monomorphization.
+      OS << "def classify<T>(x: T) -> int {\n"
+         << "  if (int.?(x)) return int.!(x) % 1000;\n"
+         << "  if ((int, int).?(x)) {\n"
+         << "    var t = (int, int).!(x);\n"
+         << "    return t.0 * 3 - t.1;\n"
+         << "  }\n"
+         << "  if (((int, int), int).?(x)) {\n"
+         << "    var u = ((int, int), int).!(x);\n"
+         << "    return u.0.0 + u.0.1 * 2 + u.1;\n"
+         << "  }\n"
+         << "  if (bool.?(x)) {\n"
+         << "    if (bool.!(x)) return 17;\n"
+         << "    return 19;\n"
+         << "  }\n"
+         << "  return 23;\n"
+         << "}\n";
+    }
+  }
   // xorshift-ish LCG; determinism matters, quality does not.
   uint32_t next() {
     State = State * 1664525u + 1013904223u;
@@ -379,7 +493,8 @@ private:
   }
 
   /// An int-typed expression of bounded depth over `Vars` (names of
-  /// in-scope int variables) and previously generated functions.
+  /// in-scope int variables) and previously generated functions. The
+  /// feature-specific cases are only present when their toggle is on.
   std::string intExpr(int Depth) {
     if (Depth <= 0 || range(4) == 0) {
       // Leaf: literal or variable.
@@ -387,8 +502,18 @@ private:
         return IntVars[range((int)IntVars.size())];
       return std::to_string(range(200) - 100);
     }
-    switch (range(7)) {
-    case 6: {
+    // Core arithmetic cases are always available; each enabled feature
+    // appends its own cases so selection stays deterministic per
+    // (seed, config).
+    int NumCases = 6;
+    int VirtCase = Config.VirtualDispatch ? NumCases++ : -1;
+    int GridCase = Config.NestedTuples ? NumCases++ : -1;
+    int HofCase = Config.HigherOrder ? NumCases++ : -1;
+    int DeepCase = Config.DeepGenerics ? NumCases++ : -1;
+    int OpsCase = Config.OperatorValues ? NumCases++ : -1;
+    int CastCase = Config.CastChains ? NumCases++ : -1;
+    int Case = range(NumCases);
+    if (Case == VirtCase) {
       // Objects + virtual dispatch: allocate a Cell or WeightedCell
       // behind the base type and call the virtual sum().
       const char *Cls = range(2) ? "Cell" : "WeightedCell";
@@ -396,6 +521,46 @@ private:
              intExpr(Depth - 1) + ", (" + intExpr(Depth - 1) + ", " +
              intExpr(Depth - 1) + "))))";
     }
+    if (Case == GridCase) {
+      // A fresh grid: sum it whole or probe one projected element.
+      std::string G = "Grid.new(" + std::to_string(2 + range(3)) +
+                      ", ((" + intExpr(Depth - 1) + ", " +
+                      intExpr(Depth - 1) + "), " + intExpr(Depth - 1) +
+                      "))";
+      if (range(2))
+        return "(" + G + ".total())";
+      int Idx = range(2);
+      return "(" + G + ".at(" + intExpr(Depth - 1) + ")." +
+             std::to_string(Idx) + ")";
+    }
+    if (Case == HofCase) {
+      // Higher-order: pass a function value (named function, unbound
+      // method, or constructor) through the combinator.
+      if (Config.VirtualDispatch && range(3) == 0)
+        return "(hof(step, cellSum(Cell.new(" + intExpr(Depth - 1) +
+               ", (" + intExpr(Depth - 1) + ", 2)))))";
+      return "(hof(step, " + intExpr(Depth - 1) + "))";
+    }
+    if (Case == DeepCase)
+      return "(deep3(" + intExpr(Depth - 1) + "))";
+    if (Case == OpsCase)
+      return "(opsProbe(" + intExpr(Depth - 1) + ", " +
+             intExpr(Depth - 1) + "))";
+    if (Case == CastCase) {
+      switch (range(4)) {
+      case 0:
+        return "(classify(" + intExpr(Depth - 1) + "))";
+      case 1:
+        return "(classify((" + intExpr(Depth - 1) + ", " +
+               intExpr(Depth - 1) + ")))";
+      case 2:
+        return "(classify(((" + intExpr(Depth - 1) + ", " +
+               intExpr(Depth - 1) + "), " + intExpr(Depth - 1) + ")))";
+      default:
+        return "(classify(" + boolExpr(Depth - 1) + "))";
+      }
+    }
+    switch (Case) {
     case 0:
       return "(" + intExpr(Depth - 1) + " + " + intExpr(Depth - 1) + ")";
     case 1:
@@ -460,10 +625,7 @@ private:
   }
 
   void genFunction(int Id) {
-    if (Id == 0) {
-      // The virtual-dispatch helper every intExpr case 6 relies on.
-      OS << "def cellSum(c: Cell) -> int { return c.sum(); }\n";
-    }
+    int ExprDepth = Config.MaxExprDepth < 1 ? 1 : Config.MaxExprDepth;
     int ParamT = range(3);
     int RetT = range(3);
     FuncParamT.push_back(ParamT);
@@ -471,12 +633,17 @@ private:
     OS << "def fn" << Id << "(p: " << typeName(ParamT)
        << ", k: int) -> " << typeName(RetT) << " {\n";
     IntVars = {"k", collapse(ParamT, "p")};
-    OS << "  var acc = " << intExpr(2) << ";\n";
+    OS << "  var acc = " << intExpr(ExprDepth - 1) << ";\n";
     IntVars.push_back("acc");
-    // A bounded loop with a data-dependent body.
-    OS << "  for (i = 0; i < " << (1 + range(4)) << "; i = i + 1) {\n";
-    OS << "    acc = (acc + " << intExpr(2) << ") % 100000;\n";
-    OS << "  }\n";
+    if (Config.Loops) {
+      // A bounded loop with a data-dependent body.
+      OS << "  for (i = 0; i < " << (1 + range(4)) << "; i = i + 1) {\n";
+      OS << "    acc = (acc + " << intExpr(ExprDepth - 1)
+         << ") % 100000;\n";
+      OS << "  }\n";
+    } else {
+      OS << "  acc = (acc + " << intExpr(ExprDepth - 1) << ") % 100000;\n";
+    }
     if (range(2))
       OS << "  if (" << boolExpr(2) << ") acc = acc - " << range(50)
          << ";\n";
@@ -484,7 +651,7 @@ private:
     // sometimes through a first-class function value instead.
     if (Id > 0 && range(2)) {
       int Callee = range(Id);
-      if (range(2)) {
+      if (Config.HigherOrder && range(2)) {
         OS << "  var fp = fn" << Callee << ";\n";
         OS << "  var sub = fp(" << valueExpr(FuncParamT[Callee], 1)
            << ", acc % 97);\n";
@@ -510,9 +677,50 @@ private:
          << collapse(FuncRetT[F], "r" + std::to_string(F))
          << ") % 1000000;\n";
     }
+    genAnchors();
     OS << "  return total;\n}\n";
   }
 
+  /// One deterministic use of every enabled feature, so a program
+  /// exercises each toggled-on construct even when the random
+  /// expression cases missed it.
+  void genAnchors() {
+    auto acc = [&](const std::string &E) {
+      OS << "  total = (total + " << E << ") % 1000000;\n";
+    };
+    if (Config.VirtualDispatch) {
+      acc("cellSum(WeightedCell.new(" + std::to_string(range(20)) +
+          ", (4, 5)))");
+      if (Config.HigherOrder) {
+        // Constructor and unbound-method values.
+        OS << "  var mkCell = Cell.new;\n";
+        OS << "  var unboundSum = Cell.sum;\n";
+        acc("mkCell(" + std::to_string(range(9)) + ", (3, 4)).sum()");
+        acc("unboundSum(mkCell(1, (2, " + std::to_string(range(9)) +
+            ")))");
+      }
+    }
+    if (Config.NestedTuples) {
+      OS << "  var grid = Grid.new(" << (3 + range(3))
+         << ", ((1, 2), " << range(30) << "));\n";
+      acc("grid.total()");
+      acc("grid.at(" + std::to_string(range(40)) + ").0");
+    }
+    if (Config.HigherOrder)
+      acc("hof(step, " + std::to_string(range(50)) + ")");
+    if (Config.DeepGenerics)
+      acc("deep3(" + std::to_string(range(25)) + ")");
+    if (Config.OperatorValues)
+      acc("opsProbe(" + std::to_string(range(6)) + ", " +
+          std::to_string(range(6)) + ")");
+    if (Config.CastChains) {
+      acc("classify((" + std::to_string(range(30)) + ", 2))");
+      acc("classify(" + std::string(range(2) ? "true" : "false") + ")");
+      acc("classify(((6, " + std::to_string(range(30)) + "), 8))");
+    }
+  }
+
+  GenConfig Config;
   uint32_t State;
   std::ostringstream OS;
   std::vector<std::string> IntVars;
@@ -522,7 +730,12 @@ private:
 
 } // namespace
 
-std::string corpus::genRandomProgram(uint32_t Seed) {
-  ProgramGen Gen(Seed);
+std::string corpus::genRandomProgram(uint32_t Seed,
+                                     const GenConfig &Config) {
+  ProgramGen Gen(Seed, Config);
   return Gen.run();
+}
+
+std::string corpus::genRandomProgram(uint32_t Seed) {
+  return genRandomProgram(Seed, GenConfig());
 }

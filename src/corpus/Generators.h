@@ -53,11 +53,48 @@ std::string genGcWorkload(int Rounds, int LiveNodes);
 /// methods and call chains (compiler throughput).
 std::string genThroughputProgram(int Classes);
 
+/// Feature toggles for the random-program grammar. Every language
+/// feature the fuzzer can emit is gated by one flag so coverage gaps
+/// are explicit: turning a flag off removes that construct from every
+/// generated program, and the fuzz CLI records the active config next
+/// to each reproducer.
+struct GenConfig {
+  /// Virtual dispatch through a base-typed Cell/WeightedCell pair.
+  bool VirtualDispatch = true;
+  /// Nested tuples stored in `Array<(int, int)>` elements and in
+  /// object fields (`((int, int), int)`), read back via projections.
+  bool NestedTuples = true;
+  /// First-class functions: pointers to top-level functions, unbound
+  /// class methods (`Cell.sum`), constructors (`Cell.new`), and a
+  /// higher-order combinator applied to them.
+  bool HigherOrder = true;
+  /// Generic helpers instantiated at type-parameter nesting depth >= 3
+  /// (`Box<Box<Box<int>>>`, `id<((int, int), int)>`).
+  bool DeepGenerics = true;
+  /// `==`, `!=`, and `?` used as first-class operator values
+  /// (`int.==`, `(int, int).!=`, `int.?<int>`).
+  bool OperatorValues = true;
+  /// §3-style ad-hoc polymorphism: a cast-chain `classify<T>` probed
+  /// with every pool type.
+  bool CastChains = true;
+  /// Bounded `for` loops with data-dependent bodies.
+  bool Loops = true;
+  /// Upper bound on random helper functions (min 2).
+  int MaxFuncs = 5;
+  /// Maximum random expression nesting depth.
+  int MaxExprDepth = 3;
+
+  /// Compact "feature1,feature2,..." list of the enabled toggles (for
+  /// reproducer metadata).
+  std::string summary() const;
+};
+
 /// Differential fuzzing: a deterministic, type-correct random program
 /// (ints, bools, nested tuples, function calls, bounded loops, guarded
-/// division — no intentional traps). The same seed always yields the
-/// same program; all four execution strategies must agree on its
-/// result.
+/// division — no intentional traps). The same seed and config always
+/// yield the same program; all four execution strategies must agree on
+/// its result.
+std::string genRandomProgram(uint32_t Seed, const GenConfig &Config);
 std::string genRandomProgram(uint32_t Seed);
 
 } // namespace corpus

@@ -1,0 +1,169 @@
+//===- fuzz/Fuzzer.cpp ----------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace virgil;
+using namespace virgil::fuzz;
+
+namespace {
+
+double nowMs() {
+  using namespace std::chrono;
+  return duration<double, std::milli>(
+             steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void appendJsonString(std::ostream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if ((unsigned char)C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+} // namespace
+
+std::string FuzzSummary::toJson() const {
+  std::ostringstream OS;
+  OS << "{\"seeds\":" << SeedsRun << ",\"agree\":" << Agreements
+     << ",\"divergences\":" << Divergences.size() << ",\"wall_ms\":"
+     << WallMs;
+  if (!Divergences.empty()) {
+    OS << ",\"kinds\":[";
+    for (size_t I = 0; I != Divergences.size(); ++I) {
+      if (I)
+        OS << ',';
+      OS << "{\"seed\":" << Divergences[I].Seed << ",\"kind\":\""
+         << outcomeName(Divergences[I].Kind) << "\"}";
+    }
+    OS << ']';
+  }
+  OS << '}';
+  return OS.str();
+}
+
+bool Fuzzer::persist(const FuzzDivergence &D) const {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::create_directories(Options.OutDir, Ec);
+  if (Ec) {
+    std::fprintf(stderr, "fuzz: cannot create out-dir '%s': %s\n",
+                 Options.OutDir.c_str(), Ec.message().c_str());
+    return false;
+  }
+  std::string Stem =
+      Options.OutDir + "/div_" + std::to_string(D.Seed);
+  auto writeFile = [](const std::string &Path, const std::string &Text) {
+    std::ofstream Out(Path);
+    Out << Text;
+    return Out.good();
+  };
+  bool Ok = writeFile(Stem + ".v", D.Reduced);
+  Ok &= writeFile(Stem + ".orig.v", D.Source);
+
+  std::ostringstream J;
+  J << "{\n  \"seed\": " << D.Seed << ",\n  \"outcome\": \""
+    << outcomeName(D.Kind) << "\",\n  \"detail\": ";
+  appendJsonString(J, D.Detail);
+  J << ",\n  \"gen_config\": ";
+  appendJsonString(J, Options.Gen.summary());
+  J << ",\n  \"max_instrs\": " << Options.Oracle.MaxInstrs
+    << ",\n  \"reduced_bytes\": " << D.Reduced.size()
+    << ",\n  \"original_bytes\": " << D.Source.size()
+    << ",\n  \"reduction\": {\"rounds\": " << D.Reduction.Rounds
+    << ", \"candidates\": " << D.Reduction.Candidates
+    << ", \"accepted\": " << D.Reduction.Accepted << "},\n"
+    << "  \"strategies\": [";
+  for (size_t I = 0; I != D.Runs.size(); ++I) {
+    if (I)
+      J << ", ";
+    J << '\n' << "    ";
+    appendJsonString(J, D.Runs[I].toString());
+  }
+  J << "\n  ]\n}\n";
+  Ok &= writeFile(Stem + ".json", J.str());
+  if (!Ok)
+    std::fprintf(stderr, "fuzz: failed writing reproducer files at %s*\n",
+                 Stem.c_str());
+  return Ok;
+}
+
+FuzzSummary Fuzzer::run() {
+  FuzzSummary Summary;
+  double Start = nowMs();
+  DifferentialOracle Oracle(Options.Oracle);
+
+  uint32_t Seed = Options.StartSeed;
+  for (;; ++Seed) {
+    if (Options.TimeBudgetSec > 0) {
+      if (nowMs() - Start >= Options.TimeBudgetSec * 1000.0)
+        break;
+    } else if (Summary.SeedsRun >= Options.Seeds) {
+      break;
+    }
+    ++Summary.SeedsRun;
+
+    std::string Source = corpus::genRandomProgram(Seed, Options.Gen);
+    OracleReport Report = Oracle.check(Source);
+    if (!Report.diverged()) {
+      ++Summary.Agreements;
+      continue;
+    }
+
+    FuzzDivergence D;
+    D.Seed = Seed;
+    D.Kind = Report.Kind;
+    D.Detail = Report.Detail.empty() ? Report.CompileError
+                                     : Report.Detail;
+    D.Source = Source;
+    D.Reduced = Source;
+    D.Runs = Report.Runs;
+    if (Options.Reduce) {
+      Reducer R(Reducer::sameOutcome(Oracle, Report.Kind));
+      D.Reduced = R.reduce(Source, &D.Reduction);
+    }
+    if (Options.Verbose)
+      std::fprintf(stderr,
+                   "fuzz: seed %u diverged (%s): %s "
+                   "[%zu -> %zu bytes]\n",
+                   Seed, outcomeName(D.Kind), D.Detail.c_str(),
+                   D.Source.size(), D.Reduced.size());
+    if (!Options.OutDir.empty())
+      persist(D);
+    Summary.Divergences.push_back(std::move(D));
+  }
+
+  Summary.WallMs = nowMs() - Start;
+  return Summary;
+}

@@ -1,0 +1,84 @@
+//===- fuzz/Fuzzer.h - Differential fuzzing driver --------------*- C++ -*-===//
+///
+/// \file
+/// Drives the generate → oracle → reduce loop: deterministic random
+/// programs from corpus::genRandomProgram go through the
+/// DifferentialOracle; any divergence is shrunk by the Reducer (while
+/// preserving its outcome class) and persisted as a `.v` reproducer
+/// plus JSON metadata (seed, generator config, per-strategy outputs),
+/// so a CI failure is directly actionable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_FUZZ_FUZZER_H
+#define VIRGIL_FUZZ_FUZZER_H
+
+#include "corpus/Generators.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Reducer.h"
+
+#include <string>
+#include <vector>
+
+namespace virgil {
+namespace fuzz {
+
+struct FuzzOptions {
+  /// Number of seeds to run, starting at StartSeed. Ignored when
+  /// TimeBudgetSec is set.
+  uint64_t Seeds = 100;
+  uint32_t StartSeed = 1;
+  /// Run consecutive seeds until the wall-clock budget expires
+  /// (0 = use Seeds).
+  double TimeBudgetSec = 0;
+  /// Persist reproducers here (empty = don't persist).
+  std::string OutDir;
+  /// Shrink each divergence before reporting.
+  bool Reduce = true;
+  corpus::GenConfig Gen;
+  OracleConfig Oracle;
+  /// Print a status line per divergence to stderr.
+  bool Verbose = false;
+};
+
+struct FuzzDivergence {
+  uint32_t Seed = 0;
+  Outcome Kind = Outcome::Agree;
+  std::string Detail;
+  std::string Source;  ///< As generated.
+  std::string Reduced; ///< After reduction (== Source when disabled).
+  std::vector<StrategyRun> Runs;
+  ReduceStats Reduction;
+};
+
+struct FuzzSummary {
+  uint64_t SeedsRun = 0;
+  uint64_t Agreements = 0;
+  std::vector<FuzzDivergence> Divergences;
+  double WallMs = 0;
+
+  bool clean() const { return Divergences.empty(); }
+  /// Machine-readable one-liner for scripts and CI logs.
+  std::string toJson() const;
+};
+
+class Fuzzer {
+public:
+  explicit Fuzzer(FuzzOptions Options) : Options(std::move(Options)) {}
+
+  FuzzSummary run();
+
+  const FuzzOptions &options() const { return Options; }
+
+private:
+  /// Writes `div_<seed>.v`, `div_<seed>.orig.v`, and `div_<seed>.json`
+  /// into OutDir; returns false (and reports to stderr) on I/O errors.
+  bool persist(const FuzzDivergence &D) const;
+
+  FuzzOptions Options;
+};
+
+} // namespace fuzz
+} // namespace virgil
+
+#endif // VIRGIL_FUZZ_FUZZER_H

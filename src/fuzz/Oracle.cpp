@@ -1,0 +1,205 @@
+//===- fuzz/Oracle.cpp ----------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "core/Compiler.h"
+
+#include <sstream>
+
+using namespace virgil;
+using namespace virgil::fuzz;
+
+const char *fuzz::outcomeName(Outcome Kind) {
+  switch (Kind) {
+  case Outcome::Agree:
+    return "agree";
+  case Outcome::CompileError:
+    return "compile-error";
+  case Outcome::ValueDivergence:
+    return "value-divergence";
+  case Outcome::DiagDivergence:
+    return "diag-divergence";
+  case Outcome::Timeout:
+    return "timeout";
+  case Outcome::Crash:
+    return "crash";
+  }
+  return "?";
+}
+
+std::string StrategyRun::toString() const {
+  std::ostringstream OS;
+  OS << Name << ": ";
+  if (Crashed)
+    OS << "crash: " << TrapMessage;
+  else if (TimedOut)
+    OS << "timeout";
+  else if (Trapped)
+    OS << "trap: " << TrapMessage;
+  else if (HasResult)
+    OS << "result " << Result;
+  else
+    OS << "void";
+  if (!Output.empty())
+    OS << " (output " << Output.size() << " bytes)";
+  return OS.str();
+}
+
+namespace {
+
+/// The fuel trap message shared by the interpreter and the VM.
+const char *const BudgetMsg = "instruction budget exceeded";
+
+StrategyRun fromInterp(const char *Name, const InterpResult &R) {
+  StrategyRun S;
+  S.Name = Name;
+  S.Trapped = R.Trapped;
+  S.TrapMessage = R.TrapMessage;
+  S.Output = R.Output;
+  if (R.Trapped && R.TrapMessage.find(BudgetMsg) != std::string::npos) {
+    S.TimedOut = true;
+    S.Trapped = false;
+  }
+  if (!R.Trapped && R.Result.kind() == Value::Kind::Int) {
+    S.HasResult = true;
+    S.Result = R.Result.asInt();
+  }
+  return S;
+}
+
+StrategyRun fromVm(const char *Name, const VmResult &R) {
+  StrategyRun S;
+  S.Name = Name;
+  S.Trapped = R.Trapped;
+  S.TrapMessage = R.TrapMessage;
+  S.Output = R.Output;
+  if (R.Trapped && R.TrapMessage.find(BudgetMsg) != std::string::npos) {
+    S.TimedOut = true;
+    S.Trapped = false;
+  }
+  if (!R.Trapped && R.HasResult) {
+    S.HasResult = true;
+    S.Result = (int64_t)(int32_t)R.ResultBits;
+  }
+  return S;
+}
+
+StrategyRun crashed(const char *Name, const std::string &What) {
+  StrategyRun S;
+  S.Name = Name;
+  S.Crashed = true;
+  S.TrapMessage = What;
+  return S;
+}
+
+/// Runs the four strategies of one compiled program, appending to
+/// \p Runs. \p Suffix distinguishes the no-opt pipeline.
+void runStrategies(Program &P, uint64_t MaxInstrs,
+                   const std::string &Suffix,
+                   std::vector<StrategyRun> &Runs) {
+  auto interpOn = [&](IrModule &M, const std::string &Name) {
+    try {
+      Interpreter I(M);
+      if (MaxInstrs)
+        I.setMaxInstrs(MaxInstrs);
+      Runs.push_back(fromInterp(Name.c_str(), I.run()));
+    } catch (const std::exception &E) {
+      Runs.push_back(crashed(Name.c_str(), E.what()));
+    } catch (...) {
+      Runs.push_back(crashed(Name.c_str(), "unknown exception"));
+    }
+  };
+  interpOn(P.polyIr(), "poly-interp" + Suffix);
+  interpOn(P.monoIr(), "mono-interp" + Suffix);
+  interpOn(P.normIr(), "norm-interp" + Suffix);
+  std::string VmName = "vm" + Suffix;
+  try {
+    Vm V(P.bytecode());
+    if (MaxInstrs)
+      V.setMaxInstrs(MaxInstrs);
+    Runs.push_back(fromVm(VmName.c_str(), V.run()));
+  } catch (const std::exception &E) {
+    Runs.push_back(crashed(VmName.c_str(), E.what()));
+  } catch (...) {
+    Runs.push_back(crashed(VmName.c_str(), "unknown exception"));
+  }
+}
+
+} // namespace
+
+OracleReport DifferentialOracle::check(const std::string &Source) const {
+  OracleReport Report;
+
+  auto compileOne = [&](bool Optimize) -> std::unique_ptr<Program> {
+    CompilerOptions Options;
+    Options.Optimize = Optimize;
+    Compiler C(Options);
+    std::string Error;
+    auto P = C.compile("fuzz", Source, &Error);
+    if (!P && Report.CompileError.empty())
+      Report.CompileError = Error;
+    return P;
+  };
+
+  auto P = compileOne(/*Optimize=*/true);
+  if (!P) {
+    Report.Kind = Outcome::CompileError;
+    Report.Detail = "program failed to compile";
+    return Report;
+  }
+  runStrategies(*P, Config.MaxInstrs, "", Report.Runs);
+
+  if (Config.CompareNoOpt) {
+    auto PNoOpt = compileOne(/*Optimize=*/false);
+    if (!PNoOpt) {
+      // Compiling the same source must not depend on the optimizer.
+      Report.Kind = Outcome::CompileError;
+      Report.Detail = "compiles optimized but not unoptimized";
+      return Report;
+    }
+    runStrategies(*PNoOpt, Config.MaxInstrs, "/no-opt", Report.Runs);
+  }
+
+  // Classify: crash > timeout > diag-divergence > value-divergence.
+  const StrategyRun &Ref = Report.Runs[0];
+  for (const StrategyRun &S : Report.Runs) {
+    if (S.Crashed) {
+      Report.Kind = Outcome::Crash;
+      Report.Detail = S.toString();
+      return Report;
+    }
+  }
+  for (const StrategyRun &S : Report.Runs) {
+    if (S.TimedOut) {
+      Report.Kind = Outcome::Timeout;
+      Report.Detail = S.toString();
+      return Report;
+    }
+  }
+  // Trap agreement compares the TrapKind prefix ("null deref",
+  // "bounds", ...) rather than the full message: engines may attach
+  // different detail text to the same trap, and that is not a
+  // semantic divergence.
+  auto trapKindOf = [](const StrategyRun &S) {
+    return S.TrapMessage.substr(0, S.TrapMessage.find(':'));
+  };
+  for (const StrategyRun &S : Report.Runs) {
+    if (S.Trapped != Ref.Trapped ||
+        (S.Trapped && trapKindOf(S) != trapKindOf(Ref))) {
+      Report.Kind = Outcome::DiagDivergence;
+      Report.Detail = Ref.toString() + " vs " + S.toString();
+      return Report;
+    }
+  }
+  if (!Ref.Trapped) {
+    for (const StrategyRun &S : Report.Runs) {
+      if (S.HasResult != Ref.HasResult || S.Result != Ref.Result ||
+          S.Output != Ref.Output) {
+        Report.Kind = Outcome::ValueDivergence;
+        Report.Detail = Ref.toString() + " vs " + S.toString();
+        return Report;
+      }
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,101 @@
+//===- fuzz/Oracle.h - Four-strategy differential oracle --------*- C++ -*-===//
+///
+/// \file
+/// Runs one program through all four execution strategies (the
+/// polymorphic interpreter, the monomorphized interpreter, the
+/// normalized interpreter, and the VM) and classifies the combined
+/// outcome. The paper's claim that classes, functions, tuples, and
+/// type parameters compose without corner cases makes every pipeline
+/// stage a potential divergence point; this oracle is the automated
+/// check that no stage silently changes semantics.
+///
+/// Outcome classes:
+///   Agree            all strategies produced the same result, output,
+///                    and trap state (identical traps count as
+///                    agreement — a guarded program traps nowhere, an
+///                    unguarded one must trap everywhere the same way)
+///   CompileError     the program did not compile (generator bug or
+///                    front-end divergence; always reported)
+///   ValueDivergence  results or captured output differ
+///   DiagDivergence   trap state or trap message differs
+///   Timeout          a strategy exhausted its instruction budget
+///   Crash            a strategy threw out of the execution engine
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_FUZZ_ORACLE_H
+#define VIRGIL_FUZZ_ORACLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace virgil {
+namespace fuzz {
+
+enum class Outcome : uint8_t {
+  Agree,
+  CompileError,
+  ValueDivergence,
+  DiagDivergence,
+  Timeout,
+  Crash,
+};
+
+const char *outcomeName(Outcome Kind);
+
+/// One strategy's observation.
+struct StrategyRun {
+  std::string Name;
+  bool Trapped = false;
+  bool TimedOut = false;
+  bool Crashed = false;
+  std::string TrapMessage;
+  bool HasResult = false;
+  int64_t Result = 0;
+  std::string Output;
+
+  /// One line, e.g. "vm: result 42" or "poly-interp: trap: ...".
+  std::string toString() const;
+};
+
+struct OracleReport {
+  Outcome Kind = Outcome::Agree;
+  /// Human-readable description of what diverged (empty when Agree).
+  std::string Detail;
+  /// Rendered diagnostics when Kind == CompileError.
+  std::string CompileError;
+  /// Per-strategy observations; optimized runs first, then (when
+  /// CompareNoOpt) the unoptimized ones with a "/no-opt" suffix.
+  std::vector<StrategyRun> Runs;
+
+  bool diverged() const { return Kind != Outcome::Agree; }
+};
+
+struct OracleConfig {
+  /// Instruction budget per strategy (0 = unlimited). Exhausting it
+  /// classifies the run as Timeout.
+  uint64_t MaxInstrs = 50'000'000;
+  /// Also compile with the optimizer disabled and require agreement
+  /// across the two pipelines.
+  bool CompareNoOpt = true;
+};
+
+class DifferentialOracle {
+public:
+  explicit DifferentialOracle(OracleConfig Config = OracleConfig())
+      : Config(Config) {}
+
+  /// Compiles and runs \p Source under every strategy.
+  OracleReport check(const std::string &Source) const;
+
+  const OracleConfig &config() const { return Config; }
+
+private:
+  OracleConfig Config;
+};
+
+} // namespace fuzz
+} // namespace virgil
+
+#endif // VIRGIL_FUZZ_ORACLE_H

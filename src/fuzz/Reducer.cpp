@@ -1,0 +1,391 @@
+//===- fuzz/Reducer.cpp ---------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include "ast/AstPrinter.h"
+#include "parse/Parser.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+
+using namespace virgil;
+using namespace virgil::fuzz;
+
+namespace {
+
+/// One parse of the current source; the reducer mutates the module in
+/// place and re-prints it for each candidate.
+struct ParseCtx {
+  SourceFile File;
+  Arena Nodes;
+  StringInterner Idents;
+  DiagEngine Diags;
+  Module *M = nullptr;
+
+  explicit ParseCtx(const std::string &Source)
+      : File("reduce", Source) {
+    Diags.setFile(&File);
+    Parser P(File, Nodes, Idents, Diags);
+    M = P.parseModule();
+  }
+  bool ok() const { return M && !Diags.hasErrors(); }
+};
+
+/// Applies single mutations, testing each against the predicate. An
+/// accepted mutation stays applied (and becomes the new Current); a
+/// rejected one is undone via the caller-supplied closure.
+class Session {
+public:
+  Session(const Reducer::Predicate &Pred, std::string &Current,
+          ReduceStats &Stats, Module &M)
+      : Pred(Pred), Current(Current), Stats(Stats), M(M) {}
+
+  bool anyAccepted() const { return Any; }
+
+  /// Tests the already-applied mutation; returns true when it was
+  /// accepted, false after undoing it. AllowEqual admits same-size
+  /// rewrites (used by literal collapse, where `z` -> `0` does not
+  /// shrink but unlocks removing `var z = ...` next round); such
+  /// rewrites converge because literals are never collapsed again.
+  template <typename UndoFn> bool test(UndoFn Undo, bool AllowEqual = false) {
+    std::string Candidate = printModule(M);
+    ++Stats.Candidates;
+    bool SmallEnough = AllowEqual ? Candidate.size() <= Current.size() &&
+                                        Candidate != Current
+                                  : Candidate.size() < Current.size();
+    if (SmallEnough && Pred(Candidate)) {
+      Current = Candidate;
+      ++Stats.Accepted;
+      Any = true;
+      return true;
+    }
+    Undo();
+    return false;
+  }
+
+  /// Tries removing each element of a pointer vector in order.
+  template <typename T> void shrinkVec(std::vector<T *> &Vec) {
+    for (size_t I = 0; I < Vec.size();) {
+      T *Saved = Vec[I];
+      Vec.erase(Vec.begin() + I);
+      if (!test([&] { Vec.insert(Vec.begin() + I, Saved); }))
+        ++I;
+    }
+  }
+
+  /// Statement-level shrinking inside one block: removal first, then
+  /// unwrapping compound statements (if -> branch, loop -> body), then
+  /// recursion into surviving children.
+  void shrinkStmts(BlockStmt *B) {
+    if (!B)
+      return;
+    for (size_t I = 0; I < B->Stmts.size();) {
+      Stmt *Saved = B->Stmts[I];
+      B->Stmts.erase(B->Stmts.begin() + I);
+      if (test([&] { B->Stmts.insert(B->Stmts.begin() + I, Saved); }))
+        continue; // slot now holds the next statement
+      for (Stmt *Sub : unwrapCandidates(B->Stmts[I])) {
+        Stmt *Old = B->Stmts[I];
+        B->Stmts[I] = Sub;
+        if (test([&] { B->Stmts[I] = Old; }))
+          break;
+      }
+      recurseInto(B->Stmts[I]);
+      ++I;
+    }
+  }
+
+  /// Expression-level shrinking: hoist a subexpression over its parent
+  /// (`id<T>(x)` -> `x`, `(a + b)` -> `a`), or collapse to a literal
+  /// `0`. Type-incorrect candidates simply fail to compile and are
+  /// rejected by the predicate.
+  void shrinkExprSlot(Expr **Slot, Arena &Nodes) {
+    if (!*Slot)
+      return;
+    // Hoist children until no hoist is accepted.
+    for (bool Changed = true; Changed;) {
+      Changed = false;
+      for (Expr *Child : childrenOf(*Slot)) {
+        Expr *Old = *Slot;
+        *Slot = Child;
+        if (test([&] { *Slot = Old; })) {
+          Changed = true;
+          break;
+        }
+      }
+    }
+    // Collapse to `0` (also canonicalizes nonzero int literals).
+    auto *IL = dyn_cast<IntLitExpr>(*Slot);
+    if (!(IL && IL->Value == 0) && !isa<BoolLitExpr>(*Slot) &&
+        !isa<NullLitExpr>(*Slot)) {
+      Expr *Old = *Slot;
+      *Slot = Nodes.make<IntLitExpr>(Old->Loc, 0);
+      test([&] { *Slot = Old; }, /*AllowEqual=*/true);
+    }
+    for (Expr **Child : childSlotsOf(*Slot))
+      shrinkExprSlot(Child, Nodes);
+  }
+
+  void shrinkStmtExprs(Stmt *S, Arena &Nodes) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case StmtKind::Block:
+      for (Stmt *Sub : cast<BlockStmt>(S)->Stmts)
+        shrinkStmtExprs(Sub, Nodes);
+      return;
+    case StmtKind::LocalDecl:
+      for (LocalVar *V : cast<LocalDeclStmt>(S)->Vars)
+        if (V->Init)
+          shrinkExprSlot(&V->Init, Nodes);
+      return;
+    case StmtKind::If: {
+      auto *If = cast<IfStmt>(S);
+      shrinkExprSlot(&If->Cond, Nodes);
+      shrinkStmtExprs(If->Then, Nodes);
+      shrinkStmtExprs(If->Else, Nodes);
+      return;
+    }
+    case StmtKind::While: {
+      auto *W = cast<WhileStmt>(S);
+      shrinkExprSlot(&W->Cond, Nodes);
+      shrinkStmtExprs(W->Body, Nodes);
+      return;
+    }
+    case StmtKind::For: {
+      auto *F = cast<ForStmt>(S);
+      if (F->Var && F->Var->Init)
+        shrinkExprSlot(&F->Var->Init, Nodes);
+      if (F->Cond)
+        shrinkExprSlot(&F->Cond, Nodes);
+      if (F->Update)
+        shrinkExprSlot(&F->Update, Nodes);
+      shrinkStmtExprs(F->Body, Nodes);
+      return;
+    }
+    case StmtKind::Return: {
+      auto *R = cast<ReturnStmt>(S);
+      if (R->Value)
+        shrinkExprSlot(&R->Value, Nodes);
+      return;
+    }
+    case StmtKind::ExprEval:
+      shrinkExprSlot(&cast<ExprStmt>(S)->E, Nodes);
+      return;
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Empty:
+      return;
+    }
+  }
+
+private:
+  static std::vector<Expr *> childrenOf(Expr *E) {
+    std::vector<Expr *> Out;
+    switch (E->kind()) {
+    case ExprKind::TupleLit:
+      for (Expr *El : cast<TupleLitExpr>(E)->Elems)
+        Out.push_back(El);
+      break;
+    case ExprKind::Member:
+      Out.push_back(cast<MemberExpr>(E)->Base);
+      break;
+    case ExprKind::IndexOp:
+      Out.push_back(cast<IndexExpr>(E)->Base);
+      Out.push_back(cast<IndexExpr>(E)->Index);
+      break;
+    case ExprKind::Call:
+      for (Expr *A : cast<CallExpr>(E)->Args)
+        Out.push_back(A);
+      break;
+    case ExprKind::Binary:
+      Out.push_back(cast<BinaryExpr>(E)->Lhs);
+      Out.push_back(cast<BinaryExpr>(E)->Rhs);
+      break;
+    case ExprKind::Unary:
+      Out.push_back(cast<UnaryExpr>(E)->Operand);
+      break;
+    case ExprKind::Ternary:
+      Out.push_back(cast<TernaryExpr>(E)->Then);
+      Out.push_back(cast<TernaryExpr>(E)->Else);
+      Out.push_back(cast<TernaryExpr>(E)->Cond);
+      break;
+    default:
+      break;
+    }
+    return Out;
+  }
+
+  static std::vector<Expr **> childSlotsOf(Expr *E) {
+    std::vector<Expr **> Out;
+    switch (E->kind()) {
+    case ExprKind::TupleLit:
+      for (Expr *&El : cast<TupleLitExpr>(E)->Elems)
+        Out.push_back(&El);
+      break;
+    case ExprKind::Member:
+      Out.push_back(&cast<MemberExpr>(E)->Base);
+      break;
+    case ExprKind::IndexOp:
+      Out.push_back(&cast<IndexExpr>(E)->Base);
+      Out.push_back(&cast<IndexExpr>(E)->Index);
+      break;
+    case ExprKind::Call:
+      Out.push_back(&cast<CallExpr>(E)->Callee);
+      for (Expr *&A : cast<CallExpr>(E)->Args)
+        Out.push_back(&A);
+      break;
+    case ExprKind::Binary:
+      Out.push_back(&cast<BinaryExpr>(E)->Lhs);
+      Out.push_back(&cast<BinaryExpr>(E)->Rhs);
+      break;
+    case ExprKind::Unary:
+      Out.push_back(&cast<UnaryExpr>(E)->Operand);
+      break;
+    case ExprKind::Ternary:
+      Out.push_back(&cast<TernaryExpr>(E)->Cond);
+      Out.push_back(&cast<TernaryExpr>(E)->Then);
+      Out.push_back(&cast<TernaryExpr>(E)->Else);
+      break;
+    default:
+      break;
+    }
+    return Out;
+  }
+
+  static std::vector<Stmt *> unwrapCandidates(Stmt *S) {
+    std::vector<Stmt *> Out;
+    if (auto *If = dyn_cast<IfStmt>(S)) {
+      Out.push_back(If->Then);
+      if (If->Else)
+        Out.push_back(If->Else);
+    } else if (auto *W = dyn_cast<WhileStmt>(S)) {
+      Out.push_back(W->Body);
+    } else if (auto *F = dyn_cast<ForStmt>(S)) {
+      Out.push_back(F->Body);
+    }
+    return Out;
+  }
+
+  void recurseInto(Stmt *S) {
+    if (auto *B = dyn_cast<BlockStmt>(S)) {
+      shrinkStmts(B);
+    } else if (auto *If = dyn_cast<IfStmt>(S)) {
+      recurseInto(If->Then);
+      if (If->Else)
+        recurseInto(If->Else);
+    } else if (auto *W = dyn_cast<WhileStmt>(S)) {
+      recurseInto(W->Body);
+    } else if (auto *F = dyn_cast<ForStmt>(S)) {
+      recurseInto(F->Body);
+    }
+  }
+
+  const Reducer::Predicate &Pred;
+  std::string &Current;
+  ReduceStats &Stats;
+  Module &M;
+  bool Any = false;
+};
+
+} // namespace
+
+Reducer::Predicate
+Reducer::sameOutcome(const DifferentialOracle &Oracle, Outcome Kind) {
+  return [&Oracle, Kind](const std::string &Candidate) {
+    return Oracle.check(Candidate).Kind == Kind;
+  };
+}
+
+std::string Reducer::reduce(const std::string &Source,
+                            ReduceStats *StatsOut) const {
+  ReduceStats Stats;
+  std::string Current = Source;
+  if (!StillInteresting(Current)) {
+    if (StatsOut)
+      *StatsOut = Stats;
+    return Current;
+  }
+
+  // Normalize to printed form first so candidate comparisons (always
+  // against printed candidates) measure real shrinkage.
+  {
+    ParseCtx Ctx(Current);
+    if (Ctx.ok()) {
+      std::string Printed = printModule(*Ctx.M);
+      if (StillInteresting(Printed))
+        Current = Printed;
+    }
+  }
+
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    ++Stats.Rounds;
+    ParseCtx Ctx(Current);
+    if (!Ctx.ok())
+      break;
+    Module &M = *Ctx.M;
+    Session S(StillInteresting, Current, Stats, M);
+
+    // Top-level declarations.
+    S.shrinkVec(M.Classes);
+    S.shrinkVec(M.Globals);
+    S.shrinkVec(M.Funcs);
+
+    // Class members. Fields that double as compact constructor
+    // parameters cannot be removed alone (the parameter list would no
+    // longer match), so they are skipped.
+    for (ClassDecl *C : M.Classes) {
+      S.shrinkVec(C->Methods);
+      for (size_t I = 0; I < C->Fields.size();) {
+        FieldDecl *F = C->Fields[I];
+        if (std::find(C->CompactFields.begin(), C->CompactFields.end(),
+                      F) != C->CompactFields.end()) {
+          ++I;
+          continue;
+        }
+        C->Fields.erase(C->Fields.begin() + I);
+        if (!S.test(
+                [&] { C->Fields.insert(C->Fields.begin() + I, F); }))
+          ++I;
+      }
+    }
+
+    // Statements in every surviving body.
+    for (MethodDecl *F : M.Funcs)
+      S.shrinkStmts(F->Body);
+    for (ClassDecl *C : M.Classes) {
+      if (C->Ctor)
+        S.shrinkStmts(C->Ctor->Body);
+      for (MethodDecl *Me : C->Methods)
+        S.shrinkStmts(Me->Body);
+    }
+
+    // Expressions: hoist subexpressions and collapse to literals.
+    Arena &Nodes = Ctx.Nodes;
+    for (GlobalDecl *G : M.Globals)
+      if (G->Init)
+        S.shrinkExprSlot(&G->Init, Nodes);
+    for (MethodDecl *F : M.Funcs)
+      S.shrinkStmtExprs(F->Body, Nodes);
+    for (ClassDecl *C : M.Classes) {
+      for (FieldDecl *F : C->Fields)
+        if (F->Init)
+          S.shrinkExprSlot(&F->Init, Nodes);
+      if (C->Ctor) {
+        for (Expr *&A : C->Ctor->SuperArgs)
+          S.shrinkExprSlot(&A, Nodes);
+        S.shrinkStmtExprs(C->Ctor->Body, Nodes);
+      }
+      for (MethodDecl *Me : C->Methods)
+        S.shrinkStmtExprs(Me->Body, Nodes);
+    }
+
+    Progress = S.anyAccepted();
+  }
+
+  if (StatsOut)
+    *StatsOut = Stats;
+  return Current;
+}

@@ -1,0 +1,65 @@
+//===- fuzz/Reducer.h - Delta-debugging program reducer ---------*- C++ -*-===//
+///
+/// \file
+/// Shrinks a divergent program to a minimal reproducer. The reducer is
+/// AST-level: each round parses the current source, enumerates removal
+/// candidates (top-level declarations, class members, statements,
+/// branch/loop unwrapping), applies one at a time, re-prints the
+/// module, and keeps the smaller program whenever the caller's
+/// predicate still holds (typically "the oracle still reports the same
+/// divergence"). Reduction is deterministic: candidates are visited in
+/// a fixed order, so a fixed input and predicate always produce the
+/// same minimal form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_FUZZ_REDUCER_H
+#define VIRGIL_FUZZ_REDUCER_H
+
+#include "fuzz/Oracle.h"
+
+#include <functional>
+#include <string>
+
+namespace virgil {
+namespace fuzz {
+
+struct ReduceStats {
+  /// Full passes over the candidate list.
+  int Rounds = 0;
+  /// Candidate programs tested against the predicate.
+  int Candidates = 0;
+  /// Candidates accepted (each one shrank the program).
+  int Accepted = 0;
+};
+
+class Reducer {
+public:
+  /// Returns true when a candidate program still exhibits the
+  /// behaviour being minimized. Candidates that fail to compile are
+  /// passed through too — predicates built on the oracle reject them
+  /// naturally (CompileError is a different outcome class).
+  using Predicate = std::function<bool(const std::string &)>;
+
+  explicit Reducer(Predicate StillInteresting)
+      : StillInteresting(std::move(StillInteresting)) {}
+
+  /// Shrinks \p Source to a fixpoint: no single removal keeps the
+  /// predicate true. Requires StillInteresting(Source) on entry;
+  /// returns \p Source unchanged otherwise.
+  std::string reduce(const std::string &Source,
+                     ReduceStats *Stats = nullptr) const;
+
+  /// Convenience predicate: the oracle classifies the program with
+  /// outcome \p Kind (so reduction preserves the divergence class).
+  static Predicate sameOutcome(const DifferentialOracle &Oracle,
+                               Outcome Kind);
+
+private:
+  Predicate StillInteresting;
+};
+
+} // namespace fuzz
+} // namespace virgil
+
+#endif // VIRGIL_FUZZ_REDUCER_H

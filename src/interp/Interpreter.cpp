@@ -357,10 +357,27 @@ Value Interpreter::runBuiltin(int Kind, std::vector<Value> &Args) {
 // The main execution loop
 //===----------------------------------------------------------------------===//
 
+// The interpreter recurses on the C++ stack, so the guest depth guard
+// must fire before the host stack runs out. ASan instrumentation
+// inflates exec()'s frame by an order of magnitude, so the sanitizer
+// build needs a much lower ceiling to trap before a real overflow.
+#if defined(__SANITIZE_ADDRESS__)
+#define VIRGIL_INTERP_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define VIRGIL_INTERP_ASAN 1
+#endif
+#endif
+#ifdef VIRGIL_INTERP_ASAN
+static constexpr int kMaxInterpDepth = 200;
+#else
+static constexpr int kMaxInterpDepth = 4000;
+#endif
+
 std::vector<Value> Interpreter::exec(IrFunction *F,
                                      std::vector<Type *> TypeArgs,
                                      std::vector<Value> Args) {
-  if (++Depth > 4000) {
+  if (++Depth > kMaxInterpDepth) {
     --Depth;
     trap(TrapKind::Unreachable, "interpreter stack overflow");
   }
@@ -379,6 +396,8 @@ std::vector<Value> Interpreter::exec(IrFunction *F,
     IrBlock *Next = nullptr;
     for (IrInstr *I : Block->Instrs) {
       ++Counters.Instrs;
+      if (MaxInstrs && Counters.Instrs > MaxInstrs)
+        trap(TrapKind::Unreachable, "instruction budget exceeded");
       switch (I->Op) {
       case Opcode::ConstInt:
         Fr.Regs[I->dst()] = Value::intV((int32_t)I->IntConst);

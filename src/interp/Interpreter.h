@@ -72,6 +72,11 @@ public:
   InterpCounters &counters() { return Counters; }
   std::string &output() { return Output; }
 
+  /// Optional fuel limit (0 = unlimited); exceeding it traps with the
+  /// same "instruction budget exceeded" message the VM uses, so
+  /// differential harnesses can classify timeouts uniformly.
+  void setMaxInstrs(uint64_t Max) { MaxInstrs = Max; }
+
   /// Runtime type query `Target.?(V)` (recursive, §2.3).
   bool valueQuery(const Value &V, Type *Target);
   /// Runtime cast `Target.!(V)`; returns false on cast failure and
@@ -122,6 +127,7 @@ private:
   InterpCounters Counters;
   int Depth = 0;
   int32_t TickCounter = 0;
+  uint64_t MaxInstrs = 0;
 
   // Trap signalling (no exceptions in this codebase... except here:
   // the interpreter uses a single internal exception type to unwind on

@@ -109,7 +109,7 @@ size_t virgil::foldConstants(IrModule &M, OptStats &Stats) {
         case Opcode::IntNeg: {
           Const A = known(I->Args[0]);
           if (A.Known)
-            toConstInt(I, -(int32_t)A.V);
+            toConstInt(I, (int32_t)-(int64_t)A.V);
           else
             kill(I);
           break;

@@ -20,14 +20,18 @@ struct TypeStore::Impl {
   std::map<std::pair<Type *, Type *>, Type *> Funcs;
   std::map<std::pair<ClassDef *, TypeVec>, Type *> Classes;
   std::map<TypeParamDef *, Type *> Params;
-  std::vector<std::unique_ptr<Type>> Owned;
+  // Type has no virtual destructor (kept vtable-free on purpose), so
+  // ownership must remember the concrete type: each entry carries a
+  // deleter that casts back before deleting.
+  using OwnedType = std::unique_ptr<Type, void (*)(Type *)>;
+  std::vector<OwnedType> Owned;
   std::vector<std::unique_ptr<TypeParamDef>> OwnedParams;
   std::vector<std::unique_ptr<ClassDef>> OwnedClasses;
 
   template <typename T, typename... Args> T *make(Args &&...A) {
-    auto Ptr = std::make_unique<T>(std::forward<Args>(A)...);
-    T *Raw = Ptr.get();
-    Owned.push_back(std::move(Ptr));
+    T *Raw = new T(std::forward<Args>(A)...);
+    Owned.push_back(OwnedType(
+        Raw, [](Type *P) { delete static_cast<T *>(P); }));
     return Raw;
   }
 };

@@ -118,17 +118,19 @@ bool Vm::runLoop() {
     case BcOp::Mv:
       Stack[B + I.A] = Stack[B + I.B];
       break;
+    // int arithmetic wraps; compute in 64 bits so C++ signed overflow
+    // (undefined) never happens for 32-bit operands.
     case BcOp::Add:
-      Stack[B + I.A] = (uint32_t)((int32_t)Stack[B + I.B] +
-                                  (int32_t)Stack[B + I.C]);
+      Stack[B + I.A] = (uint32_t)(int32_t)((int64_t)(int32_t)Stack[B + I.B] +
+                                           (int64_t)(int32_t)Stack[B + I.C]);
       break;
     case BcOp::Sub:
-      Stack[B + I.A] = (uint32_t)((int32_t)Stack[B + I.B] -
-                                  (int32_t)Stack[B + I.C]);
+      Stack[B + I.A] = (uint32_t)(int32_t)((int64_t)(int32_t)Stack[B + I.B] -
+                                           (int64_t)(int32_t)Stack[B + I.C]);
       break;
     case BcOp::Mul:
-      Stack[B + I.A] = (uint32_t)((int32_t)Stack[B + I.B] *
-                                  (int32_t)Stack[B + I.C]);
+      Stack[B + I.A] = (uint32_t)(int32_t)((int64_t)(int32_t)Stack[B + I.B] *
+                                           (int64_t)(int32_t)Stack[B + I.C]);
       break;
     case BcOp::Div:
     case BcOp::Mod: {
@@ -144,7 +146,7 @@ bool Vm::runLoop() {
       break;
     }
     case BcOp::Neg:
-      Stack[B + I.A] = (uint32_t)(-(int32_t)Stack[B + I.B]);
+      Stack[B + I.A] = (uint32_t)(int32_t)(-(int64_t)(int32_t)Stack[B + I.B]);
       break;
     case BcOp::Lt:
       Stack[B + I.A] = (int32_t)Stack[B + I.B] < (int32_t)Stack[B + I.C];

@@ -1,0 +1,283 @@
+//===- tests/FuzzerTest.cpp - Differential fuzzing subsystem tests --------===//
+///
+/// \file
+/// Covers the three fuzzing layers: the random-program grammar and its
+/// GenConfig feature gates, the four-strategy DifferentialOracle's
+/// outcome classification, and the delta-debugging Reducer (including
+/// a fixture-checked minimal form for a known-interesting program).
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Generators.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Reducer.h"
+
+#include <gtest/gtest.h>
+
+using namespace virgil;
+using namespace virgil::fuzz;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Generator: determinism and feature gates
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzGenerator, DeterministicPerSeedAndConfig) {
+  corpus::GenConfig Config;
+  EXPECT_EQ(corpus::genRandomProgram(7, Config),
+            corpus::genRandomProgram(7, Config));
+  EXPECT_NE(corpus::genRandomProgram(7, Config),
+            corpus::genRandomProgram(8, Config));
+  // The single-argument overload is the default config.
+  EXPECT_EQ(corpus::genRandomProgram(7), corpus::genRandomProgram(7, Config));
+}
+
+/// Each GenConfig flag gates a named construct: present across a seed
+/// sweep when enabled, absent from every program when disabled.
+struct FeatureGate {
+  const char *Name;
+  bool corpus::GenConfig::*Flag;
+  const char *Marker;
+};
+
+class FuzzGeneratorGates : public ::testing::TestWithParam<FeatureGate> {};
+
+TEST_P(FuzzGeneratorGates, MarkerFollowsFlag) {
+  const FeatureGate &Gate = GetParam();
+  corpus::GenConfig On;
+  corpus::GenConfig Off;
+  Off.*(Gate.Flag) = false;
+
+  bool SeenOn = false;
+  for (uint32_t Seed = 1; Seed <= 10; ++Seed) {
+    std::string WithFeature = corpus::genRandomProgram(Seed, On);
+    std::string Without = corpus::genRandomProgram(Seed, Off);
+    SeenOn |= WithFeature.find(Gate.Marker) != std::string::npos;
+    EXPECT_EQ(Without.find(Gate.Marker), std::string::npos)
+        << Gate.Name << " disabled but '" << Gate.Marker
+        << "' still emitted at seed " << Seed;
+  }
+  EXPECT_TRUE(SeenOn) << Gate.Name << " enabled but '" << Gate.Marker
+                      << "' never emitted in 10 seeds";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFlags, FuzzGeneratorGates,
+    ::testing::Values(
+        FeatureGate{"virtual-dispatch", &corpus::GenConfig::VirtualDispatch,
+                    "WeightedCell"},
+        FeatureGate{"nested-tuples", &corpus::GenConfig::NestedTuples,
+                    "class Grid"},
+        FeatureGate{"higher-order", &corpus::GenConfig::HigherOrder,
+                    "def hof"},
+        FeatureGate{"deep-generics", &corpus::GenConfig::DeepGenerics,
+                    "Box<Box<Box<int>>>"},
+        FeatureGate{"operator-values", &corpus::GenConfig::OperatorValues,
+                    "int.=="},
+        FeatureGate{"cast-chains", &corpus::GenConfig::CastChains,
+                    "def classify"},
+        FeatureGate{"loops", &corpus::GenConfig::Loops, "for ("}),
+    [](const ::testing::TestParamInfo<FeatureGate> &Info) {
+      std::string Name = Info.param.Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(FuzzGenerator, SummaryListsEnabledFlags) {
+  corpus::GenConfig Config;
+  EXPECT_NE(Config.summary().find("nested-tuples"), std::string::npos);
+  Config.NestedTuples = false;
+  EXPECT_EQ(Config.summary().find("nested-tuples"), std::string::npos);
+  EXPECT_NE(Config.summary().find("cast-chains"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle: outcome classification
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzOracle, AgreesAcrossSeedRange) {
+  DifferentialOracle Oracle;
+  for (uint32_t Seed = 1; Seed <= 20; ++Seed) {
+    OracleReport Report = Oracle.check(corpus::genRandomProgram(Seed));
+    EXPECT_EQ(Report.Kind, Outcome::Agree)
+        << "seed " << Seed << ": " << Report.Detail << Report.CompileError;
+    // Four strategies, each optimized and unoptimized.
+    EXPECT_EQ(Report.Runs.size(), 8u);
+  }
+}
+
+TEST(FuzzOracle, AgreesWithReducedFeatureConfigs) {
+  DifferentialOracle Oracle;
+  corpus::GenConfig Minimal;
+  Minimal.VirtualDispatch = Minimal.NestedTuples = Minimal.HigherOrder =
+      Minimal.DeepGenerics = Minimal.OperatorValues = Minimal.CastChains =
+          false;
+  for (uint32_t Seed = 1; Seed <= 10; ++Seed) {
+    OracleReport Report = Oracle.check(corpus::genRandomProgram(Seed, Minimal));
+    EXPECT_EQ(Report.Kind, Outcome::Agree) << "seed " << Seed;
+  }
+}
+
+TEST(FuzzOracle, ClassifiesCompileError) {
+  DifferentialOracle Oracle;
+  OracleReport Report =
+      Oracle.check("def main() -> int { return undefined_name; }");
+  EXPECT_EQ(Report.Kind, Outcome::CompileError);
+  EXPECT_FALSE(Report.CompileError.empty());
+  EXPECT_TRUE(Report.Runs.empty());
+}
+
+TEST(FuzzOracle, ClassifiesTimeout) {
+  OracleConfig Config;
+  Config.MaxInstrs = 10'000;
+  DifferentialOracle Oracle(Config);
+  OracleReport Report = Oracle.check(
+      "def main() -> int { var i = 0; while (true) { i = i + 1; } "
+      "return i; }");
+  EXPECT_EQ(Report.Kind, Outcome::Timeout);
+}
+
+TEST(FuzzOracle, SharedTrapIsAgreement) {
+  DifferentialOracle Oracle;
+  OracleReport Report = Oracle.check(
+      "def main() -> int { var z = 0; return 1 / z; }");
+  EXPECT_EQ(Report.Kind, Outcome::Agree) << Report.Detail;
+  ASSERT_FALSE(Report.Runs.empty());
+  for (const StrategyRun &Run : Report.Runs) {
+    EXPECT_TRUE(Run.Trapped) << Run.Name;
+    EXPECT_EQ(Run.TrapMessage.substr(0, 16), "division by zero") << Run.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reducer
+//===----------------------------------------------------------------------===//
+
+/// Predicate used by the fixture test: the program compiles and every
+/// strategy traps with division by zero. This stands in for a real
+/// divergence predicate (which needs a live compiler bug) while
+/// exercising the same machinery — Reducer::sameOutcome is just
+/// another Predicate over oracle reports.
+Reducer::Predicate divByZeroEverywhere() {
+  static DifferentialOracle Oracle;
+  return [](const std::string &Source) {
+    OracleReport Report = Oracle.check(Source);
+    if (Report.Kind != Outcome::Agree || Report.Runs.empty())
+      return false;
+    for (const StrategyRun &Run : Report.Runs)
+      if (!Run.Trapped ||
+          Run.TrapMessage.substr(0, 16) != "division by zero")
+        return false;
+    return true;
+  };
+}
+
+/// A deliberately noisy program whose only interesting part is the
+/// division by zero buried in helper2.
+const char *NoisyDivByZero = R"(
+class Counter {
+  var count: int;
+  new(count) {}
+  def bump(n: int) -> int {
+    count = count + n;
+    return count;
+  }
+}
+def helper1(a: int, b: int) -> int {
+  var t = (a, b);
+  return t.0 * t.1 + a;
+}
+def helper2(x: int) -> int {
+  var z = x - x;
+  return 100 / z;
+}
+def helper3(x: int) -> int {
+  var c = Counter.new(x);
+  var i = 0;
+  for (i = 0; i < 4; i = i + 1) c.bump(i);
+  return c.count;
+}
+def main() -> int {
+  var acc = 0;
+  acc = acc + helper1(3, 4);
+  acc = acc + helper3(2);
+  acc = acc + helper2(7);
+  return acc;
+}
+)";
+
+TEST(FuzzReducer, ShrinksToFixtureMinimalForm) {
+  Reducer R(divByZeroEverywhere());
+  ReduceStats Stats;
+  std::string Reduced = R.reduce(NoisyDivByZero, &Stats);
+
+  // The minimal form keeps exactly the trap and the call that reaches
+  // it; everything else (Counter, the other helpers, the accumulator)
+  // is gone and all remaining operands are literal zeros.
+  EXPECT_EQ(Reduced,
+            "\n"
+            "def helper2(x: int) -> int\n"
+            "  {\n"
+            "    return (0 / 0);\n"
+            "  }\n"
+            "def main() -> int\n"
+            "  {\n"
+            "    helper2(0);\n"
+            "    return 0;\n"
+            "  }");
+  EXPECT_GT(Stats.Rounds, 0u);
+  EXPECT_GT(Stats.Accepted, 0u);
+  EXPECT_LT(Reduced.size(), std::string(NoisyDivByZero).size() / 3);
+}
+
+TEST(FuzzReducer, DeterministicAcrossRuns) {
+  Reducer R(divByZeroEverywhere());
+  EXPECT_EQ(R.reduce(NoisyDivByZero), R.reduce(NoisyDivByZero));
+}
+
+TEST(FuzzReducer, ReturnsInputWhenPredicateFailsOnIt) {
+  Reducer R([](const std::string &) { return false; });
+  ReduceStats Stats;
+  std::string Input = "def main() -> int { return 1; }";
+  EXPECT_EQ(R.reduce(Input, &Stats), Input);
+  EXPECT_EQ(Stats.Accepted, 0u);
+}
+
+TEST(FuzzReducer, PreservesOutcomeClassViaSameOutcome) {
+  // sameOutcome(oracle, Agree) accepts any still-agreeing shrink, so
+  // reduction of a healthy program must yield another healthy one.
+  DifferentialOracle Oracle;
+  Reducer R(Reducer::sameOutcome(Oracle, Outcome::Agree));
+  std::string Reduced = R.reduce(corpus::genRandomProgram(3));
+  EXPECT_EQ(Oracle.check(Reduced).Kind, Outcome::Agree);
+  EXPECT_LT(Reduced.size(), corpus::genRandomProgram(3).size());
+}
+
+//===----------------------------------------------------------------------===//
+// Fuzzer driver
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzDriver, CleanSweepProducesCleanSummary) {
+  FuzzOptions Options;
+  Options.Seeds = 25;
+  FuzzSummary Summary = Fuzzer(Options).run();
+  EXPECT_TRUE(Summary.clean());
+  EXPECT_EQ(Summary.SeedsRun, 25u);
+  EXPECT_EQ(Summary.Agreements, 25u);
+  EXPECT_NE(Summary.toJson().find("\"divergences\":0"), std::string::npos);
+}
+
+TEST(FuzzDriver, StartSeedOffsetsTheSweep) {
+  FuzzOptions Options;
+  Options.Seeds = 5;
+  Options.StartSeed = 1000;
+  FuzzSummary Summary = Fuzzer(Options).run();
+  EXPECT_TRUE(Summary.clean());
+  EXPECT_EQ(Summary.SeedsRun, 5u);
+}
+
+} // namespace

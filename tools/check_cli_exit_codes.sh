@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+#===- tools/check_cli_exit_codes.sh - batch exit-code contract -----------===#
+#
+# `virgilc batch` promises distinct exit codes so scripts and CI can
+# tell failure modes apart without scraping output:
+#   0  all inputs compiled (and ran, with --run) cleanly
+#   1  at least one input failed to compile
+#   2  usage error (no inputs, unknown option, bad --jobs)
+#   3  an input file could not be opened
+#   4  compiles succeeded but at least one --run trapped
+# Errors must go to stderr; stdout stays machine-friendly.
+#
+# usage: check_cli_exit_codes.sh [path-to-virgilc]
+#
+#===----------------------------------------------------------------------===#
+set -uo pipefail
+
+VIRGILC=${1:-build/tools/virgilc}
+
+if [ ! -x "$VIRGILC" ]; then
+  echo "FAIL: virgilc not found at $VIRGILC (build first)" >&2
+  exit 1
+fi
+
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# expect <code> <label> -- <args...>: run virgilc, check the exit code,
+# and require any diagnostics to land on stderr (stdout may hold batch
+# status lines but no error text).
+expect() {
+  local Want=$1 Label=$2; shift 2
+  local Out Err Code
+  Out=$("$VIRGILC" "$@" 2>"$DIR/stderr")
+  Code=$?
+  Err=$(cat "$DIR/stderr")
+  [ "$Code" -eq "$Want" ] \
+    || fail "$Label: expected exit $Want, got $Code (stderr: $Err)"
+  if [ "$Want" -ne 0 ]; then
+    [ -n "$Err" ] || fail "$Label: exit $Want but stderr is empty"
+  fi
+  echo "ok: $Label -> exit $Code"
+}
+
+cat > "$DIR/good.v" <<'EOF'
+def main() -> int { return 7; }
+EOF
+cat > "$DIR/bad_compile.v" <<'EOF'
+def main() -> int { return undefined_name; }
+EOF
+cat > "$DIR/traps.v" <<'EOF'
+def main() -> int { var z = 0; return 1 / z; }
+EOF
+
+expect 2 "no input files"      batch
+expect 2 "unknown option"      batch --frobnicate "$DIR/good.v"
+expect 2 "bad --jobs"          batch --jobs potato "$DIR/good.v"
+expect 3 "missing input file"  batch "$DIR/does_not_exist.v"
+expect 1 "compile error"       batch "$DIR/bad_compile.v"
+expect 4 "trap under --run"    batch --run "$DIR/traps.v"
+expect 0 "clean compile"       batch "$DIR/good.v"
+expect 0 "clean run"           batch --run "$DIR/good.v"
+
+# Compile failure beats trap when both occur in one batch.
+expect 1 "compile error + trap" batch --run "$DIR/bad_compile.v" "$DIR/traps.v"
+
+echo "PASS: batch exit codes 0/1/2/3/4 all verified"

@@ -26,11 +26,32 @@
 ///
 /// Per-job status lines are followed by an aggregate summary and a
 /// machine-readable JSON line (hit rate, wall time) for scripts.
+/// Batch exit codes are distinct per error route: 0 success, 1 compile
+/// failure, 2 usage error, 3 unreadable input, 4 runtime trap.
+///
+/// `virgilc fuzz [options]` — differential fuzzing: generated programs
+/// run under all four strategies; divergences are reduced and saved:
+///
+///   --seeds N        number of seeds to run (default 100)
+///   --start-seed K   first seed (default 1)
+///   --time-budget S  run until S seconds elapsed instead of --seeds
+///   --out-dir D      persist .v reproducers + JSON metadata into D
+///   --fuel N         per-strategy instruction budget
+///   --no-reduce      skip shrinking divergent programs
+///   --no-opt-compare skip the second (optimizer-off) pipeline
+///   --gen-off F      disable one generator feature (repeatable):
+///                    virtual-dispatch, nested-tuples, higher-order,
+///                    deep-generics, operator-values, cast-chains,
+///                    loops
+///   --verbose        log each divergence as it is found
+///
+/// Fuzz exit codes: 0 all seeds agree, 1 divergences found, 2 usage.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "ast/AstPrinter.h"
 #include "core/Compiler.h"
+#include "fuzz/Fuzzer.h"
 #include "ir/IrPrinter.h"
 #include "service/CompileService.h"
 
@@ -49,7 +70,11 @@ static void usage() {
                "--dump-mono|--dump-norm] [--stats] [--no-opt] "
                "(file.v3 | -e <source>)\n"
                "       virgilc batch [--jobs N] [--cache-dir D] [--run] "
-               "[--stats] [--no-opt] <files...>\n");
+               "[--stats] [--no-opt] <files...>\n"
+               "       virgilc fuzz [--seeds N] [--start-seed K] "
+               "[--time-budget S] [--out-dir D] [--fuel N]\n"
+               "                    [--no-reduce] [--no-opt-compare] "
+               "[--gen-off FEATURE] [--verbose]\n");
 }
 
 static bool readWholeFile(const std::string &Path, std::string &Out) {
@@ -66,6 +91,17 @@ static bool readWholeFile(const std::string &Path, std::string &Out) {
 // batch mode
 //===----------------------------------------------------------------------===//
 
+// Batch exit codes: every error route is distinct and reports to
+// stderr, so scripts can tell usage mistakes from missing inputs from
+// bad programs from runtime traps.
+enum BatchExit {
+  BatchOk = 0,
+  BatchCompileFailed = 1,
+  BatchUsage = 2,
+  BatchBadInput = 3,
+  BatchTrapped = 4,
+};
+
 static int runBatch(int Argc, char **Argv) {
   ServiceOptions Options;
   bool RunVm = false, ShowStats = false;
@@ -74,11 +110,16 @@ static int runBatch(int Argc, char **Argv) {
   for (int I = 0; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--jobs" && I + 1 < Argc) {
-      Options.Jobs = std::atoi(Argv[++I]);
-      if (Options.Jobs < 0) {
-        std::fprintf(stderr, "virgilc: --jobs must be >= 0\n");
-        return 2;
+      char *End = nullptr;
+      long N = std::strtol(Argv[++I], &End, 10);
+      if (!End || *End != '\0' || End == Argv[I] || N < 0) {
+        std::fprintf(stderr,
+                     "virgilc: --jobs needs a non-negative integer, got "
+                     "'%s'\n",
+                     Argv[I]);
+        return BatchUsage;
       }
+      Options.Jobs = (int)N;
     } else if (Arg == "--cache-dir" && I + 1 < Argc) {
       Options.CacheDir = Argv[++I];
     } else if (Arg == "--run") {
@@ -91,14 +132,15 @@ static int runBatch(int Argc, char **Argv) {
       std::fprintf(stderr, "virgilc: unknown batch option '%s'\n",
                    Arg.c_str());
       usage();
-      return 2;
+      return BatchUsage;
     } else {
       Paths.push_back(Arg);
     }
   }
   if (Paths.empty()) {
+    std::fprintf(stderr, "virgilc: batch needs at least one input file\n");
     usage();
-    return 2;
+    return BatchUsage;
   }
 
   std::vector<CompileJob> Jobs;
@@ -108,7 +150,7 @@ static int runBatch(int Argc, char **Argv) {
     Job.Name = Path;
     if (!readWholeFile(Path, Job.Source)) {
       std::fprintf(stderr, "virgilc: cannot open '%s'\n", Path.c_str());
-      return 2;
+      return BatchBadInput;
     }
     Jobs.push_back(std::move(Job));
   }
@@ -116,23 +158,24 @@ static int runBatch(int Argc, char **Argv) {
   CompileService Service(Options);
   std::vector<JobResult> Results = Service.compileBatch(Jobs);
 
-  bool AnyFailed = false;
+  bool AnyCompileFailed = false, AnyTrapped = false;
   for (JobResult &R : Results) {
     const char *Tag = !R.Ok ? "fail" : R.CacheHit ? "hit " : "miss";
     if (R.Ok) {
       std::printf("[%s] %-40s %10.2f ms\n", Tag, R.Name.c_str(), R.Ms);
     } else {
-      AnyFailed = true;
+      AnyCompileFailed = true;
       std::string FirstLine = R.Error.substr(0, R.Error.find('\n'));
-      std::printf("[%s] %-40s %s\n", Tag, R.Name.c_str(),
-                  FirstLine.c_str());
+      std::fprintf(stderr, "[%s] %-40s %s\n", Tag, R.Name.c_str(),
+                   FirstLine.c_str());
     }
     if (R.Ok && RunVm) {
       VmResult V = R.Unit->runVm();
       std::fputs(V.Output.c_str(), stdout);
       if (V.Trapped) {
-        AnyFailed = true;
-        std::printf("  -> trap: %s\n", V.TrapMessage.c_str());
+        AnyTrapped = true;
+        std::fprintf(stderr, "  -> trap: %s (%s)\n",
+                     V.TrapMessage.c_str(), R.Name.c_str());
       } else if (V.HasResult) {
         std::printf("  -> result %lld\n", (long long)V.ResultBits);
       }
@@ -154,7 +197,98 @@ static int runBatch(int Argc, char **Argv) {
               "\"wall_ms\":%.2f}\n",
               Options.Jobs, S.Jobs, S.Succeeded, S.Failed, S.Hits,
               S.Misses, S.hitRatePct(), S.WallMs);
-  return AnyFailed ? 1 : 0;
+  if (AnyCompileFailed)
+    return BatchCompileFailed;
+  return AnyTrapped ? BatchTrapped : BatchOk;
+}
+
+//===----------------------------------------------------------------------===//
+// fuzz mode
+//===----------------------------------------------------------------------===//
+
+static bool setGenFeature(virgil::corpus::GenConfig &Gen,
+                          const std::string &Name, bool On) {
+  if (Name == "virtual-dispatch")
+    Gen.VirtualDispatch = On;
+  else if (Name == "nested-tuples")
+    Gen.NestedTuples = On;
+  else if (Name == "higher-order")
+    Gen.HigherOrder = On;
+  else if (Name == "deep-generics")
+    Gen.DeepGenerics = On;
+  else if (Name == "operator-values")
+    Gen.OperatorValues = On;
+  else if (Name == "cast-chains")
+    Gen.CastChains = On;
+  else if (Name == "loops")
+    Gen.Loops = On;
+  else
+    return false;
+  return true;
+}
+
+static int runFuzz(int Argc, char **Argv) {
+  fuzz::FuzzOptions Options;
+  for (int I = 0; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--seeds" && I + 1 < Argc) {
+      long long N = std::atoll(Argv[++I]);
+      if (N <= 0) {
+        std::fprintf(stderr, "virgilc: --seeds must be > 0\n");
+        return 2;
+      }
+      Options.Seeds = (uint64_t)N;
+    } else if (Arg == "--start-seed" && I + 1 < Argc) {
+      Options.StartSeed = (uint32_t)std::atoll(Argv[++I]);
+    } else if (Arg == "--time-budget" && I + 1 < Argc) {
+      Options.TimeBudgetSec = std::atof(Argv[++I]);
+      if (Options.TimeBudgetSec <= 0) {
+        std::fprintf(stderr, "virgilc: --time-budget must be > 0\n");
+        return 2;
+      }
+    } else if (Arg == "--out-dir" && I + 1 < Argc) {
+      Options.OutDir = Argv[++I];
+    } else if (Arg == "--fuel" && I + 1 < Argc) {
+      Options.Oracle.MaxInstrs = (uint64_t)std::atoll(Argv[++I]);
+    } else if (Arg == "--no-reduce") {
+      Options.Reduce = false;
+    } else if (Arg == "--no-opt-compare") {
+      Options.Oracle.CompareNoOpt = false;
+    } else if (Arg == "--gen-off" && I + 1 < Argc) {
+      std::string Feature = Argv[++I];
+      if (!setGenFeature(Options.Gen, Feature, false)) {
+        std::fprintf(stderr, "virgilc: unknown generator feature '%s'\n",
+                     Feature.c_str());
+        return 2;
+      }
+    } else if (Arg == "--verbose") {
+      Options.Verbose = true;
+    } else {
+      std::fprintf(stderr, "virgilc: unknown fuzz option '%s'\n",
+                   Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  fuzz::Fuzzer TheFuzzer(Options);
+  fuzz::FuzzSummary Summary = TheFuzzer.run();
+
+  for (const fuzz::FuzzDivergence &D : Summary.Divergences) {
+    std::printf("seed %u: %s — %s (reduced %zu -> %zu bytes)\n", D.Seed,
+                fuzz::outcomeName(D.Kind), D.Detail.c_str(),
+                D.Source.size(), D.Reduced.size());
+  }
+  std::printf("fuzz: %llu seeds (config %s), %llu agree, %zu "
+              "divergences; wall %.2f ms\n",
+              (unsigned long long)Summary.SeedsRun,
+              Options.Gen.summary().c_str(),
+              (unsigned long long)Summary.Agreements,
+              Summary.Divergences.size(), Summary.WallMs);
+  std::printf("%s\n", Summary.toJson().c_str());
+  if (!Summary.clean() && !Options.OutDir.empty())
+    std::printf("reproducers written to %s\n", Options.OutDir.c_str());
+  return Summary.clean() ? 0 : 1;
 }
 
 //===----------------------------------------------------------------------===//
@@ -164,6 +298,8 @@ static int runBatch(int Argc, char **Argv) {
 int main(int Argc, char **Argv) {
   if (Argc >= 2 && std::string(Argv[1]) == "batch")
     return runBatch(Argc - 2, Argv + 2);
+  if (Argc >= 2 && std::string(Argv[1]) == "fuzz")
+    return runFuzz(Argc - 2, Argv + 2);
 
   bool UseInterp = false, DumpAst = false, DumpIr = false;
   bool DumpMono = false, DumpNorm = false, ShowStats = false;
