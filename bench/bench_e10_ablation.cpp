@@ -41,7 +41,8 @@ double timeVm(Program &P, int Runs) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOpts Opts = parseBenchOpts(argc, argv);
   banner("E10: optimizer ablation on the §3.3 dispatch workload",
          "Disable one pass at a time: folding removes the dynamic type "
          "tests, DCE removes the dead branches, inlining removes the "
@@ -81,15 +82,26 @@ int main() {
 
   std::printf("%-16s %10s %8s %10s %12s\n", "config", "casts", "calls",
               "instrs", "vm ms/run");
+  size_t FullCasts = 0, NoOptCasts = 0;
   for (Config &C : Configs) {
     auto P = compileOrDie(Source, C.Options);
     const IrStats &S = P->stats().NormIr;
-    double Ms = timeVm(*P, 20);
+    double Ms = timeVm(*P, Opts.Quick ? 5 : 20);
+    if (&C == &Configs.front())
+      FullCasts = S.NumCasts;
+    if (&C == &Configs.back())
+      NoOptCasts = S.NumCasts;
     std::printf("%-16s %10zu %8zu %10zu %12.3f\n", C.Name, S.NumCasts,
                 S.NumCalls, S.NumInstrs, Ms);
   }
   std::printf("\nexpected shape: '- folding' keeps all dynamic type "
               "tests; 'full' and '- devirt' match (no virtual calls "
               "here); 'no optimizer' is the slowest and largest.\n");
+  if (!Opts.JsonPath.empty()) {
+    JsonReport J("e10_ablation");
+    J.metric("full_opt_residual_casts", (double)FullCasts);
+    J.metric("no_opt_residual_casts", (double)NoOptCasts);
+    J.write(Opts.JsonPath);
+  }
   return 0;
 }

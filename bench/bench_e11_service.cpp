@@ -45,7 +45,8 @@ static std::vector<CompileJob> buildCorpus() {
   return Jobs;
 }
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOpts Opts = parseBenchOpts(argc, argv);
   banner("E11: compile service batch throughput (cold vs warm cache)",
          "Parallel batch compilation with a content-addressed bytecode "
          "cache: cold batches scale with worker count, warm batches "
@@ -111,5 +112,12 @@ int main() {
                 "\"warm_hit_rate_pct\":%.1f,\"speedup\":%.2f}\n",
                 R.JobsN, Jobs.size(), R.ColdMs, R.WarmMs, R.HitPct,
                 R.Speedup);
+  if (!Opts.JsonPath.empty()) {
+    JsonReport J("e11_service");
+    const Row &Last = Rows.back();
+    J.metric("warm_speedup_j4", Last.Speedup);
+    J.metric("warm_hit_rate_pct", Last.HitPct);
+    J.write(Opts.JsonPath);
+  }
   return 0;
 }

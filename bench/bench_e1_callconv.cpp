@@ -79,6 +79,7 @@ BENCHMARK(BM_E1_Vm)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char **argv) {
+  BenchOpts Opts = parseBenchOpts(argc, argv);
   banner("E1: dynamic calling-convention checks (paper §4.1/§4.2)",
          "Interpreter checks every indirect call and packs/unpacks "
          "tuples; normalization makes every call pass scalars.");
@@ -102,6 +103,27 @@ int main(int argc, char **argv) {
               (!Poly.Trapped && Poly.Result.asInt() == (int)Vm.ResultBits)
                   ? "yes"
                   : "NO");
+
+  // Headline VM throughput (the CI regression gate): executed
+  // instructions per wall second, best-of-N against machine noise.
+  VmThroughput T = measureVmThroughput(P, Opts.Quick ? 5 : 20,
+                                       Opts.Quick ? 3 : 5);
+  std::printf("vm throughput: %.1f Minstr/s (%llu instrs/run, %s "
+              "dispatch)\n\n",
+              T.MinstrPerSec, (unsigned long long)T.Instrs,
+              Vm.DispatchMode.c_str());
+  if (!Opts.JsonPath.empty()) {
+    JsonReport J("e1_callconv");
+    J.metric("vm_minstr_per_sec", T.MinstrPerSec);
+    J.metric("vm_instrs_per_run", (double)T.Instrs);
+    J.metric("vm_fused_executed", (double)T.Counters.FusedExecuted);
+    J.metric("vm_indirect_calls", (double)T.Counters.IndirectCalls);
+    J.metric("interp_adapt_checks", (double)Poly.Counters.AdaptChecks);
+    J.metric("vm_adapt_checks", 0);
+    J.write(Opts.JsonPath);
+  }
+  if (Opts.Quick)
+    return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -98,15 +98,19 @@ BENCHMARK(BM_E2_Flattened)
 } // namespace
 
 int main(int argc, char **argv) {
+  BenchOpts Opts = parseBenchOpts(argc, argv);
   banner("E2: tuple flattening vs boxing (paper §4.2)",
          "Boxed interpreter allocates one heap tuple per create; "
          "flattened code allocates none at any width.");
   std::printf("%-6s %16s %16s %12s\n", "width", "boxed heap-tuples",
               "flat heap-tuples", "agree");
+  uint64_t BoxedW16 = 0;
   for (int Width : {1, 2, 4, 8, 16}) {
     Program &P = programFor(Width);
     InterpResult I = P.interpret();
     VmResult V = P.runVm();
+    if (Width == 16)
+      BoxedW16 = I.Counters.HeapTuples;
     std::printf("%-6d %16llu %16d %12s\n", Width,
                 (unsigned long long)I.Counters.HeapTuples, 0,
                 (!I.Trapped && I.Result.asInt() == (int)V.ResultBits)
@@ -114,6 +118,14 @@ int main(int argc, char **argv) {
                     : "NO");
   }
   std::printf("\n");
+  if (!Opts.JsonPath.empty()) {
+    JsonReport J("e2_flatten");
+    J.metric("boxed_heap_tuples_w16", (double)BoxedW16);
+    J.metric("flat_heap_tuples_w16", 0);
+    J.write(Opts.JsonPath);
+  }
+  if (Opts.Quick)
+    return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -70,6 +70,7 @@ BENCHMARK(BM_E3_Vm)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char **argv) {
+  BenchOpts Opts = parseBenchOpts(argc, argv);
   banner("E3: runtime type arguments vs monomorphization (paper §4.3)",
          "The interpreter passes type arguments as invisible parameters "
          "and substitutes types at runtime; monomorphized code has "
@@ -91,6 +92,15 @@ int main(int argc, char **argv) {
               (!Poly.Trapped && Poly.Result.asInt() == (int)Vm.ResultBits)
                   ? "yes"
                   : "NO");
+  if (!Opts.JsonPath.empty()) {
+    JsonReport J("e3_mono");
+    J.metric("poly_typeargs_passed", (double)Poly.Counters.TypeArgsPassed);
+    J.metric("mono_typeargs_passed", (double)Mono.Counters.TypeArgsPassed);
+    J.metric("poly_type_substs", (double)Poly.Counters.TypeSubsts);
+    J.write(Opts.JsonPath);
+  }
+  if (Opts.Quick)
+    return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

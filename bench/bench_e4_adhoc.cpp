@@ -80,14 +80,18 @@ BENCHMARK(BM_E4_ChainPolyInterp)->Arg(4)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char **argv) {
+  BenchOpts Opts = parseBenchOpts(argc, argv);
   banner("E4: print1 cast-chain vs direct call (paper §3.3)",
          "After specialization + folding + inlining the chain costs the "
          "same as the direct call; zero dynamic type tests remain.");
   std::printf("%-8s %18s %18s\n", "cases", "residual casts",
               "chain == direct");
+  size_t CastsAt8 = 0;
   for (int Cases : {2, 4, 8}) {
     Program &Chain = chainProgram(Cases);
     VmResult RC = Chain.runVm();
+    if (Cases == 8)
+      CastsAt8 = Chain.stats().MonoIr.NumCasts;
     VmResult RD = directProgram().runVm();
     (void)RD;
     std::printf("%-8d %18zu %18s\n", Cases,
@@ -95,6 +99,13 @@ int main(int argc, char **argv) {
                 RC.Trapped ? "TRAP" : "run ok");
   }
   std::printf("\n");
+  if (!Opts.JsonPath.empty()) {
+    JsonReport J("e4_adhoc");
+    J.metric("residual_casts_8", (double)CastsAt8);
+    J.write(Opts.JsonPath);
+  }
+  if (Opts.Quick)
+    return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -42,7 +42,8 @@ static void reportProgram(const char *Name, const std::string &Source) {
                   (S.Poly.NumInstrs ? S.Poly.NumInstrs : 1));
 }
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOpts Opts = parseBenchOpts(argc, argv);
   banner("E5: code expansion from monomorphization (paper §4.3/§6.1)",
          "Specialization duplicates code per distinct instantiation; on "
          "realistic programs the expansion stays modest.");
@@ -71,5 +72,41 @@ def unusedB<T>(x: T, y: T) -> (T, T) { return (x, y); }
 class UnusedBox<T> { var v: T; new(v) { } }
 def main() -> int { return 7; }
 )");
+
+  // Runtime leg: VM throughput over the expanded (G=4, I=8) code, with
+  // main's instantiation calls repeated so the run is long enough to
+  // measure. The headline is the *unoptimized* stream — E5 studies
+  // code expansion, and the inliner collapses the expanded call
+  // structure this experiment exists to exercise.
+  std::string Hot = corpus::genExpansionWorkload(4, 8, 2000);
+  CompilerOptions NoOpt;
+  NoOpt.Optimize = false;
+  auto PNoOpt = compileOrDie(Hot, NoOpt);
+  auto POpt = compileOrDie(Hot);
+  int Iters = Opts.Quick ? 3 : 10;
+  int Rounds = Opts.Quick ? 3 : 5;
+  VmThroughput TN = measureVmThroughput(*PNoOpt, Iters, Rounds);
+  VmThroughput TO = measureVmThroughput(*POpt, Iters, Rounds);
+  std::printf("\n-- vm throughput on the expanded code (G=4 I=8 "
+              "reps=2000) --\n");
+  std::printf("%-12s %14s %16s %10s\n", "stream", "Minstr/s",
+              "instrs/run", "calls");
+  std::printf("%-12s %14.1f %16llu %10llu\n", "no-opt", TN.MinstrPerSec,
+              (unsigned long long)TN.Instrs,
+              (unsigned long long)TN.Counters.Calls);
+  std::printf("%-12s %14.1f %16llu %10llu   (inliner collapses the "
+              "expansion)\n",
+              "optimized", TO.MinstrPerSec,
+              (unsigned long long)TO.Instrs,
+              (unsigned long long)TO.Counters.Calls);
+
+  if (!Opts.JsonPath.empty()) {
+    JsonReport J("e5_expansion");
+    J.metric("vm_minstr_per_sec", TN.MinstrPerSec);
+    J.metric("vm_minstr_per_sec_opt", TO.MinstrPerSec);
+    J.metric("vm_instrs_per_run", (double)TN.Instrs);
+    J.metric("vm_calls_per_run", (double)TN.Counters.Calls);
+    J.write(Opts.JsonPath);
+  }
   return 0;
 }

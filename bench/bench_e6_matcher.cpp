@@ -57,14 +57,18 @@ BENCHMARK(BM_E6_MatcherPolyInterp)->Arg(4)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char **argv) {
+  BenchOpts Opts = parseBenchOpts(argc, argv);
   banner("E6: polymorphic matcher dispatch cost (paper §3.4)",
          "Dispatch is a list search guarded by runtime type queries on "
          "Box<T -> void>; the cost grows with handler count.");
   std::printf("%-10s %14s %12s\n", "handlers", "fired total",
               "vm==interp");
+  long long FiredAt8 = 0;
   for (int H : {1, 2, 4, 8}) {
     Program &P = programFor(H);
     VmResult V = P.runVm();
+    if (H == 8)
+      FiredAt8 = (long long)V.ResultBits;
     InterpResult I = P.interpret();
     std::printf("%-10d %14lld %12s\n", H, (long long)V.ResultBits,
                 (!I.Trapped && I.Result.asInt() == (int)V.ResultBits)
@@ -72,6 +76,13 @@ int main(int argc, char **argv) {
                     : "NO");
   }
   std::printf("\n");
+  if (!Opts.JsonPath.empty()) {
+    JsonReport J("e6_matcher");
+    J.metric("fired_total_8", (double)FiredAt8);
+    J.write(Opts.JsonPath);
+  }
+  if (Opts.Quick)
+    return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

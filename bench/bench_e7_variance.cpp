@@ -68,6 +68,7 @@ BENCHMARK(BM_E7_FunctionalPolyInterp)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char **argv) {
+  BenchOpts Opts = parseBenchOpts(argc, argv);
   banner("E7: contravariant-function style vs hand loop (paper §3.6)",
          "apply(b, g) with g: Animal -> void replaces class-type "
          "covariance; compiled, it matches the monomorphic loop.");
@@ -76,6 +77,15 @@ int main(int argc, char **argv) {
   std::printf("functional result=%lld  hand-loop result=%lld  agree=%s\n\n",
               (long long)F.ResultBits, (long long)L.ResultBits,
               F.ResultBits == L.ResultBits ? "yes" : "NO");
+  if (!Opts.JsonPath.empty()) {
+    JsonReport J("e7_variance");
+    J.metric("functional_result", (double)F.ResultBits);
+    J.metric("loop_result", (double)L.ResultBits);
+    J.metric("agree", F.ResultBits == L.ResultBits ? 1 : 0);
+    J.write(Opts.JsonPath);
+  }
+  if (Opts.Quick)
+    return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -24,7 +24,8 @@
 using namespace virgil;
 using namespace virgil::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOpts Opts = parseBenchOpts(argc, argv);
   banner("E8: zero implicit heap allocation + semispace GC "
          "(paper §4.2/§4.3/§5)",
          "VM allocations must match the interpreter's explicit "
@@ -74,10 +75,15 @@ int main() {
   std::printf("\n-- semispace GC stress (rounds of garbage + live set) --\n");
   std::printf("%-8s %12s %12s %14s %12s\n", "rounds", "allocs",
               "collections", "slots copied", "max live");
+  uint64_t Gc1024 = 0, MaxLive1024 = 0;
   for (int Rounds : {16, 64, 256, 1024}) {
     auto P = compileOrDie(corpus::genGcWorkload(Rounds, 100));
     VmResult R = P->runVm();
     dieIfTrapped(R.Trapped, R.TrapMessage, "E8 gc");
+    if (Rounds == 1024) {
+      Gc1024 = R.Heap.Collections;
+      MaxLive1024 = R.Heap.MaxLiveSlots;
+    }
     std::printf("%-8d %12llu %12llu %14llu %12llu\n", Rounds,
                 (unsigned long long)R.Heap.ObjectsAllocated,
                 (unsigned long long)R.Heap.Collections,
@@ -86,5 +92,12 @@ int main() {
   }
   std::printf("\nexpected shape: allocations grow linearly with rounds; "
               "max-live stays bounded by the persistent set.\n");
+  if (!Opts.JsonPath.empty()) {
+    JsonReport J("e8_alloc_gc");
+    J.metric("alloc_match_all", AllClean ? 1 : 0);
+    J.metric("gc_collections_1024", (double)Gc1024);
+    J.metric("gc_max_live_slots_1024", (double)MaxLive1024);
+    J.write(Opts.JsonPath);
+  }
   return AllClean ? 0 : 1;
 }

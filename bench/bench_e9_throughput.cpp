@@ -28,13 +28,15 @@ static size_t countLines(const std::string &S) {
   return N;
 }
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOpts Opts = parseBenchOpts(argc, argv);
   banner("E9: compiler throughput (paper §5)",
          "Whole-pipeline compilation speed on programs of increasing "
          "size; near-linear scaling expected.");
 
   std::printf("%-10s %10s %10s %12s %12s %12s\n", "classes", "lines",
               "runs", "ms/compile", "lines/sec", "norm-instrs");
+  double LinesPerSec256 = 0;
   for (int Classes : {4, 16, 64, 128, 256}) {
     std::string Source = corpus::genThroughputProgram(Classes);
     size_t Lines = countLines(Source);
@@ -66,6 +68,8 @@ int main() {
         Runs;
     std::printf("%-10d %10zu %10d %12.2f %12.0f %12zu\n", Classes, Lines,
                 Runs, Ms, Lines / (Ms / 1000.0), NormInstrs);
+    if (Classes == 256)
+      LinesPerSec256 = Lines / (Ms / 1000.0);
   }
 
   std::printf("\n-- per-stage breakdown at 64 classes --\n");
@@ -100,6 +104,11 @@ int main() {
     std::printf("+ optimizer:                  %8.2f ms\n",
                 Full - NoOptMs);
     std::printf("= full pipeline:              %8.2f ms\n", Full);
+  }
+  if (!Opts.JsonPath.empty()) {
+    JsonReport J("e9_throughput");
+    J.metric("lines_per_sec_256", LinesPerSec256);
+    J.write(Opts.JsonPath);
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "types/TypeRelations.h"
 #include "types/TypeStore.h"
 
@@ -28,7 +29,9 @@ static const char *varianceMark(Variance V) {
   return "?";
 }
 
-int main() {
+int main(int argc, char **argv) {
+  virgil::bench::BenchOpts Opts =
+      virgil::bench::parseBenchOpts(argc, argv);
   std::printf("==== T1: type constructor summary (paper §2.5) ====\n");
   std::printf("Five kinds of type constructors; variance: + covariant, "
               "- contravariant, = invariant.\n\n");
@@ -85,5 +88,12 @@ int main() {
               "Array<Bat> </: Array<Animal> = %s\n",
               TupleCo ? "yes" : "NO", FuncContra ? "yes" : "NO",
               ArrayInv ? "yes" : "NO");
+  if (!Opts.JsonPath.empty()) {
+    virgil::bench::JsonReport J("t1_typecons");
+    J.metric("tuple_covariant", TupleCo ? 1 : 0);
+    J.metric("func_contravariant", FuncContra ? 1 : 0);
+    J.metric("array_invariant", ArrayInv ? 1 : 0);
+    J.write(Opts.JsonPath);
+  }
   return (TupleCo && FuncContra && ArrayInv) ? 0 : 1;
 }

@@ -85,9 +85,9 @@ InterpResult Program::interpretNorm() {
   return I.run();
 }
 
-VmResult Program::runVm() {
+VmResult Program::runVm(VmOptions Opts) {
   assert(Bytecode && "pipeline stopped before bytecode emission");
-  Vm V(*Bytecode);
+  Vm V(*Bytecode, Opts);
   return V.run();
 }
 

@@ -120,7 +120,9 @@ public:
   InterpResult interpretNorm();
 
   /// Executes the compiled bytecode on the VM (the "native" strategy).
-  VmResult runVm();
+  /// \p Opts selects the execution-engine configuration (dispatch mode,
+  /// fusion, inline caches) — the defaults are the fast path.
+  VmResult runVm(VmOptions Opts = VmOptions());
 
 private:
   friend class Compiler;

@@ -133,7 +133,8 @@ std::string corpus::genAdhocWorkload(int Cases, int Iters, bool Direct) {
   return OS.str();
 }
 
-std::string corpus::genExpansionWorkload(int Generics, int Insts) {
+std::string corpus::genExpansionWorkload(int Generics, int Insts,
+                                         int Reps) {
   std::ostringstream OS;
   OS << "class List<T> {\n  var head: T;\n  var tail: List<T>;\n"
      << "  new(head, tail) { }\n}\n";
@@ -145,6 +146,8 @@ std::string corpus::genExpansionWorkload(int Generics, int Insts) {
        << "  return c;\n}\n";
   }
   OS << "def main() -> int {\n  var acc = 0;\n";
+  if (Reps > 1)
+    OS << "  for (rep = 0; rep < " << Reps << "; rep = rep + 1) {\n";
   for (int G = 0; G != Generics; ++G) {
     for (int I = 0; I != Insts; ++I) {
       // Distinct instantiation types: nested tuples of ints.
@@ -180,6 +183,8 @@ std::string corpus::genExpansionWorkload(int Generics, int Insts) {
          << ", 1);\n";
     }
   }
+  if (Reps > 1)
+    OS << "  }\n";
   OS << "  return acc;\n}\n";
   return OS.str();
 }

@@ -35,8 +35,10 @@ std::string genPolyCallWorkload(int Iters);
 std::string genAdhocWorkload(int Cases, int Iters, bool Direct);
 
 /// E5: \p Generics generic functions each instantiated at \p Insts
-/// distinct types (drives code-expansion measurements).
-std::string genExpansionWorkload(int Generics, int Insts);
+/// distinct types (drives code-expansion measurements). \p Reps wraps
+/// main's instantiation calls in a loop so runtime sweeps can size the
+/// executed-instruction count independently of the static expansion.
+std::string genExpansionWorkload(int Generics, int Insts, int Reps = 1);
 
 /// E6: a polymorphic matcher with \p Handlers handlers dispatched
 /// \p Iters times.

@@ -1,0 +1,231 @@
+//===- vm/BcPrepare.cpp ---------------------------------------------------===//
+
+#include "vm/BcPrepare.h"
+
+#include <cassert>
+
+using namespace virgil;
+
+namespace {
+
+bool isCompare(BcOp Op) {
+  switch (Op) {
+  case BcOp::Lt:
+  case BcOp::Le:
+  case BcOp::Gt:
+  case BcOp::Ge:
+  case BcOp::EqBits:
+  case BcOp::NeBits:
+    return true;
+  default:
+    return false;
+  }
+}
+
+POp fusedCompareBranch(BcOp Op) {
+  switch (Op) {
+  case BcOp::Lt:
+    return POp::BrLtF;
+  case BcOp::Le:
+    return POp::BrLeF;
+  case BcOp::Gt:
+    return POp::BrGtF;
+  case BcOp::Ge:
+    return POp::BrGeF;
+  case BcOp::EqBits:
+    return POp::BrEqF;
+  case BcOp::NeBits:
+    return POp::BrNeF;
+  default:
+    assert(false && "not a compare");
+    return POp::Nop;
+  }
+}
+
+/// If \p Op traps NullDeref on register \p NullReg before any other
+/// effect, returns the checked-variant opcode the preceding NullChk can
+/// fold into; POp::Nop otherwise.
+POp checkFoldTarget(const BcInstr &I, int32_t NullReg) {
+  switch (I.Op) {
+  case BcOp::LdF:
+    return I.B == NullReg ? POp::LdFC : POp::Nop;
+  case BcOp::StF:
+    return I.A == NullReg ? POp::StFC : POp::Nop;
+  case BcOp::LdE:
+    return I.B == NullReg ? POp::LdEC : POp::Nop;
+  case BcOp::StE:
+    return I.A == NullReg ? POp::StEC : POp::Nop;
+  case BcOp::BoundsChk:
+    return I.B == NullReg ? POp::BoundsChkC : POp::Nop;
+  case BcOp::ArrLen:
+    return I.B == NullReg ? POp::ArrLenC : POp::Nop;
+  default:
+    return POp::Nop;
+  }
+}
+
+bool isBranch(POp Op) {
+  switch (Op) {
+  case POp::Jmp:
+  case POp::JmpIfFalse:
+  case POp::BrLtF:
+  case POp::BrLeF:
+  case POp::BrGtF:
+  case POp::BrGeF:
+  case POp::BrEqF:
+  case POp::BrNeF:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void prepareFunction(const BcModule &M, const BcFunction &F,
+                     const PrepareOptions &Options, PFunc &Out,
+                     PrepareStats &Stats) {
+  Out.NumRegs = F.NumRegs;
+  Out.NumParams = F.NumParams;
+  Out.RegKinds = F.RegKinds.data();
+  // Descriptors are flattened at the end; the walk appends rewritten
+  // clones (Mv+Ret fusion) to this working copy first.
+  std::vector<CallDesc> Descs = F.Descs;
+
+  const std::vector<BcInstr> &Code = F.Code;
+  std::vector<uint8_t> IsTarget(Code.size() + 1, 0);
+  for (const BcInstr &I : Code)
+    if (I.Op == BcOp::Jmp || I.Op == BcOp::JmpIfFalse)
+      IsTarget[(size_t)I.Imm] = 1;
+
+  // Decode + fuse. Branch immediates keep the OLD target pc during this
+  // walk; NewPcOf remaps them afterwards.
+  std::vector<uint32_t> NewPcOf(Code.size() + 1, 0);
+  Out.Code.reserve(Code.size());
+  for (size_t Pc = 0; Pc != Code.size(); ++Pc) {
+    const BcInstr &I = Code[Pc];
+    uint32_t NewIdx = (uint32_t)Out.Code.size();
+    NewPcOf[Pc] = NewIdx;
+
+    const BcInstr *Next =
+        Pc + 1 < Code.size() && !IsTarget[Pc + 1] ? &Code[Pc + 1] : nullptr;
+    if (Options.Fuse && Next) {
+      // Cmp + JmpIfFalse on the compare's destination.
+      if (isCompare(I.Op) && Next->Op == BcOp::JmpIfFalse &&
+          Next->A == I.A) {
+        Out.Code.push_back(PInstr{fusedCompareBranch(I.Op), (uint16_t)I.A,
+                                  (uint16_t)I.B, (uint16_t)I.C, Next->Imm});
+        NewPcOf[++Pc] = NewIdx;
+        ++Stats.FusedCmpBr;
+        continue;
+      }
+      // ConstI + Add/Sub -> op-immediate. The constant's register is
+      // still written (field C), so later reads see it.
+      if (I.Op == BcOp::ConstI && Next->Op == BcOp::Add &&
+          (Next->B == I.A || Next->C == I.A)) {
+        int32_t Other = Next->B == I.A ? Next->C : Next->B;
+        Out.Code.push_back(PInstr{POp::AddImm, (uint16_t)Next->A,
+                                  (uint16_t)Other, (uint16_t)I.A, I.Imm});
+        NewPcOf[++Pc] = NewIdx;
+        ++Stats.FusedAddImm;
+        continue;
+      }
+      if (I.Op == BcOp::ConstI && Next->Op == BcOp::Sub &&
+          Next->C == I.A) {
+        Out.Code.push_back(PInstr{POp::SubImm, (uint16_t)Next->A,
+                                  (uint16_t)Next->B, (uint16_t)I.A, I.Imm});
+        NewPcOf[++Pc] = NewIdx;
+        ++Stats.FusedSubImm;
+        continue;
+      }
+      // NullChk + an op that performs the same check first anyway.
+      if (I.Op == BcOp::NullChk) {
+        POp Folded = checkFoldTarget(*Next, I.A);
+        if (Folded != POp::Nop) {
+          Out.Code.push_back(PInstr{Folded, (uint16_t)Next->A,
+                                    (uint16_t)Next->B, (uint16_t)Next->C,
+                                    Next->Imm});
+          NewPcOf[++Pc] = NewIdx;
+          ++Stats.FusedChkFold;
+          continue;
+        }
+      }
+      // Mv + RetOp: the moved value dies with the frame, so rewrite the
+      // return descriptor to read the move's source directly.
+      if (I.Op == BcOp::Mv && Next->Op == BcOp::RetOp) {
+        CallDesc D = Descs[Next->A];
+        for (uint16_t &R : D.Args)
+          if (R == (uint16_t)I.A)
+            R = (uint16_t)I.B;
+        Descs.push_back(std::move(D));
+        Out.Code.push_back(
+            PInstr{POp::RetMv, (uint16_t)(Descs.size() - 1), 0, 0, 0});
+        NewPcOf[++Pc] = NewIdx;
+        ++Stats.FusedMvRet;
+        continue;
+      }
+    }
+
+    // Plain decode (the POp prefix mirrors BcOp).
+    PInstr P{(POp)(uint8_t)I.Op, (uint16_t)I.A, (uint16_t)I.B,
+             (uint16_t)I.C, I.Imm};
+    if (I.Op == BcOp::CallV && Options.InlineCache &&
+        Out.Ics.size() < 0xFFFF) {
+      P.Op = POp::CallVC;
+      P.B = (uint16_t)Out.Ics.size();
+      Out.Ics.push_back(IcEntry{});
+      ++Stats.IcSites;
+    } else if (I.Op == BcOp::CallF &&
+               F.Descs[I.A].Args.size() !=
+                   M.Functions[I.Imm].NumParams) {
+      // Direct-call arity is static: prove it here so the CallF
+      // handler skips the per-call check. A mismatch (should never be
+      // emitted) becomes an instruction that traps when reached.
+      P = PInstr{POp::TrapCc, 0, 0, 0, I.Imm};
+    }
+    Out.Code.push_back(P);
+  }
+  NewPcOf[Code.size()] = (uint32_t)Out.Code.size();
+
+  for (PInstr &P : Out.Code)
+    if (isBranch(P.Op))
+      P.Imm = (int64_t)NewPcOf[(size_t)P.Imm];
+
+  // Flatten descriptors into the pool. Reserve exactly so the pool
+  // buffer never reallocates under the pointers handed out below.
+  size_t PoolSize = 0;
+  for (const CallDesc &D : Descs)
+    PoolSize += D.Args.size() + D.Dsts.size();
+  Out.Pool.reserve(PoolSize);
+  Out.Descs.reserve(Descs.size());
+  std::vector<std::pair<size_t, size_t>> Offs;
+  Offs.reserve(Descs.size());
+  for (const CallDesc &D : Descs) {
+    size_t AO = Out.Pool.size();
+    Out.Pool.insert(Out.Pool.end(), D.Args.begin(), D.Args.end());
+    size_t DO = Out.Pool.size();
+    Out.Pool.insert(Out.Pool.end(), D.Dsts.begin(), D.Dsts.end());
+    Offs.emplace_back(AO, DO);
+    Out.Descs.push_back(PDesc{nullptr, nullptr, (uint32_t)D.Args.size(),
+                              (uint32_t)D.Dsts.size()});
+  }
+  for (size_t K = 0; K != Out.Descs.size(); ++K) {
+    Out.Descs[K].Args = Out.Pool.data() + Offs[K].first;
+    Out.Descs[K].Dsts = Out.Pool.data() + Offs[K].second;
+  }
+}
+
+} // namespace
+
+PreparedModule virgil::prepareModule(const BcModule &M,
+                                     const PrepareOptions &Options) {
+  PreparedModule Prep;
+  Prep.Funcs.resize(M.Functions.size());
+  Prep.VirtUnbound.resize(M.Functions.size(), 0);
+  for (size_t I = 0; I != M.Functions.size(); ++I) {
+    const BcFunction &F = M.Functions[I];
+    prepareFunction(M, F, Options, Prep.Funcs[I], Prep.Stats);
+    Prep.VirtUnbound[I] = F.Slot >= 0 && F.OwnerClassId >= 0;
+    if (F.NumRets > Prep.MaxRets)
+      Prep.MaxRets = F.NumRets;
+  }
+  return Prep;
+}

@@ -1,0 +1,158 @@
+//===- vm/BcPrepare.h - Load-time bytecode preparation ----------*- C++ -*-===//
+///
+/// \file
+/// The VM's load-time preparation pass. Before execution, every
+/// BcFunction is rewritten into a decoded internal form (PInstr) that
+/// the threaded dispatch loop executes directly:
+///
+/// * **superinstruction fusion** collapses common adjacent pairs into
+///   one dispatch: compare + branch-if-false, constant + add/sub
+///   (add-immediate), a null check + the guarded memory op (the check
+///   is folded into the op, which re-checks anyway), and a trailing
+///   move + return (the return descriptor is rewritten to read the
+///   move's source). A pair is only fused when the second instruction
+///   is not a branch target, so every fused superinstruction performs
+///   exactly the effects of both originals and counts as two executed
+///   instructions — fuel accounting is identical to the unfused stream;
+/// * **monomorphic inline caches** are attached to every CallV site
+///   (cached classId -> resolved vtable target, falling back to the
+///   vtable walk on miss);
+/// * branch targets are remapped to the new instruction numbering.
+///
+/// Preparation never changes observable semantics: results, output,
+/// traps, and executed-instruction counts are identical to the plain
+/// decoded stream, so the differential oracle cannot tell the modes
+/// apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_VM_BCPREPARE_H
+#define VIRGIL_VM_BCPREPARE_H
+
+#include "vm/Bytecode.h"
+
+namespace virgil {
+
+/// Prepared opcodes. The first block mirrors BcOp one-to-one (same
+/// order, so decoding a non-fused instruction is a cast); the tail
+/// adds the superinstructions and the inline-cached virtual call.
+/// Kept as an X-macro so the threaded dispatch table in VmLoop.inc is
+/// generated from the same list and cannot drift out of order.
+#define VIRGIL_VM_POPS(X)                                                      \
+  /* BcOp mirror — order must match BcOp exactly. */                           \
+  X(Nop) X(ConstI) X(ConstStr) X(Mv) X(Add) X(Sub) X(Mul) X(Div) X(Mod)        \
+  X(Neg) X(Lt) X(Le) X(Gt) X(Ge) X(Not) X(And) X(Or) X(EqBits) X(NeBits)      \
+  X(NewObj) X(NewArr) X(LdF) X(StF) X(NullChk) X(LdE) X(StE) X(BoundsChk)     \
+  X(ArrLen) X(LdG) X(StG) X(CallF) X(CallV) X(CallInd) X(CallB) X(MkClo)      \
+  X(CastClass) X(QueryClass) X(CastIntByte) X(CastFunc) X(QueryFunc)          \
+  X(CastNullOnly) X(QueryNonNull) X(Jmp) X(JmpIfFalse) X(RetOp) X(TrapOp)     \
+  /* Superinstructions and IC'd calls. */                                      \
+  X(CallVC)                                 /* CallV with inline cache #B */   \
+  X(BrLtF) X(BrLeF) X(BrGtF) X(BrGeF)       /* cmp, then branch if false */    \
+  X(BrEqF) X(BrNeF)                                                            \
+  X(AddImm) X(SubImm)  /* R[C] <- Imm; R[A] <- R[B] op Imm */                  \
+  X(LdFC) X(StFC) X(LdEC) X(StEC)           /* null check folded in */         \
+  X(BoundsChkC) X(ArrLenC)                                                     \
+  X(RetMv)                                  /* RetOp with a folded Mv */       \
+  X(TrapCc)            /* CallF whose arity prepare proved mismatched */
+
+enum class POp : uint8_t {
+#define VIRGIL_VM_POP_ENUM(name) name,
+  VIRGIL_VM_POPS(VIRGIL_VM_POP_ENUM)
+#undef VIRGIL_VM_POP_ENUM
+};
+
+constexpr size_t NumPOps = [] {
+  size_t N = 0;
+#define VIRGIL_VM_POP_COUNT(name) ++N;
+  VIRGIL_VM_POPS(VIRGIL_VM_POP_COUNT)
+#undef VIRGIL_VM_POP_COUNT
+  return N;
+}();
+
+// The mirror block must stay castable from BcOp.
+static_assert((int)POp::TrapOp == (int)BcOp::TrapOp,
+              "POp mirror block out of sync with BcOp");
+
+/// One decoded instruction: 16 bytes (vs BcInstr's 24), so the hot
+/// code stream touches a third fewer cache lines. Register operands
+/// and desc/IC indices all fit u16 (NumRegs and per-function tables
+/// are bounded well below 64K); Imm keeps the full 64 bits so constant
+/// bit patterns survive verbatim.
+struct PInstr {
+  POp Op = POp::Nop;
+  uint16_t A = 0;
+  uint16_t B = 0;
+  uint16_t C = 0;
+  int64_t Imm = 0;
+};
+static_assert(sizeof(PInstr) == 16, "PInstr packing regressed");
+
+/// One monomorphic inline-cache entry for a CallVC site.
+struct IcEntry {
+  int32_t ClassId = -1;
+  int32_t Target = -1;
+};
+
+/// A flattened call descriptor: argument and destination register
+/// lists live in the owning PFunc's Pool, reachable in one load (the
+/// source CallDesc costs two vector-header chases per call).
+struct PDesc {
+  const uint16_t *Args = nullptr;
+  const uint16_t *Dsts = nullptr;
+  uint32_t NArgs = 0;
+  uint32_t NDsts = 0;
+};
+
+/// A prepared function: decoded code, flattened (possibly rewritten)
+/// call descriptors, and the IC table. RegKinds points into the source
+/// BcFunction, which the Vm keeps alive.
+struct PFunc {
+  std::vector<PInstr> Code;
+  std::vector<PDesc> Descs;
+  /// Backing store for every PDesc's Args/Dsts spans.
+  std::vector<uint16_t> Pool;
+  std::vector<IcEntry> Ics;
+  uint32_t NumRegs = 0;
+  uint32_t NumParams = 0;
+  const SlotKind *RegKinds = nullptr;
+};
+
+struct PrepareStats {
+  uint64_t FusedCmpBr = 0;
+  uint64_t FusedAddImm = 0;
+  uint64_t FusedSubImm = 0;
+  uint64_t FusedChkFold = 0;
+  uint64_t FusedMvRet = 0;
+  uint64_t IcSites = 0;
+
+  uint64_t fusedTotal() const {
+    return FusedCmpBr + FusedAddImm + FusedSubImm + FusedChkFold +
+           FusedMvRet;
+  }
+};
+
+struct PrepareOptions {
+  bool Fuse = true;
+  bool InlineCache = true;
+};
+
+struct PreparedModule {
+  std::vector<PFunc> Funcs;
+  /// Per-function: is this an unbound virtual method (CallInd must
+  /// re-dispatch on the first argument)? Flat array so the indirect
+  /// call fast path avoids touching BcFunction.
+  std::vector<uint8_t> VirtUnbound;
+  /// Widest return descriptor in the module (sizes the VM's return
+  /// buffer once).
+  uint32_t MaxRets = 0;
+  PrepareStats Stats;
+};
+
+/// Decodes and fuses every function of \p M.
+PreparedModule prepareModule(const BcModule &M,
+                             const PrepareOptions &Options = {});
+
+} // namespace virgil
+
+#endif // VIRGIL_VM_BCPREPARE_H

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace virgil {
@@ -141,16 +142,18 @@ struct BcModule {
   std::vector<std::string> Strings;
   /// Types referenced by CastFunc/QueryFunc.
   std::vector<Type *> TypeTable;
+  /// Dedup index over TypeTable; cast-heavy modules intern thousands of
+  /// types, so lookup must not be a linear scan.
+  std::unordered_map<Type *, int> TypeIndex;
   int MainId = -1;
   int InitId = -1;
   TypeStore *Types = nullptr;
 
   int internType(Type *T) {
-    for (size_t I = 0; I != TypeTable.size(); ++I)
-      if (TypeTable[I] == T)
-        return (int)I;
-    TypeTable.push_back(T);
-    return (int)TypeTable.size() - 1;
+    auto [It, Inserted] = TypeIndex.emplace(T, (int)TypeTable.size());
+    if (Inserted)
+      TypeTable.push_back(T);
+    return It->second;
   }
 };
 

@@ -605,8 +605,11 @@ bool readPayload(Reader &R, TypeStore &Store, BcModule &M) {
 
   uint32_t NumTableTypes = R.count(4);
   M.TypeTable.reserve(NumTableTypes);
-  for (uint32_t I = 0; R.ok() && I != NumTableTypes; ++I)
-    M.TypeTable.push_back(T.type(R, R.u32()));
+  for (uint32_t I = 0; R.ok() && I != NumTableTypes; ++I) {
+    Type *Ty = T.type(R, R.u32());
+    M.TypeIndex.emplace(Ty, (int)M.TypeTable.size());
+    M.TypeTable.push_back(Ty);
+  }
 
   if (!readSlotKinds(R, M.GlobalKinds))
     return false;

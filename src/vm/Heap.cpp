@@ -24,13 +24,22 @@ uint64_t repackClosure(uint64_t Slot, uint64_t NewBound) {
 
 Heap::Heap(const BcModule &M, size_t InitialSlots) : M(M) {
   Space.assign(InitialSlots < 16 ? 16 : InitialSlots, 0);
+  syncClassSlots();
+}
+
+void Heap::syncClassSlots() {
+  ClassSlots.clear();
+  ClassSlots.reserve(M.Classes.size());
+  for (const BcClass &C : M.Classes)
+    ClassSlots.push_back((uint32_t)(1 + C.FieldKinds.size()));
 }
 
 void Heap::setRoots(std::vector<uint64_t> *S, std::vector<SlotKind> *K,
-                    std::vector<uint64_t> *G) {
+                    std::vector<uint64_t> *G, const size_t *T) {
   Stack = S;
   StackKinds = K;
   Globals = G;
+  StackTop = T;
 }
 
 size_t Heap::sizeOf(uint64_t Ref) const {
@@ -41,34 +50,6 @@ size_t Heap::sizeOf(uint64_t Ref) const {
   ElemKind Kind = (ElemKind)(Header >> 3);
   int64_t Len = (int64_t)Space[Ref + 1];
   return 2 + (Kind == ElemKind::Void ? 0 : (size_t)Len);
-}
-
-uint64_t Heap::allocRaw(size_t Slots) {
-  if (Top + Slots > Space.size())
-    collect(Slots);
-  uint64_t Ref = Top;
-  Top += Slots;
-  Stats.SlotsAllocated += Slots;
-  std::memset(&Space[Ref], 0, Slots * sizeof(uint64_t));
-  return Ref;
-}
-
-uint64_t Heap::allocObject(int ClassId) {
-  size_t Slots = 1 + M.Classes[ClassId].FieldKinds.size();
-  uint64_t Ref = allocRaw(Slots);
-  Space[Ref] = ((uint64_t)ClassId << 3) | TagObject;
-  ++Stats.ObjectsAllocated;
-  return Ref;
-}
-
-uint64_t Heap::allocArray(ElemKind Kind, int64_t Len) {
-  assert(Len >= 0 && "caller checks negative lengths");
-  size_t Slots = 2 + (Kind == ElemKind::Void ? 0 : (size_t)Len);
-  uint64_t Ref = allocRaw(Slots);
-  Space[Ref] = ((uint64_t)Kind << 3) | TagArray;
-  Space[Ref + 1] = (uint64_t)Len;
-  ++Stats.ArraysAllocated;
-  return Ref;
 }
 
 uint64_t Heap::forward(uint64_t Ref, std::vector<uint64_t> &To,
@@ -103,6 +84,8 @@ void Heap::scanSlot(uint64_t &Slot, SlotKind Kind,
 }
 
 void Heap::collect(size_t NeedSlots) {
+  if (PreCollect)
+    PreCollect();
   ++Stats.Collections;
   size_t NewSize = Space.size();
   // Grow if the heap looks tight: keep at least 2x the live estimate.
@@ -111,10 +94,12 @@ void Heap::collect(size_t NeedSlots) {
   std::vector<uint64_t> To(NewSize, 0);
   size_t Top2 = 1;
 
-  // Roots: the register stack and the globals.
+  // Roots: the live extent of the register stack and the globals.
   if (Stack) {
-    assert(StackKinds && Stack->size() == StackKinds->size());
-    for (size_t I = 0; I != Stack->size(); ++I)
+    size_t Live = StackTop ? *StackTop : Stack->size();
+    assert(StackKinds && StackKinds->size() >= Live &&
+           Stack->size() >= Live);
+    for (size_t I = 0; I != Live; ++I)
       scanSlot((*Stack)[I], (*StackKinds)[I], To, Top2);
   }
   if (Globals)

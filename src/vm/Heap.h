@@ -21,6 +21,7 @@
 #include "vm/Bytecode.h"
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace virgil {
@@ -39,16 +40,59 @@ public:
   Heap(const BcModule &M, size_t InitialSlots = 1 << 14);
 
   /// GC roots: the VM's register stack (with per-slot kinds) and the
-  /// global table. Must be set before allocating.
+  /// global table. Must be set before allocating. \p StackTop, when
+  /// non-null, bounds the live extent of the stack arena: only slots
+  /// [0, *StackTop) are scanned, so the VM can keep the vectors at
+  /// capacity across calls without the collector walking dead slots.
   void setRoots(std::vector<uint64_t> *Stack,
                 std::vector<SlotKind> *StackKinds,
-                std::vector<uint64_t> *Globals);
+                std::vector<uint64_t> *Globals,
+                const size_t *StackTop = nullptr);
+
+  /// Called at the start of every collection, before roots are
+  /// scanned. The VM uses this to lazily rebuild StackKinds from the
+  /// live frame list — keeping argument passing free of per-call kind
+  /// bookkeeping while the collector still sees precise kinds.
+  void setPreCollectHook(std::function<void()> Hook) {
+    PreCollect = std::move(Hook);
+  }
 
   /// Allocates an object of class \p ClassId with zeroed fields.
-  uint64_t allocObject(int ClassId);
+  /// Inline bump-pointer fast path (object sizes are precomputed per
+  /// class); collection only on overflow.
+  uint64_t allocObject(int ClassId) {
+    if ((size_t)ClassId >= ClassSlots.size())
+      syncClassSlots(); // module grew after construction (tests)
+    size_t Slots = ClassSlots[ClassId];
+    if (Top + Slots > Space.size())
+      collect(Slots);
+    uint64_t Ref = Top;
+    Top += Slots;
+    Stats.SlotsAllocated += Slots;
+    ++Stats.ObjectsAllocated;
+    uint64_t *P = &Space[Ref];
+    P[0] = ((uint64_t)ClassId << 3) | 1; // object tag
+    for (size_t I = 1; I != Slots; ++I)
+      P[I] = 0;
+    return Ref;
+  }
 
   /// Allocates an array (elements zeroed). \p Len must be >= 0.
-  uint64_t allocArray(ElemKind Kind, int64_t Len);
+  uint64_t allocArray(ElemKind Kind, int64_t Len) {
+    size_t Slots = 2 + (Kind == ElemKind::Void ? 0 : (size_t)Len);
+    if (Top + Slots > Space.size())
+      collect(Slots);
+    uint64_t Ref = Top;
+    Top += Slots;
+    Stats.SlotsAllocated += Slots;
+    ++Stats.ArraysAllocated;
+    uint64_t *P = &Space[Ref];
+    P[0] = ((uint64_t)Kind << 3) | 2; // array tag
+    P[1] = (uint64_t)Len;
+    for (size_t I = 2; I != Slots; ++I)
+      P[I] = 0;
+    return Ref;
+  }
 
   // Accessors. Offsets are unchecked here; the VM performs the
   // semantic null/bounds checks.
@@ -73,18 +117,23 @@ public:
 
 private:
   size_t sizeOf(uint64_t Ref) const;
+  void syncClassSlots();
   void collect(size_t NeedSlots);
   uint64_t forward(uint64_t Ref, std::vector<uint64_t> &To, size_t &Top);
   void scanSlot(uint64_t &Slot, SlotKind Kind, std::vector<uint64_t> &To,
                 size_t &Top);
-  uint64_t allocRaw(size_t Slots);
 
   const BcModule &M;
+  /// Per-class total slot count (1 header + fields), precomputed so
+  /// the allocation fast path avoids chasing the class table.
+  std::vector<uint32_t> ClassSlots;
   std::vector<uint64_t> Space; ///< Current from-space.
   size_t Top = 1;              ///< Next free slot (0 is reserved/null).
   std::vector<uint64_t> *Stack = nullptr;
   std::vector<SlotKind> *StackKinds = nullptr;
   std::vector<uint64_t> *Globals = nullptr;
+  const size_t *StackTop = nullptr;
+  std::function<void()> PreCollect;
   HeapStats Stats;
   size_t LiveAfterGc = 0;
 };

@@ -3,13 +3,55 @@
 #include "vm/Vm.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace virgil;
 
-Vm::Vm(const BcModule &M)
-    : M(M), TheHeap(M), Rels(*M.Types) {
-  TheHeap.setRoots(&Stack, &StackKinds, &Globals);
+namespace {
+
+/// Frame stack depth beyond which the VM reports "stack overflow"
+/// (runaway recursion guard, matches the reference interpreter).
+constexpr size_t MaxFrames = 100000;
+
+/// Register-arena slots preallocated up front; grown by doubling on
+/// high-water overflow and never shrunk.
+constexpr size_t InitialStackSlots = 1 << 16;
+
+/// Is class \p Sub (an id) equal to or a subclass of \p Super?
+bool classSubtype(const BcModule &M, int Sub, int Super) {
+  for (int C = Sub; C >= 0; C = M.Classes[C].ParentId)
+    if (C == Super)
+      return true;
+  return false;
+}
+
+} // namespace
+
+Vm::Vm(const BcModule &M, VmOptions Opts)
+    : M(M), Options(Opts),
+      Prep(prepareModule(M, PrepareOptions{Opts.Fuse, Opts.InlineCache})),
+      TheHeap(M), Rels(*M.Types) {
+  TheHeap.setRoots(&Stack, &StackKinds, &Globals, &StackTop);
+  TheHeap.setPreCollectHook([this] { refreshStackKinds(); });
   Globals.assign(M.GlobalKinds.size(), 0);
+  Stack.assign(InitialStackSlots, 0);
+  StackKinds.assign(InitialStackSlots, SlotKind::Scalar);
+  Frames.reserve(1024);
+  Counters.FusedStatic = Prep.Stats.fusedTotal();
+}
+
+bool Vm::threadedAvailable() {
+#ifdef VIRGIL_VM_COMPUTED_GOTO
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char *Vm::dispatchModeName() const {
+  bool Threaded =
+      threadedAvailable() && Options.Mode != VmOptions::Dispatch::Switch;
+  return Threaded ? "threaded" : "switch";
 }
 
 void Vm::doTrap(TrapKind Kind, const std::string &Extra) {
@@ -28,24 +70,88 @@ uint64_t Vm::makeString(int Index) {
   return Ref;
 }
 
-void Vm::pushFrame(int FuncId, const CallDesc *Desc, size_t CallerBase,
-                   const std::vector<uint64_t> &Args) {
-  const BcFunction &F = M.Functions[FuncId];
-  Frame Fr;
-  Fr.FuncId = FuncId;
-  Fr.Pc = 0;
-  Fr.Base = Stack.size();
-  Fr.Pending = Desc;
-  Fr.CallerBase = CallerBase;
-  Stack.resize(Stack.size() + F.NumRegs, 0);
-  StackKinds.insert(StackKinds.end(), F.RegKinds.begin(), F.RegKinds.end());
-  assert(Args.size() == F.NumParams && "argument arity mismatch");
-  for (size_t I = 0; I != Args.size(); ++I)
-    Stack[Fr.Base + I] = Args[I];
-  Frames.push_back(Fr);
+void Vm::refreshStackKinds() {
+  // Frames tile [0, StackTop) contiguously, so this covers every slot
+  // the collector will scan.
+  for (const Frame &F : Frames)
+    std::memcpy(StackKinds.data() + F.Base, F.Fn->RegKinds,
+                F.Fn->NumRegs * sizeof(SlotKind));
 }
 
-bool Vm::builtin(int Kind, const CallDesc &Desc, size_t Base) {
+void Vm::growStack(size_t Need) {
+  size_t NewCap = Stack.empty() ? InitialStackSlots : Stack.size();
+  while (NewCap < Need)
+    NewCap *= 2;
+  Stack.resize(NewCap, 0);
+  StackKinds.resize(NewCap, SlotKind::Scalar);
+}
+
+bool Vm::enterCall(int FuncId, const PDesc *Desc, size_t CallerBase,
+                   const uint64_t *PrependArg, bool SkipFirst) {
+  PFunc &G = Prep.Funcs[FuncId];
+  // SkipFirst: indirect calls name the closure itself in Args[0].
+  size_t Provided =
+      (PrependArg ? 1 : 0) +
+      (Desc ? (size_t)Desc->NArgs - (SkipFirst ? 1 : 0) : 0);
+  if (Provided != G.NumParams) {
+    doTrap(TrapKind::Unreachable, "calling convention mismatch in '" +
+                                      M.Functions[FuncId].Name + "'");
+    return false;
+  }
+  if (Frames.size() >= MaxFrames) {
+    doTrap(TrapKind::Unreachable, "stack overflow");
+    return false;
+  }
+
+  size_t Base = StackTop;
+  size_t Need = Base + G.NumRegs;
+  if (Need > Stack.size())
+    growStack(Need);
+
+  // Register-to-register argument copy: callee params live directly
+  // above the caller frame, so this is two non-overlapping spans of the
+  // same arena.
+  uint64_t *Regs = Stack.data() + Base;
+  size_t N = 0;
+  if (PrependArg)
+    Regs[N++] = *PrependArg;
+  if (Desc) {
+    const uint64_t *Caller = Stack.data() + CallerBase;
+    const uint16_t *Args = Desc->Args;
+    for (size_t I = SkipFirst ? 1 : 0; I != Desc->NArgs; ++I)
+      Regs[N++] = Caller[Args[I]];
+  }
+  if (G.NumRegs > N)
+    std::memset(Regs + N, 0, (G.NumRegs - N) * sizeof(uint64_t));
+  StackTop = Need;
+  Frames.push_back(Frame{&G, 0, Base, Desc, CallerBase});
+  return true;
+}
+
+bool Vm::enterCallFast(int FuncId, const PDesc *Desc, size_t CallerBase) {
+  PFunc &G = Prep.Funcs[FuncId];
+  if (Frames.size() >= MaxFrames) {
+    doTrap(TrapKind::Unreachable, "stack overflow");
+    return false;
+  }
+  size_t Base = StackTop;
+  size_t Need = Base + G.NumRegs;
+  if (Need > Stack.size())
+    growStack(Need);
+  uint64_t *Regs = Stack.data() + Base;
+  const uint64_t *Caller = Stack.data() + CallerBase;
+  const uint16_t *Args = Desc->Args;
+  size_t N = Desc->NArgs;
+  for (size_t I = 0; I != N; ++I)
+    Regs[I] = Caller[Args[I]];
+  if (G.NumRegs > N)
+    std::memset(Regs + N, 0, (G.NumRegs - N) * sizeof(uint64_t));
+  StackTop = Need;
+  Frames.push_back(Frame{&G, 0, Base, Desc, CallerBase});
+  return true;
+}
+
+bool Vm::builtin(int Kind, const PDesc &Desc, size_t Base) {
   switch (Kind) {
   case 0: { // Puts.
     uint64_t Ref = Stack[Base + Desc.Args[0]];
@@ -68,7 +174,7 @@ bool Vm::builtin(int Kind, const CallDesc &Desc, size_t Base) {
     Output.push_back('\n');
     return true;
   case 4: // Ticks.
-    if (!Desc.Dsts.empty())
+    if (Desc.NDsts != 0)
       Stack[Base + Desc.Dsts[0]] = (uint32_t)TickCounter++;
     return true;
   case 5: { // Error.
@@ -87,396 +193,42 @@ bool Vm::builtin(int Kind, const CallDesc &Desc, size_t Base) {
   return false;
 }
 
-/// Is class \p Sub (an id) equal to or a subclass of \p Super?
-static bool classSubtype(const BcModule &M, int Sub, int Super) {
-  for (int C = Sub; C >= 0; C = M.Classes[C].ParentId)
-    if (C == Super)
-      return true;
-  return false;
-}
+// The execution core lives in VmLoop.inc and is included twice: once as
+// the portable switch loop, once (when the compiler supports computed
+// goto) as the token-threaded loop. Handler bodies are shared.
+
+#define VM_USE_CGOTO 0
+#define VM_LOOP_NAME runLoopSwitch
+#include "vm/VmLoop.inc"
+#undef VM_LOOP_NAME
+#undef VM_USE_CGOTO
+
+#ifdef VIRGIL_VM_COMPUTED_GOTO
+#define VM_USE_CGOTO 1
+#define VM_LOOP_NAME runLoopThreaded
+#include "vm/VmLoop.inc"
+#undef VM_LOOP_NAME
+#undef VM_USE_CGOTO
+#endif
 
 bool Vm::runLoop() {
-  while (!Frames.empty()) {
-    Frame &Fr = Frames.back();
-    const BcFunction &F = M.Functions[Fr.FuncId];
-    const BcInstr &I = F.Code[Fr.Pc++];
-    size_t B = Fr.Base;
-    ++Counters.Instrs;
-    if (MaxInstrs && Counters.Instrs > MaxInstrs) {
-      doTrap(TrapKind::Unreachable, "instruction budget exceeded");
-      return false;
-    }
-    switch (I.Op) {
-    case BcOp::Nop:
-      break;
-    case BcOp::ConstI:
-      Stack[B + I.A] = (uint64_t)I.Imm;
-      break;
-    case BcOp::ConstStr:
-      Stack[B + I.A] = makeString((int)I.Imm);
-      break;
-    case BcOp::Mv:
-      Stack[B + I.A] = Stack[B + I.B];
-      break;
-    // int arithmetic wraps; compute in 64 bits so C++ signed overflow
-    // (undefined) never happens for 32-bit operands.
-    case BcOp::Add:
-      Stack[B + I.A] = (uint32_t)(int32_t)((int64_t)(int32_t)Stack[B + I.B] +
-                                           (int64_t)(int32_t)Stack[B + I.C]);
-      break;
-    case BcOp::Sub:
-      Stack[B + I.A] = (uint32_t)(int32_t)((int64_t)(int32_t)Stack[B + I.B] -
-                                           (int64_t)(int32_t)Stack[B + I.C]);
-      break;
-    case BcOp::Mul:
-      Stack[B + I.A] = (uint32_t)(int32_t)((int64_t)(int32_t)Stack[B + I.B] *
-                                           (int64_t)(int32_t)Stack[B + I.C]);
-      break;
-    case BcOp::Div:
-    case BcOp::Mod: {
-      int32_t Lhs = (int32_t)Stack[B + I.B];
-      int32_t Rhs = (int32_t)Stack[B + I.C];
-      if (Rhs == 0) {
-        doTrap(TrapKind::DivByZero);
-        return false;
-      }
-      int64_t R = I.Op == BcOp::Div ? (int64_t)Lhs / Rhs
-                                    : (int64_t)Lhs % Rhs;
-      Stack[B + I.A] = (uint32_t)(int32_t)R;
-      break;
-    }
-    case BcOp::Neg:
-      Stack[B + I.A] = (uint32_t)(int32_t)(-(int64_t)(int32_t)Stack[B + I.B]);
-      break;
-    case BcOp::Lt:
-      Stack[B + I.A] = (int32_t)Stack[B + I.B] < (int32_t)Stack[B + I.C];
-      break;
-    case BcOp::Le:
-      Stack[B + I.A] = (int32_t)Stack[B + I.B] <= (int32_t)Stack[B + I.C];
-      break;
-    case BcOp::Gt:
-      Stack[B + I.A] = (int32_t)Stack[B + I.B] > (int32_t)Stack[B + I.C];
-      break;
-    case BcOp::Ge:
-      Stack[B + I.A] = (int32_t)Stack[B + I.B] >= (int32_t)Stack[B + I.C];
-      break;
-    case BcOp::Not:
-      Stack[B + I.A] = Stack[B + I.B] == 0;
-      break;
-    case BcOp::And:
-      Stack[B + I.A] = (Stack[B + I.B] != 0) && (Stack[B + I.C] != 0);
-      break;
-    case BcOp::Or:
-      Stack[B + I.A] = (Stack[B + I.B] != 0) || (Stack[B + I.C] != 0);
-      break;
-    case BcOp::EqBits:
-      // Every value is canonical 64 bits (prims, refs, packed
-      // closures), so universal equality is bit equality.
-      Stack[B + I.A] = Stack[B + I.B] == Stack[B + I.C];
-      break;
-    case BcOp::NeBits:
-      Stack[B + I.A] = Stack[B + I.B] != Stack[B + I.C];
-      break;
-    case BcOp::NewObj:
-      Stack[B + I.A] = TheHeap.allocObject((int)I.Imm);
-      ++Counters.HeapObjects;
-      break;
-    case BcOp::NewArr: {
-      int64_t Len = (int32_t)Stack[B + I.B];
-      if (Len < 0) {
-        doTrap(TrapKind::Bounds, "negative array length");
-        return false;
-      }
-      Stack[B + I.A] = TheHeap.allocArray((ElemKind)I.Imm, Len);
-      ++Counters.HeapArrays;
-      break;
-    }
-    case BcOp::LdF: {
-      uint64_t Ref = Stack[B + I.B];
-      if (Ref == 0) {
-        doTrap(TrapKind::NullDeref);
-        return false;
-      }
-      Stack[B + I.A] = TheHeap.field(Ref, (int)I.Imm);
-      break;
-    }
-    case BcOp::StF: {
-      uint64_t Ref = Stack[B + I.A];
-      if (Ref == 0) {
-        doTrap(TrapKind::NullDeref);
-        return false;
-      }
-      TheHeap.field(Ref, (int)I.Imm) = Stack[B + I.B];
-      break;
-    }
-    case BcOp::NullChk:
-      if (Stack[B + I.A] == 0) {
-        doTrap(TrapKind::NullDeref);
-        return false;
-      }
-      break;
-    case BcOp::LdE:
-    case BcOp::BoundsChk: {
-      uint64_t Ref = Stack[B + I.B];
-      if (Ref == 0) {
-        doTrap(TrapKind::NullDeref);
-        return false;
-      }
-      int64_t Idx = (int32_t)Stack[B + I.C];
-      if (Idx < 0 || Idx >= TheHeap.arrayLen(Ref)) {
-        doTrap(TrapKind::Bounds);
-        return false;
-      }
-      if (I.Op == BcOp::LdE)
-        Stack[B + I.A] = TheHeap.elem(Ref, Idx);
-      break;
-    }
-    case BcOp::StE: {
-      uint64_t Ref = Stack[B + I.A];
-      if (Ref == 0) {
-        doTrap(TrapKind::NullDeref);
-        return false;
-      }
-      int64_t Idx = (int32_t)Stack[B + I.B];
-      if (Idx < 0 || Idx >= TheHeap.arrayLen(Ref)) {
-        doTrap(TrapKind::Bounds);
-        return false;
-      }
-      TheHeap.elem(Ref, Idx) = Stack[B + I.C];
-      break;
-    }
-    case BcOp::ArrLen: {
-      uint64_t Ref = Stack[B + I.B];
-      if (Ref == 0) {
-        doTrap(TrapKind::NullDeref);
-        return false;
-      }
-      Stack[B + I.A] = (uint64_t)TheHeap.arrayLen(Ref);
-      break;
-    }
-    case BcOp::LdG:
-      Stack[B + I.A] = Globals[I.Imm];
-      break;
-    case BcOp::StG:
-      Globals[I.Imm] = Stack[B + I.A];
-      break;
-    case BcOp::CallF: {
-      ++Counters.Calls;
-      const CallDesc &Desc = F.Descs[I.A];
-      if (!callFunction((int)I.Imm, &Desc, B, nullptr, false))
-        return false;
-      break;
-    }
-    case BcOp::CallV: {
-      ++Counters.Calls;
-      ++Counters.VirtualCalls;
-      const CallDesc &Desc = F.Descs[I.A];
-      uint64_t Recv = Stack[B + Desc.Args[0]];
-      if (Recv == 0) {
-        doTrap(TrapKind::NullDeref);
-        return false;
-      }
-      int ClassId = TheHeap.classIdOf(Recv);
-      int Target = M.Classes[ClassId].VTable[I.Imm];
-      if (Target < 0) {
-        doTrap(TrapKind::Unreachable, "abstract method");
-        return false;
-      }
-      if (!callFunction(Target, &Desc, B, nullptr, false))
-        return false;
-      break;
-    }
-    case BcOp::CallInd: {
-      ++Counters.Calls;
-      ++Counters.IndirectCalls;
-      const CallDesc &Desc = F.Descs[I.A];
-      uint64_t Clo = Stack[B + Desc.Args[0]];
-      if (Clo == 0) {
-        doTrap(TrapKind::NullDeref);
-        return false;
-      }
-      int FuncId = closureFuncId(Clo);
-      const BcFunction &G = M.Functions[FuncId];
-      if (closureIsBound(Clo)) {
-        uint64_t Bound = closureBoundRef(Clo);
-        if (!callFunction(FuncId, &Desc, B, &Bound, true))
-          return false;
-        break;
-      }
-      if (G.Slot >= 0 && G.OwnerClassId >= 0) {
-        // Unbound virtual method: dispatch on the first argument.
-        if (Desc.Args.size() < 2 || Stack[B + Desc.Args[1]] == 0) {
-          doTrap(TrapKind::NullDeref);
-          return false;
-        }
-        int ClassId = TheHeap.classIdOf(Stack[B + Desc.Args[1]]);
-        int Target = M.Classes[ClassId].VTable[G.Slot];
-        if (Target < 0) {
-          doTrap(TrapKind::Unreachable, "abstract method");
-          return false;
-        }
-        FuncId = Target;
-      }
-      if (!callFunction(FuncId, &Desc, B, nullptr, true))
-        return false;
-      break;
-    }
-    case BcOp::CallB: {
-      ++Counters.Calls;
-      const CallDesc &Desc = F.Descs[I.A];
-      if (!builtin((int)I.Imm, Desc, B))
-        return false;
-      break;
-    }
-    case BcOp::MkClo: {
-      int FuncId = (int)I.Imm;
-      bool HasBound = I.C != 0;
-      uint64_t Bound = 0;
-      if (HasBound) {
-        Bound = Stack[B + I.B];
-        const BcFunction &G = M.Functions[FuncId];
-        if (G.Slot >= 0 && G.OwnerClassId >= 0) {
-          // Bound virtual method: resolve against the receiver's
-          // dynamic class at creation.
-          if (Bound == 0) {
-            doTrap(TrapKind::NullDeref);
-            return false;
-          }
-          int ClassId = TheHeap.classIdOf(Bound);
-          int Target = M.Classes[ClassId].VTable[G.Slot];
-          if (Target < 0) {
-            doTrap(TrapKind::Unreachable, "abstract method");
-            return false;
-          }
-          FuncId = Target;
-        }
-      }
-      Stack[B + I.A] = packClosure(FuncId, Bound, HasBound);
-      break;
-    }
-    case BcOp::CastClass: {
-      uint64_t Ref = Stack[B + I.B];
-      if (Ref != 0 &&
-          !classSubtype(M, TheHeap.classIdOf(Ref), (int)I.Imm)) {
-        doTrap(TrapKind::CastFail, M.Classes[I.Imm].Name);
-        return false;
-      }
-      Stack[B + I.A] = Ref;
-      break;
-    }
-    case BcOp::QueryClass: {
-      uint64_t Ref = Stack[B + I.B];
-      Stack[B + I.A] =
-          Ref != 0 && classSubtype(M, TheHeap.classIdOf(Ref), (int)I.Imm);
-      break;
-    }
-    case BcOp::CastIntByte: {
-      int32_t V = (int32_t)Stack[B + I.B];
-      if (V < 0 || V > 255) {
-        doTrap(TrapKind::CastFail, "int to byte");
-        return false;
-      }
-      Stack[B + I.A] = (uint32_t)V;
-      break;
-    }
-    case BcOp::CastFunc:
-    case BcOp::QueryFunc: {
-      uint64_t Clo = Stack[B + I.B];
-      bool Ok = false;
-      if (Clo != 0) {
-        const BcFunction &G = M.Functions[closureFuncId(Clo)];
-        Type *Dyn = closureIsBound(Clo) ? G.BoundFuncTy : G.SourceFuncTy;
-        Ok = Dyn && Rels.isSubtype(Dyn, M.TypeTable[I.Imm]);
-      }
-      if (I.Op == BcOp::QueryFunc) {
-        Stack[B + I.A] = Ok;
-      } else {
-        if (Clo != 0 && !Ok) {
-          doTrap(TrapKind::CastFail, "function type");
-          return false;
-        }
-        Stack[B + I.A] = Clo;
-      }
-      break;
-    }
-    case BcOp::CastNullOnly:
-      if (Stack[B + I.B] != 0) {
-        doTrap(TrapKind::CastFail);
-        return false;
-      }
-      Stack[B + I.A] = 0;
-      break;
-    case BcOp::QueryNonNull:
-      Stack[B + I.A] = Stack[B + I.B] != 0;
-      break;
-    case BcOp::Jmp:
-      Fr.Pc = (size_t)I.Imm;
-      break;
-    case BcOp::JmpIfFalse:
-      if (Stack[B + I.A] == 0)
-        Fr.Pc = (size_t)I.Imm;
-      break;
-    case BcOp::RetOp: {
-      const CallDesc &Desc = F.Descs[I.A];
-      RetBuf.clear();
-      for (uint16_t R : Desc.Args)
-        RetBuf.push_back(Stack[B + R]);
-      Frame Done = Fr;
-      Frames.pop_back();
-      Stack.resize(Done.Base);
-      StackKinds.resize(Done.Base);
-      if (Done.Pending) {
-        const CallDesc &P = *Done.Pending;
-        for (size_t K = 0; K != P.Dsts.size(); ++K)
-          Stack[Done.CallerBase + P.Dsts[K]] = RetBuf[K];
-      } else {
-        FinalRets.clear();
-        for (uint64_t V : RetBuf)
-          FinalRets.push_back((int64_t)V);
-      }
-      break;
-    }
-    case BcOp::TrapOp:
-      doTrap((TrapKind)I.Imm);
-      return false;
-    }
-    if (Frames.size() > 100000) {
-      doTrap(TrapKind::Unreachable, "stack overflow");
-      return false;
-    }
-  }
-  return true;
-}
-
-bool Vm::callFunction(int FuncId, const CallDesc *Desc, size_t CallerBase,
-                      const uint64_t *PrependArg, bool SkipFirst) {
-  const BcFunction &G = M.Functions[FuncId];
-  std::vector<uint64_t> Args;
-  Args.reserve(G.NumParams);
-  if (PrependArg)
-    Args.push_back(*PrependArg);
-  // SkipFirst: indirect calls name the closure in Args[0].
-  for (size_t I = SkipFirst ? 1 : 0; I != Desc->Args.size(); ++I)
-    Args.push_back(Stack[CallerBase + Desc->Args[I]]);
-  if (Args.size() != G.NumParams) {
-    doTrap(TrapKind::Unreachable, "calling convention mismatch in '" +
-                                      G.Name + "'");
-    return false;
-  }
-  pushFrame(FuncId, Desc, CallerBase, Args);
-  return true;
+#ifdef VIRGIL_VM_COMPUTED_GOTO
+  if (Options.Mode != VmOptions::Dispatch::Switch)
+    return runLoopThreaded();
+#endif
+  return runLoopSwitch();
 }
 
 VmResult Vm::run() {
   VmResult R;
   Globals.assign(M.GlobalKinds.size(), 0);
   if (M.InitId >= 0 && !Trapped) {
-    pushFrame(M.InitId, nullptr, 0, {});
-    runLoop();
+    if (enterCall(M.InitId, nullptr, 0, nullptr, false))
+      runLoop();
   }
   if (M.MainId >= 0 && !Trapped) {
-    pushFrame(M.MainId, nullptr, 0, {});
-    runLoop();
+    if (enterCall(M.MainId, nullptr, 0, nullptr, false))
+      runLoop();
     if (!Trapped && !FinalRets.empty()) {
       R.ResultBits = (int32_t)FinalRets[0];
       R.HasResult = true;
@@ -486,6 +238,8 @@ VmResult Vm::run() {
   R.TrapMessage = TrapMessage;
   R.Output = Output;
   R.Counters = Counters;
+  R.Counters.FusedStatic = Prep.Stats.fusedTotal();
   R.Heap = TheHeap.stats();
+  R.DispatchMode = dispatchModeName();
   return R;
 }

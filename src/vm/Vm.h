@@ -10,12 +10,22 @@
 /// the only remaining dynamic type machinery is class-id subtype walks
 /// for explicit casts/queries.
 ///
+/// The execution core is a fast interpreter (DESIGN.md §9): modules
+/// are rewritten at load time by BcPrepare (decoded form,
+/// superinstruction fusion, monomorphic inline caches on virtual call
+/// sites), dispatch is token-threaded via computed goto where the
+/// compiler supports it (VIRGIL_VM_COMPUTED_GOTO, with a portable
+/// switch fallback), frames live in a preallocated stack arena with
+/// register-to-register argument copying, and the fuel check is
+/// amortized to calls and backward branches.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VIRGIL_VM_VM_H
 #define VIRGIL_VM_VM_H
 
 #include "types/TypeRelations.h"
+#include "vm/BcPrepare.h"
 #include "vm/Heap.h"
 
 #include <string>
@@ -32,6 +42,27 @@ struct VmCounters {
   uint64_t HeapObjects = 0;
   uint64_t HeapArrays = 0;
   uint64_t StringAllocs = 0;
+  /// Inline-cache behaviour at CallV sites.
+  uint64_t IcHits = 0;
+  uint64_t IcMisses = 0;
+  /// Superinstructions: pairs fused at load time, and fused dispatches
+  /// executed (each counts as 2 toward Instrs).
+  uint64_t FusedStatic = 0;
+  uint64_t FusedExecuted = 0;
+};
+
+/// Execution-engine knobs (the E12 ablation axes). Defaults are the
+/// fast path; the naive legs exist for benchmarking and differential
+/// tests.
+struct VmOptions {
+  enum class Dispatch : uint8_t {
+    Auto,     ///< Threaded when compiled in, else switch.
+    Switch,   ///< Portable switch dispatch.
+    Threaded, ///< Token-threaded computed goto (if available).
+  };
+  Dispatch Mode = Dispatch::Auto;
+  bool Fuse = true;
+  bool InlineCache = true;
 };
 
 struct VmResult {
@@ -43,49 +74,74 @@ struct VmResult {
   std::string Output;
   VmCounters Counters;
   HeapStats Heap;
+  /// "threaded" or "switch" — what actually ran.
+  std::string DispatchMode;
 };
 
 class Vm {
 public:
-  explicit Vm(const BcModule &M);
+  explicit Vm(const BcModule &M, VmOptions Options = VmOptions());
 
   /// Runs $init then main.
   VmResult run();
 
-  /// Optional fuel limit (0 = unlimited); exceeding it traps.
+  /// Optional fuel limit (0 = unlimited); exceeding it traps. Checked
+  /// at calls and backward branches, so a runaway stops within one
+  /// basic block of the budget.
   void setMaxInstrs(uint64_t Max) { MaxInstrs = Max; }
 
   /// Forces a GC between runs (benchmarks).
   Heap &heap() { return TheHeap; }
 
+  /// Was computed-goto dispatch compiled into this binary?
+  static bool threadedAvailable();
+  /// The dispatch mode this Vm will use ("threaded" or "switch").
+  const char *dispatchModeName() const;
+
+  const PrepareStats &prepareStats() const { return Prep.Stats; }
+
 private:
   struct Frame {
-    int FuncId;
-    size_t Pc;
+    PFunc *Fn;
+    uint32_t Pc;
     size_t Base;
     /// Where our return values go in the caller (null for the
     /// outermost frame).
-    const CallDesc *Pending;
+    const PDesc *Pending;
     size_t CallerBase;
   };
 
-  bool callFunction(int FuncId, const CallDesc *Desc, size_t CallerBase,
-                    const uint64_t *PrependArg, bool SkipFirst);
+  bool enterCall(int FuncId, const PDesc *Desc, size_t CallerBase,
+                 const uint64_t *PrependArg, bool SkipFirst);
+  /// CallF fast path: arity was proven at prepare time, no prepended
+  /// receiver, no closure slot to skip.
+  bool enterCallFast(int FuncId, const PDesc *Desc, size_t CallerBase);
+  /// Rewrites StackKinds for the live extent from the frame list (the
+  /// heap's pre-collect hook; see Heap::setPreCollectHook).
+  void refreshStackKinds();
+  void growStack(size_t Need);
   void doTrap(TrapKind Kind, const std::string &Extra = "");
   bool runLoop();
-  void pushFrame(int FuncId, const CallDesc *Desc, size_t CallerBase,
-                 const std::vector<uint64_t> &Args);
+  bool runLoopSwitch();
+#ifdef VIRGIL_VM_COMPUTED_GOTO
+  bool runLoopThreaded();
+#endif
   uint64_t makeString(int Index);
-  bool builtin(int Kind, const CallDesc &Desc, size_t Base);
+  bool builtin(int Kind, const PDesc &Desc, size_t Base);
 
   const BcModule &M;
+  VmOptions Options;
+  PreparedModule Prep;
   Heap TheHeap;
   TypeRelations Rels;
+  /// Register stack arena: a preallocated high-water-grown slab.
+  /// [0, StackTop) is live; the GC scans exactly that extent using the
+  /// parallel per-slot kinds.
   std::vector<uint64_t> Stack;
   std::vector<SlotKind> StackKinds;
+  size_t StackTop = 0;
   std::vector<uint64_t> Globals;
   std::vector<Frame> Frames;
-  std::vector<uint64_t> RetBuf;
   std::string Output;
   VmCounters Counters;
   bool Trapped = false;

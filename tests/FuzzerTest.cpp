@@ -8,6 +8,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/Compiler.h"
 #include "corpus/Generators.h"
 #include "fuzz/Fuzzer.h"
 #include "fuzz/Oracle.h"
@@ -278,6 +279,61 @@ TEST(FuzzDriver, StartSeedOffsetsTheSweep) {
   FuzzSummary Summary = Fuzzer(Options).run();
   EXPECT_TRUE(Summary.clean());
   EXPECT_EQ(Summary.SeedsRun, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Execution engine under fuzzing: the prepared VM (fusion + inline
+// caches + threaded dispatch) must be invisible to the oracle.
+//===----------------------------------------------------------------------===//
+
+// The VM leg of every oracle run executes prepared code, so a clean
+// wide sweep is the engine's end-to-end differential check against
+// the three interpreter strategies.
+TEST(FuzzDriver, PreparedVmSweepIsClean) {
+  FuzzOptions Options;
+  Options.Seeds = 200;
+  Options.Reduce = false; // Reduction never fires on a clean sweep.
+  FuzzSummary Summary = Fuzzer(Options).run();
+  EXPECT_TRUE(Summary.clean()) << Summary.toJson();
+  EXPECT_EQ(Summary.SeedsRun, 200u);
+}
+
+// Engine-config differential: the same random programs under switch
+// dispatch, threaded dispatch, and the plain (unfused, uncached)
+// stream must agree on every observable including the executed
+// instruction count.
+TEST(FuzzDriver, EngineConfigsAgreeOnRandomPrograms) {
+  VmOptions Configs[3];
+  Configs[1].Mode = VmOptions::Dispatch::Switch;
+  Configs[2].Fuse = false;
+  Configs[2].InlineCache = false;
+
+  int Compiled = 0;
+  for (uint32_t Seed = 1; Seed <= 60; ++Seed) {
+    Compiler C;
+    std::string Error;
+    auto P = C.compile("fuzz", corpus::genRandomProgram(Seed), &Error);
+    if (!P)
+      continue; // The oracle tests classify compile errors.
+    ++Compiled;
+    VmResult Ref;
+    for (int K = 0; K != 3; ++K) {
+      Vm V(P->bytecode(), Configs[K]);
+      V.setMaxInstrs(2000000); // Random programs may loop forever.
+      VmResult R = V.run();
+      if (K == 0) {
+        Ref = R;
+        continue;
+      }
+      EXPECT_EQ(R.Trapped, Ref.Trapped) << "seed " << Seed;
+      EXPECT_EQ(R.TrapMessage, Ref.TrapMessage) << "seed " << Seed;
+      EXPECT_EQ(R.ResultBits, Ref.ResultBits) << "seed " << Seed;
+      EXPECT_EQ(R.Output, Ref.Output) << "seed " << Seed;
+      EXPECT_EQ(R.Counters.Instrs, Ref.Counters.Instrs)
+          << "seed " << Seed;
+    }
+  }
+  EXPECT_GT(Compiled, 0);
 }
 
 } // namespace

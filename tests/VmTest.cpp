@@ -202,4 +202,163 @@ def main() -> int {
   EXPECT_EQ(R.ResultBits, 111);
 }
 
+//===--------------------------------------------------------------------===//
+// Execution engine (DESIGN.md §9): inline caches, fusion, dispatch
+//===--------------------------------------------------------------------===//
+
+// One receiver class through a virtual-call site in a loop: the very
+// first dispatch misses and fills the cache, every later one hits.
+// Compiled without the optimizer so devirtualization cannot remove the
+// CallV site the cache is attached to.
+TEST(VmTest, InlineCacheMonomorphicSiteHits) {
+  CompilerOptions NoOpt;
+  NoOpt.Optimize = false;
+  auto P = compileOk(R"(
+class A { def m() -> int { return 1; } }
+class B extends A { def m() -> int { return 2; } }
+def main() -> int {
+  var a: A = B.new();
+  var s = 0;
+  for (i = 0; i < 100; i = i + 1) s = s + a.m();
+  return s;
+}
+)",
+                     NoOpt);
+  VmResult R = P->runVm();
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  EXPECT_EQ(R.ResultBits, 200);
+  EXPECT_EQ(R.Counters.VirtualCalls, 100u);
+  EXPECT_EQ(R.Counters.IcMisses, 1u);
+  EXPECT_EQ(R.Counters.IcHits, 99u);
+}
+
+// Alternating receiver classes: a monomorphic cache re-resolves on
+// every class change, so hits and misses interleave — and the result
+// is still exactly right (the cache is a pure memo over the vtable).
+TEST(VmTest, InlineCachePolymorphicSiteInvalidates) {
+  CompilerOptions NoOpt;
+  NoOpt.Optimize = false;
+  auto P = compileOk(R"(
+class A { def m() -> int { return 1; } }
+class B extends A { def m() -> int { return 10; } }
+def call(a: A) -> int { return a.m(); }
+def main() -> int {
+  var x: A = A.new();
+  var y: A = B.new();
+  var s = 0;
+  for (i = 0; i < 50; i = i + 1) { s = s + call(x); s = s + call(y); }
+  return s;
+}
+)",
+                     NoOpt);
+  VmResult R = P->runVm();
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  EXPECT_EQ(R.ResultBits, 550);
+  EXPECT_EQ(R.Counters.VirtualCalls, 100u);
+  // Every dispatch flips the cached class, so every one re-misses.
+  EXPECT_EQ(R.Counters.IcMisses, 100u);
+  EXPECT_EQ(R.Counters.IcHits, 0u);
+  EXPECT_EQ(R.Counters.IcHits + R.Counters.IcMisses,
+            R.Counters.VirtualCalls);
+}
+
+// An abstract vtable slot (-1) must trap, and an inline cache must
+// never memoize its way past the check. Abstract slots cannot be
+// reached from well-typed source, so the test makes one by hand.
+TEST(VmTest, InlineCacheAbstractSlotStillTraps) {
+  CompilerOptions NoOpt;
+  NoOpt.Optimize = false;
+  auto P = compileOk(R"(
+class A { def m() -> int { return 1; } }
+def main() -> int {
+  var a: A = A.new();
+  return a.m();
+}
+)",
+                     NoOpt);
+  for (BcClass &C : P->bytecode().Classes)
+    for (int &Slot : C.VTable)
+      Slot = -1;
+  VmResult R = P->runVm();
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapMessage.find("abstract"), std::string::npos);
+}
+
+// The fusion/IC legs of the engine must be invisible: identical
+// result, output, and executed-instruction count (fused pairs count
+// as two) against the plain decoded stream.
+TEST(VmTest, FusionIsObservationallyInvisible) {
+  const char *Source = R"(
+class P { var x: int; new(x) { } def get() -> int { return x; } }
+def sum(n: int) -> int {
+  var a = Array<int>.new(n);
+  for (i = 0; i < n; i = i + 1) a[i] = i * 3;
+  var s = 0;
+  for (i = 0; i < n; i = i + 1) s = s + a[i];
+  return s + P.new(7).get();
+}
+def main() -> int { return sum(200); }
+)";
+  auto P = compileOk(Source);
+  VmOptions Plain;
+  Plain.Fuse = false;
+  Plain.InlineCache = false;
+  VmResult Fast = P->runVm();
+  VmResult Slow = P->runVm(Plain);
+  ASSERT_FALSE(Fast.Trapped) << Fast.TrapMessage;
+  EXPECT_EQ(Fast.ResultBits, Slow.ResultBits);
+  EXPECT_EQ(Fast.Output, Slow.Output);
+  EXPECT_EQ(Fast.Counters.Instrs, Slow.Counters.Instrs);
+  EXPECT_GT(Fast.Counters.FusedExecuted, 0u);
+  EXPECT_EQ(Slow.Counters.FusedExecuted, 0u);
+}
+
+// Switch and threaded dispatch run the same prepared stream; every
+// observable (and the instruction count) must agree.
+TEST(VmTest, SwitchAndThreadedDispatchAgree) {
+  auto P = compileOk(R"(
+def fib(n: int) -> int {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+def main() -> int { return fib(15); }
+)");
+  VmOptions SwitchMode;
+  SwitchMode.Mode = VmOptions::Dispatch::Switch;
+  VmResult A = P->runVm();
+  VmResult B = P->runVm(SwitchMode);
+  EXPECT_EQ(A.ResultBits, B.ResultBits);
+  EXPECT_EQ(A.Counters.Instrs, B.Counters.Instrs);
+  EXPECT_EQ(B.DispatchMode, "switch");
+  if (Vm::threadedAvailable())
+    EXPECT_EQ(A.DispatchMode, "threaded");
+}
+
+// The fuel check is amortized to calls and backward branches, but the
+// *count* it checks is exact, so a fused and an unfused engine hit the
+// budget at the same backward branch with the same Instrs total.
+TEST(VmTest, FuelTrapIsEquivalentAcrossEngineConfigs) {
+  auto P = compileOk(R"(
+def main() -> int {
+  var i = 0;
+  while (true) i = i + 1;
+  return i;
+}
+)");
+  VmOptions Plain;
+  Plain.Fuse = false;
+  Plain.InlineCache = false;
+  Vm Fast(P->bytecode());
+  Fast.setMaxInstrs(50000);
+  VmResult A = Fast.run();
+  Vm Slow(P->bytecode(), Plain);
+  Slow.setMaxInstrs(50000);
+  VmResult B = Slow.run();
+  EXPECT_TRUE(A.Trapped);
+  EXPECT_TRUE(B.Trapped);
+  EXPECT_NE(A.TrapMessage.find("budget"), std::string::npos);
+  EXPECT_NE(B.TrapMessage.find("budget"), std::string::npos);
+  EXPECT_EQ(A.Counters.Instrs, B.Counters.Instrs);
+}
+
 } // namespace

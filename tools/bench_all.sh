@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+#===- tools/bench_all.sh - run every bench, aggregate BENCH_vm.json ------===#
+#
+# Runs every bench/bench_* binary with --json and merges the per-bench
+# reports into one machine-readable file (default BENCH_vm.json in the
+# repo root). Used locally to refresh the checked-in numbers and by the
+# CI perf-smoke job.
+#
+# usage: bench_all.sh [--quick] [--out FILE] [--bench-dir DIR]
+#                     [--check BASELINE]
+#
+#   --quick          pass --quick to each bench (reduced repetitions,
+#                    no google-benchmark timing loops) — the CI mode
+#   --out FILE       aggregate output path (default BENCH_vm.json)
+#   --bench-dir DIR  where the bench binaries live (default build/bench)
+#   --check BASELINE compare e1_callconv vm_minstr_per_sec against the
+#                    baseline file and fail if it regressed > 30%
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+QUICK=""
+OUT="BENCH_vm.json"
+BENCH_DIR="build/bench"
+BASELINE=""
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) QUICK="--quick" ;;
+    --out) OUT="$2"; shift ;;
+    --bench-dir) BENCH_DIR="$2"; shift ;;
+    --check) BASELINE="$2"; shift ;;
+    *) echo "bench_all.sh: unknown option '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "FAIL: bench dir '$BENCH_DIR' not found (build first)" >&2
+  exit 1
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+FAILED=0
+for BIN in "$BENCH_DIR"/bench_*; do
+  [ -x "$BIN" ] || continue
+  NAME=$(basename "$BIN")
+  echo "== $NAME =="
+  # Each bench writes its own JSON fragment; stdout is the human report.
+  if ! "$BIN" $QUICK --json "$TMP/$NAME.json"; then
+    echo "FAIL: $NAME exited non-zero" >&2
+    FAILED=1
+  fi
+done
+
+python3 - "$TMP" "$OUT" <<'EOF'
+import json, os, sys, subprocess
+
+tmp, out = sys.argv[1], sys.argv[2]
+benches = {}
+for name in sorted(os.listdir(tmp)):
+    with open(os.path.join(tmp, name)) as f:
+        rec = json.load(f)
+    benches[rec["bench"]] = rec["metrics"]
+
+commit = "unknown"
+try:
+    commit = subprocess.check_output(
+        ["git", "rev-parse", "--short", "HEAD"],
+        stderr=subprocess.DEVNULL).decode().strip()
+except Exception:
+    pass
+
+with open(out, "w") as f:
+    json.dump({"schema": "virgil-bench-v1", "commit": commit,
+               "benches": benches}, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out} ({len(benches)} benches)")
+EOF
+
+if [ -n "$BASELINE" ]; then
+  python3 - "$OUT" "$BASELINE" <<'EOF'
+import json, sys
+
+cur = json.load(open(sys.argv[1]))["benches"]
+base = json.load(open(sys.argv[2]))["benches"]
+key = "vm_minstr_per_sec"
+have = cur.get("e1_callconv", {}).get(key)
+want = base.get("e1_callconv", {}).get(key)
+if have is None or want is None:
+    print("FAIL: e1_callconv %s missing from results or baseline" % key)
+    sys.exit(1)
+# The gate is deliberately loose (30%): shared CI runners are noisy,
+# and the point is to catch engine regressions, not scheduler jitter.
+floor = want * 0.70
+print(f"perf gate: e1_callconv {key} = {have:.1f}, "
+      f"baseline {want:.1f}, floor {floor:.1f}")
+if have < floor:
+    print("FAIL: VM throughput regressed more than 30% vs baseline")
+    sys.exit(1)
+print("perf gate: ok")
+EOF
+fi
+
+exit $FAILED

@@ -67,7 +67,8 @@ using namespace virgil;
 static void usage() {
   std::fprintf(stderr,
                "usage: virgilc [--interp] [--dump-ast|--dump-ir|"
-               "--dump-mono|--dump-norm] [--stats] [--no-opt] "
+               "--dump-mono|--dump-norm] [--stats] [--vm-stats] "
+               "[--vm-dispatch auto|switch|threaded] [--no-opt] "
                "(file.v3 | -e <source>)\n"
                "       virgilc batch [--jobs N] [--cache-dir D] [--run] "
                "[--stats] [--no-opt] <files...>\n"
@@ -303,6 +304,8 @@ int main(int Argc, char **Argv) {
 
   bool UseInterp = false, DumpAst = false, DumpIr = false;
   bool DumpMono = false, DumpNorm = false, ShowStats = false;
+  bool ShowVmStats = false;
+  VmOptions VmOpts;
   CompilerOptions Options;
   std::string Path, Source, Name = "<cmdline>";
   bool HaveSource = false;
@@ -321,7 +324,22 @@ int main(int Argc, char **Argv) {
       DumpNorm = true;
     else if (Arg == "--stats")
       ShowStats = true;
-    else if (Arg == "--no-opt")
+    else if (Arg == "--vm-stats")
+      ShowVmStats = true;
+    else if (Arg == "--vm-dispatch" && I + 1 < Argc) {
+      std::string Mode = Argv[++I];
+      if (Mode == "auto")
+        VmOpts.Mode = VmOptions::Dispatch::Auto;
+      else if (Mode == "switch")
+        VmOpts.Mode = VmOptions::Dispatch::Switch;
+      else if (Mode == "threaded")
+        VmOpts.Mode = VmOptions::Dispatch::Threaded;
+      else {
+        std::fprintf(stderr, "virgilc: unknown dispatch mode '%s'\n",
+                     Mode.c_str());
+        return 2;
+      }
+    } else if (Arg == "--no-opt")
       Options.Optimize = false;
     else if (Arg == "-e" && I + 1 < Argc) {
       Source = Argv[++I];
@@ -385,8 +403,32 @@ int main(int Argc, char **Argv) {
       return (int)(R.Result.asInt() & 0xFF);
     return 0;
   }
-  VmResult R = Program->runVm();
+  VmResult R = Program->runVm(VmOpts);
   std::fputs(R.Output.c_str(), stdout);
+  if (ShowVmStats) {
+    // One machine-readable JSON line on stderr, so it composes with
+    // program output on stdout.
+    const VmCounters &C = R.Counters;
+    std::fprintf(
+        stderr,
+        "{\"dispatch\":\"%s\",\"instrs\":%llu,\"calls\":%llu,"
+        "\"virtual_calls\":%llu,\"indirect_calls\":%llu,"
+        "\"ic_hits\":%llu,\"ic_misses\":%llu,"
+        "\"fused_static\":%llu,\"fused_executed\":%llu,"
+        "\"heap_objects\":%llu,\"heap_arrays\":%llu,"
+        "\"string_allocs\":%llu,\"gcs\":%llu,\"trapped\":%s}\n",
+        R.DispatchMode.c_str(), (unsigned long long)C.Instrs,
+        (unsigned long long)C.Calls, (unsigned long long)C.VirtualCalls,
+        (unsigned long long)C.IndirectCalls,
+        (unsigned long long)C.IcHits, (unsigned long long)C.IcMisses,
+        (unsigned long long)C.FusedStatic,
+        (unsigned long long)C.FusedExecuted,
+        (unsigned long long)C.HeapObjects,
+        (unsigned long long)C.HeapArrays,
+        (unsigned long long)C.StringAllocs,
+        (unsigned long long)R.Heap.Collections,
+        R.Trapped ? "true" : "false");
+  }
   if (R.Trapped) {
     std::fprintf(stderr, "trap: %s\n", R.TrapMessage.c_str());
     return 1;
