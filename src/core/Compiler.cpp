@@ -65,6 +65,17 @@ std::string PhaseTimings::toString() const {
   return Buf;
 }
 
+std::string PhaseTimings::toJson() const {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"parse_ms\":%.3f,\"sema_ms\":%.3f,\"lower_ms\":%.3f,"
+                "\"mono_ms\":%.3f,\"opt_mono_ms\":%.3f,\"norm_ms\":%.3f,"
+                "\"opt_norm_ms\":%.3f,\"emit_ms\":%.3f,\"total_ms\":%.3f}",
+                ParseMs, SemaMs, LowerMs, MonoMs, OptMonoMs, NormMs,
+                OptNormMs, EmitMs, TotalMs);
+  return Buf;
+}
+
 Program::Program() = default;
 Program::~Program() = default;
 

@@ -71,6 +71,9 @@ struct PhaseTimings {
   PhaseTimings &operator+=(const PhaseTimings &O);
   /// One line, e.g. "parse 0.12ms sema 0.34ms ... total 1.23ms".
   std::string toString() const;
+  /// One flat JSON object, e.g. {"parse_ms":0.12,...,"total_ms":1.23}.
+  /// Rides in server execute responses and the STATS surface.
+  std::string toJson() const;
 };
 
 struct PipelineStats {

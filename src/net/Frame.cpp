@@ -1,0 +1,62 @@
+//===- net/Frame.cpp ------------------------------------------------------===//
+
+#include "net/Frame.h"
+
+#include <cstdio>
+
+using namespace virgil::net;
+
+std::string virgil::net::encodeFrame(uint8_t Type,
+                                     std::string_view Payload) {
+  uint32_t N = (uint32_t)Payload.size() + 1;
+  std::string Out;
+  Out.reserve(4 + N);
+  for (int I = 0; I != 4; ++I)
+    Out.push_back((char)((N >> (8 * I)) & 0xFF));
+  Out.push_back((char)Type);
+  Out.append(Payload.data(), Payload.size());
+  return Out;
+}
+
+void FrameDecoder::feed(const char *Data, size_t Len) {
+  if (Bad)
+    return; // poisoned stream: drop everything after the error
+  Buf.append(Data, Len);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame &Out) {
+  if (Bad)
+    return Status::Error;
+  size_t Avail = Buf.size() - Pos;
+  if (Avail < 4)
+    return Status::NeedMore;
+  uint32_t N = 0;
+  for (int I = 0; I != 4; ++I)
+    N |= (uint32_t)(uint8_t)Buf[Pos + I] << (8 * I);
+  if (N == 0) {
+    Bad = true;
+    Err = "zero-length frame (missing type byte)";
+    return Status::Error;
+  }
+  if (N > kMaxFramePayload) {
+    char Msg[96];
+    std::snprintf(Msg, sizeof(Msg),
+                  "oversized frame: %u bytes (max %u)", N,
+                  kMaxFramePayload);
+    Bad = true;
+    Err = Msg;
+    return Status::Error;
+  }
+  if (Avail < 4 + (size_t)N)
+    return Status::NeedMore;
+  Out.Type = (uint8_t)Buf[Pos + 4];
+  Out.Payload.assign(Buf, Pos + 5, N - 1);
+  Pos += 4 + (size_t)N;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection's buffer doesn't grow with total traffic.
+  if (Pos > 4096 && Pos * 2 > Buf.size()) {
+    Buf.erase(0, Pos);
+    Pos = 0;
+  }
+  return Status::Ready;
+}

@@ -1,0 +1,71 @@
+//===- net/Frame.h - Length-prefixed wire framing ---------------*- C++ -*-===//
+///
+/// \file
+/// The virgild wire protocol's outermost layer: every message is one
+/// frame
+///
+///   [u32 LE length N] [u8 type] [N-1 payload bytes]
+///
+/// where N counts the type byte plus the payload. The decoder is an
+/// incremental state machine: feed it whatever the socket produced
+/// (any split, including mid-header) and pull complete frames out.
+/// Malformed input — a zero length (no type byte) or a length above
+/// kMaxFramePayload — puts the decoder into a sticky error state with
+/// a diagnostic; the server closes such connections instead of
+/// guessing at resynchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_NET_FRAME_H
+#define VIRGIL_NET_FRAME_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace virgil {
+namespace net {
+
+/// Largest accepted frame body (type byte + payload). Bounds both
+/// request sources and response outputs; anything larger is a
+/// protocol error, never an allocation.
+constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+struct Frame {
+  uint8_t Type = 0;
+  std::string Payload;
+};
+
+/// One encoded frame, ready to write to a socket.
+std::string encodeFrame(uint8_t Type, std::string_view Payload);
+
+class FrameDecoder {
+public:
+  enum class Status : uint8_t {
+    NeedMore, ///< No complete frame buffered yet.
+    Ready,    ///< \p Out holds the next frame.
+    Error,    ///< Stream is malformed; see error(). Sticky.
+  };
+
+  /// Appends raw socket bytes. Cheap; parsing happens in next().
+  void feed(const char *Data, size_t Len);
+  void feed(std::string_view Data) { feed(Data.data(), Data.size()); }
+
+  /// Pulls the next complete frame, if any.
+  Status next(Frame &Out);
+
+  const std::string &error() const { return Err; }
+  /// Bytes buffered but not yet consumed (tests).
+  size_t buffered() const { return Buf.size() - Pos; }
+
+private:
+  std::string Buf;
+  size_t Pos = 0;
+  std::string Err;
+  bool Bad = false;
+};
+
+} // namespace net
+} // namespace virgil
+
+#endif // VIRGIL_NET_FRAME_H

@@ -1,0 +1,19 @@
+//===- net/Poller.cpp -----------------------------------------------------===//
+
+#include "net/Poller.h"
+
+#include <cerrno>
+
+using namespace virgil::net;
+
+int Poller::wait(int TimeoutMs) {
+  for (;;) {
+    int N = ::poll(Fds.data(), (nfds_t)Fds.size(), TimeoutMs);
+    if (N >= 0)
+      return N;
+    if (errno != EINTR)
+      return -1;
+    // EINTR (e.g. SIGTERM during shutdown): retry with the same
+    // timeout; the caller's loop re-checks its stop conditions.
+  }
+}

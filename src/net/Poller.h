@@ -1,0 +1,62 @@
+//===- net/Poller.h - poll(2) event-loop wrapper ----------------*- C++ -*-===//
+///
+/// \file
+/// The daemon's readiness multiplexer: rebuild the interest set each
+/// iteration (cheap at server fan-in scale, immune to stale-fd bugs),
+/// block in poll(2), and query readiness by the index add() returned.
+/// poll rather than epoll keeps the code portable (macOS/BSD) with
+/// identical semantics at the connection counts a compile server
+/// sees; the interface would admit an epoll backend without touching
+/// callers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_NET_POLLER_H
+#define VIRGIL_NET_POLLER_H
+
+#include <cstddef>
+#include <poll.h>
+#include <vector>
+
+namespace virgil {
+namespace net {
+
+class Poller {
+public:
+  /// Clears the interest set (call at the top of each loop iteration).
+  void clear() { Fds.clear(); }
+
+  /// Registers \p Fd for readability and, when \p WantWrite, also for
+  /// writability (a connection with buffered output). Returns the
+  /// slot index for the readiness queries below.
+  size_t add(int Fd, bool WantWrite = false) {
+    pollfd P;
+    P.fd = Fd;
+    P.events = (short)(POLLIN | (WantWrite ? POLLOUT : 0));
+    P.revents = 0;
+    Fds.push_back(P);
+    return Fds.size() - 1;
+  }
+
+  /// Blocks up to \p TimeoutMs (-1 = forever). Returns the number of
+  /// ready fds (0 on timeout), or -1 on error other than EINTR.
+  int wait(int TimeoutMs);
+
+  bool readable(size_t Idx) const {
+    return (Fds[Idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+  }
+  bool writable(size_t Idx) const {
+    return (Fds[Idx].revents & POLLOUT) != 0;
+  }
+  bool errored(size_t Idx) const {
+    return (Fds[Idx].revents & (POLLERR | POLLNVAL)) != 0;
+  }
+
+private:
+  std::vector<pollfd> Fds;
+};
+
+} // namespace net
+} // namespace virgil
+
+#endif // VIRGIL_NET_POLLER_H

@@ -1,0 +1,209 @@
+//===- net/Socket.cpp -----------------------------------------------------===//
+
+#include "net/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace virgil::net;
+
+namespace {
+
+void setError(std::string *Err, const std::string &What) {
+  if (Err)
+    *Err = What + ": " + std::strerror(errno);
+}
+
+bool fillInAddr(const std::string &Host, uint16_t Port,
+                sockaddr_in &Addr, std::string *Err) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  const char *H = Host.empty() ? "127.0.0.1" : Host.c_str();
+  if (::inet_pton(AF_INET, H, &Addr.sin_addr) != 1) {
+    if (Err)
+      *Err = "bad IPv4 address '" + Host + "'";
+    return false;
+  }
+  return true;
+}
+
+bool fillUnAddr(const std::string &Path, sockaddr_un &Addr,
+                std::string *Err) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "unix socket path too long: " + Path;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+int virgil::net::listenTcp(const std::string &Host, uint16_t Port,
+                           std::string *Err, uint16_t *BoundPort) {
+  sockaddr_in Addr;
+  if (!fillInAddr(Host, Port, Addr, Err))
+    return -1;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Err, "socket");
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, (sockaddr *)&Addr, sizeof(Addr)) != 0) {
+    setError(Err, "bind " + Host + ":" + std::to_string(Port));
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 128) != 0) {
+    setError(Err, "listen");
+    ::close(Fd);
+    return -1;
+  }
+  if (BoundPort) {
+    sockaddr_in Actual;
+    socklen_t Len = sizeof(Actual);
+    if (::getsockname(Fd, (sockaddr *)&Actual, &Len) == 0)
+      *BoundPort = ntohs(Actual.sin_port);
+  }
+  return Fd;
+}
+
+int virgil::net::listenUnix(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr;
+  if (!fillUnAddr(Path, Addr, Err))
+    return -1;
+  // A previous daemon instance may have left its socket file behind;
+  // binding over it requires the unlink.
+  ::unlink(Path.c_str());
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Err, "socket");
+    return -1;
+  }
+  if (::bind(Fd, (sockaddr *)&Addr, sizeof(Addr)) != 0) {
+    setError(Err, "bind " + Path);
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 128) != 0) {
+    setError(Err, "listen");
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int virgil::net::connectTcp(const std::string &Host, uint16_t Port,
+                            std::string *Err) {
+  sockaddr_in Addr;
+  if (!fillInAddr(Host, Port, Addr, Err))
+    return -1;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Err, "socket");
+    return -1;
+  }
+  int Rc;
+  do {
+    Rc = ::connect(Fd, (sockaddr *)&Addr, sizeof(Addr));
+  } while (Rc != 0 && errno == EINTR);
+  if (Rc != 0) {
+    setError(Err, "connect " + Host + ":" + std::to_string(Port));
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
+int virgil::net::connectUnix(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr;
+  if (!fillUnAddr(Path, Addr, Err))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Err, "socket");
+    return -1;
+  }
+  int Rc;
+  do {
+    Rc = ::connect(Fd, (sockaddr *)&Addr, sizeof(Addr));
+  } while (Rc != 0 && errno == EINTR);
+  if (Rc != 0) {
+    setError(Err, "connect " + Path);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool virgil::net::setNonBlocking(int Fd, bool NonBlocking,
+                                 std::string *Err) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0) {
+    setError(Err, "fcntl(F_GETFL)");
+    return false;
+  }
+  Flags = NonBlocking ? (Flags | O_NONBLOCK) : (Flags & ~O_NONBLOCK);
+  if (::fcntl(Fd, F_SETFL, Flags) != 0) {
+    setError(Err, "fcntl(F_SETFL)");
+    return false;
+  }
+  return true;
+}
+
+bool virgil::net::sendAll(int Fd, const char *Data, size_t Len,
+                          std::string *Err) {
+  size_t Sent = 0;
+  while (Sent < Len) {
+    ssize_t N = ::send(Fd, Data + Sent, Len - Sent, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      setError(Err, "send");
+      return false;
+    }
+    Sent += (size_t)N;
+  }
+  return true;
+}
+
+bool virgil::net::recvAll(int Fd, char *Data, size_t Len,
+                          std::string *Err) {
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::recv(Fd, Data + Got, Len - Got, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      setError(Err, "recv");
+      return false;
+    }
+    if (N == 0) {
+      if (Err)
+        *Err = "connection closed by peer";
+      return false;
+    }
+    Got += (size_t)N;
+  }
+  return true;
+}
+
+void virgil::net::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}

@@ -1,0 +1,54 @@
+//===- net/Socket.h - TCP and Unix-domain socket helpers --------*- C++ -*-===//
+///
+/// \file
+/// Thin POSIX socket wrappers shared by the daemon, the client
+/// library, and the load generator: listeners (TCP with ephemeral-port
+/// support, Unix-domain with stale-file cleanup), blocking connects,
+/// non-blocking mode, and EINTR-safe full-buffer read/write used by
+/// the blocking client. All functions report errors as strings via an
+/// out-parameter — no exceptions, no errno spelunking at call sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_NET_SOCKET_H
+#define VIRGIL_NET_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace virgil {
+namespace net {
+
+/// Creates a listening TCP socket on \p Host:\p Port (SO_REUSEADDR,
+/// backlog 128). \p Port 0 binds an ephemeral port; the actual port is
+/// stored in \p BoundPort when non-null. Returns the fd, or -1 with
+/// \p Err set.
+int listenTcp(const std::string &Host, uint16_t Port, std::string *Err,
+              uint16_t *BoundPort = nullptr);
+
+/// Creates a listening Unix-domain socket at \p Path, unlinking any
+/// stale socket file first. Returns the fd, or -1 with \p Err set.
+int listenUnix(const std::string &Path, std::string *Err);
+
+/// Blocking connect to a TCP endpoint. Returns the fd, or -1.
+int connectTcp(const std::string &Host, uint16_t Port, std::string *Err);
+
+/// Blocking connect to a Unix-domain socket. Returns the fd, or -1.
+int connectUnix(const std::string &Path, std::string *Err);
+
+bool setNonBlocking(int Fd, bool NonBlocking, std::string *Err = nullptr);
+
+/// Writes the whole buffer (blocking fd), retrying on EINTR.
+bool sendAll(int Fd, const char *Data, size_t Len, std::string *Err);
+
+/// Reads exactly \p Len bytes (blocking fd), retrying on EINTR.
+/// Returns false on error or premature EOF.
+bool recvAll(int Fd, char *Data, size_t Len, std::string *Err);
+
+void closeFd(int Fd);
+
+} // namespace net
+} // namespace virgil
+
+#endif // VIRGIL_NET_SOCKET_H

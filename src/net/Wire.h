@@ -1,0 +1,116 @@
+//===- net/Wire.h - Bounds-checked binary encode/decode ---------*- C++ -*-===//
+///
+/// \file
+/// Little-endian scalar and length-prefixed string packing for frame
+/// payloads. The reader never reads past its view: any short or
+/// malformed input flips a sticky failure bit and subsequent reads
+/// return zero values, so message decoders can parse the whole shape
+/// and check ok() once at the end — no crashes on hostile bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_NET_WIRE_H
+#define VIRGIL_NET_WIRE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace virgil {
+namespace net {
+
+class WireWriter {
+public:
+  void u8(uint8_t V) { Out.push_back((char)V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Out.push_back((char)((V >> (8 * I)) & 0xFF));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Out.push_back((char)((V >> (8 * I)) & 0xFF));
+  }
+  void i64(int64_t V) { u64((uint64_t)V); }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+  void str(std::string_view S) {
+    u32((uint32_t)S.size());
+    Out.append(S.data(), S.size());
+  }
+
+  std::string take() { return std::move(Out); }
+  const std::string &bytes() const { return Out; }
+
+private:
+  std::string Out;
+};
+
+class WireReader {
+public:
+  explicit WireReader(std::string_view Bytes) : Buf(Bytes) {}
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return (uint8_t)Buf[Pos++];
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= (uint32_t)(uint8_t)Buf[Pos++] << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= (uint64_t)(uint8_t)Buf[Pos++] << (8 * I);
+    return V;
+  }
+  int64_t i64() { return (int64_t)u64(); }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint32_t Len = u32();
+    if (!need(Len))
+      return std::string();
+    std::string S(Buf.substr(Pos, Len));
+    Pos += Len;
+    return S;
+  }
+
+  /// True iff every read so far was in bounds.
+  bool ok() const { return !Failed; }
+  /// True iff ok() and the whole payload was consumed (trailing bytes
+  /// in a request are a protocol error).
+  bool done() const { return !Failed && Pos == Buf.size(); }
+
+private:
+  bool need(size_t N) {
+    if (Failed || Buf.size() - Pos < N) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view Buf;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace net
+} // namespace virgil
+
+#endif // VIRGIL_NET_WIRE_H

@@ -1,0 +1,150 @@
+//===- server/Client.cpp --------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include "net/Socket.h"
+
+using namespace virgil;
+using namespace virgil::server;
+
+bool Client::connectTcp(const std::string &Host, uint16_t Port,
+                        std::string *Err) {
+  close();
+  Fd = net::connectTcp(Host, Port, Err);
+  return Fd >= 0;
+}
+
+bool Client::connectUnix(const std::string &Path, std::string *Err) {
+  close();
+  Fd = net::connectUnix(Path, Err);
+  return Fd >= 0;
+}
+
+void Client::close() {
+  net::closeFd(Fd);
+  Fd = -1;
+}
+
+bool Client::sendFrame(uint8_t Type, const std::string &Payload,
+                       std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "not connected";
+    return false;
+  }
+  std::string Bytes = net::encodeFrame(Type, Payload);
+  return net::sendAll(Fd, Bytes.data(), Bytes.size(), Err);
+}
+
+bool Client::recvFrame(net::Frame *Out, std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "not connected";
+    return false;
+  }
+  char Hdr[4];
+  if (!net::recvAll(Fd, Hdr, 4, Err))
+    return false;
+  uint32_t N = 0;
+  for (int I = 0; I != 4; ++I)
+    N |= (uint32_t)(uint8_t)Hdr[I] << (8 * I);
+  if (N == 0 || N > net::kMaxFramePayload) {
+    if (Err)
+      *Err = "malformed response frame length";
+    return false;
+  }
+  std::string Body(N, '\0');
+  if (!net::recvAll(Fd, Body.data(), N, Err))
+    return false;
+  Out->Type = (uint8_t)Body[0];
+  Out->Payload = Body.substr(1);
+  return true;
+}
+
+namespace {
+
+/// Shared request/response shape for execute() and compile().
+bool roundTrip(Client &C, MsgType ReqType, const ExecuteRequest &Req,
+               net::Frame *Resp, bool *Busy, std::string *Err) {
+  if (Busy)
+    *Busy = false;
+  if (!C.sendFrame((uint8_t)ReqType, encodeExecuteRequest(Req), Err))
+    return false;
+  if (!C.recvFrame(Resp, Err))
+    return false;
+  if ((MsgType)Resp->Type == MsgType::BusyResp) {
+    if (Busy) {
+      *Busy = true;
+      return true;
+    }
+    if (Err)
+      *Err = "server busy";
+    return false;
+  }
+  if ((MsgType)Resp->Type == MsgType::ErrorResp) {
+    ErrorResponse E;
+    decodeErrorResponse(Resp->Payload, &E);
+    if (Err)
+      *Err = "server error: " + E.Message;
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool Client::execute(const ExecuteRequest &Req, ExecuteResponse *Resp,
+                     bool *Busy, std::string *Err) {
+  net::Frame F;
+  if (!roundTrip(*this, MsgType::ExecuteReq, Req, &F, Busy, Err))
+    return false;
+  if (Busy && *Busy)
+    return true;
+  if ((MsgType)F.Type != MsgType::ExecuteResp ||
+      !decodeExecuteResponse(F.Payload, Resp)) {
+    if (Err)
+      *Err = "unexpected response frame";
+    return false;
+  }
+  return true;
+}
+
+bool Client::compile(const ExecuteRequest &Req, CompileResponse *Resp,
+                     bool *Busy, std::string *Err) {
+  net::Frame F;
+  if (!roundTrip(*this, MsgType::CompileReq, Req, &F, Busy, Err))
+    return false;
+  if (Busy && *Busy)
+    return true;
+  if ((MsgType)F.Type != MsgType::CompileResp ||
+      !decodeCompileResponse(F.Payload, Resp)) {
+    if (Err)
+      *Err = "unexpected response frame";
+    return false;
+  }
+  return true;
+}
+
+bool Client::stats(std::string *JsonOut, std::string *Err) {
+  if (!sendFrame((uint8_t)MsgType::StatsReq, "", Err))
+    return false;
+  net::Frame F;
+  if (!recvFrame(&F, Err))
+    return false;
+  if ((MsgType)F.Type != MsgType::StatsResp) {
+    if (Err)
+      *Err = "unexpected response frame";
+    return false;
+  }
+  *JsonOut = F.Payload;
+  return true;
+}
+
+bool Client::ping(std::string *Err) {
+  if (!sendFrame((uint8_t)MsgType::PingReq, "", Err))
+    return false;
+  net::Frame F;
+  if (!recvFrame(&F, Err))
+    return false;
+  return (MsgType)F.Type == MsgType::PingResp;
+}

@@ -1,0 +1,139 @@
+//===- server/Metrics.cpp -------------------------------------------------===//
+
+#include "server/Metrics.h"
+
+#include <cstdio>
+
+using namespace virgil::server;
+
+double LatencyHistogram::percentileMs(double Q) const {
+  if (N == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // Rank of the target sample (1-based), then walk buckets until the
+  // cumulative count covers it.
+  uint64_t Rank = (uint64_t)(Q * (double)N);
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Seen = 0;
+  for (int B = 0; B != kBuckets; ++B) {
+    if (Counts[B] == 0)
+      continue;
+    if (Seen + Counts[B] >= Rank) {
+      // Interpolate within [2^B, 2^(B+1)) µs by the rank's position
+      // inside this bucket.
+      double Lo = B == 0 ? 0.0 : (double)((uint64_t)1 << B);
+      double Hi = (double)((uint64_t)1 << (B + 1));
+      double Frac = (double)(Rank - Seen) / (double)Counts[B];
+      return (Lo + Frac * (Hi - Lo)) / 1000.0;
+    }
+    Seen += Counts[B];
+  }
+  return (double)((uint64_t)1 << (kBuckets - 1)) / 1000.0;
+}
+
+std::string LatencyHistogram::toJson() const {
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"count\":%llu,\"mean_ms\":%.3f,\"p50_ms\":%.3f,"
+                "\"p95_ms\":%.3f,\"p99_ms\":%.3f}",
+                (unsigned long long)N, meanMs(), percentileMs(0.50),
+                percentileMs(0.95), percentileMs(0.99));
+  return Buf;
+}
+
+void ServerMetrics::onRequestDone(int Worker, bool IsExecute, Outcome O,
+                                  bool CacheHit, double CompileMs,
+                                  double ExecuteMs, double TotalMs,
+                                  double QueueMs, uint64_t Instrs) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  (IsExecute ? Executes : Compiles)++;
+  if ((size_t)O < sizeof(ByOutcome) / sizeof(ByOutcome[0]))
+    ++ByOutcome[(size_t)O];
+  if (CacheHit)
+    ++CacheHitsServed;
+  VmInstrs += Instrs;
+  CompileLat.record(CompileMs);
+  if (IsExecute)
+    ExecuteLat.record(ExecuteMs);
+  TotalLat.record(TotalMs);
+  QueueLat.record(QueueMs);
+  if (Worker >= 0 && (size_t)Worker < PerWorker.size()) {
+    ++PerWorker[(size_t)Worker].Requests;
+    PerWorker[(size_t)Worker].BusyMs += TotalMs;
+  }
+}
+
+std::string ServerMetrics::toJson(double UptimeMs, size_t QueueDepth,
+                                  size_t QueueCap, size_t ActiveConns,
+                                  const std::string &CacheJson) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  char Buf[512];
+  std::string J = "{";
+
+  std::snprintf(Buf, sizeof(Buf), "\"uptime_ms\":%.0f,", UptimeMs);
+  J += Buf;
+
+  std::snprintf(Buf, sizeof(Buf),
+                "\"connections\":{\"accepted\":%llu,\"closed\":%llu,"
+                "\"active\":%zu},",
+                (unsigned long long)ConnAccepted,
+                (unsigned long long)ConnClosed, ActiveConns);
+  J += Buf;
+
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "\"requests\":{\"execute\":%llu,\"compile\":%llu,\"stats\":%llu,"
+      "\"ping\":%llu,\"busy\":%llu,\"protocol_errors\":%llu,",
+      (unsigned long long)Executes, (unsigned long long)Compiles,
+      (unsigned long long)StatsReqs, (unsigned long long)Pings,
+      (unsigned long long)Busy, (unsigned long long)ProtocolErrors);
+  J += Buf;
+  J += "\"by_outcome\":{";
+  for (size_t I = 0; I != 6; ++I) {
+    std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%llu", I ? "," : "",
+                  outcomeName((Outcome)I),
+                  (unsigned long long)ByOutcome[I]);
+    J += Buf;
+  }
+  J += "}},";
+
+  std::snprintf(Buf, sizeof(Buf),
+                "\"queue\":{\"depth\":%zu,\"cap\":%zu,\"max_depth\":%zu,"
+                "\"enqueued\":%llu,\"rejected_busy\":%llu},",
+                QueueDepth, QueueCap, MaxQueueDepth,
+                (unsigned long long)Enqueued, (unsigned long long)Busy);
+  J += Buf;
+
+  J += "\"latency_ms\":{\"compile\":" + CompileLat.toJson() +
+       ",\"execute\":" + ExecuteLat.toJson() +
+       ",\"queue_wait\":" + QueueLat.toJson() +
+       ",\"total\":" + TotalLat.toJson() + "},";
+
+  J += "\"workers\":[";
+  for (int W = 0; W != Workers; ++W) {
+    const WorkerStats &S = PerWorker[(size_t)W];
+    double Util = UptimeMs > 0 ? 100.0 * S.BusyMs / UptimeMs : 0;
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s{\"id\":%d,\"requests\":%llu,\"busy_ms\":%.2f,"
+                  "\"utilization_pct\":%.1f}",
+                  W ? "," : "", W, (unsigned long long)S.Requests,
+                  S.BusyMs, Util);
+    J += Buf;
+  }
+  J += "],";
+
+  std::snprintf(Buf, sizeof(Buf),
+                "\"vm\":{\"instrs_total\":%llu,\"cache_hits_served\":%llu}",
+                (unsigned long long)VmInstrs,
+                (unsigned long long)CacheHitsServed);
+  J += Buf;
+
+  if (!CacheJson.empty())
+    J += ",\"cache\":" + CacheJson;
+  J += "}";
+  return J;
+}

@@ -1,0 +1,115 @@
+//===- server/Protocol.cpp ------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include "net/Wire.h"
+
+using namespace virgil::server;
+using virgil::net::WireReader;
+using virgil::net::WireWriter;
+
+const char *virgil::server::outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Ok:
+    return "ok";
+  case Outcome::CompileError:
+    return "compile_error";
+  case Outcome::Trap:
+    return "trap";
+  case Outcome::Fuel:
+    return "fuel";
+  case Outcome::Heap:
+    return "heap";
+  case Outcome::Deadline:
+    return "deadline";
+  }
+  return "unknown";
+}
+
+std::string virgil::server::encodeExecuteRequest(const ExecuteRequest &R) {
+  WireWriter W;
+  W.str(R.Name);
+  W.str(R.Source);
+  W.u64(R.Fuel);
+  W.u64(R.HeapBytes);
+  W.u32(R.DeadlineMs);
+  W.u32(R.Flags);
+  return W.take();
+}
+
+bool virgil::server::decodeExecuteRequest(const std::string &Payload,
+                                          ExecuteRequest *R) {
+  WireReader Rd(Payload);
+  R->Name = Rd.str();
+  R->Source = Rd.str();
+  R->Fuel = Rd.u64();
+  R->HeapBytes = Rd.u64();
+  R->DeadlineMs = Rd.u32();
+  R->Flags = Rd.u32();
+  return Rd.done() && R->Flags == 0;
+}
+
+std::string virgil::server::encodeExecuteResponse(const ExecuteResponse &R) {
+  WireWriter W;
+  W.u8((uint8_t)R.O);
+  W.str(R.Message);
+  W.u8(R.CacheHit ? 1 : 0);
+  W.u8(R.HasResult ? 1 : 0);
+  W.i64(R.ResultBits);
+  W.str(R.Output);
+  W.f64(R.CompileMs);
+  W.f64(R.ExecuteMs);
+  W.u64(R.Instrs);
+  W.str(R.TimingsJson);
+  return W.take();
+}
+
+bool virgil::server::decodeExecuteResponse(const std::string &Payload,
+                                           ExecuteResponse *R) {
+  WireReader Rd(Payload);
+  R->O = (Outcome)Rd.u8();
+  R->Message = Rd.str();
+  R->CacheHit = Rd.u8() != 0;
+  R->HasResult = Rd.u8() != 0;
+  R->ResultBits = Rd.i64();
+  R->Output = Rd.str();
+  R->CompileMs = Rd.f64();
+  R->ExecuteMs = Rd.f64();
+  R->Instrs = Rd.u64();
+  R->TimingsJson = Rd.str();
+  return Rd.done();
+}
+
+std::string virgil::server::encodeCompileResponse(const CompileResponse &R) {
+  WireWriter W;
+  W.u8((uint8_t)R.O);
+  W.str(R.Message);
+  W.u8(R.CacheHit ? 1 : 0);
+  W.f64(R.CompileMs);
+  W.str(R.TimingsJson);
+  return W.take();
+}
+
+bool virgil::server::decodeCompileResponse(const std::string &Payload,
+                                           CompileResponse *R) {
+  WireReader Rd(Payload);
+  R->O = (Outcome)Rd.u8();
+  R->Message = Rd.str();
+  R->CacheHit = Rd.u8() != 0;
+  R->CompileMs = Rd.f64();
+  R->TimingsJson = Rd.str();
+  return Rd.done();
+}
+
+std::string virgil::server::encodeErrorResponse(const ErrorResponse &R) {
+  WireWriter W;
+  W.str(R.Message);
+  return W.take();
+}
+
+bool virgil::server::decodeErrorResponse(const std::string &Payload,
+                                         ErrorResponse *R) {
+  WireReader Rd(Payload);
+  R->Message = Rd.str();
+  return Rd.done();
+}

@@ -1,0 +1,573 @@
+//===- server/Server.cpp --------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "net/Poller.h"
+#include "net/Socket.h"
+#include "vm/Vm.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace virgil;
+using namespace virgil::server;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+/// Effective quota: the request's value clamped to the server maximum,
+/// or the server default when the request passes 0.
+uint64_t clampQuota(uint64_t Requested, uint64_t Default, uint64_t Max) {
+  if (Requested == 0)
+    return Default;
+  return Requested < Max ? Requested : Max;
+}
+
+Outcome outcomeForTrap(VmTrapCause Cause) {
+  switch (Cause) {
+  case VmTrapCause::Fuel:
+    return Outcome::Fuel;
+  case VmTrapCause::Heap:
+    return Outcome::Heap;
+  case VmTrapCause::Deadline:
+    return Outcome::Deadline;
+  case VmTrapCause::None:
+  case VmTrapCause::Program:
+    break;
+  }
+  return Outcome::Trap;
+}
+
+} // namespace
+
+Server::Server(ServerConfig C)
+    : Config(std::move(C)),
+      Metrics(Config.Workers > 0 ? Config.Workers : 1) {
+  if (Config.Workers <= 0)
+    Config.Workers = 1;
+  ServiceOptions SO;
+  SO.Jobs = 1; // workers call compileOne directly; no inner pool
+  SO.CacheDir = Config.CacheDir;
+  SO.CacheMaxBytes = Config.CacheMaxBytes;
+  SO.Compile = Config.Compile;
+  Service = std::make_unique<CompileService>(SO);
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string *Err) {
+  if (Started.load())
+    return true;
+  if (Config.UnixPath.empty() && Config.TcpPort < 0) {
+    if (Err)
+      *Err = "no listener configured (need a unix path or tcp port)";
+    return false;
+  }
+  if (!Config.UnixPath.empty()) {
+    UnixListenFd = net::listenUnix(Config.UnixPath, Err);
+    if (UnixListenFd < 0)
+      return false;
+    net::setNonBlocking(UnixListenFd, true);
+  }
+  if (Config.TcpPort >= 0) {
+    TcpListenFd = net::listenTcp(Config.TcpHost, (uint16_t)Config.TcpPort,
+                                 Err, &BoundTcpPort);
+    if (TcpListenFd < 0) {
+      net::closeFd(UnixListenFd);
+      UnixListenFd = -1;
+      return false;
+    }
+    net::setNonBlocking(TcpListenFd, true);
+  }
+  if (::pipe(WakePipe) != 0) {
+    if (Err)
+      *Err = std::string("pipe: ") + std::strerror(errno);
+    net::closeFd(UnixListenFd);
+    net::closeFd(TcpListenFd);
+    UnixListenFd = TcpListenFd = -1;
+    return false;
+  }
+  net::setNonBlocking(WakePipe[0], true);
+  net::setNonBlocking(WakePipe[1], true);
+
+  StartTime = Clock::now();
+  Started.store(true);
+  LoopThread = std::thread([this] { eventLoop(); });
+  WorkerThreads.reserve((size_t)Config.Workers);
+  for (int W = 0; W != Config.Workers; ++W)
+    WorkerThreads.emplace_back([this, W] { workerLoop(W); });
+  return true;
+}
+
+void Server::requestStop() {
+  Stopping.store(true);
+  if (WakePipe[1] >= 0) {
+    char B = 1;
+    // Async-signal-safe: just a write; EAGAIN means the loop is
+    // already due to wake.
+    (void)!::write(WakePipe[1], &B, 1);
+  }
+}
+
+void Server::stop() {
+  if (!Started.load() || Joined)
+    return;
+  requestStop();
+  QueueCv.notify_all();
+  if (LoopThread.joinable())
+    LoopThread.join();
+  for (std::thread &T : WorkerThreads)
+    if (T.joinable())
+      T.join();
+  Joined = true;
+  net::closeFd(UnixListenFd);
+  net::closeFd(TcpListenFd);
+  net::closeFd(WakePipe[0]);
+  net::closeFd(WakePipe[1]);
+  UnixListenFd = TcpListenFd = WakePipe[0] = WakePipe[1] = -1;
+  if (!Config.UnixPath.empty())
+    ::unlink(Config.UnixPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Event loop
+//===----------------------------------------------------------------------===//
+
+void Server::wakeLoop() {
+  char B = 1;
+  (void)!::write(WakePipe[1], &B, 1);
+}
+
+void Server::eventLoop() {
+  net::Poller Poll;
+  bool DrainArmed = false;
+  Clock::time_point DrainDeadline;
+
+  for (;;) {
+    bool Draining = Stopping.load();
+    if (Draining && !DrainArmed) {
+      DrainArmed = true;
+      // Workers are bounded by per-request deadlines, so the drain
+      // converges; the cap protects against a client that never reads
+      // its responses.
+      DrainDeadline =
+          Clock::now() +
+          std::chrono::milliseconds(Config.MaxDeadlineMs + 5000);
+    }
+
+    Poll.clear();
+    size_t TcpIdx = (size_t)-1, UnixIdx = (size_t)-1;
+    if (!Draining) {
+      if (TcpListenFd >= 0)
+        TcpIdx = Poll.add(TcpListenFd);
+      if (UnixListenFd >= 0)
+        UnixIdx = Poll.add(UnixListenFd);
+    }
+    Poll.add(WakePipe[0]);
+    std::vector<std::pair<size_t, uint64_t>> ConnSlots;
+    ConnSlots.reserve(Conns.size());
+    for (auto &[Id, C] : Conns) {
+      bool WantWrite = C.WritePos < C.WriteBuf.size();
+      ConnSlots.emplace_back(Poll.add(C.Fd, WantWrite), Id);
+    }
+
+    Poll.wait(100);
+
+    // Drain the wakeup pipe (edge interest is level-triggered here,
+    // but the byte count is meaningless — it is only a doorbell).
+    char Junk[256];
+    while (::read(WakePipe[0], Junk, sizeof(Junk)) > 0) {
+    }
+
+    // Ship worker responses to their connections (the conn may have
+    // gone away; that just drops the bytes).
+    {
+      std::vector<Response> Ready;
+      {
+        std::lock_guard<std::mutex> Lock(RespMu);
+        Ready.swap(Responses);
+      }
+      for (Response &R : Ready) {
+        auto It = Conns.find(R.ConnId);
+        if (It == Conns.end())
+          continue;
+        It->second.WriteBuf += R.Bytes;
+      }
+    }
+
+    if (!Draining) {
+      if (TcpIdx != (size_t)-1 && Poll.readable(TcpIdx))
+        acceptOn(TcpListenFd);
+      if (UnixIdx != (size_t)-1 && Poll.readable(UnixIdx))
+        acceptOn(UnixListenFd);
+    }
+
+    std::vector<uint64_t> ToClose;
+    for (auto &[Idx, Id] : ConnSlots) {
+      auto It = Conns.find(Id);
+      if (It == Conns.end())
+        continue;
+      Conn &C = It->second;
+      if (Poll.errored(Idx)) {
+        ToClose.push_back(Id);
+        continue;
+      }
+      if (Poll.readable(Idx) && !C.CloseAfterFlush) {
+        if (!serviceRead(Id, C)) {
+          ToClose.push_back(Id);
+          continue;
+        }
+      }
+      if (!flushWrites(C))
+        ToClose.push_back(Id);
+    }
+    // Flush anything the response-shipping step added to connections
+    // that were not otherwise ready this round.
+    for (auto &[Id, C] : Conns) {
+      if (C.WritePos < C.WriteBuf.size() || C.CloseAfterFlush)
+        if (!flushWrites(C))
+          ToClose.push_back(Id);
+    }
+    for (uint64_t Id : ToClose)
+      closeConn(Id);
+
+    if (Draining) {
+      bool QueueEmpty;
+      {
+        std::lock_guard<std::mutex> Lock(QueueMu);
+        QueueEmpty = Queue.empty();
+      }
+      bool RespEmpty;
+      {
+        std::lock_guard<std::mutex> Lock(RespMu);
+        RespEmpty = Responses.empty();
+      }
+      bool Flushed = true;
+      for (auto &[Id, C] : Conns)
+        if (C.WritePos < C.WriteBuf.size())
+          Flushed = false;
+      bool Done = QueueEmpty && InFlight.load() == 0 && RespEmpty &&
+                  Flushed;
+      if (Done || Clock::now() >= DrainDeadline) {
+        std::vector<uint64_t> All;
+        for (auto &[Id, C] : Conns)
+          All.push_back(Id);
+        for (uint64_t Id : All)
+          closeConn(Id);
+        return;
+      }
+    }
+  }
+}
+
+void Server::acceptOn(int ListenFd) {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // EAGAIN or transient accept error: poll again later
+    }
+    net::setNonBlocking(Fd, true);
+    Conn C;
+    C.Fd = Fd;
+    Conns.emplace(NextConnId++, std::move(C));
+    Metrics.onConnection();
+  }
+}
+
+bool Server::serviceRead(uint64_t ConnId, Conn &C) {
+  char Buf[65536];
+  for (;;) {
+    ssize_t N = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      C.Decoder.feed(Buf, (size_t)N);
+      if ((size_t)N < sizeof(Buf))
+        break;
+      continue;
+    }
+    if (N == 0) {
+      // Peer finished sending. Process what we have, answer it, then
+      // close once the write buffer flushes.
+      C.CloseAfterFlush = true;
+      break;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    return false; // hard socket error
+  }
+
+  net::Frame F;
+  for (;;) {
+    net::FrameDecoder::Status S = C.Decoder.next(F);
+    if (S == net::FrameDecoder::Status::NeedMore)
+      break;
+    if (S == net::FrameDecoder::Status::Error) {
+      // Malformed stream: tell the client why, then hang up. Never
+      // try to resynchronize a corrupt framing layer.
+      Metrics.onProtocolError();
+      ErrorResponse E{"malformed frame: " + C.Decoder.error()};
+      queueResponse(C, (uint8_t)MsgType::ErrorResp,
+                    encodeErrorResponse(E));
+      C.CloseAfterFlush = true;
+      break;
+    }
+    if (!handleFrame(ConnId, C, F))
+      return false;
+    if (C.CloseAfterFlush)
+      break;
+  }
+  return true;
+}
+
+bool Server::handleFrame(uint64_t ConnId, Conn &C, const net::Frame &F) {
+  switch ((MsgType)F.Type) {
+  case MsgType::ExecuteReq:
+  case MsgType::CompileReq: {
+    Work W;
+    W.ConnId = ConnId;
+    W.Type = (MsgType)F.Type;
+    if (!decodeExecuteRequest(F.Payload, &W.Req)) {
+      Metrics.onProtocolError();
+      ErrorResponse E{"malformed request payload"};
+      queueResponse(C, (uint8_t)MsgType::ErrorResp,
+                    encodeErrorResponse(E));
+      C.CloseAfterFlush = true;
+      return true;
+    }
+    if (Stopping.load()) {
+      Metrics.onBusy();
+      ErrorResponse E{"server draining; retry elsewhere"};
+      queueResponse(C, (uint8_t)MsgType::BusyResp,
+                    encodeErrorResponse(E));
+      return true;
+    }
+    W.Enqueued = Clock::now();
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      if (Queue.size() >= Config.QueueCap) {
+        Metrics.onBusy();
+        ErrorResponse E{"queue full; retry"};
+        queueResponse(C, (uint8_t)MsgType::BusyResp,
+                      encodeErrorResponse(E));
+        return true;
+      }
+      Queue.push_back(std::move(W));
+      Metrics.onEnqueue(Queue.size());
+    }
+    QueueCv.notify_one();
+    return true;
+  }
+  case MsgType::StatsReq:
+    Metrics.onStatsReq();
+    queueResponse(C, (uint8_t)MsgType::StatsResp, statsJson());
+    return true;
+  case MsgType::PingReq:
+    Metrics.onPing();
+    queueResponse(C, (uint8_t)MsgType::PingResp, "");
+    return true;
+  default: {
+    // Unknown or response-typed frame from a client: diagnostic, then
+    // close — the stream's intent is unknowable.
+    Metrics.onProtocolError();
+    char Msg[64];
+    std::snprintf(Msg, sizeof(Msg), "unexpected frame type 0x%02x",
+                  F.Type);
+    ErrorResponse E{Msg};
+    queueResponse(C, (uint8_t)MsgType::ErrorResp, encodeErrorResponse(E));
+    C.CloseAfterFlush = true;
+    return true;
+  }
+  }
+}
+
+void Server::queueResponse(Conn &C, uint8_t Type,
+                           const std::string &Payload) {
+  C.WriteBuf += net::encodeFrame(Type, Payload);
+}
+
+bool Server::flushWrites(Conn &C) {
+  while (C.WritePos < C.WriteBuf.size()) {
+    ssize_t N = ::send(C.Fd, C.WriteBuf.data() + C.WritePos,
+                       C.WriteBuf.size() - C.WritePos, MSG_NOSIGNAL);
+    if (N > 0) {
+      C.WritePos += (size_t)N;
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true; // poll will report writability
+    return false;  // peer gone
+  }
+  C.WriteBuf.clear();
+  C.WritePos = 0;
+  return !C.CloseAfterFlush;
+}
+
+void Server::closeConn(uint64_t ConnId) {
+  auto It = Conns.find(ConnId);
+  if (It == Conns.end())
+    return;
+  net::closeFd(It->second.Fd);
+  Conns.erase(It);
+  Metrics.onDisconnect();
+}
+
+//===----------------------------------------------------------------------===//
+// Workers
+//===----------------------------------------------------------------------===//
+
+void Server::workerLoop(int WorkerId) {
+  for (;;) {
+    Work W;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      // wait_for rather than wait: requestStop() from a signal
+      // handler cannot safely notify a condition variable, so poll
+      // the flag at a coarse interval as the fallback wakeup.
+      QueueCv.wait_for(Lock, std::chrono::milliseconds(100), [this] {
+        return Stopping.load() || !Queue.empty();
+      });
+      if (Queue.empty()) {
+        if (Stopping.load())
+          return;
+        continue;
+      }
+      W = std::move(Queue.front());
+      Queue.pop_front();
+      InFlight.fetch_add(1);
+    }
+
+    double QueueMs = msSince(W.Enqueued);
+    auto T0 = Clock::now();
+    double CompileMs = 0, ExecuteMs = 0;
+    ExecuteResponse R = runRequest(W.Req, &CompileMs, &ExecuteMs);
+    double TotalMs = msSince(T0);
+
+    bool IsExecute = W.Type == MsgType::ExecuteReq;
+    std::string Payload;
+    uint8_t Type;
+    if (IsExecute) {
+      Type = (uint8_t)MsgType::ExecuteResp;
+      Payload = encodeExecuteResponse(R);
+    } else {
+      CompileResponse CR;
+      CR.O = R.O == Outcome::CompileError ? R.O : Outcome::Ok;
+      CR.Message = R.O == Outcome::CompileError ? R.Message : "";
+      CR.CacheHit = R.CacheHit;
+      CR.CompileMs = CompileMs;
+      CR.TimingsJson = R.TimingsJson;
+      Type = (uint8_t)MsgType::CompileResp;
+      Payload = encodeCompileResponse(CR);
+    }
+
+    Metrics.onRequestDone(WorkerId, IsExecute, R.O, R.CacheHit, CompileMs,
+                          ExecuteMs, TotalMs, QueueMs, R.Instrs);
+    {
+      std::lock_guard<std::mutex> Lock(RespMu);
+      Responses.push_back(
+          {W.ConnId, net::encodeFrame(Type, Payload)});
+    }
+    InFlight.fetch_sub(1);
+    wakeLoop();
+  }
+}
+
+ExecuteResponse Server::runRequest(const ExecuteRequest &Req,
+                                   double *CompileMs, double *ExecuteMs) {
+  ExecuteResponse R;
+
+  auto C0 = Clock::now();
+  CompileJob Job;
+  Job.Name = Req.Name.empty() ? "<request>" : Req.Name;
+  Job.Source = Req.Source;
+  JobResult JR = Service->compileOne(Job);
+  *CompileMs = msSince(C0);
+  R.CompileMs = *CompileMs;
+  R.CacheHit = JR.CacheHit;
+  R.TimingsJson = JR.CacheHit ? "{}" : JR.Timings.toJson();
+  if (!JR.Ok) {
+    R.O = Outcome::CompileError;
+    R.Message = JR.Error;
+    return R;
+  }
+
+  VmOptions VO;
+  VO.MaxInstrs =
+      clampQuota(Req.Fuel, Config.DefaultFuel, Config.MaxFuel);
+  VO.MaxHeapBytes = clampQuota(Req.HeapBytes, Config.DefaultHeapBytes,
+                               Config.MaxHeapBytes);
+  VO.DeadlineMs = (uint32_t)clampQuota(
+      Req.DeadlineMs, Config.DefaultDeadlineMs, Config.MaxDeadlineMs);
+
+  auto E0 = Clock::now();
+  Vm V(JR.Unit->bytecode(), VO);
+  VmResult VR = V.run();
+  *ExecuteMs = msSince(E0);
+  R.ExecuteMs = *ExecuteMs;
+  R.Instrs = VR.Counters.Instrs;
+  R.Output = std::move(VR.Output);
+  // Keep responses far below the frame cap even for print-heavy
+  // programs: the wire is a control plane, not a log shipper.
+  constexpr size_t kMaxOutput = 1u << 20;
+  if (R.Output.size() > kMaxOutput) {
+    R.Output.resize(kMaxOutput);
+    R.Output += "\n...[output truncated]\n";
+  }
+  if (VR.Trapped) {
+    R.O = outcomeForTrap(VR.Cause);
+    R.Message = VR.TrapMessage;
+  } else {
+    R.HasResult = VR.HasResult;
+    R.ResultBits = VR.ResultBits;
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// STATS
+//===----------------------------------------------------------------------===//
+
+std::string Server::statsJson() const {
+  std::string CacheJson;
+  if (BytecodeCache *Cache = Service->cache()) {
+    CacheStats CS = Cache->stats();
+    uint64_t Probes = CS.Hits + CS.Misses;
+    double HitPct = Probes ? 100.0 * (double)CS.Hits / (double)Probes : 0;
+    char Buf[384];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "{\"hits\":%llu,\"misses\":%llu,\"stores\":%llu,"
+        "\"hit_rate_pct\":%.1f,\"corrupt_evictions\":%llu,"
+        "\"version_evictions\":%llu,\"capacity_evictions\":%llu,"
+        "\"disk_bytes\":%llu,\"max_bytes\":%llu}",
+        (unsigned long long)CS.Hits, (unsigned long long)CS.Misses,
+        (unsigned long long)CS.Stores, HitPct,
+        (unsigned long long)CS.CorruptEvictions,
+        (unsigned long long)CS.VersionEvictions,
+        (unsigned long long)CS.CapacityEvictions,
+        (unsigned long long)Cache->diskBytes(),
+        (unsigned long long)Cache->maxBytes());
+    CacheJson = Buf;
+  }
+  size_t Depth;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Depth = Queue.size();
+  }
+  return Metrics.toJson(msSince(StartTime), Depth, Config.QueueCap,
+                        Conns.size(), CacheJson);
+}

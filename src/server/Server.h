@@ -1,0 +1,178 @@
+//===- server/Server.h - virgild: compile-and-execute daemon ----*- C++ -*-===//
+///
+/// \file
+/// The long-lived service the compile pipeline amortizes into: a
+/// poll-based event loop accepts connections on TCP and/or Unix
+/// sockets, a framing state machine per connection reassembles
+/// requests, and a bounded queue feeds a worker pool that compiles
+/// through the shared CompileService/BytecodeCache and executes each
+/// program in a fresh Vm under hard quotas (fuel, heap bytes,
+/// wall-clock deadline). Design invariants:
+///
+///   * Isolation — every request gets its own Compiler/TypeStore and
+///     its own Vm + Heap; a hostile program can only burn its own
+///     quotas, which degrade to a structured Outcome on the wire.
+///   * Backpressure — when the queue is at capacity the event loop
+///     answers BUSY immediately instead of queueing unboundedly; the
+///     client retries. Workers are never blocked by the network: they
+///     hand finished responses back to the event loop over a wakeup
+///     pipe.
+///   * Graceful drain — stop() (or SIGTERM via requestStop()) closes
+///     the listeners, lets workers finish everything already queued,
+///     flushes buffered responses, then joins. No request that was
+///     accepted is dropped.
+///   * Robustness — malformed frames or payloads close that one
+///     connection with a diagnostic; nothing a client sends can crash
+///     or hang the daemon.
+///
+/// The STATS request renders live metrics (ServerMetrics + cache
+/// stats) as one JSON document, served from the event loop without
+/// touching the worker queue — observability stays responsive under
+/// overload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SERVER_SERVER_H
+#define VIRGIL_SERVER_SERVER_H
+
+#include "net/Frame.h"
+#include "server/Metrics.h"
+#include "service/CompileService.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace virgil {
+namespace server {
+
+struct ServerConfig {
+  /// Unix-domain socket path; empty disables the Unix listener.
+  std::string UnixPath;
+  /// TCP listener; Port < 0 disables it, 0 binds an ephemeral port
+  /// (read back via tcpPort()).
+  std::string TcpHost = "127.0.0.1";
+  int TcpPort = -1;
+
+  int Workers = 2;
+  size_t QueueCap = 64;
+
+  /// Bytecode cache (shared across requests); empty disables it.
+  std::string CacheDir;
+  uint64_t CacheMaxBytes = 0;
+
+  /// Default and maximum per-request quotas. A request may specify
+  /// tighter values; anything above the maximum is clamped.
+  uint64_t DefaultFuel = 200u << 20;        // ~200M instructions
+  uint64_t DefaultHeapBytes = 64u << 20;    // 64 MiB
+  uint32_t DefaultDeadlineMs = 5000;
+  uint64_t MaxFuel = 1u << 30;
+  uint64_t MaxHeapBytes = 256u << 20;
+  uint32_t MaxDeadlineMs = 30000;
+
+  CompilerOptions Compile;
+};
+
+class Server {
+public:
+  explicit Server(ServerConfig Config);
+  ~Server();
+
+  /// Opens the listeners and spawns the event loop + workers. False
+  /// (with \p Err) if no listener could be opened.
+  bool start(std::string *Err);
+
+  /// Graceful shutdown: drain the queue, flush responses, join all
+  /// threads. Idempotent.
+  void stop();
+
+  /// Async-signal-safe shutdown trigger (the SIGTERM handler calls
+  /// this; the owner still calls stop() to join).
+  void requestStop();
+
+  /// True once requestStop()/stop() was called.
+  bool stopping() const { return Stopping.load(); }
+
+  /// The bound TCP port (after start() with TcpPort >= 0).
+  uint16_t tcpPort() const { return BoundTcpPort; }
+
+  /// The live STATS document (also what a STATS frame returns).
+  std::string statsJson() const;
+
+private:
+  struct Conn {
+    int Fd = -1;
+    net::FrameDecoder Decoder;
+    std::string WriteBuf;
+    size_t WritePos = 0;
+    bool CloseAfterFlush = false;
+  };
+
+  struct Work {
+    uint64_t ConnId = 0;
+    MsgType Type = MsgType::ExecuteReq;
+    ExecuteRequest Req; ///< CompileReq reuses the same payload shape.
+    std::chrono::steady_clock::time_point Enqueued;
+  };
+
+  struct Response {
+    uint64_t ConnId;
+    std::string Bytes;
+  };
+
+  void eventLoop();
+  void workerLoop(int WorkerId);
+  void acceptOn(int ListenFd);
+  /// Reads available bytes and processes complete frames. False when
+  /// the connection should be torn down now.
+  bool serviceRead(uint64_t ConnId, Conn &C);
+  /// Handles one decoded frame; false tears the connection down.
+  bool handleFrame(uint64_t ConnId, Conn &C, const net::Frame &F);
+  bool flushWrites(Conn &C);
+  void queueResponse(Conn &C, uint8_t Type, const std::string &Payload);
+  void closeConn(uint64_t ConnId);
+  void wakeLoop();
+  ExecuteResponse runRequest(const ExecuteRequest &R, double *CompileMs,
+                             double *ExecuteMs);
+
+  ServerConfig Config;
+  std::unique_ptr<CompileService> Service;
+  ServerMetrics Metrics;
+  std::chrono::steady_clock::time_point StartTime;
+
+  int TcpListenFd = -1;
+  int UnixListenFd = -1;
+  uint16_t BoundTcpPort = 0;
+  int WakePipe[2] = {-1, -1};
+
+  std::map<uint64_t, Conn> Conns;
+  uint64_t NextConnId = 1;
+
+  mutable std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<Work> Queue;
+  /// Requests popped but not yet answered; drain waits for zero.
+  std::atomic<int> InFlight{0};
+
+  std::mutex RespMu;
+  std::vector<Response> Responses;
+
+  std::atomic<bool> Stopping{false};
+  std::atomic<bool> Started{false};
+  bool Joined = false;
+  std::thread LoopThread;
+  std::vector<std::thread> WorkerThreads;
+};
+
+} // namespace server
+} // namespace virgil
+
+#endif // VIRGIL_SERVER_SERVER_H

@@ -2,11 +2,13 @@
 
 #include "service/BytecodeCache.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 namespace fs = std::filesystem;
 using namespace virgil;
@@ -94,6 +96,12 @@ std::unique_ptr<LoadedModule> BytecodeCache::load(uint64_t Key) {
       ++S.CorruptEvictions;
     return nullptr;
   }
+  // Refresh the entry's mtime so capacity eviction sees it as
+  // recently used (LRU approximation via filesystem timestamps).
+  if (MaxBytes) {
+    std::error_code Ec;
+    fs::last_write_time(Path, fs::file_time_type::clock::now(), Ec);
+  }
   std::lock_guard<std::mutex> Lock(Mu);
   ++S.Hits;
   return L;
@@ -121,9 +129,72 @@ bool BytecodeCache::store(uint64_t Key, const BcModule &M) {
     fs::remove(Tmp, Ec);
     return false;
   }
-  std::lock_guard<std::mutex> Lock(Mu);
-  ++S.Stores;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++S.Stores;
+  }
+  if (MaxBytes)
+    enforceMaxBytes();
   return true;
+}
+
+uint64_t BytecodeCache::diskBytes() const {
+  uint64_t Total = 0;
+  std::error_code Ec;
+  for (const auto &Entry : fs::directory_iterator(Dir, Ec)) {
+    if (!Entry.is_regular_file() || Entry.path().extension() != ".vbc")
+      continue;
+    std::error_code SzEc;
+    uint64_t Sz = Entry.file_size(SzEc);
+    if (!SzEc)
+      Total += Sz;
+  }
+  return Total;
+}
+
+void BytecodeCache::enforceMaxBytes() {
+  struct EntryInfo {
+    fs::path Path;
+    uint64_t Bytes;
+    fs::file_time_type Mtime;
+  };
+  std::vector<EntryInfo> Entries;
+  uint64_t Total = 0;
+  std::error_code Ec;
+  for (const auto &Entry : fs::directory_iterator(Dir, Ec)) {
+    if (!Entry.is_regular_file() || Entry.path().extension() != ".vbc")
+      continue;
+    std::error_code InfoEc;
+    uint64_t Sz = Entry.file_size(InfoEc);
+    if (InfoEc)
+      continue;
+    auto Mtime = Entry.last_write_time(InfoEc);
+    if (InfoEc)
+      continue;
+    Entries.push_back({Entry.path(), Sz, Mtime});
+    Total += Sz;
+  }
+  if (Total <= MaxBytes)
+    return;
+  // Oldest mtime first = least recently used first (loads under a cap
+  // refresh mtimes). Concurrent workers may race on the same victim;
+  // fs::remove of a vanished file simply fails and is not counted.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const EntryInfo &A, const EntryInfo &B) {
+              return A.Mtime < B.Mtime;
+            });
+  uint64_t Evicted = 0;
+  for (const EntryInfo &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    std::error_code RmEc;
+    if (fs::remove(E.Path, RmEc) && !RmEc) {
+      Total -= E.Bytes;
+      ++Evicted;
+    }
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  S.CapacityEvictions += Evicted;
 }
 
 size_t BytecodeCache::evictMismatched() {

@@ -40,6 +40,8 @@ struct CacheStats {
   uint64_t CorruptEvictions = 0;
   /// Entries deleted because their header version was stale.
   uint64_t VersionEvictions = 0;
+  /// Entries deleted to keep the cache under its byte cap (LRU).
+  uint64_t CapacityEvictions = 0;
   uint64_t Stores = 0;
 };
 
@@ -50,6 +52,16 @@ public:
   /// version-bump invalidation.
   explicit BytecodeCache(std::string Dir,
                          uint32_t FormatVersion = kBcFormatVersion);
+
+  /// Caps the total on-disk size; 0 (the default) means unbounded.
+  /// Every store that pushes the directory over the cap evicts
+  /// least-recently-used entries (hits refresh an entry's mtime) until
+  /// it fits again, counting them in CacheStats::CapacityEvictions.
+  void setMaxBytes(uint64_t Bytes) { MaxBytes = Bytes; }
+  uint64_t maxBytes() const { return MaxBytes; }
+
+  /// Total bytes of .vbc entries currently on disk.
+  uint64_t diskBytes() const;
 
   /// The content-address of one compile job: FNV-1a over the format
   /// version, an options fingerprint, and the source text.
@@ -78,8 +90,12 @@ public:
   CacheStats stats() const;
 
 private:
+  /// Deletes LRU entries until the directory is at or under MaxBytes.
+  void enforceMaxBytes();
+
   std::string Dir;
   uint32_t Version;
+  uint64_t MaxBytes = 0;
   mutable std::mutex Mu;
   CacheStats S;
 };

@@ -26,9 +26,11 @@ VmResult CompiledUnit::runVm() {
 
 CompileService::CompileService(ServiceOptions Options)
     : Options(std::move(Options)) {
-  if (!this->Options.CacheDir.empty())
+  if (!this->Options.CacheDir.empty()) {
     Cache = std::make_unique<BytecodeCache>(
         this->Options.CacheDir, this->Options.CacheFormatVersion);
+    Cache->setMaxBytes(this->Options.CacheMaxBytes);
+  }
 }
 
 CompileService::~CompileService() = default;

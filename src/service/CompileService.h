@@ -39,6 +39,8 @@ struct ServiceOptions {
   int Jobs = 1;
   /// Cache directory; empty disables caching.
   std::string CacheDir;
+  /// LRU byte cap for the on-disk cache; 0 means unbounded.
+  uint64_t CacheMaxBytes = 0;
   /// Format version for cache entries (tests override; production
   /// leaves it at kBcFormatVersion).
   uint32_t CacheFormatVersion = kBcFormatVersion;

@@ -91,6 +91,11 @@ void Heap::collect(size_t NeedSlots) {
   // Grow if the heap looks tight: keep at least 2x the live estimate.
   while (NewSize < Top + NeedSlots + 16)
     NewSize *= 2;
+  // The quota caps growth: never allocate a to-space past LimitSlots
+  // (but never below the current space either — live data, which is at
+  // most Top <= Space.size(), must always fit for the compaction).
+  if (LimitSlots && NewSize > LimitSlots)
+    NewSize = std::max(Space.size(), LimitSlots);
   std::vector<uint64_t> To(NewSize, 0);
   size_t Top2 = 1;
 
@@ -135,11 +140,17 @@ void Heap::collect(size_t NeedSlots) {
   Stats.MaxLiveSlots = std::max(Stats.MaxLiveSlots, (uint64_t)Top2);
 
   // If even after collection the request does not fit, grow and retry
-  // (collect() above already grew NewSize, so this is rare).
+  // (collect() above already grew NewSize, so this is rare). Under a
+  // quota, refusing to grow is the point: the allocation fails with a
+  // null reference and the VM reports a structured heap-limit trap.
   if (Top + NeedSlots > Space.size()) {
     size_t Bigger = Space.size();
     while (Bigger < Top + NeedSlots + 16)
       Bigger *= 2;
+    if (LimitSlots && Bigger > LimitSlots) {
+      OverLimit = true;
+      return;
+    }
     Space.resize(Bigger, 0);
   }
 }

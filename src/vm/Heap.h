@@ -57,15 +57,27 @@ public:
     PreCollect = std::move(Hook);
   }
 
+  /// Hard cap on heap slots (8 bytes each); 0 means unlimited. When a
+  /// collection cannot free enough space within the cap, allocations
+  /// return the null reference 0 and overLimit() turns true — the VM
+  /// turns that into a structured trap instead of growing without
+  /// bound. The effective floor is the initial space size.
+  void setLimitSlots(size_t Limit) { LimitSlots = Limit; }
+  bool overLimit() const { return OverLimit; }
+
   /// Allocates an object of class \p ClassId with zeroed fields.
   /// Inline bump-pointer fast path (object sizes are precomputed per
-  /// class); collection only on overflow.
+  /// class); collection only on overflow. Returns 0 (null) if the
+  /// heap quota is exhausted.
   uint64_t allocObject(int ClassId) {
     if ((size_t)ClassId >= ClassSlots.size())
       syncClassSlots(); // module grew after construction (tests)
     size_t Slots = ClassSlots[ClassId];
-    if (Top + Slots > Space.size())
+    if (Top + Slots > Space.size()) {
       collect(Slots);
+      if (Top + Slots > Space.size())
+        return 0; // quota exceeded; OverLimit set by collect
+    }
     uint64_t Ref = Top;
     Top += Slots;
     Stats.SlotsAllocated += Slots;
@@ -78,10 +90,14 @@ public:
   }
 
   /// Allocates an array (elements zeroed). \p Len must be >= 0.
+  /// Returns 0 (null) if the heap quota is exhausted.
   uint64_t allocArray(ElemKind Kind, int64_t Len) {
     size_t Slots = 2 + (Kind == ElemKind::Void ? 0 : (size_t)Len);
-    if (Top + Slots > Space.size())
+    if (Top + Slots > Space.size()) {
       collect(Slots);
+      if (Top + Slots > Space.size())
+        return 0; // quota exceeded; OverLimit set by collect
+    }
     uint64_t Ref = Top;
     Top += Slots;
     Stats.SlotsAllocated += Slots;
@@ -124,6 +140,8 @@ private:
                 size_t &Top);
 
   const BcModule &M;
+  size_t LimitSlots = 0;
+  bool OverLimit = false;
   /// Per-class total slot count (1 header + fields), precomputed so
   /// the allocation fast path avoids chasing the class table.
   std::vector<uint32_t> ClassSlots;

@@ -3,6 +3,7 @@
 #include "vm/Vm.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
 
 using namespace virgil;
@@ -38,6 +39,9 @@ Vm::Vm(const BcModule &M, VmOptions Opts)
   StackKinds.assign(InitialStackSlots, SlotKind::Scalar);
   Frames.reserve(1024);
   Counters.FusedStatic = Prep.Stats.fusedTotal();
+  MaxInstrs = Opts.MaxInstrs;
+  if (Opts.MaxHeapBytes)
+    TheHeap.setLimitSlots((size_t)(Opts.MaxHeapBytes / sizeof(uint64_t)));
 }
 
 bool Vm::threadedAvailable() {
@@ -54,8 +58,9 @@ const char *Vm::dispatchModeName() const {
   return Threaded ? "threaded" : "switch";
 }
 
-void Vm::doTrap(TrapKind Kind, const std::string &Extra) {
+void Vm::doTrap(TrapKind Kind, const std::string &Extra, VmTrapCause Cause) {
   Trapped = true;
+  TrapCause = Cause;
   TrapMessage = trapKindName(Kind);
   if (!Extra.empty())
     TrapMessage += ": " + Extra;
@@ -64,6 +69,8 @@ void Vm::doTrap(TrapKind Kind, const std::string &Extra) {
 uint64_t Vm::makeString(int Index) {
   const std::string &S = M.Strings[Index];
   uint64_t Ref = TheHeap.allocArray(ElemKind::Scalar, (int64_t)S.size());
+  if (Ref == 0)
+    return 0; // heap quota exhausted; the caller traps on the flag
   for (size_t I = 0; I != S.size(); ++I)
     TheHeap.elem(Ref, (int64_t)I) = (uint8_t)S[I];
   ++Counters.StringAllocs;
@@ -221,6 +228,13 @@ bool Vm::runLoop() {
 
 VmResult Vm::run() {
   VmResult R;
+  if (Options.DeadlineMs) {
+    DeadlineNs = (uint64_t)std::chrono::duration_cast<
+                     std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count() +
+                 (uint64_t)Options.DeadlineMs * 1000000ull;
+  }
   Globals.assign(M.GlobalKinds.size(), 0);
   if (M.InitId >= 0 && !Trapped) {
     if (enterCall(M.InitId, nullptr, 0, nullptr, false))
@@ -235,6 +249,7 @@ VmResult Vm::run() {
     }
   }
   R.Trapped = Trapped;
+  R.Cause = TrapCause;
   R.TrapMessage = TrapMessage;
   R.Output = Output;
   R.Counters = Counters;

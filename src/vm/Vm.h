@@ -51,9 +51,10 @@ struct VmCounters {
   uint64_t FusedExecuted = 0;
 };
 
-/// Execution-engine knobs (the E12 ablation axes). Defaults are the
-/// fast path; the naive legs exist for benchmarking and differential
-/// tests.
+/// Execution-engine knobs (the E12 ablation axes) plus the per-run
+/// resource quotas the server relies on for request isolation.
+/// Defaults are the fast path with no limits; the naive legs exist for
+/// benchmarking and differential tests.
 struct VmOptions {
   enum class Dispatch : uint8_t {
     Auto,     ///< Threaded when compiled in, else switch.
@@ -63,10 +64,32 @@ struct VmOptions {
   Dispatch Mode = Dispatch::Auto;
   bool Fuse = true;
   bool InlineCache = true;
+  /// Instruction budget (0 = unlimited); exceeding it traps with cause
+  /// Fuel. Same accounting as setMaxInstrs.
+  uint64_t MaxInstrs = 0;
+  /// Heap quota in bytes (0 = unlimited; floor is the initial heap,
+  /// 128 KiB). Exceeding it traps with cause Heap.
+  uint64_t MaxHeapBytes = 0;
+  /// Wall-clock budget in milliseconds measured from run() (0 =
+  /// unlimited). Checked every few thousand fuel events, so a runaway
+  /// stops within a few thousand calls/loop-iterations of the
+  /// deadline. Traps with cause Deadline.
+  uint32_t DeadlineMs = 0;
+};
+
+/// Why a run trapped: a fault in the program itself, or one of the
+/// resource quotas. The server maps these onto wire-level outcomes.
+enum class VmTrapCause : uint8_t {
+  None = 0,
+  Program,  ///< Null deref, bounds, cast, div-by-zero, user error...
+  Fuel,     ///< Instruction budget exceeded.
+  Heap,     ///< Heap byte quota exceeded.
+  Deadline, ///< Wall-clock deadline exceeded.
 };
 
 struct VmResult {
   bool Trapped = false;
+  VmTrapCause Cause = VmTrapCause::None;
   std::string TrapMessage;
   /// First return value of main as raw bits (int32 for int mains).
   int64_t ResultBits = 0;
@@ -120,7 +143,8 @@ private:
   /// heap's pre-collect hook; see Heap::setPreCollectHook).
   void refreshStackKinds();
   void growStack(size_t Need);
-  void doTrap(TrapKind Kind, const std::string &Extra = "");
+  void doTrap(TrapKind Kind, const std::string &Extra = "",
+              VmTrapCause Cause = VmTrapCause::Program);
   bool runLoop();
   bool runLoopSwitch();
 #ifdef VIRGIL_VM_COMPUTED_GOTO
@@ -145,8 +169,14 @@ private:
   std::string Output;
   VmCounters Counters;
   bool Trapped = false;
+  VmTrapCause TrapCause = VmTrapCause::None;
   std::string TrapMessage;
   uint64_t MaxInstrs = 0;
+  /// Absolute steady-clock deadline in nanoseconds (0 = none), armed
+  /// by run() from Options.DeadlineMs.
+  uint64_t DeadlineNs = 0;
+  /// Countdown between clock reads on the fuel-check path.
+  int32_t DeadlineTick = 0;
   int32_t TickCounter = 0;
   std::vector<int64_t> FinalRets;
 };

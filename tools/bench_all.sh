@@ -6,30 +6,44 @@
 # repo root). Used locally to refresh the checked-in numbers and by the
 # CI perf-smoke job.
 #
-# usage: bench_all.sh [--quick] [--out FILE] [--bench-dir DIR]
-#                     [--check BASELINE]
+# Server-side benches (bench_e13_server) aggregate separately into
+# BENCH_server.json: request latency percentiles move with machine
+# load in ways VM throughput does not, so they get their own file and
+# their own gate.
+#
+# usage: bench_all.sh [--quick] [--out FILE] [--server-out FILE]
+#                     [--bench-dir DIR] [--check BASELINE]
+#                     [--check-server BASELINE]
 #
 #   --quick          pass --quick to each bench (reduced repetitions,
 #                    no google-benchmark timing loops) — the CI mode
-#   --out FILE       aggregate output path (default BENCH_vm.json)
+#   --out FILE       VM aggregate output path (default BENCH_vm.json)
+#   --server-out FILE  server aggregate path (default BENCH_server.json)
 #   --bench-dir DIR  where the bench binaries live (default build/bench)
 #   --check BASELINE compare e1_callconv vm_minstr_per_sec against the
 #                    baseline file and fail if it regressed > 30%
+#   --check-server BASELINE  compare e13_server warm_p95_ms against the
+#                    baseline file (fail above 3x) and require the
+#                    warm-over-cold speedup to stay >= 2x
 #
 #===----------------------------------------------------------------------===#
 set -euo pipefail
 
 QUICK=""
 OUT="BENCH_vm.json"
+SERVER_OUT="BENCH_server.json"
 BENCH_DIR="build/bench"
 BASELINE=""
+SERVER_BASELINE=""
 
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) QUICK="--quick" ;;
     --out) OUT="$2"; shift ;;
+    --server-out) SERVER_OUT="$2"; shift ;;
     --bench-dir) BENCH_DIR="$2"; shift ;;
     --check) BASELINE="$2"; shift ;;
+    --check-server) SERVER_BASELINE="$2"; shift ;;
     *) echo "bench_all.sh: unknown option '$1'" >&2; exit 2 ;;
   esac
   shift
@@ -55,15 +69,17 @@ for BIN in "$BENCH_DIR"/bench_*; do
   fi
 done
 
-python3 - "$TMP" "$OUT" <<'EOF'
+python3 - "$TMP" "$OUT" "$SERVER_OUT" <<'EOF'
 import json, os, sys, subprocess
 
-tmp, out = sys.argv[1], sys.argv[2]
-benches = {}
+tmp, out, server_out = sys.argv[1], sys.argv[2], sys.argv[3]
+SERVER_BENCHES = {"e13_server"}
+benches, server_benches = {}, {}
 for name in sorted(os.listdir(tmp)):
     with open(os.path.join(tmp, name)) as f:
         rec = json.load(f)
-    benches[rec["bench"]] = rec["metrics"]
+    dest = server_benches if rec["bench"] in SERVER_BENCHES else benches
+    dest[rec["bench"]] = rec["metrics"]
 
 commit = "unknown"
 try:
@@ -78,6 +94,12 @@ with open(out, "w") as f:
                "benches": benches}, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {out} ({len(benches)} benches)")
+if server_benches:
+    with open(server_out, "w") as f:
+        json.dump({"schema": "virgil-bench-v1", "commit": commit,
+                   "benches": server_benches}, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {server_out} ({len(server_benches)} benches)")
 EOF
 
 if [ -n "$BASELINE" ]; then
@@ -101,6 +123,33 @@ if have < floor:
     print("FAIL: VM throughput regressed more than 30% vs baseline")
     sys.exit(1)
 print("perf gate: ok")
+EOF
+fi
+
+if [ -n "$SERVER_BASELINE" ]; then
+  python3 - "$SERVER_OUT" "$SERVER_BASELINE" <<'EOF'
+import json, sys
+
+cur = json.load(open(sys.argv[1]))["benches"].get("e13_server", {})
+base = json.load(open(sys.argv[2]))["benches"].get("e13_server", {})
+p95, base_p95 = cur.get("warm_p95_ms"), base.get("warm_p95_ms")
+speedup = cur.get("warm_speedup")
+if p95 is None or base_p95 is None or speedup is None:
+    print("FAIL: e13_server metrics missing from results or baseline")
+    sys.exit(1)
+# Latency gates are looser than throughput gates (3x): a shared
+# runner's scheduler can triple a sub-millisecond p95 on its own. The
+# warm-over-cold speedup is load-independent, so it gates tight.
+ceil = base_p95 * 3.0
+print(f"server gate: warm_p95_ms = {p95:.3f}, baseline {base_p95:.3f}, "
+      f"ceiling {ceil:.3f}; warm_speedup = {speedup:.1f}x")
+if p95 > ceil:
+    print("FAIL: server warm p95 regressed more than 3x vs baseline")
+    sys.exit(1)
+if speedup < 2.0:
+    print("FAIL: warm requests are not 2x faster than cold at p95")
+    sys.exit(1)
+print("server gate: ok")
 EOF
 fi
 

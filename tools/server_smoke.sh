@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+#===- tools/server_smoke.sh - end-to-end virgild smoke test --------------===#
+#
+# The CI server-smoke job: boots a real virgild on a Unix socket, puts
+# 200 requests through it from 8 concurrent connections (all must come
+# back Ok), sends a deliberate infinite loop that must come back as a
+# structured deadline outcome (not a hang, not a dropped connection),
+# then SIGTERMs the daemon and requires a clean drain with exit 0.
+#
+# usage: server_smoke.sh VIRGILD VIRGIL_LOAD [WORKDIR]
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+VIRGILD="$1"
+VIRGIL_LOAD="$2"
+WORK="${3:-$(mktemp -d)}"
+SOCK="$WORK/virgild.sock"
+mkdir -p "$WORK"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+"$VIRGILD" --unix "$SOCK" --workers 2 --cache-dir "$WORK/cache" \
+  --cache-max-bytes $((4 * 1024 * 1024)) 2> "$WORK/daemon.log" &
+DPID=$!
+trap 'kill -9 $DPID 2>/dev/null || true' EXIT
+
+# Wait for the socket to appear (the daemon compiles nothing on boot,
+# so this is quick; 5s is generous for sanitizer builds).
+for _ in $(seq 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "daemon did not create $SOCK"
+
+echo "== 200 well-behaved requests over 8 connections =="
+"$VIRGIL_LOAD" --unix "$SOCK" --conns 8 --requests 200 \
+  --expect ok --json "$WORK/load.json" \
+  || fail "well-behaved load did not complete cleanly"
+
+echo "== runaway program must come back as a structured timeout =="
+cat > "$WORK/spin.v3" <<'EOF'
+def main() -> int {
+  var i = 0;
+  while (i >= 0) { i = i + 1; if (i > 1000000000) i = 0; }
+  return i;
+}
+EOF
+# Huge fuel so the wall-clock deadline is the binding quota; the
+# request must return (with outcome deadline) rather than hang.
+"$VIRGIL_LOAD" --unix "$SOCK" --conns 1 --requests 2 \
+  --program "$WORK/spin.v3" --fuel 99999999999 --deadline-ms 500 \
+  --expect deadline \
+  || fail "runaway program did not produce structured deadline outcomes"
+
+echo "== SIGTERM must drain cleanly =="
+kill -TERM $DPID
+DEXIT=0
+wait $DPID || DEXIT=$?
+[ "$DEXIT" -eq 0 ] || {
+  cat "$WORK/daemon.log" >&2
+  fail "daemon exited $DEXIT after SIGTERM (expected clean drain, 0)"
+}
+grep -q "clean shutdown" "$WORK/daemon.log" \
+  || fail "daemon log is missing the clean-shutdown marker"
+trap - EXIT
+
+echo "server smoke: ok"

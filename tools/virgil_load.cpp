@@ -1,0 +1,419 @@
+//===- tools/virgil_load.cpp - Load generator for virgild ------------------===//
+///
+/// \file
+/// `virgil-load` drives a virgild instance with concurrent connections
+/// and reports per-request latency percentiles plus outcome counts.
+///
+///   --unix PATH | --tcp HOST:PORT   where the daemon listens
+///   --conns N          concurrent connections (default 8)
+///   --requests N       total requests across all connections (default 200)
+///   --mode closed|open closed-loop (each conn sends, waits, repeats) or
+///                      open-loop (fixed arrival rate, --rate per second)
+///   --rate R           open-loop target requests/second (default 200)
+///   --program FILE     source to execute (default: built-in program)
+///   --distinct         make every request's source unique (defeats the
+///                      bytecode cache; measures cold compiles)
+///   --fuel N / --heap-max-bytes N / --deadline-ms N   quota overrides
+///   --expect OUTCOME   fail unless every completed request has this
+///                      outcome (ok|compile_error|trap|fuel|heap|deadline)
+///   --json PATH        write a machine-readable summary
+///
+/// BUSY responses are retried (closed loop) or counted (open loop);
+/// they are backpressure, not failures. Exit code 0 when every request
+/// got a response (and --expect, if given, held); 1 otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace virgil;
+using namespace virgil::server;
+
+namespace {
+
+const char *kDefaultProgram =
+    "class Accum {\n"
+    "  var total: int;\n"
+    "  new(total) { }\n"
+    "  def add(x: int) -> int { total = total + x; return total; }\n"
+    "}\n"
+    "def apply<T>(f: T -> T, x: T) -> T { return f(x); }\n"
+    "def twice(x: int) -> int { return x * 2; }\n"
+    "def main() -> int {\n"
+    "  var a = Accum.new(1);\n"
+    "  for (i = 0; i < 200; i = i + 1) a.add(apply(twice, i));\n"
+    "  return a.total;\n"
+    "}\n";
+
+struct Options {
+  std::string UnixPath;
+  std::string TcpHost;
+  int TcpPort = -1;
+  int Conns = 8;
+  int Requests = 200;
+  bool OpenLoop = false;
+  double Rate = 200.0;
+  std::string ProgramFile;
+  bool Distinct = false;
+  uint64_t Fuel = 0;
+  uint64_t HeapBytes = 0;
+  uint32_t DeadlineMs = 0;
+  std::string Expect;
+  std::string JsonPath;
+};
+
+struct Results {
+  std::mutex Mu;
+  std::vector<double> LatenciesMs;
+  uint64_t ByOutcome[6] = {0, 0, 0, 0, 0, 0};
+  uint64_t Busy = 0;
+  uint64_t CacheHits = 0;
+  uint64_t TransportErrors = 0;
+  std::string FirstError;
+
+  void record(double Ms, Outcome O, bool Hit) {
+    std::lock_guard<std::mutex> G(Mu);
+    LatenciesMs.push_back(Ms);
+    ++ByOutcome[(int)O];
+    if (Hit)
+      ++CacheHits;
+  }
+  void busy() {
+    std::lock_guard<std::mutex> G(Mu);
+    ++Busy;
+  }
+  void transportError(const std::string &E) {
+    std::lock_guard<std::mutex> G(Mu);
+    ++TransportErrors;
+    if (FirstError.empty())
+      FirstError = E;
+  }
+};
+
+double percentile(std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0;
+  double Pos = Q * (double)(Sorted.size() - 1);
+  size_t Lo = (size_t)Pos;
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Pos - (double)Lo;
+  return Sorted[Lo] + (Sorted[Hi] - Sorted[Lo]) * Frac;
+}
+
+bool connectClient(const Options &Opt, Client &C, std::string *Err) {
+  if (!Opt.UnixPath.empty())
+    return C.connectUnix(Opt.UnixPath, Err);
+  return C.connectTcp(Opt.TcpHost, (uint16_t)Opt.TcpPort, Err);
+}
+
+ExecuteRequest makeRequest(const Options &Opt, const std::string &Program,
+                           int Seq) {
+  ExecuteRequest Req;
+  Req.Name = "load-" + std::to_string(Seq);
+  Req.Source = Program;
+  if (Opt.Distinct) {
+    // A unique top-level def changes the content hash without
+    // changing the program's behavior: every request compiles cold.
+    Req.Source += "def uniq_" + std::to_string(Seq) + "() -> int { return " +
+                  std::to_string(Seq) + "; }\n";
+  }
+  Req.Fuel = Opt.Fuel;
+  Req.HeapBytes = Opt.HeapBytes;
+  Req.DeadlineMs = Opt.DeadlineMs;
+  return Req;
+}
+
+/// One closed-loop worker: send, wait for the response, repeat. BUSY
+/// backs off briefly and retries the same request.
+void closedWorker(const Options &Opt, const std::string &Program,
+                  std::atomic<int> &NextSeq, Results &R) {
+  Client C;
+  std::string Err;
+  if (!connectClient(Opt, C, &Err)) {
+    R.transportError("connect: " + Err);
+    return;
+  }
+  for (;;) {
+    int Seq = NextSeq.fetch_add(1);
+    if (Seq >= Opt.Requests)
+      break;
+    ExecuteRequest Req = makeRequest(Opt, Program, Seq);
+    for (;;) {
+      ExecuteResponse Resp;
+      bool Busy = false;
+      auto T0 = std::chrono::steady_clock::now();
+      if (!C.execute(Req, &Resp, &Busy, &Err)) {
+        R.transportError(Err);
+        // Reconnect once; the server may have closed after an error.
+        if (!connectClient(Opt, C, &Err))
+          return;
+        continue;
+      }
+      if (Busy) {
+        R.busy();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
+      double Ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+      R.record(Ms, Resp.O, Resp.CacheHit);
+      break;
+    }
+  }
+  C.close();
+}
+
+/// One open-loop worker: fires requests on a fixed schedule regardless
+/// of response times (measures latency under a target arrival rate).
+/// BUSY counts as shed load and is not retried.
+void openWorker(const Options &Opt, const std::string &Program,
+                int WorkerId, int Count, double IntervalSec, Results &R) {
+  Client C;
+  std::string Err;
+  if (!connectClient(Opt, C, &Err)) {
+    R.transportError("connect: " + Err);
+    return;
+  }
+  auto Start = std::chrono::steady_clock::now();
+  for (int I = 0; I != Count; ++I) {
+    auto Due = Start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(IntervalSec * I));
+    std::this_thread::sleep_until(Due);
+    int Seq = WorkerId * 1000000 + I;
+    ExecuteRequest Req = makeRequest(Opt, Program, Seq);
+    ExecuteResponse Resp;
+    bool Busy = false;
+    auto T0 = std::chrono::steady_clock::now();
+    if (!C.execute(Req, &Resp, &Busy, &Err)) {
+      R.transportError(Err);
+      if (!connectClient(Opt, C, &Err))
+        return;
+      continue;
+    }
+    if (Busy) {
+      R.busy();
+      continue;
+    }
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+    R.record(Ms, Resp.O, Resp.CacheHit);
+  }
+  C.close();
+}
+
+int outcomeIndex(const std::string &Name) {
+  static const char *Names[] = {"ok",   "compile_error", "trap",
+                                "fuel", "heap",          "deadline"};
+  for (int I = 0; I != 6; ++I)
+    if (Name == Names[I])
+      return I;
+  return -1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "virgil-load: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--unix") {
+      Opt.UnixPath = Next("--unix");
+    } else if (Arg == "--tcp") {
+      std::string Spec = Next("--tcp");
+      size_t Colon = Spec.rfind(':');
+      if (Colon == std::string::npos) {
+        std::fprintf(stderr, "virgil-load: --tcp needs HOST:PORT\n");
+        return 2;
+      }
+      Opt.TcpHost = Spec.substr(0, Colon);
+      Opt.TcpPort = std::atoi(Spec.c_str() + Colon + 1);
+    } else if (Arg == "--conns") {
+      Opt.Conns = std::atoi(Next("--conns"));
+    } else if (Arg == "--requests") {
+      Opt.Requests = std::atoi(Next("--requests"));
+    } else if (Arg == "--mode") {
+      std::string M = Next("--mode");
+      if (M == "open")
+        Opt.OpenLoop = true;
+      else if (M == "closed")
+        Opt.OpenLoop = false;
+      else {
+        std::fprintf(stderr, "virgil-load: --mode is open|closed\n");
+        return 2;
+      }
+    } else if (Arg == "--rate") {
+      Opt.Rate = std::atof(Next("--rate"));
+    } else if (Arg == "--program") {
+      Opt.ProgramFile = Next("--program");
+    } else if (Arg == "--distinct") {
+      Opt.Distinct = true;
+    } else if (Arg == "--fuel") {
+      Opt.Fuel = std::strtoull(Next("--fuel"), nullptr, 10);
+    } else if (Arg == "--heap-max-bytes") {
+      Opt.HeapBytes = std::strtoull(Next("--heap-max-bytes"), nullptr, 10);
+    } else if (Arg == "--deadline-ms") {
+      Opt.DeadlineMs = (uint32_t)std::strtoul(Next("--deadline-ms"), nullptr, 10);
+    } else if (Arg == "--expect") {
+      Opt.Expect = Next("--expect");
+      if (outcomeIndex(Opt.Expect) < 0) {
+        std::fprintf(stderr, "virgil-load: unknown outcome '%s'\n",
+                     Opt.Expect.c_str());
+        return 2;
+      }
+    } else if (Arg == "--json") {
+      Opt.JsonPath = Next("--json");
+    } else {
+      std::fprintf(stderr, "virgil-load: unknown option '%s'\n", Arg.c_str());
+      return 2;
+    }
+  }
+  if (Opt.UnixPath.empty() && Opt.TcpPort < 0) {
+    std::fprintf(stderr, "virgil-load: need --unix PATH or --tcp HOST:PORT\n");
+    return 2;
+  }
+  if (Opt.Conns < 1 || Opt.Requests < 1) {
+    std::fprintf(stderr, "virgil-load: --conns and --requests must be >= 1\n");
+    return 2;
+  }
+
+  std::string Program = kDefaultProgram;
+  if (!Opt.ProgramFile.empty()) {
+    std::ifstream In(Opt.ProgramFile);
+    if (!In) {
+      std::fprintf(stderr, "virgil-load: cannot read %s\n",
+                   Opt.ProgramFile.c_str());
+      return 2;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Program = SS.str();
+  }
+
+  Results R;
+  auto Wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  if (Opt.OpenLoop) {
+    // Split the target rate and request count across connections.
+    int Base = Opt.Requests / Opt.Conns;
+    int Extra = Opt.Requests % Opt.Conns;
+    double PerConnRate = Opt.Rate / (double)Opt.Conns;
+    double Interval = PerConnRate > 0 ? 1.0 / PerConnRate : 0.005;
+    for (int W = 0; W != Opt.Conns; ++W) {
+      int Count = Base + (W < Extra ? 1 : 0);
+      if (Count == 0)
+        continue;
+      Threads.emplace_back(openWorker, std::cref(Opt), std::cref(Program), W,
+                           Count, Interval, std::ref(R));
+    }
+  } else {
+    std::atomic<int> NextSeq{0};
+    for (int W = 0; W != Opt.Conns; ++W)
+      Threads.emplace_back(closedWorker, std::cref(Opt), std::cref(Program),
+                           std::ref(NextSeq), std::ref(R));
+    for (auto &T : Threads)
+      T.join();
+    Threads.clear();
+  }
+  for (auto &T : Threads)
+    T.join();
+  double WallSec = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Wall0)
+                       .count();
+
+  std::sort(R.LatenciesMs.begin(), R.LatenciesMs.end());
+  uint64_t Completed = R.LatenciesMs.size();
+  double Mean = 0;
+  for (double L : R.LatenciesMs)
+    Mean += L;
+  if (Completed)
+    Mean /= (double)Completed;
+  double P50 = percentile(R.LatenciesMs, 0.50);
+  double P95 = percentile(R.LatenciesMs, 0.95);
+  double P99 = percentile(R.LatenciesMs, 0.99);
+  double Throughput = WallSec > 0 ? (double)Completed / WallSec : 0;
+
+  static const char *OutNames[] = {"ok",   "compile_error", "trap",
+                                   "fuel", "heap",          "deadline"};
+  std::printf("virgil-load: %llu/%d completed in %.2fs (%.1f req/s), "
+              "%llu busy, %llu transport errors\n",
+              (unsigned long long)Completed, Opt.Requests, WallSec,
+              Throughput, (unsigned long long)R.Busy,
+              (unsigned long long)R.TransportErrors);
+  std::printf("  latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f\n",
+              Mean, P50, P95, P99);
+  std::printf("  outcomes:");
+  for (int I = 0; I != 6; ++I)
+    if (R.ByOutcome[I])
+      std::printf(" %s=%llu", OutNames[I],
+                  (unsigned long long)R.ByOutcome[I]);
+  std::printf("  cache_hits=%llu\n", (unsigned long long)R.CacheHits);
+  if (!R.FirstError.empty())
+    std::printf("  first error: %s\n", R.FirstError.c_str());
+
+  if (!Opt.JsonPath.empty()) {
+    std::ofstream Out(Opt.JsonPath);
+    char Buf[512];
+    Out << "{\n";
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"completed\": %llu,\n  \"requested\": %d,\n"
+                  "  \"busy\": %llu,\n  \"transport_errors\": %llu,\n"
+                  "  \"wall_sec\": %.3f,\n  \"throughput_rps\": %.1f,\n",
+                  (unsigned long long)Completed, Opt.Requests,
+                  (unsigned long long)R.Busy,
+                  (unsigned long long)R.TransportErrors, WallSec,
+                  Throughput);
+    Out << Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"latency_ms\": {\"mean\": %.3f, \"p50\": %.3f, "
+                  "\"p95\": %.3f, \"p99\": %.3f},\n",
+                  Mean, P50, P95, P99);
+    Out << Buf;
+    Out << "  \"outcomes\": {";
+    for (int I = 0; I != 6; ++I) {
+      std::snprintf(Buf, sizeof(Buf), "%s\"%s\": %llu", I ? ", " : "",
+                    OutNames[I], (unsigned long long)R.ByOutcome[I]);
+      Out << Buf;
+    }
+    Out << "},\n";
+    std::snprintf(Buf, sizeof(Buf), "  \"cache_hits\": %llu\n",
+                  (unsigned long long)R.CacheHits);
+    Out << Buf << "}\n";
+  }
+
+  bool Ok = Completed == (uint64_t)Opt.Requests && R.TransportErrors == 0;
+  if (Ok && !Opt.Expect.empty()) {
+    int Want = outcomeIndex(Opt.Expect);
+    for (int I = 0; I != 6; ++I)
+      if (I != Want && R.ByOutcome[I]) {
+        std::fprintf(stderr,
+                     "virgil-load: expected all %s, saw %llu %s\n",
+                     Opt.Expect.c_str(), (unsigned long long)R.ByOutcome[I],
+                     OutNames[I]);
+        Ok = false;
+      }
+  }
+  return Ok ? 0 : 1;
+}

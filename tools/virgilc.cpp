@@ -20,6 +20,7 @@
 ///
 ///   --jobs N        worker threads (default 1; 0 = all cores)
 ///   --cache-dir D   enable the on-disk bytecode cache at D
+///   --cache-max-bytes N  LRU-evict cache entries above N total bytes
 ///   --run           also execute each compiled module on the VM
 ///   --stats         print aggregate per-phase compile timings
 ///   --no-opt        disable the optimizer
@@ -70,8 +71,9 @@ static void usage() {
                "--dump-mono|--dump-norm] [--stats] [--vm-stats] "
                "[--vm-dispatch auto|switch|threaded] [--no-opt] "
                "(file.v3 | -e <source>)\n"
-               "       virgilc batch [--jobs N] [--cache-dir D] [--run] "
-               "[--stats] [--no-opt] <files...>\n"
+               "       virgilc batch [--jobs N] [--cache-dir D] "
+               "[--cache-max-bytes N] [--run] [--stats] [--no-opt] "
+               "<files...>\n"
                "       virgilc fuzz [--seeds N] [--start-seed K] "
                "[--time-budget S] [--out-dir D] [--fuel N]\n"
                "                    [--no-reduce] [--no-opt-compare] "
@@ -123,6 +125,17 @@ static int runBatch(int Argc, char **Argv) {
       Options.Jobs = (int)N;
     } else if (Arg == "--cache-dir" && I + 1 < Argc) {
       Options.CacheDir = Argv[++I];
+    } else if (Arg == "--cache-max-bytes" && I + 1 < Argc) {
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Argv[++I], &End, 10);
+      if (!End || *End != '\0' || End == Argv[I]) {
+        std::fprintf(stderr,
+                     "virgilc: --cache-max-bytes needs an integer, got "
+                     "'%s'\n",
+                     Argv[I]);
+        return BatchUsage;
+      }
+      Options.CacheMaxBytes = (uint64_t)N;
     } else if (Arg == "--run") {
       RunVm = true;
     } else if (Arg == "--stats") {
