@@ -95,7 +95,7 @@ StrategyRun crashed(const char *Name, const std::string &What) {
 /// Runs the four strategies of one compiled program, appending to
 /// \p Runs. \p Suffix distinguishes the no-opt pipeline.
 void runStrategies(Program &P, uint64_t MaxInstrs,
-                   const std::string &Suffix,
+                   const VmOptions &VmOpts, const std::string &Suffix,
                    std::vector<StrategyRun> &Runs) {
   auto interpOn = [&](IrModule &M, const std::string &Name) {
     try {
@@ -114,7 +114,7 @@ void runStrategies(Program &P, uint64_t MaxInstrs,
   interpOn(P.normIr(), "norm-interp" + Suffix);
   std::string VmName = "vm" + Suffix;
   try {
-    Vm V(P.bytecode());
+    Vm V(P.bytecode(), VmOpts);
     if (MaxInstrs)
       V.setMaxInstrs(MaxInstrs);
     Runs.push_back(fromVm(VmName.c_str(), V.run()));
@@ -147,7 +147,7 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
     Report.Detail = "program failed to compile";
     return Report;
   }
-  runStrategies(*P, Config.MaxInstrs, "", Report.Runs);
+  runStrategies(*P, Config.MaxInstrs, Config.Vm, "", Report.Runs);
 
   if (Config.CompareNoOpt) {
     auto PNoOpt = compileOne(/*Optimize=*/false);
@@ -157,7 +157,8 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
       Report.Detail = "compiles optimized but not unoptimized";
       return Report;
     }
-    runStrategies(*PNoOpt, Config.MaxInstrs, "/no-opt", Report.Runs);
+    runStrategies(*PNoOpt, Config.MaxInstrs, Config.Vm, "/no-opt",
+                  Report.Runs);
   }
 
   // Classify: crash > timeout > diag-divergence > value-divergence.

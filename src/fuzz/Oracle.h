@@ -26,6 +26,8 @@
 #ifndef VIRGIL_FUZZ_ORACLE_H
 #define VIRGIL_FUZZ_ORACLE_H
 
+#include "vm/Vm.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -79,6 +81,12 @@ struct OracleConfig {
   /// Also compile with the optimizer disabled and require agreement
   /// across the two pipelines.
   bool CompareNoOpt = true;
+  /// Engine configuration for the VM strategy (GC mode, nursery size,
+  /// dispatch, fusion). MaxInstrs above overrides Vm.MaxInstrs so the
+  /// Timeout classification stays uniform across strategies. Lets the
+  /// sweep run with e.g. a tiny nursery to stress minor collections
+  /// while the interpreters remain the reference.
+  VmOptions Vm;
 };
 
 class DifferentialOracle {

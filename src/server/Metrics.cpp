@@ -48,7 +48,9 @@ std::string LatencyHistogram::toJson() const {
 void ServerMetrics::onRequestDone(int Worker, bool IsExecute, Outcome O,
                                   bool CacheHit, double CompileMs,
                                   double ExecuteMs, double TotalMs,
-                                  double QueueMs, uint64_t Instrs) {
+                                  double QueueMs, uint64_t Instrs,
+                                  uint64_t GcMinor, uint64_t GcMajor,
+                                  uint64_t GcPauseNs) {
   std::lock_guard<std::mutex> Lock(Mu);
   (IsExecute ? Executes : Compiles)++;
   if ((size_t)O < sizeof(ByOutcome) / sizeof(ByOutcome[0]))
@@ -56,6 +58,9 @@ void ServerMetrics::onRequestDone(int Worker, bool IsExecute, Outcome O,
   if (CacheHit)
     ++CacheHitsServed;
   VmInstrs += Instrs;
+  GcMinorTotal += GcMinor;
+  GcMajorTotal += GcMajor;
+  GcPauseNsTotal += GcPauseNs;
   CompileLat.record(CompileMs);
   if (IsExecute)
     ExecuteLat.record(ExecuteMs);
@@ -127,9 +132,14 @@ std::string ServerMetrics::toJson(double UptimeMs, size_t QueueDepth,
   J += "],";
 
   std::snprintf(Buf, sizeof(Buf),
-                "\"vm\":{\"instrs_total\":%llu,\"cache_hits_served\":%llu}",
+                "\"vm\":{\"instrs_total\":%llu,\"cache_hits_served\":%llu,"
+                "\"gc\":{\"minor_total\":%llu,\"major_total\":%llu,"
+                "\"pause_ns_total\":%llu}}",
                 (unsigned long long)VmInstrs,
-                (unsigned long long)CacheHitsServed);
+                (unsigned long long)CacheHitsServed,
+                (unsigned long long)GcMinorTotal,
+                (unsigned long long)GcMajorTotal,
+                (unsigned long long)GcPauseNsTotal);
   J += Buf;
 
   if (!CacheJson.empty())

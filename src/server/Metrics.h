@@ -92,10 +92,13 @@ public:
   }
 
   // -- worker side ------------------------------------------------------
-  /// Records one finished compile/execute request.
+  /// Records one finished compile/execute request. The GC arguments
+  /// are the request VM's per-heap collection counts and total pause
+  /// time (0 for compiles).
   void onRequestDone(int Worker, bool IsExecute, Outcome O, bool CacheHit,
                      double CompileMs, double ExecuteMs, double TotalMs,
-                     double QueueMs, uint64_t Instrs);
+                     double QueueMs, uint64_t Instrs, uint64_t GcMinor = 0,
+                     uint64_t GcMajor = 0, uint64_t GcPauseNs = 0);
 
   /// Renders the full STATS JSON document. \p QueueDepth/\p QueueCap/
   /// \p ActiveConns are sampled by the caller at snapshot time, as is
@@ -123,6 +126,7 @@ private:
   uint64_t ByOutcome[6] = {};
   uint64_t CacheHitsServed = 0;
   uint64_t VmInstrs = 0;
+  uint64_t GcMinorTotal = 0, GcMajorTotal = 0, GcPauseNsTotal = 0;
 
   LatencyHistogram CompileLat, ExecuteLat, TotalLat, QueueLat;
   std::vector<WorkerStats> PerWorker;

@@ -61,6 +61,9 @@ std::string virgil::server::encodeExecuteResponse(const ExecuteResponse &R) {
   W.f64(R.ExecuteMs);
   W.u64(R.Instrs);
   W.str(R.TimingsJson);
+  W.u64(R.GcMinor);
+  W.u64(R.GcMajor);
+  W.u64(R.GcPauseNs);
   return W.take();
 }
 
@@ -77,6 +80,9 @@ bool virgil::server::decodeExecuteResponse(const std::string &Payload,
   R->ExecuteMs = Rd.f64();
   R->Instrs = Rd.u64();
   R->TimingsJson = Rd.str();
+  R->GcMinor = Rd.u64();
+  R->GcMajor = Rd.u64();
+  R->GcPauseNs = Rd.u64();
   return Rd.done();
 }
 

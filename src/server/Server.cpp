@@ -475,7 +475,8 @@ void Server::workerLoop(int WorkerId) {
     }
 
     Metrics.onRequestDone(WorkerId, IsExecute, R.O, R.CacheHit, CompileMs,
-                          ExecuteMs, TotalMs, QueueMs, R.Instrs);
+                          ExecuteMs, TotalMs, QueueMs, R.Instrs, R.GcMinor,
+                          R.GcMajor, R.GcPauseNs);
     {
       std::lock_guard<std::mutex> Lock(RespMu);
       Responses.push_back(
@@ -512,6 +513,8 @@ ExecuteResponse Server::runRequest(const ExecuteRequest &Req,
                                Config.MaxHeapBytes);
   VO.DeadlineMs = (uint32_t)clampQuota(
       Req.DeadlineMs, Config.DefaultDeadlineMs, Config.MaxDeadlineMs);
+  VO.Generational = Config.VmGenerational;
+  VO.NurseryBytes = Config.VmNurseryBytes;
 
   auto E0 = Clock::now();
   Vm V(JR.Unit->bytecode(), VO);
@@ -519,6 +522,9 @@ ExecuteResponse Server::runRequest(const ExecuteRequest &Req,
   *ExecuteMs = msSince(E0);
   R.ExecuteMs = *ExecuteMs;
   R.Instrs = VR.Counters.Instrs;
+  R.GcMinor = VR.Heap.MinorCollections;
+  R.GcMajor = VR.Heap.MajorCollections;
+  R.GcPauseNs = VR.Heap.MinorPauses.SumNs + VR.Heap.MajorPauses.SumNs;
   R.Output = std::move(VR.Output);
   // Keep responses far below the frame cap even for print-heavy
   // programs: the wire is a control plane, not a log shipper.

@@ -78,6 +78,15 @@ struct ServerConfig {
   uint64_t MaxHeapBytes = 256u << 20;
   uint32_t MaxDeadlineMs = 30000;
 
+  /// Per-request VM heap mode: generational (nursery + promotion) or
+  /// the single-space semispace baseline. The heap-bytes quota caps
+  /// nursery + old space combined either way.
+  bool VmGenerational = true;
+  /// Nursery size in bytes for generational request heaps. Follows
+  /// the engine default (64 KiB): request heaps are zero-filled per
+  /// request, so a bigger nursery taxes every request's latency.
+  uint32_t VmNurseryBytes = 64 * 1024;
+
   CompilerOptions Compile;
 };
 

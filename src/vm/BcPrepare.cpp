@@ -189,6 +189,53 @@ void prepareFunction(const BcModule &M, const BcFunction &F,
     if (isBranch(P.Op))
       P.Imm = (int64_t)NewPcOf[(size_t)P.Imm];
 
+  // Write-barrier pass: rewrite stores whose *stored value* is
+  // reference-kind to the barrier variants the generational heap
+  // needs for its remembered set. Kinds are static (register kinds
+  // for fields/elements, the global kind table for globals), so
+  // scalar stores keep the plain opcodes and pay nothing. Each
+  // barrier variant performs exactly the base store's effects plus
+  // the (side-effect-free from the program's view) remembered-set
+  // update, and counts instructions identically, so prepared streams
+  // with and without barriers stay observationally equal.
+  if (Options.Barriers) {
+    for (PInstr &P : Out.Code) {
+      switch (P.Op) {
+      case POp::StF:
+      case POp::StFC: {
+        SlotKind K = F.RegKinds[P.B]; // value register
+        if (K == SlotKind::Scalar)
+          break;
+        P.Op = P.Op == POp::StF ? POp::StFB : POp::StFCB;
+        P.C = K == SlotKind::Closure ? 1 : 0;
+        ++Stats.BarrierSites;
+        break;
+      }
+      case POp::StE:
+      case POp::StEC: {
+        SlotKind K = F.RegKinds[P.C]; // value register
+        if (K == SlotKind::Scalar)
+          break;
+        P.Op = P.Op == POp::StE ? POp::StEB : POp::StECB;
+        P.Imm = K == SlotKind::Closure ? 1 : 0;
+        ++Stats.BarrierSites;
+        break;
+      }
+      case POp::StG: {
+        SlotKind K = M.GlobalKinds[(size_t)P.Imm];
+        if (K == SlotKind::Scalar)
+          break;
+        P.Op = POp::StGB;
+        P.B = K == SlotKind::Closure ? 1 : 0;
+        ++Stats.BarrierSites;
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
   // Flatten descriptors into the pool. Reserve exactly so the pool
   // buffer never reallocates under the pointers handed out below.
   size_t PoolSize = 0;

@@ -54,7 +54,15 @@ namespace virgil {
   X(LdFC) X(StFC) X(LdEC) X(StEC)           /* null check folded in */         \
   X(BoundsChkC) X(ArrLenC)                                                     \
   X(RetMv)                                  /* RetOp with a folded Mv */       \
-  X(TrapCc)            /* CallF whose arity prepare proved mismatched */
+  X(TrapCc)            /* CallF whose arity prepare proved mismatched */       \
+  /* Generational-GC write-barrier variants. Prepare rewrites a store  */      \
+  /* to one of these only when the stored slot is reference-kind, so   */      \
+  /* scalar stores never pay for the barrier. The closure flag rides   */      \
+  /* in the operand field the base encoding leaves free: C for StF(C), */      \
+  /* Imm for StE(C), B for StG.                                        */     \
+  X(StFB) X(StFCB)                          /* StF(C) + write barrier */       \
+  X(StEB) X(StECB)                          /* StE(C) + write barrier */       \
+  X(StGB)                                   /* StG + global barrier */
 
 enum class POp : uint8_t {
 #define VIRGIL_VM_POP_ENUM(name) name,
@@ -125,6 +133,8 @@ struct PrepareStats {
   uint64_t FusedChkFold = 0;
   uint64_t FusedMvRet = 0;
   uint64_t IcSites = 0;
+  /// Reference-kind stores rewritten to write-barrier variants.
+  uint64_t BarrierSites = 0;
 
   uint64_t fusedTotal() const {
     return FusedCmpBr + FusedAddImm + FusedSubImm + FusedChkFold +
@@ -135,6 +145,11 @@ struct PrepareStats {
 struct PrepareOptions {
   bool Fuse = true;
   bool InlineCache = true;
+  /// Rewrite reference-kind StF/StE/StG (and their checked forms) to
+  /// write-barrier variants for the generational heap. Off when the VM
+  /// runs the single-space ablation mode: the plain stores skip the
+  /// remembered-set bookkeeping entirely.
+  bool Barriers = true;
 };
 
 struct PreparedModule {

@@ -2,7 +2,9 @@
 
 #include "vm/Heap.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 
 using namespace virgil;
@@ -20,12 +22,65 @@ uint64_t repackClosure(uint64_t Slot, uint64_t NewBound) {
   return (Slot & ~(uint64_t)0x1FFFFFFFE) | (NewBound << 1);
 }
 
+uint64_t nowNs() {
+  return (uint64_t)std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 } // namespace
 
-Heap::Heap(const BcModule &M, size_t InitialSlots) : M(M) {
-  Space.assign(InitialSlots < 16 ? 16 : InitialSlots, 0);
+double PauseHistogram::percentileNs(double Q) const {
+  if (N == 0)
+    return 0.0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  uint64_t Target = (uint64_t)(Q * (double)(N - 1)) + 1; // 1-based rank
+  uint64_t Seen = 0;
+  for (int B = 0; B != kBuckets; ++B) {
+    if (Counts[B] == 0)
+      continue;
+    if (Seen + Counts[B] >= Target) {
+      double Lo = B == 0 ? 0.0 : (double)((uint64_t)1 << B);
+      double Hi = (double)((uint64_t)1 << (B + 1));
+      double Frac = (double)(Target - Seen) / (double)Counts[B];
+      return Lo + (Hi - Lo) * Frac;
+    }
+    Seen += Counts[B];
+  }
+  return (double)MaxNs;
+}
+
+Heap::Heap(const BcModule &M, HeapOptions Options) : M(M) {
+  size_t Total = std::max<size_t>(Options.InitialSlots, 16);
+  if (Options.LimitSlots && Total > std::max<size_t>(Options.LimitSlots, 16))
+    Total = std::max<size_t>(Options.LimitSlots, 16);
+  size_t Nursery = 0;
+  if (Options.Generational) {
+    // The old generation must start at least as large as the nursery,
+    // or the first minor collection's promotion reservation could not
+    // be satisfied without growing.
+    Nursery = std::min(Options.NurserySlots, (Total - 1) / 2);
+  }
+  NurserySlots = Nursery;
+  NurseryLimit = 1 + Nursery;
+  NurseryTop = 1;
+  OldTop = NurseryLimit;
+  InitialTotal = Total;
+  LimitSlots = Options.LimitSlots;
+  Space.assign(Total, 0);
+  growDirtyBits();
   syncClassSlots();
 }
+
+Heap::Heap(const BcModule &M, size_t InitialSlots)
+    : Heap(M, [&] {
+        HeapOptions O;
+        O.InitialSlots = InitialSlots;
+        return O;
+      }()) {}
 
 void Heap::syncClassSlots() {
   ClassSlots.clear();
@@ -42,6 +97,34 @@ void Heap::setRoots(std::vector<uint64_t> *S, std::vector<SlotKind> *K,
   StackTop = T;
 }
 
+void Heap::setLimitSlots(size_t Limit) {
+  LimitSlots = Limit;
+  if (!Limit)
+    return;
+  size_t Cap = std::max<size_t>(Limit, 16);
+  // On a still-empty heap, shrink the initial space (and the nursery
+  // with it) to fit a smaller quota, so `--heap-bytes` keeps its
+  // documented floor instead of being silently raised to the default
+  // generational footprint.
+  if (NurseryTop == 1 && OldTop == NurseryLimit && Space.size() > Cap) {
+    NurserySlots = std::min(NurserySlots, (Cap - 1) / 2);
+    NurseryLimit = 1 + NurserySlots;
+    OldTop = NurseryLimit;
+    InitialTotal = Cap;
+    Space.assign(Cap, 0);
+    clearRememberedSet();
+  }
+  InitialTotal = std::min(InitialTotal, Cap);
+}
+
+size_t Heap::effLimit() const {
+  if (!LimitSlots)
+    return SIZE_MAX;
+  // The initial space is the floor: live data already admitted must
+  // keep fitting even under a cap smaller than the starting size.
+  return std::max(LimitSlots, InitialTotal);
+}
+
 size_t Heap::sizeOf(uint64_t Ref) const {
   uint64_t Header = Space[Ref];
   if ((Header & 7) == TagObject)
@@ -52,8 +135,205 @@ size_t Heap::sizeOf(uint64_t Ref) const {
   return 2 + (Kind == ElemKind::Void ? 0 : (size_t)Len);
 }
 
-uint64_t Heap::forward(uint64_t Ref, std::vector<uint64_t> &To,
-                       size_t &Top2) {
+//===----------------------------------------------------------------------===//
+// Remembered set
+//===----------------------------------------------------------------------===//
+
+void Heap::growDirtyBits() {
+  size_t Words =
+      Space.size() > NurseryLimit ? (Space.size() - NurseryLimit + 63) / 64 : 0;
+  if (DirtyWords.size() < Words)
+    DirtyWords.resize(Words, 0);
+}
+
+void Heap::rememberSlot(uint64_t SlotIdx, bool IsClosure) {
+  size_t Off = SlotIdx - NurseryLimit;
+  size_t W = Off >> 6;
+  uint64_t Bit = (uint64_t)1 << (Off & 63);
+  if (W >= DirtyWords.size())
+    growDirtyBits(); // old space was resized since the last clear
+  if (DirtyWords[W] & Bit)
+    return;
+  DirtyWords[W] |= Bit;
+  RemSlots.push_back((SlotIdx << 1) | (IsClosure ? 1 : 0));
+  ++Stats.RememberedSlots;
+}
+
+void Heap::rememberGlobal(size_t GlobalIdx) {
+  if (GlobalIdx >= GlobalDirty.size())
+    GlobalDirty.resize(GlobalIdx + 1, 0);
+  if (GlobalDirty[GlobalIdx])
+    return;
+  GlobalDirty[GlobalIdx] = 1;
+  RemGlobals.push_back((uint32_t)GlobalIdx);
+  ++Stats.RememberedSlots;
+}
+
+void Heap::clearRememberedSet() {
+  // After any collection the nursery is empty, so no old→young edges
+  // can exist: the whole remembered set resets.
+  RemSlots.clear();
+  RemGlobals.clear();
+  size_t Words =
+      Space.size() > NurseryLimit ? (Space.size() - NurseryLimit + 63) / 64 : 0;
+  DirtyWords.assign(Words, 0);
+  std::fill(GlobalDirty.begin(), GlobalDirty.end(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation slow path
+//===----------------------------------------------------------------------===//
+
+bool Heap::growOldTo(size_t NeedTop) {
+  size_t NewSize = Space.size();
+  while (NewSize < NeedTop)
+    NewSize *= 2;
+  size_t Lim = effLimit();
+  if (NewSize > Lim)
+    NewSize = Lim;
+  if (NewSize < NeedTop)
+    return false;
+  if (NewSize != Space.size()) {
+    Space.resize(NewSize, 0);
+    growDirtyBits();
+  }
+  return true;
+}
+
+uint64_t Heap::allocSlotsSlow(size_t Slots) {
+  if (OverLimit)
+    return 0;
+  if (NurserySlots != 0 && Slots <= NurserySlots) {
+    // Nursery overflow: empty it (minor collection, or major when the
+    // promotion reservation is cap-blocked), then retry the bump.
+    collectNursery();
+    if (OverLimit)
+      return 0;
+    size_t T = NurseryTop + Slots;
+    assert(T <= NurseryLimit && "empty nursery cannot fit the request");
+    uint64_t Ref = NurseryTop;
+    NurseryTop = T;
+    Stats.NurserySlotsAllocated += Slots;
+    return Ref;
+  }
+  // Old-space request (the whole heap when non-generational, or an
+  // object too large for the nursery): collect, which also applies the
+  // grow/shrink sizing policy for exactly this request.
+  collectMajor(Slots);
+  if (OldTop + Slots > Space.size()) {
+    OverLimit = true;
+    return 0;
+  }
+  uint64_t Ref = OldTop;
+  OldTop += Slots;
+  return Ref;
+}
+
+//===----------------------------------------------------------------------===//
+// Minor collection: evacuate the nursery into the old generation
+//===----------------------------------------------------------------------===//
+
+uint64_t Heap::forwardYoung(uint64_t Ref) {
+  if (Ref == 0 || Ref >= NurseryLimit)
+    return Ref; // null or already old
+  uint64_t Header = Space[Ref];
+  if ((Header & 7) == TagForward)
+    return Header >> 3;
+  size_t Slots = sizeOf(Ref);
+  uint64_t NewRef = OldTop;
+  std::memcpy(&Space[OldTop], &Space[Ref], Slots * sizeof(uint64_t));
+  OldTop += Slots;
+  Stats.SlotsCopied += Slots;
+  Space[Ref] = (NewRef << 3) | TagForward;
+  return NewRef;
+}
+
+void Heap::scanSlotYoung(uint64_t &Slot, SlotKind Kind) {
+  switch (Kind) {
+  case SlotKind::Scalar:
+    return;
+  case SlotKind::Ref:
+    Slot = forwardYoung(Slot);
+    return;
+  case SlotKind::Closure:
+    if (Slot != 0 && closureHasBound(Slot)) {
+      uint64_t B = closureBound(Slot);
+      if (B != 0 && B < NurseryLimit)
+        Slot = repackClosure(Slot, forwardYoung(B));
+    }
+    return;
+  }
+}
+
+void Heap::collectMinor() {
+  uint64_t T0 = nowNs();
+  if (PreCollect)
+    PreCollect();
+  ++Stats.Collections;
+  ++Stats.MinorCollections;
+  size_t PromoteStart = OldTop;
+
+  // Roots: the live stack extent, the remembered old→young slots, and
+  // the barrier-recorded globals. Unlike a major collection, clean old
+  // slots and clean globals are never touched — that is the point.
+  if (Stack) {
+    size_t Live = StackTop ? *StackTop : Stack->size();
+    assert(StackKinds && StackKinds->size() >= Live && Stack->size() >= Live);
+    for (size_t I = 0; I != Live; ++I)
+      scanSlotYoung((*Stack)[I], (*StackKinds)[I]);
+  }
+  for (uint64_t E : RemSlots)
+    scanSlotYoung(Space[E >> 1], (E & 1) ? SlotKind::Closure : SlotKind::Ref);
+  if (Globals)
+    for (uint32_t G : RemGlobals)
+      scanSlotYoung((*Globals)[G], M.GlobalKinds[G]);
+
+  // Cheney scan of the promoted region: survivors may point at other
+  // nursery objects, which promote in turn.
+  size_t Scan = PromoteStart;
+  while (Scan < OldTop) {
+    uint64_t Header = Space[Scan];
+    if ((Header & 7) == TagObject) {
+      const BcClass &Cls = M.Classes[Header >> 3];
+      for (size_t F = 0; F != Cls.FieldKinds.size(); ++F)
+        scanSlotYoung(Space[Scan + 1 + F], Cls.FieldKinds[F]);
+      Scan += 1 + Cls.FieldKinds.size();
+      continue;
+    }
+    assert((Header & 7) == TagArray && "bad header in promoted region");
+    ElemKind Kind = (ElemKind)(Header >> 3);
+    int64_t Len = (int64_t)Space[Scan + 1];
+    if (Kind == ElemKind::Ref || Kind == ElemKind::Closure) {
+      SlotKind SK = Kind == ElemKind::Ref ? SlotKind::Ref : SlotKind::Closure;
+      for (int64_t E = 0; E != Len; ++E)
+        scanSlotYoung(Space[Scan + 2 + E], SK);
+    }
+    Scan += 2 + (Kind == ElemKind::Void ? 0 : (size_t)Len);
+  }
+
+  Stats.SlotsPromoted += OldTop - PromoteStart;
+  NurseryTop = 1; // stale nursery contents are dead; allocs re-init
+  clearRememberedSet();
+  Stats.MinorPauses.record(nowNs() - T0);
+}
+
+void Heap::collectNursery() {
+  // Pre-reserve the worst case — every live nursery slot promotes — so
+  // evacuation can never overflow the old generation mid-scan.
+  size_t Need = NurseryTop - 1;
+  if (OldTop + Need > Space.size() && !growOldTo(OldTop + Need)) {
+    collectMajor(0); // cap-blocked: a full collection empties the
+    return;          // nursery too, and applies the sizing policy
+  }
+  collectMinor();
+}
+
+//===----------------------------------------------------------------------===//
+// Major collection: semispace copy of everything live
+//===----------------------------------------------------------------------===//
+
+uint64_t Heap::forwardAny(uint64_t Ref, std::vector<uint64_t> &To,
+                          size_t &Top2) {
   if (Ref == 0)
     return 0;
   uint64_t Header = Space[Ref];
@@ -68,57 +348,54 @@ uint64_t Heap::forward(uint64_t Ref, std::vector<uint64_t> &To,
   return NewRef;
 }
 
-void Heap::scanSlot(uint64_t &Slot, SlotKind Kind,
-                    std::vector<uint64_t> &To, size_t &Top2) {
+void Heap::scanSlotAny(uint64_t &Slot, SlotKind Kind,
+                       std::vector<uint64_t> &To, size_t &Top2) {
   switch (Kind) {
   case SlotKind::Scalar:
     return;
   case SlotKind::Ref:
-    Slot = forward(Slot, To, Top2);
+    Slot = forwardAny(Slot, To, Top2);
     return;
   case SlotKind::Closure:
     if (Slot != 0 && closureHasBound(Slot))
-      Slot = repackClosure(Slot, forward(closureBound(Slot), To, Top2));
+      Slot = repackClosure(Slot, forwardAny(closureBound(Slot), To, Top2));
     return;
   }
 }
 
-void Heap::collect(size_t NeedSlots) {
+void Heap::collectMajor(size_t NeedSlots) {
+  uint64_t T0 = nowNs();
   if (PreCollect)
     PreCollect();
   ++Stats.Collections;
-  size_t NewSize = Space.size();
-  // Grow if the heap looks tight: keep at least 2x the live estimate.
-  while (NewSize < Top + NeedSlots + 16)
-    NewSize *= 2;
-  // The quota caps growth: never allocate a to-space past LimitSlots
-  // (but never below the current space either — live data, which is at
-  // most Top <= Space.size(), must always fit for the compaction).
-  if (LimitSlots && NewSize > LimitSlots)
-    NewSize = std::max(Space.size(), LimitSlots);
-  std::vector<uint64_t> To(NewSize, 0);
-  size_t Top2 = 1;
+  ++Stats.MajorCollections;
 
-  // Roots: the live extent of the register stack and the globals.
+  // To-space keeps the same partition; live data (at most everything
+  // allocated in both generations) lands past the nursery boundary.
+  size_t WorstLive = (NurseryTop - 1) + (OldTop - NurseryLimit);
+  std::vector<uint64_t> To(NurseryLimit + WorstLive + 16, 0);
+  size_t Top2 = NurseryLimit;
+
+  // Roots: the live stack extent and ALL globals (majors do not rely
+  // on the write barrier).
   if (Stack) {
     size_t Live = StackTop ? *StackTop : Stack->size();
-    assert(StackKinds && StackKinds->size() >= Live &&
-           Stack->size() >= Live);
+    assert(StackKinds && StackKinds->size() >= Live && Stack->size() >= Live);
     for (size_t I = 0; I != Live; ++I)
-      scanSlot((*Stack)[I], (*StackKinds)[I], To, Top2);
+      scanSlotAny((*Stack)[I], (*StackKinds)[I], To, Top2);
   }
   if (Globals)
     for (size_t I = 0; I != Globals->size(); ++I)
-      scanSlot((*Globals)[I], M.GlobalKinds[I], To, Top2);
+      scanSlotAny((*Globals)[I], M.GlobalKinds[I], To, Top2);
 
   // Cheney scan.
-  size_t Scan = 1;
+  size_t Scan = NurseryLimit;
   while (Scan < Top2) {
     uint64_t Header = To[Scan];
     if ((Header & 7) == TagObject) {
       const BcClass &Cls = M.Classes[Header >> 3];
       for (size_t F = 0; F != Cls.FieldKinds.size(); ++F)
-        scanSlot(To[Scan + 1 + F], Cls.FieldKinds[F], To, Top2);
+        scanSlotAny(To[Scan + 1 + F], Cls.FieldKinds[F], To, Top2);
       Scan += 1 + Cls.FieldKinds.size();
       continue;
     }
@@ -126,33 +403,52 @@ void Heap::collect(size_t NeedSlots) {
     ElemKind Kind = (ElemKind)(Header >> 3);
     int64_t Len = (int64_t)To[Scan + 1];
     if (Kind == ElemKind::Ref || Kind == ElemKind::Closure) {
-      SlotKind SK = Kind == ElemKind::Ref ? SlotKind::Ref
-                                          : SlotKind::Closure;
+      SlotKind SK = Kind == ElemKind::Ref ? SlotKind::Ref : SlotKind::Closure;
       for (int64_t E = 0; E != Len; ++E)
-        scanSlot(To[Scan + 2 + E], SK, To, Top2);
+        scanSlotAny(To[Scan + 2 + E], SK, To, Top2);
     }
     Scan += 2 + (Kind == ElemKind::Void ? 0 : (size_t)Len);
   }
 
-  Space = std::move(To);
-  Top = Top2;
-  LiveAfterGc = Top2;
-  Stats.MaxLiveSlots = std::max(Stats.MaxLiveSlots, (uint64_t)Top2);
+  size_t Live = Top2 - NurseryLimit;
 
-  // If even after collection the request does not fit, grow and retry
-  // (collect() above already grew NewSize, so this is rare). Under a
-  // quota, refusing to grow is the point: the allocation fails with a
-  // null reference and the VM reports a structured heap-limit trap.
-  if (Top + NeedSlots > Space.size()) {
-    size_t Bigger = Space.size();
-    while (Bigger < Top + NeedSlots + 16)
-      Bigger *= 2;
-    if (LimitSlots && Bigger > LimitSlots) {
+  // Occupancy policy: size the old generation to ~50% after the
+  // collection, growing after a live spike and — the other half of the
+  // policy — shrinking back when the live set drops, never below the
+  // initial footprint. The quota clamps the result; live data always
+  // fits (the cap cannot evict admitted objects), but a cap-blocked
+  // request marks the heap over-limit so the allocation fails cleanly.
+  size_t MinOld = InitialTotal > NurseryLimit ? InitialTotal - NurseryLimit : 16;
+  size_t WantOld = std::max({MinOld, 2 * Live, Live + NeedSlots + 16});
+  size_t Want = NurseryLimit + WantOld;
+  size_t Lim = effLimit();
+  if (Want > Lim) {
+    Want = std::max(Lim, NurseryLimit + Live);
+    // Live data past the quota (or a request that cannot fit under
+    // it) is a terminal condition: without this, every nursery refill
+    // would admit another nursery-full of live slots and the cap
+    // would never bind.
+    if (NurseryLimit + Live + NeedSlots > Lim)
       OverLimit = true;
-      return;
-    }
-    Space.resize(Bigger, 0);
   }
+  To.resize(Want, 0);
+  if (To.capacity() > Want + (Want >> 1))
+    To.shrink_to_fit();
+  Space = std::move(To);
+  OldTop = Top2;
+  NurseryTop = 1;
+  LiveAfterGc = Live + 1; // matches the single-space convention (slot 0)
+  Stats.MaxLiveSlots = std::max(Stats.MaxLiveSlots, (uint64_t)(Live + 1));
+  clearRememberedSet();
+  Stats.MajorPauses.record(nowNs() - T0);
 }
 
-void Heap::collectNow() { collect(0); }
+void Heap::collectNow() { collectMajor(0); }
+
+void Heap::collectMinorNow() {
+  if (NurserySlots == 0) {
+    collectMajor(0);
+    return;
+  }
+  collectNursery();
+}

@@ -1,17 +1,37 @@
-//===- vm/Heap.h - Precise semispace copying collector ----------*- C++ -*-===//
+//===- vm/Heap.h - Precise generational copying collector -------*- C++ -*-===//
 ///
 /// \file
-/// The VM heap: a Cheney-style semispace copying collector, the same
-/// algorithm as the "precise semi-space garbage collector (also written
-/// in Virgil)" the paper ships on native targets. Precision comes from
-/// static slot kinds: the register stack, globals, object fields, and
-/// array elements each know whether a slot is a scalar, a heap
-/// reference, or a packed closure (whose embedded bound reference the
-/// collector rewrites in place).
+/// The VM heap: a two-generation copying collector in the tradition of
+/// the "precise semi-space garbage collector (also written in Virgil)"
+/// the paper ships on native targets, extended with a bump-allocated
+/// nursery in front of it (DESIGN.md §11). Precision comes from static
+/// slot kinds: the register stack, globals, object fields, and array
+/// elements each know whether a slot is a scalar, a heap reference, or
+/// a packed closure (whose embedded bound reference the collector
+/// rewrites in place).
 ///
-/// References are slot indices into the from-space; 0 is null. Object
-/// layout: [header | fields...]; array layout: [header | length |
-/// elements...] (void arrays store only the length).
+/// Layout: references are slot indices into one address space; 0 is
+/// null. The space is partitioned at a fixed boundary:
+///
+///   [0]                           null (reserved)
+///   [1, NurseryLimit)             nursery (young generation)
+///   [NurseryLimit, Space.size())  old generation, bump-grown at OldTop
+///
+/// New objects are bump-allocated in the nursery; a *minor* collection
+/// evacuates the survivors into the old generation (promotion) and
+/// resets the nursery. Minor roots are the register stack, the
+/// remembered set of old→young stores recorded by the write barrier
+/// (BcPrepare emits barrier store variants only for reference-kind
+/// slots; scalar stores pay nothing), and the barrier-recorded
+/// globals. A *major* collection is the classic semispace copy of
+/// everything live (old + nursery) into a fresh space, with a
+/// grow/shrink policy targeting ~50% occupancy of the old generation.
+/// With HeapOptions::Generational off the nursery has size zero and
+/// every allocation/collection takes the old single-space path — the
+/// ablation and differential-fuzzing baseline.
+///
+/// Object layout: [header | fields...]; array layout: [header |
+/// length | elements...] (void arrays store only the length).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,17 +46,80 @@
 
 namespace virgil {
 
+/// Log2-bucketed histogram over nanosecond GC pauses; fixed footprint,
+/// so copying HeapStats into a VmResult stays cheap and bench binaries
+/// can report pause percentiles without the heap logging every pause.
+struct PauseHistogram {
+  static constexpr int kBuckets = 48;
+  uint64_t Counts[kBuckets] = {};
+  uint64_t N = 0;
+  uint64_t SumNs = 0;
+  uint64_t MaxNs = 0;
+
+  void record(uint64_t Ns) {
+    int B = 0;
+    while (B < kBuckets - 1 && Ns >= ((uint64_t)1 << (B + 1)))
+      ++B;
+    ++Counts[B];
+    ++N;
+    SumNs += Ns;
+    if (Ns > MaxNs)
+      MaxNs = Ns;
+  }
+  /// Estimated pause (ns) at quantile \p Q in [0,1], interpolated
+  /// within the winning power-of-two bucket.
+  double percentileNs(double Q) const;
+};
+
 struct HeapStats {
   uint64_t ObjectsAllocated = 0;
   uint64_t ArraysAllocated = 0;
   uint64_t SlotsAllocated = 0;
-  uint64_t Collections = 0;
-  uint64_t SlotsCopied = 0;
-  uint64_t MaxLiveSlots = 0;
+  /// Slots allocated through the nursery (the denominator of the
+  /// survival rate; old-space/large allocations are excluded).
+  uint64_t NurserySlotsAllocated = 0;
+  uint64_t Collections = 0; ///< Minor + major.
+  uint64_t MinorCollections = 0;
+  uint64_t MajorCollections = 0;
+  uint64_t SlotsCopied = 0;   ///< All generations.
+  uint64_t SlotsPromoted = 0; ///< Nursery slots evacuated to old space.
+  uint64_t MaxLiveSlots = 0;  ///< Exact, measured at major collections.
+  /// Write barrier: qualifying old→young stores observed, and distinct
+  /// slots actually recorded in the remembered set (deduplicated).
+  uint64_t BarrierHits = 0;
+  uint64_t RememberedSlots = 0;
+  PauseHistogram MinorPauses;
+  PauseHistogram MajorPauses;
+
+  /// Fraction of nursery-allocated slots that survived a minor
+  /// collection (0 when nothing was nursery-allocated).
+  double survivalRate() const {
+    return NurserySlotsAllocated
+               ? (double)SlotsPromoted / (double)NurserySlotsAllocated
+               : 0.0;
+  }
+};
+
+/// Heap sizing/mode knobs. The \c LimitSlots cap applies to the *sum*
+/// of the generations — the single Space vector — so `--heap-bytes`
+/// bounds nursery+old combined.
+struct HeapOptions {
+  /// Initial total space (nursery + old), in slots.
+  size_t InitialSlots = 1 << 14;
+  /// Nursery size in slots; clamped so the old generation starts with
+  /// at least as much room as the nursery. Ignored when !Generational.
+  size_t NurserySlots = 1 << 15;
+  bool Generational = true;
+  /// Hard cap on total heap slots (8 bytes each); 0 = unlimited. The
+  /// effective floor is the initial space size.
+  size_t LimitSlots = 0;
 };
 
 class Heap {
 public:
+  explicit Heap(const BcModule &M, HeapOptions Options);
+  /// Legacy convenience ctor: generational with the default nursery
+  /// (clamped to half of \p InitialSlots).
   Heap(const BcModule &M, size_t InitialSlots = 1 << 14);
 
   /// GC roots: the VM's register stack (with per-slot kinds) and the
@@ -57,29 +140,28 @@ public:
     PreCollect = std::move(Hook);
   }
 
-  /// Hard cap on heap slots (8 bytes each); 0 means unlimited. When a
-  /// collection cannot free enough space within the cap, allocations
-  /// return the null reference 0 and overLimit() turns true — the VM
-  /// turns that into a structured trap instead of growing without
-  /// bound. The effective floor is the initial space size.
-  void setLimitSlots(size_t Limit) { LimitSlots = Limit; }
+  /// Hard cap on heap slots (8 bytes each); 0 means unlimited — the
+  /// post-construction form of HeapOptions::LimitSlots, applied to the
+  /// sum of the generations. When a collection cannot free enough
+  /// space within the cap, allocations return the null reference 0 and
+  /// overLimit() turns true — the VM turns that into a structured trap
+  /// instead of growing without bound. Shrinks the nursery to fit when
+  /// called on a still-empty heap.
+  void setLimitSlots(size_t Limit);
   bool overLimit() const { return OverLimit; }
 
   /// Allocates an object of class \p ClassId with zeroed fields.
-  /// Inline bump-pointer fast path (object sizes are precomputed per
-  /// class); collection only on overflow. Returns 0 (null) if the
-  /// heap quota is exhausted.
+  /// Inline nursery bump fast path (object sizes are precomputed per
+  /// class; this inlines into the VmLoop.inc NewObj handler);
+  /// collection only on overflow. Returns 0 (null) if the heap quota
+  /// is exhausted.
   uint64_t allocObject(int ClassId) {
     if ((size_t)ClassId >= ClassSlots.size())
       syncClassSlots(); // module grew after construction (tests)
     size_t Slots = ClassSlots[ClassId];
-    if (Top + Slots > Space.size()) {
-      collect(Slots);
-      if (Top + Slots > Space.size())
-        return 0; // quota exceeded; OverLimit set by collect
-    }
-    uint64_t Ref = Top;
-    Top += Slots;
+    uint64_t Ref = allocSlots(Slots);
+    if (Ref == 0)
+      return 0; // quota exceeded; OverLimit set on the slow path
     Stats.SlotsAllocated += Slots;
     ++Stats.ObjectsAllocated;
     uint64_t *P = &Space[Ref];
@@ -93,13 +175,9 @@ public:
   /// Returns 0 (null) if the heap quota is exhausted.
   uint64_t allocArray(ElemKind Kind, int64_t Len) {
     size_t Slots = 2 + (Kind == ElemKind::Void ? 0 : (size_t)Len);
-    if (Top + Slots > Space.size()) {
-      collect(Slots);
-      if (Top + Slots > Space.size())
-        return 0; // quota exceeded; OverLimit set by collect
-    }
-    uint64_t Ref = Top;
-    Top += Slots;
+    uint64_t Ref = allocSlots(Slots);
+    if (Ref == 0)
+      return 0; // quota exceeded; OverLimit set on the slow path
     Stats.SlotsAllocated += Slots;
     ++Stats.ArraysAllocated;
     uint64_t *P = &Space[Ref];
@@ -125,19 +203,103 @@ public:
     return Space[Ref + 2 + Index];
   }
 
+  /// Generation query (for tests and the write barrier): young refs
+  /// live below the fixed nursery boundary.
+  bool isYoung(uint64_t Ref) const { return Ref != 0 && Ref < NurseryLimit; }
+
+  /// Write barrier for a heap store: \p SlotIdx is the absolute slot
+  /// just written with \p Val. Records the slot in the remembered set
+  /// when an old-generation slot now points at a young object. Inlined
+  /// into the barrier store handlers in VmLoop.inc; BcPrepare only
+  /// emits those for reference-kind value registers.
+  void writeBarrier(uint64_t SlotIdx, uint64_t Val, bool IsClosure) {
+    uint64_t T = IsClosure
+                     ? (closureIsBound(Val) ? closureBoundRef(Val) : 0)
+                     : Val;
+    if (T == 0 || T >= NurseryLimit)
+      return; // null or old target: nothing to remember
+    if (SlotIdx < NurseryLimit)
+      return; // young holder: traced by the minor scan anyway
+    ++Stats.BarrierHits;
+    rememberSlot(SlotIdx, IsClosure);
+  }
+
+  /// Write barrier for a global store (globals are logically old, and
+  /// minor collections scan only the barrier-recorded ones).
+  void globalBarrier(size_t GlobalIdx, uint64_t Val, bool IsClosure) {
+    uint64_t T = IsClosure
+                     ? (closureIsBound(Val) ? closureBoundRef(Val) : 0)
+                     : Val;
+    if (T == 0 || T >= NurseryLimit)
+      return;
+    ++Stats.BarrierHits;
+    rememberGlobal(GlobalIdx);
+  }
+
   const HeapStats &stats() const { return Stats; }
   size_t liveSlotsAfterLastGc() const { return LiveAfterGc; }
+  /// Current total footprint in slots — nursery + old combined, the
+  /// quantity the `--heap-bytes` cap is enforced against.
+  size_t totalSlots() const { return Space.size(); }
+  size_t nurserySlots() const { return NurserySlots; }
+  /// Old-generation slots currently in use (promoted + direct).
+  size_t oldUsedSlots() const { return OldTop - NurseryLimit; }
+  bool generational() const { return NurserySlots != 0; }
 
-  /// Forces a collection (exposed for the GC stress benchmark).
+  /// Forces a full (major) collection (benchmarks, tests).
   void collectNow();
+  /// Forces a minor collection (write-barrier tests). Full collection
+  /// when the heap is non-generational.
+  void collectMinorNow();
 
 private:
+  /// Allocation fast path: nursery bump, falling back to a direct
+  /// old-space bump for non-generational heaps and for objects larger
+  /// than the nursery. Returns 0 only when the quota is exhausted.
+  uint64_t allocSlots(size_t Slots) {
+    size_t T = NurseryTop + Slots;
+    if (T <= NurseryLimit) { // nursery bump (always false when off)
+      uint64_t Ref = NurseryTop;
+      NurseryTop = T;
+      Stats.NurserySlotsAllocated += Slots;
+      return Ref;
+    }
+    if (NurserySlots == 0 || Slots > NurserySlots) {
+      // Old-space direct path: the whole heap when non-generational,
+      // or pre-tenuring for objects that could never fit the nursery.
+      if (OldTop + Slots <= Space.size() && !OverLimit) {
+        uint64_t Ref = OldTop;
+        OldTop += Slots;
+        return Ref;
+      }
+    }
+    return allocSlotsSlow(Slots);
+  }
+  uint64_t allocSlotsSlow(size_t Slots);
+
   size_t sizeOf(uint64_t Ref) const;
   void syncClassSlots();
-  void collect(size_t NeedSlots);
-  uint64_t forward(uint64_t Ref, std::vector<uint64_t> &To, size_t &Top);
-  void scanSlot(uint64_t &Slot, SlotKind Kind, std::vector<uint64_t> &To,
-                size_t &Top);
+  size_t effLimit() const; ///< Cap with the initial-size floor; SIZE_MAX when uncapped.
+  bool growOldTo(size_t NeedTop);
+  void growDirtyBits();
+  void rememberSlot(uint64_t SlotIdx, bool IsClosure);
+  void rememberGlobal(size_t GlobalIdx);
+  void clearRememberedSet();
+
+  /// Empties the nursery: minor collection when the promotion
+  /// reservation fits (growing the old space if allowed), major
+  /// otherwise.
+  void collectNursery();
+  void collectMinor();
+  void collectMajor(size_t NeedSlots);
+
+  // Minor-collection machinery (evacuation into the same Space).
+  uint64_t forwardYoung(uint64_t Ref);
+  void scanSlotYoung(uint64_t &Slot, SlotKind Kind);
+  // Major-collection machinery (copy into a fresh space).
+  uint64_t forwardAny(uint64_t Ref, std::vector<uint64_t> &To, size_t &Top2);
+  void scanSlotAny(uint64_t &Slot, SlotKind Kind, std::vector<uint64_t> &To,
+                   size_t &Top2);
 
   const BcModule &M;
   size_t LimitSlots = 0;
@@ -145,8 +307,21 @@ private:
   /// Per-class total slot count (1 header + fields), precomputed so
   /// the allocation fast path avoids chasing the class table.
   std::vector<uint32_t> ClassSlots;
-  std::vector<uint64_t> Space; ///< Current from-space.
-  size_t Top = 1;              ///< Next free slot (0 is reserved/null).
+  std::vector<uint64_t> Space; ///< Nursery + old generation.
+  size_t NurserySlots = 0;     ///< 0 = single-space (non-generational).
+  size_t NurseryLimit = 1;     ///< Nursery is [1, NurseryLimit).
+  size_t NurseryTop = 1;       ///< Next free nursery slot.
+  size_t OldTop = 1;           ///< Next free old slot (>= NurseryLimit).
+  size_t InitialTotal = 0;     ///< Floor for the quota and shrink policy.
+
+  /// Remembered set: absolute old-space slot indices (<< 1 | closure
+  /// flag) plus barrier-recorded global indices, each deduplicated by
+  /// a dirty bitmap so hot stores append once per slot per cycle.
+  std::vector<uint64_t> RemSlots;
+  std::vector<uint32_t> RemGlobals;
+  std::vector<uint64_t> DirtyWords; ///< 1 bit per old-space slot.
+  std::vector<uint8_t> GlobalDirty;
+
   std::vector<uint64_t> *Stack = nullptr;
   std::vector<SlotKind> *StackKinds = nullptr;
   std::vector<uint64_t> *Globals = nullptr;

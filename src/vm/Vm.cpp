@@ -2,9 +2,12 @@
 
 #include "vm/Vm.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 using namespace virgil;
 
@@ -28,10 +31,72 @@ bool classSubtype(const BcModule &M, int Sub, int Super) {
 
 } // namespace
 
+namespace {
+
+/// Builds the heap configuration from the VM options: the quota caps
+/// the *sum* of nursery + old space, with the documented 128 KiB (1<<14
+/// slots) floor, and the nursery is carved out of that total (the Heap
+/// clamps it so the old generation starts no smaller than the nursery).
+HeapOptions heapOptionsFor(const VmOptions &Opts) {
+  HeapOptions H;
+  H.Generational = Opts.Generational;
+  H.NurserySlots =
+      std::max<size_t>(Opts.NurseryBytes / sizeof(uint64_t), 16);
+  H.LimitSlots = (size_t)(Opts.MaxHeapBytes / sizeof(uint64_t));
+  // Initial total: big enough that the default nursery fits alongside
+  // an equal-size old generation, but never above the quota (so small
+  // `--heap-bytes` values keep their floor semantics). Kept at 128 KiB
+  // for the default nursery on purpose: the heap is zero-filled per Vm,
+  // and servers/fuzzers build a fresh Vm per request, so a larger
+  // default ends up mmap'd and page-faulted in on every single run
+  // (measured ~10x the whole setup cost of a small program).
+  H.InitialSlots = std::max<size_t>(1 << 14, 2 * H.NurserySlots);
+  if (H.LimitSlots)
+    H.InitialSlots =
+        std::min(H.InitialSlots, std::max<size_t>(H.LimitSlots, 1 << 14));
+  return H;
+}
+
+} // namespace
+
+bool VmOptions::defaultGenerational() {
+  // Read once per process: the CI gc-stress lane flips the default for
+  // every Vm in the binary without threading a flag through each
+  // construction site. Tests that need a specific mode set the field
+  // explicitly and never depend on the environment.
+  static const bool Gen = [] {
+    const char *E = std::getenv("VIRGIL_VM_GC");
+    if (!E)
+      return true;
+    return !(std::string_view(E) == "semi" ||
+             std::string_view(E) == "semispace");
+  }();
+  return Gen;
+}
+
+uint32_t VmOptions::defaultNurseryBytes() {
+  static const uint32_t Bytes = [] {
+    if (const char *E = std::getenv("VIRGIL_VM_NURSERY_BYTES")) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(E, &End, 10);
+      if (End && *End == '\0' && V >= 128 && V <= (1u << 30))
+        return (uint32_t)V;
+    }
+    // 64 KiB: large enough that minor pauses amortize (thousands of
+    // slots between collections), small enough that the zero-filled
+    // per-Vm heap stays at the seed engine's 128 KiB footprint — see
+    // heapOptionsFor. Alloc-heavy workloads can raise it with
+    // --vm-nursery-bytes.
+    return (uint32_t)(64 * 1024);
+  }();
+  return Bytes;
+}
+
 Vm::Vm(const BcModule &M, VmOptions Opts)
     : M(M), Options(Opts),
-      Prep(prepareModule(M, PrepareOptions{Opts.Fuse, Opts.InlineCache})),
-      TheHeap(M), Rels(*M.Types) {
+      Prep(prepareModule(
+          M, PrepareOptions{Opts.Fuse, Opts.InlineCache, Opts.Generational})),
+      TheHeap(M, heapOptionsFor(Opts)), Rels(*M.Types) {
   TheHeap.setRoots(&Stack, &StackKinds, &Globals, &StackTop);
   TheHeap.setPreCollectHook([this] { refreshStackKinds(); });
   Globals.assign(M.GlobalKinds.size(), 0);
@@ -40,8 +105,6 @@ Vm::Vm(const BcModule &M, VmOptions Opts)
   Frames.reserve(1024);
   Counters.FusedStatic = Prep.Stats.fusedTotal();
   MaxInstrs = Opts.MaxInstrs;
-  if (Opts.MaxHeapBytes)
-    TheHeap.setLimitSlots((size_t)(Opts.MaxHeapBytes / sizeof(uint64_t)));
 }
 
 bool Vm::threadedAvailable() {

@@ -75,6 +75,18 @@ struct VmOptions {
   /// stops within a few thousand calls/loop-iterations of the
   /// deadline. Traps with cause Deadline.
   uint32_t DeadlineMs = 0;
+  /// Two-generation heap (nursery + promotion + write barrier). Off =
+  /// the old single-space semispace collector, kept for ablation and
+  /// differential fuzzing; both modes are observationally identical.
+  /// Process-wide default flips with VIRGIL_VM_GC=semi (read once).
+  bool Generational = defaultGenerational();
+  /// Nursery size in bytes (generational mode only). Process-wide
+  /// default (64 KiB) overridable once via VIRGIL_VM_NURSERY_BYTES —
+  /// the CI gc-stress lane shrinks it to 4 KiB.
+  uint32_t NurseryBytes = defaultNurseryBytes();
+
+  static bool defaultGenerational();
+  static uint32_t defaultNurseryBytes();
 };
 
 /// Why a run trapped: a fault in the program itself, or one of the

@@ -298,15 +298,37 @@ TEST(FuzzDriver, PreparedVmSweepIsClean) {
   EXPECT_EQ(Summary.SeedsRun, 200u);
 }
 
+// GC-stress sweep: same 200 seeds, but the VM strategy runs with a
+// 4 KiB nursery so nearly every allocation-bearing program performs
+// minor collections mid-run. The interpreters remain the reference,
+// so any barrier or promotion bug shows up as a divergence.
+TEST(FuzzDriver, TinyNurserySweepIsClean) {
+  FuzzOptions Options;
+  Options.Seeds = 200;
+  Options.Reduce = false;
+  Options.Oracle.Vm.Generational = true;
+  Options.Oracle.Vm.NurseryBytes = 4096;
+  FuzzSummary Summary = Fuzzer(Options).run();
+  EXPECT_TRUE(Summary.clean()) << Summary.toJson();
+  EXPECT_EQ(Summary.SeedsRun, 200u);
+}
+
 // Engine-config differential: the same random programs under switch
 // dispatch, threaded dispatch, and the plain (unfused, uncached)
 // stream must agree on every observable including the executed
 // instruction count.
 TEST(FuzzDriver, EngineConfigsAgreeOnRandomPrograms) {
-  VmOptions Configs[3];
+  VmOptions Configs[5];
   Configs[1].Mode = VmOptions::Dispatch::Switch;
   Configs[2].Fuse = false;
   Configs[2].InlineCache = false;
+  // GC configurations: the collector must be observationally
+  // invisible, so a single-space heap and a tiny 4 KiB nursery (many
+  // minor collections per program) must match the reference exactly,
+  // including the instruction count.
+  Configs[3].Generational = false;
+  Configs[4].Generational = true;
+  Configs[4].NurseryBytes = 4096;
 
   int Compiled = 0;
   for (uint32_t Seed = 1; Seed <= 60; ++Seed) {
@@ -317,7 +339,7 @@ TEST(FuzzDriver, EngineConfigsAgreeOnRandomPrograms) {
       continue; // The oracle tests classify compile errors.
     ++Compiled;
     VmResult Ref;
-    for (int K = 0; K != 3; ++K) {
+    for (int K = 0; K != 5; ++K) {
       Vm V(P->bytecode(), Configs[K]);
       V.setMaxInstrs(2000000); // Random programs may loop forever.
       VmResult R = V.run();

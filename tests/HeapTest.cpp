@@ -1,8 +1,12 @@
-//===- tests/HeapTest.cpp - Semispace GC tests ------------------------------===//
+//===- tests/HeapTest.cpp - Generational GC tests ---------------------------===//
 ///
-/// Direct unit tests of the copying collector plus end-to-end GC
-/// behaviour under churn (live data survives, garbage is reclaimed,
-/// packed closure bound-references are rewritten).
+/// Direct unit tests of the two-generation copying collector plus
+/// end-to-end GC behaviour under churn: live data survives, garbage is
+/// reclaimed, packed closure bound-references are rewritten, nursery
+/// survivors promote, the write barrier keeps old→young edges alive
+/// across minor collections, the occupancy policy shrinks the heap
+/// after a spike, and the byte quota binds against the sum of the
+/// generations.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -159,6 +163,234 @@ def main() -> int {
   for (int Round = 0; Round < 200; ++Round)
     Acc = (Acc + 127) % 97;
   EXPECT_EQ((int)R.ResultBits, 2016 + Acc);
+}
+
+/// Fixture with an explicit HeapOptions — for the generational tests
+/// that need a known nursery size or quota.
+struct GenFixture {
+  BcModule M;
+  std::vector<uint64_t> Stack;
+  std::vector<SlotKind> StackKinds;
+  std::vector<uint64_t> Globals;
+  Heap H;
+
+  explicit GenFixture(HeapOptions O) : H(M, O) {
+    BcClass C;
+    C.Name = "Node";
+    C.FieldKinds = {SlotKind::Scalar, SlotKind::Ref};
+    M.Classes.push_back(C);
+    BcClass D;
+    D.Name = "Holder";
+    D.FieldKinds = {SlotKind::Scalar, SlotKind::Closure};
+    M.Classes.push_back(D);
+    H.setRoots(&Stack, &StackKinds, &Globals);
+  }
+
+  size_t pushRoot(uint64_t Ref, SlotKind K = SlotKind::Ref) {
+    Stack.push_back(Ref);
+    StackKinds.push_back(K);
+    return Stack.size() - 1;
+  }
+
+  static HeapOptions smallNursery(size_t NurserySlots = 256,
+                                  size_t LimitSlots = 0) {
+    HeapOptions O;
+    O.Generational = true;
+    O.NurserySlots = NurserySlots;
+    O.InitialSlots = 2 * NurserySlots + 1;
+    O.LimitSlots = LimitSlots;
+    return O;
+  }
+};
+
+TEST(HeapTest, PromotionMovesNurserySurvivorsToOldSpace) {
+  GenFixture F(GenFixture::smallNursery());
+  size_t RootIdx = F.pushRoot(0);
+  uint64_t O = F.H.allocObject(0);
+  F.H.field(O, 0) = 77;
+  F.Stack[RootIdx] = O;
+  EXPECT_TRUE(F.H.isYoung(O)) << "fresh allocations land in the nursery";
+
+  F.H.collectMinorNow();
+  uint64_t Promoted = F.Stack[RootIdx];
+  ASSERT_NE(Promoted, 0u);
+  EXPECT_FALSE(F.H.isYoung(Promoted)) << "survivors promote to old space";
+  EXPECT_EQ(F.H.field(Promoted, 0), 77u);
+  EXPECT_GE(F.H.stats().MinorCollections, 1u);
+  EXPECT_GT(F.H.stats().SlotsPromoted, 0u);
+  EXPECT_GT(F.H.stats().survivalRate(), 0.0);
+}
+
+TEST(HeapTest, WriteBarrierOldToYoungSurvivesMinorGc) {
+  GenFixture F(GenFixture::smallNursery());
+  // Make an old-generation holder: allocate young, promote via a minor
+  // collection.
+  size_t HolderIdx = F.pushRoot(F.H.allocObject(0));
+  F.H.collectMinorNow();
+  uint64_t Holder = F.Stack[HolderIdx];
+  ASSERT_FALSE(F.H.isYoung(Holder));
+
+  // Store a nursery object into the old holder's ref field — exactly
+  // what a StFB handler does — and drop every stack reference to it,
+  // so only the remembered set keeps it alive.
+  uint64_t Young = F.H.allocObject(0);
+  F.H.field(Young, 0) = 4242;
+  ASSERT_TRUE(F.H.isYoung(Young));
+  F.H.field(Holder, 1) = Young;
+  F.H.writeBarrier(Holder + 2, Young, /*IsClosure=*/false);
+  EXPECT_GE(F.H.stats().BarrierHits, 1u);
+  EXPECT_GE(F.H.stats().RememberedSlots, 1u);
+
+  F.H.collectMinorNow();
+  Holder = F.Stack[HolderIdx];
+  uint64_t Survivor = F.H.field(Holder, 1);
+  ASSERT_NE(Survivor, 0u) << "old->young edge must survive a minor GC";
+  EXPECT_FALSE(F.H.isYoung(Survivor));
+  EXPECT_EQ(F.H.field(Survivor, 0), 4242u);
+}
+
+TEST(HeapTest, WriteBarrierIgnoresOldToOldAndNullStores) {
+  GenFixture F(GenFixture::smallNursery());
+  size_t AIdx = F.pushRoot(F.H.allocObject(0));
+  size_t BIdx = F.pushRoot(F.H.allocObject(0));
+  F.H.collectMinorNow(); // both old now
+  uint64_t A = F.Stack[AIdx], B = F.Stack[BIdx];
+  F.H.field(A, 1) = B;
+  F.H.writeBarrier(A + 2, B, false); // old -> old: no hit
+  F.H.field(A, 1) = 0;
+  F.H.writeBarrier(A + 2, 0, false); // null: no hit
+  EXPECT_EQ(F.H.stats().BarrierHits, 0u);
+  EXPECT_EQ(F.H.stats().RememberedSlots, 0u);
+}
+
+TEST(HeapTest, PackedClosureRewrittenAcrossGenerations) {
+  GenFixture F(GenFixture::smallNursery());
+  // Old holder with a closure field whose bound receiver is young.
+  size_t HolderIdx = F.pushRoot(F.H.allocObject(1));
+  F.H.collectMinorNow();
+  uint64_t Holder = F.Stack[HolderIdx];
+  ASSERT_FALSE(F.H.isYoung(Holder));
+
+  uint64_t Recv = F.H.allocObject(0);
+  F.H.field(Recv, 0) = 314;
+  ASSERT_TRUE(F.H.isYoung(Recv));
+  uint64_t Packed = packClosure(9, Recv, true);
+  F.H.field(Holder, 1) = Packed;
+  F.H.writeBarrier(Holder + 2, Packed, /*IsClosure=*/true);
+
+  F.H.collectMinorNow();
+  Holder = F.Stack[HolderIdx];
+  uint64_t After = F.H.field(Holder, 1);
+  EXPECT_EQ(closureFuncId(After), 9);
+  ASSERT_TRUE(closureIsBound(After));
+  uint64_t NewRecv = closureBoundRef(After);
+  EXPECT_FALSE(F.H.isYoung(NewRecv))
+      << "the packed bound ref must be rewritten to the promoted copy";
+  EXPECT_EQ(F.H.field(NewRecv, 0), 314u);
+}
+
+TEST(HeapTest, HeapShrinksAfterSpike) {
+  GenFixture F(GenFixture::smallNursery(256));
+  // Spike: ~200k slots of rooted live arrays.
+  std::vector<size_t> Roots;
+  for (int I = 0; I < 100; ++I)
+    Roots.push_back(F.pushRoot(F.H.allocArray(ElemKind::Scalar, 2048)));
+  size_t AtSpike = F.H.totalSlots();
+  EXPECT_GT(AtSpike, 100u * 2048u) << "the spike must have grown the heap";
+
+  // Drop the spike and collect: the occupancy policy must give the
+  // memory back, not hold the high-water mark forever.
+  for (size_t R : Roots)
+    F.Stack[R] = 0;
+  F.H.collectNow();
+  size_t AfterDrop = F.H.totalSlots();
+  EXPECT_LT(AfterDrop, AtSpike / 4)
+      << "heap must shrink after the live set collapses";
+  EXPECT_GE(F.H.stats().MajorCollections, 1u);
+}
+
+TEST(HeapTest, QuotaBindsAgainstSumOfGenerations) {
+  // Cap of 4096 slots over nursery (1024) + old combined.
+  GenFixture F(GenFixture::smallNursery(1024, /*LimitSlots=*/4096));
+
+  // Garbage churn far past the cap must never fail: collections
+  // reclaim it all, and the footprint stays within the cap.
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_NE(F.H.allocArray(ElemKind::Scalar, 62), 0u) << "iteration " << I;
+  EXPECT_FALSE(F.H.overLimit());
+  EXPECT_LE(F.H.totalSlots(), 4096u)
+      << "nursery + old combined must respect the cap";
+
+  // Live data past the cap must fail cleanly with overLimit, and the
+  // footprint may overshoot by at most one nursery of admissions.
+  size_t RootIdx = F.pushRoot(0);
+  bool Failed = false;
+  for (int I = 0; I < 4000; ++I) {
+    uint64_t N = F.H.allocObject(0);
+    if (N == 0) {
+      Failed = true;
+      break;
+    }
+    F.H.field(N, 1) = F.Stack[RootIdx];
+    F.Stack[RootIdx] = N;
+  }
+  EXPECT_TRUE(Failed) << "rooted data beyond the cap must fail to allocate";
+  EXPECT_TRUE(F.H.overLimit());
+  EXPECT_LE(F.H.totalSlots(), 4096u + F.H.nurserySlots() + 16u);
+}
+
+TEST(HeapTest, NonGenerationalModeIsSingleSpace) {
+  HeapOptions O;
+  O.Generational = false;
+  O.InitialSlots = 64;
+  GenFixture F(O);
+  EXPECT_FALSE(F.H.generational());
+  uint64_t A = F.H.allocObject(0);
+  EXPECT_FALSE(F.H.isYoung(A)) << "no nursery: everything is old";
+  size_t RootIdx = F.pushRoot(A);
+  for (int I = 0; I < 500; ++I) {
+    uint64_t N = F.H.allocObject(0);
+    F.H.field(N, 1) = F.Stack[RootIdx];
+    F.Stack[RootIdx] = N;
+  }
+  EXPECT_EQ(F.H.stats().MinorCollections, 0u);
+  EXPECT_GE(F.H.stats().MajorCollections, 1u);
+  int Count = 0;
+  for (uint64_t N = F.Stack[RootIdx]; N != 0; N = F.H.field(N, 1))
+    ++Count;
+  EXPECT_EQ(Count, 501);
+}
+
+TEST(HeapTest, TinyNurseryEndToEndChurn) {
+  // A 4 KiB nursery (512 slots) forces constant minor collections;
+  // results must match the default configuration exactly.
+  auto P = compileOk(R"(
+class Node { var v: int; var next: Node; new(v, next) { } }
+def main() -> int {
+  var keep: Node = null;
+  for (i = 0; i < 64; i = i + 1) keep = Node.new(i, keep);
+  var acc = 0;
+  for (round = 0; round < 200; round = round + 1) {
+    var g: Node = null;
+    for (i = 0; i < 128; i = i + 1) g = Node.new(i, g);
+    acc = (acc + g.v) % 97;
+  }
+  var sum = 0;
+  for (n = keep; n != null; n = n.next) sum = sum + n.v;
+  return sum + acc;
+}
+)");
+  VmResult Default = P->runVm();
+  VmOptions Tiny;
+  Tiny.Generational = true;
+  Tiny.NurseryBytes = 4096;
+  VmResult R = P->runVm(Tiny);
+  ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  EXPECT_EQ(R.ResultBits, Default.ResultBits);
+  EXPECT_EQ(R.Counters.Instrs, Default.Counters.Instrs)
+      << "nursery size must be observationally invisible";
+  EXPECT_GT(R.Heap.MinorCollections, 10u)
+      << "a 4 KiB nursery must force frequent minor collections";
 }
 
 TEST(HeapTest, ClosureFieldsSurviveGc) {

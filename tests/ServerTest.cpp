@@ -235,6 +235,9 @@ TEST(ProtocolTest, ExecuteResponseRoundTrip) {
   Resp.ExecuteMs = 99.25;
   Resp.Instrs = 1u << 20;
   Resp.TimingsJson = "{}";
+  Resp.GcMinor = 17;
+  Resp.GcMajor = 3;
+  Resp.GcPauseNs = 123456789;
   ExecuteResponse Back;
   ASSERT_TRUE(decodeExecuteResponse(encodeExecuteResponse(Resp), &Back));
   EXPECT_EQ(Back.O, Outcome::Fuel);
@@ -243,6 +246,9 @@ TEST(ProtocolTest, ExecuteResponseRoundTrip) {
   EXPECT_EQ(Back.Output, "partial");
   EXPECT_DOUBLE_EQ(Back.ExecuteMs, 99.25);
   EXPECT_EQ(Back.Instrs, 1u << 20);
+  EXPECT_EQ(Back.GcMinor, 17u);
+  EXPECT_EQ(Back.GcMajor, 3u);
+  EXPECT_EQ(Back.GcPauseNs, 123456789u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -425,6 +431,38 @@ TEST(ServerTest, ExecuteOkAndPing) {
   EXPECT_EQ(Resp.ResultBits, 42);
   EXPECT_GT(Resp.Instrs, 0u);
   EXPECT_FALSE(Resp.CacheHit);
+}
+
+TEST(ServerTest, ExecuteReportsGcActivity) {
+  // Allocation-heavy but terminating: enough short-lived garbage to
+  // force several minor collections under the default 64 KiB
+  // nursery, so the response's GC counters must be non-zero.
+  const char *Churn =
+      "class Node { var v: int; var next: Node; new(v, next) { } }\n"
+      "def main() -> int {\n"
+      "  var sum = 0;\n"
+      "  var i = 0;\n"
+      "  while (i < 200000) {\n"
+      "    var n = Node.new(i, null);\n"
+      "    sum = sum + n.v;\n"
+      "    i = i + 1;\n"
+      "  }\n"
+      "  return sum;\n"
+      "}\n";
+  TestServer TS;
+  Client C = TS.client();
+  std::string Err;
+  ExecuteResponse Resp;
+  ASSERT_TRUE(C.execute(makeReq(Churn, "churn"), &Resp, nullptr, &Err)) << Err;
+  EXPECT_EQ(Resp.O, Outcome::Ok);
+  EXPECT_GT(Resp.GcMinor, 0u);
+  EXPECT_GT(Resp.GcPauseNs, 0u);
+
+  // A trivial non-allocating request reports a quiet heap.
+  ASSERT_TRUE(C.execute(makeReq(kOkProgram), &Resp, nullptr, &Err)) << Err;
+  EXPECT_EQ(Resp.O, Outcome::Ok);
+  EXPECT_EQ(Resp.GcMinor, 0u);
+  EXPECT_EQ(Resp.GcMajor, 0u);
 }
 
 TEST(ServerTest, CompileErrorIsStructured) {
@@ -622,7 +660,8 @@ TEST(ServerTest, StatsJsonShape) {
        {"\"uptime_ms\"", "\"connections\"", "\"by_outcome\"", "\"queue\"",
         "\"latency_ms\"", "\"workers\"", "\"utilization_pct\"",
         "\"instrs_total\"", "\"cache\"", "\"hit_rate_pct\"",
-        "\"capacity_evictions\"", "\"p95_ms\"", "\"p99_ms\""})
+        "\"capacity_evictions\"", "\"p95_ms\"", "\"p99_ms\"", "\"gc\"",
+        "\"minor_total\"", "\"major_total\"", "\"pause_ns_total\""})
     EXPECT_NE(Json.find(Key), std::string::npos) << Key << " missing:\n"
                                                  << Json;
   EXPECT_NE(Json.find("\"execute\":2"), std::string::npos) << Json;

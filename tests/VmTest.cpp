@@ -313,6 +313,65 @@ def main() -> int { return sum(200); }
   EXPECT_EQ(Slow.Counters.FusedExecuted, 0u);
 }
 
+// The generational heap (barrier stores, minor/major collections,
+// promotion) must be invisible next to the single-space collector:
+// identical result, output, and executed-instruction count — barrier
+// store variants count exactly like the plain stores they replace.
+// The workload mixes old→young field stores, global stores, closure
+// fields, and enough churn to force collections in every mode.
+TEST(VmTest, GenerationalGcIsObservationallyInvisible) {
+  const char *Source = R"(
+class Node { var v: int; var next: Node; new(v, next) { } }
+class Holder { var f: () -> int; new(f) { } }
+class Counter { var n: int; def inc() -> int { n = n + 1; return n; } }
+var head: Node = null;
+def main() -> int {
+  var old = Node.new(1, null);
+  for (round = 0; round < 500; round = round + 1) {
+    var g: Node = null;
+    for (i = 0; i < 64; i = i + 1) g = Node.new(i, g);
+    old.next = g;            // old -> young field store
+    head = g;                // global ref store
+  }
+  var c = Counter.new();
+  var h = Holder.new(c.inc); // closure field store
+  var r1 = h.f();
+  var sum = 0;
+  for (n = head; n != null; n = n.next) sum = sum + n.v;
+  return sum + old.next.v + r1;
+}
+)";
+  auto P = compileOk(Source);
+  // Pin every mode explicitly: the CI gc-stress lane flips the
+  // process-wide defaults via environment, and this test's contract
+  // is exactly that the three distinct configurations agree.
+  VmOptions GenOpts;
+  GenOpts.Generational = true;
+  GenOpts.NurseryBytes = 64 * 1024;
+  VmOptions Semi;
+  Semi.Generational = false;
+  VmOptions Tiny;
+  Tiny.Generational = true;
+  Tiny.NurseryBytes = 4096;
+  VmResult Gen = P->runVm(GenOpts);
+  VmResult Old = P->runVm(Semi);
+  VmResult Small = P->runVm(Tiny);
+  ASSERT_FALSE(Gen.Trapped) << Gen.TrapMessage;
+  ASSERT_FALSE(Old.Trapped) << Old.TrapMessage;
+  ASSERT_FALSE(Small.Trapped) << Small.TrapMessage;
+  EXPECT_EQ(Gen.ResultBits, Old.ResultBits);
+  EXPECT_EQ(Gen.Output, Old.Output);
+  EXPECT_EQ(Gen.Counters.Instrs, Old.Counters.Instrs)
+      << "barrier stores must count like the plain stores they replace";
+  EXPECT_EQ(Gen.ResultBits, Small.ResultBits);
+  EXPECT_EQ(Gen.Counters.Instrs, Small.Counters.Instrs);
+  // The modes must actually have exercised their respective machinery.
+  EXPECT_GT(Gen.Heap.MinorCollections, 0u);
+  EXPECT_GT(Gen.Heap.BarrierHits, 0u);
+  EXPECT_EQ(Old.Heap.MinorCollections, 0u);
+  EXPECT_GT(Small.Heap.MinorCollections, Gen.Heap.MinorCollections);
+}
+
 // Switch and threaded dispatch run the same prepared stream; every
 // observable (and the instruction count) must agree.
 TEST(VmTest, SwitchAndThreadedDispatchAgree) {

@@ -122,6 +122,22 @@ print(f"perf gate: e1_callconv {key} = {have:.1f}, "
 if have < floor:
     print("FAIL: VM throughput regressed more than 30% vs baseline")
     sys.exit(1)
+# Generational GC gate: the nursery must beat the single-space
+# collector on the allocation-dominated churn (E8 part 3). This is a
+# same-process ratio of two runs, so it is load-independent and can
+# gate much tighter than absolute throughput; the baseline floor is
+# still conservative next to locally measured speedups.
+gc_key = "alloc_speedup_gen"
+gc_have = cur.get("e8_alloc_gc", {}).get(gc_key)
+gc_want = base.get("e8_alloc_gc", {}).get(gc_key)
+if gc_have is None or gc_want is None:
+    print("FAIL: e8_alloc_gc %s missing from results or baseline" % gc_key)
+    sys.exit(1)
+print(f"perf gate: e8_alloc_gc {gc_key} = {gc_have:.2f}x, "
+      f"floor {gc_want:.2f}x")
+if gc_have < gc_want:
+    print("FAIL: generational allocation speedup below baseline floor")
+    sys.exit(1)
 print("perf gate: ok")
 EOF
 fi

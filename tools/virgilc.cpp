@@ -45,6 +45,8 @@
 ///                    deep-generics, operator-values, cast-chains,
 ///                    loops
 ///   --verbose        log each divergence as it is found
+///   --vm-gc M        VM strategy heap mode: gen (default) | semi
+///   --vm-nursery-bytes N  VM strategy nursery size in bytes
 ///
 /// Fuzz exit codes: 0 all seeds agree, 1 divergences found, 2 usage.
 ///
@@ -69,7 +71,8 @@ static void usage() {
   std::fprintf(stderr,
                "usage: virgilc [--interp] [--dump-ast|--dump-ir|"
                "--dump-mono|--dump-norm] [--stats] [--vm-stats] "
-               "[--vm-dispatch auto|switch|threaded] [--no-opt] "
+               "[--vm-dispatch auto|switch|threaded] "
+               "[--vm-gc gen|semi] [--vm-nursery-bytes N] [--no-opt] "
                "(file.v3 | -e <source>)\n"
                "       virgilc batch [--jobs N] [--cache-dir D] "
                "[--cache-max-bytes N] [--run] [--stats] [--no-opt] "
@@ -77,7 +80,9 @@ static void usage() {
                "       virgilc fuzz [--seeds N] [--start-seed K] "
                "[--time-budget S] [--out-dir D] [--fuel N]\n"
                "                    [--no-reduce] [--no-opt-compare] "
-               "[--gen-off FEATURE] [--verbose]\n");
+               "[--gen-off FEATURE] [--verbose]\n"
+               "                    [--vm-gc gen|semi] "
+               "[--vm-nursery-bytes N]\n");
 }
 
 static bool readWholeFile(const std::string &Path, std::string &Out) {
@@ -88,6 +93,35 @@ static bool readWholeFile(const std::string &Path, std::string &Out) {
   Buf << In.rdbuf();
   Out = Buf.str();
   return true;
+}
+
+/// Parses one --vm-gc / --vm-nursery-bytes flag pair into \p Opts.
+/// Returns 1 if consumed, 0 if not a GC flag, -1 on a bad value.
+static int parseVmGcFlag(const std::string &Arg, int &I, int Argc,
+                         char **Argv, VmOptions &Opts) {
+  if (Arg == "--vm-gc" && I + 1 < Argc) {
+    std::string Mode = Argv[++I];
+    if (Mode == "gen" || Mode == "generational")
+      Opts.Generational = true;
+    else if (Mode == "semi" || Mode == "semispace")
+      Opts.Generational = false;
+    else {
+      std::fprintf(stderr, "virgilc: unknown GC mode '%s'\n", Mode.c_str());
+      return -1;
+    }
+    return 1;
+  }
+  if (Arg == "--vm-nursery-bytes" && I + 1 < Argc) {
+    long long N = std::atoll(Argv[++I]);
+    if (N < 128 || N > (1ll << 30)) {
+      std::fprintf(stderr,
+                   "virgilc: --vm-nursery-bytes must be in [128, 2^30]\n");
+      return -1;
+    }
+    Opts.NurseryBytes = (uint32_t)N;
+    return 1;
+  }
+  return 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -277,6 +311,9 @@ static int runFuzz(int Argc, char **Argv) {
       }
     } else if (Arg == "--verbose") {
       Options.Verbose = true;
+    } else if (int K = parseVmGcFlag(Arg, I, Argc, Argv, Options.Oracle.Vm)) {
+      if (K < 0)
+        return 2;
     } else {
       std::fprintf(stderr, "virgilc: unknown fuzz option '%s'\n",
                    Arg.c_str());
@@ -352,6 +389,9 @@ int main(int Argc, char **Argv) {
                      Mode.c_str());
         return 2;
       }
+    } else if (int K = parseVmGcFlag(Arg, I, Argc, Argv, VmOpts)) {
+      if (K < 0)
+        return 2;
     } else if (Arg == "--no-opt")
       Options.Optimize = false;
     else if (Arg == "-e" && I + 1 < Argc) {
@@ -429,7 +469,11 @@ int main(int Argc, char **Argv) {
         "\"ic_hits\":%llu,\"ic_misses\":%llu,"
         "\"fused_static\":%llu,\"fused_executed\":%llu,"
         "\"heap_objects\":%llu,\"heap_arrays\":%llu,"
-        "\"string_allocs\":%llu,\"gcs\":%llu,\"trapped\":%s}\n",
+        "\"string_allocs\":%llu,\"gcs\":%llu,"
+        "\"gc_minor\":%llu,\"gc_major\":%llu,"
+        "\"gc_minor_pause_ns\":%llu,\"gc_major_pause_ns\":%llu,"
+        "\"gc_survival\":%.4f,\"barrier_hits\":%llu,"
+        "\"remembered_slots\":%llu,\"trapped\":%s}\n",
         R.DispatchMode.c_str(), (unsigned long long)C.Instrs,
         (unsigned long long)C.Calls, (unsigned long long)C.VirtualCalls,
         (unsigned long long)C.IndirectCalls,
@@ -440,6 +484,12 @@ int main(int Argc, char **Argv) {
         (unsigned long long)C.HeapArrays,
         (unsigned long long)C.StringAllocs,
         (unsigned long long)R.Heap.Collections,
+        (unsigned long long)R.Heap.MinorCollections,
+        (unsigned long long)R.Heap.MajorCollections,
+        (unsigned long long)R.Heap.MinorPauses.SumNs,
+        (unsigned long long)R.Heap.MajorPauses.SumNs,
+        R.Heap.survivalRate(), (unsigned long long)R.Heap.BarrierHits,
+        (unsigned long long)R.Heap.RememberedSlots,
         R.Trapped ? "true" : "false");
   }
   if (R.Trapped) {

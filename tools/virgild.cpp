@@ -16,8 +16,11 @@
 ///   --cache-dir D        enable the content-addressed bytecode cache
 ///   --cache-max-bytes N  LRU-evict the cache above N bytes
 ///   --fuel N             default per-request instruction budget
-///   --heap-max-bytes N   default per-request heap quota
+///   --heap-max-bytes N   default per-request heap quota (caps the
+///                        request VM's nursery + old space combined)
 ///   --deadline-ms N      default per-request wall-clock budget
+///   --vm-gc M            request heap mode: gen (default) | semi
+///   --vm-nursery-bytes N nursery size for generational request heaps
 ///   --no-opt             compile without the optimizer
 ///   --stats-on-exit      print the final STATS JSON to stdout on drain
 ///
@@ -53,6 +56,7 @@ static void usage() {
       "               [--queue-cap N] [--cache-dir D] "
       "[--cache-max-bytes N]\n"
       "               [--fuel N] [--heap-max-bytes N] [--deadline-ms N]\n"
+      "               [--vm-gc gen|semi] [--vm-nursery-bytes N]\n"
       "               [--no-opt] [--stats-on-exit]\n");
 }
 
@@ -124,6 +128,23 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Config.DefaultDeadlineMs = (uint32_t)N;
+    } else if (Arg == "--vm-gc" && I + 1 < Argc) {
+      std::string Mode = Argv[++I];
+      if (Mode == "gen" || Mode == "generational") {
+        Config.VmGenerational = true;
+      } else if (Mode == "semi" || Mode == "semispace") {
+        Config.VmGenerational = false;
+      } else {
+        std::fprintf(stderr, "virgild: unknown --vm-gc mode '%s'\n",
+                     Mode.c_str());
+        return 2;
+      }
+    } else if (Arg == "--vm-nursery-bytes" && I + 1 < Argc) {
+      if (!parseU64(Argv[++I], &N) || N < 128 || N > (1ull << 30)) {
+        std::fprintf(stderr, "virgild: bad --vm-nursery-bytes\n");
+        return 2;
+      }
+      Config.VmNurseryBytes = (uint32_t)N;
     } else if (Arg == "--no-opt") {
       Config.Compile.Optimize = false;
     } else if (Arg == "--stats-on-exit") {
