@@ -13,9 +13,16 @@
 ///
 /// The headline claim mirrors E11 at the request level: warm p95 must
 /// beat cold p95 by at least 2x (ISSUE acceptance), typically far
-/// more. Emits cold/warm p50/p95 and the speedup for
-/// tools/bench_all.sh to aggregate into BENCH_server.json and gate
-/// against bench/baseline_server.json.
+/// more.
+///
+/// A third phase measures *sustained throughput* (E15): the same warm
+/// closed-loop drive against (a) a single-event-loop daemon with the
+/// warm-VM pool disabled — the pre-pool architecture — and (b) the
+/// production configuration, sharded event loops + per-worker VM
+/// pools. The ratio is the sustained_speedup metric
+/// tools/bench_all.sh gates (>= 3x) alongside warm-p50
+/// non-regression, aggregated into BENCH_server.json against
+/// bench/baseline_server.json.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -81,11 +88,11 @@ struct Sample {
 /// Runs \p Total closed-loop requests across \p Conns connections.
 /// \p Distinct makes every source unique (cold path).
 void drive(const std::string &Sock, int Conns, int Total, bool Distinct,
-           Sample &Out) {
+           Sample &Out, const std::string &Program = baseProgram()) {
   std::atomic<int> Next{0};
   std::vector<std::thread> Threads;
   for (int W = 0; W != Conns; ++W)
-    Threads.emplace_back([&Sock, &Next, Total, Distinct, &Out] {
+    Threads.emplace_back([&Sock, &Next, Total, Distinct, &Out, &Program] {
       Client C;
       std::string Err;
       if (!C.connectUnix(Sock, &Err)) {
@@ -98,7 +105,7 @@ void drive(const std::string &Sock, int Conns, int Total, bool Distinct,
           break;
         ExecuteRequest Req;
         Req.Name = "e13-" + std::to_string(Seq);
-        Req.Source = baseProgram();
+        Req.Source = Program;
         if (Distinct)
           Req.Source += "def uniq_" + std::to_string(Seq) +
                         "() -> int { return " + std::to_string(Seq) +
@@ -128,6 +135,42 @@ void drive(const std::string &Sock, int Conns, int Total, bool Distinct,
     });
   for (auto &T : Threads)
     T.join();
+}
+
+/// Boots a server with \p Config rooted at \p Root, measures warm
+/// closed-loop throughput (after a short prime), and returns req/s
+/// (-1 on any request failure).
+double sustainedRps(ServerConfig Config, const std::string &Root, int Conns,
+                    int Total) {
+  // A minimal program: the sustained phase measures per-request
+  // *setup* throughput (framing, queueing, cache/pool probe, heap and
+  // stack standup), which is exactly the cost the warm-VM pool
+  // removes. Program run time would be identical in both configs and
+  // only dilute the ratio.
+  const std::string Tiny = "def main() -> int { return 42; }\n";
+  fs::create_directories(Root);
+  Config.UnixPath = Root + "/sock";
+  Config.TcpPort = -1;
+  Config.CacheDir = Root + "/cache";
+  Server S(Config);
+  std::string Err;
+  if (!S.start(&Err)) {
+    std::fprintf(stderr, "E13: server start failed: %s\n", Err.c_str());
+    return -1;
+  }
+  Sample Prime;
+  drive(Config.UnixPath, 1, 3, false, Prime, Tiny);
+  Sample Run;
+  auto T0 = std::chrono::steady_clock::now();
+  drive(Config.UnixPath, Conns, Total, /*Distinct=*/false, Run, Tiny);
+  double WallSec = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  S.stop();
+  if (Prime.Errors.load() || Run.Errors.load() ||
+      Run.Ms.size() != (size_t)Total)
+    return -1;
+  return WallSec > 0 ? (double)Total / WallSec : -1;
 }
 
 } // namespace
@@ -177,7 +220,33 @@ int main(int argc, char **argv) {
   drive(Config.UnixPath, Conns, ColdN, /*Distinct=*/true, Cold);
   drive(Config.UnixPath, Conns, WarmN, /*Distinct=*/false, Warm);
   S.stop();
+
+  // Sustained-throughput phase (E15): the same warm closed-loop drive
+  // against the pre-pool architecture (one event loop, pool off, disk
+  // cache only) and the production one (sharded loops + VM pools).
+  const int SustN = Opts.Quick ? 400 : 2000;
+  unsigned Cores = std::thread::hardware_concurrency();
+  int IoThreads = Cores >= 4 ? 4 : (Cores >= 2 ? 2 : 1);
+  ServerConfig SingleCfg;
+  SingleCfg.Workers = 4;
+  SingleCfg.QueueCap = 256;
+  SingleCfg.IoThreads = 1;
+  SingleCfg.VmPool = false;
+  double SingleRps =
+      sustainedRps(SingleCfg, Root + "/single", Conns, SustN);
+  ServerConfig PooledCfg;
+  PooledCfg.Workers = 4;
+  PooledCfg.QueueCap = 256;
+  PooledCfg.IoThreads = IoThreads;
+  PooledCfg.VmPool = true;
+  double PooledRps =
+      sustainedRps(PooledCfg, Root + "/pooled", Conns, SustN);
   fs::remove_all(Root);
+  if (SingleRps < 0 || PooledRps < 0) {
+    std::fprintf(stderr, "E13: sustained phase had request failures\n");
+    return 1;
+  }
+  double SustainedSpeedup = SingleRps > 0 ? PooledRps / SingleRps : 0;
 
   if (Cold.Errors.load() || Warm.Errors.load() ||
       Cold.Ms.size() != (size_t)ColdN || Warm.Ms.size() != (size_t)WarmN) {
@@ -195,13 +264,18 @@ int main(int argc, char **argv) {
   std::printf("%-6s %9d %10.3f %10.3f\n", "cold", ColdN, ColdP50, ColdP95);
   std::printf("%-6s %9d %10.3f %10.3f\n", "warm", WarmN, WarmP50, WarmP95);
   std::printf("\nwarm p95 speedup over cold: %.1fx\n", Speedup);
+  std::printf("sustained req/s: single-loop/no-pool %.1f, "
+              "%d-loop/pooled %.1f (%.1fx)\n",
+              SingleRps, IoThreads, PooledRps, SustainedSpeedup);
 
   std::printf("\n-- JSON --\n");
   std::printf("{\"experiment\":\"e13_server\",\"conns\":%d,"
               "\"cold_p50_ms\":%.3f,\"cold_p95_ms\":%.3f,"
               "\"warm_p50_ms\":%.3f,\"warm_p95_ms\":%.3f,"
-              "\"warm_speedup\":%.2f}\n",
-              Conns, ColdP50, ColdP95, WarmP50, WarmP95, Speedup);
+              "\"warm_speedup\":%.2f,\"sustained_rps_single\":%.1f,"
+              "\"sustained_rps_pooled\":%.1f,\"sustained_speedup\":%.2f}\n",
+              Conns, ColdP50, ColdP95, WarmP50, WarmP95, Speedup, SingleRps,
+              PooledRps, SustainedSpeedup);
 
   if (!Opts.JsonPath.empty()) {
     JsonReport J("e13_server");
@@ -210,6 +284,9 @@ int main(int argc, char **argv) {
     J.metric("warm_p50_ms", WarmP50);
     J.metric("warm_p95_ms", WarmP95);
     J.metric("warm_speedup", Speedup);
+    J.metric("sustained_rps_single", SingleRps);
+    J.metric("sustained_rps_pooled", PooledRps);
+    J.metric("sustained_speedup", SustainedSpeedup);
     J.write(Opts.JsonPath);
   }
 

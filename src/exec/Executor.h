@@ -1,0 +1,86 @@
+//===- exec/Executor.h - Per-worker request execution engine ----*- C++ -*-===//
+///
+/// \file
+/// The compile-and-run half of a virgild worker, factored out of the
+/// server so it can be pooled, benchmarked, and differentially tested
+/// on its own. An Executor owns one VmPool (one Executor per worker
+/// thread — no locking) and turns an ExecuteRequest into an
+/// ExecuteResponse:
+///
+///   1. Clamp the request's fuel/heap/deadline quotas to the
+///      configured maxima (a client can tighten its sandbox, never
+///      escape it).
+///   2. Probe the warm-VM pool with a key covering the source content,
+///      compiler options, and heap geometry. A hit skips the compile
+///      service entirely — no disk probe, no deserialize, no
+///      prepare, no fresh heap — and runs on the reset VM.
+///   3. On a miss, compile through the shared CompileService (cache
+///      probe → compile → store), build a fresh Vm, snapshot its
+///      post-prepare state, run it, and donate it to the pool.
+///
+/// Pool hits report CacheHit=true on the wire: the request was served
+/// from cached compilation state, one level warmer than the disk
+/// cache. Everything else about the response — outcome, trap text,
+/// result, output, instruction and GC counts — is identical between
+/// the hit and miss paths by the VmPool invisibility contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_EXEC_EXECUTOR_H
+#define VIRGIL_EXEC_EXECUTOR_H
+
+#include "exec/VmPool.h"
+#include "server/Protocol.h"
+
+namespace virgil {
+namespace exec {
+
+struct ExecutorConfig {
+  /// Default and maximum per-request quotas (same clamping rule as
+  /// ServerConfig, which is where these come from in the daemon).
+  uint64_t DefaultFuel = 200u << 20;
+  uint64_t DefaultHeapBytes = 64u << 20;
+  uint32_t DefaultDeadlineMs = 5000;
+  uint64_t MaxFuel = 1u << 30;
+  uint64_t MaxHeapBytes = 256u << 20;
+  uint32_t MaxDeadlineMs = 30000;
+
+  /// Request-VM heap mode and nursery size; part of the pool key.
+  bool VmGenerational = true;
+  uint32_t VmNurseryBytes = 64 * 1024;
+
+  /// Warm-VM pooling (on by default; `--vm-pool off` for the ablation
+  /// and the differential baseline).
+  bool UsePool = true;
+  size_t PoolSize = 8;
+};
+
+class Executor {
+public:
+  Executor(const ExecutorConfig &Config, CompileService &Service)
+      : Config(Config), Service(Service), Pool(Config.PoolSize) {}
+
+  /// Serves one request end to end. \p ExecuteVm distinguishes
+  /// EXECUTE from COMPILE: compile-only requests stop after the cache
+  /// store and never touch a VM (or the pool). \p CompileMs and
+  /// \p ExecuteMs receive the phase wall times for metrics.
+  server::ExecuteResponse run(const server::ExecuteRequest &Req,
+                              bool ExecuteVm, double *CompileMs,
+                              double *ExecuteMs);
+
+  const VmPoolStats &poolStats() const { return Pool.stats(); }
+  size_t poolSize() const { return Pool.size(); }
+
+private:
+  uint64_t poolKeyFor(const server::ExecuteRequest &Req,
+                      uint64_t HeapBytes) const;
+
+  ExecutorConfig Config;
+  CompileService &Service;
+  VmPool Pool;
+};
+
+} // namespace exec
+} // namespace virgil
+
+#endif // VIRGIL_EXEC_EXECUTOR_H

@@ -1,0 +1,135 @@
+//===- exec/VmPool.h - Warm-VM pool with snapshot reset ---------*- C++ -*-===//
+///
+/// \file
+/// A small per-worker ring of pre-initialized VMs keyed by request
+/// content. The dominant per-request cost in virgild is not running
+/// the program but standing up its sandbox: deserializing the cached
+/// module, re-preparing it (decode, fusion, inline-cache slots), and
+/// zero-filling a fresh heap and register arena — the same economics
+/// argument the paper makes for monomorphization, paid per *request*
+/// instead of per call. A pool hit skips all of it: the VM's heap is
+/// rewound in place (Heap::reset — already-faulted pages, no fresh
+/// mmap), globals and inline caches are restored from the post-prepare
+/// snapshot (Vm::resetForReuse), and the retained CompiledUnit keeps
+/// the bytecode alive so even the disk cache is bypassed.
+///
+/// The contract that makes this safe is *observational invisibility*:
+/// a reused VM must produce identical outcomes, trap diagnostics,
+/// executed-instruction counts, and GC activity to a freshly built VM
+/// with the same options. That is why the pool key covers everything
+/// that shapes execution — source content, compiler options, and the
+/// heap geometry (quota, nursery size, GC mode) — while pure per-run
+/// quotas (fuel, deadline) are re-armed on each acquire. The property
+/// is enforced by tests/ExecTest.cpp's fresh-vs-pooled differential
+/// sweep and the `--vm-pool` fuzz oracle config.
+///
+/// Thread model: one VmPool per worker thread, no internal locking.
+/// Stats are relaxed atomics so STATS can read them cross-thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_EXEC_VMPOOL_H
+#define VIRGIL_EXEC_VMPOOL_H
+
+#include "service/CompileService.h"
+#include "vm/Vm.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace virgil {
+namespace exec {
+
+/// Pool observability; readable from any thread (STATS) while the
+/// owning worker mutates the pool.
+struct VmPoolStats {
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> Drops{0}; ///< Entries whose reset failed.
+  /// Warm VMs currently resident — a gauge mirror of the entry count,
+  /// kept atomic so STATS can sample it without racing the owner.
+  std::atomic<uint64_t> Resident{0};
+};
+
+class VmPool {
+public:
+  explicit VmPool(size_t Cap) : Cap(Cap ? Cap : 1) {}
+
+  /// Looks up a warm VM for \p Key. On a hit the entry's VM is reset
+  /// to its post-prepare state and returned (the pool retains
+  /// ownership); the caller re-arms per-run quotas and runs it. On a
+  /// miss returns null and the caller builds a fresh VM.
+  Vm *acquire(uint64_t Key) {
+    for (Entry &E : Entries) {
+      if (E.Key != Key)
+        continue;
+      if (!E.V->resetForReuse()) {
+        // No snapshot (should not happen — adopt() takes one): drop
+        // the entry rather than risk a contaminated run.
+        Stats.Drops.fetch_add(1, std::memory_order_relaxed);
+        E = std::move(Entries.back());
+        Entries.pop_back();
+        Stats.Resident.store(Entries.size(), std::memory_order_relaxed);
+        Stats.Misses.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+      E.LastUse = ++Tick;
+      Stats.Hits.fetch_add(1, std::memory_order_relaxed);
+      return E.V.get();
+    }
+    Stats.Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  /// Donates a just-run VM (plus the CompiledUnit keeping its module
+  /// alive) to the pool, evicting the least-recently-used entry at
+  /// capacity. The VM must have had snapshotForReuse() called before
+  /// its first run. An existing entry with the same key is replaced.
+  void adopt(uint64_t Key, std::unique_ptr<CompiledUnit> Unit,
+             std::unique_ptr<Vm> V) {
+    for (Entry &E : Entries) {
+      if (E.Key == Key) {
+        E.Unit = std::move(Unit);
+        E.V = std::move(V);
+        E.LastUse = ++Tick;
+        return;
+      }
+    }
+    if (Entries.size() >= Cap) {
+      size_t Lru = 0;
+      for (size_t I = 1; I != Entries.size(); ++I)
+        if (Entries[I].LastUse < Entries[Lru].LastUse)
+          Lru = I;
+      Entries[Lru] = std::move(Entries.back());
+      Entries.pop_back();
+      Stats.Evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    Entries.push_back(Entry{Key, std::move(Unit), std::move(V), ++Tick});
+    Stats.Resident.store(Entries.size(), std::memory_order_relaxed);
+  }
+
+  size_t size() const { return Entries.size(); }
+  size_t capacity() const { return Cap; }
+  const VmPoolStats &stats() const { return Stats; }
+
+private:
+  struct Entry {
+    uint64_t Key = 0;
+    std::unique_ptr<CompiledUnit> Unit; ///< Owns the BcModule the VM runs.
+    std::unique_ptr<Vm> V;
+    uint64_t LastUse = 0;
+  };
+
+  size_t Cap;
+  uint64_t Tick = 0;
+  std::vector<Entry> Entries;
+  VmPoolStats Stats;
+};
+
+} // namespace exec
+} // namespace virgil
+
+#endif // VIRGIL_EXEC_VMPOOL_H

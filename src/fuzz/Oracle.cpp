@@ -95,7 +95,8 @@ StrategyRun crashed(const char *Name, const std::string &What) {
 /// Runs the four strategies of one compiled program, appending to
 /// \p Runs. \p Suffix distinguishes the no-opt pipeline.
 void runStrategies(Program &P, uint64_t MaxInstrs,
-                   const VmOptions &VmOpts, const std::string &Suffix,
+                   const VmOptions &VmOpts, bool VmPooled,
+                   const std::string &Suffix,
                    std::vector<StrategyRun> &Runs) {
   auto interpOn = [&](IrModule &M, const std::string &Name) {
     try {
@@ -123,6 +124,27 @@ void runStrategies(Program &P, uint64_t MaxInstrs,
   } catch (...) {
     Runs.push_back(crashed(VmName.c_str(), "unknown exception"));
   }
+  if (!VmPooled)
+    return;
+  // The warm-pool reuse protocol: run once to dirty every piece of
+  // state a request can touch, reset, run again, and report the
+  // second run. It must be indistinguishable from the plain vm leg.
+  std::string PoolName = "vm+pool" + Suffix;
+  try {
+    Vm V(P.bytecode(), VmOpts);
+    if (MaxInstrs)
+      V.setMaxInstrs(MaxInstrs);
+    V.snapshotForReuse();
+    (void)V.run();
+    V.resetForReuse();
+    if (MaxInstrs)
+      V.setMaxInstrs(MaxInstrs); // resetForReuse re-arms from VmOptions
+    Runs.push_back(fromVm(PoolName.c_str(), V.run()));
+  } catch (const std::exception &E) {
+    Runs.push_back(crashed(PoolName.c_str(), E.what()));
+  } catch (...) {
+    Runs.push_back(crashed(PoolName.c_str(), "unknown exception"));
+  }
 }
 
 } // namespace
@@ -147,7 +169,8 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
     Report.Detail = "program failed to compile";
     return Report;
   }
-  runStrategies(*P, Config.MaxInstrs, Config.Vm, "", Report.Runs);
+  runStrategies(*P, Config.MaxInstrs, Config.Vm, Config.VmPooled, "",
+                Report.Runs);
 
   if (Config.CompareNoOpt) {
     auto PNoOpt = compileOne(/*Optimize=*/false);
@@ -157,8 +180,8 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
       Report.Detail = "compiles optimized but not unoptimized";
       return Report;
     }
-    runStrategies(*PNoOpt, Config.MaxInstrs, Config.Vm, "/no-opt",
-                  Report.Runs);
+    runStrategies(*PNoOpt, Config.MaxInstrs, Config.Vm, Config.VmPooled,
+                  "/no-opt", Report.Runs);
   }
 
   // Classify: crash > timeout > diag-divergence > value-divergence.

@@ -87,6 +87,12 @@ struct OracleConfig {
   /// sweep run with e.g. a tiny nursery to stress minor collections
   /// while the interpreters remain the reference.
   VmOptions Vm;
+  /// Adds a "vm+pool" strategy: the same VM run twice through the
+  /// warm-pool reuse protocol (snapshot, run, resetForReuse, run),
+  /// reporting the *second* run. Any divergence from the plain vm leg
+  /// is a violation of the pool's observational-invisibility contract
+  /// (src/exec/VmPool.h).
+  bool VmPooled = false;
 };
 
 class DifferentialOracle {

@@ -3,17 +3,162 @@
 #include "net/Poller.h"
 
 #include <cerrno>
+#include <unistd.h>
+
+#ifdef VIRGIL_NET_EPOLL
+#include <sys/epoll.h>
+#endif
 
 using namespace virgil::net;
 
-int Poller::wait(int TimeoutMs) {
+Poller::Poller(Backend B) {
+#ifdef VIRGIL_NET_EPOLL
+  if (B != Backend::Poll) {
+    EpFd = ::epoll_create1(EPOLL_CLOEXEC);
+    UseEpoll = EpFd >= 0; // fall back to poll on EMFILE etc.
+  }
+#else
+  (void)B;
+#endif
+}
+
+Poller::~Poller() {
+#ifdef VIRGIL_NET_EPOLL
+  if (EpFd >= 0)
+    ::close(EpFd);
+#endif
+}
+
+bool Poller::epollAvailable() {
+#ifdef VIRGIL_NET_EPOLL
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char *Poller::backendName() const { return UseEpoll ? "epoll" : "poll"; }
+
+void Poller::clear() { Slots.clear(); }
+
+size_t Poller::add(int Fd, bool WantWrite) {
+  Slot S;
+  S.Fd = Fd;
+  S.Events = (short)(POLLIN | (WantWrite ? POLLOUT : 0));
+  S.REvents = 0;
+  Slots.push_back(S);
+  return Slots.size() - 1;
+}
+
+void Poller::forget(int Fd) {
+#ifdef VIRGIL_NET_EPOLL
+  if (!UseEpoll)
+    return;
+  auto It = Registered.find(Fd);
+  if (It == Registered.end())
+    return;
+  Registered.erase(It);
+  // The kernel may already have dropped the fd (close auto-deregisters)
+  // — EBADF/ENOENT here are expected, not errors.
+  ::epoll_ctl(EpFd, EPOLL_CTL_DEL, Fd, nullptr);
+#else
+  (void)Fd;
+#endif
+}
+
+int Poller::waitPoll(int TimeoutMs) {
+  // The Slot layout matches pollfd field-for-field in meaning but not
+  // in type, so marshal through a scratch pollfd array.
+  std::vector<pollfd> Fds;
+  Fds.reserve(Slots.size());
+  for (const Slot &S : Slots)
+    Fds.push_back(pollfd{S.Fd, S.Events, 0});
   for (;;) {
     int N = ::poll(Fds.data(), (nfds_t)Fds.size(), TimeoutMs);
-    if (N >= 0)
+    if (N >= 0) {
+      for (size_t I = 0; I != Slots.size(); ++I)
+        Slots[I].REvents = Fds[I].revents;
       return N;
+    }
     if (errno != EINTR)
       return -1;
     // EINTR (e.g. SIGTERM during shutdown): retry with the same
     // timeout; the caller's loop re-checks its stop conditions.
   }
+}
+
+#ifdef VIRGIL_NET_EPOLL
+int Poller::waitEpoll(int TimeoutMs) {
+  // Diff this iteration's declared interest against what the kernel
+  // set currently holds: O(changes) epoll_ctl calls, zero when the
+  // connection set is stable.
+  FdToSlot.clear();
+  for (size_t I = 0; I != Slots.size(); ++I) {
+    Slot &S = Slots[I];
+    S.REvents = 0;
+    FdToSlot[S.Fd] = I; // duplicate fds: last registration wins
+  }
+  for (auto It = Registered.begin(); It != Registered.end();) {
+    if (FdToSlot.find(It->first) == FdToSlot.end()) {
+      ::epoll_ctl(EpFd, EPOLL_CTL_DEL, It->first, nullptr);
+      It = Registered.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  for (auto &[Fd, SlotIdx] : FdToSlot) {
+    short Want = Slots[SlotIdx].Events;
+    auto It = Registered.find(Fd);
+    if (It != Registered.end() && It->second == Want)
+      continue;
+    epoll_event Ev{};
+    Ev.events = (Want & POLLIN ? EPOLLIN : 0u) |
+                (Want & POLLOUT ? EPOLLOUT : 0u);
+    Ev.data.fd = Fd;
+    if (It == Registered.end()) {
+      if (::epoll_ctl(EpFd, EPOLL_CTL_ADD, Fd, &Ev) == 0)
+        Registered[Fd] = Want;
+    } else if (::epoll_ctl(EpFd, EPOLL_CTL_MOD, Fd, &Ev) == 0) {
+      It->second = Want;
+    } else if (errno == ENOENT &&
+               ::epoll_ctl(EpFd, EPOLL_CTL_ADD, Fd, &Ev) == 0) {
+      // The old fd closed (auto-deregister) and this is a new one with
+      // the same number that forget() never saw — re-add.
+      It->second = Want;
+    }
+  }
+
+  epoll_event Events[128];
+  for (;;) {
+    int N = ::epoll_wait(EpFd, Events, 128, TimeoutMs);
+    if (N < 0) {
+      if (errno != EINTR)
+        return -1;
+      continue; // same EINTR policy as the poll backend
+    }
+    int Ready = 0;
+    for (int I = 0; I != N; ++I) {
+      auto It = FdToSlot.find(Events[I].data.fd);
+      if (It == FdToSlot.end())
+        continue; // stale event for an fd not in this interest set
+      uint32_t E = Events[I].events;
+      short R = (short)((E & EPOLLIN ? POLLIN : 0) |
+                        (E & EPOLLOUT ? POLLOUT : 0) |
+                        (E & EPOLLHUP ? POLLHUP : 0) |
+                        (E & EPOLLERR ? POLLERR : 0));
+      if (R && Slots[It->second].REvents == 0)
+        ++Ready;
+      Slots[It->second].REvents |= R;
+    }
+    return Ready;
+  }
+}
+#endif
+
+int Poller::wait(int TimeoutMs) {
+#ifdef VIRGIL_NET_EPOLL
+  if (UseEpoll)
+    return waitEpoll(TimeoutMs);
+#endif
+  return waitPoll(TimeoutMs);
 }

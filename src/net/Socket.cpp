@@ -51,7 +51,8 @@ bool fillUnAddr(const std::string &Path, sockaddr_un &Addr,
 } // namespace
 
 int virgil::net::listenTcp(const std::string &Host, uint16_t Port,
-                           std::string *Err, uint16_t *BoundPort) {
+                           std::string *Err, uint16_t *BoundPort,
+                           bool ReusePort) {
   sockaddr_in Addr;
   if (!fillInAddr(Host, Port, Addr, Err))
     return -1;
@@ -62,6 +63,20 @@ int virgil::net::listenTcp(const std::string &Host, uint16_t Port,
   }
   int One = 1;
   ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (ReusePort) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(Fd, SOL_SOCKET, SO_REUSEPORT, &One, sizeof(One)) != 0) {
+      setError(Err, "setsockopt(SO_REUSEPORT)");
+      ::close(Fd);
+      return -1;
+    }
+#else
+    if (Err)
+      *Err = "SO_REUSEPORT not supported on this platform";
+    ::close(Fd);
+    return -1;
+#endif
+  }
   if (::bind(Fd, (sockaddr *)&Addr, sizeof(Addr)) != 0) {
     setError(Err, "bind " + Host + ":" + std::to_string(Port));
     ::close(Fd);

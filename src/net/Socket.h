@@ -22,10 +22,14 @@ namespace net {
 
 /// Creates a listening TCP socket on \p Host:\p Port (SO_REUSEADDR,
 /// backlog 128). \p Port 0 binds an ephemeral port; the actual port is
-/// stored in \p BoundPort when non-null. Returns the fd, or -1 with
-/// \p Err set.
+/// stored in \p BoundPort when non-null. With \p ReusePort the socket
+/// also sets SO_REUSEPORT, so the sharded server can bind one listener
+/// per event loop on the same port and let the kernel spread accepts;
+/// binding fails (rather than silently degrading) if the platform
+/// lacks the option, and the caller falls back to a shared listener.
+/// Returns the fd, or -1 with \p Err set.
 int listenTcp(const std::string &Host, uint16_t Port, std::string *Err,
-              uint16_t *BoundPort = nullptr);
+              uint16_t *BoundPort = nullptr, bool ReusePort = false);
 
 /// Creates a listening Unix-domain socket at \p Path, unlinking any
 /// stale socket file first. Returns the fd, or -1 with \p Err set.

@@ -45,37 +45,90 @@ std::string LatencyHistogram::toJson() const {
   return Buf;
 }
 
+ServerMetrics::ServerMetrics(int Workers, int IoShards) {
+  if (IoShards < 1)
+    IoShards = 1;
+  if (Workers < 1)
+    Workers = 1;
+  LoopShards.reserve((size_t)IoShards);
+  for (int I = 0; I != IoShards; ++I)
+    LoopShards.push_back(std::make_unique<MetricsShard>());
+  WorkerShards.reserve((size_t)Workers);
+  for (int I = 0; I != Workers; ++I)
+    WorkerShards.push_back(std::make_unique<MetricsShard>());
+}
+
 void ServerMetrics::onRequestDone(int Worker, bool IsExecute, Outcome O,
                                   bool CacheHit, double CompileMs,
                                   double ExecuteMs, double TotalMs,
                                   double QueueMs, uint64_t Instrs,
                                   uint64_t GcMinor, uint64_t GcMajor,
                                   uint64_t GcPauseNs) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  (IsExecute ? Executes : Compiles)++;
-  if ((size_t)O < sizeof(ByOutcome) / sizeof(ByOutcome[0]))
-    ++ByOutcome[(size_t)O];
+  size_t W = Worker >= 0 && (size_t)Worker < WorkerShards.size()
+                 ? (size_t)Worker
+                 : 0;
+  MetricsShard &S = *WorkerShards[W];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  (IsExecute ? S.Executes : S.Compiles)++;
+  if ((size_t)O < sizeof(S.ByOutcome) / sizeof(S.ByOutcome[0]))
+    ++S.ByOutcome[(size_t)O];
   if (CacheHit)
-    ++CacheHitsServed;
-  VmInstrs += Instrs;
-  GcMinorTotal += GcMinor;
-  GcMajorTotal += GcMajor;
-  GcPauseNsTotal += GcPauseNs;
-  CompileLat.record(CompileMs);
+    ++S.CacheHitsServed;
+  S.VmInstrs += Instrs;
+  S.GcMinorTotal += GcMinor;
+  S.GcMajorTotal += GcMajor;
+  S.GcPauseNsTotal += GcPauseNs;
+  S.CompileLat.record(CompileMs);
   if (IsExecute)
-    ExecuteLat.record(ExecuteMs);
-  TotalLat.record(TotalMs);
-  QueueLat.record(QueueMs);
-  if (Worker >= 0 && (size_t)Worker < PerWorker.size()) {
-    ++PerWorker[(size_t)Worker].Requests;
-    PerWorker[(size_t)Worker].BusyMs += TotalMs;
-  }
+    S.ExecuteLat.record(ExecuteMs);
+  S.TotalLat.record(TotalMs);
+  S.QueueLat.record(QueueMs);
+  ++S.Worker.Requests;
+  S.Worker.BusyMs += TotalMs;
 }
 
 std::string ServerMetrics::toJson(double UptimeMs, size_t QueueDepth,
                                   size_t QueueCap, size_t ActiveConns,
-                                  const std::string &CacheJson) const {
-  std::lock_guard<std::mutex> Lock(Mu);
+                                  const std::string &CacheJson,
+                                  const std::string &ExecJson) const {
+  // Merge every shard into one flat aggregate, locking each shard only
+  // for its own copy-out. Per-worker stats are captured alongside.
+  MetricsShard Agg;
+  std::vector<WorkerStats> PerWorker;
+  PerWorker.reserve(WorkerShards.size());
+  auto Merge = [&Agg](MetricsShard &S) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Agg.ConnAccepted += S.ConnAccepted;
+    Agg.ConnClosed += S.ConnClosed;
+    Agg.ProtocolErrors += S.ProtocolErrors;
+    Agg.Busy += S.Busy;
+    Agg.StatsReqs += S.StatsReqs;
+    Agg.Pings += S.Pings;
+    Agg.Enqueued += S.Enqueued;
+    if (S.MaxQueueDepth > Agg.MaxQueueDepth)
+      Agg.MaxQueueDepth = S.MaxQueueDepth;
+    Agg.Executes += S.Executes;
+    Agg.Compiles += S.Compiles;
+    for (size_t I = 0; I != 6; ++I)
+      Agg.ByOutcome[I] += S.ByOutcome[I];
+    Agg.CacheHitsServed += S.CacheHitsServed;
+    Agg.VmInstrs += S.VmInstrs;
+    Agg.GcMinorTotal += S.GcMinorTotal;
+    Agg.GcMajorTotal += S.GcMajorTotal;
+    Agg.GcPauseNsTotal += S.GcPauseNsTotal;
+    Agg.CompileLat.merge(S.CompileLat);
+    Agg.ExecuteLat.merge(S.ExecuteLat);
+    Agg.TotalLat.merge(S.TotalLat);
+    Agg.QueueLat.merge(S.QueueLat);
+  };
+  for (const auto &S : LoopShards)
+    Merge(*S);
+  for (const auto &S : WorkerShards) {
+    Merge(*S);
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    PerWorker.push_back(S->Worker);
+  }
+
   char Buf[512];
   std::string J = "{";
 
@@ -85,23 +138,24 @@ std::string ServerMetrics::toJson(double UptimeMs, size_t QueueDepth,
   std::snprintf(Buf, sizeof(Buf),
                 "\"connections\":{\"accepted\":%llu,\"closed\":%llu,"
                 "\"active\":%zu},",
-                (unsigned long long)ConnAccepted,
-                (unsigned long long)ConnClosed, ActiveConns);
+                (unsigned long long)Agg.ConnAccepted,
+                (unsigned long long)Agg.ConnClosed, ActiveConns);
   J += Buf;
 
   std::snprintf(
       Buf, sizeof(Buf),
       "\"requests\":{\"execute\":%llu,\"compile\":%llu,\"stats\":%llu,"
       "\"ping\":%llu,\"busy\":%llu,\"protocol_errors\":%llu,",
-      (unsigned long long)Executes, (unsigned long long)Compiles,
-      (unsigned long long)StatsReqs, (unsigned long long)Pings,
-      (unsigned long long)Busy, (unsigned long long)ProtocolErrors);
+      (unsigned long long)Agg.Executes, (unsigned long long)Agg.Compiles,
+      (unsigned long long)Agg.StatsReqs, (unsigned long long)Agg.Pings,
+      (unsigned long long)Agg.Busy,
+      (unsigned long long)Agg.ProtocolErrors);
   J += Buf;
   J += "\"by_outcome\":{";
   for (size_t I = 0; I != 6; ++I) {
     std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%llu", I ? "," : "",
                   outcomeName((Outcome)I),
-                  (unsigned long long)ByOutcome[I]);
+                  (unsigned long long)Agg.ByOutcome[I]);
     J += Buf;
   }
   J += "}},";
@@ -109,21 +163,22 @@ std::string ServerMetrics::toJson(double UptimeMs, size_t QueueDepth,
   std::snprintf(Buf, sizeof(Buf),
                 "\"queue\":{\"depth\":%zu,\"cap\":%zu,\"max_depth\":%zu,"
                 "\"enqueued\":%llu,\"rejected_busy\":%llu},",
-                QueueDepth, QueueCap, MaxQueueDepth,
-                (unsigned long long)Enqueued, (unsigned long long)Busy);
+                QueueDepth, QueueCap, Agg.MaxQueueDepth,
+                (unsigned long long)Agg.Enqueued,
+                (unsigned long long)Agg.Busy);
   J += Buf;
 
-  J += "\"latency_ms\":{\"compile\":" + CompileLat.toJson() +
-       ",\"execute\":" + ExecuteLat.toJson() +
-       ",\"queue_wait\":" + QueueLat.toJson() +
-       ",\"total\":" + TotalLat.toJson() + "},";
+  J += "\"latency_ms\":{\"compile\":" + Agg.CompileLat.toJson() +
+       ",\"execute\":" + Agg.ExecuteLat.toJson() +
+       ",\"queue_wait\":" + Agg.QueueLat.toJson() +
+       ",\"total\":" + Agg.TotalLat.toJson() + "},";
 
   J += "\"workers\":[";
-  for (int W = 0; W != Workers; ++W) {
-    const WorkerStats &S = PerWorker[(size_t)W];
+  for (size_t W = 0; W != PerWorker.size(); ++W) {
+    const WorkerStats &S = PerWorker[W];
     double Util = UptimeMs > 0 ? 100.0 * S.BusyMs / UptimeMs : 0;
     std::snprintf(Buf, sizeof(Buf),
-                  "%s{\"id\":%d,\"requests\":%llu,\"busy_ms\":%.2f,"
+                  "%s{\"id\":%zu,\"requests\":%llu,\"busy_ms\":%.2f,"
                   "\"utilization_pct\":%.1f}",
                   W ? "," : "", W, (unsigned long long)S.Requests,
                   S.BusyMs, Util);
@@ -135,13 +190,15 @@ std::string ServerMetrics::toJson(double UptimeMs, size_t QueueDepth,
                 "\"vm\":{\"instrs_total\":%llu,\"cache_hits_served\":%llu,"
                 "\"gc\":{\"minor_total\":%llu,\"major_total\":%llu,"
                 "\"pause_ns_total\":%llu}}",
-                (unsigned long long)VmInstrs,
-                (unsigned long long)CacheHitsServed,
-                (unsigned long long)GcMinorTotal,
-                (unsigned long long)GcMajorTotal,
-                (unsigned long long)GcPauseNsTotal);
+                (unsigned long long)Agg.VmInstrs,
+                (unsigned long long)Agg.CacheHitsServed,
+                (unsigned long long)Agg.GcMinorTotal,
+                (unsigned long long)Agg.GcMajorTotal,
+                (unsigned long long)Agg.GcPauseNsTotal);
   J += Buf;
 
+  if (!ExecJson.empty())
+    J += ",\"exec\":" + ExecJson;
   if (!CacheJson.empty())
     J += ",\"cache\":" + CacheJson;
   J += "}";

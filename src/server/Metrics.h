@@ -14,10 +14,15 @@
 /// relative error (one bucket) worst case, far inside what a latency
 /// gate needs.
 ///
-/// Thread model: workers and the event loop record through one mutex;
-/// a STATS request takes the same mutex to snapshot. Request rates are
-/// compile-bound (milliseconds each), so a single lock is nowhere near
-/// contention.
+/// Thread model: sharded. Each event-loop thread and each worker
+/// thread records into its own MetricsShard behind that shard's
+/// mutex — with one thread per shard the lock is always uncontended,
+/// so the hot path costs an uncontended lock/unlock instead of a
+/// global serialization point (the pre-sharding design measurably
+/// stalled workers whenever STATS was being hammered). A STATS
+/// request merges every shard under its own lock in turn; the result
+/// is a consistent-enough snapshot (counts may straddle a request
+/// that finishes mid-merge, which monotonic counters tolerate).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +32,7 @@
 #include "server/Protocol.h"
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -50,6 +56,14 @@ public:
     SumMs += Ms;
   }
 
+  /// Accumulates another histogram (the STATS-time shard merge).
+  void merge(const LatencyHistogram &O) {
+    for (int B = 0; B != kBuckets; ++B)
+      Counts[B] += O.Counts[B];
+    N += O.N;
+    SumMs += O.SumMs;
+  }
+
   uint64_t count() const { return N; }
   double meanMs() const { return N ? SumMs / (double)N : 0; }
 
@@ -70,52 +84,12 @@ struct WorkerStats {
   double BusyMs = 0;
 };
 
-/// One snapshot-able bundle of everything STATS reports (the cache
-/// section is merged in by the server, which owns the BytecodeCache).
-class ServerMetrics {
-public:
-  explicit ServerMetrics(int Workers)
-      : Workers(Workers), PerWorker((size_t)Workers) {}
-
-  // -- event-loop side --------------------------------------------------
-  void onConnection() { bump(ConnAccepted); }
-  void onDisconnect() { bump(ConnClosed); }
-  void onProtocolError() { bump(ProtocolErrors); }
-  void onBusy() { bump(Busy); }
-  void onStatsReq() { bump(StatsReqs); }
-  void onPing() { bump(Pings); }
-  void onEnqueue(size_t Depth) {
-    std::lock_guard<std::mutex> Lock(Mu);
-    ++Enqueued;
-    if (Depth > MaxQueueDepth)
-      MaxQueueDepth = Depth;
-  }
-
-  // -- worker side ------------------------------------------------------
-  /// Records one finished compile/execute request. The GC arguments
-  /// are the request VM's per-heap collection counts and total pause
-  /// time (0 for compiles).
-  void onRequestDone(int Worker, bool IsExecute, Outcome O, bool CacheHit,
-                     double CompileMs, double ExecuteMs, double TotalMs,
-                     double QueueMs, uint64_t Instrs, uint64_t GcMinor = 0,
-                     uint64_t GcMajor = 0, uint64_t GcPauseNs = 0);
-
-  /// Renders the full STATS JSON document. \p QueueDepth/\p QueueCap/
-  /// \p ActiveConns are sampled by the caller at snapshot time, as is
-  /// \p CacheJson — the "cache" section (one JSON object) from the
-  /// server's BytecodeCache, or empty when caching is disabled.
-  std::string toJson(double UptimeMs, size_t QueueDepth, size_t QueueCap,
-                     size_t ActiveConns,
-                     const std::string &CacheJson) const;
-
-private:
-  void bump(uint64_t &Counter) {
-    std::lock_guard<std::mutex> Lock(Mu);
-    ++Counter;
-  }
-
-  mutable std::mutex Mu;
-  int Workers;
+/// One thread's slice of the metrics; every field is guarded by Mu.
+/// Event-loop shards use the connection/route counters, worker shards
+/// the request/latency ones — unused fields just stay zero and merge
+/// as zero.
+struct MetricsShard {
+  std::mutex Mu;
 
   uint64_t ConnAccepted = 0, ConnClosed = 0;
   uint64_t ProtocolErrors = 0, Busy = 0, StatsReqs = 0, Pings = 0;
@@ -129,7 +103,68 @@ private:
   uint64_t GcMinorTotal = 0, GcMajorTotal = 0, GcPauseNsTotal = 0;
 
   LatencyHistogram CompileLat, ExecuteLat, TotalLat, QueueLat;
-  std::vector<WorkerStats> PerWorker;
+  WorkerStats Worker; ///< Meaningful on worker shards only.
+};
+
+/// One snapshot-able bundle of everything STATS reports (the cache and
+/// exec-pool sections are merged in by the server, which owns those).
+class ServerMetrics {
+public:
+  /// \p Workers worker shards and \p IoShards event-loop shards; every
+  /// recording call below names its shard, so no two threads ever
+  /// touch the same shard concurrently.
+  explicit ServerMetrics(int Workers, int IoShards = 1);
+
+  // -- event-loop side (Shard = event-loop index) -----------------------
+  void onConnection(int Shard) { bump(Shard, &MetricsShard::ConnAccepted); }
+  void onDisconnect(int Shard) { bump(Shard, &MetricsShard::ConnClosed); }
+  void onProtocolError(int Shard) {
+    bump(Shard, &MetricsShard::ProtocolErrors);
+  }
+  void onBusy(int Shard) { bump(Shard, &MetricsShard::Busy); }
+  void onStatsReq(int Shard) { bump(Shard, &MetricsShard::StatsReqs); }
+  void onPing(int Shard) { bump(Shard, &MetricsShard::Pings); }
+  void onEnqueue(int Shard, size_t Depth) {
+    MetricsShard &S = loopShard(Shard);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    ++S.Enqueued;
+    if (Depth > S.MaxQueueDepth)
+      S.MaxQueueDepth = Depth;
+  }
+
+  // -- worker side ------------------------------------------------------
+  /// Records one finished compile/execute request into the worker's
+  /// own shard. The GC arguments are the request VM's per-heap
+  /// collection counts and total pause time (0 for compiles).
+  void onRequestDone(int Worker, bool IsExecute, Outcome O, bool CacheHit,
+                     double CompileMs, double ExecuteMs, double TotalMs,
+                     double QueueMs, uint64_t Instrs, uint64_t GcMinor = 0,
+                     uint64_t GcMajor = 0, uint64_t GcPauseNs = 0);
+
+  /// Renders the full STATS JSON document by merging every shard.
+  /// \p QueueDepth/\p QueueCap/\p ActiveConns are sampled by the
+  /// caller at snapshot time, as are \p CacheJson and \p ExecJson —
+  /// the "cache" and "exec" sections (one JSON object each), empty to
+  /// omit.
+  std::string toJson(double UptimeMs, size_t QueueDepth, size_t QueueCap,
+                     size_t ActiveConns, const std::string &CacheJson,
+                     const std::string &ExecJson = std::string()) const;
+
+private:
+  MetricsShard &loopShard(int Shard) const {
+    return *LoopShards[(size_t)Shard < LoopShards.size() ? (size_t)Shard
+                                                         : 0];
+  }
+  void bump(int Shard, uint64_t MetricsShard::*Counter) {
+    MetricsShard &S = loopShard(Shard);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    ++(S.*Counter);
+  }
+
+  /// unique_ptr: MetricsShard holds a mutex, so the vectors must never
+  /// relocate their elements (and never do — sized at construction).
+  std::vector<std::unique_ptr<MetricsShard>> LoopShards;
+  std::vector<std::unique_ptr<MetricsShard>> WorkerShards;
 };
 
 } // namespace server

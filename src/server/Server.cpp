@@ -2,9 +2,7 @@
 
 #include "server/Server.h"
 
-#include "net/Poller.h"
 #include "net/Socket.h"
-#include "vm/Vm.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -25,42 +23,49 @@ double msSince(Clock::time_point Start) {
       .count();
 }
 
-/// Effective quota: the request's value clamped to the server maximum,
-/// or the server default when the request passes 0.
-uint64_t clampQuota(uint64_t Requested, uint64_t Default, uint64_t Max) {
-  if (Requested == 0)
-    return Default;
-  return Requested < Max ? Requested : Max;
-}
+constexpr int kMaxIoThreadsLocal = 64;
 
-Outcome outcomeForTrap(VmTrapCause Cause) {
-  switch (Cause) {
-  case VmTrapCause::Fuel:
-    return Outcome::Fuel;
-  case VmTrapCause::Heap:
-    return Outcome::Heap;
-  case VmTrapCause::Deadline:
-    return Outcome::Deadline;
-  case VmTrapCause::None:
-  case VmTrapCause::Program:
-    break;
-  }
-  return Outcome::Trap;
+ServerConfig normalized(ServerConfig C) {
+  if (C.Workers <= 0)
+    C.Workers = 1;
+  if (C.IoThreads <= 0)
+    C.IoThreads = 1;
+  if (C.IoThreads > kMaxIoThreadsLocal)
+    C.IoThreads = kMaxIoThreadsLocal;
+  // Every shard needs at least one worker draining its queue.
+  if (C.Workers < C.IoThreads)
+    C.Workers = C.IoThreads;
+  if (C.VmPoolSize <= 0)
+    C.VmPool = false;
+  return C;
 }
 
 } // namespace
 
 Server::Server(ServerConfig C)
-    : Config(std::move(C)),
-      Metrics(Config.Workers > 0 ? Config.Workers : 1) {
-  if (Config.Workers <= 0)
-    Config.Workers = 1;
+    : Config(normalized(std::move(C))),
+      Metrics(Config.Workers, Config.IoThreads) {
   ServiceOptions SO;
   SO.Jobs = 1; // workers call compileOne directly; no inner pool
   SO.CacheDir = Config.CacheDir;
   SO.CacheMaxBytes = Config.CacheMaxBytes;
   SO.Compile = Config.Compile;
   Service = std::make_unique<CompileService>(SO);
+
+  exec::ExecutorConfig EC;
+  EC.DefaultFuel = Config.DefaultFuel;
+  EC.DefaultHeapBytes = Config.DefaultHeapBytes;
+  EC.DefaultDeadlineMs = Config.DefaultDeadlineMs;
+  EC.MaxFuel = Config.MaxFuel;
+  EC.MaxHeapBytes = Config.MaxHeapBytes;
+  EC.MaxDeadlineMs = Config.MaxDeadlineMs;
+  EC.VmGenerational = Config.VmGenerational;
+  EC.VmNurseryBytes = Config.VmNurseryBytes;
+  EC.UsePool = Config.VmPool;
+  EC.PoolSize = (size_t)Config.VmPoolSize;
+  Execs.reserve((size_t)Config.Workers);
+  for (int W = 0; W != Config.Workers; ++W)
+    Execs.push_back(std::make_unique<exec::Executor>(EC, *Service));
 }
 
 Server::~Server() { stop(); }
@@ -73,36 +78,94 @@ bool Server::start(std::string *Err) {
       *Err = "no listener configured (need a unix path or tcp port)";
     return false;
   }
-  if (!Config.UnixPath.empty()) {
-    UnixListenFd = net::listenUnix(Config.UnixPath, Err);
-    if (UnixListenFd < 0)
-      return false;
-    net::setNonBlocking(UnixListenFd, true);
+
+  Shards.clear();
+  for (int I = 0; I != Config.IoThreads; ++I) {
+    Shards.push_back(std::make_unique<Shard>());
+    Shards.back()->Id = I;
   }
-  if (Config.TcpPort >= 0) {
-    TcpListenFd = net::listenTcp(Config.TcpHost, (uint16_t)Config.TcpPort,
-                                 Err, &BoundTcpPort);
-    if (TcpListenFd < 0) {
-      net::closeFd(UnixListenFd);
-      UnixListenFd = -1;
-      return false;
+
+  auto Fail = [&] {
+    for (auto &S : Shards) {
+      net::closeFd(S->TcpListenFd);
+      net::closeFd(S->WakePipe[0]);
+      net::closeFd(S->WakePipe[1]);
     }
-    net::setNonBlocking(TcpListenFd, true);
-  }
-  if (::pipe(WakePipe) != 0) {
-    if (Err)
-      *Err = std::string("pipe: ") + std::strerror(errno);
+    Shards.clear();
     net::closeFd(UnixListenFd);
     net::closeFd(TcpListenFd);
     UnixListenFd = TcpListenFd = -1;
+    NumWakeFds = 0;
     return false;
+  };
+
+  if (!Config.UnixPath.empty()) {
+    // One shared Unix listener: every shard polls it and accept() is
+    // the arbiter (losers see EAGAIN, which acceptOn tolerates).
+    UnixListenFd = net::listenUnix(Config.UnixPath, Err);
+    if (UnixListenFd < 0)
+      return Fail();
+    net::setNonBlocking(UnixListenFd, true);
   }
-  net::setNonBlocking(WakePipe[0], true);
-  net::setNonBlocking(WakePipe[1], true);
+  if (Config.TcpPort >= 0) {
+    if (Config.IoThreads > 1) {
+      // Per-shard SO_REUSEPORT listeners: the kernel spreads accepts
+      // across shards with no thundering herd. The first listener may
+      // bind an ephemeral port; the rest bind the read-back port.
+      bool ReusePortOk = true;
+      std::string ReuseErr;
+      for (auto &S : Shards) {
+        uint16_t Port = S->Id == 0 ? (uint16_t)Config.TcpPort : BoundTcpPort;
+        S->TcpListenFd =
+            net::listenTcp(Config.TcpHost, Port, &ReuseErr,
+                           S->Id == 0 ? &BoundTcpPort : nullptr, true);
+        if (S->TcpListenFd < 0) {
+          ReusePortOk = false;
+          break;
+        }
+        net::setNonBlocking(S->TcpListenFd, true);
+      }
+      if (!ReusePortOk) {
+        // Platform without SO_REUSEPORT (or a bind race): fall back to
+        // one shared listener all shards poll, like the Unix socket.
+        for (auto &S : Shards) {
+          net::closeFd(S->TcpListenFd);
+          S->TcpListenFd = -1;
+        }
+        BoundTcpPort = 0;
+        TcpListenFd = net::listenTcp(Config.TcpHost, (uint16_t)Config.TcpPort,
+                                     Err, &BoundTcpPort);
+        if (TcpListenFd < 0)
+          return Fail();
+        net::setNonBlocking(TcpListenFd, true);
+      }
+    } else {
+      TcpListenFd = net::listenTcp(Config.TcpHost, (uint16_t)Config.TcpPort,
+                                   Err, &BoundTcpPort);
+      if (TcpListenFd < 0)
+        return Fail();
+      net::setNonBlocking(TcpListenFd, true);
+    }
+  }
+
+  NumWakeFds = 0;
+  for (auto &S : Shards) {
+    if (::pipe(S->WakePipe) != 0) {
+      if (Err)
+        *Err = std::string("pipe: ") + std::strerror(errno);
+      return Fail();
+    }
+    net::setNonBlocking(S->WakePipe[0], true);
+    net::setNonBlocking(S->WakePipe[1], true);
+    WakeFds[NumWakeFds++] = S->WakePipe[1];
+  }
 
   StartTime = Clock::now();
   Started.store(true);
-  LoopThread = std::thread([this] { eventLoop(); });
+  for (auto &S : Shards) {
+    Shard *P = S.get();
+    P->LoopThread = std::thread([this, P] { eventLoop(*P); });
+  }
   WorkerThreads.reserve((size_t)Config.Workers);
   for (int W = 0; W != Config.Workers; ++W)
     WorkerThreads.emplace_back([this, W] { workerLoop(W); });
@@ -111,45 +174,51 @@ bool Server::start(std::string *Err) {
 
 void Server::requestStop() {
   Stopping.store(true);
-  if (WakePipe[1] >= 0) {
-    char B = 1;
-    // Async-signal-safe: just a write; EAGAIN means the loop is
-    // already due to wake.
-    (void)!::write(WakePipe[1], &B, 1);
-  }
+  // Async-signal-safe: a flag store and one write per shard's wake
+  // pipe; EAGAIN means that loop is already due to wake.
+  char B = 1;
+  for (int I = 0; I != NumWakeFds; ++I)
+    if (WakeFds[I] >= 0)
+      (void)!::write(WakeFds[I], &B, 1);
 }
 
 void Server::stop() {
   if (!Started.load() || Joined)
     return;
   requestStop();
-  QueueCv.notify_all();
-  if (LoopThread.joinable())
-    LoopThread.join();
+  for (auto &S : Shards)
+    S->QueueCv.notify_all();
+  for (auto &S : Shards)
+    if (S->LoopThread.joinable())
+      S->LoopThread.join();
   for (std::thread &T : WorkerThreads)
     if (T.joinable())
       T.join();
   Joined = true;
+  for (auto &S : Shards) {
+    net::closeFd(S->TcpListenFd);
+    net::closeFd(S->WakePipe[0]);
+    net::closeFd(S->WakePipe[1]);
+    S->TcpListenFd = S->WakePipe[0] = S->WakePipe[1] = -1;
+  }
+  NumWakeFds = 0;
   net::closeFd(UnixListenFd);
   net::closeFd(TcpListenFd);
-  net::closeFd(WakePipe[0]);
-  net::closeFd(WakePipe[1]);
-  UnixListenFd = TcpListenFd = WakePipe[0] = WakePipe[1] = -1;
+  UnixListenFd = TcpListenFd = -1;
   if (!Config.UnixPath.empty())
     ::unlink(Config.UnixPath.c_str());
 }
 
 //===----------------------------------------------------------------------===//
-// Event loop
+// Event loops (one per shard)
 //===----------------------------------------------------------------------===//
 
-void Server::wakeLoop() {
+void Server::wakeShard(Shard &S) {
   char B = 1;
-  (void)!::write(WakePipe[1], &B, 1);
+  (void)!::write(S.WakePipe[1], &B, 1);
 }
 
-void Server::eventLoop() {
-  net::Poller Poll;
+void Server::eventLoop(Shard &S) {
   bool DrainArmed = false;
   Clock::time_point DrainDeadline;
 
@@ -165,28 +234,32 @@ void Server::eventLoop() {
           std::chrono::milliseconds(Config.MaxDeadlineMs + 5000);
     }
 
-    Poll.clear();
+    // This shard's TCP accept source: its own SO_REUSEPORT listener,
+    // or the shared one when per-shard listeners are off.
+    int TcpFd = S.TcpListenFd >= 0 ? S.TcpListenFd : TcpListenFd;
+
+    S.Poll.clear();
     size_t TcpIdx = (size_t)-1, UnixIdx = (size_t)-1;
     if (!Draining) {
-      if (TcpListenFd >= 0)
-        TcpIdx = Poll.add(TcpListenFd);
+      if (TcpFd >= 0)
+        TcpIdx = S.Poll.add(TcpFd);
       if (UnixListenFd >= 0)
-        UnixIdx = Poll.add(UnixListenFd);
+        UnixIdx = S.Poll.add(UnixListenFd);
     }
-    Poll.add(WakePipe[0]);
+    S.Poll.add(S.WakePipe[0]);
     std::vector<std::pair<size_t, uint64_t>> ConnSlots;
-    ConnSlots.reserve(Conns.size());
-    for (auto &[Id, C] : Conns) {
+    ConnSlots.reserve(S.Conns.size());
+    for (auto &[Id, C] : S.Conns) {
       bool WantWrite = C.WritePos < C.WriteBuf.size();
-      ConnSlots.emplace_back(Poll.add(C.Fd, WantWrite), Id);
+      ConnSlots.emplace_back(S.Poll.add(C.Fd, WantWrite), Id);
     }
 
-    Poll.wait(100);
+    S.Poll.wait(100);
 
-    // Drain the wakeup pipe (edge interest is level-triggered here,
-    // but the byte count is meaningless — it is only a doorbell).
+    // Drain the wakeup pipe (the byte count is meaningless — it is
+    // only a doorbell).
     char Junk[256];
-    while (::read(WakePipe[0], Junk, sizeof(Junk)) > 0) {
+    while (::read(S.WakePipe[0], Junk, sizeof(Junk)) > 0) {
     }
 
     // Ship worker responses to their connections (the conn may have
@@ -194,36 +267,36 @@ void Server::eventLoop() {
     {
       std::vector<Response> Ready;
       {
-        std::lock_guard<std::mutex> Lock(RespMu);
-        Ready.swap(Responses);
+        std::lock_guard<std::mutex> Lock(S.RespMu);
+        Ready.swap(S.Responses);
       }
       for (Response &R : Ready) {
-        auto It = Conns.find(R.ConnId);
-        if (It == Conns.end())
+        auto It = S.Conns.find(R.ConnId);
+        if (It == S.Conns.end())
           continue;
         It->second.WriteBuf += R.Bytes;
       }
     }
 
     if (!Draining) {
-      if (TcpIdx != (size_t)-1 && Poll.readable(TcpIdx))
-        acceptOn(TcpListenFd);
-      if (UnixIdx != (size_t)-1 && Poll.readable(UnixIdx))
-        acceptOn(UnixListenFd);
+      if (TcpIdx != (size_t)-1 && S.Poll.readable(TcpIdx))
+        acceptOn(S, TcpFd);
+      if (UnixIdx != (size_t)-1 && S.Poll.readable(UnixIdx))
+        acceptOn(S, UnixListenFd);
     }
 
     std::vector<uint64_t> ToClose;
     for (auto &[Idx, Id] : ConnSlots) {
-      auto It = Conns.find(Id);
-      if (It == Conns.end())
+      auto It = S.Conns.find(Id);
+      if (It == S.Conns.end())
         continue;
       Conn &C = It->second;
-      if (Poll.errored(Idx)) {
+      if (S.Poll.errored(Idx)) {
         ToClose.push_back(Id);
         continue;
       }
-      if (Poll.readable(Idx) && !C.CloseAfterFlush) {
-        if (!serviceRead(Id, C)) {
+      if (S.Poll.readable(Idx) && !C.CloseAfterFlush) {
+        if (!serviceRead(S, Id, C)) {
           ToClose.push_back(Id);
           continue;
         }
@@ -233,60 +306,68 @@ void Server::eventLoop() {
     }
     // Flush anything the response-shipping step added to connections
     // that were not otherwise ready this round.
-    for (auto &[Id, C] : Conns) {
+    for (auto &[Id, C] : S.Conns) {
       if (C.WritePos < C.WriteBuf.size() || C.CloseAfterFlush)
         if (!flushWrites(C))
           ToClose.push_back(Id);
     }
     for (uint64_t Id : ToClose)
-      closeConn(Id);
+      closeConn(S, Id);
 
     if (Draining) {
+      // Each shard drains independently: its own queue empty, its
+      // workers' in-flight count zero, its responses flushed.
       bool QueueEmpty;
       {
-        std::lock_guard<std::mutex> Lock(QueueMu);
-        QueueEmpty = Queue.empty();
+        std::lock_guard<std::mutex> Lock(S.QueueMu);
+        QueueEmpty = S.Queue.empty();
       }
       bool RespEmpty;
       {
-        std::lock_guard<std::mutex> Lock(RespMu);
-        RespEmpty = Responses.empty();
+        std::lock_guard<std::mutex> Lock(S.RespMu);
+        RespEmpty = S.Responses.empty();
       }
       bool Flushed = true;
-      for (auto &[Id, C] : Conns)
+      for (auto &[Id, C] : S.Conns)
         if (C.WritePos < C.WriteBuf.size())
           Flushed = false;
-      bool Done = QueueEmpty && InFlight.load() == 0 && RespEmpty &&
-                  Flushed;
+      bool Done =
+          QueueEmpty && S.InFlight.load() == 0 && RespEmpty && Flushed;
       if (Done || Clock::now() >= DrainDeadline) {
         std::vector<uint64_t> All;
-        for (auto &[Id, C] : Conns)
+        for (auto &[Id, C] : S.Conns)
           All.push_back(Id);
         for (uint64_t Id : All)
-          closeConn(Id);
+          closeConn(S, Id);
         return;
       }
     }
   }
 }
 
-void Server::acceptOn(int ListenFd) {
+void Server::acceptOn(Shard &S, int ListenFd) {
   for (;;) {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0) {
       if (errno == EINTR)
         continue;
-      return; // EAGAIN or transient accept error: poll again later
+      // EAGAIN (including another shard winning the race on a shared
+      // listener) or a transient accept error: poll again later.
+      return;
     }
     net::setNonBlocking(Fd, true);
     Conn C;
     C.Fd = Fd;
-    Conns.emplace(NextConnId++, std::move(C));
-    Metrics.onConnection();
+    // Connection ids carry their shard in the top bits, so a worker
+    // can route its response back to the owning loop.
+    uint64_t Id = ((uint64_t)S.Id << 48) | (S.NextConnSeq++);
+    S.Conns.emplace(Id, std::move(C));
+    S.ActiveConns.store(S.Conns.size(), std::memory_order_relaxed);
+    Metrics.onConnection(S.Id);
   }
 }
 
-bool Server::serviceRead(uint64_t ConnId, Conn &C) {
+bool Server::serviceRead(Shard &S, uint64_t ConnId, Conn &C) {
   char Buf[65536];
   for (;;) {
     ssize_t N = ::recv(C.Fd, Buf, sizeof(Buf), 0);
@@ -311,20 +392,20 @@ bool Server::serviceRead(uint64_t ConnId, Conn &C) {
 
   net::Frame F;
   for (;;) {
-    net::FrameDecoder::Status S = C.Decoder.next(F);
-    if (S == net::FrameDecoder::Status::NeedMore)
+    net::FrameDecoder::Status St = C.Decoder.next(F);
+    if (St == net::FrameDecoder::Status::NeedMore)
       break;
-    if (S == net::FrameDecoder::Status::Error) {
+    if (St == net::FrameDecoder::Status::Error) {
       // Malformed stream: tell the client why, then hang up. Never
       // try to resynchronize a corrupt framing layer.
-      Metrics.onProtocolError();
+      Metrics.onProtocolError(S.Id);
       ErrorResponse E{"malformed frame: " + C.Decoder.error()};
       queueResponse(C, (uint8_t)MsgType::ErrorResp,
                     encodeErrorResponse(E));
       C.CloseAfterFlush = true;
       break;
     }
-    if (!handleFrame(ConnId, C, F))
+    if (!handleFrame(S, ConnId, C, F))
       return false;
     if (C.CloseAfterFlush)
       break;
@@ -332,7 +413,8 @@ bool Server::serviceRead(uint64_t ConnId, Conn &C) {
   return true;
 }
 
-bool Server::handleFrame(uint64_t ConnId, Conn &C, const net::Frame &F) {
+bool Server::handleFrame(Shard &S, uint64_t ConnId, Conn &C,
+                         const net::Frame &F) {
   switch ((MsgType)F.Type) {
   case MsgType::ExecuteReq:
   case MsgType::CompileReq: {
@@ -340,7 +422,7 @@ bool Server::handleFrame(uint64_t ConnId, Conn &C, const net::Frame &F) {
     W.ConnId = ConnId;
     W.Type = (MsgType)F.Type;
     if (!decodeExecuteRequest(F.Payload, &W.Req)) {
-      Metrics.onProtocolError();
+      Metrics.onProtocolError(S.Id);
       ErrorResponse E{"malformed request payload"};
       queueResponse(C, (uint8_t)MsgType::ErrorResp,
                     encodeErrorResponse(E));
@@ -348,7 +430,7 @@ bool Server::handleFrame(uint64_t ConnId, Conn &C, const net::Frame &F) {
       return true;
     }
     if (Stopping.load()) {
-      Metrics.onBusy();
+      Metrics.onBusy(S.Id);
       ErrorResponse E{"server draining; retry elsewhere"};
       queueResponse(C, (uint8_t)MsgType::BusyResp,
                     encodeErrorResponse(E));
@@ -356,32 +438,32 @@ bool Server::handleFrame(uint64_t ConnId, Conn &C, const net::Frame &F) {
     }
     W.Enqueued = Clock::now();
     {
-      std::lock_guard<std::mutex> Lock(QueueMu);
-      if (Queue.size() >= Config.QueueCap) {
-        Metrics.onBusy();
+      std::lock_guard<std::mutex> Lock(S.QueueMu);
+      if (S.Queue.size() >= Config.QueueCap) {
+        Metrics.onBusy(S.Id);
         ErrorResponse E{"queue full; retry"};
         queueResponse(C, (uint8_t)MsgType::BusyResp,
                       encodeErrorResponse(E));
         return true;
       }
-      Queue.push_back(std::move(W));
-      Metrics.onEnqueue(Queue.size());
+      S.Queue.push_back(std::move(W));
+      Metrics.onEnqueue(S.Id, S.Queue.size());
     }
-    QueueCv.notify_one();
+    S.QueueCv.notify_one();
     return true;
   }
   case MsgType::StatsReq:
-    Metrics.onStatsReq();
+    Metrics.onStatsReq(S.Id);
     queueResponse(C, (uint8_t)MsgType::StatsResp, statsJson());
     return true;
   case MsgType::PingReq:
-    Metrics.onPing();
+    Metrics.onPing(S.Id);
     queueResponse(C, (uint8_t)MsgType::PingResp, "");
     return true;
   default: {
     // Unknown or response-typed frame from a client: diagnostic, then
     // close — the stream's intent is unknowable.
-    Metrics.onProtocolError();
+    Metrics.onProtocolError(S.Id);
     char Msg[64];
     std::snprintf(Msg, sizeof(Msg), "unexpected frame type 0x%02x",
                   F.Type);
@@ -417,13 +499,18 @@ bool Server::flushWrites(Conn &C) {
   return !C.CloseAfterFlush;
 }
 
-void Server::closeConn(uint64_t ConnId) {
-  auto It = Conns.find(ConnId);
-  if (It == Conns.end())
+void Server::closeConn(Shard &S, uint64_t ConnId) {
+  auto It = S.Conns.find(ConnId);
+  if (It == S.Conns.end())
     return;
+  // Tell the poller first: with the epoll backend, a later connection
+  // could reuse this fd number and be mistaken for a live
+  // registration (see Poller::forget).
+  S.Poll.forget(It->second.Fd);
   net::closeFd(It->second.Fd);
-  Conns.erase(It);
-  Metrics.onDisconnect();
+  S.Conns.erase(It);
+  S.ActiveConns.store(S.Conns.size(), std::memory_order_relaxed);
+  Metrics.onDisconnect(S.Id);
 }
 
 //===----------------------------------------------------------------------===//
@@ -431,33 +518,37 @@ void Server::closeConn(uint64_t ConnId) {
 //===----------------------------------------------------------------------===//
 
 void Server::workerLoop(int WorkerId) {
+  // Workers are pinned round-robin to shards; each drains only its
+  // own shard's queue, so queue contention never crosses shards.
+  Shard &S = *Shards[(size_t)WorkerId % Shards.size()];
+  exec::Executor &Ex = *Execs[(size_t)WorkerId];
   for (;;) {
     Work W;
     {
-      std::unique_lock<std::mutex> Lock(QueueMu);
+      std::unique_lock<std::mutex> Lock(S.QueueMu);
       // wait_for rather than wait: requestStop() from a signal
       // handler cannot safely notify a condition variable, so poll
       // the flag at a coarse interval as the fallback wakeup.
-      QueueCv.wait_for(Lock, std::chrono::milliseconds(100), [this] {
-        return Stopping.load() || !Queue.empty();
+      S.QueueCv.wait_for(Lock, std::chrono::milliseconds(100), [&] {
+        return Stopping.load() || !S.Queue.empty();
       });
-      if (Queue.empty()) {
+      if (S.Queue.empty()) {
         if (Stopping.load())
           return;
         continue;
       }
-      W = std::move(Queue.front());
-      Queue.pop_front();
-      InFlight.fetch_add(1);
+      W = std::move(S.Queue.front());
+      S.Queue.pop_front();
+      S.InFlight.fetch_add(1);
     }
 
     double QueueMs = msSince(W.Enqueued);
     auto T0 = Clock::now();
     double CompileMs = 0, ExecuteMs = 0;
-    ExecuteResponse R = runRequest(W.Req, &CompileMs, &ExecuteMs);
+    bool IsExecute = W.Type == MsgType::ExecuteReq;
+    ExecuteResponse R = Ex.run(W.Req, IsExecute, &CompileMs, &ExecuteMs);
     double TotalMs = msSince(T0);
 
-    bool IsExecute = W.Type == MsgType::ExecuteReq;
     std::string Payload;
     uint8_t Type;
     if (IsExecute) {
@@ -478,69 +569,12 @@ void Server::workerLoop(int WorkerId) {
                           ExecuteMs, TotalMs, QueueMs, R.Instrs, R.GcMinor,
                           R.GcMajor, R.GcPauseNs);
     {
-      std::lock_guard<std::mutex> Lock(RespMu);
-      Responses.push_back(
-          {W.ConnId, net::encodeFrame(Type, Payload)});
+      std::lock_guard<std::mutex> Lock(S.RespMu);
+      S.Responses.push_back({W.ConnId, net::encodeFrame(Type, Payload)});
     }
-    InFlight.fetch_sub(1);
-    wakeLoop();
+    S.InFlight.fetch_sub(1);
+    wakeShard(S);
   }
-}
-
-ExecuteResponse Server::runRequest(const ExecuteRequest &Req,
-                                   double *CompileMs, double *ExecuteMs) {
-  ExecuteResponse R;
-
-  auto C0 = Clock::now();
-  CompileJob Job;
-  Job.Name = Req.Name.empty() ? "<request>" : Req.Name;
-  Job.Source = Req.Source;
-  JobResult JR = Service->compileOne(Job);
-  *CompileMs = msSince(C0);
-  R.CompileMs = *CompileMs;
-  R.CacheHit = JR.CacheHit;
-  R.TimingsJson = JR.CacheHit ? "{}" : JR.Timings.toJson();
-  if (!JR.Ok) {
-    R.O = Outcome::CompileError;
-    R.Message = JR.Error;
-    return R;
-  }
-
-  VmOptions VO;
-  VO.MaxInstrs =
-      clampQuota(Req.Fuel, Config.DefaultFuel, Config.MaxFuel);
-  VO.MaxHeapBytes = clampQuota(Req.HeapBytes, Config.DefaultHeapBytes,
-                               Config.MaxHeapBytes);
-  VO.DeadlineMs = (uint32_t)clampQuota(
-      Req.DeadlineMs, Config.DefaultDeadlineMs, Config.MaxDeadlineMs);
-  VO.Generational = Config.VmGenerational;
-  VO.NurseryBytes = Config.VmNurseryBytes;
-
-  auto E0 = Clock::now();
-  Vm V(JR.Unit->bytecode(), VO);
-  VmResult VR = V.run();
-  *ExecuteMs = msSince(E0);
-  R.ExecuteMs = *ExecuteMs;
-  R.Instrs = VR.Counters.Instrs;
-  R.GcMinor = VR.Heap.MinorCollections;
-  R.GcMajor = VR.Heap.MajorCollections;
-  R.GcPauseNs = VR.Heap.MinorPauses.SumNs + VR.Heap.MajorPauses.SumNs;
-  R.Output = std::move(VR.Output);
-  // Keep responses far below the frame cap even for print-heavy
-  // programs: the wire is a control plane, not a log shipper.
-  constexpr size_t kMaxOutput = 1u << 20;
-  if (R.Output.size() > kMaxOutput) {
-    R.Output.resize(kMaxOutput);
-    R.Output += "\n...[output truncated]\n";
-  }
-  if (VR.Trapped) {
-    R.O = outcomeForTrap(VR.Cause);
-    R.Message = VR.TrapMessage;
-  } else {
-    R.HasResult = VR.HasResult;
-    R.ResultBits = VR.ResultBits;
-  }
-  return R;
 }
 
 //===----------------------------------------------------------------------===//
@@ -569,11 +603,48 @@ std::string Server::statsJson() const {
         (unsigned long long)Cache->maxBytes());
     CacheJson = Buf;
   }
-  size_t Depth;
+
+  // Exec section: warm-VM pool totals across workers + the front-end
+  // shape. Pool stats are relaxed atomics, safe to sample here.
+  std::string ExecJson;
   {
-    std::lock_guard<std::mutex> Lock(QueueMu);
-    Depth = Queue.size();
+    uint64_t Hits = 0, Misses = 0, Evictions = 0, Drops = 0, Resident = 0;
+    for (const auto &E : Execs) {
+      const exec::VmPoolStats &PS = E->poolStats();
+      Hits += PS.Hits.load(std::memory_order_relaxed);
+      Misses += PS.Misses.load(std::memory_order_relaxed);
+      Evictions += PS.Evictions.load(std::memory_order_relaxed);
+      Drops += PS.Drops.load(std::memory_order_relaxed);
+      Resident += PS.Resident.load(std::memory_order_relaxed);
+    }
+    uint64_t Probes = Hits + Misses;
+    double HitPct = Probes ? 100.0 * (double)Hits / (double)Probes : 0;
+    const char *Backend =
+        Shards.empty() ? (net::Poller::epollAvailable() ? "epoll" : "poll")
+                       : Shards.front()->Poll.backendName();
+    char Buf[384];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "{\"io_threads\":%zu,\"poller\":\"%s\",\"vm_pool\":{"
+        "\"enabled\":%s,\"per_worker_cap\":%d,\"resident\":%llu,"
+        "\"hits\":%llu,\"misses\":%llu,\"hit_rate_pct\":%.1f,"
+        "\"evictions\":%llu,\"drops\":%llu}}",
+        Shards.empty() ? (size_t)Config.IoThreads : Shards.size(), Backend,
+        Config.VmPool ? "true" : "false", Config.VmPoolSize,
+        (unsigned long long)Resident, (unsigned long long)Hits,
+        (unsigned long long)Misses, HitPct, (unsigned long long)Evictions,
+        (unsigned long long)Drops);
+    ExecJson = Buf;
   }
-  return Metrics.toJson(msSince(StartTime), Depth, Config.QueueCap,
-                        Conns.size(), CacheJson);
+
+  size_t Depth = 0, Active = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->QueueMu);
+    Depth += S->Queue.size();
+  }
+  for (const auto &S : Shards)
+    Active += S->ActiveConns.load(std::memory_order_relaxed);
+  size_t Cap = Config.QueueCap * (Shards.empty() ? 1 : Shards.size());
+  return Metrics.toJson(msSince(StartTime), Depth, Cap, Active, CacheJson,
+                        ExecJson);
 }

@@ -1,41 +1,54 @@
 //===- server/Server.h - virgild: compile-and-execute daemon ----*- C++ -*-===//
 ///
 /// \file
-/// The long-lived service the compile pipeline amortizes into: a
-/// poll-based event loop accepts connections on TCP and/or Unix
-/// sockets, a framing state machine per connection reassembles
-/// requests, and a bounded queue feeds a worker pool that compiles
-/// through the shared CompileService/BytecodeCache and executes each
-/// program in a fresh Vm under hard quotas (fuel, heap bytes,
-/// wall-clock deadline). Design invariants:
+/// The long-lived service the compile pipeline amortizes into: N
+/// event-loop threads (epoll-backed where available) accept
+/// connections on TCP and/or Unix sockets, a framing state machine per
+/// connection reassembles requests, and per-shard bounded queues feed
+/// a worker pool that serves each request through an exec::Executor —
+/// compile through the shared CompileService/BytecodeCache, then run
+/// on a warm pooled VM or a fresh one under hard quotas (fuel, heap
+/// bytes, wall-clock deadline). Design invariants:
 ///
-///   * Isolation — every request gets its own Compiler/TypeStore and
-///     its own Vm + Heap; a hostile program can only burn its own
+///   * Isolation — every request runs on a VM whose observable state
+///     is indistinguishable from freshly constructed (the VmPool
+///     invisibility contract); a hostile program can only burn its own
 ///     quotas, which degrade to a structured Outcome on the wire.
-///   * Backpressure — when the queue is at capacity the event loop
+///   * Sharding — each event-loop thread owns a disjoint shard:
+///     poller, connection table, wakeup pipe, bounded queue, response
+///     list. A connection is pinned for life to the shard that
+///     accepted it, so no connection state is ever shared between
+///     loops. TCP accepts spread across shards via per-shard
+///     SO_REUSEPORT listeners (shared-listener fallback); the Unix
+///     listener is polled by every shard with accept() as the
+///     arbiter. Workers are assigned round-robin to shards.
+///   * Backpressure — when a shard's queue is at capacity its loop
 ///     answers BUSY immediately instead of queueing unboundedly; the
 ///     client retries. Workers are never blocked by the network: they
-///     hand finished responses back to the event loop over a wakeup
+///     hand finished responses back to their shard over its wakeup
 ///     pipe.
 ///   * Graceful drain — stop() (or SIGTERM via requestStop()) closes
-///     the listeners, lets workers finish everything already queued,
-///     flushes buffered responses, then joins. No request that was
-///     accepted is dropped.
+///     the listeners and lets every shard independently finish its
+///     queued work, flush buffered responses, then join. No request
+///     that was accepted is dropped, on any shard.
 ///   * Robustness — malformed frames or payloads close that one
 ///     connection with a diagnostic; nothing a client sends can crash
 ///     or hang the daemon.
 ///
-/// The STATS request renders live metrics (ServerMetrics + cache
-/// stats) as one JSON document, served from the event loop without
-/// touching the worker queue — observability stays responsive under
-/// overload.
+/// The STATS request renders live metrics (sharded ServerMetrics +
+/// cache + exec-pool stats) as one JSON document, served from the
+/// event loop without touching the worker queues — observability
+/// stays responsive under overload. statsJson() is safe from any
+/// thread.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef VIRGIL_SERVER_SERVER_H
 #define VIRGIL_SERVER_SERVER_H
 
+#include "exec/Executor.h"
 #include "net/Frame.h"
+#include "net/Poller.h"
 #include "server/Metrics.h"
 #include "service/CompileService.h"
 
@@ -63,6 +76,12 @@ struct ServerConfig {
   int TcpPort = -1;
 
   int Workers = 2;
+  /// Event-loop threads. Each owns one shard (poller, connections,
+  /// queue); workers are distributed round-robin across shards, and
+  /// the effective worker count is raised to at least IoThreads so no
+  /// shard is starved. 1 reproduces the classic single-loop daemon.
+  int IoThreads = 1;
+  /// Per-shard request-queue bound; overflow answers BUSY.
   size_t QueueCap = 64;
 
   /// Bytecode cache (shared across requests); empty disables it.
@@ -87,6 +106,14 @@ struct ServerConfig {
   /// request, so a bigger nursery taxes every request's latency.
   uint32_t VmNurseryBytes = 64 * 1024;
 
+  /// Warm-VM pool (per worker): repeat sources skip the compile
+  /// service and heap setup entirely, reusing a reset VM whose
+  /// behavior is observationally identical to a fresh one. Off for
+  /// the ablation baseline and differential testing.
+  bool VmPool = true;
+  /// Warm VMs retained per worker.
+  int VmPoolSize = 8;
+
   CompilerOptions Compile;
 };
 
@@ -95,12 +122,12 @@ public:
   explicit Server(ServerConfig Config);
   ~Server();
 
-  /// Opens the listeners and spawns the event loop + workers. False
+  /// Opens the listeners and spawns the event loops + workers. False
   /// (with \p Err) if no listener could be opened.
   bool start(std::string *Err);
 
-  /// Graceful shutdown: drain the queue, flush responses, join all
-  /// threads. Idempotent.
+  /// Graceful shutdown: drain every shard's queue, flush responses,
+  /// join all threads. Idempotent.
   void stop();
 
   /// Async-signal-safe shutdown trigger (the SIGTERM handler calls
@@ -114,6 +141,7 @@ public:
   uint16_t tcpPort() const { return BoundTcpPort; }
 
   /// The live STATS document (also what a STATS frame returns).
+  /// Thread-safe: callable from any thread, any time after start().
   std::string statsJson() const;
 
 private:
@@ -137,47 +165,73 @@ private:
     std::string Bytes;
   };
 
-  void eventLoop();
+  /// One event-loop thread's world. Everything here (except the
+  /// explicitly synchronized queue/response/gauge members) is touched
+  /// only by the owning loop thread.
+  struct Shard {
+    int Id = 0;
+    net::Poller Poll;
+    int WakePipe[2] = {-1, -1};
+    /// Per-shard SO_REUSEPORT TCP listener; -1 when the shard polls
+    /// the shared listener instead.
+    int TcpListenFd = -1;
+    std::map<uint64_t, Conn> Conns;
+    uint64_t NextConnSeq = 1;
+    /// Mirror of Conns.size() readable by statsJson() cross-thread.
+    std::atomic<size_t> ActiveConns{0};
+
+    mutable std::mutex QueueMu;
+    std::condition_variable QueueCv;
+    std::deque<Work> Queue;
+    /// Requests popped but not yet answered; drain waits for zero.
+    std::atomic<int> InFlight{0};
+
+    std::mutex RespMu;
+    std::vector<Response> Responses;
+
+    std::thread LoopThread;
+  };
+
+  void eventLoop(Shard &S);
   void workerLoop(int WorkerId);
-  void acceptOn(int ListenFd);
+  void acceptOn(Shard &S, int ListenFd);
   /// Reads available bytes and processes complete frames. False when
   /// the connection should be torn down now.
-  bool serviceRead(uint64_t ConnId, Conn &C);
+  bool serviceRead(Shard &S, uint64_t ConnId, Conn &C);
   /// Handles one decoded frame; false tears the connection down.
-  bool handleFrame(uint64_t ConnId, Conn &C, const net::Frame &F);
+  bool handleFrame(Shard &S, uint64_t ConnId, Conn &C, const net::Frame &F);
   bool flushWrites(Conn &C);
   void queueResponse(Conn &C, uint8_t Type, const std::string &Payload);
-  void closeConn(uint64_t ConnId);
-  void wakeLoop();
-  ExecuteResponse runRequest(const ExecuteRequest &R, double *CompileMs,
-                             double *ExecuteMs);
+  void closeConn(Shard &S, uint64_t ConnId);
+  void wakeShard(Shard &S);
+  Shard &shardOfConn(uint64_t ConnId) const {
+    return *Shards[(size_t)(ConnId >> 48) % Shards.size()];
+  }
 
   ServerConfig Config;
   std::unique_ptr<CompileService> Service;
+  /// One Executor (with its warm-VM pool) per worker thread.
+  std::vector<std::unique_ptr<exec::Executor>> Execs;
   ServerMetrics Metrics;
   std::chrono::steady_clock::time_point StartTime;
 
+  /// Shared listeners: the Unix socket always; TCP only when
+  /// SO_REUSEPORT sharding is off or unavailable.
   int TcpListenFd = -1;
   int UnixListenFd = -1;
   uint16_t BoundTcpPort = 0;
-  int WakePipe[2] = {-1, -1};
 
-  std::map<uint64_t, Conn> Conns;
-  uint64_t NextConnId = 1;
-
-  mutable std::mutex QueueMu;
-  std::condition_variable QueueCv;
-  std::deque<Work> Queue;
-  /// Requests popped but not yet answered; drain waits for zero.
-  std::atomic<int> InFlight{0};
-
-  std::mutex RespMu;
-  std::vector<Response> Responses;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  /// Flat copy of every shard's wake-pipe write end, fixed before the
+  /// signal handler can fire: requestStop() must stay async-signal-
+  /// safe, so it indexes this array instead of walking Shards.
+  static constexpr int kMaxIoThreads = 64;
+  int WakeFds[kMaxIoThreads];
+  int NumWakeFds = 0;
 
   std::atomic<bool> Stopping{false};
   std::atomic<bool> Started{false};
   bool Joined = false;
-  std::thread LoopThread;
   std::vector<std::thread> WorkerThreads;
 };
 

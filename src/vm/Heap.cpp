@@ -443,6 +443,21 @@ void Heap::collectMajor(size_t NeedSlots) {
   Stats.MajorPauses.record(nowNs() - T0);
 }
 
+void Heap::reset() {
+  // resize (not assign) keeps the vector's capacity: a previous run
+  // that grew the heap leaves its pages faulted in for the next one.
+  // Contents are intentionally left stale; allocObject/allocArray and
+  // the collectors initialize every slot they expose.
+  if (Space.size() != InitialTotal)
+    Space.resize(InitialTotal);
+  NurseryTop = 1;
+  OldTop = NurseryLimit;
+  OverLimit = false;
+  LiveAfterGc = 0;
+  Stats = HeapStats();
+  clearRememberedSet();
+}
+
 void Heap::collectNow() { collectMajor(0); }
 
 void Heap::collectMinorNow() {

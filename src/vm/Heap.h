@@ -252,6 +252,17 @@ public:
   /// when the heap is non-generational.
   void collectMinorNow();
 
+  /// Rewinds the heap to its post-construction state without releasing
+  /// memory: both generations empty, stats and remembered set cleared,
+  /// the space resized back to the initial footprint *in place* (the
+  /// vector keeps its capacity, so pages faulted in by earlier runs are
+  /// reused instead of re-mmap'd). Stale slot contents above the bump
+  /// pointers are never re-zeroed — every allocation path initializes
+  /// the slots it hands out — so a reset heap is observationally
+  /// identical to a freshly constructed one with the same options. The
+  /// warm-VM pool (src/exec/VmPool) calls this between requests.
+  void reset();
+
 private:
   /// Allocation fast path: nursery bump, falling back to a direct
   /// old-space bump for non-generational heaps and for objects larger

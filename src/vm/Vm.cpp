@@ -107,6 +107,41 @@ Vm::Vm(const BcModule &M, VmOptions Opts)
   MaxInstrs = Opts.MaxInstrs;
 }
 
+void Vm::snapshotForReuse() {
+  IcSnapshot.clear();
+  IcSnapshot.reserve(Prep.Funcs.size());
+  for (const PFunc &F : Prep.Funcs)
+    IcSnapshot.push_back(F.Ics);
+  HasReuseSnapshot = true;
+}
+
+bool Vm::resetForReuse() {
+  if (!HasReuseSnapshot)
+    return false;
+  for (size_t I = 0; I != Prep.Funcs.size(); ++I)
+    Prep.Funcs[I].Ics = IcSnapshot[I];
+  TheHeap.reset();
+  // The register arena stays at its high-water size (enterCall zeroes
+  // every callee register beyond the copied arguments, so stale slots
+  // are never read); everything else rewinds to the post-construction
+  // state.
+  StackTop = 0;
+  Frames.clear();
+  Globals.assign(M.GlobalKinds.size(), 0);
+  Output.clear();
+  FinalRets.clear();
+  Counters = VmCounters();
+  Counters.FusedStatic = Prep.Stats.fusedTotal();
+  Trapped = false;
+  TrapCause = VmTrapCause::None;
+  TrapMessage.clear();
+  MaxInstrs = Options.MaxInstrs;
+  DeadlineNs = 0;
+  DeadlineTick = 0;
+  TickCounter = 0;
+  return true;
+}
+
 bool Vm::threadedAvailable() {
 #ifdef VIRGIL_VM_COMPUTED_GOTO
   return true;

@@ -125,6 +125,26 @@ public:
   /// basic block of the budget.
   void setMaxInstrs(uint64_t Max) { MaxInstrs = Max; }
 
+  /// Warm-VM pooling support (src/exec/VmPool). snapshotForReuse()
+  /// captures the post-prepare state a run can mutate — today exactly
+  /// the per-function inline-cache tables — and must be called before
+  /// the first run(). resetForReuse() restores that snapshot, rewinds
+  /// the heap in place (Heap::reset), and clears all per-run state
+  /// (stack extent, globals, output, counters, trap state, tick
+  /// counter, deadline), leaving the Vm observationally identical to a
+  /// freshly constructed one with the same module and options: same
+  /// outcomes, traps, executed-instruction counts, and GC activity.
+  /// Returns false (and touches nothing) if no snapshot was taken.
+  void snapshotForReuse();
+  bool resetForReuse();
+  /// Re-arms the per-run quotas a pooled Vm may vary between requests.
+  /// Heap sizing is deliberately NOT settable here: it shapes GC
+  /// behavior, so the pool keys on it instead.
+  void setRunQuotas(uint64_t Fuel, uint32_t DeadlineMs) {
+    MaxInstrs = Fuel;
+    Options.DeadlineMs = DeadlineMs;
+  }
+
   /// Forces a GC between runs (benchmarks).
   Heap &heap() { return TheHeap; }
 
@@ -191,6 +211,10 @@ private:
   int32_t DeadlineTick = 0;
   int32_t TickCounter = 0;
   std::vector<int64_t> FinalRets;
+  /// Post-prepare inline-cache tables, captured by snapshotForReuse()
+  /// (one vector per function, empty until a snapshot is taken).
+  std::vector<std::vector<IcEntry>> IcSnapshot;
+  bool HasReuseSnapshot = false;
 };
 
 } // namespace virgil

@@ -313,6 +313,21 @@ TEST(FuzzDriver, TinyNurserySweepIsClean) {
   EXPECT_EQ(Summary.SeedsRun, 200u);
 }
 
+// Warm-pool sweep: every seed also runs the "vm+pool" strategy — the
+// same VM run twice through the snapshot/reset reuse protocol, with
+// the second run reported. Any divergence (value, output, or trap
+// diagnostic) breaks the pool's observational-invisibility contract,
+// so this is the fuzz-strength backstop behind virgild's --vm-pool.
+TEST(FuzzDriver, PooledVmSweepIsClean) {
+  FuzzOptions Options;
+  Options.Seeds = 200;
+  Options.Reduce = false;
+  Options.Oracle.VmPooled = true;
+  FuzzSummary Summary = Fuzzer(Options).run();
+  EXPECT_TRUE(Summary.clean()) << Summary.toJson();
+  EXPECT_EQ(Summary.SeedsRun, 200u);
+}
+
 // Engine-config differential: the same random programs under switch
 // dispatch, threaded dispatch, and the plain (unfused, uncached)
 // stream must agree on every observable including the executed

@@ -725,4 +725,244 @@ TEST(ServerTest, ManyConcurrentConnections) {
   EXPECT_EQ(OkCount.load(), Conns * PerConn);
 }
 
+//===----------------------------------------------------------------------===//
+// Sharded front end (--io-threads) + warm-VM pool
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedServerTest, StatsReportsExecSection) {
+  ServerConfig Config;
+  Config.IoThreads = 4;
+  Config.Workers = 4;
+  TestServer TS(Config);
+  Client C = TS.client();
+  std::string Err;
+  ExecuteResponse Resp;
+  ASSERT_TRUE(C.execute(makeReq(kOkProgram), &Resp, nullptr, &Err)) << Err;
+  ASSERT_TRUE(C.execute(makeReq(kOkProgram), &Resp, nullptr, &Err)) << Err;
+  EXPECT_TRUE(Resp.CacheHit) << "second request should hit the pool";
+
+  std::string Json;
+  ASSERT_TRUE(C.stats(&Json, &Err)) << Err;
+  for (const char *Key :
+       {"\"exec\"", "\"io_threads\":4", "\"poller\"", "\"vm_pool\"",
+        "\"enabled\":true", "\"resident\":1", "\"hits\":1"})
+    EXPECT_NE(Json.find(Key), std::string::npos) << Key << " missing:\n"
+                                                 << Json;
+}
+
+TEST(ShardedServerTest, StatsHammeredDuringExecuteTraffic) {
+  // STATS merges every metrics shard while workers and event loops
+  // are writing them: hammer it concurrently with execute traffic
+  // from many connections. Every STATS must parse as a complete JSON
+  // document and every execute must succeed. (Pre-sharding, this
+  // pattern serialized all workers on the metrics mutex; now it is
+  // also the TSan probe for the shard merge.)
+  ServerConfig Config;
+  Config.IoThreads = 4;
+  Config.Workers = 4;
+  Config.QueueCap = 256;
+  TestServer TS(Config);
+
+  std::atomic<bool> StopStats{false};
+  std::atomic<int> StatsOk{0}, StatsFail{0};
+  std::thread StatsHammer([&] {
+    Client C = TS.client();
+    std::string Json, Err;
+    while (!StopStats.load()) {
+      if (C.stats(&Json, &Err) && !Json.empty() &&
+          Json.front() == '{' && Json.back() == '}')
+        ++StatsOk;
+      else
+        ++StatsFail;
+    }
+  });
+
+  const int Conns = 8, PerConn = 10;
+  std::atomic<int> OkCount{0}, Failures{0};
+  std::vector<std::thread> Threads;
+  for (int W = 0; W != Conns; ++W)
+    Threads.emplace_back([&TS, &OkCount, &Failures] {
+      Client C = TS.client();
+      for (int I = 0; I != PerConn; ++I) {
+        ExecuteResponse Resp;
+        bool Busy = false;
+        std::string Err;
+        if (!C.execute(makeReq(kOkProgram), &Resp, &Busy, &Err)) {
+          ++Failures;
+          return;
+        }
+        if (Busy) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          --I;
+          continue;
+        }
+        if (Resp.O == Outcome::Ok)
+          ++OkCount;
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  StopStats.store(true);
+  StatsHammer.join();
+
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_EQ(OkCount.load(), Conns * PerConn);
+  EXPECT_GT(StatsOk.load(), 0);
+  EXPECT_EQ(StatsFail.load(), 0);
+}
+
+TEST(ShardedServerTest, QuotaBombsAcrossShardsDoNotStarveNeighbors) {
+  // Fuel, heap, and deadline bombs land on different shards while
+  // well-behaved requests flow; every request resolves to its own
+  // structured outcome at --io-threads 4 with the pool on.
+  ServerConfig Config;
+  Config.IoThreads = 4;
+  Config.Workers = 4;
+  Config.QueueCap = 64;
+  TestServer TS(Config);
+
+  std::atomic<int> GoodOk{0}, BombStructured{0}, Failures{0};
+  std::vector<std::thread> Threads;
+  for (int I = 0; I != 3; ++I)
+    Threads.emplace_back([&TS, &BombStructured, &Failures, I] {
+      Client C = TS.client();
+      ExecuteRequest Req;
+      if (I == 0) {
+        Req = makeReq(kSpinProgram, "fuel-bomb");
+        Req.Fuel = 200000;
+        Req.DeadlineMs = 30000;
+      } else if (I == 1) {
+        Req = makeReq(kHeapBomb, "heap-bomb");
+        Req.HeapBytes = 1u << 20;
+        Req.DeadlineMs = 20000;
+      } else {
+        Req = makeReq(kSpinProgram, "deadline-bomb");
+        Req.Fuel = ~0ull;
+        Req.DeadlineMs = 300;
+      }
+      ExecuteResponse Resp;
+      std::string Err;
+      if (!C.execute(Req, &Resp, nullptr, &Err))
+        ++Failures;
+      else if (Resp.O == Outcome::Fuel || Resp.O == Outcome::Heap ||
+               Resp.O == Outcome::Deadline)
+        ++BombStructured;
+    });
+  for (int I = 0; I != 6; ++I)
+    Threads.emplace_back([&TS, &GoodOk, &Failures] {
+      Client C = TS.client();
+      for (int J = 0; J != 4; ++J) {
+        ExecuteResponse Resp;
+        bool Busy = false;
+        std::string Err;
+        if (!C.execute(makeReq(kOkProgram), &Resp, &Busy, &Err)) {
+          ++Failures;
+          return;
+        }
+        if (Busy) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          --J;
+          continue;
+        }
+        if (Resp.O == Outcome::Ok && Resp.ResultBits == 42)
+          ++GoodOk;
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_EQ(BombStructured.load(), 3);
+  EXPECT_EQ(GoodOk.load(), 6 * 4);
+}
+
+TEST(ShardedServerTest, GracefulDrainAcrossShardsUnderLoad) {
+  // In-flight requests spread over 4 shards when SIGTERM-style stop
+  // arrives: every accepted request still gets its response, on every
+  // shard, and stop() joins cleanly.
+  ServerConfig Config;
+  Config.IoThreads = 4;
+  Config.Workers = 4;
+  TestServer TS(Config);
+
+  const int N = 8;
+  std::atomic<int> Answered{0}, Failures{0};
+  std::vector<std::thread> Threads;
+  for (int I = 0; I != N; ++I)
+    Threads.emplace_back([&TS, &Answered, &Failures] {
+      Client C = TS.client();
+      ExecuteRequest Req = makeReq(kSpinProgram, "inflight");
+      Req.Fuel = ~0ull; // ample fuel: the deadline is the binding quota
+      Req.DeadlineMs = 400;
+      ExecuteResponse Resp;
+      std::string Err;
+      if (C.execute(Req, &Resp, nullptr, &Err) &&
+          Resp.O == Outcome::Deadline)
+        ++Answered;
+      else
+        ++Failures;
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  TS.server().requestStop();
+  TS.server().stop();
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Answered.load(), N);
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+TEST(ShardedServerTest, PooledAndUnpooledServersAgreeOnTheWire) {
+  // The end-to-end invisibility check: the same request stream against
+  // a pooled server and a pool-off server produces identical wire
+  // responses (everything except CacheHit, which is the point).
+  ServerConfig Pooled;
+  Pooled.IoThreads = 2;
+  ServerConfig Unpooled;
+  Unpooled.VmPool = false;
+  TestServer TP(Pooled), TU(Unpooled);
+  Client CP = TP.client(), CU = TU.client();
+  std::string Err;
+
+  const char *Sources[] = {kOkProgram, kSpinProgram, kHeapBomb};
+  for (const char *Src : Sources) {
+    for (int Round = 0; Round != 3; ++Round) {
+      ExecuteRequest Req = makeReq(Src, "diff");
+      Req.Fuel = 300000;
+      Req.HeapBytes = 1u << 20;
+      Req.DeadlineMs = 10000;
+      ExecuteResponse RP, RU;
+      ASSERT_TRUE(CP.execute(Req, &RP, nullptr, &Err)) << Err;
+      ASSERT_TRUE(CU.execute(Req, &RU, nullptr, &Err)) << Err;
+      EXPECT_EQ((int)RP.O, (int)RU.O) << Src;
+      EXPECT_EQ(RP.Message, RU.Message) << Src;
+      EXPECT_EQ(RP.HasResult, RU.HasResult) << Src;
+      EXPECT_EQ(RP.ResultBits, RU.ResultBits) << Src;
+      EXPECT_EQ(RP.Output, RU.Output) << Src;
+      EXPECT_EQ(RP.Instrs, RU.Instrs) << Src;
+      EXPECT_EQ(RP.GcMinor, RU.GcMinor) << Src;
+      EXPECT_EQ(RP.GcMajor, RU.GcMajor) << Src;
+    }
+  }
+  // The pooled server actually pooled: rounds 2-3 of each source hit.
+  std::string Json;
+  ASSERT_TRUE(CP.stats(&Json, &Err)) << Err;
+  EXPECT_NE(Json.find("\"hits\":6"), std::string::npos) << Json;
+}
+
+TEST(ShardedServerTest, SingleLoopConfigStillWorks) {
+  // IoThreads=1 must reproduce the classic daemon exactly (it is the
+  // bench baseline), including BUSY backpressure and stats.
+  ServerConfig Config;
+  Config.IoThreads = 1;
+  Config.Workers = 2;
+  TestServer TS(Config);
+  Client C = TS.client();
+  std::string Err;
+  ExecuteResponse Resp;
+  ASSERT_TRUE(C.execute(makeReq(kOkProgram), &Resp, nullptr, &Err)) << Err;
+  EXPECT_EQ(Resp.O, Outcome::Ok);
+  std::string Json;
+  ASSERT_TRUE(C.stats(&Json, &Err)) << Err;
+  EXPECT_NE(Json.find("\"io_threads\":1"), std::string::npos) << Json;
+}
+
 } // namespace

@@ -23,8 +23,11 @@
 #   --check BASELINE compare e1_callconv vm_minstr_per_sec against the
 #                    baseline file and fail if it regressed > 30%
 #   --check-server BASELINE  compare e13_server warm_p95_ms against the
-#                    baseline file (fail above 3x) and require the
-#                    warm-over-cold speedup to stay >= 2x
+#                    baseline file (fail above 3x), require the
+#                    warm-over-cold speedup to stay >= 2x, require the
+#                    pooled+threaded config to sustain >= 3x the
+#                    single-loop/no-pool req/s, and require warm p50 not
+#                    to regress past 3x the baseline p50
 #
 #===----------------------------------------------------------------------===#
 set -euo pipefail
@@ -164,6 +167,34 @@ if p95 > ceil:
     sys.exit(1)
 if speedup < 2.0:
     print("FAIL: warm requests are not 2x faster than cold at p95")
+    sys.exit(1)
+# Warm p50 non-regression: same 3x latency slack as p95 — the pool
+# must not make the common case slower while winning on throughput.
+p50, base_p50 = cur.get("warm_p50_ms"), base.get("warm_p50_ms")
+if p50 is None or base_p50 is None:
+    print("FAIL: e13_server warm_p50_ms missing from results or baseline")
+    sys.exit(1)
+p50_ceil = base_p50 * 3.0
+print(f"server gate: warm_p50_ms = {p50:.3f}, baseline {base_p50:.3f}, "
+      f"ceiling {p50_ceil:.3f}")
+if p50 > p50_ceil:
+    print("FAIL: server warm p50 regressed more than 3x vs baseline")
+    sys.exit(1)
+# Sustained-throughput gate (E15): the production config (sharded
+# event loops + warm-VM pool) versus the pre-pool architecture, as a
+# same-process ratio — load-independent, so it gates at the absolute
+# floor the baseline records (>= 3x per the pool's acceptance bar).
+sust = cur.get("sustained_speedup")
+sust_floor = base.get("sustained_speedup")
+if sust is None or sust_floor is None:
+    print("FAIL: e13_server sustained_speedup missing from results "
+          "or baseline")
+    sys.exit(1)
+print(f"server gate: sustained_speedup = {sust:.2f}x, "
+      f"floor {sust_floor:.2f}x")
+if sust < sust_floor:
+    print("FAIL: pooled+threaded server does not sustain the required "
+          "multiple of single-loop req/s")
     sys.exit(1)
 print("server gate: ok")
 EOF

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 #===- tools/server_smoke.sh - end-to-end virgild smoke test --------------===#
 #
-# The CI server-smoke job: boots a real virgild on a Unix socket, puts
-# 200 requests through it from 8 concurrent connections (all must come
-# back Ok), sends a deliberate infinite loop that must come back as a
-# structured deadline outcome (not a hang, not a dropped connection),
-# then SIGTERMs the daemon and requires a clean drain with exit 0.
+# The CI server-smoke job: boots a real virgild on a Unix socket with
+# the production config (sharded event loops + warm-VM pool), puts 200
+# requests through it from 8 concurrent connections (all must come
+# back Ok), re-runs the same load with the pool disabled on a second
+# daemon (the answers must agree either way), sends a deliberate
+# infinite loop that must come back as a structured deadline outcome
+# (not a hang, not a dropped connection), then SIGTERMs the daemon and
+# requires a clean drain with exit 0.
+#
+# Readiness is probed with a real request retry loop, not a fixed
+# sleep: a socket file existing does not mean the event loops are
+# accepting, and sanitizer builds can take seconds to get there.
 #
 # usage: server_smoke.sh VIRGILD VIRGIL_LOAD [WORKDIR]
 #
@@ -15,28 +22,51 @@ set -euo pipefail
 VIRGILD="$1"
 VIRGIL_LOAD="$2"
 WORK="${3:-$(mktemp -d)}"
-SOCK="$WORK/virgild.sock"
 mkdir -p "$WORK"
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
 
-"$VIRGILD" --unix "$SOCK" --workers 2 --cache-dir "$WORK/cache" \
+# wait_ready SOCK — retry a one-request probe until the daemon answers
+# it Ok. Covers the whole boot path (listener up, loop running, worker
+# pulling, executor answering), unlike waiting for the socket file.
+wait_ready() {
+  local sock="$1"
+  for _ in $(seq 100); do
+    if [ -S "$sock" ] && "$VIRGIL_LOAD" --unix "$sock" --conns 1 \
+        --requests 1 --expect ok > /dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  return 1
+}
+
+"$VIRGILD" --unix "$WORK/virgild.sock" --workers 4 --io-threads 2 \
+  --vm-pool on --vm-pool-size 8 --cache-dir "$WORK/cache" \
   --cache-max-bytes $((4 * 1024 * 1024)) 2> "$WORK/daemon.log" &
 DPID=$!
 trap 'kill -9 $DPID 2>/dev/null || true' EXIT
+SOCK="$WORK/virgild.sock"
 
-# Wait for the socket to appear (the daemon compiles nothing on boot,
-# so this is quick; 5s is generous for sanitizer builds).
-for _ in $(seq 50); do
-  [ -S "$SOCK" ] && break
-  sleep 0.1
-done
-[ -S "$SOCK" ] || fail "daemon did not create $SOCK"
+wait_ready "$SOCK" || { cat "$WORK/daemon.log" >&2; fail "daemon never became ready on $SOCK"; }
 
-echo "== 200 well-behaved requests over 8 connections =="
+echo "== 200 well-behaved requests over 8 connections (pooled, 2 loops) =="
 "$VIRGIL_LOAD" --unix "$SOCK" --conns 8 --requests 200 \
   --expect ok --json "$WORK/load.json" \
   || fail "well-behaved load did not complete cleanly"
+
+echo "== same load with the VM pool off must also be all-Ok =="
+"$VIRGILD" --unix "$WORK/nopool.sock" --workers 2 --io-threads 1 \
+  --vm-pool off --cache-dir "$WORK/cache-nopool" 2> "$WORK/nopool.log" &
+NPID=$!
+trap 'kill -9 $DPID $NPID 2>/dev/null || true' EXIT
+wait_ready "$WORK/nopool.sock" \
+  || { cat "$WORK/nopool.log" >&2; fail "no-pool daemon never became ready"; }
+"$VIRGIL_LOAD" --unix "$WORK/nopool.sock" --conns 8 --requests 200 \
+  --expect ok \
+  || fail "no-pool load did not complete cleanly"
+kill -TERM $NPID
+wait $NPID || fail "no-pool daemon did not drain cleanly on SIGTERM"
 
 echo "== runaway program must come back as a structured timeout =="
 cat > "$WORK/spin.v3" <<'EOF'
@@ -47,7 +77,9 @@ def main() -> int {
 }
 EOF
 # Huge fuel so the wall-clock deadline is the binding quota; the
-# request must return (with outcome deadline) rather than hang.
+# request must return (with outcome deadline) rather than hang. Two
+# requests back-to-back also prove a trapped VM is reusable: with the
+# pool on, the second one runs on the reset VM the first one poisoned.
 "$VIRGIL_LOAD" --unix "$SOCK" --conns 1 --requests 2 \
   --program "$WORK/spin.v3" --fuel 99999999999 --deadline-ms 500 \
   --expect deadline \

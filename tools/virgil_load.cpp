@@ -7,9 +7,18 @@
 ///   --unix PATH | --tcp HOST:PORT   where the daemon listens
 ///   --conns N          concurrent connections (default 8)
 ///   --requests N       total requests across all connections (default 200)
-///   --mode closed|open closed-loop (each conn sends, waits, repeats) or
-///                      open-loop (fixed arrival rate, --rate per second)
-///   --rate R           open-loop target requests/second (default 200)
+///   --mode closed|open|saturate
+///                      closed-loop (each conn sends, waits, repeats),
+///                      open-loop (fixed arrival rate, --rate per
+///                      second), or saturation search: ramp the
+///                      open-loop rate geometrically until p99 exceeds
+///                      --p99-bound (or the server sheds load), and
+///                      report the highest rate the daemon sustained
+///   --rate R           open-loop target requests/second (default 200;
+///                      in saturate mode, the starting rate)
+///   --p99-bound MS     saturate: p99 latency bound in ms (default 50)
+///   --step-sec S       saturate: seconds per rate step (default 2)
+///   --max-rate R       saturate: stop ramping past R (default 20000)
 ///   --program FILE     source to execute (default: built-in program)
 ///   --distinct         make every request's source unique (defeats the
 ///                      bytecode cache; measures cold compiles)
@@ -65,7 +74,11 @@ struct Options {
   int Conns = 8;
   int Requests = 200;
   bool OpenLoop = false;
+  bool Saturate = false;
   double Rate = 200.0;
+  double P99BoundMs = 50.0;
+  double StepSec = 2.0;
+  double MaxRate = 20000.0;
   std::string ProgramFile;
   bool Distinct = false;
   uint64_t Fuel = 0;
@@ -217,6 +230,81 @@ void openWorker(const Options &Opt, const std::string &Program,
   C.close();
 }
 
+/// Runs one open-loop step at \p Rate req/s for \p Opt.StepSec seconds
+/// and fills \p R with that step's results. Returns the number of
+/// requests scheduled.
+int runOpenStep(const Options &Opt, const std::string &Program, double Rate,
+                int StepId, Results &R) {
+  int Count = (int)(Rate * Opt.StepSec);
+  if (Count < Opt.Conns)
+    Count = Opt.Conns; // at least one request per connection
+  int Base = Count / Opt.Conns;
+  int Extra = Count % Opt.Conns;
+  double PerConnRate = Rate / (double)Opt.Conns;
+  double Interval = PerConnRate > 0 ? 1.0 / PerConnRate : 0.005;
+  std::vector<std::thread> Threads;
+  for (int W = 0; W != Opt.Conns; ++W) {
+    int N = Base + (W < Extra ? 1 : 0);
+    if (N == 0)
+      continue;
+    // Offset worker ids per step so --distinct stays distinct across
+    // the whole ramp.
+    Threads.emplace_back(openWorker, std::cref(Opt), std::cref(Program),
+                         StepId * 1000 + W, N, Interval, std::ref(R));
+  }
+  for (auto &T : Threads)
+    T.join();
+  return Count;
+}
+
+/// Saturation search: geometric rate ramp until the daemon can no
+/// longer hold the p99 bound (or starts shedding), reporting the
+/// highest sustained rate. \p FinalR receives the last sustained
+/// step's results; returns sustained req/s (0 if even the first step
+/// failed).
+double runSaturate(const Options &Opt, const std::string &Program,
+                   Results &FinalR) {
+  double Rate = Opt.Rate > 0 ? Opt.Rate : 50.0;
+  double Sustained = 0;
+  for (int Step = 0; Rate <= Opt.MaxRate; ++Step, Rate *= 1.6) {
+    Results R;
+    auto T0 = std::chrono::steady_clock::now();
+    int Sent = runOpenStep(Opt, Program, Rate, Step, R);
+    double WallSec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - T0)
+                         .count();
+    std::sort(R.LatenciesMs.begin(), R.LatenciesMs.end());
+    uint64_t Completed = R.LatenciesMs.size();
+    double P99 = percentile(R.LatenciesMs, 0.99);
+    double Achieved = WallSec > 0 ? (double)Completed / WallSec : 0;
+    uint64_t Shed = R.Busy + R.TransportErrors;
+    bool Holds = Completed >= (uint64_t)(0.9 * (double)Sent) &&
+                 Shed <= (uint64_t)(0.01 * (double)Sent) &&
+                 P99 <= Opt.P99BoundMs;
+    std::printf("virgil-load: step %d rate %.0f -> %llu/%d done, "
+                "%.1f req/s achieved, p99 %.2fms, %llu shed: %s\n",
+                Step, Rate, (unsigned long long)Completed, Sent, Achieved,
+                P99, (unsigned long long)Shed,
+                Holds ? "sustained" : "exceeded");
+    if (!Holds)
+      break;
+    // Report what the daemon actually served, not the nominal target:
+    // under scheduling jitter the achieved rate is the honest number.
+    Sustained = std::min(Rate, Achieved > 0 ? Achieved : Rate);
+    {
+      std::lock_guard<std::mutex> G(FinalR.Mu);
+      FinalR.LatenciesMs = std::move(R.LatenciesMs);
+      for (int I = 0; I != 6; ++I)
+        FinalR.ByOutcome[I] = R.ByOutcome[I];
+      FinalR.Busy = R.Busy;
+      FinalR.CacheHits = R.CacheHits;
+      FinalR.TransportErrors = R.TransportErrors;
+      FinalR.FirstError = R.FirstError;
+    }
+  }
+  return Sustained;
+}
+
 int outcomeIndex(const std::string &Name) {
   static const char *Names[] = {"ok",   "compile_error", "trap",
                                 "fuel", "heap",          "deadline"};
@@ -256,16 +344,25 @@ int main(int Argc, char **Argv) {
       Opt.Requests = std::atoi(Next("--requests"));
     } else if (Arg == "--mode") {
       std::string M = Next("--mode");
-      if (M == "open")
+      if (M == "open") {
         Opt.OpenLoop = true;
-      else if (M == "closed")
+      } else if (M == "closed") {
         Opt.OpenLoop = false;
-      else {
-        std::fprintf(stderr, "virgil-load: --mode is open|closed\n");
+      } else if (M == "saturate") {
+        Opt.Saturate = true;
+      } else {
+        std::fprintf(stderr,
+                     "virgil-load: --mode is open|closed|saturate\n");
         return 2;
       }
     } else if (Arg == "--rate") {
       Opt.Rate = std::atof(Next("--rate"));
+    } else if (Arg == "--p99-bound") {
+      Opt.P99BoundMs = std::atof(Next("--p99-bound"));
+    } else if (Arg == "--step-sec") {
+      Opt.StepSec = std::atof(Next("--step-sec"));
+    } else if (Arg == "--max-rate") {
+      Opt.MaxRate = std::atof(Next("--max-rate"));
     } else if (Arg == "--program") {
       Opt.ProgramFile = Next("--program");
     } else if (Arg == "--distinct") {
@@ -313,9 +410,12 @@ int main(int Argc, char **Argv) {
   }
 
   Results R;
+  double SustainedRps = -1;
   auto Wall0 = std::chrono::steady_clock::now();
   std::vector<std::thread> Threads;
-  if (Opt.OpenLoop) {
+  if (Opt.Saturate) {
+    SustainedRps = runSaturate(Opt, Program, R);
+  } else if (Opt.OpenLoop) {
     // Split the target rate and request count across connections.
     int Base = Opt.Requests / Opt.Conns;
     int Extra = Opt.Requests % Opt.Conns;
@@ -357,11 +457,16 @@ int main(int Argc, char **Argv) {
 
   static const char *OutNames[] = {"ok",   "compile_error", "trap",
                                    "fuel", "heap",          "deadline"};
-  std::printf("virgil-load: %llu/%d completed in %.2fs (%.1f req/s), "
-              "%llu busy, %llu transport errors\n",
-              (unsigned long long)Completed, Opt.Requests, WallSec,
-              Throughput, (unsigned long long)R.Busy,
-              (unsigned long long)R.TransportErrors);
+  if (Opt.Saturate)
+    std::printf("virgil-load: sustained %.1f req/s with p99 <= %.1fms "
+                "(ramp took %.2fs)\n",
+                SustainedRps, Opt.P99BoundMs, WallSec);
+  else
+    std::printf("virgil-load: %llu/%d completed in %.2fs (%.1f req/s), "
+                "%llu busy, %llu transport errors\n",
+                (unsigned long long)Completed, Opt.Requests, WallSec,
+                Throughput, (unsigned long long)R.Busy,
+                (unsigned long long)R.TransportErrors);
   std::printf("  latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f\n",
               Mean, P50, P95, P99);
   std::printf("  outcomes:");
@@ -386,6 +491,14 @@ int main(int Argc, char **Argv) {
                   (unsigned long long)R.TransportErrors, WallSec,
                   Throughput);
     Out << Buf;
+    if (SustainedRps >= 0) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "  \"mode\": \"saturate\",\n"
+                    "  \"sustained_rps\": %.1f,\n"
+                    "  \"p99_bound_ms\": %.2f,\n",
+                    SustainedRps, Opt.P99BoundMs);
+      Out << Buf;
+    }
     std::snprintf(Buf, sizeof(Buf),
                   "  \"latency_ms\": {\"mean\": %.3f, \"p50\": %.3f, "
                   "\"p95\": %.3f, \"p99\": %.3f},\n",
@@ -403,7 +516,10 @@ int main(int Argc, char **Argv) {
     Out << Buf << "}\n";
   }
 
-  bool Ok = Completed == (uint64_t)Opt.Requests && R.TransportErrors == 0;
+  bool Ok = Opt.Saturate
+                ? SustainedRps > 0
+                : Completed == (uint64_t)Opt.Requests &&
+                      R.TransportErrors == 0;
   if (Ok && !Opt.Expect.empty()) {
     int Want = outcomeIndex(Opt.Expect);
     for (int I = 0; I != 6; ++I)

@@ -47,6 +47,10 @@
 ///   --verbose        log each divergence as it is found
 ///   --vm-gc M        VM strategy heap mode: gen (default) | semi
 ///   --vm-nursery-bytes N  VM strategy nursery size in bytes
+///   --vm-pool        add the "vm+pool" strategy: each program also
+///                    runs on a snapshot-reset reused VM, which must
+///                    match the fresh VM exactly (the warm-pool
+///                    invisibility contract)
 ///
 /// Fuzz exit codes: 0 all seeds agree, 1 divergences found, 2 usage.
 ///
@@ -82,7 +86,7 @@ static void usage() {
                "                    [--no-reduce] [--no-opt-compare] "
                "[--gen-off FEATURE] [--verbose]\n"
                "                    [--vm-gc gen|semi] "
-               "[--vm-nursery-bytes N]\n");
+               "[--vm-nursery-bytes N] [--vm-pool]\n");
 }
 
 static bool readWholeFile(const std::string &Path, std::string &Out) {
@@ -302,6 +306,8 @@ static int runFuzz(int Argc, char **Argv) {
       Options.Reduce = false;
     } else if (Arg == "--no-opt-compare") {
       Options.Oracle.CompareNoOpt = false;
+    } else if (Arg == "--vm-pool") {
+      Options.Oracle.VmPooled = true;
     } else if (Arg == "--gen-off" && I + 1 < Argc) {
       std::string Feature = Argv[++I];
       if (!setGenFeature(Options.Gen, Feature, false)) {

@@ -11,8 +11,11 @@
 ///   --unix PATH          listen on a Unix-domain socket at PATH
 ///   --tcp HOST:PORT      listen on TCP (PORT 0 = ephemeral, printed)
 ///   --workers N          worker threads (default 2; 0 = all cores)
-///   --queue-cap N        bounded request queue (default 64); overflow
-///                        answers BUSY
+///   --io-threads N       event-loop threads, each owning a shard of
+///                        the connections (default 1; 0 = all cores).
+///                        Workers are raised to at least this count.
+///   --queue-cap N        bounded request queue per shard (default 64);
+///                        overflow answers BUSY
 ///   --cache-dir D        enable the content-addressed bytecode cache
 ///   --cache-max-bytes N  LRU-evict the cache above N bytes
 ///   --fuel N             default per-request instruction budget
@@ -21,6 +24,10 @@
 ///   --deadline-ms N      default per-request wall-clock budget
 ///   --vm-gc M            request heap mode: gen (default) | semi
 ///   --vm-nursery-bytes N nursery size for generational request heaps
+///   --vm-pool on|off     warm-VM pool: repeat sources reuse a reset
+///                        VM instead of recompiling + re-preparing
+///                        (default on)
+///   --vm-pool-size N     warm VMs retained per worker (default 8)
 ///   --no-opt             compile without the optimizer
 ///   --stats-on-exit      print the final STATS JSON to stdout on drain
 ///
@@ -53,10 +60,11 @@ static void usage() {
   std::fprintf(
       stderr,
       "usage: virgild [--unix PATH] [--tcp HOST:PORT] [--workers N]\n"
-      "               [--queue-cap N] [--cache-dir D] "
-      "[--cache-max-bytes N]\n"
+      "               [--io-threads N] [--queue-cap N] [--cache-dir D]\n"
+      "               [--cache-max-bytes N]\n"
       "               [--fuel N] [--heap-max-bytes N] [--deadline-ms N]\n"
       "               [--vm-gc gen|semi] [--vm-nursery-bytes N]\n"
+      "               [--vm-pool on|off] [--vm-pool-size N]\n"
       "               [--no-opt] [--stats-on-exit]\n");
 }
 
@@ -99,6 +107,29 @@ int main(int Argc, char **Argv) {
       }
       Config.Workers =
           N == 0 ? (int)std::thread::hardware_concurrency() : (int)N;
+    } else if (Arg == "--io-threads" && I + 1 < Argc) {
+      if (!parseU64(Argv[++I], &N) || N > 64) {
+        std::fprintf(stderr, "virgild: bad --io-threads\n");
+        return 2;
+      }
+      Config.IoThreads =
+          N == 0 ? (int)std::thread::hardware_concurrency() : (int)N;
+    } else if (Arg == "--vm-pool" && I + 1 < Argc) {
+      std::string Mode = Argv[++I];
+      if (Mode == "on") {
+        Config.VmPool = true;
+      } else if (Mode == "off") {
+        Config.VmPool = false;
+      } else {
+        std::fprintf(stderr, "virgild: --vm-pool is on|off\n");
+        return 2;
+      }
+    } else if (Arg == "--vm-pool-size" && I + 1 < Argc) {
+      if (!parseU64(Argv[++I], &N) || N == 0 || N > 4096) {
+        std::fprintf(stderr, "virgild: bad --vm-pool-size\n");
+        return 2;
+      }
+      Config.VmPoolSize = (int)N;
     } else if (Arg == "--queue-cap" && I + 1 < Argc) {
       if (!parseU64(Argv[++I], &N) || N == 0) {
         std::fprintf(stderr, "virgild: bad --queue-cap\n");
@@ -184,8 +215,13 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "virgild: listening on tcp %s:%u\n",
                  Config.TcpHost.c_str(), S.tcpPort());
   std::fprintf(stderr,
-               "virgild: %d workers, queue cap %zu, cache %s\n",
-               Config.Workers, Config.QueueCap,
+               "virgild: %d io threads, %d workers, queue cap %zu/shard, "
+               "vm pool %s, cache %s\n",
+               Config.IoThreads,
+               Config.Workers < Config.IoThreads ? Config.IoThreads
+                                                 : Config.Workers,
+               Config.QueueCap,
+               Config.VmPool ? "on" : "off",
                Config.CacheDir.empty() ? "off"
                                        : Config.CacheDir.c_str());
 
