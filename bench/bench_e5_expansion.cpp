@@ -18,6 +18,7 @@
 #include "BenchUtil.h"
 #include "corpus/Corpus.h"
 #include "corpus/Generators.h"
+#include "vm/BytecodeSerializer.h"
 
 #include <cstdio>
 
@@ -73,6 +74,72 @@ class UnusedBox<T> { var v: T; new(v) { } }
 def main() -> int { return 7; }
 )");
 
+  // Sharing leg (E16): the same expansion pressure with ref-typed
+  // instantiations, compiled twice — specialization sharing off and on
+  // — and compared by post-normalization function/instruction counts
+  // and serialized module size. code_expansion_ratio (normalized
+  // instructions off / on) is the gated headline: it answers "how much
+  // of the monomorphization blow-up does sharing reclaim on ref-heavy
+  // generic code". Serialized bytes move less than instructions
+  // because the v2 serializer already back-references identical body
+  // blobs even when IR sharing is off.
+  std::printf("\n-- specialization sharing on ref instantiations "
+              "(E16) --\n");
+  std::printf("%-12s %7s %6s %8s %7s %10s %9s %7s\n", "workload",
+              "fn-off", "fn-on", "in-off", "in-on", "bytes-off",
+              "bytes-on", "ratio");
+  double HeadlineRatio = 0, HeadlineShareRatio = 0;
+  double HeadlineBytesRatio = 0;
+  for (int G : {1, 2, 4}) {
+    for (int I : {2, 4, 8}) {
+      std::string Src = corpus::genShareWorkload(G, I);
+      CompilerOptions Off, On;
+      Off.ShareSpecializations = false;
+      On.ShareSpecializations = true;
+      auto POff = compileOrDie(Src, Off);
+      auto POn = compileOrDie(Src, On);
+      const IrStats &SOff = POff->stats().NormIr;
+      const IrStats &SOn = POn->stats().NormIr;
+      size_t BytesOff = serializeModule(POff->bytecode()).size();
+      size_t BytesOn = serializeModule(POn->bytecode()).size();
+      double Ratio =
+          SOn.NumInstrs ? (double)SOff.NumInstrs / SOn.NumInstrs : 1.0;
+      std::printf("G=%d I=%d %12zu %6zu %8zu %7zu %10zu %9zu %6.2fx\n",
+                  G, I, SOff.NumFunctions, SOn.NumFunctions,
+                  SOff.NumInstrs, SOn.NumInstrs, BytesOff, BytesOn,
+                  Ratio);
+      if (G == 4 && I == 8) {
+        HeadlineRatio = Ratio;
+        HeadlineShareRatio = POn->stats().Share.shareRatio();
+        HeadlineBytesRatio =
+            BytesOn ? (double)BytesOff / BytesOn : 1.0;
+      }
+    }
+  }
+
+  // Runtime leg of the sharing story: identical throughput with
+  // sharing on and off (the merged bodies are observationally the
+  // same code), so the expansion win is free at run time.
+  std::string ShareHot = corpus::genShareWorkload(4, 8, 3000);
+  CompilerOptions ShOff, ShOn;
+  ShOff.ShareSpecializations = false;
+  ShOn.ShareSpecializations = true;
+  auto PShOff = compileOrDie(ShareHot, ShOff);
+  auto PShOn = compileOrDie(ShareHot, ShOn);
+  int ShIters = Opts.Quick ? 3 : 10;
+  int ShRounds = Opts.Quick ? 3 : 5;
+  VmThroughput TShOff = measureVmThroughput(*PShOff, ShIters, ShRounds);
+  VmThroughput TShOn = measureVmThroughput(*PShOn, ShIters, ShRounds);
+  std::printf("\n-- vm throughput on the shared workload (G=4 I=8 "
+              "reps=3000) --\n");
+  std::printf("%-12s %14s %16s\n", "sharing", "Minstr/s", "instrs/run");
+  std::printf("%-12s %14.1f %16llu\n", "off", TShOff.MinstrPerSec,
+              (unsigned long long)TShOff.Instrs);
+  std::printf("%-12s %14.1f %16llu   (same instruction stream, "
+              "smaller module)\n",
+              "on", TShOn.MinstrPerSec,
+              (unsigned long long)TShOn.Instrs);
+
   // Runtime leg: VM throughput over the expanded (G=4, I=8) code, with
   // main's instantiation calls repeated so the run is long enough to
   // measure. The headline is the *unoptimized* stream — E5 studies
@@ -106,6 +173,11 @@ def main() -> int { return 7; }
     J.metric("vm_minstr_per_sec_opt", TO.MinstrPerSec);
     J.metric("vm_instrs_per_run", (double)TN.Instrs);
     J.metric("vm_calls_per_run", (double)TN.Counters.Calls);
+    J.metric("code_expansion_ratio", HeadlineRatio);
+    J.metric("share_ratio", HeadlineShareRatio);
+    J.metric("serialized_bytes_ratio", HeadlineBytesRatio);
+    J.metric("vm_minstr_per_sec_share_off", TShOff.MinstrPerSec);
+    J.metric("vm_minstr_per_sec_share_on", TShOn.MinstrPerSec);
     J.write(Opts.JsonPath);
   }
   return 0;

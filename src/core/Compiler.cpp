@@ -9,8 +9,24 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 using namespace virgil;
+
+bool virgil::defaultMonoShareEnabled() {
+  // Read once per process: the CI share-stress lane flips the default
+  // for every compile in the binary without threading a flag through
+  // each construction site (same pattern as VIRGIL_VM_GC).
+  static const bool On = [] {
+    const char *E = std::getenv("VIRGIL_MONO_SHARE");
+    if (!E)
+      return true;
+    return !(std::string_view(E) == "off" || std::string_view(E) == "0" ||
+             std::string_view(E) == "false");
+  }();
+  return On;
+}
 
 namespace {
 
@@ -49,6 +65,7 @@ PhaseTimings &PhaseTimings::operator+=(const PhaseTimings &O) {
   OptMonoMs += O.OptMonoMs;
   NormMs += O.NormMs;
   OptNormMs += O.OptNormMs;
+  ShareMs += O.ShareMs;
   EmitMs += O.EmitMs;
   TotalMs += O.TotalMs;
   return *this;
@@ -58,10 +75,10 @@ std::string PhaseTimings::toString() const {
   char Buf[256];
   std::snprintf(Buf, sizeof(Buf),
                 "parse %.2fms sema %.2fms lower %.2fms mono %.2fms "
-                "opt-mono %.2fms norm %.2fms opt-norm %.2fms emit %.2fms "
-                "total %.2fms",
+                "opt-mono %.2fms norm %.2fms opt-norm %.2fms share %.2fms "
+                "emit %.2fms total %.2fms",
                 ParseMs, SemaMs, LowerMs, MonoMs, OptMonoMs, NormMs,
-                OptNormMs, EmitMs, TotalMs);
+                OptNormMs, ShareMs, EmitMs, TotalMs);
   return Buf;
 }
 
@@ -70,9 +87,10 @@ std::string PhaseTimings::toJson() const {
   std::snprintf(Buf, sizeof(Buf),
                 "{\"parse_ms\":%.3f,\"sema_ms\":%.3f,\"lower_ms\":%.3f,"
                 "\"mono_ms\":%.3f,\"opt_mono_ms\":%.3f,\"norm_ms\":%.3f,"
-                "\"opt_norm_ms\":%.3f,\"emit_ms\":%.3f,\"total_ms\":%.3f}",
+                "\"opt_norm_ms\":%.3f,\"share_ms\":%.3f,\"emit_ms\":%.3f,"
+                "\"total_ms\":%.3f}",
                 ParseMs, SemaMs, LowerMs, MonoMs, OptMonoMs, NormMs,
-                OptNormMs, EmitMs, TotalMs);
+                OptNormMs, ShareMs, EmitMs, TotalMs);
   return Buf;
 }
 
@@ -191,8 +209,22 @@ std::unique_ptr<Program> Compiler::compile(const std::string &Name,
   Timer.mark(&PhaseTimings::NormMs);
   if (Options.Optimize)
     P->Stats.OptAfterNorm = optimizeModule(*P->NormIr, Options.Opt);
-  P->Stats.NormIr = computeStats(*P->NormIr);
   Timer.mark(&PhaseTimings::OptNormMs);
+
+  // Share identical specializations (bounds §4.3 code expansion). Runs
+  // after every optimizer pass so the optimizer never sees merged
+  // bodies; NormIr stats are computed afterwards so E5 expansion
+  // numbers reflect what actually reaches the emitter.
+  if (Options.ShareSpecializations) {
+    P->Stats.Share = shareSpecializations(*P->NormIr);
+    if (Options.Verify) {
+      auto Problems = verifyModule(*P->NormIr);
+      if (!Problems.empty())
+        return internalFail(Problems, "specialization sharing");
+    }
+  }
+  P->Stats.NormIr = computeStats(*P->NormIr);
+  Timer.mark(&PhaseTimings::ShareMs);
 
   // Emit bytecode.
   P->Bytecode = emitBytecode(*P->NormIr);

@@ -33,6 +33,7 @@
 #include "interp/Interpreter.h"
 #include "ir/IrStats.h"
 #include "mono/Monomorphizer.h"
+#include "mono/ShareSpecializations.h"
 #include "normalize/Normalizer.h"
 #include "opt/PassManager.h"
 #include "sema/TypeChecker.h"
@@ -43,6 +44,10 @@
 
 namespace virgil {
 
+/// Process-wide default for specialization sharing, from
+/// VIRGIL_MONO_SHARE (on/1/true | off/0/false); on when unset.
+bool defaultMonoShareEnabled();
+
 struct CompilerOptions {
   /// Stop after lowering (Program keeps only the polymorphic IR).
   bool StopAfterLower = false;
@@ -52,6 +57,9 @@ struct CompilerOptions {
   /// Run the IR verifier between stages; internal errors become
   /// compile errors.
   bool Verify = true;
+  /// Merge specializations with identical normalized bodies after
+  /// opt-norm (bounds §4.3 code expansion; observationally invisible).
+  bool ShareSpecializations = defaultMonoShareEnabled();
 };
 
 /// Wall-clock milliseconds spent in each pipeline phase of one
@@ -65,6 +73,7 @@ struct PhaseTimings {
   double OptMonoMs = 0;
   double NormMs = 0;
   double OptNormMs = 0;
+  double ShareMs = 0;
   double EmitMs = 0;
   double TotalMs = 0;
 
@@ -78,6 +87,7 @@ struct PhaseTimings {
 
 struct PipelineStats {
   MonoStats Mono;
+  ShareStats Share;
   NormalizeStats Norm;
   OptStats OptAfterMono;
   OptStats OptAfterNorm;

@@ -189,6 +189,42 @@ std::string corpus::genExpansionWorkload(int Generics, int Insts,
   return OS.str();
 }
 
+std::string corpus::genShareWorkload(int Generics, int Insts, int Reps) {
+  std::ostringstream OS;
+  OS << "class List<T> {\n  var head: T;\n  var tail: List<T>;\n"
+     << "  new(head, tail) { }\n}\n";
+  // Distinct instantiation types are distinct *classes*: every ref
+  // instantiation of a traverser below gets the same normalized body.
+  for (int I = 0; I != Insts; ++I)
+    OS << "class C" << I << " { }\n";
+  for (int G = 0; G != Generics; ++G) {
+    // The per-G constant keeps the Generics traversers distinct from
+    // each other while every instantiation of one stays identical.
+    OS << "def walk" << G << "<T>(l: List<T>) -> int {\n"
+       << "  var c = 0;\n"
+       << "  for (k = l; k != null; k = k.tail) c = c + " << (G + 1)
+       << ";\n"
+       << "  return c;\n}\n";
+  }
+  OS << "def main() -> int {\n  var acc = 0;\n";
+  // Allocation stays in main (monomorphic context): the generic
+  // bodies only traverse, so sharing them is observationally safe and
+  // the Reps loop below allocates nothing.
+  for (int I = 0; I != Insts; ++I)
+    OS << "  var l" << I << " = List.new(C" << I << ".new(), List.new(C"
+       << I << ".new(), null));\n";
+  if (Reps > 1)
+    OS << "  for (rep = 0; rep < " << Reps << "; rep = rep + 1) {\n";
+  for (int G = 0; G != Generics; ++G)
+    for (int I = 0; I != Insts; ++I)
+      OS << "  acc = acc + walk" << G << "<C" << I << ">(l" << I
+         << ");\n";
+  if (Reps > 1)
+    OS << "  }\n";
+  OS << "  return acc;\n}\n";
+  return OS.str();
+}
+
 std::string corpus::genMatcherWorkload(int Handlers, int Iters) {
   std::ostringstream OS;
   OS << R"(

@@ -40,6 +40,17 @@ std::string genAdhocWorkload(int Cases, int Iters, bool Direct);
 /// executed-instruction count independently of the static expansion.
 std::string genExpansionWorkload(int Generics, int Insts, int Reps = 1);
 
+/// E16: \p Generics generic list traversers (no allocation inside the
+/// generic code) each instantiated at \p Insts distinct *class* types.
+/// Every ref instantiation of one traverser normalizes to the same
+/// body, so specialization sharing collapses the Generics x Insts
+/// specializations back to Generics — the best case the sharing pass
+/// exists for, and the workload behind the code_expansion_ratio gate.
+/// \p Reps wraps main's traversal calls in a loop for runtime sweeps
+/// (the hot loop allocates nothing, so throughput isolates call/body
+/// effects of sharing from GC noise).
+std::string genShareWorkload(int Generics, int Insts, int Reps = 1);
+
 /// E6: a polymorphic matcher with \p Handlers handlers dispatched
 /// \p Iters times.
 std::string genMatcherWorkload(int Handlers, int Iters);

@@ -135,6 +135,17 @@ ExecuteResponse Executor::run(const ExecuteRequest &Req, bool ExecuteVm,
     R.Message = JR.Error;
     return R;
   }
+  if (!JR.CacheHit) {
+    Mono.Compiles.fetch_add(1, std::memory_order_relaxed);
+    if (JR.Share.Enabled)
+      Mono.ShareEnabled.store(true, std::memory_order_relaxed);
+    Mono.FunctionsBefore.fetch_add(JR.Share.FunctionsBefore,
+                                   std::memory_order_relaxed);
+    Mono.FunctionsAfter.fetch_add(JR.Share.FunctionsAfter,
+                                  std::memory_order_relaxed);
+    Mono.BodiesShared.fetch_add(JR.Share.BodiesShared,
+                                std::memory_order_relaxed);
+  }
   if (!ExecuteVm)
     return R; // COMPILE: cache is populated, nothing to run
 

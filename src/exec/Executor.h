@@ -32,8 +32,24 @@
 #include "exec/VmPool.h"
 #include "server/Protocol.h"
 
+#include <atomic>
+
 namespace virgil {
 namespace exec {
+
+/// Monomorphization/sharing totals across every front-end run this
+/// executor performed (cache and pool hits contribute nothing — no
+/// front-end ran). Relaxed atomics: written by the owning worker,
+/// sampled by the STATS path on another thread.
+struct MonoShareCounters {
+  /// Jobs that actually compiled (the denominators below).
+  std::atomic<uint64_t> Compiles{0};
+  /// Whether any compiled job ran with sharing enabled.
+  std::atomic<bool> ShareEnabled{false};
+  std::atomic<uint64_t> FunctionsBefore{0};
+  std::atomic<uint64_t> FunctionsAfter{0};
+  std::atomic<uint64_t> BodiesShared{0};
+};
 
 struct ExecutorConfig {
   /// Default and maximum per-request quotas (same clamping rule as
@@ -69,6 +85,7 @@ public:
                               double *ExecuteMs);
 
   const VmPoolStats &poolStats() const { return Pool.stats(); }
+  const MonoShareCounters &monoStats() const { return Mono; }
   size_t poolSize() const { return Pool.size(); }
 
 private:
@@ -78,6 +95,7 @@ private:
   ExecutorConfig Config;
   CompileService &Service;
   VmPool Pool;
+  MonoShareCounters Mono;
 };
 
 } // namespace exec

@@ -92,12 +92,16 @@ StrategyRun crashed(const char *Name, const std::string &What) {
   return S;
 }
 
-/// Runs the four strategies of one compiled program, appending to
-/// \p Runs. \p Suffix distinguishes the no-opt pipeline.
+/// Runs the strategies of one compiled program, appending to \p Runs.
+/// \p Suffix distinguishes the no-opt and shared pipelines. With
+/// \p NormAndVmOnly only the stages sharing can affect run (the poly
+/// and mono IR are identical either way, so re-running them on the
+/// shared pipeline would test nothing).
 void runStrategies(Program &P, uint64_t MaxInstrs,
                    const VmOptions &VmOpts, bool VmPooled,
                    const std::string &Suffix,
-                   std::vector<StrategyRun> &Runs) {
+                   std::vector<StrategyRun> &Runs,
+                   bool NormAndVmOnly = false) {
   auto interpOn = [&](IrModule &M, const std::string &Name) {
     try {
       Interpreter I(M);
@@ -110,8 +114,10 @@ void runStrategies(Program &P, uint64_t MaxInstrs,
       Runs.push_back(crashed(Name.c_str(), "unknown exception"));
     }
   };
-  interpOn(P.polyIr(), "poly-interp" + Suffix);
-  interpOn(P.monoIr(), "mono-interp" + Suffix);
+  if (!NormAndVmOnly) {
+    interpOn(P.polyIr(), "poly-interp" + Suffix);
+    interpOn(P.monoIr(), "mono-interp" + Suffix);
+  }
   interpOn(P.normIr(), "norm-interp" + Suffix);
   std::string VmName = "vm" + Suffix;
   try {
@@ -152,9 +158,15 @@ void runStrategies(Program &P, uint64_t MaxInstrs,
 OracleReport DifferentialOracle::check(const std::string &Source) const {
   OracleReport Report;
 
-  auto compileOne = [&](bool Optimize) -> std::unique_ptr<Program> {
+  // With the mono+share strategy the baseline legs force sharing OFF
+  // (instead of following the process default) so the "/share" legs
+  // are a true on-vs-off differential.
+  auto compileOne = [&](bool Optimize,
+                        bool Share) -> std::unique_ptr<Program> {
     CompilerOptions Options;
     Options.Optimize = Optimize;
+    if (Config.MonoShare)
+      Options.ShareSpecializations = Share;
     Compiler C(Options);
     std::string Error;
     auto P = C.compile("fuzz", Source, &Error);
@@ -163,7 +175,7 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
     return P;
   };
 
-  auto P = compileOne(/*Optimize=*/true);
+  auto P = compileOne(/*Optimize=*/true, /*Share=*/false);
   if (!P) {
     Report.Kind = Outcome::CompileError;
     Report.Detail = "program failed to compile";
@@ -171,9 +183,20 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
   }
   runStrategies(*P, Config.MaxInstrs, Config.Vm, Config.VmPooled, "",
                 Report.Runs);
+  if (Config.MonoShare) {
+    auto PShare = compileOne(/*Optimize=*/true, /*Share=*/true);
+    if (!PShare) {
+      // Compiling must not depend on the sharing pass.
+      Report.Kind = Outcome::CompileError;
+      Report.Detail = "compiles without sharing but not with it";
+      return Report;
+    }
+    runStrategies(*PShare, Config.MaxInstrs, Config.Vm, Config.VmPooled,
+                  "/share", Report.Runs, /*NormAndVmOnly=*/true);
+  }
 
   if (Config.CompareNoOpt) {
-    auto PNoOpt = compileOne(/*Optimize=*/false);
+    auto PNoOpt = compileOne(/*Optimize=*/false, /*Share=*/false);
     if (!PNoOpt) {
       // Compiling the same source must not depend on the optimizer.
       Report.Kind = Outcome::CompileError;
@@ -182,6 +205,18 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
     }
     runStrategies(*PNoOpt, Config.MaxInstrs, Config.Vm, Config.VmPooled,
                   "/no-opt", Report.Runs);
+    if (Config.MonoShare) {
+      auto PNoOptShare = compileOne(/*Optimize=*/false, /*Share=*/true);
+      if (!PNoOptShare) {
+        Report.Kind = Outcome::CompileError;
+        Report.Detail = "compiles without sharing but not with it "
+                        "(no-opt)";
+        return Report;
+      }
+      runStrategies(*PNoOptShare, Config.MaxInstrs, Config.Vm,
+                    Config.VmPooled, "/no-opt/share", Report.Runs,
+                    /*NormAndVmOnly=*/true);
+    }
   }
 
   // Classify: crash > timeout > diag-divergence > value-divergence.

@@ -68,7 +68,7 @@ struct OracleReport {
   /// Rendered diagnostics when Kind == CompileError.
   std::string CompileError;
   /// Per-strategy observations; optimized runs first, then (when
-  /// CompareNoOpt) the unoptimized ones with a "/no-opt" suffix.
+  /// enabled) the "/share", "/no-opt", and "/no-opt/share" pipelines.
   std::vector<StrategyRun> Runs;
 
   bool diverged() const { return Kind != Outcome::Agree; }
@@ -93,6 +93,14 @@ struct OracleConfig {
   /// is a violation of the pool's observational-invisibility contract
   /// (src/exec/VmPool.h).
   bool VmPooled = false;
+  /// Adds "/share" strategies: the program is recompiled with
+  /// specialization sharing forced ON while the baseline legs force it
+  /// OFF, and the shared pipeline's norm-interp, vm (and vm+pool, when
+  /// VmPooled) runs must agree with everything else. Any divergence
+  /// breaks the sharing pass's observational-invisibility contract
+  /// (src/mono/ShareSpecializations.h). Applies to the no-opt pipeline
+  /// too when CompareNoOpt is set.
+  bool MonoShare = false;
 };
 
 class DifferentialOracle {

@@ -310,7 +310,12 @@ std::vector<Value> Interpreter::invokeClosure(const ClosureData &C,
     if (!Impl)
       trap(TrapKind::Unreachable, "abstract method");
     std::vector<Type *> ClassArgs;
-    if (Impl->OwnerClass && Impl->OwnerClass->Def) {
+    // Only generic owners contribute invisible type arguments. Post-mono
+    // Defs are fresh non-generic ClassDefs, and after specialization
+    // sharing the impl may be a representative whose owner is not on the
+    // receiver's chain at all — both cases need (and get) no args.
+    if (Impl->OwnerClass && Impl->OwnerClass->Def &&
+        !Impl->OwnerClass->Def->TypeParams.empty()) {
       ClassType *At = Rels.superAt(cast<ClassType>(Recv.obj()->DynType),
                                    Impl->OwnerClass->Def);
       assert(At && "dispatch owner not on chain");
@@ -634,7 +639,10 @@ std::vector<Value> Interpreter::exec(IrFunction *F,
         Final.push_back(CallArgs[0]);
         Final.insert(Final.end(), Rest.begin(), Rest.end());
         std::vector<Type *> ClassArgs;
-        if (Target->OwnerClass && Target->OwnerClass->Def) {
+        // Non-generic owners (all post-mono Defs, including shared
+        // representatives from another hierarchy) take no type args.
+        if (Target->OwnerClass && Target->OwnerClass->Def &&
+            !Target->OwnerClass->Def->TypeParams.empty()) {
           ClassType *At =
               Rels.superAt(cast<ClassType>(Recv.obj()->DynType),
                            Target->OwnerClass->Def);
@@ -688,7 +696,8 @@ std::vector<Value> Interpreter::exec(IrFunction *F,
               trap(TrapKind::Unreachable, "abstract method");
             Data->Fn = Impl;
             Data->TypeArgs.clear();
-            if (Impl->OwnerClass && Impl->OwnerClass->Def) {
+            if (Impl->OwnerClass && Impl->OwnerClass->Def &&
+                !Impl->OwnerClass->Def->TypeParams.empty()) {
               ClassType *At = Rels.superAt(
                   cast<ClassType>(Data->Bound->obj()->DynType),
                   Impl->OwnerClass->Def);

@@ -190,7 +190,9 @@ struct IrField {
 struct IrClass {
   uint32_t Id = 0;
   std::string Name;
-  ClassDef *Def = nullptr;   ///< Null after monomorphization.
+  /// The source definition pre-mono; a fresh non-generic ClassDef
+  /// (empty TypeParams) for post-mono specializations.
+  ClassDef *Def = nullptr;
   IrClass *Parent = nullptr; ///< Superclass or null.
   /// Type arguments this specialization was built with (post-mono).
   std::vector<Type *> MonoArgs;
@@ -210,6 +212,9 @@ public:
       : Name(std::move(Name)), Id(Id) {}
 
   uint32_t id() const { return Id; }
+  /// Re-ids the function after specialization sharing compacts the
+  /// module's function table (ids must stay table positions).
+  void renumber(uint32_t NewId) { Id = NewId; }
 
   std::string Name;
   /// The paper's invisible type parameters; empty after mono.
@@ -272,6 +277,10 @@ struct IrModule {
   IrFunction *Init = nullptr; ///< Runs global initializers.
   bool Monomorphized = false;
   bool Normalized = false;
+  /// Specialization sharing has merged identical bodies: function
+  /// metadata (Name/Slot/OwnerClass/source types) belongs to the
+  /// equivalence representative, and optimizer passes must not run.
+  bool Shared = false;
 
   IrFunction *newFunction(std::string Name) {
     auto *F = Nodes.make<IrFunction>((uint32_t)Functions.size(),

@@ -27,13 +27,36 @@ bool containsTuple(const Type *T) {
   }
 }
 
+/// Representation class of one register slot, mirrored from the VM's
+/// SlotKind classification (kept local: ir/ must not depend on vm/).
+/// After normalization every register is a scalar, a reference, or a
+/// closure, and shared bodies must agree on this exactly — the GC scans
+/// frames by these kinds.
+enum class RegKind : uint8_t { Scalar, Ref, Closure };
+
+RegKind regKindOf(const Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Class:
+  case TypeKind::Array:
+    return RegKind::Ref;
+  case TypeKind::Function:
+    return RegKind::Closure;
+  default:
+    return RegKind::Scalar;
+  }
+}
+
 class Verifier {
 public:
   explicit Verifier(const IrModule &M) : M(M) {}
 
   std::vector<std::string> run() {
     for (const IrFunction *F : M.Functions)
+      Members.insert(F);
+    for (const IrFunction *F : M.Functions)
       verifyFunction(*F);
+    if (M.Shared)
+      verifySharedModule();
     return std::move(Problems);
   }
 
@@ -119,9 +142,65 @@ private:
       problem(F, "call/closure without a callee");
     if (!M.Normalized && !I.Dsts.empty() && I.Dsts.size() != 1)
       problem(F, "multi-result instruction before normalization");
+    // Post-normalization calling conventions are concrete scalars, so
+    // direct calls must match their callee exactly — and once sharing
+    // has redirected callees to representatives, kind-compatibility is
+    // the invariant that keeps merged bodies GC- and ABI-safe.
+    if (M.Normalized && I.Op == Opcode::CallFunc && I.Callee) {
+      const IrFunction &C = *I.Callee;
+      if (I.Args.size() != C.NumParams)
+        problem(F, "direct call arity mismatch with callee '" + C.Name +
+                       "'");
+      if (I.Dsts.size() != C.RetTypes.size())
+        problem(F, "direct call result count mismatch with callee '" +
+                       C.Name + "'");
+      for (size_t K = 0; K != I.Args.size() && K < C.NumParams; ++K)
+        if (I.Args[K] < F.RegTypes.size() &&
+            regKindOf(F.RegTypes[I.Args[K]]) != regKindOf(C.RegTypes[K]))
+          problem(F, "direct call argument " + std::to_string(K) +
+                         " slot kind mismatch with callee '" + C.Name +
+                         "'");
+      for (size_t K = 0; K != I.Dsts.size() && K < C.RetTypes.size(); ++K)
+        if (I.Dsts[K] < F.RegTypes.size() &&
+            regKindOf(F.RegTypes[I.Dsts[K]]) != regKindOf(C.RetTypes[K]))
+          problem(F, "direct call result " + std::to_string(K) +
+                         " slot kind mismatch with callee '" + C.Name +
+                         "'");
+    }
+    if (M.Normalized && I.Op == Opcode::MakeClosure && I.Callee &&
+        I.Args.size() > I.Callee->NumParams)
+      problem(F, "closure binds more values than callee '" +
+                     I.Callee->Name + "' has parameters");
+    if (M.Shared && (I.Op == Opcode::CallFunc ||
+                     I.Op == Opcode::MakeClosure) &&
+        I.Callee && !Members.count(I.Callee))
+      problem(F, "callee '" + I.Callee->Name +
+                     "' dropped from the shared module (redirect to a "
+                     "representative missed it)");
+  }
+
+  /// Shared-module global invariants: every vtable entry and entry
+  /// point survived compaction, and function ids are table positions
+  /// (the emitter indexes bytecode functions by id).
+  void verifySharedModule() {
+    for (size_t I = 0; I != M.Functions.size(); ++I)
+      if (M.Functions[I]->id() != I)
+        problem(*M.Functions[I],
+                "function id is not its table position after sharing");
+    for (const IrClass *C : M.Classes)
+      for (const IrFunction *Entry : C->VTable)
+        if (Entry && !Members.count(Entry))
+          Problems.push_back("class '" + C->Name +
+                             "' vtable entry dropped from the shared "
+                             "module");
+    if (M.Main && !Members.count(M.Main))
+      Problems.push_back("main dropped from the shared module");
+    if (M.Init && !Members.count(M.Init))
+      Problems.push_back("$init dropped from the shared module");
   }
 
   const IrModule &M;
+  std::set<const IrFunction *> Members;
   std::vector<std::string> Problems;
 };
 

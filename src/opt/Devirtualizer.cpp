@@ -34,6 +34,13 @@ size_t virgil::devirtualize(IrModule &M, OptStats &Stats) {
   // only sound once monomorphization has erased them.
   if (!M.Monomorphized)
     return 0;
+  // After specialization sharing, vtable entries are equivalence
+  // representatives: turning a virtual call into a direct call would be
+  // behaviorally sound (identical bodies) but would bypass the shared
+  // redirect invariants the verifier enforces, so the pass declines —
+  // sharing runs after the optimizer by construction anyway.
+  if (M.Shared)
+    return 0;
   for (IrFunction *F : M.Functions) {
     for (IrBlock *B : F->Blocks) {
       for (IrInstr *I : B->Instrs) {

@@ -118,6 +118,12 @@ void inlineAt(IrModule &M, IrFunction *F, IrBlock *B, size_t Pos) {
 
 size_t virgil::inlineCalls(IrModule &M, size_t InstrLimit, OptStats &Stats) {
   size_t Changes = 0;
+  // Specialization sharing runs after the last optimizer round; a
+  // shared module's register *types* are the representative's and may
+  // not match a caller's static view, so inlining (which splices callee
+  // registers into the caller by type) must never see one.
+  if (M.Shared)
+    return 0;
   for (IrFunction *F : M.Functions) {
     // One inline per block scan; repeated pass-manager rounds pick up
     // the rest. Bounded to keep a single round linear-ish.

@@ -90,7 +90,8 @@ void ServerMetrics::onRequestDone(int Worker, bool IsExecute, Outcome O,
 std::string ServerMetrics::toJson(double UptimeMs, size_t QueueDepth,
                                   size_t QueueCap, size_t ActiveConns,
                                   const std::string &CacheJson,
-                                  const std::string &ExecJson) const {
+                                  const std::string &ExecJson,
+                                  const std::string &MonoJson) const {
   // Merge every shard into one flat aggregate, locking each shard only
   // for its own copy-out. Per-worker stats are captured alongside.
   MetricsShard Agg;
@@ -199,6 +200,8 @@ std::string ServerMetrics::toJson(double UptimeMs, size_t QueueDepth,
 
   if (!ExecJson.empty())
     J += ",\"exec\":" + ExecJson;
+  if (!MonoJson.empty())
+    J += ",\"mono\":" + MonoJson;
   if (!CacheJson.empty())
     J += ",\"cache\":" + CacheJson;
   J += "}";

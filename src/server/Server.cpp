@@ -593,15 +593,49 @@ std::string Server::statsJson() const {
         "{\"hits\":%llu,\"misses\":%llu,\"stores\":%llu,"
         "\"hit_rate_pct\":%.1f,\"corrupt_evictions\":%llu,"
         "\"version_evictions\":%llu,\"capacity_evictions\":%llu,"
-        "\"disk_bytes\":%llu,\"max_bytes\":%llu}",
+        "\"disk_bytes\":%llu,\"max_bytes\":%llu,"
+        "\"shared_bodies\":%llu,\"cache_bytes_saved\":%llu}",
         (unsigned long long)CS.Hits, (unsigned long long)CS.Misses,
         (unsigned long long)CS.Stores, HitPct,
         (unsigned long long)CS.CorruptEvictions,
         (unsigned long long)CS.VersionEvictions,
         (unsigned long long)CS.CapacityEvictions,
         (unsigned long long)Cache->diskBytes(),
-        (unsigned long long)Cache->maxBytes());
+        (unsigned long long)Cache->maxBytes(),
+        (unsigned long long)CS.SharedBodies,
+        (unsigned long long)CS.CacheBytesSaved);
     CacheJson = Buf;
+  }
+
+  // Mono section: monomorphization/sharing totals across every
+  // front-end run any worker performed. Relaxed atomics, safe to
+  // sample here; cache and pool hits contribute nothing (by design —
+  // their front-end never ran).
+  std::string MonoJson;
+  {
+    uint64_t Compiles = 0, FnsBefore = 0, FnsAfter = 0, Bodies = 0;
+    bool ShareOn = false;
+    for (const auto &E : Execs) {
+      const exec::MonoShareCounters &MS = E->monoStats();
+      Compiles += MS.Compiles.load(std::memory_order_relaxed);
+      ShareOn |= MS.ShareEnabled.load(std::memory_order_relaxed);
+      FnsBefore += MS.FunctionsBefore.load(std::memory_order_relaxed);
+      FnsAfter += MS.FunctionsAfter.load(std::memory_order_relaxed);
+      Bodies += MS.BodiesShared.load(std::memory_order_relaxed);
+    }
+    double Ratio = FnsAfter ? (double)FnsBefore / (double)FnsAfter : 1.0;
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"share_enabled\":%s,\"compiles\":%llu,"
+                  "\"functions_before_share\":%llu,"
+                  "\"functions_after_share\":%llu,"
+                  "\"bodies_shared\":%llu,\"share_ratio\":%.2f}",
+                  ShareOn ? "true" : "false",
+                  (unsigned long long)Compiles,
+                  (unsigned long long)FnsBefore,
+                  (unsigned long long)FnsAfter,
+                  (unsigned long long)Bodies, Ratio);
+    MonoJson = Buf;
   }
 
   // Exec section: warm-VM pool totals across workers + the front-end
@@ -646,5 +680,5 @@ std::string Server::statsJson() const {
     Active += S->ActiveConns.load(std::memory_order_relaxed);
   size_t Cap = Config.QueueCap * (Shards.empty() ? 1 : Shards.size());
   return Metrics.toJson(msSince(StartTime), Depth, Cap, Active, CacheJson,
-                        ExecJson);
+                        ExecJson, MonoJson);
 }

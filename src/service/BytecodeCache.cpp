@@ -55,7 +55,8 @@ uint64_t BytecodeCache::keyFor(std::string_view Source,
                  (uint64_t)O.Opt.CopyProp << 4 | (uint64_t)O.Opt.Dce << 5 |
                  (uint64_t)O.Opt.Inline << 6 |
                  (uint64_t)O.Opt.Devirtualize << 7 |
-                 (uint64_t)O.Opt.DeadFields << 8);
+                 (uint64_t)O.Opt.DeadFields << 8 |
+                 (uint64_t)O.ShareSpecializations << 9);
   hashU64(H, O.Opt.Rounds);
   hashU64(H, O.Opt.InlineInstrLimit);
   hashU64(H, Source.size());
@@ -108,7 +109,8 @@ std::unique_ptr<LoadedModule> BytecodeCache::load(uint64_t Key) {
 }
 
 bool BytecodeCache::store(uint64_t Key, const BcModule &M) {
-  std::string Bytes = serializeModule(M, Version);
+  SerializeStats SS;
+  std::string Bytes = serializeModule(M, Version, &SS);
   std::string Path = entryPath(Key);
   // Unique temp name per thread so concurrent stores of the same key
   // never interleave; rename makes the entry visible atomically.
@@ -132,6 +134,8 @@ bool BytecodeCache::store(uint64_t Key, const BcModule &M) {
   {
     std::lock_guard<std::mutex> Lock(Mu);
     ++S.Stores;
+    S.SharedBodies += SS.SharedBodies;
+    S.CacheBytesSaved += SS.BytesSaved;
   }
   if (MaxBytes)
     enforceMaxBytes();

@@ -43,6 +43,11 @@ struct CacheStats {
   /// Entries deleted to keep the cache under its byte cap (LRU).
   uint64_t CapacityEvictions = 0;
   uint64_t Stores = 0;
+  /// Function bodies stored as back-references across all stores
+  /// (serializer-level dedup on top of IR specialization sharing).
+  uint64_t SharedBodies = 0;
+  /// Bytes the body back-references kept off the disk.
+  uint64_t CacheBytesSaved = 0;
 };
 
 class BytecodeCache {

@@ -61,6 +61,8 @@ JobResult CompileService::compileOne(const CompileJob &Job) {
     return R;
   }
   R.Timings = P->stats().Timings;
+  R.MonoExpansion = P->stats().Mono.functionExpansion();
+  R.Share = P->stats().Share;
   if (Cache && P->hasBytecode())
     Cache->store(Key, P->bytecode());
   R.Ok = true;
@@ -108,6 +110,7 @@ CompileService::compileBatch(const std::vector<CompileJob> &Jobs) {
       (R.CacheHit ? S.Hits : S.Misses)++;
     S.TotalJobMs += R.Ms;
     S.Phases += R.Timings;
+    S.Share += R.Share;
   }
   LastBatch = S;
   return Results;

@@ -88,6 +88,11 @@ struct JobResult {
   double Ms = 0;
   /// Per-phase compile timings; all zero on a cache hit (nothing ran).
   PhaseTimings Timings;
+  /// Monomorphization function expansion (output/input functions) of
+  /// this job; 1.0 on a cache hit (the front-end never ran).
+  double MonoExpansion = 1.0;
+  /// Specialization-sharing stats of this job; zero on a cache hit.
+  ShareStats Share;
   std::unique_ptr<CompiledUnit> Unit;
 };
 
@@ -103,6 +108,9 @@ struct BatchStats {
   double TotalJobMs = 0;
   /// Summed phase timings across all jobs that actually compiled.
   PhaseTimings Phases;
+  /// Summed sharing stats across all jobs that actually compiled
+  /// (cache hits contribute nothing — their front-end never ran).
+  ShareStats Share;
 
   /// Hit rate in percent over jobs that consulted the cache.
   double hitRatePct() const {

@@ -50,6 +50,8 @@ public:
     u32((uint32_t)S.size());
     Out.append(S);
   }
+  /// Appends pre-encoded bytes verbatim (body-blob dedup).
+  void raw(const std::string &S) { Out.append(S); }
   std::string take() { return std::move(Out); }
 
 private:
@@ -450,7 +452,8 @@ bool readSlotKinds(Reader &R, std::vector<SlotKind> &Kinds) {
   return R.ok();
 }
 
-void writePayload(Writer &W, const BcModule &M, const TypeGraph &G) {
+void writePayload(Writer &W, const BcModule &M, const TypeGraph &G,
+                  SerializeStats *StatsOut) {
   W.u32((uint32_t)M.Strings.size());
   for (const std::string &S : M.Strings)
     W.str(S);
@@ -474,29 +477,53 @@ void writePayload(Writer &W, const BcModule &M, const TypeGraph &G) {
       W.i32(F);
   }
 
+  // Functions: per-function metadata always inline; the body blob
+  // (registers, code, call descriptors) is written once per distinct
+  // byte sequence and back-referenced afterwards. On top of the IR-
+  // level specialization sharing this is a pure storage encoding —
+  // byte-identical bodies that must keep distinct identities (closure
+  // callees, vtable targets of bound-virtual closures) still collapse
+  // on disk while reconstructing as separate functions on load.
   W.u32((uint32_t)M.Functions.size());
+  std::map<std::string, uint32_t> BodyIndex;
   for (const BcFunction &F : M.Functions) {
-    W.str(F.Name);
-    W.u32(F.NumRegs);
-    W.u32(F.NumParams);
-    W.u32(F.NumRets);
-    writeSlotKinds(W, F.RegKinds);
-    W.u32((uint32_t)F.Code.size());
+    Writer BodyW;
+    BodyW.u32(F.NumRegs);
+    BodyW.u32(F.NumParams);
+    BodyW.u32(F.NumRets);
+    writeSlotKinds(BodyW, F.RegKinds);
+    BodyW.u32((uint32_t)F.Code.size());
     for (const BcInstr &I : F.Code) {
-      W.u8((uint8_t)I.Op);
-      W.i32(I.A);
-      W.i32(I.B);
-      W.i32(I.C);
-      W.i64(I.Imm);
+      BodyW.u8((uint8_t)I.Op);
+      BodyW.i32(I.A);
+      BodyW.i32(I.B);
+      BodyW.i32(I.C);
+      BodyW.i64(I.Imm);
     }
-    W.u32((uint32_t)F.Descs.size());
+    BodyW.u32((uint32_t)F.Descs.size());
     for (const CallDesc &D : F.Descs) {
-      W.u32((uint32_t)D.Args.size());
+      BodyW.u32((uint32_t)D.Args.size());
       for (uint16_t A : D.Args)
-        W.u32(A);
-      W.u32((uint32_t)D.Dsts.size());
+        BodyW.u32(A);
+      BodyW.u32((uint32_t)D.Dsts.size());
       for (uint16_t A : D.Dsts)
-        W.u32(A);
+        BodyW.u32(A);
+    }
+    std::string Blob = BodyW.take();
+
+    W.str(F.Name);
+    auto It = BodyIndex.emplace(std::move(Blob),
+                                (uint32_t)(&F - &M.Functions[0]));
+    if (It.second) {
+      W.u8(0); // inline body
+      W.raw(It.first->first);
+    } else {
+      W.u8(1); // back-reference to an earlier identical body
+      W.u32(It.first->second);
+      if (StatsOut) {
+        ++StatsOut->SharedBodies;
+        StatsOut->BytesSaved += It.first->first.size() - 4;
+      }
     }
     W.i32(F.Slot);
     W.i32(F.OwnerClassId);
@@ -639,40 +666,65 @@ bool readPayload(Reader &R, TypeStore &Store, BcModule &M) {
   for (uint32_t I = 0; R.ok() && I != NumFuncs; ++I) {
     BcFunction F;
     F.Name = R.str();
-    F.NumRegs = R.u32();
-    F.NumParams = R.u32();
-    F.NumRets = R.u32();
-    if (!readSlotKinds(R, F.RegKinds))
-      return false;
-    if (R.ok() && (F.RegKinds.size() != F.NumRegs ||
-                   F.NumParams > F.NumRegs)) {
-      R.fail("inconsistent register counts");
+    uint8_t BodyFlag = R.u8();
+    if (R.ok() && BodyFlag > 1) {
+      R.fail("invalid function body flag");
       return false;
     }
-    uint32_t NumInstrs = R.count(21);
-    F.Code.reserve(NumInstrs);
-    for (uint32_t J = 0; R.ok() && J != NumInstrs; ++J) {
-      BcInstr In;
-      uint8_t Op = R.u8();
-      if (Op > (uint8_t)BcOp::TrapOp) {
-        R.fail("invalid opcode");
+    if (BodyFlag == 1) {
+      // Deduped body: copy the registers/code/descriptors of an
+      // earlier function. Only backward references are legal, so the
+      // source is always fully decoded already.
+      uint32_t Ref = R.u32();
+      if (R.ok() && Ref >= I) {
+        R.fail("body back-reference is not backward");
         return false;
       }
-      In.Op = (BcOp)Op;
-      In.A = R.i32();
-      In.B = R.i32();
-      In.C = R.i32();
-      In.Imm = R.i64();
-      F.Code.push_back(In);
-    }
-    uint32_t NumDescs = R.count(8);
-    F.Descs.reserve(NumDescs);
-    for (uint32_t J = 0; R.ok() && J != NumDescs; ++J) {
-      CallDesc D;
-      if (!readDescRegs(R, F.NumRegs, D.Args) ||
-          !readDescRegs(R, F.NumRegs, D.Dsts))
+      if (R.ok()) {
+        const BcFunction &Src = M.Functions[Ref];
+        F.NumRegs = Src.NumRegs;
+        F.NumParams = Src.NumParams;
+        F.NumRets = Src.NumRets;
+        F.RegKinds = Src.RegKinds;
+        F.Code = Src.Code;
+        F.Descs = Src.Descs;
+      }
+    } else {
+      F.NumRegs = R.u32();
+      F.NumParams = R.u32();
+      F.NumRets = R.u32();
+      if (!readSlotKinds(R, F.RegKinds))
         return false;
-      F.Descs.push_back(std::move(D));
+      if (R.ok() && (F.RegKinds.size() != F.NumRegs ||
+                     F.NumParams > F.NumRegs)) {
+        R.fail("inconsistent register counts");
+        return false;
+      }
+      uint32_t NumInstrs = R.count(21);
+      F.Code.reserve(NumInstrs);
+      for (uint32_t J = 0; R.ok() && J != NumInstrs; ++J) {
+        BcInstr In;
+        uint8_t Op = R.u8();
+        if (Op > (uint8_t)BcOp::TrapOp) {
+          R.fail("invalid opcode");
+          return false;
+        }
+        In.Op = (BcOp)Op;
+        In.A = R.i32();
+        In.B = R.i32();
+        In.C = R.i32();
+        In.Imm = R.i64();
+        F.Code.push_back(In);
+      }
+      uint32_t NumDescs = R.count(8);
+      F.Descs.reserve(NumDescs);
+      for (uint32_t J = 0; R.ok() && J != NumDescs; ++J) {
+        CallDesc D;
+        if (!readDescRegs(R, F.NumRegs, D.Args) ||
+            !readDescRegs(R, F.NumRegs, D.Dsts))
+          return false;
+        F.Descs.push_back(std::move(D));
+      }
     }
     F.Slot = R.i32();
     F.OwnerClassId = R.i32();
@@ -734,12 +786,13 @@ LoadedModule::LoadedModule()
 LoadedModule::~LoadedModule() = default;
 
 std::string virgil::serializeModule(const BcModule &M,
-                                    uint32_t FormatVersion) {
+                                    uint32_t FormatVersion,
+                                    SerializeStats *StatsOut) {
   TypeGraph G;
   G.collect(M);
 
   Writer Payload;
-  writePayload(Payload, M, G);
+  writePayload(Payload, M, G, StatsOut);
   std::string Body = Payload.take();
 
   Writer W;

@@ -36,7 +36,17 @@ namespace virgil {
 
 /// Version of the on-disk bytecode format. Bump on ANY layout change;
 /// readers reject mismatched versions and the cache recompiles.
-constexpr uint32_t kBcFormatVersion = 1;
+/// v2: per-function body flag byte — identical body blobs (registers,
+/// code, call descriptors) are written once and back-referenced.
+constexpr uint32_t kBcFormatVersion = 2;
+
+/// What body dedup saved in one serializeModule call (cache counters).
+struct SerializeStats {
+  /// Functions whose body was written as a back-reference.
+  uint64_t SharedBodies = 0;
+  /// Bytes the back-references saved versus inline bodies.
+  uint64_t BytesSaved = 0;
+};
 
 /// A BcModule deserialized from bytes. Owns the TypeStore backing the
 /// module's type table (casts/queries on first-class functions consult
@@ -61,8 +71,10 @@ private:
 };
 
 /// Serializes \p M with header, \p FormatVersion, and payload checksum.
+/// \p StatsOut (optional) accumulates body-dedup savings.
 std::string serializeModule(const BcModule &M,
-                            uint32_t FormatVersion = kBcFormatVersion);
+                            uint32_t FormatVersion = kBcFormatVersion,
+                            SerializeStats *StatsOut = nullptr);
 
 /// Deserializes \p Bytes; returns null on truncation, corruption, or a
 /// format version other than \p ExpectVersion (reason in \p ErrorOut).

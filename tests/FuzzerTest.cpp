@@ -328,6 +328,23 @@ TEST(FuzzDriver, PooledVmSweepIsClean) {
   EXPECT_EQ(Summary.SeedsRun, 200u);
 }
 
+// Sharing sweep: every seed also recompiles with specialization
+// sharing forced on (the baseline legs force it off) and runs the
+// shared pipeline's norm-interp and VM legs. Any divergence — value,
+// output, or trap diagnostic — breaks the sharing pass's
+// observational-invisibility contract
+// (src/mono/ShareSpecializations.h), so this is the fuzz-strength
+// backstop behind --mono-share and the CI share-stress lane.
+TEST(FuzzDriver, MonoShareSweepIsClean) {
+  FuzzOptions Options;
+  Options.Seeds = 200;
+  Options.Reduce = false;
+  Options.Oracle.MonoShare = true;
+  FuzzSummary Summary = Fuzzer(Options).run();
+  EXPECT_TRUE(Summary.clean()) << Summary.toJson();
+  EXPECT_EQ(Summary.SeedsRun, 200u);
+}
+
 // Engine-config differential: the same random programs under switch
 // dispatch, threaded dispatch, and the plain (unfused, uncached)
 // stream must agree on every observable including the executed

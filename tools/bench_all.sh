@@ -141,6 +141,40 @@ print(f"perf gate: e8_alloc_gc {gc_key} = {gc_have:.2f}x, "
 if gc_have < gc_want:
     print("FAIL: generational allocation speedup below baseline floor")
     sys.exit(1)
+# Specialization-sharing gate: normalized-instruction expansion
+# reclaimed by the sharing pass on the ref-heavy E16 workload. A
+# same-process ratio of two static instruction counts — fully
+# deterministic, so it gates at the baseline floor exactly. Guards
+# both the pass (stops merging -> ratio drops to 1.0) and the
+# workload (stops exercising ref instantiations -> ratio collapses).
+share_key = "code_expansion_ratio"
+share_have = cur.get("e5_expansion", {}).get(share_key)
+share_want = base.get("e5_expansion", {}).get(share_key)
+if share_have is None or share_want is None:
+    print("FAIL: e5_expansion %s missing from results or baseline"
+          % share_key)
+    sys.exit(1)
+print(f"perf gate: e5_expansion {share_key} = {share_have:.2f}x, "
+      f"floor {share_want:.2f}x")
+if share_have < share_want:
+    print("FAIL: specialization sharing reclaims less code expansion "
+          "than baseline")
+    sys.exit(1)
+# Sharing must be performance-neutral at run time: the merged bodies
+# are the same instruction stream, so share-on throughput staying
+# within noise of share-off is part of the invisibility contract.
+# 30% slack, same as the absolute-throughput gate above.
+sh_on = cur.get("e5_expansion", {}).get("vm_minstr_per_sec_share_on")
+sh_off = cur.get("e5_expansion", {}).get("vm_minstr_per_sec_share_off")
+if sh_on is None or sh_off is None:
+    print("FAIL: e5_expansion share on/off throughput missing")
+    sys.exit(1)
+print(f"perf gate: e5_expansion share on/off Minstr/s = "
+      f"{sh_on:.1f}/{sh_off:.1f}")
+if sh_on < sh_off * 0.70:
+    print("FAIL: sharing-on VM throughput regressed more than 30% vs "
+          "sharing-off in the same run")
+    sys.exit(1)
 print("perf gate: ok")
 EOF
 fi

@@ -21,8 +21,26 @@ set -euo pipefail
 
 VIRGILD="$1"
 VIRGIL_LOAD="$2"
-WORK="${3:-$(mktemp -d)}"
+# A caller-provided workdir is left in place for post-mortems; one we
+# created ourselves is removed on every exit path.
+if [ $# -ge 3 ]; then
+  WORK="$3"
+  CLEAN_WORK=""
+else
+  WORK="$(mktemp -d)"
+  CLEAN_WORK="$WORK"
+fi
 mkdir -p "$WORK"
+
+DPID=""
+NPID=""
+cleanup() {
+  [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+  [ -n "$NPID" ] && kill -9 "$NPID" 2>/dev/null || true
+  [ -n "$CLEAN_WORK" ] && rm -rf "$CLEAN_WORK"
+  return 0
+}
+trap cleanup EXIT
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
 
@@ -45,7 +63,6 @@ wait_ready() {
   --vm-pool on --vm-pool-size 8 --cache-dir "$WORK/cache" \
   --cache-max-bytes $((4 * 1024 * 1024)) 2> "$WORK/daemon.log" &
 DPID=$!
-trap 'kill -9 $DPID 2>/dev/null || true' EXIT
 SOCK="$WORK/virgild.sock"
 
 wait_ready "$SOCK" || { cat "$WORK/daemon.log" >&2; fail "daemon never became ready on $SOCK"; }
@@ -59,7 +76,6 @@ echo "== same load with the VM pool off must also be all-Ok =="
 "$VIRGILD" --unix "$WORK/nopool.sock" --workers 2 --io-threads 1 \
   --vm-pool off --cache-dir "$WORK/cache-nopool" 2> "$WORK/nopool.log" &
 NPID=$!
-trap 'kill -9 $DPID $NPID 2>/dev/null || true' EXIT
 wait_ready "$WORK/nopool.sock" \
   || { cat "$WORK/nopool.log" >&2; fail "no-pool daemon never became ready"; }
 "$VIRGIL_LOAD" --unix "$WORK/nopool.sock" --conns 8 --requests 200 \
@@ -67,6 +83,7 @@ wait_ready "$WORK/nopool.sock" \
   || fail "no-pool load did not complete cleanly"
 kill -TERM $NPID
 wait $NPID || fail "no-pool daemon did not drain cleanly on SIGTERM"
+NPID=""
 
 echo "== runaway program must come back as a structured timeout =="
 cat > "$WORK/spin.v3" <<'EOF'
@@ -95,6 +112,6 @@ wait $DPID || DEXIT=$?
 }
 grep -q "clean shutdown" "$WORK/daemon.log" \
   || fail "daemon log is missing the clean-shutdown marker"
-trap - EXIT
+DPID=""
 
 echo "server smoke: ok"

@@ -12,6 +12,8 @@
 ///   --dump-norm     print the normalized (optimized) IR
 ///   --stats         print pipeline statistics (including phase timings)
 ///   --no-opt        disable the optimizer
+///   --mono-share on|off  force specialization sharing (default: the
+///                   VIRGIL_MONO_SHARE environment setting, on)
 ///   -e <source>     compile <source> text instead of a file
 ///
 /// `virgilc batch [options] <files...>` — compiles many programs
@@ -24,9 +26,12 @@
 ///   --run           also execute each compiled module on the VM
 ///   --stats         print aggregate per-phase compile timings
 ///   --no-opt        disable the optimizer
+///   --mono-share on|off  force specialization sharing
 ///
-/// Per-job status lines are followed by an aggregate summary and a
-/// machine-readable JSON line (hit rate, wall time) for scripts.
+/// Per-job status lines (with mono-expansion and sharing metrics on
+/// cache misses) are followed by an aggregate summary and a
+/// machine-readable JSON line (hit rate, wall time, bodies shared) for
+/// scripts.
 /// Batch exit codes are distinct per error route: 0 success, 1 compile
 /// failure, 2 usage error, 3 unreadable input, 4 runtime trap.
 ///
@@ -51,6 +56,11 @@
 ///                    runs on a snapshot-reset reused VM, which must
 ///                    match the fresh VM exactly (the warm-pool
 ///                    invisibility contract)
+///   --mono-share     add the "mono+share" strategy: each program is
+///                    recompiled with specialization sharing forced on
+///                    (baseline legs force it off) and the shared
+///                    pipeline's norm-interp/vm legs must agree (the
+///                    sharing invisibility contract)
 ///
 /// Fuzz exit codes: 0 all seeds agree, 1 divergences found, 2 usage.
 ///
@@ -77,16 +87,16 @@ static void usage() {
                "--dump-mono|--dump-norm] [--stats] [--vm-stats] "
                "[--vm-dispatch auto|switch|threaded] "
                "[--vm-gc gen|semi] [--vm-nursery-bytes N] [--no-opt] "
-               "(file.v3 | -e <source>)\n"
+               "[--mono-share on|off] (file.v3 | -e <source>)\n"
                "       virgilc batch [--jobs N] [--cache-dir D] "
                "[--cache-max-bytes N] [--run] [--stats] [--no-opt] "
-               "<files...>\n"
+               "[--mono-share on|off] <files...>\n"
                "       virgilc fuzz [--seeds N] [--start-seed K] "
                "[--time-budget S] [--out-dir D] [--fuel N]\n"
                "                    [--no-reduce] [--no-opt-compare] "
                "[--gen-off FEATURE] [--verbose]\n"
                "                    [--vm-gc gen|semi] "
-               "[--vm-nursery-bytes N] [--vm-pool]\n");
+               "[--vm-nursery-bytes N] [--vm-pool] [--mono-share]\n");
 }
 
 static bool readWholeFile(const std::string &Path, std::string &Out) {
@@ -126,6 +136,30 @@ static int parseVmGcFlag(const std::string &Arg, int &I, int Argc,
     return 1;
   }
   return 0;
+}
+
+/// Parses `--mono-share on|off` into \p Share (overriding the
+/// VIRGIL_MONO_SHARE process default). Returns 1 if consumed, 0 if not
+/// this flag, -1 on a bad value.
+static int parseMonoShareFlag(const std::string &Arg, int &I, int Argc,
+                              char **Argv, bool &Share) {
+  if (Arg != "--mono-share")
+    return 0;
+  if (I + 1 >= Argc) {
+    std::fprintf(stderr, "virgilc: --mono-share needs on|off\n");
+    return -1;
+  }
+  std::string Mode = Argv[++I];
+  if (Mode == "on")
+    Share = true;
+  else if (Mode == "off")
+    Share = false;
+  else {
+    std::fprintf(stderr, "virgilc: --mono-share needs on|off, got '%s'\n",
+                 Mode.c_str());
+    return -1;
+  }
+  return 1;
 }
 
 //===----------------------------------------------------------------------===//
@@ -180,6 +214,11 @@ static int runBatch(int Argc, char **Argv) {
       ShowStats = true;
     } else if (Arg == "--no-opt") {
       Options.Compile.Optimize = false;
+    } else if (int K = parseMonoShareFlag(
+                   Arg, I, Argc, Argv,
+                   Options.Compile.ShareSpecializations)) {
+      if (K < 0)
+        return BatchUsage;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "virgilc: unknown batch option '%s'\n",
                    Arg.c_str());
@@ -214,7 +253,15 @@ static int runBatch(int Argc, char **Argv) {
   for (JobResult &R : Results) {
     const char *Tag = !R.Ok ? "fail" : R.CacheHit ? "hit " : "miss";
     if (R.Ok) {
-      std::printf("[%s] %-40s %10.2f ms\n", Tag, R.Name.c_str(), R.Ms);
+      // Expansion metrics exist only where the front-end actually ran;
+      // a hit deserializes bytes and has nothing to report.
+      if (!R.CacheHit)
+        std::printf("[%s] %-40s %10.2f ms  mono x%.2f, share x%.2f "
+                    "(%zu bodies merged)\n",
+                    Tag, R.Name.c_str(), R.Ms, R.MonoExpansion,
+                    R.Share.shareRatio(), R.Share.BodiesShared);
+      else
+        std::printf("[%s] %-40s %10.2f ms\n", Tag, R.Name.c_str(), R.Ms);
     } else {
       AnyCompileFailed = true;
       std::string FirstLine = R.Error.substr(0, R.Error.find('\n'));
@@ -240,15 +287,23 @@ static int runBatch(int Argc, char **Argv) {
   if (Service.cache())
     std::printf("; cache: %zu hits / %zu misses (%.1f%% hit rate)",
                 S.Hits, S.Misses, S.hitRatePct());
+  if (S.Share.Enabled)
+    std::printf("; share: %zu -> %zu functions (x%.2f, %zu bodies "
+                "merged)",
+                S.Share.FunctionsBefore, S.Share.FunctionsAfter,
+                S.Share.shareRatio(), S.Share.BodiesShared);
   std::printf("; wall %.2f ms (%.2f ms of job time)\n", S.WallMs,
               S.TotalJobMs);
   if (ShowStats)
     std::printf("phases: %s\n", S.Phases.toString().c_str());
   std::printf("{\"jobs\":%d,\"files\":%zu,\"ok\":%zu,\"failed\":%zu,"
               "\"hits\":%zu,\"misses\":%zu,\"hit_rate_pct\":%.1f,"
-              "\"wall_ms\":%.2f}\n",
+              "\"share_enabled\":%s,\"bodies_shared\":%zu,"
+              "\"share_ratio\":%.2f,\"wall_ms\":%.2f}\n",
               Options.Jobs, S.Jobs, S.Succeeded, S.Failed, S.Hits,
-              S.Misses, S.hitRatePct(), S.WallMs);
+              S.Misses, S.hitRatePct(),
+              S.Share.Enabled ? "true" : "false", S.Share.BodiesShared,
+              S.Share.shareRatio(), S.WallMs);
   if (AnyCompileFailed)
     return BatchCompileFailed;
   return AnyTrapped ? BatchTrapped : BatchOk;
@@ -308,6 +363,8 @@ static int runFuzz(int Argc, char **Argv) {
       Options.Oracle.CompareNoOpt = false;
     } else if (Arg == "--vm-pool") {
       Options.Oracle.VmPooled = true;
+    } else if (Arg == "--mono-share") {
+      Options.Oracle.MonoShare = true;
     } else if (Arg == "--gen-off" && I + 1 < Argc) {
       std::string Feature = Argv[++I];
       if (!setGenFeature(Options.Gen, Feature, false)) {
@@ -398,6 +455,10 @@ int main(int Argc, char **Argv) {
     } else if (int K = parseVmGcFlag(Arg, I, Argc, Argv, VmOpts)) {
       if (K < 0)
         return 2;
+    } else if (int K2 = parseMonoShareFlag(Arg, I, Argc, Argv,
+                                           Options.ShareSpecializations)) {
+      if (K2 < 0)
+        return 2;
     } else if (Arg == "--no-opt")
       Options.Optimize = false;
     else if (Arg == "-e" && I + 1 < Argc) {
@@ -445,6 +506,11 @@ int main(int Argc, char **Argv) {
     std::printf("poly: %s\n", S.Poly.toString().c_str());
     std::printf("mono: %s (expansion %.2fx functions)\n",
                 S.MonoIr.toString().c_str(), S.Mono.functionExpansion());
+    std::printf("share: %s, %zu -> %zu functions (x%.2f, %zu bodies "
+                "merged)\n",
+                S.Share.Enabled ? "on" : "off", S.Share.FunctionsBefore,
+                S.Share.FunctionsAfter, S.Share.shareRatio(),
+                S.Share.BodiesShared);
     std::printf("norm: %s\n", S.NormIr.toString().c_str());
     std::printf("time: %s\n", S.Timings.toString().c_str());
   }

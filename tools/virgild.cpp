@@ -29,6 +29,9 @@
 ///                        (default on)
 ///   --vm-pool-size N     warm VMs retained per worker (default 8)
 ///   --no-opt             compile without the optimizer
+///   --mono-share on|off  specialization sharing (default: the
+///                        VIRGIL_MONO_SHARE environment setting, on);
+///                        totals appear in the STATS "mono" section
 ///   --stats-on-exit      print the final STATS JSON to stdout on drain
 ///
 /// Exit codes: 0 clean drain, 1 startup failure, 2 usage error.
@@ -65,7 +68,8 @@ static void usage() {
       "               [--fuel N] [--heap-max-bytes N] [--deadline-ms N]\n"
       "               [--vm-gc gen|semi] [--vm-nursery-bytes N]\n"
       "               [--vm-pool on|off] [--vm-pool-size N]\n"
-      "               [--no-opt] [--stats-on-exit]\n");
+      "               [--no-opt] [--mono-share on|off] "
+      "[--stats-on-exit]\n");
 }
 
 static bool parseU64(const char *S, uint64_t *Out) {
@@ -178,6 +182,16 @@ int main(int Argc, char **Argv) {
       Config.VmNurseryBytes = (uint32_t)N;
     } else if (Arg == "--no-opt") {
       Config.Compile.Optimize = false;
+    } else if (Arg == "--mono-share" && I + 1 < Argc) {
+      std::string Mode = Argv[++I];
+      if (Mode == "on") {
+        Config.Compile.ShareSpecializations = true;
+      } else if (Mode == "off") {
+        Config.Compile.ShareSpecializations = false;
+      } else {
+        std::fprintf(stderr, "virgild: --mono-share is on|off\n");
+        return 2;
+      }
     } else if (Arg == "--stats-on-exit") {
       StatsOnExit = true;
     } else {
