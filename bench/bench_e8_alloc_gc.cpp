@@ -102,8 +102,15 @@ int main(int argc, char **argv) {
   std::printf("%-24s %9s %9s %9s %9s %12s\n", "program", "objs",
               "arrays", "strings", "tuplesVM", "tuplesInterp");
   bool AllClean = true;
+  // The audit counts *explicit* news on both engines, so scalar
+  // replacement must be off here: escape analysis deletes explicit
+  // allocations from the VM pipeline by design (E17 below measures
+  // exactly that), which would read as a false implicit-allocation
+  // mismatch against the unoptimized interpreter oracle.
+  CompilerOptions AuditOptions;
+  AuditOptions.Opt.Escape = false;
   for (const auto &Prog : corpus::allPrograms()) {
-    Compiler C;
+    Compiler C(AuditOptions);
     std::string Error;
     auto P = C.compile(Prog.Name, Prog.Source, &Error);
     if (!P) {
@@ -190,6 +197,45 @@ int main(int argc, char **argv) {
   std::printf("\nalloc speedup (gen/semi): %.2fx   nursery survival: %.2f%%\n",
               Speedup, Gen.Heap.survivalRate() * 100.0);
 
+  std::printf("\n-- E17: escape analysis vs nursery pressure --\n");
+  int EscRounds = Opts.Quick ? 2000 : 20000;
+  std::string EscSrc = corpus::genEscapeChurn(EscRounds, 8, 256);
+  auto runEscape = [&](bool Escape) {
+    CompilerOptions CO;
+    CO.Opt.Escape = Escape;
+    Compiler C(CO);
+    std::string Error;
+    auto P = C.compile("escape_churn", EscSrc, &Error);
+    if (!P) {
+      std::fprintf(stderr, "E17 compile failed: %s\n", Error.c_str());
+      std::exit(1);
+    }
+    VmResult R = P->runVm();
+    dieIfTrapped(R.Trapped, R.TrapMessage, "E17 escape churn");
+    return R;
+  };
+  VmResult EscOn = runEscape(true);
+  VmResult EscOff = runEscape(false);
+  if (EscOn.ResultBits != EscOff.ResultBits) {
+    std::fprintf(stderr, "E17: escape on/off results diverge\n");
+    return 1;
+  }
+  double NurseryOn = (double)EscOn.Heap.NurserySlotsAllocated * 8;
+  double NurseryOff = (double)EscOff.Heap.NurserySlotsAllocated * 8;
+  double NurseryReduction = NurseryOn > 0 ? NurseryOff / NurseryOn : 0;
+  std::printf("%-12s %14s %10s %10s %10s\n", "escape", "nursery bytes",
+              "objects", "minor", "barriers");
+  std::printf("%-12s %14.0f %10llu %10llu %10llu\n", "on", NurseryOn,
+              (unsigned long long)EscOn.Heap.ObjectsAllocated,
+              (unsigned long long)EscOn.Heap.MinorCollections,
+              (unsigned long long)EscOn.Heap.BarrierHits);
+  std::printf("%-12s %14.0f %10llu %10llu %10llu\n", "off", NurseryOff,
+              (unsigned long long)EscOff.Heap.ObjectsAllocated,
+              (unsigned long long)EscOff.Heap.MinorCollections,
+              (unsigned long long)EscOff.Heap.BarrierHits);
+  std::printf("\nnursery-byte reduction (off/on): %.2fx\n",
+              NurseryReduction);
+
   if (!Opts.JsonPath.empty()) {
     JsonReport J("e8_alloc_gc");
     J.metric("alloc_match_all", AllClean ? 1 : 0);
@@ -201,6 +247,15 @@ int main(int argc, char **argv) {
     J.metric("gc_minor_p99_pause_ns", Gen.Heap.MinorPauses.percentileNs(0.99));
     J.metric("gc_survival_pct", Gen.Heap.survivalRate() * 100.0);
     J.metric("gc_barrier_hits", (double)Gen.Heap.BarrierHits);
+    J.metric("escape_nursery_bytes_on", NurseryOn);
+    J.metric("escape_nursery_bytes_off", NurseryOff);
+    J.metric("escape_nursery_reduction", NurseryReduction);
+    J.metric("escape_minor_gcs_on", (double)EscOn.Heap.MinorCollections);
+    J.metric("escape_minor_gcs_off",
+             (double)EscOff.Heap.MinorCollections);
+    J.metric("escape_barrier_hits_on", (double)EscOn.Heap.BarrierHits);
+    J.metric("escape_barrier_hits_off",
+             (double)EscOff.Heap.BarrierHits);
     J.write(Opts.JsonPath);
   }
   return AllClean ? 0 : 1;

@@ -76,6 +76,16 @@ struct PhaseTimings {
   double ShareMs = 0;
   double EmitMs = 0;
   double TotalMs = 0;
+  /// Per-pass breakdown of the two opt phases (summed across rounds
+  /// and both optimizeModule calls); the whole-phase OptMonoMs /
+  /// OptNormMs stay authoritative for totals.
+  double PassDevirtMs = 0;
+  double PassInlineMs = 0;
+  double PassFoldMs = 0;
+  double PassCopyPropMs = 0;
+  double PassDceMs = 0;
+  double PassEscapeMs = 0;
+  double PassDeadFieldsMs = 0;
 
   PhaseTimings &operator+=(const PhaseTimings &O);
   /// One line, e.g. "parse 0.12ms sema 0.34ms ... total 1.23ms".

@@ -344,6 +344,51 @@ def main() -> int {
   return OS.str();
 }
 
+std::string corpus::genEscapeChurn(int Rounds, int Width, int LiveNodes) {
+  std::ostringstream OS;
+  OS << R"(
+class Node {
+  var value: int;
+  var next: Node;
+  new(value, next) { }
+}
+class Pt {
+  var x: int;
+  var y: int;
+  new(x, y) { }
+  def dist2() -> int { return x * x + y * y; }
+}
+def buildList(n: int) -> Node {
+  var head: Node = null;
+  for (i = 0; i < n; i = i + 1) head = Node.new(i, head);
+  return head;
+}
+def sumList(l: Node) -> int {
+  var s = 0;
+  for (n = l; n != null; n = n.next) s = (s + n.value) % 1000000;
+  return s;
+}
+def main() -> int {
+)";
+  OS << "  var keep = buildList(" << LiveNodes << ");\n";
+  OS << "  var acc = 0;\n";
+  OS << "  for (round = 0; round < " << Rounds << "; round = round + 1) {\n";
+  OS << "    for (i = 0; i < " << Width << "; i = i + 1) {\n";
+  // Object churn: a fresh Pt per step, consumed through a virtual
+  // method (exact-receiver devirt -> inline -> scalarize).
+  OS << "      var p = Pt.new(i, round);\n";
+  OS << "      acc = (acc + p.dist2()) % 1000000;\n";
+  // Closure churn: a bound-method closure over another local object,
+  // called once (closure flattening feeds the object's scalarization).
+  OS << "      var q = Pt.new(i + 1, round + 1);\n";
+  OS << "      var g = q.dist2;\n";
+  OS << "      acc = (acc + g()) % 1000000;\n";
+  OS << "    }\n";
+  OS << "  }\n";
+  OS << "  return (acc + sumList(keep)) % 1000000;\n}\n";
+  return OS.str();
+}
+
 std::string corpus::genThroughputProgram(int Classes) {
   std::ostringstream OS;
   OS << "class Base {\n  def cost() -> int { return 1; }\n}\n";

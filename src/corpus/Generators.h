@@ -62,6 +62,15 @@ std::string genVarianceWorkload(int Len, int Iters, bool Functional);
 /// E8: GC churn with \p Rounds rounds of garbage and a persistent set.
 std::string genGcWorkload(int Rounds, int LiveNodes);
 
+/// E17: allocation churn built to be scalar-replaceable: each of
+/// \p Rounds x \p Width inner steps allocates a short-lived object,
+/// calls a method on it, and creates + calls a bound-method closure
+/// over another local object. None of the allocations escape, so with
+/// escape analysis on the VM's nursery only sees the persistent
+/// \p LiveNodes list; with it off every step allocates. The on/off
+/// nursery-byte ratio is the escape_nursery_reduction gate's metric.
+std::string genEscapeChurn(int Rounds, int Width, int LiveNodes);
+
 /// E9: a well-formed program of roughly \p Classes classes with
 /// methods and call chains (compiler throughput).
 std::string genThroughputProgram(int Classes);

@@ -145,6 +145,29 @@ ExecuteResponse Executor::run(const ExecuteRequest &Req, bool ExecuteVm,
                                   std::memory_order_relaxed);
     Mono.BodiesShared.fetch_add(JR.Share.BodiesShared,
                                 std::memory_order_relaxed);
+    if (Service.options().Compile.Optimize &&
+        Service.options().Compile.Opt.Escape)
+      Opt.EscapeEnabled.store(true, std::memory_order_relaxed);
+    Opt.AllocsElided.fetch_add(JR.Opt.AllocsElided,
+                               std::memory_order_relaxed);
+    Opt.FieldsScalarized.fetch_add(JR.Opt.FieldsScalarized,
+                                   std::memory_order_relaxed);
+    Opt.ClosuresFlattened.fetch_add(JR.Opt.ClosuresFlattened,
+                                    std::memory_order_relaxed);
+    Opt.CallsDevirtualized.fetch_add(JR.Opt.CallsDevirtualized,
+                                     std::memory_order_relaxed);
+    Opt.DevirtualizedByCha.fetch_add(JR.Opt.DevirtualizedByCha,
+                                     std::memory_order_relaxed);
+    auto AddUs = [](std::atomic<uint64_t> &C, double Ms) {
+      C.fetch_add((uint64_t)(Ms * 1000.0), std::memory_order_relaxed);
+    };
+    AddUs(Opt.DevirtUs, JR.Timings.PassDevirtMs);
+    AddUs(Opt.InlineUs, JR.Timings.PassInlineMs);
+    AddUs(Opt.FoldUs, JR.Timings.PassFoldMs);
+    AddUs(Opt.CopyPropUs, JR.Timings.PassCopyPropMs);
+    AddUs(Opt.DceUs, JR.Timings.PassDceMs);
+    AddUs(Opt.EscapeUs, JR.Timings.PassEscapeMs);
+    AddUs(Opt.DeadFieldsUs, JR.Timings.PassDeadFieldsMs);
   }
   if (!ExecuteVm)
     return R; // COMPILE: cache is populated, nothing to run

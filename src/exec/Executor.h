@@ -51,6 +51,28 @@ struct MonoShareCounters {
   std::atomic<uint64_t> BodiesShared{0};
 };
 
+/// Optimizer totals across every front-end run this executor performed
+/// (cache and pool hits contribute nothing). Same sampling discipline
+/// as MonoShareCounters.
+struct OptCounters {
+  /// Whether any compiled job ran with escape analysis enabled.
+  std::atomic<bool> EscapeEnabled{false};
+  std::atomic<uint64_t> AllocsElided{0};
+  std::atomic<uint64_t> FieldsScalarized{0};
+  std::atomic<uint64_t> ClosuresFlattened{0};
+  std::atomic<uint64_t> CallsDevirtualized{0};
+  std::atomic<uint64_t> DevirtualizedByCha{0};
+  /// Accumulated per-pass optimizer wall time, in microseconds
+  /// (atomics can't hold doubles; STATS renders these back as ms).
+  std::atomic<uint64_t> DevirtUs{0};
+  std::atomic<uint64_t> InlineUs{0};
+  std::atomic<uint64_t> FoldUs{0};
+  std::atomic<uint64_t> CopyPropUs{0};
+  std::atomic<uint64_t> DceUs{0};
+  std::atomic<uint64_t> EscapeUs{0};
+  std::atomic<uint64_t> DeadFieldsUs{0};
+};
+
 struct ExecutorConfig {
   /// Default and maximum per-request quotas (same clamping rule as
   /// ServerConfig, which is where these come from in the daemon).
@@ -86,6 +108,7 @@ public:
 
   const VmPoolStats &poolStats() const { return Pool.stats(); }
   const MonoShareCounters &monoStats() const { return Mono; }
+  const OptCounters &optStats() const { return Opt; }
   size_t poolSize() const { return Pool.size(); }
 
 private:
@@ -96,6 +119,7 @@ private:
   CompileService &Service;
   VmPool Pool;
   MonoShareCounters Mono;
+  OptCounters Opt;
 };
 
 } // namespace exec

@@ -160,13 +160,16 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
 
   // With the mono+share strategy the baseline legs force sharing OFF
   // (instead of following the process default) so the "/share" legs
-  // are a true on-vs-off differential.
-  auto compileOne = [&](bool Optimize,
-                        bool Share) -> std::unique_ptr<Program> {
+  // are a true on-vs-off differential; the escape strategy does the
+  // same with the escape pass.
+  auto compileOne = [&](bool Optimize, bool Share,
+                        bool Escape = false) -> std::unique_ptr<Program> {
     CompilerOptions Options;
     Options.Optimize = Optimize;
     if (Config.MonoShare)
       Options.ShareSpecializations = Share;
+    if (Config.OptEscape)
+      Options.Opt.Escape = Escape;
     Compiler C(Options);
     std::string Error;
     auto P = C.compile("fuzz", Source, &Error);
@@ -193,6 +196,20 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
     }
     runStrategies(*PShare, Config.MaxInstrs, Config.Vm, Config.VmPooled,
                   "/share", Report.Runs, /*NormAndVmOnly=*/true);
+  }
+  if (Config.OptEscape) {
+    auto PEscape =
+        compileOne(/*Optimize=*/true, /*Share=*/false, /*Escape=*/true);
+    if (!PEscape) {
+      // Compiling must not depend on the escape pass.
+      Report.Kind = Outcome::CompileError;
+      Report.Detail = "compiles without escape analysis but not with it";
+      return Report;
+    }
+    // Scalar replacement rewrites only the post-mono IR, so the poly
+    // and mono legs would re-test nothing.
+    runStrategies(*PEscape, Config.MaxInstrs, Config.Vm, Config.VmPooled,
+                  "/escape", Report.Runs, /*NormAndVmOnly=*/true);
   }
 
   if (Config.CompareNoOpt) {

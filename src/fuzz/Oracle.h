@@ -101,6 +101,14 @@ struct OracleConfig {
   /// (src/mono/ShareSpecializations.h). Applies to the no-opt pipeline
   /// too when CompareNoOpt is set.
   bool MonoShare = false;
+  /// Adds "/escape" strategies: the program is recompiled with escape
+  /// analysis + scalar replacement forced ON while the baseline legs
+  /// force it OFF, and the escape pipeline's norm-interp and vm runs
+  /// must agree with everything else. Any divergence breaks the escape
+  /// pass's observational-invisibility contract (src/opt/Escape.h).
+  /// Only the optimized pipeline participates — the no-opt pipeline
+  /// never runs the pass.
+  bool OptEscape = false;
 };
 
 class DifferentialOracle {

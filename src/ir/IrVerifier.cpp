@@ -4,6 +4,7 @@
 
 #include "support/Casting.h"
 
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -53,6 +54,9 @@ public:
   std::vector<std::string> run() {
     for (const IrFunction *F : M.Functions)
       Members.insert(F);
+    for (const IrClass *C : M.Classes)
+      if (C->Def)
+        ClassByDef.emplace(C->Def, C);
     for (const IrFunction *F : M.Functions)
       verifyFunction(*F);
     if (M.Shared)
@@ -171,6 +175,39 @@ private:
         I.Args.size() > I.Callee->NumParams)
       problem(F, "closure binds more values than callee '" +
                      I.Callee->Name + "' has parameters");
+    // Allocation/field shapes the scalar-replacement rewrites rely on:
+    // post-mono every NewObject names a module class and every field
+    // access indexes inside that class's (current) layout — DeadFields
+    // renumbers layouts and accesses together, and the escape pass
+    // resolves layouts through the same mapping.
+    if (M.Monomorphized && I.Op == Opcode::NewObject &&
+        !resolveClass(I.TypeOperand))
+      problem(F, "new.object of a type that is not a module class");
+    if (M.Monomorphized &&
+        (I.Op == Opcode::FieldGet || I.Op == Opcode::FieldSet)) {
+      size_t Wanted = I.Op == Opcode::FieldGet ? 1 : 2;
+      if (I.Args.size() != Wanted)
+        problem(F, "field access operand count wrong");
+      if (const IrClass *C = resolveClass(I.TypeOperand)) {
+        if (I.Index < 0 || (size_t)I.Index >= C->Fields.size())
+          problem(F, "field index out of range for class '" + C->Name +
+                         "'");
+      } else {
+        problem(F, "field access on a type that is not a module class");
+      }
+    }
+    if (I.Op == Opcode::NullCheck &&
+        (I.Args.size() != 1 || !I.Dsts.empty()))
+      problem(F, "null.check takes one operand and produces nothing");
+    // Post-norm an indirect call's callee slot must be a closure-kind
+    // register (flattened calls become CallFunc and leave this form).
+    if (M.Normalized && I.Op == Opcode::CallIndirect) {
+      if (I.Args.empty())
+        problem(F, "indirect call without a callee operand");
+      else if (I.Args[0] < F.RegTypes.size() &&
+               regKindOf(F.RegTypes[I.Args[0]]) != RegKind::Closure)
+        problem(F, "indirect call through a non-closure register");
+    }
     if (M.Shared && (I.Op == Opcode::CallFunc ||
                      I.Op == Opcode::MakeClosure) &&
         I.Callee && !Members.count(I.Callee))
@@ -199,8 +236,17 @@ private:
       Problems.push_back("$init dropped from the shared module");
   }
 
+  const IrClass *resolveClass(const Type *T) const {
+    auto *CT = dyn_cast_or_null<ClassType>(const_cast<Type *>(T));
+    if (!CT)
+      return nullptr;
+    auto It = ClassByDef.find(CT->def());
+    return It == ClassByDef.end() ? nullptr : It->second;
+  }
+
   const IrModule &M;
   std::set<const IrFunction *> Members;
+  std::map<const ClassDef *, const IrClass *> ClassByDef;
   std::vector<std::string> Problems;
 };
 

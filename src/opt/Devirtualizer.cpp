@@ -7,29 +7,154 @@
 /// patterns rely on generic classes like Matcher being effectively
 /// final after monomorphization).
 ///
+/// Two strengthenings over the naive per-site scan:
+///
+///  * the subtree/implementer sets come from one precomputed
+///    `ClassHierarchy` per pass invocation instead of an O(classes)
+///    scan per call site;
+///  * *exact-receiver* devirtualization: a receiver whose single
+///    definition is a `new.object` earlier in the same block has a
+///    known dynamic class, so the call resolves through that class's
+///    vtable even when the hierarchy has many implementers. This is
+///    what lets the inliner reach method bodies on locally allocated
+///    objects, which in turn is what makes those allocations
+///    scalar-replaceable by the escape pass.
+///
+/// A virtual call null-checks its receiver before dispatching; a
+/// direct call does not. CHA-devirtualized sites therefore get an
+/// explicit `null.check` so the trap survives the rewrite (the
+/// exact-receiver form needs none — the receiver is a fresh
+/// allocation and statically non-null).
+///
 //===----------------------------------------------------------------------===//
 
+#include "opt/Escape.h"
 #include "opt/PassManager.h"
 #include "support/Casting.h"
 
-#include <set>
+#include <map>
+#include <vector>
 
 using namespace virgil;
 
 namespace {
 
-/// True if \p Sub is \p Super or inherits from it (IrClass level).
-bool inheritsFrom(const IrClass *Sub, const IrClass *Super) {
-  for (const IrClass *C = Sub; C; C = C->Parent)
-    if (C == Super)
-      return true;
-  return false;
+/// Turns \p I into a direct call of \p Impl in place.
+void makeDirect(IrInstr *I, IrFunction *Impl) {
+  I->Op = Opcode::CallFunc;
+  I->Callee = Impl;
+  I->TypeOperand = nullptr;
+  I->Index = -1;
+}
+
+/// A direct call passes the site's argument registers verbatim, but
+/// virtual dispatch adapts between parameter-list shapes of the same
+/// function type (§4.1: an override may take one tuple where the base
+/// takes scalars). Only rewrite when the impl's register-level shape
+/// matches the site exactly.
+bool shapeMatches(const IrInstr *I, const IrFunction *Impl) {
+  return I->Args.size() == Impl->NumParams &&
+         I->Dsts.size() == Impl->RetTypes.size();
+}
+
+size_t devirtFunction(IrModule &M, IrFunction *F, const ClassHierarchy &CH,
+                      OptStats &Stats) {
+  size_t Changes = 0;
+  // Single-definition map: Defs[r] is r's unique defining instruction
+  // plus its block and index, or absent when r has 0 or >1 defs (or is
+  // a parameter, which counts as an implicit definition).
+  struct DefSite {
+    IrInstr *I;
+    IrBlock *B;
+    size_t Idx;
+  };
+  std::map<Reg, DefSite> Defs;
+  std::map<Reg, int> DefCount;
+  for (Reg P = 0; P != F->NumParams; ++P)
+    ++DefCount[P];
+  for (IrBlock *B : F->Blocks)
+    for (size_t I = 0; I != B->Instrs.size(); ++I)
+      for (Reg D : B->Instrs[I]->Dsts) {
+        ++DefCount[D];
+        Defs[D] = {B->Instrs[I], B, I};
+      }
+
+  // Null checks to splice in front of CHA-devirtualized calls.
+  std::map<IrInstr *, IrInstr *> CheckBefore;
+
+  for (IrBlock *B : F->Blocks) {
+    for (size_t Idx = 0; Idx != B->Instrs.size(); ++Idx) {
+      IrInstr *I = B->Instrs[Idx];
+      if (I->Op != Opcode::CallVirtual || I->Args.empty())
+        continue;
+      IrClass *Static = CH.resolve(I->TypeOperand);
+      if (!Static || I->Index < 0 ||
+          (size_t)I->Index >= Static->VTable.size())
+        continue;
+
+      // Exact receiver: the unique def is a new.object earlier in this
+      // very block, so the dynamic class — and thus the vtable entry —
+      // is known regardless of how many implementers exist.
+      Reg Recv = I->Args[0];
+      auto DC = DefCount.find(Recv);
+      auto DS = Defs.find(Recv);
+      if (DC != DefCount.end() && DC->second == 1 && DS != Defs.end() &&
+          DS->second.I->Op == Opcode::NewObject && DS->second.B == B &&
+          DS->second.Idx < Idx) {
+        IrClass *Exact = CH.resolve(DS->second.I->TypeOperand);
+        if (Exact && (size_t)I->Index < Exact->VTable.size() &&
+            Exact->VTable[I->Index] &&
+            shapeMatches(I, Exact->VTable[I->Index])) {
+          makeDirect(I, Exact->VTable[I->Index]);
+          ++Changes;
+          ++Stats.CallsDevirtualized;
+          continue;
+        }
+      }
+
+      IrFunction *Impl = CH.singleImpl(Static, I->Index);
+      if (!Impl || !shapeMatches(I, Impl))
+        continue;
+      // If the static class's own slot is empty (abstract at the
+      // root), an instance of the root would trap "abstract method"
+      // under dispatch; a direct call to the lone subclass impl would
+      // silently run instead. Only rewrite when the impl is inherited
+      // by the whole subtree, i.e. it sits in the root's own vtable.
+      if (Static->VTable[I->Index] != Impl)
+        continue;
+      // Preserve the virtual call's receiver null check.
+      IrInstr *NC = M.Nodes.make<IrInstr>();
+      NC->Op = Opcode::NullCheck;
+      NC->Loc = I->Loc;
+      NC->Args = {Recv};
+      NC->Ty = F->RegTypes[Recv];
+      CheckBefore[I] = NC;
+      makeDirect(I, Impl);
+      ++Changes;
+      ++Stats.CallsDevirtualized;
+      ++Stats.DevirtualizedByCha;
+    }
+  }
+
+  if (!CheckBefore.empty()) {
+    for (IrBlock *B : F->Blocks) {
+      std::vector<IrInstr *> Out;
+      Out.reserve(B->Instrs.size() + CheckBefore.size());
+      for (IrInstr *I : B->Instrs) {
+        auto It = CheckBefore.find(I);
+        if (It != CheckBefore.end())
+          Out.push_back(It->second);
+        Out.push_back(I);
+      }
+      B->Instrs = std::move(Out);
+    }
+  }
+  return Changes;
 }
 
 } // namespace
 
 size_t virgil::devirtualize(IrModule &M, OptStats &Stats) {
-  size_t Changes = 0;
   // Direct calls created here carry no type arguments, so this pass is
   // only sound once monomorphization has erased them.
   if (!M.Monomorphized)
@@ -41,37 +166,10 @@ size_t virgil::devirtualize(IrModule &M, OptStats &Stats) {
   // sharing runs after the optimizer by construction anyway.
   if (M.Shared)
     return 0;
-  for (IrFunction *F : M.Functions) {
-    for (IrBlock *B : F->Blocks) {
-      for (IrInstr *I : B->Instrs) {
-        if (I->Op != Opcode::CallVirtual)
-          continue;
-        auto *CT = dyn_cast_or_null<ClassType>(I->TypeOperand);
-        if (!CT)
-          continue;
-        IrClass *Static = nullptr;
-        for (IrClass *C : M.Classes)
-          if (C->Def == CT->def()) {
-            Static = C;
-            break;
-          }
-        if (!Static || I->Index < 0 ||
-            (size_t)I->Index >= Static->VTable.size())
-          continue;
-        std::set<IrFunction *> Impls;
-        for (IrClass *C : M.Classes)
-          if (inheritsFrom(C, Static) && C->VTable[I->Index])
-            Impls.insert(C->VTable[I->Index]);
-        if (Impls.size() != 1)
-          continue;
-        I->Op = Opcode::CallFunc;
-        I->Callee = *Impls.begin();
-        I->TypeOperand = nullptr;
-        I->Index = -1;
-        ++Changes;
-        ++Stats.CallsDevirtualized;
-      }
-    }
-  }
+  ClassHierarchy CH(M);
+  size_t Changes = 0;
+  for (IrFunction *F : M.Functions)
+    if (!F->Blocks.empty())
+      Changes += devirtFunction(M, F, CH, Stats);
   return Changes;
 }

@@ -19,10 +19,17 @@ using namespace virgil;
 
 namespace {
 
+/// Size of a callee for budget purposes. Moves don't count: parameter
+/// moves, normalization copies, and the scalar-replacement rewrites
+/// from the escape pass all fuse away under copy propagation + DCE, so
+/// charging them would double-count work that never reaches the
+/// emitter and starve inlining right after scalar replacement fires.
 size_t instrCount(const IrFunction *F) {
   size_t N = 0;
   for (const IrBlock *B : F->Blocks)
-    N += B->Instrs.size();
+    for (const IrInstr *I : B->Instrs)
+      if (I->Op != Opcode::Move)
+        ++N;
   return N;
 }
 
@@ -124,6 +131,19 @@ size_t virgil::inlineCalls(IrModule &M, size_t InstrLimit, OptStats &Stats) {
   // registers into the caller by type) must never see one.
   if (M.Shared)
     return 0;
+  // Budget sizes are memoized per round (one inlineCalls call = one
+  // round): recomputing from the current IR each round — instead of
+  // caching a pre-round size — means a callee shrunk by scalar
+  // replacement or DCE becomes inlinable as soon as it actually fits.
+  // Entries are invalidated when a function inlines something (its own
+  // size just changed).
+  std::map<const IrFunction *, size_t> Sizes;
+  auto sizeOf = [&](const IrFunction *G) {
+    auto It = Sizes.find(G);
+    if (It != Sizes.end())
+      return It->second;
+    return Sizes.emplace(G, instrCount(G)).first->second;
+  };
   for (IrFunction *F : M.Functions) {
     // One inline per block scan; repeated pass-manager rounds pick up
     // the rest. Bounded to keep a single round linear-ish.
@@ -141,9 +161,10 @@ size_t virgil::inlineCalls(IrModule &M, size_t InstrLimit, OptStats &Stats) {
           continue; // Inline only monomorphic callees.
         if (I->Args.size() != G->NumParams)
           continue; // Shape-adapted interpreter-only call.
-        if (instrCount(G) > InstrLimit || callsSelf(G))
+        if (sizeOf(G) > InstrLimit || callsSelf(G))
           continue;
         inlineAt(M, F, B, Pos);
+        Sizes.erase(F);
         ++Changes;
         ++Stats.CallsInlined;
         --BudgetPerFunction;

@@ -2,24 +2,87 @@
 
 #include "opt/PassManager.h"
 
+#include "opt/Escape.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string_view>
+
 using namespace virgil;
+
+bool virgil::defaultOptEscapeEnabled() {
+  // Read once per process (same pattern as VIRGIL_MONO_SHARE).
+  static const bool On = [] {
+    const char *E = std::getenv("VIRGIL_OPT_ESCAPE");
+    if (!E)
+      return true;
+    return !(std::string_view(E) == "off" || std::string_view(E) == "0" ||
+             std::string_view(E) == "false");
+  }();
+  return On;
+}
+
+OptStats &OptStats::operator+=(const OptStats &O) {
+  Folded += O.Folded;
+  BranchesFolded += O.BranchesFolded;
+  CopiesPropagated += O.CopiesPropagated;
+  InstrsRemoved += O.InstrsRemoved;
+  BlocksRemoved += O.BlocksRemoved;
+  CallsInlined += O.CallsInlined;
+  CallsDevirtualized += O.CallsDevirtualized;
+  DevirtualizedByCha += O.DevirtualizedByCha;
+  FieldsRemoved += O.FieldsRemoved;
+  AllocsElided += O.AllocsElided;
+  FieldsScalarized += O.FieldsScalarized;
+  ClosuresFlattened += O.ClosuresFlattened;
+  DevirtMs += O.DevirtMs;
+  InlineMs += O.InlineMs;
+  FoldMs += O.FoldMs;
+  CopyPropMs += O.CopyPropMs;
+  DceMs += O.DceMs;
+  EscapeMs += O.EscapeMs;
+  DeadFieldsMs += O.DeadFieldsMs;
+  return *this;
+}
 
 OptStats virgil::optimizeModule(IrModule &M, const OptOptions &Options) {
   OptStats Stats;
+  using Clock = std::chrono::steady_clock;
+  // Runs one pass, banking its wall time into the named OptStats field.
+  auto Timed = [&](double OptStats::*Field, auto &&Pass) -> size_t {
+    auto T0 = Clock::now();
+    size_t Changed = Pass();
+    Stats.*Field +=
+        std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+    return Changed;
+  };
   for (unsigned Round = 0; Round != Options.Rounds; ++Round) {
     size_t Changes = 0;
     if (Options.Devirtualize)
-      Changes += devirtualize(M, Stats);
+      Changes += Timed(&OptStats::DevirtMs,
+                       [&] { return devirtualize(M, Stats); });
     if (Options.Inline)
-      Changes += inlineCalls(M, Options.InlineInstrLimit, Stats);
+      Changes += Timed(&OptStats::InlineMs, [&] {
+        return inlineCalls(M, Options.InlineInstrLimit, Stats);
+      });
     if (Options.Fold)
-      Changes += foldConstants(M, Stats);
+      Changes += Timed(&OptStats::FoldMs,
+                       [&] { return foldConstants(M, Stats); });
     if (Options.CopyProp)
-      Changes += propagateCopies(M, Stats);
+      Changes += Timed(&OptStats::CopyPropMs,
+                       [&] { return propagateCopies(M, Stats); });
     if (Options.Dce)
-      Changes += eliminateDeadCode(M, Stats);
+      Changes += Timed(&OptStats::DceMs,
+                       [&] { return eliminateDeadCode(M, Stats); });
+    // After copy propagation and DCE so alias chains are short, and
+    // before dead-field elimination so fields whose last loads were
+    // scalarized away can be dropped in the same round.
+    if (Options.Escape)
+      Changes += Timed(&OptStats::EscapeMs,
+                       [&] { return scalarReplaceAllocations(M, Stats); });
     if (Options.DeadFields)
-      Changes += eliminateDeadFields(M, Stats);
+      Changes += Timed(&OptStats::DeadFieldsMs,
+                       [&] { return eliminateDeadFields(M, Stats); });
     if (Changes == 0)
       break;
   }

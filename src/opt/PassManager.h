@@ -12,9 +12,13 @@
 ///  * copy propagation (cleans the moves normalization introduces),
 ///  * dead code and unreachable block elimination,
 ///  * class-hierarchy-analysis devirtualization,
-///  * function inlining.
+///  * function inlining,
+///  * escape analysis + scalar replacement of non-escaping objects and
+///    closures (post-normalization only; see opt/Escape.h).
 ///
-/// Passes run in rounds until a fixpoint or the round limit.
+/// Passes run in rounds until a fixpoint or the round limit. Each
+/// round times every pass it runs; the per-pass milliseconds accumulate
+/// in OptStats and surface through --stats, batch JSON, and STATS.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +29,13 @@
 
 namespace virgil {
 
+/// Process-wide default for escape analysis + scalar replacement, from
+/// VIRGIL_OPT_ESCAPE (on/1/true | off/0/false); on when unset. The CI
+/// escape-stress lane flips this for every compile in a binary without
+/// threading a flag through each construction site (same pattern as
+/// VIRGIL_MONO_SHARE).
+bool defaultOptEscapeEnabled();
+
 struct OptOptions {
   bool Fold = true;
   bool CopyProp = true;
@@ -32,6 +43,7 @@ struct OptOptions {
   bool Inline = true;
   bool Devirtualize = true;
   bool DeadFields = true;
+  bool Escape = defaultOptEscapeEnabled();
   unsigned Rounds = 3;
   size_t InlineInstrLimit = 48;
 };
@@ -44,7 +56,25 @@ struct OptStats {
   size_t BlocksRemoved = 0;
   size_t CallsInlined = 0;
   size_t CallsDevirtualized = 0;
+  /// Devirtualized because CHA found a single implementer (as opposed
+  /// to an exact-receiver proof); subset of CallsDevirtualized.
+  size_t DevirtualizedByCha = 0;
   size_t FieldsRemoved = 0;
+  /// Escape analysis: heap allocations deleted, field registers
+  /// created for them, and closures turned into direct calls.
+  size_t AllocsElided = 0;
+  size_t FieldsScalarized = 0;
+  size_t ClosuresFlattened = 0;
+  /// Wall-clock milliseconds per pass, summed over rounds.
+  double DevirtMs = 0;
+  double InlineMs = 0;
+  double FoldMs = 0;
+  double CopyPropMs = 0;
+  double DceMs = 0;
+  double EscapeMs = 0;
+  double DeadFieldsMs = 0;
+
+  OptStats &operator+=(const OptStats &O);
 };
 
 /// Individual passes; each returns the number of changes made.

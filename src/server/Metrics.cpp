@@ -91,7 +91,8 @@ std::string ServerMetrics::toJson(double UptimeMs, size_t QueueDepth,
                                   size_t QueueCap, size_t ActiveConns,
                                   const std::string &CacheJson,
                                   const std::string &ExecJson,
-                                  const std::string &MonoJson) const {
+                                  const std::string &MonoJson,
+                                  const std::string &OptJson) const {
   // Merge every shard into one flat aggregate, locking each shard only
   // for its own copy-out. Per-worker stats are captured alongside.
   MetricsShard Agg;
@@ -202,6 +203,8 @@ std::string ServerMetrics::toJson(double UptimeMs, size_t QueueDepth,
     J += ",\"exec\":" + ExecJson;
   if (!MonoJson.empty())
     J += ",\"mono\":" + MonoJson;
+  if (!OptJson.empty())
+    J += ",\"opt\":" + OptJson;
   if (!CacheJson.empty())
     J += ",\"cache\":" + CacheJson;
   J += "}";

@@ -143,13 +143,14 @@ public:
 
   /// Renders the full STATS JSON document by merging every shard.
   /// \p QueueDepth/\p QueueCap/\p ActiveConns are sampled by the
-  /// caller at snapshot time, as are \p CacheJson, \p ExecJson, and
-  /// \p MonoJson — the "cache", "exec", and "mono" sections (one JSON
-  /// object each), empty to omit.
+  /// caller at snapshot time, as are \p CacheJson, \p ExecJson,
+  /// \p MonoJson, and \p OptJson — the "cache", "exec", "mono", and
+  /// "opt" sections (one JSON object each), empty to omit.
   std::string toJson(double UptimeMs, size_t QueueDepth, size_t QueueCap,
                      size_t ActiveConns, const std::string &CacheJson,
                      const std::string &ExecJson = std::string(),
-                     const std::string &MonoJson = std::string()) const;
+                     const std::string &MonoJson = std::string(),
+                     const std::string &OptJson = std::string()) const;
 
 private:
   MetricsShard &loopShard(int Shard) const {

@@ -638,6 +638,51 @@ std::string Server::statsJson() const {
     MonoJson = Buf;
   }
 
+  // Opt section: optimizer totals (escape analysis / scalar
+  // replacement and devirtualization) across every front-end run any
+  // worker performed. Same sampling discipline as the mono section.
+  std::string OptJson;
+  {
+    uint64_t Allocs = 0, Fields = 0, Closures = 0, Devirt = 0, Cha = 0;
+    uint64_t DevirtUs = 0, InlineUs = 0, FoldUs = 0, CopyPropUs = 0,
+             DceUs = 0, EscapeUs = 0, DeadFieldsUs = 0;
+    bool EscapeOn = false;
+    for (const auto &E : Execs) {
+      const exec::OptCounters &OC = E->optStats();
+      EscapeOn |= OC.EscapeEnabled.load(std::memory_order_relaxed);
+      Allocs += OC.AllocsElided.load(std::memory_order_relaxed);
+      Fields += OC.FieldsScalarized.load(std::memory_order_relaxed);
+      Closures += OC.ClosuresFlattened.load(std::memory_order_relaxed);
+      Devirt += OC.CallsDevirtualized.load(std::memory_order_relaxed);
+      Cha += OC.DevirtualizedByCha.load(std::memory_order_relaxed);
+      DevirtUs += OC.DevirtUs.load(std::memory_order_relaxed);
+      InlineUs += OC.InlineUs.load(std::memory_order_relaxed);
+      FoldUs += OC.FoldUs.load(std::memory_order_relaxed);
+      CopyPropUs += OC.CopyPropUs.load(std::memory_order_relaxed);
+      DceUs += OC.DceUs.load(std::memory_order_relaxed);
+      EscapeUs += OC.EscapeUs.load(std::memory_order_relaxed);
+      DeadFieldsUs += OC.DeadFieldsUs.load(std::memory_order_relaxed);
+    }
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"escape_enabled\":%s,\"allocs_elided\":%llu,"
+                  "\"fields_scalarized\":%llu,"
+                  "\"closures_flattened\":%llu,"
+                  "\"devirtualized\":%llu,"
+                  "\"devirtualized_by_cha\":%llu,"
+                  "\"pass_ms\":{\"devirt\":%.3f,\"inline\":%.3f,"
+                  "\"fold\":%.3f,\"copyprop\":%.3f,\"dce\":%.3f,"
+                  "\"escape\":%.3f,\"deadfields\":%.3f}}",
+                  EscapeOn ? "true" : "false",
+                  (unsigned long long)Allocs, (unsigned long long)Fields,
+                  (unsigned long long)Closures,
+                  (unsigned long long)Devirt, (unsigned long long)Cha,
+                  DevirtUs / 1000.0, InlineUs / 1000.0, FoldUs / 1000.0,
+                  CopyPropUs / 1000.0, DceUs / 1000.0, EscapeUs / 1000.0,
+                  DeadFieldsUs / 1000.0);
+    OptJson = Buf;
+  }
+
   // Exec section: warm-VM pool totals across workers + the front-end
   // shape. Pool stats are relaxed atomics, safe to sample here.
   std::string ExecJson;
@@ -680,5 +725,5 @@ std::string Server::statsJson() const {
     Active += S->ActiveConns.load(std::memory_order_relaxed);
   size_t Cap = Config.QueueCap * (Shards.empty() ? 1 : Shards.size());
   return Metrics.toJson(msSince(StartTime), Depth, Cap, Active, CacheJson,
-                        ExecJson, MonoJson);
+                        ExecJson, MonoJson, OptJson);
 }

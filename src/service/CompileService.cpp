@@ -63,6 +63,8 @@ JobResult CompileService::compileOne(const CompileJob &Job) {
   R.Timings = P->stats().Timings;
   R.MonoExpansion = P->stats().Mono.functionExpansion();
   R.Share = P->stats().Share;
+  R.Opt = P->stats().OptAfterMono;
+  R.Opt += P->stats().OptAfterNorm;
   if (Cache && P->hasBytecode())
     Cache->store(Key, P->bytecode());
   R.Ok = true;
@@ -111,6 +113,7 @@ CompileService::compileBatch(const std::vector<CompileJob> &Jobs) {
     S.TotalJobMs += R.Ms;
     S.Phases += R.Timings;
     S.Share += R.Share;
+    S.Opt += R.Opt;
   }
   LastBatch = S;
   return Results;

@@ -93,6 +93,9 @@ struct JobResult {
   double MonoExpansion = 1.0;
   /// Specialization-sharing stats of this job; zero on a cache hit.
   ShareStats Share;
+  /// Optimizer counters summed over both opt phases (devirt, escape,
+  /// inlining, ...); zero on a cache hit.
+  OptStats Opt;
   std::unique_ptr<CompiledUnit> Unit;
 };
 
@@ -111,6 +114,8 @@ struct BatchStats {
   /// Summed sharing stats across all jobs that actually compiled
   /// (cache hits contribute nothing — their front-end never ran).
   ShareStats Share;
+  /// Summed optimizer counters across all jobs that actually compiled.
+  OptStats Opt;
 
   /// Hit rate in percent over jobs that consulted the cache.
   double hitRatePct() const {

@@ -437,13 +437,18 @@ TEST(ServerTest, ExecuteReportsGcActivity) {
   // Allocation-heavy but terminating: enough short-lived garbage to
   // force several minor collections under the default 64 KiB
   // nursery, so the response's GC counters must be non-zero.
+  // Each node escapes through the global (so escape analysis cannot
+  // elide the allocations) but dies on the next overwrite — exactly
+  // the short-lived garbage the nursery is for.
   const char *Churn =
       "class Node { var v: int; var next: Node; new(v, next) { } }\n"
+      "var keep: Node;\n"
       "def main() -> int {\n"
       "  var sum = 0;\n"
       "  var i = 0;\n"
       "  while (i < 200000) {\n"
       "    var n = Node.new(i, null);\n"
+      "    keep = n;\n"
       "    sum = sum + n.v;\n"
       "    i = i + 1;\n"
       "  }\n"
@@ -745,7 +750,8 @@ TEST(ShardedServerTest, StatsReportsExecSection) {
   ASSERT_TRUE(C.stats(&Json, &Err)) << Err;
   for (const char *Key :
        {"\"exec\"", "\"io_threads\":4", "\"poller\"", "\"vm_pool\"",
-        "\"enabled\":true", "\"resident\":1", "\"hits\":1"})
+        "\"enabled\":true", "\"resident\":1", "\"hits\":1", "\"opt\"",
+        "\"escape_enabled\"", "\"allocs_elided\"", "\"pass_ms\""})
     EXPECT_NE(Json.find(Key), std::string::npos) << Key << " missing:\n"
                                                  << Json;
 }

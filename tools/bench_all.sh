@@ -175,6 +175,26 @@ if sh_on < sh_off * 0.70:
     print("FAIL: sharing-on VM throughput regressed more than 30% vs "
           "sharing-off in the same run")
     sys.exit(1)
+# Escape-analysis gate: nursery bytes reclaimed by scalar replacement
+# on the E17 churn workload (E8's escape section). A same-process
+# ratio of two allocation counts — fully deterministic, so it gates
+# at the baseline floor exactly (and never below the 1.3x acceptance
+# bar). Guards both the pass (stops eliding -> ratio drops to 1.0)
+# and the workload (stops allocating scalar-replaceable objects).
+esc_key = "escape_nursery_reduction"
+esc_have = cur.get("e8_alloc_gc", {}).get(esc_key)
+esc_want = base.get("e8_alloc_gc", {}).get(esc_key)
+if esc_have is None or esc_want is None:
+    print("FAIL: e8_alloc_gc %s missing from results or baseline"
+          % esc_key)
+    sys.exit(1)
+esc_floor = max(esc_want, 1.3)
+print(f"perf gate: e8_alloc_gc {esc_key} = {esc_have:.2f}x, "
+      f"floor {esc_floor:.2f}x")
+if esc_have < esc_floor:
+    print("FAIL: escape analysis reclaims fewer nursery bytes than "
+          "baseline")
+    sys.exit(1)
 print("perf gate: ok")
 EOF
 fi

@@ -14,6 +14,8 @@
 ///   --no-opt        disable the optimizer
 ///   --mono-share on|off  force specialization sharing (default: the
 ///                   VIRGIL_MONO_SHARE environment setting, on)
+///   --opt-escape on|off  force escape analysis + scalar replacement
+///                   (default: the VIRGIL_OPT_ESCAPE setting, on)
 ///   -e <source>     compile <source> text instead of a file
 ///
 /// `virgilc batch [options] <files...>` — compiles many programs
@@ -61,6 +63,12 @@
 ///                    (baseline legs force it off) and the shared
 ///                    pipeline's norm-interp/vm legs must agree (the
 ///                    sharing invisibility contract)
+///   --opt-escape     add the "/escape" strategies: each program is
+///                    recompiled with escape analysis + scalar
+///                    replacement forced on (baseline legs force it
+///                    off) and the escape pipeline's norm-interp/vm
+///                    legs must agree (the scalar-replacement
+///                    invisibility contract)
 ///
 /// Fuzz exit codes: 0 all seeds agree, 1 divergences found, 2 usage.
 ///
@@ -87,16 +95,18 @@ static void usage() {
                "--dump-mono|--dump-norm] [--stats] [--vm-stats] "
                "[--vm-dispatch auto|switch|threaded] "
                "[--vm-gc gen|semi] [--vm-nursery-bytes N] [--no-opt] "
-               "[--mono-share on|off] (file.v3 | -e <source>)\n"
+               "[--mono-share on|off] [--opt-escape on|off] "
+               "(file.v3 | -e <source>)\n"
                "       virgilc batch [--jobs N] [--cache-dir D] "
                "[--cache-max-bytes N] [--run] [--stats] [--no-opt] "
-               "[--mono-share on|off] <files...>\n"
+               "[--mono-share on|off] [--opt-escape on|off] <files...>\n"
                "       virgilc fuzz [--seeds N] [--start-seed K] "
                "[--time-budget S] [--out-dir D] [--fuel N]\n"
                "                    [--no-reduce] [--no-opt-compare] "
                "[--gen-off FEATURE] [--verbose]\n"
                "                    [--vm-gc gen|semi] "
-               "[--vm-nursery-bytes N] [--vm-pool] [--mono-share]\n");
+               "[--vm-nursery-bytes N] [--vm-pool] [--mono-share] "
+               "[--opt-escape]\n");
 }
 
 static bool readWholeFile(const std::string &Path, std::string &Out) {
@@ -162,6 +172,30 @@ static int parseMonoShareFlag(const std::string &Arg, int &I, int Argc,
   return 1;
 }
 
+/// Parses `--opt-escape on|off` into \p Escape (overriding the
+/// VIRGIL_OPT_ESCAPE process default). Returns 1 if consumed, 0 if not
+/// this flag, -1 on a bad value.
+static int parseOptEscapeFlag(const std::string &Arg, int &I, int Argc,
+                              char **Argv, bool &Escape) {
+  if (Arg != "--opt-escape")
+    return 0;
+  if (I + 1 >= Argc) {
+    std::fprintf(stderr, "virgilc: --opt-escape needs on|off\n");
+    return -1;
+  }
+  std::string Mode = Argv[++I];
+  if (Mode == "on")
+    Escape = true;
+  else if (Mode == "off")
+    Escape = false;
+  else {
+    std::fprintf(stderr, "virgilc: --opt-escape needs on|off, got '%s'\n",
+                 Mode.c_str());
+    return -1;
+  }
+  return 1;
+}
+
 //===----------------------------------------------------------------------===//
 // batch mode
 //===----------------------------------------------------------------------===//
@@ -218,6 +252,10 @@ static int runBatch(int Argc, char **Argv) {
                    Arg, I, Argc, Argv,
                    Options.Compile.ShareSpecializations)) {
       if (K < 0)
+        return BatchUsage;
+    } else if (int K2 = parseOptEscapeFlag(Arg, I, Argc, Argv,
+                                           Options.Compile.Opt.Escape)) {
+      if (K2 < 0)
         return BatchUsage;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "virgilc: unknown batch option '%s'\n",
@@ -294,16 +332,38 @@ static int runBatch(int Argc, char **Argv) {
                 S.Share.shareRatio(), S.Share.BodiesShared);
   std::printf("; wall %.2f ms (%.2f ms of job time)\n", S.WallMs,
               S.TotalJobMs);
-  if (ShowStats)
+  if (ShowStats) {
     std::printf("phases: %s\n", S.Phases.toString().c_str());
+    std::printf("opt: %zu allocs elided, %zu fields scalarized, %zu "
+                "closures flattened; %zu devirtualized (%zu by CHA), "
+                "%zu inlined\n",
+                S.Opt.AllocsElided, S.Opt.FieldsScalarized,
+                S.Opt.ClosuresFlattened, S.Opt.CallsDevirtualized,
+                S.Opt.DevirtualizedByCha, S.Opt.CallsInlined);
+  }
   std::printf("{\"jobs\":%d,\"files\":%zu,\"ok\":%zu,\"failed\":%zu,"
               "\"hits\":%zu,\"misses\":%zu,\"hit_rate_pct\":%.1f,"
               "\"share_enabled\":%s,\"bodies_shared\":%zu,"
-              "\"share_ratio\":%.2f,\"wall_ms\":%.2f}\n",
+              "\"share_ratio\":%.2f,"
+              "\"escape_enabled\":%s,\"allocs_elided\":%zu,"
+              "\"fields_scalarized\":%zu,\"closures_flattened\":%zu,"
+              "\"devirtualized\":%zu,\"devirtualized_by_cha\":%zu,"
+              "\"pass_ms\":{\"devirt\":%.3f,\"inline\":%.3f,"
+              "\"fold\":%.3f,\"copyprop\":%.3f,\"dce\":%.3f,"
+              "\"escape\":%.3f,\"deadfields\":%.3f},"
+              "\"wall_ms\":%.2f}\n",
               Options.Jobs, S.Jobs, S.Succeeded, S.Failed, S.Hits,
               S.Misses, S.hitRatePct(),
               S.Share.Enabled ? "true" : "false", S.Share.BodiesShared,
-              S.Share.shareRatio(), S.WallMs);
+              S.Share.shareRatio(),
+              Options.Compile.Opt.Escape ? "true" : "false",
+              S.Opt.AllocsElided, S.Opt.FieldsScalarized,
+              S.Opt.ClosuresFlattened, S.Opt.CallsDevirtualized,
+              S.Opt.DevirtualizedByCha, S.Phases.PassDevirtMs,
+              S.Phases.PassInlineMs, S.Phases.PassFoldMs,
+              S.Phases.PassCopyPropMs, S.Phases.PassDceMs,
+              S.Phases.PassEscapeMs, S.Phases.PassDeadFieldsMs,
+              S.WallMs);
   if (AnyCompileFailed)
     return BatchCompileFailed;
   return AnyTrapped ? BatchTrapped : BatchOk;
@@ -365,6 +425,8 @@ static int runFuzz(int Argc, char **Argv) {
       Options.Oracle.VmPooled = true;
     } else if (Arg == "--mono-share") {
       Options.Oracle.MonoShare = true;
+    } else if (Arg == "--opt-escape") {
+      Options.Oracle.OptEscape = true;
     } else if (Arg == "--gen-off" && I + 1 < Argc) {
       std::string Feature = Argv[++I];
       if (!setGenFeature(Options.Gen, Feature, false)) {
@@ -459,6 +521,10 @@ int main(int Argc, char **Argv) {
                                            Options.ShareSpecializations)) {
       if (K2 < 0)
         return 2;
+    } else if (int K3 = parseOptEscapeFlag(Arg, I, Argc, Argv,
+                                           Options.Opt.Escape)) {
+      if (K3 < 0)
+        return 2;
     } else if (Arg == "--no-opt")
       Options.Optimize = false;
     else if (Arg == "-e" && I + 1 < Argc) {
@@ -512,6 +578,15 @@ int main(int Argc, char **Argv) {
                 S.Share.FunctionsAfter, S.Share.shareRatio(),
                 S.Share.BodiesShared);
     std::printf("norm: %s\n", S.NormIr.toString().c_str());
+    OptStats Opt = S.OptAfterMono;
+    Opt += S.OptAfterNorm;
+    std::printf("opt: escape %s, %zu allocs elided, %zu fields "
+                "scalarized, %zu closures flattened; %zu devirtualized "
+                "(%zu by CHA), %zu inlined\n",
+                Options.Opt.Escape ? "on" : "off", Opt.AllocsElided,
+                Opt.FieldsScalarized, Opt.ClosuresFlattened,
+                Opt.CallsDevirtualized, Opt.DevirtualizedByCha,
+                Opt.CallsInlined);
     std::printf("time: %s\n", S.Timings.toString().c_str());
   }
   if (DumpAst || DumpIr || DumpMono || DumpNorm)

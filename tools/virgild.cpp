@@ -32,6 +32,10 @@
 ///   --mono-share on|off  specialization sharing (default: the
 ///                        VIRGIL_MONO_SHARE environment setting, on);
 ///                        totals appear in the STATS "mono" section
+///   --opt-escape on|off  escape analysis + scalar replacement
+///                        (default: the VIRGIL_OPT_ESCAPE environment
+///                        setting, on); totals appear in the STATS
+///                        "opt" section
 ///   --stats-on-exit      print the final STATS JSON to stdout on drain
 ///
 /// Exit codes: 0 clean drain, 1 startup failure, 2 usage error.
@@ -69,7 +73,8 @@ static void usage() {
       "               [--vm-gc gen|semi] [--vm-nursery-bytes N]\n"
       "               [--vm-pool on|off] [--vm-pool-size N]\n"
       "               [--no-opt] [--mono-share on|off] "
-      "[--stats-on-exit]\n");
+      "[--opt-escape on|off]\n"
+      "               [--stats-on-exit]\n");
 }
 
 static bool parseU64(const char *S, uint64_t *Out) {
@@ -190,6 +195,16 @@ int main(int Argc, char **Argv) {
         Config.Compile.ShareSpecializations = false;
       } else {
         std::fprintf(stderr, "virgild: --mono-share is on|off\n");
+        return 2;
+      }
+    } else if (Arg == "--opt-escape" && I + 1 < Argc) {
+      std::string Mode = Argv[++I];
+      if (Mode == "on") {
+        Config.Compile.Opt.Escape = true;
+      } else if (Mode == "off") {
+        Config.Compile.Opt.Escape = false;
+      } else {
+        std::fprintf(stderr, "virgild: --opt-escape is on|off\n");
         return 2;
       }
     } else if (Arg == "--stats-on-exit") {
