@@ -33,10 +33,30 @@ struct Leg {
   VmOptions Opts;
 };
 
+/// The first three legs ablate the *interpreter* engine, so they pin
+/// the JIT tier off; the fourth leg runs the full engine with the
+/// baseline JIT at threshold 0 (every function compiled up front).
+VmOptions legOpts(VmOptions::Dispatch Mode, bool Fuse, bool Ic,
+                  VmOptions::JitMode Jit) {
+  VmOptions O;
+  O.Mode = Mode;
+  O.Fuse = Fuse;
+  O.InlineCache = Ic;
+  O.Jit = Jit;
+  if (Jit == VmOptions::JitMode::On)
+    O.JitThreshold = 0;
+  return O;
+}
+
 const Leg Legs[] = {
-    {"switch", {VmOptions::Dispatch::Switch, false, false}},
-    {"threaded", {VmOptions::Dispatch::Auto, false, false}},
-    {"full", {VmOptions::Dispatch::Auto, true, true}},
+    {"switch", legOpts(VmOptions::Dispatch::Switch, false, false,
+                       VmOptions::JitMode::Off)},
+    {"threaded", legOpts(VmOptions::Dispatch::Auto, false, false,
+                         VmOptions::JitMode::Off)},
+    {"full", legOpts(VmOptions::Dispatch::Auto, true, true,
+                     VmOptions::JitMode::Off)},
+    {"jit", legOpts(VmOptions::Dispatch::Auto, true, true,
+                    VmOptions::JitMode::On)},
 };
 
 struct Workload {

@@ -49,6 +49,26 @@ uint64_t fnvMix(uint64_t H, uint64_t V) {
   return H;
 }
 
+/// Folds one run's per-run JIT deltas into the executor-lifetime
+/// totals; identical for the fresh and pooled paths.
+void accumulateJit(JitCounters &J, const VmJitStats &S) {
+  if (S.Available)
+    J.Available.store(true, std::memory_order_relaxed);
+  if (S.Enabled)
+    J.Enabled.store(true, std::memory_order_relaxed);
+  J.Compiles.fetch_add(S.Compiles, std::memory_order_relaxed);
+  J.CompileFailures.fetch_add(S.CompileFailures,
+                              std::memory_order_relaxed);
+  J.CompileNs.fetch_add(S.CompileNs, std::memory_order_relaxed);
+  J.CodeBytes.fetch_add(S.CodeBytes, std::memory_order_relaxed);
+  J.Enters.fetch_add(S.Enters, std::memory_order_relaxed);
+  J.OsrEntries.fetch_add(S.OsrEntries, std::memory_order_relaxed);
+  J.Deopts.fetch_add(S.Deopts, std::memory_order_relaxed);
+  J.IcPatches.fetch_add(S.IcPatches, std::memory_order_relaxed);
+  J.IcMegamorphic.fetch_add(S.IcMegamorphic,
+                            std::memory_order_relaxed);
+}
+
 /// Shapes the common (trap/result/output) part of the response from a
 /// finished run; identical for the fresh and pooled paths.
 void fillFromVmResult(ExecuteResponse &R, VmResult &VR) {
@@ -87,6 +107,8 @@ uint64_t Executor::poolKeyFor(const ExecuteRequest &Req,
   H = fnvMix(H, HeapBytes);
   H = fnvMix(H, Config.VmNurseryBytes);
   H = fnvMix(H, Config.VmGenerational ? 1 : 0);
+  H = fnvMix(H, (uint64_t)Config.VmJit);
+  H = fnvMix(H, Config.VmJitThreshold);
   return H;
 }
 
@@ -116,6 +138,7 @@ ExecuteResponse Executor::run(const ExecuteRequest &Req, bool ExecuteVm,
       VmResult VR = V->run();
       *ExecuteMs = msSince(E0);
       R.ExecuteMs = *ExecuteMs;
+      accumulateJit(Jit, VR.Jit);
       fillFromVmResult(R, VR);
       return R;
     }
@@ -178,6 +201,8 @@ ExecuteResponse Executor::run(const ExecuteRequest &Req, bool ExecuteVm,
   VO.DeadlineMs = DeadlineMs;
   VO.Generational = Config.VmGenerational;
   VO.NurseryBytes = Config.VmNurseryBytes;
+  VO.Jit = Config.VmJit;
+  VO.JitThreshold = Config.VmJitThreshold;
 
   auto E0 = Clock::now();
   auto V = std::make_unique<Vm>(JR.Unit->bytecode(), VO);
@@ -186,6 +211,7 @@ ExecuteResponse Executor::run(const ExecuteRequest &Req, bool ExecuteVm,
   VmResult VR = V->run();
   *ExecuteMs = msSince(E0);
   R.ExecuteMs = *ExecuteMs;
+  accumulateJit(Jit, VR.Jit);
   fillFromVmResult(R, VR);
   if (Pooling)
     Pool.adopt(Key, std::move(JR.Unit), std::move(V));

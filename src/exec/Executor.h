@@ -51,6 +51,26 @@ struct MonoShareCounters {
   std::atomic<uint64_t> BodiesShared{0};
 };
 
+/// JIT-tier totals across every VM run this executor performed (each
+/// run reports per-run deltas, so plain summation is double-count
+/// free even for pooled VMs that keep their compiled code warm).
+/// Same sampling discipline as MonoShareCounters.
+struct JitCounters {
+  /// Whether any request VM probed the host as JIT-capable / actually
+  /// constructed the tier.
+  std::atomic<bool> Available{false};
+  std::atomic<bool> Enabled{false};
+  std::atomic<uint64_t> Compiles{0};
+  std::atomic<uint64_t> CompileFailures{0};
+  std::atomic<uint64_t> CompileNs{0};
+  std::atomic<uint64_t> CodeBytes{0};
+  std::atomic<uint64_t> Enters{0};
+  std::atomic<uint64_t> OsrEntries{0};
+  std::atomic<uint64_t> Deopts{0};
+  std::atomic<uint64_t> IcPatches{0};
+  std::atomic<uint64_t> IcMegamorphic{0};
+};
+
 /// Optimizer totals across every front-end run this executor performed
 /// (cache and pool hits contribute nothing). Same sampling discipline
 /// as MonoShareCounters.
@@ -87,6 +107,13 @@ struct ExecutorConfig {
   bool VmGenerational = true;
   uint32_t VmNurseryBytes = 64 * 1024;
 
+  /// Request-VM JIT tier: mode and hotness threshold; part of the pool
+  /// key (a warm VM's compiled code must never serve a request that
+  /// asked for a different tier configuration). Defaults follow the
+  /// VIRGIL_VM_JIT / VIRGIL_VM_JIT_THRESHOLD process environment.
+  VmOptions::JitMode VmJit = VmOptions::defaultJitMode();
+  uint32_t VmJitThreshold = VmOptions::defaultJitThreshold();
+
   /// Warm-VM pooling (on by default; `--vm-pool off` for the ablation
   /// and the differential baseline).
   bool UsePool = true;
@@ -109,6 +136,7 @@ public:
   const VmPoolStats &poolStats() const { return Pool.stats(); }
   const MonoShareCounters &monoStats() const { return Mono; }
   const OptCounters &optStats() const { return Opt; }
+  const JitCounters &jitStats() const { return Jit; }
   size_t poolSize() const { return Pool.size(); }
 
 private:
@@ -120,6 +148,7 @@ private:
   VmPool Pool;
   MonoShareCounters Mono;
   OptCounters Opt;
+  JitCounters Jit;
 };
 
 } // namespace exec

@@ -73,6 +73,8 @@ StrategyRun fromVm(const char *Name, const VmResult &R) {
   S.Trapped = R.Trapped;
   S.TrapMessage = R.TrapMessage;
   S.Output = R.Output;
+  S.HasInstrs = true;
+  S.Instrs = R.Counters.Instrs;
   if (R.Trapped && R.TrapMessage.find(BudgetMsg) != std::string::npos) {
     S.TimedOut = true;
     S.Trapped = false;
@@ -98,7 +100,7 @@ StrategyRun crashed(const char *Name, const std::string &What) {
 /// and mono IR are identical either way, so re-running them on the
 /// shared pipeline would test nothing).
 void runStrategies(Program &P, uint64_t MaxInstrs,
-                   const VmOptions &VmOpts, bool VmPooled,
+                   const VmOptions &VmOpts, bool VmPooled, bool VmJit,
                    const std::string &Suffix,
                    std::vector<StrategyRun> &Runs,
                    bool NormAndVmOnly = false) {
@@ -119,16 +121,34 @@ void runStrategies(Program &P, uint64_t MaxInstrs,
     interpOn(P.monoIr(), "mono-interp" + Suffix);
   }
   interpOn(P.normIr(), "norm-interp" + Suffix);
-  std::string VmName = "vm" + Suffix;
-  try {
-    Vm V(P.bytecode(), VmOpts);
-    if (MaxInstrs)
-      V.setMaxInstrs(MaxInstrs);
-    Runs.push_back(fromVm(VmName.c_str(), V.run()));
-  } catch (const std::exception &E) {
-    Runs.push_back(crashed(VmName.c_str(), E.what()));
-  } catch (...) {
-    Runs.push_back(crashed(VmName.c_str(), "unknown exception"));
+  auto vmOn = [&](const char *Leg, const VmOptions &Opts) {
+    std::string Name = Leg + Suffix;
+    try {
+      Vm V(P.bytecode(), Opts);
+      if (MaxInstrs)
+        V.setMaxInstrs(MaxInstrs);
+      Runs.push_back(fromVm(Name.c_str(), V.run()));
+    } catch (const std::exception &E) {
+      Runs.push_back(crashed(Name.c_str(), E.what()));
+    } catch (...) {
+      Runs.push_back(crashed(Name.c_str(), "unknown exception"));
+    }
+    Runs.back().Pipeline = Suffix;
+  };
+  // With the vm+jit strategy the plain leg pins the JIT off so it is
+  // a true interpreter reference; otherwise it follows VmOpts (which
+  // defaults to the process environment).
+  VmOptions PlainOpts = VmOpts;
+  if (VmJit)
+    PlainOpts.Jit = VmOptions::JitMode::Off;
+  vmOn("vm", PlainOpts);
+  if (VmJit) {
+    VmOptions JitOpts = VmOpts;
+    JitOpts.Jit = VmOptions::JitMode::On;
+    JitOpts.JitThreshold = 0;
+    vmOn("vm+jit", JitOpts);
+    JitOpts.JitThreshold = kOracleJitMidThreshold;
+    vmOn("vm+jit-warm", JitOpts);
   }
   if (!VmPooled)
     return;
@@ -137,7 +157,7 @@ void runStrategies(Program &P, uint64_t MaxInstrs,
   // second run. It must be indistinguishable from the plain vm leg.
   std::string PoolName = "vm+pool" + Suffix;
   try {
-    Vm V(P.bytecode(), VmOpts);
+    Vm V(P.bytecode(), PlainOpts);
     if (MaxInstrs)
       V.setMaxInstrs(MaxInstrs);
     V.snapshotForReuse();
@@ -151,6 +171,7 @@ void runStrategies(Program &P, uint64_t MaxInstrs,
   } catch (...) {
     Runs.push_back(crashed(PoolName.c_str(), "unknown exception"));
   }
+  Runs.back().Pipeline = Suffix;
 }
 
 } // namespace
@@ -184,8 +205,8 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
     Report.Detail = "program failed to compile";
     return Report;
   }
-  runStrategies(*P, Config.MaxInstrs, Config.Vm, Config.VmPooled, "",
-                Report.Runs);
+  runStrategies(*P, Config.MaxInstrs, Config.Vm, Config.VmPooled,
+                Config.VmJit, "", Report.Runs);
   if (Config.MonoShare) {
     auto PShare = compileOne(/*Optimize=*/true, /*Share=*/true);
     if (!PShare) {
@@ -195,7 +216,8 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
       return Report;
     }
     runStrategies(*PShare, Config.MaxInstrs, Config.Vm, Config.VmPooled,
-                  "/share", Report.Runs, /*NormAndVmOnly=*/true);
+                  Config.VmJit, "/share", Report.Runs,
+                  /*NormAndVmOnly=*/true);
   }
   if (Config.OptEscape) {
     auto PEscape =
@@ -209,7 +231,8 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
     // Scalar replacement rewrites only the post-mono IR, so the poly
     // and mono legs would re-test nothing.
     runStrategies(*PEscape, Config.MaxInstrs, Config.Vm, Config.VmPooled,
-                  "/escape", Report.Runs, /*NormAndVmOnly=*/true);
+                  Config.VmJit, "/escape", Report.Runs,
+                  /*NormAndVmOnly=*/true);
   }
 
   if (Config.CompareNoOpt) {
@@ -221,7 +244,7 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
       return Report;
     }
     runStrategies(*PNoOpt, Config.MaxInstrs, Config.Vm, Config.VmPooled,
-                  "/no-opt", Report.Runs);
+                  Config.VmJit, "/no-opt", Report.Runs);
     if (Config.MonoShare) {
       auto PNoOptShare = compileOne(/*Optimize=*/false, /*Share=*/true);
       if (!PNoOptShare) {
@@ -231,8 +254,8 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
         return Report;
       }
       runStrategies(*PNoOptShare, Config.MaxInstrs, Config.Vm,
-                    Config.VmPooled, "/no-opt/share", Report.Runs,
-                    /*NormAndVmOnly=*/true);
+                    Config.VmPooled, Config.VmJit, "/no-opt/share",
+                    Report.Runs, /*NormAndVmOnly=*/true);
     }
   }
 
@@ -273,6 +296,28 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
           S.Output != Ref.Output) {
         Report.Kind = Outcome::ValueDivergence;
         Report.Detail = Ref.toString() + " vs " + S.toString();
+        return Report;
+      }
+    }
+  }
+  // VM legs of the same pipeline must agree on the exact executed
+  // instruction count: the JIT's accounting contract (fused ops count
+  // as two, fuel burns at the same program points) and the pool's
+  // invisibility contract both promise it. Different pipelines
+  // legitimately execute different instruction streams.
+  for (size_t I = 0; I != Report.Runs.size(); ++I) {
+    const StrategyRun &A = Report.Runs[I];
+    if (!A.HasInstrs)
+      continue;
+    for (size_t J = I + 1; J != Report.Runs.size(); ++J) {
+      const StrategyRun &B = Report.Runs[J];
+      if (!B.HasInstrs || B.Pipeline != A.Pipeline)
+        continue;
+      if (A.Instrs != B.Instrs) {
+        Report.Kind = Outcome::ValueDivergence;
+        Report.Detail = A.Name + ": " + std::to_string(A.Instrs) +
+                        " instrs vs " + B.Name + ": " +
+                        std::to_string(B.Instrs) + " instrs";
         return Report;
       }
     }

@@ -56,6 +56,13 @@ struct StrategyRun {
   bool HasResult = false;
   int64_t Result = 0;
   std::string Output;
+  /// VM legs only: executed-instruction count and the pipeline it ran
+  /// under ("" optimized, "/no-opt", ...). VM legs of the same
+  /// pipeline must agree exactly on Instrs — the JIT's accounting
+  /// contract — while different pipelines legitimately differ.
+  bool HasInstrs = false;
+  uint64_t Instrs = 0;
+  std::string Pipeline;
 
   /// One line, e.g. "vm: result 42" or "poly-interp: trap: ...".
   std::string toString() const;
@@ -109,7 +116,25 @@ struct OracleConfig {
   /// Only the optimized pipeline participates — the no-opt pipeline
   /// never runs the pass.
   bool OptEscape = false;
+  /// Adds "vm+jit" strategies: the same bytecode re-run with the
+  /// baseline JIT tier forced ON at hotness threshold 0 (everything
+  /// compiles before its first instruction) and at a mid threshold
+  /// (functions tier up mid-run, exercising OSR and deopt), while the
+  /// plain vm leg forces the JIT OFF so it stays the interpreter
+  /// reference. The tiers must agree on result, output, trap
+  /// diagnostics, *and* the executed-instruction count — the JIT's
+  /// exact-accounting contract. Inline-cache hit/miss counters are
+  /// deliberately not compared (tier-heuristic stats). On hosts
+  /// without JIT support the legs silently run interpreted and the
+  /// comparison is vacuous.
+  bool VmJit = false;
 };
+
+/// Mid hotness threshold used by the second vm+jit leg: small enough
+/// that generated loops cross it, large enough that the interpreter
+/// runs a warm-up window first (seeding inline caches and forcing
+/// OSR entries at loop back-edges).
+constexpr uint32_t kOracleJitMidThreshold = 16;
 
 class DifferentialOracle {
 public:

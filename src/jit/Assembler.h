@@ -1,0 +1,498 @@
+//===- jit/Assembler.h - Minimal x86-64 instruction emitter ----*- C++ -*-===//
+///
+/// \file
+/// Just enough of an x86-64 assembler for the baseline JIT: 64/32-bit
+/// moves and ALU ops between registers and [base + disp] / [base +
+/// index*8 + disp] memory operands, immediates, setcc, rel32 branches
+/// with label fixups, and call/jmp through a register. Emission is
+/// append-only into a byte buffer; the code arena copies the finished
+/// function into executable memory (so emitted rel32 branches are only
+/// ever intra-function and survive the copy verbatim).
+///
+/// Register encoding follows the hardware numbering; REX prefixes are
+/// computed from the operand registers. No attempt is made at the full
+/// ISA — every emitter below is exercised by the JIT templates and
+/// differentially validated against the interpreter by the vm+jit
+/// oracle strategy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_JIT_ASSEMBLER_H
+#define VIRGIL_JIT_ASSEMBLER_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace virgil {
+namespace jit {
+
+enum Reg : uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+/// Condition codes (the low nibble of the 0F 9x / 0F 8x opcodes).
+enum Cond : uint8_t {
+  CC_O = 0x0,
+  CC_B = 0x2,  ///< unsigned <
+  CC_AE = 0x3, ///< unsigned >=
+  CC_E = 0x4,
+  CC_NE = 0x5,
+  CC_BE = 0x6, ///< unsigned <=
+  CC_A = 0x7,  ///< unsigned >
+  CC_S = 0x8,
+  CC_L = 0xC, ///< signed <
+  CC_GE = 0xD,
+  CC_LE = 0xE,
+  CC_G = 0xF,
+};
+
+class Assembler {
+public:
+  std::vector<uint8_t> Buf;
+
+  size_t size() const { return Buf.size(); }
+
+  void byte(uint8_t B) { Buf.push_back(B); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Buf.push_back((uint8_t)(V >> (I * 8)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Buf.push_back((uint8_t)(V >> (I * 8)));
+  }
+  void patch32(size_t Pos, uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Buf[Pos + I] = (uint8_t)(V >> (I * 8));
+  }
+
+  // --- encoding primitives -------------------------------------------------
+
+  void rex(bool W, uint8_t R, uint8_t X, uint8_t B) {
+    uint8_t P = 0x40 | (W ? 8 : 0) | ((R >> 3) << 2) | ((X >> 3) << 1) |
+                (B >> 3);
+    if (P != 0x40 || W)
+      Buf.push_back(P);
+  }
+  /// REX that must be present even when 0x40 (spl/bpl/sil/dil bytes).
+  void rexForce(bool W, uint8_t R, uint8_t X, uint8_t B) {
+    Buf.push_back((uint8_t)(0x40 | (W ? 8 : 0) | ((R >> 3) << 2) |
+                            ((X >> 3) << 1) | (B >> 3)));
+  }
+
+  void modrm(uint8_t Mod, uint8_t RegOp, uint8_t Rm) {
+    Buf.push_back((uint8_t)((Mod << 6) | ((RegOp & 7) << 3) | (Rm & 7)));
+  }
+
+  /// ModRM + SIB + disp for [Base + Disp]. Handles the RSP/R12 SIB and
+  /// RBP/R13 zero-disp quirks.
+  void mem(uint8_t RegOp, Reg Base, int32_t Disp) {
+    bool NeedSib = (Base & 7) == RSP;
+    uint8_t Mod;
+    if (Disp == 0 && (Base & 7) != RBP)
+      Mod = 0;
+    else if (Disp >= -128 && Disp <= 127)
+      Mod = 1;
+    else
+      Mod = 2;
+    modrm(Mod, RegOp, NeedSib ? RSP : (Base & 7));
+    if (NeedSib)
+      Buf.push_back((uint8_t)(0x24)); // scale=1, index=none, base=rsp/r12
+    if (Mod == 1)
+      Buf.push_back((uint8_t)Disp);
+    else if (Mod == 2)
+      u32((uint32_t)Disp);
+  }
+
+  /// ModRM + SIB + disp for [Base + Index*8 + Disp].
+  void memIdx8(uint8_t RegOp, Reg Base, Reg Index, int32_t Disp) {
+    uint8_t Mod;
+    if (Disp == 0 && (Base & 7) != RBP)
+      Mod = 0;
+    else if (Disp >= -128 && Disp <= 127)
+      Mod = 1;
+    else
+      Mod = 2;
+    modrm(Mod, RegOp, RSP); // SIB follows
+    Buf.push_back((uint8_t)((3 << 6) | ((Index & 7) << 3) | (Base & 7)));
+    if (Mod == 1)
+      Buf.push_back((uint8_t)Disp);
+    else if (Mod == 2)
+      u32((uint32_t)Disp);
+  }
+
+  // --- moves ---------------------------------------------------------------
+
+  void movRR(Reg Dst, Reg Src) { // 64-bit
+    rex(true, Src, 0, Dst);
+    byte(0x89);
+    modrm(3, Src, Dst);
+  }
+  void movRR32(Reg Dst, Reg Src) {
+    rex(false, Src, 0, Dst);
+    byte(0x89);
+    modrm(3, Src, Dst);
+  }
+  void movRI64(Reg Dst, uint64_t Imm) { // movabs
+    rex(true, 0, 0, Dst);
+    byte((uint8_t)(0xB8 | (Dst & 7)));
+    u64(Imm);
+  }
+  void movRI32(Reg Dst, uint32_t Imm) { // zero-extends
+    rex(false, 0, 0, Dst);
+    byte((uint8_t)(0xB8 | (Dst & 7)));
+    u32(Imm);
+  }
+  /// mov Dst, [Base + Disp] (64-bit load).
+  void movRM(Reg Dst, Reg Base, int32_t Disp) {
+    rex(true, Dst, 0, Base);
+    byte(0x8B);
+    mem(Dst, Base, Disp);
+  }
+  /// mov [Base + Disp], Src (64-bit store).
+  void movMR(Reg Base, int32_t Disp, Reg Src) {
+    rex(true, Src, 0, Base);
+    byte(0x89);
+    mem(Src, Base, Disp);
+  }
+  /// mov Dst32, [Base + Disp] (32-bit load, zero-extends).
+  void movRM32(Reg Dst, Reg Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    byte(0x8B);
+    mem(Dst, Base, Disp);
+  }
+  /// movsxd Dst, dword [Base + Disp].
+  void movsxdRM(Reg Dst, Reg Base, int32_t Disp) {
+    rex(true, Dst, 0, Base);
+    byte(0x63);
+    mem(Dst, Base, Disp);
+  }
+  /// mov Dst, [Base + Index*8 + Disp].
+  void movRMIdx8(Reg Dst, Reg Base, Reg Index, int32_t Disp) {
+    rex(true, Dst, Index, Base);
+    byte(0x8B);
+    memIdx8(Dst, Base, Index, Disp);
+  }
+  /// mov [Base + Index*8 + Disp], Src.
+  void movMRIdx8(Reg Base, Reg Index, int32_t Disp, Reg Src) {
+    rex(true, Src, Index, Base);
+    byte(0x89);
+    memIdx8(Src, Base, Index, Disp);
+  }
+  /// mov qword [Base + Disp], imm32 (sign-extended).
+  void movMI32(Reg Base, int32_t Disp, int32_t Imm) {
+    rex(true, 0, 0, Base);
+    byte(0xC7);
+    mem(0, Base, Disp);
+    u32((uint32_t)Imm);
+  }
+  /// movzx Dst, SrcByteReg (low byte).
+  void movzxRR8(Reg Dst, Reg Src) {
+    rexForce(false, Dst, 0, Src);
+    byte(0x0F);
+    byte(0xB6);
+    modrm(3, Dst, Src);
+  }
+  /// mov Dst32, Src32 (zero-extends to 64).
+  void movzx32(Reg Dst, Reg Src) { movRR32(Dst, Src); }
+  /// mov Dst32, imm32 in the patchable form; returns the buffer
+  /// position of the 4-byte immediate (inline-cache call targets).
+  size_t movRI32P(Reg Dst) {
+    rex(false, 0, 0, Dst);
+    byte((uint8_t)(0xB8 | (Dst & 7)));
+    size_t Pos = Buf.size();
+    u32(0xFFFFFFFFu);
+    return Pos;
+  }
+  /// movabs Dst, imm64 in the patchable form; returns the buffer
+  /// position of the 8-byte immediate (native call-site entry
+  /// addresses, fixed up after the code is installed).
+  size_t movRI64P(Reg Dst) {
+    rex(true, 0, 0, Dst);
+    byte((uint8_t)(0xB8 | (Dst & 7)));
+    size_t Pos = Buf.size();
+    u64(0);
+    return Pos;
+  }
+  /// movzx Dst, word [Base + Disp].
+  void movzxwRM(Reg Dst, Reg Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    byte(0x0F);
+    byte(0xB7);
+    mem(Dst, Base, Disp);
+  }
+  /// lea Dst, [Base + Disp].
+  void leaRM(Reg Dst, Reg Base, int32_t Disp) {
+    rex(true, Dst, 0, Base);
+    byte(0x8D);
+    mem(Dst, Base, Disp);
+  }
+
+  // --- ALU -----------------------------------------------------------------
+
+  void aluRR(uint8_t Op, Reg Dst, Reg Src, bool W) {
+    rex(W, Src, 0, Dst);
+    byte(Op);
+    modrm(3, Src, Dst);
+  }
+  void addRR(Reg Dst, Reg Src) { aluRR(0x01, Dst, Src, true); }
+  void addRR32(Reg Dst, Reg Src) { aluRR(0x01, Dst, Src, false); }
+  void subRR32(Reg Dst, Reg Src) { aluRR(0x29, Dst, Src, false); }
+  void orRR(Reg Dst, Reg Src) { aluRR(0x09, Dst, Src, true); }
+  void andRR8(Reg Dst, Reg Src) { // and dstb, srcb
+    rexForce(false, Src, 0, Dst);
+    byte(0x20);
+    modrm(3, Src, Dst);
+  }
+  void orRR8(Reg Dst, Reg Src) {
+    rexForce(false, Src, 0, Dst);
+    byte(0x08);
+    modrm(3, Src, Dst);
+  }
+  void imulRR32(Reg Dst, Reg Src) {
+    rex(false, Dst, 0, Src);
+    byte(0x0F);
+    byte(0xAF);
+    modrm(3, Dst, Src);
+  }
+  /// add Dst32, dword [Base + Disp].
+  void addRM32(Reg Dst, Reg Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    byte(0x03);
+    mem(Dst, Base, Disp);
+  }
+  /// sub Dst32, dword [Base + Disp].
+  void subRM32(Reg Dst, Reg Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    byte(0x2B);
+    mem(Dst, Base, Disp);
+  }
+  /// imul Dst32, dword [Base + Disp].
+  void imulRM32(Reg Dst, Reg Base, int32_t Disp) {
+    rex(false, Dst, 0, Base);
+    byte(0x0F);
+    byte(0xAF);
+    mem(Dst, Base, Disp);
+  }
+  void addRI(Reg Dst, int32_t Imm, bool W = true) {
+    rex(W, 0, 0, Dst);
+    if (Imm >= -128 && Imm <= 127) {
+      byte(0x83);
+      modrm(3, 0, Dst);
+      byte((uint8_t)Imm);
+    } else {
+      byte(0x81);
+      modrm(3, 0, Dst);
+      u32((uint32_t)Imm);
+    }
+  }
+  void addRI32(Reg Dst, int32_t Imm) { addRI(Dst, Imm, false); }
+  void subRI(Reg Dst, int32_t Imm) {
+    rex(true, 0, 0, Dst);
+    if (Imm >= -128 && Imm <= 127) {
+      byte(0x83);
+      modrm(3, 5, Dst);
+      byte((uint8_t)Imm);
+    } else {
+      byte(0x81);
+      modrm(3, 5, Dst);
+      u32((uint32_t)Imm);
+    }
+  }
+  /// add qword [Base + Disp], imm8.
+  void addMI8(Reg Base, int32_t Disp, int8_t Imm) {
+    rex(true, 0, 0, Base);
+    byte(0x83);
+    mem(0, Base, Disp);
+    byte((uint8_t)Imm);
+  }
+  void negR(Reg Dst) { // 64-bit
+    rex(true, 0, 0, Dst);
+    byte(0xF7);
+    modrm(3, 3, Dst);
+  }
+  void negR32(Reg Dst) {
+    rex(false, 0, 0, Dst);
+    byte(0xF7);
+    modrm(3, 3, Dst);
+  }
+  void cqo() {
+    byte(0x48);
+    byte(0x99);
+  }
+  void idivR(Reg Src) { // 64-bit signed divide rdx:rax by Src
+    rex(true, 0, 0, Src);
+    byte(0xF7);
+    modrm(3, 7, Src);
+  }
+  void shrRI(Reg Dst, uint8_t Imm) {
+    rex(true, 0, 0, Dst);
+    byte(0xC1);
+    modrm(3, 5, Dst);
+    byte(Imm);
+  }
+  void shlRI(Reg Dst, uint8_t Imm) {
+    rex(true, 0, 0, Dst);
+    byte(0xC1);
+    modrm(3, 4, Dst);
+    byte(Imm);
+  }
+  /// lea Dst, [Base + Base] — i.e. Dst = Base*2 (closure packing).
+  void leaRMIdx(Reg Dst, Reg Base, Reg Index, uint8_t Scale, int32_t Disp) {
+    rex(true, Dst, Index, Base);
+    byte(0x8D);
+    uint8_t Mod;
+    if (Disp == 0 && (Base & 7) != RBP)
+      Mod = 0;
+    else if (Disp >= -128 && Disp <= 127)
+      Mod = 1;
+    else
+      Mod = 2;
+    uint8_t Ss = Scale == 1 ? 0 : Scale == 2 ? 1 : Scale == 4 ? 2 : 3;
+    modrm(Mod, Dst, RSP);
+    Buf.push_back((uint8_t)((Ss << 6) | ((Index & 7) << 3) | (Base & 7)));
+    if (Mod == 1)
+      Buf.push_back((uint8_t)Disp);
+    else if (Mod == 2)
+      u32((uint32_t)Disp);
+  }
+
+  // --- compares / tests ----------------------------------------------------
+
+  void cmpRR(Reg A, Reg B) { // 64-bit
+    rex(true, B, 0, A);
+    byte(0x39);
+    modrm(3, B, A);
+  }
+  void cmpRR32(Reg A, Reg B) {
+    rex(false, B, 0, A);
+    byte(0x39);
+    modrm(3, B, A);
+  }
+  void cmpRI32(Reg A, int32_t Imm, bool W = false) {
+    rex(W, 0, 0, A);
+    if (Imm >= -128 && Imm <= 127) {
+      byte(0x83);
+      modrm(3, 7, A);
+      byte((uint8_t)Imm);
+    } else {
+      byte(0x81);
+      modrm(3, 7, A);
+      u32((uint32_t)Imm);
+    }
+  }
+  /// cmp A32, imm32 in the always-4-byte form (never the imm8
+  /// shortening); returns the immediate's buffer position so inline
+  /// caches can patch the compared classId in place.
+  size_t cmpRI32P(Reg A) {
+    rex(false, 0, 0, A);
+    byte(0x81);
+    modrm(3, 7, A);
+    size_t Pos = Buf.size();
+    u32(0xFFFFFFFFu);
+    return Pos;
+  }
+  /// cmp A, qword [Base + Disp].
+  void cmpRM(Reg A, Reg Base, int32_t Disp) {
+    rex(true, A, 0, Base);
+    byte(0x3B);
+    mem(A, Base, Disp);
+  }
+  /// cmp A32, dword [Base + Disp].
+  void cmpRM32(Reg A, Reg Base, int32_t Disp) {
+    rex(false, A, 0, Base);
+    byte(0x3B);
+    mem(A, Base, Disp);
+  }
+  /// cmp qword [Base + Disp], imm8.
+  void cmpMI8(Reg Base, int32_t Disp, int8_t Imm) {
+    rex(true, 0, 0, Base);
+    byte(0x83);
+    mem(7, Base, Disp);
+    byte((uint8_t)Imm);
+  }
+  /// test low-byte(A), imm8 (closure tag probes).
+  void testRI8(Reg A, uint8_t Imm) {
+    rexForce(false, 0, 0, A);
+    byte(0xF6);
+    modrm(3, 0, A);
+    byte(Imm);
+  }
+  void testRR(Reg A, Reg B) { // 64-bit
+    rex(true, B, 0, A);
+    byte(0x85);
+    modrm(3, B, A);
+  }
+  void setcc(Cond C, Reg Dst) { // sets low byte; caller zero-extends
+    rexForce(false, 0, 0, Dst);
+    byte(0x0F);
+    byte((uint8_t)(0x90 | C));
+    modrm(3, 0, Dst);
+  }
+
+  // --- control flow --------------------------------------------------------
+
+  /// jcc rel32; returns the fixup position of the rel32 field.
+  size_t jcc32(Cond C) {
+    byte(0x0F);
+    byte((uint8_t)(0x80 | C));
+    size_t Pos = Buf.size();
+    u32(0);
+    return Pos;
+  }
+  /// jmp rel32; returns the fixup position.
+  size_t jmp32() {
+    byte(0xE9);
+    size_t Pos = Buf.size();
+    u32(0);
+    return Pos;
+  }
+  /// Resolves a rel32 fixup to jump to the current position.
+  void bind(size_t FixupPos) {
+    patch32(FixupPos, (uint32_t)(Buf.size() - (FixupPos + 4)));
+  }
+  /// Resolves a rel32 fixup to jump to an absolute buffer offset.
+  void bindTo(size_t FixupPos, size_t TargetOff) {
+    patch32(FixupPos, (uint32_t)(TargetOff - (FixupPos + 4)));
+  }
+  void callR(Reg Target) {
+    rex(false, 0, 0, Target);
+    byte(0xFF);
+    modrm(3, 2, Target);
+  }
+  void jmpR(Reg Target) {
+    rex(false, 0, 0, Target);
+    byte(0xFF);
+    modrm(3, 4, Target);
+  }
+  void ret() { byte(0xC3); }
+  void pushR(Reg R) {
+    rex(false, 0, 0, R);
+    byte((uint8_t)(0x50 | (R & 7)));
+  }
+  void popR(Reg R) {
+    rex(false, 0, 0, R);
+    byte((uint8_t)(0x58 | (R & 7)));
+  }
+};
+
+} // namespace jit
+} // namespace virgil
+
+#endif // VIRGIL_JIT_ASSEMBLER_H

@@ -1,0 +1,133 @@
+//===- jit/CodeArena.cpp --------------------------------------------------===//
+
+#include "jit/CodeArena.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define VIRGIL_JIT_HAVE_MMAP 1
+#endif
+
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(VIRGIL_JIT_HAVE_MMAP)
+#define VIRGIL_JIT_SUPPORTED 1
+#endif
+
+using namespace virgil::jit;
+
+namespace {
+constexpr size_t kChunkSize = 256 * 1024;
+
+#ifdef VIRGIL_JIT_HAVE_MMAP
+size_t pageSize() {
+  static const size_t P = (size_t)sysconf(_SC_PAGESIZE);
+  return P;
+}
+
+/// mprotect over the page range covering [Base, Base+Size).
+bool protect(uint8_t *Base, size_t Size, int Prot) {
+  size_t P = pageSize();
+  uintptr_t Lo = (uintptr_t)Base & ~(P - 1);
+  uintptr_t Hi = ((uintptr_t)Base + Size + P - 1) & ~(P - 1);
+  return mprotect((void *)Lo, Hi - Lo, Prot) == 0;
+}
+#endif
+} // namespace
+
+CodeArena::~CodeArena() {
+#ifdef VIRGIL_JIT_HAVE_MMAP
+  for (Chunk &C : Chunks)
+    munmap(C.Base, C.Size);
+#endif
+}
+
+bool CodeArena::probeExecutable() {
+#ifdef VIRGIL_JIT_SUPPORTED
+  size_t P = pageSize();
+  void *Mem = mmap(nullptr, P, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    return false;
+  ((uint8_t *)Mem)[0] = 0xC3; // ret
+  if (mprotect(Mem, P, PROT_READ | PROT_EXEC) != 0) {
+    munmap(Mem, P);
+    return false;
+  }
+  ((void (*)())Mem)();
+  munmap(Mem, P);
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool CodeArena::addChunk(size_t MinSize) {
+#ifdef VIRGIL_JIT_SUPPORTED
+  size_t Size = MinSize > kChunkSize ? MinSize : kChunkSize;
+  size_t P = pageSize();
+  Size = (Size + P - 1) & ~(P - 1);
+  void *Mem = mmap(nullptr, Size, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    return false;
+  Chunks.push_back(Chunk{(uint8_t *)Mem, Size, 0});
+  return true;
+#else
+  (void)MinSize;
+  return false;
+#endif
+}
+
+uint8_t *CodeArena::install(const uint8_t *Code, size_t Size) {
+#ifdef VIRGIL_JIT_SUPPORTED
+  size_t Need = (Size + 15) & ~(size_t)15;
+  if (Chunks.empty() || Chunks.back().Used + Need > Chunks.back().Size)
+    if (!addChunk(Need))
+      return nullptr;
+  Chunk &C = Chunks.back();
+  uint8_t *Dst = C.Base + C.Used;
+  // The whole chunk goes writable for the copy — nothing in the arena
+  // executes while we are here (flat native frames; compiles happen in
+  // C++ helpers or in the interpreter tier).
+  if (!protect(C.Base, C.Size, PROT_READ | PROT_WRITE))
+    return nullptr;
+  std::memcpy(Dst, Code, Size);
+  C.Used += Need;
+  UsedBytes += Size;
+  if (!protect(C.Base, C.Size, PROT_READ | PROT_EXEC))
+    return nullptr;
+  return Dst;
+#else
+  (void)Code;
+  (void)Size;
+  return nullptr;
+#endif
+}
+
+CodeArena::Chunk *CodeArena::chunkFor(uint8_t *Addr) {
+  for (Chunk &C : Chunks)
+    if (Addr >= C.Base && Addr < C.Base + C.Size)
+      return &C;
+  return nullptr;
+}
+
+bool CodeArena::makeWritable(uint8_t *Addr) {
+#ifdef VIRGIL_JIT_SUPPORTED
+  Chunk *C = chunkFor(Addr);
+  return C && protect(C->Base, C->Size, PROT_READ | PROT_WRITE);
+#else
+  (void)Addr;
+  return false;
+#endif
+}
+
+bool CodeArena::makeExecutable(uint8_t *Addr) {
+#ifdef VIRGIL_JIT_SUPPORTED
+  Chunk *C = chunkFor(Addr);
+  return C && protect(C->Base, C->Size, PROT_READ | PROT_EXEC);
+#else
+  (void)Addr;
+  return false;
+#endif
+}

@@ -1,0 +1,70 @@
+//===- jit/CodeArena.h - W^X executable code arena --------------*- C++ -*-===//
+///
+/// \file
+/// mmap-backed storage for JIT code. Chunks are never writable and
+/// executable at the same time: they sit RX while code runs, and are
+/// flipped whole-chunk to RW for the duration of a compile or an
+/// inline-cache patch (both happen inside C++ helpers, when no arena
+/// code is on the native stack — the JIT's native frame model is flat,
+/// so exiting to a helper means *nothing* in the arena is executing).
+/// That keeps the sanitizer lanes honest: no RWX page ever exists.
+///
+/// probeExecutable() performs the one-time runtime feasibility check —
+/// map a page, write a `ret`, flip it executable, call it. Hosts where
+/// that fails (hardened mprotect policies, non-x86-64 builds) report
+/// unavailable and the VM silently stays on the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_JIT_CODEARENA_H
+#define VIRGIL_JIT_CODEARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace virgil {
+namespace jit {
+
+class CodeArena {
+public:
+  CodeArena() = default;
+  ~CodeArena();
+  CodeArena(const CodeArena &) = delete;
+  CodeArena &operator=(const CodeArena &) = delete;
+
+  /// Can this process map and execute generated code at all?
+  /// (Also false on non-x86-64 builds.) Cached per call site via the
+  /// JIT tier; the probe itself is cheap but not free.
+  static bool probeExecutable();
+
+  /// Copies \p Size bytes of finished code into the arena and returns
+  /// its executable address (16-byte aligned), or nullptr if mapping
+  /// failed. The touched chunk is left RX.
+  uint8_t *install(const uint8_t *Code, size_t Size);
+
+  /// Temporarily opens the chunk containing \p Addr for writing, calls
+  /// nothing — the caller writes — then makeExecutable() flips it back.
+  /// Returns false if the address is not arena memory.
+  bool makeWritable(uint8_t *Addr);
+  bool makeExecutable(uint8_t *Addr);
+
+  size_t codeBytes() const { return UsedBytes; }
+
+private:
+  struct Chunk {
+    uint8_t *Base = nullptr;
+    size_t Size = 0;
+    size_t Used = 0;
+  };
+  Chunk *chunkFor(uint8_t *Addr);
+  bool addChunk(size_t MinSize);
+
+  std::vector<Chunk> Chunks;
+  size_t UsedBytes = 0;
+};
+
+} // namespace jit
+} // namespace virgil
+
+#endif // VIRGIL_JIT_CODEARENA_H

@@ -92,7 +92,8 @@ std::string ServerMetrics::toJson(double UptimeMs, size_t QueueDepth,
                                   const std::string &CacheJson,
                                   const std::string &ExecJson,
                                   const std::string &MonoJson,
-                                  const std::string &OptJson) const {
+                                  const std::string &OptJson,
+                                  const std::string &JitJson) const {
   // Merge every shard into one flat aggregate, locking each shard only
   // for its own copy-out. Per-worker stats are captured alongside.
   MetricsShard Agg;
@@ -205,6 +206,8 @@ std::string ServerMetrics::toJson(double UptimeMs, size_t QueueDepth,
     J += ",\"mono\":" + MonoJson;
   if (!OptJson.empty())
     J += ",\"opt\":" + OptJson;
+  if (!JitJson.empty())
+    J += ",\"jit\":" + JitJson;
   if (!CacheJson.empty())
     J += ",\"cache\":" + CacheJson;
   J += "}";

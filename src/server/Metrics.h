@@ -150,7 +150,8 @@ public:
                      size_t ActiveConns, const std::string &CacheJson,
                      const std::string &ExecJson = std::string(),
                      const std::string &MonoJson = std::string(),
-                     const std::string &OptJson = std::string()) const;
+                     const std::string &OptJson = std::string(),
+                     const std::string &JitJson = std::string()) const;
 
 private:
   MetricsShard &loopShard(int Shard) const {

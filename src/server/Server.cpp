@@ -61,6 +61,8 @@ Server::Server(ServerConfig C)
   EC.MaxDeadlineMs = Config.MaxDeadlineMs;
   EC.VmGenerational = Config.VmGenerational;
   EC.VmNurseryBytes = Config.VmNurseryBytes;
+  EC.VmJit = Config.VmJit;
+  EC.VmJitThreshold = Config.VmJitThreshold;
   EC.UsePool = Config.VmPool;
   EC.PoolSize = (size_t)Config.VmPoolSize;
   Execs.reserve((size_t)Config.Workers);
@@ -683,6 +685,52 @@ std::string Server::statsJson() const {
     OptJson = Buf;
   }
 
+  // Jit section: baseline-JIT tier totals across every request VM any
+  // worker ran (per-run deltas summed, so pooled VMs with warm code
+  // don't double-count). Same sampling discipline as the mono section.
+  std::string JitJson;
+  {
+    uint64_t Compiles = 0, Failures = 0, CompileNs = 0, CodeBytes = 0;
+    uint64_t Enters = 0, Osr = 0, Deopts = 0, Patches = 0, Mega = 0;
+    bool Avail = false, Enabled = false;
+    for (const auto &E : Execs) {
+      const exec::JitCounters &JC = E->jitStats();
+      Avail |= JC.Available.load(std::memory_order_relaxed);
+      Enabled |= JC.Enabled.load(std::memory_order_relaxed);
+      Compiles += JC.Compiles.load(std::memory_order_relaxed);
+      Failures += JC.CompileFailures.load(std::memory_order_relaxed);
+      CompileNs += JC.CompileNs.load(std::memory_order_relaxed);
+      CodeBytes += JC.CodeBytes.load(std::memory_order_relaxed);
+      Enters += JC.Enters.load(std::memory_order_relaxed);
+      Osr += JC.OsrEntries.load(std::memory_order_relaxed);
+      Deopts += JC.Deopts.load(std::memory_order_relaxed);
+      Patches += JC.IcPatches.load(std::memory_order_relaxed);
+      Mega += JC.IcMegamorphic.load(std::memory_order_relaxed);
+    }
+    const char *Mode = Config.VmJit == VmOptions::JitMode::On    ? "on"
+                       : Config.VmJit == VmOptions::JitMode::Off ? "off"
+                                                                 : "auto";
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"mode\":\"%s\",\"threshold\":%u,"
+                  "\"available\":%s,\"enabled\":%s,"
+                  "\"compiles\":%llu,\"compile_failures\":%llu,"
+                  "\"compile_ns\":%llu,\"code_bytes\":%llu,"
+                  "\"enters\":%llu,\"osr_entries\":%llu,"
+                  "\"deopts\":%llu,\"ic_patches\":%llu,"
+                  "\"ic_megamorphic\":%llu}",
+                  Mode, Config.VmJitThreshold, Avail ? "true" : "false",
+                  Enabled ? "true" : "false",
+                  (unsigned long long)Compiles,
+                  (unsigned long long)Failures,
+                  (unsigned long long)CompileNs,
+                  (unsigned long long)CodeBytes,
+                  (unsigned long long)Enters, (unsigned long long)Osr,
+                  (unsigned long long)Deopts,
+                  (unsigned long long)Patches, (unsigned long long)Mega);
+    JitJson = Buf;
+  }
+
   // Exec section: warm-VM pool totals across workers + the front-end
   // shape. Pool stats are relaxed atomics, safe to sample here.
   std::string ExecJson;
@@ -725,5 +773,5 @@ std::string Server::statsJson() const {
     Active += S->ActiveConns.load(std::memory_order_relaxed);
   size_t Cap = Config.QueueCap * (Shards.empty() ? 1 : Shards.size());
   return Metrics.toJson(msSince(StartTime), Depth, Cap, Active, CacheJson,
-                        ExecJson, MonoJson, OptJson);
+                        ExecJson, MonoJson, OptJson, JitJson);
 }

@@ -106,6 +106,12 @@ struct ServerConfig {
   /// request, so a bigger nursery taxes every request's latency.
   uint32_t VmNurseryBytes = 64 * 1024;
 
+  /// Request-VM JIT tier mode and hotness threshold (part of the warm
+  /// pool key). Defaults follow the VIRGIL_VM_JIT /
+  /// VIRGIL_VM_JIT_THRESHOLD process environment.
+  VmOptions::JitMode VmJit = VmOptions::defaultJitMode();
+  uint32_t VmJitThreshold = VmOptions::defaultJitThreshold();
+
   /// Warm-VM pool (per worker): repeat sources skip the compile
   /// service and heap setup entirely, reusing a reset VM whose
   /// behavior is observationally identical to a fresh one. Off for

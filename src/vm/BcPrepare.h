@@ -115,6 +115,12 @@ struct PDesc {
 /// A prepared function: decoded code, flattened (possibly rewritten)
 /// call descriptors, and the IC table. RegKinds points into the source
 /// BcFunction, which the Vm keeps alive.
+/// Hotness gate sentinel: the function will never tier up (JIT off,
+/// unsupported host, or compilation failed/declined). Keeping the
+/// disabled state in the *gate* means the interpreter's tier check is
+/// one always-predicted compare when the JIT is out of the picture.
+constexpr uint32_t kNoJitGate = 0xFFFFFFFFu;
+
 struct PFunc {
   std::vector<PInstr> Code;
   std::vector<PDesc> Descs;
@@ -124,6 +130,13 @@ struct PFunc {
   uint32_t NumRegs = 0;
   uint32_t NumParams = 0;
   const SlotKind *RegKinds = nullptr;
+  /// JIT tiering state (src/jit). Hot counts entries + taken backward
+  /// branches; when it crosses Gate the tier compiles the function and
+  /// records its code-table index in JitId. Policy only — execution
+  /// semantics are identical in both tiers.
+  uint32_t Hot = 0;
+  uint32_t Gate = kNoJitGate;
+  int32_t JitId = -1;
 };
 
 struct PrepareStats {

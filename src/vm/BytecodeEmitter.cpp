@@ -122,8 +122,13 @@ void Emitter::emitFunction(IrFunction *F, BcFunction &BF) {
       case Opcode::ConstString:
         emit(BcOp::ConstStr, (int32_t)I->dst(), 0, 0, I->Index);
         break;
-      case Opcode::ConstVoid:
       case Opcode::ConstDefault:
+        // Scalar replacement (opt/Escape.cpp) materializes each elided
+        // field's allocator default after normalization; every scalar
+        // default — int, byte, bool, ref — is the zero bit pattern.
+        emit(BcOp::ConstI, (int32_t)I->dst(), 0, 0, 0);
+        break;
+      case Opcode::ConstVoid:
       case Opcode::TupleCreate:
       case Opcode::TupleGet:
         assert(false && "tuple/void op survived normalization");

@@ -237,6 +237,10 @@ public:
   }
 
   const HeapStats &stats() const { return Stats; }
+  /// Raw space base for the JIT tier: native loads address slots as
+  /// [base + ref*8 + disp]. Any collection (or in-place growth) may
+  /// move it, which is exactly the JIT's deopt condition.
+  uint64_t *spaceData() { return Space.data(); }
   size_t liveSlotsAfterLastGc() const { return LiveAfterGc; }
   /// Current total footprint in slots — nursery + old combined, the
   /// quantity the `--heap-bytes` cap is enforced against.

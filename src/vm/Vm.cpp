@@ -2,6 +2,8 @@
 
 #include "vm/Vm.h"
 
+#include "jit/Jit.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -12,10 +14,6 @@
 using namespace virgil;
 
 namespace {
-
-/// Frame stack depth beyond which the VM reports "stack overflow"
-/// (runaway recursion guard, matches the reference interpreter).
-constexpr size_t MaxFrames = 100000;
 
 /// Register-arena slots preallocated up front; grown by doubling on
 /// high-water overflow and never shrunk.
@@ -92,6 +90,37 @@ uint32_t VmOptions::defaultNurseryBytes() {
   return Bytes;
 }
 
+VmOptions::JitMode VmOptions::defaultJitMode() {
+  static const JitMode Mode = [] {
+    const char *E = std::getenv("VIRGIL_VM_JIT");
+    if (!E)
+      return JitMode::Auto;
+    std::string_view S(E);
+    if (S == "on" || S == "1" || S == "true")
+      return JitMode::On;
+    if (S == "off" || S == "0" || S == "false")
+      return JitMode::Off;
+    return JitMode::Auto;
+  }();
+  return Mode;
+}
+
+uint32_t VmOptions::defaultJitThreshold() {
+  static const uint32_t Threshold = [] {
+    if (const char *E = std::getenv("VIRGIL_VM_JIT_THRESHOLD")) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(E, &End, 10);
+      if (End && *End == '\0' && V <= 0xFFFFFFFEul)
+        return (uint32_t)V;
+    }
+    // 64 entries/backward-branches: small enough that a benchmark's
+    // hot loop tiers up within its first few thousand instructions,
+    // large enough that one-shot code never pays a compile.
+    return 64u;
+  }();
+  return Threshold;
+}
+
 Vm::Vm(const BcModule &M, VmOptions Opts)
     : M(M), Options(Opts),
       Prep(prepareModule(
@@ -102,10 +131,32 @@ Vm::Vm(const BcModule &M, VmOptions Opts)
   Globals.assign(M.GlobalKinds.size(), 0);
   Stack.assign(InitialStackSlots, 0);
   StackKinds.assign(InitialStackSlots, SlotKind::Scalar);
+  StackData = Stack.data();
+  StackLen = Stack.size();
   Frames.reserve(1024);
   Counters.FusedStatic = Prep.Stats.fusedTotal();
   MaxInstrs = Opts.MaxInstrs;
+
+  // Baseline JIT tier: probed per Vm (the simulate-unsupported test
+  // hook must take effect per-construction, and the probe is one mmap).
+  // A tier that fails to bootstrap its stubs behaves like an absent
+  // one, and every function keeps the kNoJitGate sentinel so the
+  // interpreter's tier check stays a single always-false compare.
+  if (Options.Jit != VmOptions::JitMode::Off) {
+    JitAvailable = jit::JitTier::hostSupported();
+    if (JitAvailable) {
+      JitT = std::make_unique<jit::JitTier>(*this, Options.JitThreshold);
+      if (!JitT->ready()) {
+        JitT.reset();
+      } else {
+        for (PFunc &F : Prep.Funcs)
+          F.Gate = Options.JitThreshold;
+      }
+    }
+  }
 }
+
+Vm::~Vm() = default;
 
 void Vm::snapshotForReuse() {
   IcSnapshot.clear();
@@ -139,6 +190,10 @@ bool Vm::resetForReuse() {
   DeadlineNs = 0;
   DeadlineTick = 0;
   TickCounter = 0;
+  // JIT state (compiled code, hotness, IC patches) deliberately
+  // survives: warm code is part of a pooled Vm's value, and the tier
+  // is observationally identical either way.
+  PendingJitEntry = nullptr;
   return true;
 }
 
@@ -189,6 +244,8 @@ void Vm::growStack(size_t Need) {
     NewCap *= 2;
   Stack.resize(NewCap, 0);
   StackKinds.resize(NewCap, SlotKind::Scalar);
+  StackData = Stack.data();
+  StackLen = Stack.size();
 }
 
 bool Vm::enterCall(int FuncId, const PDesc *Desc, size_t CallerBase,
@@ -203,7 +260,7 @@ bool Vm::enterCall(int FuncId, const PDesc *Desc, size_t CallerBase,
                                       M.Functions[FuncId].Name + "'");
     return false;
   }
-  if (Frames.size() >= MaxFrames) {
+  if (Frames.size() >= kMaxFrames) {
     doTrap(TrapKind::Unreachable, "stack overflow");
     return false;
   }
@@ -235,7 +292,7 @@ bool Vm::enterCall(int FuncId, const PDesc *Desc, size_t CallerBase,
 
 bool Vm::enterCallFast(int FuncId, const PDesc *Desc, size_t CallerBase) {
   PFunc &G = Prep.Funcs[FuncId];
-  if (Frames.size() >= MaxFrames) {
+  if (Frames.size() >= kMaxFrames) {
     doTrap(TrapKind::Unreachable, "stack overflow");
     return false;
   }
@@ -316,7 +373,7 @@ bool Vm::builtin(int Kind, const PDesc &Desc, size_t Base) {
 #undef VM_USE_CGOTO
 #endif
 
-bool Vm::runLoop() {
+bool Vm::interpLoop() {
 #ifdef VIRGIL_VM_COMPUTED_GOTO
   if (Options.Mode != VmOptions::Dispatch::Switch)
     return runLoopThreaded();
@@ -324,8 +381,51 @@ bool Vm::runLoop() {
   return runLoopSwitch();
 }
 
+const void *Vm::jitEntryFor(PFunc *Fn, uint32_t Pc, bool Count) {
+  if (Fn->JitId < 0) {
+    if (!Count || Fn->Gate == kNoJitGate || ++Fn->Hot < Fn->Gate || !JitT ||
+        !JitT->compileFn(*Fn))
+      return nullptr;
+  }
+  if (Pc)
+    ++JitT->OsrEntries;
+  return JitT->entryAt(Fn->JitId, Pc);
+}
+
+/// The two-tier driver: the interpreter runs until a tier check posts a
+/// native entry, native code runs until it traps, finishes the frame
+/// stack, or deopts back; either loop finding nothing more to do ends
+/// the run. Both tiers mutate the same frames/stack/heap/counters, so
+/// handoff in either direction is just "continue from Frames.back()".
+bool Vm::runLoop() {
+  for (;;) {
+    if (PendingJitEntry) {
+      const void *Entry = PendingJitEntry;
+      PendingJitEntry = nullptr;
+      switch (JitT->enter(Entry)) {
+      case jit::kExitTrap:
+        return false;
+      case jit::kExitDone:
+        return true;
+      default: // kExitInterp: resume interpreting at Frames.back()
+        break;
+      }
+    }
+    if (!interpLoop())
+      return false;
+    if (!PendingJitEntry)
+      return true;
+  }
+}
+
 VmResult Vm::run() {
   VmResult R;
+  // JIT state (compiled code, hotness, patched sites) deliberately
+  // survives across runs of a pooled Vm; report per-run deltas so the
+  // stats compose by summation like every other per-run counter.
+  VmJitStats JitBefore;
+  if (JitT)
+    JitT->fillStats(JitBefore);
   if (Options.DeadlineMs) {
     DeadlineNs = (uint64_t)std::chrono::duration_cast<
                      std::chrono::nanoseconds>(
@@ -354,5 +454,19 @@ VmResult Vm::run() {
   R.Counters.FusedStatic = Prep.Stats.fusedTotal();
   R.Heap = TheHeap.stats();
   R.DispatchMode = dispatchModeName();
+  R.Jit.Available = JitAvailable;
+  R.Jit.Enabled = JitT != nullptr;
+  if (JitT) {
+    JitT->fillStats(R.Jit);
+    R.Jit.Compiles -= JitBefore.Compiles;
+    R.Jit.CompileFailures -= JitBefore.CompileFailures;
+    R.Jit.CompileNs -= JitBefore.CompileNs;
+    R.Jit.CodeBytes -= JitBefore.CodeBytes;
+    R.Jit.Enters -= JitBefore.Enters;
+    R.Jit.OsrEntries -= JitBefore.OsrEntries;
+    R.Jit.Deopts -= JitBefore.Deopts;
+    R.Jit.IcPatches -= JitBefore.IcPatches;
+    R.Jit.IcMegamorphic -= JitBefore.IcMegamorphic;
+  }
   return R;
 }

@@ -28,9 +28,14 @@
 #include "vm/BcPrepare.h"
 #include "vm/Heap.h"
 
+#include <memory>
 #include <string>
 
 namespace virgil {
+
+namespace jit {
+class JitTier;
+}
 
 struct VmCounters {
   uint64_t Instrs = 0;
@@ -84,9 +89,41 @@ struct VmOptions {
   /// default (64 KiB) overridable once via VIRGIL_VM_NURSERY_BYTES —
   /// the CI gc-stress lane shrinks it to 4 KiB.
   uint32_t NurseryBytes = defaultNurseryBytes();
+  /// Baseline JIT tier (src/jit, DESIGN.md §15). Auto and On both run
+  /// the tier when the host supports it (x86-64 with executable
+  /// mappings) and fall back to interpreter-only when it does not;
+  /// Off pins the interpreter. Both tiers are observationally
+  /// identical — same results, output, traps, and executed-instruction
+  /// counts. Process default flips with VIRGIL_VM_JIT=on|off|auto.
+  enum class JitMode : uint8_t { Auto, On, Off };
+  JitMode Jit = defaultJitMode();
+  /// Hotness gate: a function tiers up once its entries + taken
+  /// backward branches cross this count (0 = compile at first use).
+  /// Default 64, overridable via VIRGIL_VM_JIT_THRESHOLD.
+  uint32_t JitThreshold = defaultJitThreshold();
 
   static bool defaultGenerational();
   static uint32_t defaultNurseryBytes();
+  static JitMode defaultJitMode();
+  static uint32_t defaultJitThreshold();
+};
+
+/// JIT tier activity for one Vm, reported per run (cumulative across
+/// pooled reuse). Availability is probed once per Vm: Available=false
+/// means the host cannot execute generated code (or the build is not
+/// x86-64) and the run fell back to the interpreter.
+struct VmJitStats {
+  bool Available = false;
+  bool Enabled = false; ///< tier constructed and live for this Vm
+  uint64_t Compiles = 0;
+  uint64_t CompileFailures = 0;
+  uint64_t CompileNs = 0;
+  uint64_t CodeBytes = 0;
+  uint64_t Enters = 0;      ///< driver transitions into native code
+  uint64_t OsrEntries = 0;  ///< entries at a non-zero pc
+  uint64_t Deopts = 0;      ///< GC-invalidation exits to the interpreter
+  uint64_t IcPatches = 0;
+  uint64_t IcMegamorphic = 0;
 };
 
 /// Why a run trapped: a fault in the program itself, or one of the
@@ -109,6 +146,7 @@ struct VmResult {
   std::string Output;
   VmCounters Counters;
   HeapStats Heap;
+  VmJitStats Jit;
   /// "threaded" or "switch" — what actually ran.
   std::string DispatchMode;
 };
@@ -116,6 +154,7 @@ struct VmResult {
 class Vm {
 public:
   explicit Vm(const BcModule &M, VmOptions Options = VmOptions());
+  ~Vm();
 
   /// Runs $init then main.
   VmResult run();
@@ -164,6 +203,61 @@ private:
     /// outermost frame).
     const PDesc *Pending;
     size_t CallerBase;
+    /// Native continuation in the caller's compiled code when this
+    /// frame was pushed by a JIT fast-path call site; null for frames
+    /// pushed by the interpreter or by the C++ call helpers. Purely a
+    /// fast-return hint — deopt and interpreter returns ignore it and
+    /// resume the caller at Pc.
+    const void *NativeRet = nullptr;
+  };
+
+  /// Frame depth beyond which enterCall reports "stack overflow"
+  /// (runaway recursion guard, matches the reference interpreter). The
+  /// JIT's native call path bails to the helpers at the same depth.
+  static constexpr size_t kMaxFrames = 100000;
+
+  /// The frame list as a POD {Data, Size, Cap} triple so JIT fast
+  /// paths can address it with fixed offsets (std::vector's layout is
+  /// not ours to assume). Grows like a vector; the JIT's native call
+  /// path bails to the C++ helpers when Size == Cap, so only helpers
+  /// and the interpreter ever reallocate.
+  struct FrameStack {
+    Frame *Data = nullptr;
+    size_t Size = 0;
+    size_t Cap = 0;
+
+    FrameStack() = default;
+    FrameStack(const FrameStack &) = delete;
+    FrameStack &operator=(const FrameStack &) = delete;
+    ~FrameStack() { delete[] Data; }
+
+    Frame &back() { return Data[Size - 1]; }
+    const Frame &back() const { return Data[Size - 1]; }
+    Frame &operator[](size_t I) { return Data[I]; }
+    const Frame &operator[](size_t I) const { return Data[I]; }
+    Frame *begin() { return Data; }
+    Frame *end() { return Data + Size; }
+    const Frame *begin() const { return Data; }
+    const Frame *end() const { return Data + Size; }
+    size_t size() const { return Size; }
+    bool empty() const { return Size == 0; }
+    void clear() { Size = 0; }
+    void pop_back() { --Size; }
+    void push_back(const Frame &F) {
+      if (Size == Cap)
+        reserve(Cap ? Cap * 2 : 1024);
+      Data[Size++] = F;
+    }
+    void reserve(size_t N) {
+      if (N <= Cap)
+        return;
+      Frame *Next = new Frame[N];
+      for (size_t I = 0; I != Size; ++I)
+        Next[I] = Data[I];
+      delete[] Data;
+      Data = Next;
+      Cap = N;
+    }
   };
 
   bool enterCall(int FuncId, const PDesc *Desc, size_t CallerBase,
@@ -178,12 +272,18 @@ private:
   void doTrap(TrapKind Kind, const std::string &Extra = "",
               VmTrapCause Cause = VmTrapCause::Program);
   bool runLoop();
+  bool interpLoop();
   bool runLoopSwitch();
 #ifdef VIRGIL_VM_COMPUTED_GOTO
   bool runLoopThreaded();
 #endif
   uint64_t makeString(int Index);
   bool builtin(int Kind, const PDesc &Desc, size_t Base);
+  /// Tier check for a function whose Gate is armed: the native entry
+  /// for \p Fn at \p Pc if it is (or just became) compiled, else null.
+  /// \p Count bumps the hotness counter and may trigger a compile;
+  /// resume-only sites (returns into a caller) pass false.
+  const void *jitEntryFor(PFunc *Fn, uint32_t Pc, bool Count);
 
   const BcModule &M;
   VmOptions Options;
@@ -196,8 +296,13 @@ private:
   std::vector<uint64_t> Stack;
   std::vector<SlotKind> StackKinds;
   size_t StackTop = 0;
+  /// Mirrors of Stack.data()/Stack.size(), kept current by the ctor
+  /// and growStack so JIT fast paths can check capacity and compute
+  /// frame bases with plain absolute loads.
+  uint64_t *StackData = nullptr;
+  size_t StackLen = 0;
   std::vector<uint64_t> Globals;
-  std::vector<Frame> Frames;
+  FrameStack Frames;
   std::string Output;
   VmCounters Counters;
   bool Trapped = false;
@@ -215,6 +320,17 @@ private:
   /// (one vector per function, empty until a snapshot is taken).
   std::vector<std::vector<IcEntry>> IcSnapshot;
   bool HasReuseSnapshot = false;
+  /// The baseline JIT tier (null when disabled or unsupported); shares
+  /// this Vm's frames, stack arena, globals, and heap, so both tiers
+  /// see one machine state. Survives resetForReuse — warm code is part
+  /// of the pool's value.
+  std::unique_ptr<jit::JitTier> JitT;
+  bool JitAvailable = false;
+  /// Set by the interpreter loop to hand control to native code at
+  /// this address; consumed by the runLoop driver.
+  const void *PendingJitEntry = nullptr;
+
+  friend class jit::JitTier;
 };
 
 } // namespace virgil

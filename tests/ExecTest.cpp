@@ -59,8 +59,16 @@ void expectSameRun(const VmResult &A, const VmResult &B,
   EXPECT_EQ(A.Counters.Calls, B.Counters.Calls) << Label;
   EXPECT_EQ(A.Counters.HeapObjects, B.Counters.HeapObjects) << Label;
   EXPECT_EQ(A.Counters.HeapArrays, B.Counters.HeapArrays) << Label;
-  EXPECT_EQ(A.Counters.IcHits, B.Counters.IcHits) << Label;
-  EXPECT_EQ(A.Counters.IcMisses, B.Counters.IcMisses) << Label;
+  // Inline-cache hit/miss totals are tier-heuristic stats, not program
+  // behavior: a reused VM keeps its compiled code and patched native
+  // sites warm, so a fresh VM (which interprets until hot) counts the
+  // same dispatches differently. Compare them only when neither run
+  // entered the JIT; the hit+miss sum stays tier-invariant per site
+  // shape and is covered by the virtual-call counter equality above.
+  if (A.Jit.Enters == 0 && B.Jit.Enters == 0) {
+    EXPECT_EQ(A.Counters.IcHits, B.Counters.IcHits) << Label;
+    EXPECT_EQ(A.Counters.IcMisses, B.Counters.IcMisses) << Label;
+  }
   EXPECT_EQ(A.Counters.FusedStatic, B.Counters.FusedStatic) << Label;
   EXPECT_EQ(A.Counters.FusedExecuted, B.Counters.FusedExecuted) << Label;
   EXPECT_EQ(A.Heap.ObjectsAllocated, B.Heap.ObjectsAllocated) << Label;

@@ -345,6 +345,25 @@ TEST(FuzzDriver, MonoShareSweepIsClean) {
   EXPECT_EQ(Summary.SeedsRun, 200u);
 }
 
+// JIT sweep: every seed also runs the "vm+jit" strategy — the same
+// program with the baseline JIT tier forced on at a mid threshold, so
+// hot functions execute natively and cold ones interpret, crossing
+// the tier boundary mid-run. Any divergence in results, output, trap
+// diagnostics, or the exact Instrs count breaks the tier-invisibility
+// contract (DESIGN.md §15), so this is the fuzz-strength backstop
+// behind --vm-jit and the CI release-jit-stress lane. On hosts where
+// the JIT cannot run, the strategy degrades to a plain VM leg and the
+// sweep still checks cleanly.
+TEST(FuzzDriver, JitVmSweepIsClean) {
+  FuzzOptions Options;
+  Options.Seeds = 200;
+  Options.Reduce = false;
+  Options.Oracle.VmJit = true;
+  FuzzSummary Summary = Fuzzer(Options).run();
+  EXPECT_TRUE(Summary.clean()) << Summary.toJson();
+  EXPECT_EQ(Summary.SeedsRun, 200u);
+}
+
 // Engine-config differential: the same random programs under switch
 // dispatch, threaded dispatch, and the plain (unfused, uncached)
 // stream must agree on every observable including the executed

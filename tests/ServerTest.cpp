@@ -548,6 +548,10 @@ TEST(ServerTest, QuotaRequestsDoNotStarveNeighbors) {
   // 2-worker server: the good request completes with Ok regardless.
   ServerConfig Config;
   Config.Workers = 2;
+  // The spin loop tiers into the JIT and can burn the default MaxFuel
+  // cap (2^30) inside the 500ms deadline; raise the cap so the
+  // deadline stays the binding quota regardless of execution tier.
+  Config.MaxFuel = ~0ull;
   TestServer TS(Config);
   std::string Err1, Err2, Err3;
   ExecuteResponse R1, R2, R3;

@@ -259,7 +259,12 @@ def main() -> int {
 }
 )",
                      NoOpt);
-  VmResult R = P->runVm();
+  // This test pins down the *interpreter's* monomorphic-cache policy;
+  // the JIT's patchable sites cap repatching and go megamorphic, so
+  // its hit/miss profile legitimately differs (JitTest covers it).
+  VmOptions Opts;
+  Opts.Jit = VmOptions::JitMode::Off;
+  VmResult R = P->runVm(Opts);
   ASSERT_FALSE(R.Trapped) << R.TrapMessage;
   EXPECT_EQ(R.ResultBits, 550);
   EXPECT_EQ(R.Counters.VirtualCalls, 100u);

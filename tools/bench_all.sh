@@ -195,6 +195,31 @@ if esc_have < esc_floor:
     print("FAIL: escape analysis reclaims fewer nursery bytes than "
           "baseline")
     sys.exit(1)
+# JIT tier gate (E18): hot-loop throughput with the baseline JIT on
+# must stay >= 2x the interpreter on the call-dense E1 workload — the
+# tier's acceptance bar. A same-process ratio of two runs, so it is
+# load-independent. Skipped (with a notice) when the host cannot run
+# the JIT at all (non-x86-64, W^X mmap unavailable): the tier is
+# designed to fall back to the interpreter there, and the sweep tests
+# cover that path.
+jit_avail = cur.get("e1_callconv", {}).get("jit_available")
+jit_have = cur.get("e1_callconv", {}).get("jit_speedup")
+if jit_avail is None:
+    print("FAIL: e1_callconv jit_available missing from results")
+    sys.exit(1)
+if jit_avail == 0:
+    print("perf gate: e1_callconv jit_speedup skipped "
+          "(JIT unavailable on this host)")
+else:
+    if jit_have is None:
+        print("FAIL: e1_callconv jit_speedup missing from results")
+        sys.exit(1)
+    print(f"perf gate: e1_callconv jit_speedup = {jit_have:.2f}x, "
+          f"floor 2.00x")
+    if jit_have < 2.0:
+        print("FAIL: JIT tier is not 2x the interpreter on the E1 "
+              "hot loop")
+        sys.exit(1)
 print("perf gate: ok")
 EOF
 fi

@@ -58,6 +58,12 @@
 ///                    runs on a snapshot-reset reused VM, which must
 ///                    match the fresh VM exactly (the warm-pool
 ///                    invisibility contract)
+///   --vm-jit         add the "vm+jit" strategies: each program also
+///                    runs with the baseline JIT forced on at hotness
+///                    threshold 0 and at a mid threshold, and both
+///                    tiers must match the interpreter exactly —
+///                    result, output, trap diagnostics, and executed
+///                    instruction count
 ///   --mono-share     add the "mono+share" strategy: each program is
 ///                    recompiled with specialization sharing forced on
 ///                    (baseline legs force it off) and the shared
@@ -105,8 +111,8 @@ static void usage() {
                "                    [--no-reduce] [--no-opt-compare] "
                "[--gen-off FEATURE] [--verbose]\n"
                "                    [--vm-gc gen|semi] "
-               "[--vm-nursery-bytes N] [--vm-pool] [--mono-share] "
-               "[--opt-escape]\n");
+               "[--vm-nursery-bytes N] [--vm-pool] [--vm-jit] "
+               "[--mono-share] [--opt-escape]\n");
 }
 
 static bool readWholeFile(const std::string &Path, std::string &Out) {
@@ -143,6 +149,40 @@ static int parseVmGcFlag(const std::string &Arg, int &I, int Argc,
       return -1;
     }
     Opts.NurseryBytes = (uint32_t)N;
+    return 1;
+  }
+  return 0;
+}
+
+/// Parses one --vm-jit / --jit-threshold flag pair into \p Opts
+/// (overriding the VIRGIL_VM_JIT / VIRGIL_VM_JIT_THRESHOLD process
+/// defaults). Returns 1 if consumed, 0 if not a JIT flag, -1 on a bad
+/// value.
+static int parseVmJitFlag(const std::string &Arg, int &I, int Argc,
+                          char **Argv, VmOptions &Opts) {
+  if (Arg == "--vm-jit" && I + 1 < Argc) {
+    std::string Mode = Argv[++I];
+    if (Mode == "on")
+      Opts.Jit = VmOptions::JitMode::On;
+    else if (Mode == "off")
+      Opts.Jit = VmOptions::JitMode::Off;
+    else if (Mode == "auto")
+      Opts.Jit = VmOptions::JitMode::Auto;
+    else {
+      std::fprintf(stderr, "virgilc: --vm-jit needs on|off|auto, got '%s'\n",
+                   Mode.c_str());
+      return -1;
+    }
+    return 1;
+  }
+  if (Arg == "--jit-threshold" && I + 1 < Argc) {
+    long long N = std::atoll(Argv[++I]);
+    if (N < 0 || N >= 0xFFFFFFFFll) {
+      std::fprintf(stderr,
+                   "virgilc: --jit-threshold must be in [0, 2^32-2]\n");
+      return -1;
+    }
+    Opts.JitThreshold = (uint32_t)N;
     return 1;
   }
   return 0;
@@ -423,6 +463,8 @@ static int runFuzz(int Argc, char **Argv) {
       Options.Oracle.CompareNoOpt = false;
     } else if (Arg == "--vm-pool") {
       Options.Oracle.VmPooled = true;
+    } else if (Arg == "--vm-jit") {
+      Options.Oracle.VmJit = true;
     } else if (Arg == "--mono-share") {
       Options.Oracle.MonoShare = true;
     } else if (Arg == "--opt-escape") {
@@ -516,6 +558,9 @@ int main(int Argc, char **Argv) {
       }
     } else if (int K = parseVmGcFlag(Arg, I, Argc, Argv, VmOpts)) {
       if (K < 0)
+        return 2;
+    } else if (int KJ = parseVmJitFlag(Arg, I, Argc, Argv, VmOpts)) {
+      if (KJ < 0)
         return 2;
     } else if (int K2 = parseMonoShareFlag(Arg, I, Argc, Argv,
                                            Options.ShareSpecializations)) {
@@ -620,7 +665,13 @@ int main(int Argc, char **Argv) {
         "\"gc_minor\":%llu,\"gc_major\":%llu,"
         "\"gc_minor_pause_ns\":%llu,\"gc_major_pause_ns\":%llu,"
         "\"gc_survival\":%.4f,\"barrier_hits\":%llu,"
-        "\"remembered_slots\":%llu,\"trapped\":%s}\n",
+        "\"remembered_slots\":%llu,"
+        "\"jit_available\":%s,\"jit_enabled\":%s,"
+        "\"jit_compiles\":%llu,\"jit_compile_failures\":%llu,"
+        "\"jit_compile_ns\":%llu,\"jit_code_bytes\":%llu,"
+        "\"jit_enters\":%llu,\"jit_osr_entries\":%llu,"
+        "\"jit_deopts\":%llu,\"jit_ic_patches\":%llu,"
+        "\"jit_ic_megamorphic\":%llu,\"trapped\":%s}\n",
         R.DispatchMode.c_str(), (unsigned long long)C.Instrs,
         (unsigned long long)C.Calls, (unsigned long long)C.VirtualCalls,
         (unsigned long long)C.IndirectCalls,
@@ -637,6 +688,17 @@ int main(int Argc, char **Argv) {
         (unsigned long long)R.Heap.MajorPauses.SumNs,
         R.Heap.survivalRate(), (unsigned long long)R.Heap.BarrierHits,
         (unsigned long long)R.Heap.RememberedSlots,
+        R.Jit.Available ? "true" : "false",
+        R.Jit.Enabled ? "true" : "false",
+        (unsigned long long)R.Jit.Compiles,
+        (unsigned long long)R.Jit.CompileFailures,
+        (unsigned long long)R.Jit.CompileNs,
+        (unsigned long long)R.Jit.CodeBytes,
+        (unsigned long long)R.Jit.Enters,
+        (unsigned long long)R.Jit.OsrEntries,
+        (unsigned long long)R.Jit.Deopts,
+        (unsigned long long)R.Jit.IcPatches,
+        (unsigned long long)R.Jit.IcMegamorphic,
         R.Trapped ? "true" : "false");
   }
   if (R.Trapped) {

@@ -28,6 +28,13 @@
 ///                        VM instead of recompiling + re-preparing
 ///                        (default on)
 ///   --vm-pool-size N     warm VMs retained per worker (default 8)
+///   --vm-jit M           request-VM JIT tier: on | off | auto
+///                        (default: the VIRGIL_VM_JIT environment
+///                        setting, auto); totals appear in the STATS
+///                        "jit" section
+///   --jit-threshold N    calls + backward branches before a function
+///                        tiers up (default: VIRGIL_VM_JIT_THRESHOLD,
+///                        64; 0 compiles on first execution)
 ///   --no-opt             compile without the optimizer
 ///   --mono-share on|off  specialization sharing (default: the
 ///                        VIRGIL_MONO_SHARE environment setting, on);
@@ -72,6 +79,7 @@ static void usage() {
       "               [--fuel N] [--heap-max-bytes N] [--deadline-ms N]\n"
       "               [--vm-gc gen|semi] [--vm-nursery-bytes N]\n"
       "               [--vm-pool on|off] [--vm-pool-size N]\n"
+      "               [--vm-jit on|off|auto] [--jit-threshold N]\n"
       "               [--no-opt] [--mono-share on|off] "
       "[--opt-escape on|off]\n"
       "               [--stats-on-exit]\n");
@@ -185,6 +193,24 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Config.VmNurseryBytes = (uint32_t)N;
+    } else if (Arg == "--vm-jit" && I + 1 < Argc) {
+      std::string Mode = Argv[++I];
+      if (Mode == "on") {
+        Config.VmJit = VmOptions::JitMode::On;
+      } else if (Mode == "off") {
+        Config.VmJit = VmOptions::JitMode::Off;
+      } else if (Mode == "auto") {
+        Config.VmJit = VmOptions::JitMode::Auto;
+      } else {
+        std::fprintf(stderr, "virgild: --vm-jit is on|off|auto\n");
+        return 2;
+      }
+    } else if (Arg == "--jit-threshold" && I + 1 < Argc) {
+      if (!parseU64(Argv[++I], &N) || N >= 0xFFFFFFFFull) {
+        std::fprintf(stderr, "virgild: bad --jit-threshold\n");
+        return 2;
+      }
+      Config.VmJitThreshold = (uint32_t)N;
     } else if (Arg == "--no-opt") {
       Config.Compile.Optimize = false;
     } else if (Arg == "--mono-share" && I + 1 < Argc) {
