@@ -2,6 +2,7 @@
 
 #include "core/Compiler.h"
 
+#include "ir/IrPrinter.h"
 #include "ir/IrVerifier.h"
 #include "lower/Lower.h"
 #include "parse/Parser.h"
@@ -66,6 +67,7 @@ void bankPassTimes(PhaseTimings &T, const OptStats &S) {
   T.PassDceMs += S.DceMs;
   T.PassEscapeMs += S.EscapeMs;
   T.PassDeadFieldsMs += S.DeadFieldsMs;
+  T.PassSsaMs += S.SsaMs;
 }
 
 } // namespace
@@ -88,6 +90,7 @@ PhaseTimings &PhaseTimings::operator+=(const PhaseTimings &O) {
   PassDceMs += O.PassDceMs;
   PassEscapeMs += O.PassEscapeMs;
   PassDeadFieldsMs += O.PassDeadFieldsMs;
+  PassSsaMs += O.PassSsaMs;
   return *this;
 }
 
@@ -98,11 +101,11 @@ std::string PhaseTimings::toString() const {
                 "opt-mono %.2fms norm %.2fms opt-norm %.2fms share %.2fms "
                 "emit %.2fms total %.2fms (passes: devirt %.2f inline %.2f "
                 "fold %.2f copyprop %.2f dce %.2f escape %.2f "
-                "deadfields %.2f)",
+                "deadfields %.2f ssa %.2f)",
                 ParseMs, SemaMs, LowerMs, MonoMs, OptMonoMs, NormMs,
                 OptNormMs, ShareMs, EmitMs, TotalMs, PassDevirtMs,
                 PassInlineMs, PassFoldMs, PassCopyPropMs, PassDceMs,
-                PassEscapeMs, PassDeadFieldsMs);
+                PassEscapeMs, PassDeadFieldsMs, PassSsaMs);
   return Buf;
 }
 
@@ -115,11 +118,12 @@ std::string PhaseTimings::toJson() const {
                 "\"total_ms\":%.3f,\"pass_devirt_ms\":%.3f,"
                 "\"pass_inline_ms\":%.3f,\"pass_fold_ms\":%.3f,"
                 "\"pass_copyprop_ms\":%.3f,\"pass_dce_ms\":%.3f,"
-                "\"pass_escape_ms\":%.3f,\"pass_deadfields_ms\":%.3f}",
+                "\"pass_escape_ms\":%.3f,\"pass_deadfields_ms\":%.3f,"
+                "\"pass_ssa_ms\":%.3f}",
                 ParseMs, SemaMs, LowerMs, MonoMs, OptMonoMs, NormMs,
                 OptNormMs, ShareMs, EmitMs, TotalMs, PassDevirtMs,
                 PassInlineMs, PassFoldMs, PassCopyPropMs, PassDceMs,
-                PassEscapeMs, PassDeadFieldsMs);
+                PassEscapeMs, PassDeadFieldsMs, PassSsaMs);
   return Buf;
 }
 
@@ -221,8 +225,23 @@ std::unique_ptr<Program> Compiler::compile(const std::string &Name,
       return internalFail(Problems, "monomorphization");
   }
   Timer.mark(&PhaseTimings::MonoMs);
+  // --dump-ir=<pass>: wrap each optimizer invocation so the hook can
+  // print the module it is rewriting (the "ssa"/"sccp"/"loadelim"
+  // dumps fire while that module is still in SSA form, phis visible).
+  auto OptWithDump = [&](IrModule &M, const char *Phase) {
+    OptOptions OO = Options.Opt;
+    if (!Options.DumpIrAfter.empty()) {
+      OO.DumpAfter = [&M, Phase, this](const char *Name) {
+        if (Options.DumpIrAfter != Name)
+          return;
+        std::printf("// after %s (%s)\n%s", Name, Phase,
+                    printModule(M).c_str());
+      };
+    }
+    return optimizeModule(M, OO);
+  };
   if (Options.Optimize) {
-    P->Stats.OptAfterMono = optimizeModule(*P->MonoIr, Options.Opt);
+    P->Stats.OptAfterMono = OptWithDump(*P->MonoIr, "opt-mono");
     bankPassTimes(P->Stats.Timings, P->Stats.OptAfterMono);
   }
   P->Stats.MonoIr = computeStats(*P->MonoIr);
@@ -239,7 +258,7 @@ std::unique_ptr<Program> Compiler::compile(const std::string &Name,
   }
   Timer.mark(&PhaseTimings::NormMs);
   if (Options.Optimize) {
-    P->Stats.OptAfterNorm = optimizeModule(*P->NormIr, Options.Opt);
+    P->Stats.OptAfterNorm = OptWithDump(*P->NormIr, "opt-norm");
     bankPassTimes(P->Stats.Timings, P->Stats.OptAfterNorm);
   }
   Timer.mark(&PhaseTimings::OptNormMs);

@@ -60,6 +60,11 @@ struct CompilerOptions {
   /// Merge specializations with identical normalized bodies after
   /// opt-norm (bounds §4.3 code expansion; observationally invisible).
   bool ShareSpecializations = defaultMonoShareEnabled();
+  /// When non-empty, print the IR (via IrPrinter) to stdout after every
+  /// run of the named optimizer pass — `virgilc --dump-ir=<pass>`.
+  /// Accepts the OptOptions::DumpAfter names; "ssa"/"sccp"/"loadelim"
+  /// dump while the module is still in SSA form, with phis visible.
+  std::string DumpIrAfter;
 };
 
 /// Wall-clock milliseconds spent in each pipeline phase of one
@@ -86,6 +91,7 @@ struct PhaseTimings {
   double PassDceMs = 0;
   double PassEscapeMs = 0;
   double PassDeadFieldsMs = 0;
+  double PassSsaMs = 0;
 
   PhaseTimings &operator+=(const PhaseTimings &O);
   /// One line, e.g. "parse 0.12ms sema 0.34ms ... total 1.23ms".

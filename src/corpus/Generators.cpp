@@ -389,6 +389,66 @@ def main() -> int {
   return OS.str();
 }
 
+std::string corpus::genSsaWorkload(int Units, int Rounds) {
+  std::ostringstream OS;
+  // The hot path is built from the two redundancies the SSA mid-tier
+  // exists for. weigh() re-reads every field after the diamond join —
+  // a redundant FieldGet/NullCheck chain the dense local passes cannot
+  // forward but dominance-scoped load elimination can. classify<T> is
+  // the paper's §3.3 chain: after specialization every type query is
+  // decided statically and SCCP folds the whole ladder to a straight
+  // line.
+  OS << R"(
+class Cell {
+  var a: int;
+  var b: int;
+  var c: int;
+  new(a, b, c) { }
+}
+class Grid {
+  var east: Cell;
+  var west: Cell;
+  new(east, west) { }
+  def weigh(bias: bool) -> int {
+    var t = 0;
+    if (bias) t = east.a + east.b + east.c;
+    else t = west.a + west.b + west.c;
+    t = t + east.a + east.b + east.c;
+    t = t + west.a + west.b + west.c;
+    return t;
+  }
+}
+def classify<T>(x: T) -> int {
+  if (int.?(x)) return int.!(x);
+  if (bool.?(x)) { if (bool.!(x)) return 1; else return 0; }
+  if (byte.?(x)) return 100;
+  return -1;
+}
+)";
+  for (int U = 0; U != Units; ++U) {
+    OS << "def blend" << U << "(g: Grid, n: int) -> int {\n";
+    OS << "  var acc = 0;\n";
+    OS << "  for (i = 0; i < n; i = i + 1) {\n";
+    OS << "    var e = g.east;\n";
+    OS << "    acc = (acc + e.a * " << (3 + 2 * (U % 5)) << " + e.b * "
+       << (5 + 2 * (U % 3)) << " + e.c * 7) % 1000003;\n";
+    OS << "    acc = (acc + g.east.a + g.east.b) % 1000003;\n";
+    OS << "    acc = (acc + g.weigh(i % 2 == 0)) % 1000003;\n";
+    OS << "    acc = (acc + classify(i) + classify(i % 2 == 0) + "
+          "classify('x')) % 1000003;\n";
+    OS << "  }\n";
+    OS << "  return acc;\n}\n";
+  }
+  OS << "def main() -> int {\n";
+  OS << "  var g = Grid.new(Cell.new(1, 2, 3), Cell.new(4, 5, 6));\n";
+  OS << "  var acc = 0;\n";
+  for (int U = 0; U != Units; ++U)
+    OS << "  acc = (acc + blend" << U << "(g, " << Rounds
+       << ")) % 1000003;\n";
+  OS << "  return acc;\n}\n";
+  return OS.str();
+}
+
 std::string corpus::genThroughputProgram(int Classes) {
   std::ostringstream OS;
   OS << "class Base {\n  def cost() -> int { return 1; }\n}\n";

@@ -71,6 +71,18 @@ std::string genGcWorkload(int Rounds, int LiveNodes);
 /// nursery-byte ratio is the escape_nursery_reduction gate's metric.
 std::string genEscapeChurn(int Rounds, int Width, int LiveNodes);
 
+/// E19: field- and branch-heavy kernels built so the SSA mid-tier
+/// wins where the dense passes cannot. Each of \p Units kernels
+/// re-reads the same object fields on both arms of a diamond *and
+/// after the join* — redundant FieldGet/NullCheck chains that only
+/// dominance-scoped load elimination forwards — and drives a
+/// classify<T> type-query chain that SCCP folds to a straight line
+/// after specialization (the paper's §3.3 claim). \p Rounds is the
+/// hot-loop trip count in main, so the retired-instruction ratio
+/// ssa-off/ssa-on is measured on exactly the code the sparse passes
+/// rewrote — the ssa_instr_reduction gate's metric.
+std::string genSsaWorkload(int Units, int Rounds);
+
 /// E9: a well-formed program of roughly \p Classes classes with
 /// methods and call chains (compiler throughput).
 std::string genThroughputProgram(int Classes);

@@ -171,6 +171,17 @@ ExecuteResponse Executor::run(const ExecuteRequest &Req, bool ExecuteVm,
     if (Service.options().Compile.Optimize &&
         Service.options().Compile.Opt.Escape)
       Opt.EscapeEnabled.store(true, std::memory_order_relaxed);
+    if (Service.options().Compile.Optimize &&
+        Service.options().Compile.Opt.Ssa)
+      Opt.SsaEnabled.store(true, std::memory_order_relaxed);
+    Opt.PhisPlaced.fetch_add(JR.Opt.PhisPlaced, std::memory_order_relaxed);
+    Opt.SccpFolded.fetch_add(JR.Opt.SccpFolded, std::memory_order_relaxed);
+    Opt.LoadsEliminated.fetch_add(JR.Opt.LoadsEliminated,
+                                  std::memory_order_relaxed);
+    Opt.StoresKilled.fetch_add(JR.Opt.StoresKilled,
+                               std::memory_order_relaxed);
+    Opt.NullChecksRemoved.fetch_add(JR.Opt.NullChecksRemoved,
+                                    std::memory_order_relaxed);
     Opt.AllocsElided.fetch_add(JR.Opt.AllocsElided,
                                std::memory_order_relaxed);
     Opt.FieldsScalarized.fetch_add(JR.Opt.FieldsScalarized,
@@ -191,6 +202,7 @@ ExecuteResponse Executor::run(const ExecuteRequest &Req, bool ExecuteVm,
     AddUs(Opt.DceUs, JR.Timings.PassDceMs);
     AddUs(Opt.EscapeUs, JR.Timings.PassEscapeMs);
     AddUs(Opt.DeadFieldsUs, JR.Timings.PassDeadFieldsMs);
+    AddUs(Opt.SsaUs, JR.Timings.PassSsaMs);
   }
   if (!ExecuteVm)
     return R; // COMPILE: cache is populated, nothing to run

@@ -77,11 +77,20 @@ struct JitCounters {
 struct OptCounters {
   /// Whether any compiled job ran with escape analysis enabled.
   std::atomic<bool> EscapeEnabled{false};
+  /// Whether any compiled job ran the SSA mid-tier.
+  std::atomic<bool> SsaEnabled{false};
   std::atomic<uint64_t> AllocsElided{0};
   std::atomic<uint64_t> FieldsScalarized{0};
   std::atomic<uint64_t> ClosuresFlattened{0};
   std::atomic<uint64_t> CallsDevirtualized{0};
   std::atomic<uint64_t> DevirtualizedByCha{0};
+  /// SSA mid-tier totals: phis placed, SCCP folds, and the memory
+  /// pass's load/store/null-check eliminations.
+  std::atomic<uint64_t> PhisPlaced{0};
+  std::atomic<uint64_t> SccpFolded{0};
+  std::atomic<uint64_t> LoadsEliminated{0};
+  std::atomic<uint64_t> StoresKilled{0};
+  std::atomic<uint64_t> NullChecksRemoved{0};
   /// Accumulated per-pass optimizer wall time, in microseconds
   /// (atomics can't hold doubles; STATS renders these back as ms).
   std::atomic<uint64_t> DevirtUs{0};
@@ -91,6 +100,7 @@ struct OptCounters {
   std::atomic<uint64_t> DceUs{0};
   std::atomic<uint64_t> EscapeUs{0};
   std::atomic<uint64_t> DeadFieldsUs{0};
+  std::atomic<uint64_t> SsaUs{0};
 };
 
 struct ExecutorConfig {

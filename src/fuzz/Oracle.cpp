@@ -3,6 +3,7 @@
 #include "fuzz/Oracle.h"
 
 #include "core/Compiler.h"
+#include "ssa/Ssa.h"
 
 #include <sstream>
 
@@ -183,14 +184,16 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
   // (instead of following the process default) so the "/share" legs
   // are a true on-vs-off differential; the escape strategy does the
   // same with the escape pass.
-  auto compileOne = [&](bool Optimize, bool Share,
-                        bool Escape = false) -> std::unique_ptr<Program> {
+  auto compileOne = [&](bool Optimize, bool Share, bool Escape = false,
+                        bool Ssa = false) -> std::unique_ptr<Program> {
     CompilerOptions Options;
     Options.Optimize = Optimize;
     if (Config.MonoShare)
       Options.ShareSpecializations = Share;
     if (Config.OptEscape)
       Options.Opt.Escape = Escape;
+    if (Config.OptSsa)
+      Options.Opt.Ssa = Ssa;
     Compiler C(Options);
     std::string Error;
     auto P = C.compile("fuzz", Source, &Error);
@@ -232,6 +235,27 @@ OracleReport DifferentialOracle::check(const std::string &Source) const {
     // and mono legs would re-test nothing.
     runStrategies(*PEscape, Config.MaxInstrs, Config.Vm, Config.VmPooled,
                   Config.VmJit, "/escape", Report.Runs,
+                  /*NormAndVmOnly=*/true);
+  }
+  if (Config.OptSsa) {
+    // Arm strict-SSA verification for this compile: a malformed phi or
+    // a dominance violation should fail loudly at the pass boundary,
+    // not surface later as an unexplained value divergence.
+    bool PrevVerify = ssa::ssaVerifyEnabled();
+    ssa::setSsaVerifyEnabled(true);
+    auto PSsa = compileOne(/*Optimize=*/true, /*Share=*/false,
+                           /*Escape=*/false, /*Ssa=*/true);
+    ssa::setSsaVerifyEnabled(PrevVerify);
+    if (!PSsa) {
+      // Compiling must not depend on the SSA mid-tier.
+      Report.Kind = Outcome::CompileError;
+      Report.Detail = "compiles without the SSA mid-tier but not with it";
+      return Report;
+    }
+    // The SSA sandwich rewrites only the post-mono IR, so the poly and
+    // mono legs would re-test nothing.
+    runStrategies(*PSsa, Config.MaxInstrs, Config.Vm, Config.VmPooled,
+                  Config.VmJit, "/ssa", Report.Runs,
                   /*NormAndVmOnly=*/true);
   }
 

@@ -116,6 +116,17 @@ struct OracleConfig {
   /// Only the optimized pipeline participates — the no-opt pipeline
   /// never runs the pass.
   bool OptEscape = false;
+  /// Adds "/ssa" strategies: the program is recompiled with the SSA
+  /// mid-tier (pruned-SSA construction, SCCP, load/store elimination)
+  /// forced ON while the baseline legs force it OFF, and the SSA
+  /// pipeline's norm-interp and vm runs must agree with everything
+  /// else. Any divergence breaks the SSA sandwich's observational
+  /// invisibility (src/ssa/Ssa.h). The oracle also arms strict-SSA
+  /// verification for its compiles so malformed SSA is caught at the
+  /// pass boundary rather than as a downstream divergence. Only the
+  /// optimized pipeline participates — the no-opt pipeline never
+  /// enters SSA form.
+  bool OptSsa = false;
   /// Adds "vm+jit" strategies: the same bytecode re-run with the
   /// baseline JIT tier forced ON at hotness threshold 0 (everything
   /// compiles before its first instruction) and at a mid threshold

@@ -375,6 +375,10 @@ Value Interpreter::runBuiltin(int Kind, std::vector<Value> &Args) {
 #endif
 #ifdef VIRGIL_INTERP_ASAN
 static constexpr int kMaxInterpDepth = 200;
+#elif !defined(__OPTIMIZE__)
+// -O0 frames are several times larger than optimized ones; 4000 of
+// them overflows a default 8 MiB stack before the guard fires.
+static constexpr int kMaxInterpDepth = 1000;
 #else
 static constexpr int kMaxInterpDepth = 4000;
 #endif
@@ -743,6 +747,9 @@ std::vector<Value> Interpreter::exec(IrFunction *F,
         break;
       case Opcode::Trap:
         trap((TrapKind)I->Index);
+        break;
+      case Opcode::Phi:
+        trap(TrapKind::Unreachable, "phi outside the SSA sandwich");
         break;
       }
     }

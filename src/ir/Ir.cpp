@@ -100,6 +100,8 @@ const char *virgil::opcodeName(Opcode Op) {
     return "cond.br";
   case Opcode::Trap:
     return "trap";
+  case Opcode::Phi:
+    return "phi";
   }
   return "unknown";
 }
@@ -163,6 +165,7 @@ bool virgil::isPure(Opcode Op) {
   case Opcode::GlobalGet:
   case Opcode::MakeClosure:
   case Opcode::TypeQuery:
+  case Opcode::Phi:
     return true;
   // ConstString and NewArray allocate (observable via identity /
   // mutation); div/mod, casts, and memory ops can trap or have effects.

@@ -112,6 +112,14 @@ enum class Opcode : uint8_t {
   Br,     ///< Jumps to Succ0.
   CondBr, ///< Args[0] ? Succ0 : Succ1.
   Trap,   ///< Aborts execution; Index is a TrapKind.
+  /// SSA phi: Dsts[0] <- Args[i] when control arrives from the block's
+  /// i-th predecessor (predecessors ordered as ssa::predecessors()
+  /// reports them). Exists only *inside* the SSA sandwich in
+  /// src/ssa/ — construction places phis, destruction replaces them
+  /// with edge copies — so the interpreters, BcPrepare, and the
+  /// bytecode emitter never see one; IrVerifier rejects it outside
+  /// strict-SSA mode.
+  Phi,
 };
 
 enum class TrapKind : uint8_t {

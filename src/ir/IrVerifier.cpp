@@ -199,6 +199,11 @@ private:
     if (I.Op == Opcode::NullCheck &&
         (I.Args.size() != 1 || !I.Dsts.empty()))
       problem(F, "null.check takes one operand and produces nothing");
+    // SSA form never leaves the optimizer's sandwich: a phi reaching
+    // the interpreter, BcPrepare, or the emitter would be executed as
+    // an unknown opcode.
+    if (I.Op == Opcode::Phi)
+      problem(F, "phi instruction outside the SSA sandwich");
     // Post-norm an indirect call's callee slot must be a closure-kind
     // register (flattened calls become CallFunc and leave this form).
     if (M.Normalized && I.Op == Opcode::CallIndirect) {
@@ -255,4 +260,192 @@ private:
 std::vector<std::string> virgil::verifyModule(const IrModule &M) {
   Verifier V(M);
   return V.run();
+}
+
+namespace {
+
+/// Strict-SSA checker. Self-contained (simple iterative bitvector
+/// dominators) so ir/ keeps no dependency on the ssa/ subsystem's
+/// tree; this only runs in Debug and fuzz builds.
+class SsaChecker {
+public:
+  SsaChecker(const IrModule &M, const IrFunction &F) : M(M), F(F) {}
+
+  std::vector<std::string> run() {
+    (void)M;
+    size_t N = F.Blocks.size();
+    if (N == 0)
+      return std::move(Problems);
+    for (size_t I = 0; I != N; ++I)
+      Idx[F.Blocks[I]] = I;
+
+    // Structural predecessor edges in the sandwich's canonical order:
+    // predecessors by block position, Succ0 edge before Succ1.
+    Preds.assign(N, {});
+    for (size_t I = 0; I != N; ++I) {
+      const IrBlock *B = F.Blocks[I];
+      if (B->Succ0)
+        Preds[Idx[B->Succ0]].push_back({I, 0});
+      if (B->Succ1)
+        Preds[Idx[B->Succ1]].push_back({I, 1});
+    }
+
+    computeReachability();
+    computeDominators();
+    checkSingleAssignment();
+    checkPhiShape();
+    checkDefsDominateUses();
+    return std::move(Problems);
+  }
+
+private:
+  struct Edge {
+    size_t Pred;
+    int SuccIdx;
+  };
+
+  void problem(const std::string &Message) {
+    Problems.push_back("in function '" + F.Name + "': " + Message);
+  }
+
+  void computeReachability() {
+    size_t N = F.Blocks.size();
+    Reach.assign(N, 0);
+    std::vector<size_t> Work{0};
+    Reach[0] = 1;
+    while (!Work.empty()) {
+      const IrBlock *B = F.Blocks[Work.back()];
+      Work.pop_back();
+      for (const IrBlock *S : {B->Succ0, B->Succ1})
+        if (S && !Reach[Idx[S]]) {
+          Reach[Idx[S]] = 1;
+          Work.push_back(Idx[S]);
+        }
+    }
+  }
+
+  void computeDominators() {
+    size_t N = F.Blocks.size();
+    Dom.assign(N, std::vector<bool>(N, true));
+    Dom[0].assign(N, false);
+    Dom[0][0] = true;
+    for (bool Changed = true; Changed;) {
+      Changed = false;
+      for (size_t I = 1; I < N; ++I) {
+        if (!Reach[I])
+          continue;
+        std::vector<bool> New(N, true);
+        for (const Edge &E : Preds[I])
+          if (Reach[E.Pred])
+            for (size_t J = 0; J != N; ++J)
+              New[J] = New[J] && Dom[E.Pred][J];
+        New[I] = true;
+        if (New != Dom[I]) {
+          Dom[I] = std::move(New);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  void checkSingleAssignment() {
+    size_t R = F.RegTypes.size();
+    DefBlock.assign(R, -1);
+    DefPos.assign(R, 0);
+    std::vector<int> Count(R, 0);
+    for (Reg P = 0; P != F.NumParams && P < R; ++P)
+      ++Count[P];
+    for (size_t BI = 0; BI != F.Blocks.size(); ++BI) {
+      if (!Reach[BI])
+        continue;
+      const IrBlock *B = F.Blocks[BI];
+      for (size_t I = 0; I != B->Instrs.size(); ++I)
+        for (Reg D : B->Instrs[I]->Dsts) {
+          if (D >= R)
+            continue;
+          if (++Count[D] > 1)
+            problem("register %" + std::to_string(D) +
+                    " assigned more than once in SSA form");
+          DefBlock[D] = (int)BI;
+          DefPos[D] = I;
+        }
+    }
+  }
+
+  void checkPhiShape() {
+    for (size_t BI = 0; BI != F.Blocks.size(); ++BI) {
+      const IrBlock *B = F.Blocks[BI];
+      bool SeenNonPhi = false;
+      for (const IrInstr *I : B->Instrs) {
+        if (I->Op != Opcode::Phi) {
+          SeenNonPhi = true;
+          continue;
+        }
+        if (SeenNonPhi)
+          problem("phi after a non-phi in block b" +
+                  std::to_string(B->id()));
+        if (I->Dsts.size() != 1)
+          problem("phi must define exactly one register");
+        if (I->Args.size() != Preds[BI].size())
+          problem("phi arity " + std::to_string(I->Args.size()) +
+                  " does not match predecessor count " +
+                  std::to_string(Preds[BI].size()) + " in block b" +
+                  std::to_string(B->id()));
+      }
+    }
+  }
+
+  void checkDefsDominateUses() {
+    for (size_t BI = 0; BI != F.Blocks.size(); ++BI) {
+      if (!Reach[BI])
+        continue;
+      const IrBlock *B = F.Blocks[BI];
+      for (size_t I = 0; I != B->Instrs.size(); ++I) {
+        const IrInstr *In = B->Instrs[I];
+        if (In->Op == Opcode::Phi) {
+          for (size_t P = 0; P != In->Args.size() && P < Preds[BI].size();
+               ++P)
+            checkUse(In->Args[P], Preds[BI][P].Pred, SIZE_MAX, true);
+          continue;
+        }
+        for (Reg A : In->Args)
+          checkUse(A, BI, I, false);
+      }
+    }
+  }
+
+  /// A use of \p R at (\p BI, \p Pos); phi-argument uses sit at the
+  /// end of the predecessor block (Pos = SIZE_MAX).
+  void checkUse(Reg R, size_t BI, size_t Pos, bool PhiUse) {
+    if (R >= DefBlock.size() || DefBlock[R] < 0)
+      return; // No definition: parameter or frame-default semantics.
+    if (!Reach[BI])
+      return;
+    size_t DB = (size_t)DefBlock[R];
+    bool Ok = DB == BI ? DefPos[R] < Pos : Dom[BI][DB];
+    if (!Ok)
+      problem("definition of %" + std::to_string(R) +
+              " does not dominate its " +
+              (PhiUse ? std::string("phi-edge use from block b")
+                      : std::string("use in block b")) +
+              std::to_string(F.Blocks[BI]->id()));
+  }
+
+  const IrModule &M;
+  const IrFunction &F;
+  std::map<const IrBlock *, size_t> Idx;
+  std::vector<std::vector<Edge>> Preds;
+  std::vector<char> Reach;
+  std::vector<std::vector<bool>> Dom;
+  std::vector<int> DefBlock;
+  std::vector<size_t> DefPos;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> virgil::verifyFunctionSsa(const IrModule &M,
+                                                   const IrFunction &F) {
+  SsaChecker C(M, F);
+  return C.run();
 }

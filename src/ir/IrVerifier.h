@@ -24,8 +24,29 @@
 namespace virgil {
 
 /// Verifies the module; returns a list of human-readable problems
-/// (empty means well-formed).
+/// (empty means well-formed). Rejects `Opcode::Phi` — SSA form is
+/// internal to the optimizer's SSA sandwich and must never escape it;
+/// use verifyFunctionSsa while the sandwich is active.
 std::vector<std::string> verifyModule(const IrModule &M);
+
+/// Strict-SSA verification of one function while the SSA sandwich is
+/// active:
+///
+/// * single assignment — no register is defined twice, and parameters
+///   (implicitly defined on entry) are never redefined;
+/// * phis are contiguous at the head of their block, define exactly one
+///   register, and their arity equals the block's structural
+///   predecessor count (Succ0 edge before Succ1, predecessors ordered
+///   by block position);
+/// * every definition dominates every use; a phi argument is a use at
+///   the end of the corresponding predecessor block. Uses of registers
+///   with no definition are allowed — they read the frame default,
+///   which is the IR's undefined-variable semantics.
+///
+/// Run after every SSA-form pass in Debug and fuzz builds (see
+/// ssa::ssaVerifyEnabled).
+std::vector<std::string> verifyFunctionSsa(const IrModule &M,
+                                           const IrFunction &F);
 
 } // namespace virgil
 

@@ -714,6 +714,9 @@ void Normalizer::normalizeBody(IrFunction *OldF, IrFunction *NewF) {
         N->Loc = I->Loc;
         break;
       }
+      case Opcode::Phi:
+        assert(false && "phi outside the SSA sandwich");
+        break;
       }
     }
     if (C.Dead) {

@@ -13,12 +13,13 @@
 ///    `ClassHierarchy` per pass invocation instead of an O(classes)
 ///    scan per call site;
 ///  * *exact-receiver* devirtualization: a receiver whose single
-///    definition is a `new.object` earlier in the same block has a
-///    known dynamic class, so the call resolves through that class's
-///    vtable even when the hierarchy has many implementers. This is
-///    what lets the inliner reach method bodies on locally allocated
-///    objects, which in turn is what makes those allocations
-///    scalar-replaceable by the escape pass.
+///    definition is a `new.object` that dominates the call (earlier in
+///    the same block, or in a dominating block per the shared
+///    dominator tree) has a known dynamic class, so the call resolves
+///    through that class's vtable even when the hierarchy has many
+///    implementers. This is what lets the inliner reach method bodies
+///    on locally allocated objects, which in turn is what makes those
+///    allocations scalar-replaceable by the escape pass.
 ///
 /// A virtual call null-checks its receiver before dispatching; a
 /// direct call does not. CHA-devirtualized sites therefore get an
@@ -30,6 +31,7 @@
 
 #include "opt/Escape.h"
 #include "opt/PassManager.h"
+#include "ssa/Ssa.h"
 #include "support/Casting.h"
 
 #include <map>
@@ -58,7 +60,7 @@ bool shapeMatches(const IrInstr *I, const IrFunction *Impl) {
 }
 
 size_t devirtFunction(IrModule &M, IrFunction *F, const ClassHierarchy &CH,
-                      OptStats &Stats) {
+                      const ssa::DomTree &DT, OptStats &Stats) {
   size_t Changes = 0;
   // Single-definition map: Defs[r] is r's unique defining instruction
   // plus its block and index, or absent when r has 0 or >1 defs (or is
@@ -92,15 +94,21 @@ size_t devirtFunction(IrModule &M, IrFunction *F, const ClassHierarchy &CH,
           (size_t)I->Index >= Static->VTable.size())
         continue;
 
-      // Exact receiver: the unique def is a new.object earlier in this
-      // very block, so the dynamic class — and thus the vtable entry —
-      // is known regardless of how many implementers exist.
+      // Exact receiver: the unique def is a new.object that dominates
+      // this call (earlier in this block, or in a dominating block),
+      // so the dynamic class — and thus the vtable entry — is known
+      // regardless of how many implementers exist. Dominance also
+      // proves the receiver non-null: the one def always runs first,
+      // which is why this form needs no null.check.
       Reg Recv = I->Args[0];
       auto DC = DefCount.find(Recv);
       auto DS = Defs.find(Recv);
+      bool DefDominates =
+          DS != Defs.end() &&
+          (DS->second.B == B ? DS->second.Idx < Idx
+                             : DT.dominates(DS->second.B, B));
       if (DC != DefCount.end() && DC->second == 1 && DS != Defs.end() &&
-          DS->second.I->Op == Opcode::NewObject && DS->second.B == B &&
-          DS->second.Idx < Idx) {
+          DS->second.I->Op == Opcode::NewObject && DefDominates) {
         IrClass *Exact = CH.resolve(DS->second.I->TypeOperand);
         if (Exact && (size_t)I->Index < Exact->VTable.size() &&
             Exact->VTable[I->Index] &&
@@ -154,7 +162,8 @@ size_t devirtFunction(IrModule &M, IrFunction *F, const ClassHierarchy &CH,
 
 } // namespace
 
-size_t virgil::devirtualize(IrModule &M, OptStats &Stats) {
+size_t virgil::devirtualize(IrModule &M, OptStats &Stats,
+                            ssa::DominatorAnalysis *DomA) {
   // Direct calls created here carry no type arguments, so this pass is
   // only sound once monomorphization has erased them.
   if (!M.Monomorphized)
@@ -167,9 +176,14 @@ size_t virgil::devirtualize(IrModule &M, OptStats &Stats) {
   if (M.Shared)
     return 0;
   ClassHierarchy CH(M);
+  // Standalone callers (tests) get a local throwaway analysis; the
+  // pass manager threads its shared one through. The rewrite only
+  // splices instructions, so the trees stay valid.
+  ssa::DominatorAnalysis Local;
+  ssa::DominatorAnalysis &DA = DomA ? *DomA : Local;
   size_t Changes = 0;
   for (IrFunction *F : M.Functions)
     if (!F->Blocks.empty())
-      Changes += devirtFunction(M, F, CH, Stats);
+      Changes += devirtFunction(M, F, CH, DA.get(F), Stats);
   return Changes;
 }

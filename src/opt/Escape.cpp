@@ -37,6 +37,7 @@
 #include "opt/Escape.h"
 
 #include "opt/PassManager.h"
+#include "ssa/Ssa.h"
 #include "support/Casting.h"
 
 #include <map>
@@ -109,53 +110,18 @@ struct RegUse {
   Position Pos;
 };
 
-/// CFG facts recomputed per function per phase (rewrites invalidate
-/// instruction positions).
+/// Per-function analysis facts, recomputed per phase (rewrites
+/// invalidate instruction positions). Dominance comes from the shared
+/// memoized tree: the rewrites in this pass never add or remove blocks
+/// or edges, so the same tree serves both phases of a function.
 struct FuncCtx {
   IrFunction *F;
-  std::map<IrBlock *, size_t> BlockIdx;
-  std::vector<std::vector<size_t>> Preds;
-  /// Dom[i][j]: block j dominates block i.
-  std::vector<std::vector<bool>> Dom;
+  const ssa::DomTree &DT;
   std::vector<int> DefCount;
   std::vector<Position> Def;
   std::vector<std::vector<RegUse>> Uses;
 
-  explicit FuncCtx(IrFunction *F) : F(F) {
-    size_t N = F->Blocks.size();
-    for (size_t I = 0; I != N; ++I)
-      BlockIdx[F->Blocks[I]] = I;
-    Preds.resize(N);
-    for (size_t I = 0; I != N; ++I) {
-      IrBlock *B = F->Blocks[I];
-      if (B->Succ0)
-        Preds[BlockIdx[B->Succ0]].push_back(I);
-      if (B->Succ1)
-        Preds[BlockIdx[B->Succ1]].push_back(I);
-    }
-    // Iterative dominators: dom(entry) = {entry}; dom(b) = {b} ∪
-    // ∩ dom(preds). Unreachable blocks keep the all-ones init, which is
-    // harmless: instructions there never execute, so rewriting them on
-    // a spuriously "dominated" use changes nothing observable.
-    Dom.assign(N, std::vector<bool>(N, true));
-    if (N) {
-      Dom[0].assign(N, false);
-      Dom[0][0] = true;
-    }
-    for (bool Changed = true; Changed;) {
-      Changed = false;
-      for (size_t I = 1; I < N; ++I) {
-        std::vector<bool> New(N, true);
-        for (size_t P : Preds[I])
-          for (size_t J = 0; J != N; ++J)
-            New[J] = New[J] && Dom[P][J];
-        New[I] = true;
-        if (New != Dom[I]) {
-          Dom[I] = std::move(New);
-          Changed = true;
-        }
-      }
-    }
+  FuncCtx(IrFunction *F, const ssa::DomTree &DT) : F(F), DT(DT) {
     // Defs and uses. Parameters count as an implicit entry definition
     // so a candidate register can never be a parameter.
     size_t R = F->RegTypes.size();
@@ -179,8 +145,12 @@ struct FuncCtx {
     }
   }
 
+  /// Dominance is false for unreachable blocks — stricter than the old
+  /// dense computation (which let unreachable code pass), but only in
+  /// the conservative direction: a candidate with a use in unreachable
+  /// code is rejected rather than rewritten.
   bool blockDominates(IrBlock *A, IrBlock *B) const {
-    return Dom[BlockIdx.at(B)][BlockIdx.at(A)];
+    return DT.dominates(A, B);
   }
 
   /// True if instruction position \p A strictly dominates \p B.
@@ -427,8 +397,8 @@ bool resolveClosureTarget(const IrFunction *F, const ClassHierarchy &CH,
 }
 
 size_t flattenClosures(IrModule &M, IrFunction *F, const ClassHierarchy &CH,
-                       OptStats &Stats) {
-  FuncCtx Ctx(F);
+                       const ssa::DomTree &DT, OptStats &Stats) {
+  FuncCtx Ctx(F, DT);
   std::vector<Candidate> Found;
   for (IrBlock *B : F->Blocks) {
     for (size_t I = 0; I != B->Instrs.size(); ++I) {
@@ -510,8 +480,8 @@ size_t flattenClosures(IrModule &M, IrFunction *F, const ClassHierarchy &CH,
 //===----------------------------------------------------------------------===//
 
 size_t scalarizeObjects(IrModule &M, IrFunction *F, const ClassHierarchy &CH,
-                        OptStats &Stats) {
-  FuncCtx Ctx(F);
+                        const ssa::DomTree &DT, OptStats &Stats) {
+  FuncCtx Ctx(F, DT);
   std::vector<Candidate> Found;
   for (IrBlock *B : F->Blocks) {
     for (size_t I = 0; I != B->Instrs.size(); ++I) {
@@ -594,19 +564,25 @@ size_t scalarizeObjects(IrModule &M, IrFunction *F, const ClassHierarchy &CH,
 // Entry point
 //===----------------------------------------------------------------------===//
 
-size_t virgil::scalarReplaceAllocations(IrModule &M, OptStats &Stats) {
+size_t virgil::scalarReplaceAllocations(IrModule &M, OptStats &Stats,
+                                        ssa::DominatorAnalysis *DomA) {
   // Object layouts must be concrete and scalar-only (post-mono,
   // post-norm), and shared modules carry representative metadata the
   // rewrite must not consult — same discipline as the other passes.
   if (!M.Monomorphized || !M.Normalized || M.Shared)
     return 0;
   ClassHierarchy CH(M);
+  // Standalone callers (tests) get a local throwaway analysis; the
+  // pass manager threads its shared one through.
+  ssa::DominatorAnalysis Local;
+  ssa::DominatorAnalysis &DA = DomA ? *DomA : Local;
   size_t Changes = 0;
   for (IrFunction *F : M.Functions) {
     if (F->Blocks.empty())
       continue;
-    Changes += flattenClosures(M, F, CH, Stats);
-    Changes += scalarizeObjects(M, F, CH, Stats);
+    const ssa::DomTree &DT = DA.get(F);
+    Changes += flattenClosures(M, F, CH, DT, Stats);
+    Changes += scalarizeObjects(M, F, CH, DT, Stats);
   }
   return Changes;
 }

@@ -41,6 +41,10 @@ namespace virgil {
 
 struct OptStats;
 
+namespace ssa {
+class DominatorAnalysis;
+}
+
 /// Precomputed class-hierarchy analysis over a (post-mono) module.
 class ClassHierarchy {
 public:
@@ -68,7 +72,11 @@ private:
 /// Runs only on monomorphized, normalized, unshared modules (it needs
 /// concrete layouts, scalar-only field types, and real — not
 /// representative — callee metadata); returns the number of rewrites.
-size_t scalarReplaceAllocations(IrModule &M, OptStats &Stats);
+/// When \p DomA is supplied the pass reads the shared memoized
+/// dominator trees instead of re-deriving per-function dominance (the
+/// rewrites here never change the CFG, so the trees stay valid).
+size_t scalarReplaceAllocations(IrModule &M, OptStats &Stats,
+                                ssa::DominatorAnalysis *DomA = nullptr);
 
 } // namespace virgil
 

@@ -3,6 +3,7 @@
 #include "opt/PassManager.h"
 
 #include "opt/Escape.h"
+#include "ssa/Ssa.h"
 
 #include <chrono>
 #include <cstdlib>
@@ -14,6 +15,17 @@ bool virgil::defaultOptEscapeEnabled() {
   // Read once per process (same pattern as VIRGIL_MONO_SHARE).
   static const bool On = [] {
     const char *E = std::getenv("VIRGIL_OPT_ESCAPE");
+    if (!E)
+      return true;
+    return !(std::string_view(E) == "off" || std::string_view(E) == "0" ||
+             std::string_view(E) == "false");
+  }();
+  return On;
+}
+
+bool virgil::defaultOptSsaEnabled() {
+  static const bool On = [] {
+    const char *E = std::getenv("VIRGIL_OPT_SSA");
     if (!E)
       return true;
     return !(std::string_view(E) == "off" || std::string_view(E) == "0" ||
@@ -35,6 +47,12 @@ OptStats &OptStats::operator+=(const OptStats &O) {
   AllocsElided += O.AllocsElided;
   FieldsScalarized += O.FieldsScalarized;
   ClosuresFlattened += O.ClosuresFlattened;
+  PhisPlaced += O.PhisPlaced;
+  SccpFolded += O.SccpFolded;
+  LoadsEliminated += O.LoadsEliminated;
+  StoresKilled += O.StoresKilled;
+  NullChecksRemoved += O.NullChecksRemoved;
+  PassRunsSkipped += O.PassRunsSkipped;
   DevirtMs += O.DevirtMs;
   InlineMs += O.InlineMs;
   FoldMs += O.FoldMs;
@@ -42,12 +60,39 @@ OptStats &OptStats::operator+=(const OptStats &O) {
   DceMs += O.DceMs;
   EscapeMs += O.EscapeMs;
   DeadFieldsMs += O.DeadFieldsMs;
+  SsaMs += O.SsaMs;
   return *this;
 }
 
 OptStats virgil::optimizeModule(IrModule &M, const OptOptions &Options) {
   OptStats Stats;
   using Clock = std::chrono::steady_clock;
+  // One memoized dominator analysis serves the whole invocation:
+  // Escape, the CHA devirtualizer, and the SSA sandwich consume the
+  // same per-function trees instead of re-deriving dominators per
+  // pass. CFG-changing passes invalidate below; instruction-level
+  // rewrites don't disturb block-level dominance.
+  ssa::DominatorAnalysis DomA;
+
+  // Per-pass changed-bit scheduling: ModVersion counts module
+  // mutations; a pass is skipped when the module hasn't changed since
+  // it last ran (its quiet confirmation run is provably quiet again).
+  // A pass's *own* changes re-run it next round (its seen version is
+  // recorded pre-bump), since one invocation need not be a fixpoint.
+  enum Pass {
+    PDevirt,
+    PInline,
+    PFold,
+    PCopyProp,
+    PSsa,
+    PDce,
+    PEscape,
+    PDeadFields,
+    PassCount
+  };
+  uint64_t ModVersion = 1;
+  uint64_t SeenVersion[PassCount] = {0};
+
   // Runs one pass, banking its wall time into the named OptStats field.
   auto Timed = [&](double OptStats::*Field, auto &&Pass) -> size_t {
     auto T0 = Clock::now();
@@ -56,33 +101,78 @@ OptStats virgil::optimizeModule(IrModule &M, const OptOptions &Options) {
         std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
     return Changed;
   };
+  auto Run = [&](Pass P, double OptStats::*Field, const char *Name,
+                 auto &&PassFn) -> size_t {
+    if (SeenVersion[P] == ModVersion) {
+      ++Stats.PassRunsSkipped;
+      return 0;
+    }
+    size_t Changed = Timed(Field, PassFn);
+    if (Changed) {
+      SeenVersion[P] = ModVersion;
+      ++ModVersion;
+    } else {
+      SeenVersion[P] = ModVersion;
+    }
+    if (Options.DumpAfter)
+      Options.DumpAfter(Name);
+    return Changed;
+  };
+
   for (unsigned Round = 0; Round != Options.Rounds; ++Round) {
     size_t Changes = 0;
     if (Options.Devirtualize)
-      Changes += Timed(&OptStats::DevirtMs,
-                       [&] { return devirtualize(M, Stats); });
+      Changes += Run(PDevirt, &OptStats::DevirtMs, "devirt",
+                     [&] { return devirtualize(M, Stats, &DomA); });
     if (Options.Inline)
-      Changes += Timed(&OptStats::InlineMs, [&] {
-        return inlineCalls(M, Options.InlineInstrLimit, Stats);
+      Changes += Run(PInline, &OptStats::InlineMs, "inline", [&] {
+        size_t N = inlineCalls(M, Options.InlineInstrLimit, Stats);
+        if (N)
+          DomA.invalidateAll(); // Splicing callee blocks reshapes CFGs.
+        return N;
       });
-    if (Options.Fold)
-      Changes += Timed(&OptStats::FoldMs,
+    if (Options.Ssa) {
+      // The sandwich subsumes Fold and CopyProp: SCCP folds flow-
+      // sensitively in one pass and its Move RAUW is global copy
+      // propagation. Its stages handle their own tree invalidation.
+      Changes += Run(PSsa, &OptStats::SsaMs, "ssa-out", [&] {
+        ssa::SsaPassStats S;
+        size_t N = ssa::runSsaPasses(M, DomA, S, Options.DumpAfter);
+        Stats.PhisPlaced += S.PhisPlaced;
+        Stats.SccpFolded += S.SccpFolded;
+        Stats.BranchesFolded += S.BranchesFolded;
+        Stats.CopiesPropagated += S.CopiesPropagated;
+        Stats.LoadsEliminated += S.LoadsEliminated;
+        Stats.StoresKilled += S.StoresKilled;
+        Stats.NullChecksRemoved += S.NullChecksRemoved;
+        Stats.InstrsRemoved += S.InstrsRemoved;
+        return N;
+      });
+    } else {
+      if (Options.Fold)
+        Changes += Run(PFold, &OptStats::FoldMs, "fold",
                        [&] { return foldConstants(M, Stats); });
-    if (Options.CopyProp)
-      Changes += Timed(&OptStats::CopyPropMs,
+      if (Options.CopyProp)
+        Changes += Run(PCopyProp, &OptStats::CopyPropMs, "copyprop",
                        [&] { return propagateCopies(M, Stats); });
+    }
     if (Options.Dce)
-      Changes += Timed(&OptStats::DceMs,
-                       [&] { return eliminateDeadCode(M, Stats); });
+      Changes += Run(PDce, &OptStats::DceMs, "dce", [&] {
+        size_t N = eliminateDeadCode(M, Stats);
+        if (N)
+          DomA.invalidateAll(); // May delete unreachable blocks.
+        return N;
+      });
     // After copy propagation and DCE so alias chains are short, and
     // before dead-field elimination so fields whose last loads were
     // scalarized away can be dropped in the same round.
     if (Options.Escape)
-      Changes += Timed(&OptStats::EscapeMs,
-                       [&] { return scalarReplaceAllocations(M, Stats); });
+      Changes += Run(PEscape, &OptStats::EscapeMs, "escape", [&] {
+        return scalarReplaceAllocations(M, Stats, &DomA);
+      });
     if (Options.DeadFields)
-      Changes += Timed(&OptStats::DeadFieldsMs,
-                       [&] { return eliminateDeadFields(M, Stats); });
+      Changes += Run(PDeadFields, &OptStats::DeadFieldsMs, "deadfields",
+                     [&] { return eliminateDeadFields(M, Stats); });
     if (Changes == 0)
       break;
   }

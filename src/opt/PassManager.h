@@ -27,7 +27,13 @@
 
 #include "ir/Ir.h"
 
+#include <functional>
+
 namespace virgil {
+
+namespace ssa {
+class DominatorAnalysis;
+}
 
 /// Process-wide default for escape analysis + scalar replacement, from
 /// VIRGIL_OPT_ESCAPE (on/1/true | off/0/false); on when unset. The CI
@@ -35,6 +41,12 @@ namespace virgil {
 /// threading a flag through each construction site (same pattern as
 /// VIRGIL_MONO_SHARE).
 bool defaultOptEscapeEnabled();
+
+/// Process-wide default for the SSA mid-tier (pruned-SSA construction,
+/// SCCP, load/store elimination), from VIRGIL_OPT_SSA (on/1/true |
+/// off/0/false); on when unset. The CI ssa-stress lane flips this for
+/// every compile in a binary, same pattern as VIRGIL_OPT_ESCAPE.
+bool defaultOptSsaEnabled();
 
 struct OptOptions {
   bool Fold = true;
@@ -44,8 +56,20 @@ struct OptOptions {
   bool Devirtualize = true;
   bool DeadFields = true;
   bool Escape = defaultOptEscapeEnabled();
+  /// Run optimization rounds through the SSA sandwich: SCCP (which
+  /// subsumes Fold + CopyProp — they are not run separately) and
+  /// dominance-based load/store elimination over a shared dominator
+  /// analysis that Escape and the devirtualizer also consume.
+  bool Ssa = defaultOptSsaEnabled();
   unsigned Rounds = 3;
   size_t InlineInstrLimit = 48;
+  /// When set, invoked with a pass name ("devirt", "inline", "ssa",
+  /// "sccp", "loadelim", "ssa-out", "fold", "copyprop", "dce",
+  /// "escape", "deadfields") after that pass runs — for
+  /// --dump-ir=<pass>. The "ssa"/"sccp"/"loadelim" dumps fire while
+  /// the module is still in SSA form (phis visible); "ssa-out" fires
+  /// after phi elimination.
+  std::function<void(const char *)> DumpAfter;
 };
 
 struct OptStats {
@@ -65,6 +89,17 @@ struct OptStats {
   size_t AllocsElided = 0;
   size_t FieldsScalarized = 0;
   size_t ClosuresFlattened = 0;
+  /// SSA mid-tier: phis placed by construction, instructions folded by
+  /// SCCP, loads reused / stores killed / null checks deleted by the
+  /// dominance-based memory pass.
+  size_t PhisPlaced = 0;
+  size_t SccpFolded = 0;
+  size_t LoadsEliminated = 0;
+  size_t StoresKilled = 0;
+  size_t NullChecksRemoved = 0;
+  /// Pass invocations skipped because no pass had changed the module
+  /// since their last run (the per-pass changed-bit scheduler).
+  size_t PassRunsSkipped = 0;
   /// Wall-clock milliseconds per pass, summed over rounds.
   double DevirtMs = 0;
   double InlineMs = 0;
@@ -73,16 +108,21 @@ struct OptStats {
   double DceMs = 0;
   double EscapeMs = 0;
   double DeadFieldsMs = 0;
+  double SsaMs = 0;
 
   OptStats &operator+=(const OptStats &O);
 };
 
-/// Individual passes; each returns the number of changes made.
+/// Individual passes; each returns the number of changes made. The
+/// passes taking a DominatorAnalysis use the shared memoized dominator
+/// trees when one is supplied (the pass manager threads one through a
+/// whole optimizeModule invocation) and compute their own otherwise.
 size_t foldConstants(IrModule &M, OptStats &Stats);
 size_t propagateCopies(IrModule &M, OptStats &Stats);
 size_t eliminateDeadCode(IrModule &M, OptStats &Stats);
 size_t inlineCalls(IrModule &M, size_t InstrLimit, OptStats &Stats);
-size_t devirtualize(IrModule &M, OptStats &Stats);
+size_t devirtualize(IrModule &M, OptStats &Stats,
+                    ssa::DominatorAnalysis *DomA = nullptr);
 size_t eliminateDeadFields(IrModule &M, OptStats &Stats);
 
 /// Runs the configured pipeline.

@@ -646,17 +646,24 @@ std::string Server::statsJson() const {
   std::string OptJson;
   {
     uint64_t Allocs = 0, Fields = 0, Closures = 0, Devirt = 0, Cha = 0;
+    uint64_t Phis = 0, Sccp = 0, Loads = 0, Stores = 0, Nulls = 0;
     uint64_t DevirtUs = 0, InlineUs = 0, FoldUs = 0, CopyPropUs = 0,
-             DceUs = 0, EscapeUs = 0, DeadFieldsUs = 0;
-    bool EscapeOn = false;
+             DceUs = 0, EscapeUs = 0, DeadFieldsUs = 0, SsaUs = 0;
+    bool EscapeOn = false, SsaOn = false;
     for (const auto &E : Execs) {
       const exec::OptCounters &OC = E->optStats();
       EscapeOn |= OC.EscapeEnabled.load(std::memory_order_relaxed);
+      SsaOn |= OC.SsaEnabled.load(std::memory_order_relaxed);
       Allocs += OC.AllocsElided.load(std::memory_order_relaxed);
       Fields += OC.FieldsScalarized.load(std::memory_order_relaxed);
       Closures += OC.ClosuresFlattened.load(std::memory_order_relaxed);
       Devirt += OC.CallsDevirtualized.load(std::memory_order_relaxed);
       Cha += OC.DevirtualizedByCha.load(std::memory_order_relaxed);
+      Phis += OC.PhisPlaced.load(std::memory_order_relaxed);
+      Sccp += OC.SccpFolded.load(std::memory_order_relaxed);
+      Loads += OC.LoadsEliminated.load(std::memory_order_relaxed);
+      Stores += OC.StoresKilled.load(std::memory_order_relaxed);
+      Nulls += OC.NullChecksRemoved.load(std::memory_order_relaxed);
       DevirtUs += OC.DevirtUs.load(std::memory_order_relaxed);
       InlineUs += OC.InlineUs.load(std::memory_order_relaxed);
       FoldUs += OC.FoldUs.load(std::memory_order_relaxed);
@@ -664,24 +671,32 @@ std::string Server::statsJson() const {
       DceUs += OC.DceUs.load(std::memory_order_relaxed);
       EscapeUs += OC.EscapeUs.load(std::memory_order_relaxed);
       DeadFieldsUs += OC.DeadFieldsUs.load(std::memory_order_relaxed);
+      SsaUs += OC.SsaUs.load(std::memory_order_relaxed);
     }
-    char Buf[512];
+    char Buf[1024];
     std::snprintf(Buf, sizeof(Buf),
-                  "{\"escape_enabled\":%s,\"allocs_elided\":%llu,"
+                  "{\"escape_enabled\":%s,\"ssa_enabled\":%s,"
+                  "\"allocs_elided\":%llu,"
                   "\"fields_scalarized\":%llu,"
                   "\"closures_flattened\":%llu,"
                   "\"devirtualized\":%llu,"
                   "\"devirtualized_by_cha\":%llu,"
+                  "\"phis_placed\":%llu,\"sccp_folded\":%llu,"
+                  "\"loads_eliminated\":%llu,\"stores_killed\":%llu,"
+                  "\"null_checks_removed\":%llu,"
                   "\"pass_ms\":{\"devirt\":%.3f,\"inline\":%.3f,"
                   "\"fold\":%.3f,\"copyprop\":%.3f,\"dce\":%.3f,"
-                  "\"escape\":%.3f,\"deadfields\":%.3f}}",
-                  EscapeOn ? "true" : "false",
+                  "\"escape\":%.3f,\"deadfields\":%.3f,\"ssa\":%.3f}}",
+                  EscapeOn ? "true" : "false", SsaOn ? "true" : "false",
                   (unsigned long long)Allocs, (unsigned long long)Fields,
                   (unsigned long long)Closures,
                   (unsigned long long)Devirt, (unsigned long long)Cha,
+                  (unsigned long long)Phis, (unsigned long long)Sccp,
+                  (unsigned long long)Loads, (unsigned long long)Stores,
+                  (unsigned long long)Nulls,
                   DevirtUs / 1000.0, InlineUs / 1000.0, FoldUs / 1000.0,
                   CopyPropUs / 1000.0, DceUs / 1000.0, EscapeUs / 1000.0,
-                  DeadFieldsUs / 1000.0);
+                  DeadFieldsUs / 1000.0, SsaUs / 1000.0);
     OptJson = Buf;
   }
 

@@ -57,7 +57,8 @@ uint64_t BytecodeCache::keyFor(std::string_view Source,
                  (uint64_t)O.Opt.Devirtualize << 7 |
                  (uint64_t)O.Opt.DeadFields << 8 |
                  (uint64_t)O.ShareSpecializations << 9 |
-                 (uint64_t)O.Opt.Escape << 10);
+                 (uint64_t)O.Opt.Escape << 10 |
+                 (uint64_t)O.Opt.Ssa << 11);
   hashU64(H, O.Opt.Rounds);
   hashU64(H, O.Opt.InlineInstrLimit);
   hashU64(H, Source.size());

@@ -1,0 +1,561 @@
+//===- ssa/SsaBuilder.cpp - Pruned-SSA construction and destruction -------===//
+///
+/// Construction: liveness-pruned phi placement at iterated dominance
+/// frontiers, then a dominator-tree renaming walk that gives every
+/// definition a fresh register. Uses of a register no definition
+/// reaches keep the original register — the frame default — which
+/// preserves the interpreter's uninitialized-variable semantics
+/// without materializing explicit defaults.
+///
+/// Destruction: congruence-class out-of-SSA. Values map back to their
+/// original variable's register unless tainted (an optimization
+/// extended their live range via RAUW, breaking the conventional-SSA
+/// non-interference of the class), in which case they get a fresh
+/// singleton register. Phi copies are emitted per in-edge as a
+/// sequentialized parallel copy (cycle-safe), with critical edges
+/// split so a copy never executes on the wrong path. Because
+/// untainted classes collapse to the original register, a loop
+/// variable's phi and its backedge definition coalesce to zero copies
+/// — the "copy-coalescing" that keeps round-tripping free.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ssa/SsaInternal.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+using namespace virgil;
+using namespace virgil::ssa;
+
+//===----------------------------------------------------------------------===//
+// Verification toggle
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int defaultVerify() {
+#ifndef NDEBUG
+  return 1;
+#else
+  const char *V = std::getenv("VIRGIL_SSA_VERIFY");
+  return V && (!std::strcmp(V, "on") || !std::strcmp(V, "1")) ? 1 : 0;
+#endif
+}
+
+std::atomic<int> &verifyFlag() {
+  static std::atomic<int> Flag(defaultVerify());
+  return Flag;
+}
+
+} // namespace
+
+bool virgil::ssa::ssaVerifyEnabled() { return verifyFlag().load() != 0; }
+void virgil::ssa::setSsaVerifyEnabled(bool Enabled) {
+  verifyFlag().store(Enabled ? 1 : 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+void virgil::ssa::applyReplacements(IrFunction &F,
+                                    const std::map<Reg, Reg> &Repl,
+                                    SsaInfo &Info) {
+  if (Repl.empty())
+    return;
+  auto resolve = [&](Reg R) {
+    // Chains are acyclic (a deleted definition never reappears as a
+    // target), but bound the walk defensively.
+    for (size_t Guard = 0; Guard <= Repl.size(); ++Guard) {
+      auto It = Repl.find(R);
+      if (It == Repl.end())
+        return R;
+      R = It->second;
+    }
+    return R;
+  };
+  for (IrBlock *B : F.Blocks)
+    for (IrInstr *I : B->Instrs)
+      for (Reg &A : I->Args) {
+        Reg T = resolve(A);
+        if (T != A) {
+          A = T;
+          Info.taint(T);
+        }
+      }
+}
+
+void virgil::ssa::eraseInstrs(IrFunction &F,
+                              const std::set<IrInstr *> &Dead) {
+  if (Dead.empty())
+    return;
+  for (IrBlock *B : F.Blocks)
+    B->Instrs.erase(std::remove_if(B->Instrs.begin(), B->Instrs.end(),
+                                   [&](IrInstr *I) {
+                                     return Dead.count(I) != 0;
+                                   }),
+                    B->Instrs.end());
+}
+
+size_t virgil::ssa::removeUnreachableBlocks(IrFunction &F) {
+  if (F.Blocks.empty())
+    return 0;
+  std::set<IrBlock *> Live;
+  std::vector<IrBlock *> Work{F.Blocks[0]};
+  Live.insert(F.Blocks[0]);
+  while (!Work.empty()) {
+    IrBlock *B = Work.back();
+    Work.pop_back();
+    for (IrBlock *S : {B->Succ0, B->Succ1})
+      if (S && Live.insert(S).second)
+        Work.push_back(S);
+  }
+  size_t Before = F.Blocks.size();
+  F.Blocks.erase(std::remove_if(F.Blocks.begin(), F.Blocks.end(),
+                                [&](IrBlock *B) { return !Live.count(B); }),
+                 F.Blocks.end());
+  return Before - F.Blocks.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Dense per-block bitsets over the original register space.
+struct BitMatrix {
+  size_t Words;
+  std::vector<uint64_t> Bits;
+  BitMatrix(size_t Blocks, size_t Regs)
+      : Words((Regs + 63) / 64), Bits(Blocks * Words, 0) {}
+  uint64_t *row(size_t B) { return Bits.data() + B * Words; }
+  bool test(size_t B, Reg R) const {
+    return (Bits[B * Words + R / 64] >> (R % 64)) & 1;
+  }
+  void set(size_t B, Reg R) { Bits[B * Words + R / 64] |= 1ull << (R % 64); }
+};
+
+} // namespace
+
+size_t virgil::ssa::buildSsa(IrModule &M, IrFunction &F, const DomTree &DT,
+                             SsaInfo &Info) {
+  size_t NumBlocks = F.Blocks.size();
+  Reg NumRegs = (Reg)F.RegTypes.size();
+  Info.FirstSsaReg = NumRegs;
+  Info.OrigOfSsa.clear();
+  Info.Tainted.clear();
+  if (NumBlocks == 0)
+    return 0;
+
+  // Liveness for pruning: Gen = upward-exposed uses, Kill = defs.
+  BitMatrix Gen(NumBlocks, NumRegs), Kill(NumBlocks, NumRegs);
+  BitMatrix LiveIn(NumBlocks, NumRegs), LiveOut(NumBlocks, NumRegs);
+  std::vector<std::vector<int>> DefBlocks(NumRegs);
+  for (size_t BI = 0; BI != NumBlocks; ++BI) {
+    IrBlock *B = F.Blocks[BI];
+    for (IrInstr *I : B->Instrs) {
+      for (Reg A : I->Args)
+        if (!Kill.test(BI, A))
+          Gen.set(BI, A);
+      for (Reg D : I->Dsts) {
+        if (!Kill.test(BI, D))
+          Kill.set(BI, D);
+        auto &DB = DefBlocks[D];
+        if (DB.empty() || DB.back() != (int)BI)
+          DB.push_back((int)BI);
+      }
+    }
+  }
+  // Parameters are defined on entry.
+  for (Reg P = 0; P != F.NumParams && P != NumRegs; ++P) {
+    auto &DB = DefBlocks[P];
+    if (std::find(DB.begin(), DB.end(), 0) == DB.end())
+      DB.push_back(0);
+  }
+
+  // Backward liveness fixpoint (iterate in postorder for fast
+  // convergence).
+  size_t W = Gen.Words;
+  if (W != 0) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (auto It = DT.rpo().rbegin(); It != DT.rpo().rend(); ++It) {
+        size_t BI = (size_t)*It;
+        IrBlock *B = F.Blocks[BI];
+        uint64_t *Out = LiveOut.row(BI);
+        for (IrBlock *S : {B->Succ0, B->Succ1}) {
+          if (!S)
+            continue;
+          int SI = DT.indexOf(S);
+          if (SI < 0)
+            continue;
+          const uint64_t *SIn = LiveIn.row((size_t)SI);
+          for (size_t K = 0; K != W; ++K)
+            Out[K] |= SIn[K];
+        }
+        uint64_t *In = LiveIn.row(BI);
+        const uint64_t *G = Gen.row(BI), *Kl = Kill.row(BI);
+        for (size_t K = 0; K != W; ++K) {
+          uint64_t V = G[K] | (Out[K] & ~Kl[K]);
+          if (V != In[K]) {
+            In[K] = V;
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Pruned phi placement: iterated dominance frontier of each
+  // variable's definition blocks, kept only where the variable is
+  // live-in. Placeholder args reference the original variable so the
+  // slot of a never-renamed (unreachable) predecessor still reads a
+  // well-typed value.
+  size_t PhisPlaced = 0;
+  std::map<const IrInstr *, Reg> PhiVar;
+  std::vector<std::vector<IrInstr *>> NewPhis(NumBlocks);
+  for (Reg V = 0; V != NumRegs; ++V) {
+    if (DefBlocks[V].empty())
+      continue;
+    std::vector<int> Work = DefBlocks[V];
+    std::vector<char> Placed(NumBlocks, 0), Defd(NumBlocks, 0);
+    for (int D : Work)
+      Defd[(size_t)D] = 1;
+    while (!Work.empty()) {
+      int N = Work.back();
+      Work.pop_back();
+      if (!DT.reachable(N))
+        continue;
+      for (int Y : DT.frontier(N)) {
+        if (Placed[(size_t)Y] || !LiveIn.test((size_t)Y, V))
+          continue;
+        Placed[(size_t)Y] = 1;
+        auto *Phi = M.Nodes.make<IrInstr>();
+        Phi->Op = Opcode::Phi;
+        Phi->Dsts = {V};
+        Phi->Args.assign(DT.preds(Y).size(), V);
+        Phi->Ty = F.RegTypes[V];
+        NewPhis[(size_t)Y].push_back(Phi);
+        PhiVar[Phi] = V;
+        ++PhisPlaced;
+        if (!Defd[(size_t)Y]) {
+          Defd[(size_t)Y] = 1;
+          Work.push_back(Y);
+        }
+      }
+    }
+  }
+  for (size_t BI = 0; BI != NumBlocks; ++BI)
+    if (!NewPhis[BI].empty()) {
+      auto &Instrs = F.Blocks[BI]->Instrs;
+      Instrs.insert(Instrs.begin(), NewPhis[BI].begin(), NewPhis[BI].end());
+    }
+
+  // Renaming: dominator-tree preorder walk with per-variable version
+  // stacks. An empty stack means "no definition reaches here": the
+  // use keeps the original register.
+  std::vector<std::vector<Reg>> Stk(NumRegs);
+  auto top = [&](Reg V) { return Stk[V].empty() ? V : Stk[V].back(); };
+  auto newVersion = [&](Reg V) {
+    Reg R = F.newReg(F.RegTypes[V]);
+    Info.OrigOfSsa.push_back(V);
+    return R;
+  };
+
+  struct Frame {
+    int Block;
+    size_t NextChild = 0;
+    std::vector<Reg> Pushed;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back(Frame{0, 0, {}});
+  bool EnterFrame = true;
+  while (!Stack.empty()) {
+    Frame &Fr = Stack.back();
+    int BI = Fr.Block;
+    IrBlock *B = F.Blocks[(size_t)BI];
+    if (EnterFrame) {
+      // Rename this block's instructions.
+      for (IrInstr *I : B->Instrs) {
+        if (I->Op == Opcode::Phi) {
+          Reg V = PhiVar[I];
+          Reg R = newVersion(V);
+          I->Dsts[0] = R;
+          Stk[V].push_back(R);
+          Fr.Pushed.push_back(V);
+          continue;
+        }
+        for (Reg &A : I->Args)
+          A = top(A);
+        for (Reg &D : I->Dsts) {
+          Reg V = D;
+          Reg R = newVersion(V);
+          D = R;
+          Stk[V].push_back(R);
+          Fr.Pushed.push_back(V);
+        }
+      }
+      // Fill phi arguments in successors for this block's out-edges.
+      for (int SuccIdx = 0; SuccIdx != 2; ++SuccIdx) {
+        IrBlock *S = SuccIdx == 0 ? B->Succ0 : B->Succ1;
+        if (!S)
+          continue;
+        int SI = DT.indexOf(S);
+        if (SI < 0)
+          continue;
+        const auto &Preds = DT.preds(SI);
+        for (size_t Pos = 0; Pos != Preds.size(); ++Pos) {
+          if (Preds[Pos].Pred != B || Preds[Pos].SuccIdx != SuccIdx)
+            continue;
+          for (IrInstr *I : S->Instrs) {
+            if (I->Op != Opcode::Phi)
+              break;
+            I->Args[Pos] = top(PhiVar[I]);
+          }
+        }
+      }
+      EnterFrame = false;
+    }
+    const auto &Kids = DT.children(BI);
+    if (Fr.NextChild < Kids.size()) {
+      int C = Kids[Fr.NextChild++];
+      Stack.push_back(Frame{C, 0, {}});
+      EnterFrame = true;
+      continue;
+    }
+    for (auto It = Fr.Pushed.rbegin(); It != Fr.Pushed.rend(); ++It)
+      Stk[*It].pop_back();
+    Stack.pop_back();
+  }
+  return PhisPlaced;
+}
+
+//===----------------------------------------------------------------------===//
+// SSA dead-value elimination
+//===----------------------------------------------------------------------===//
+
+size_t virgil::ssa::runSsaDce(IrFunction &F, SsaInfo &Info) {
+  (void)Info;
+  // Use counts over every argument (phi args included). Pure
+  // definitions with zero uses die; iterate to catch chains.
+  size_t Removed = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::map<Reg, size_t> Uses;
+    for (IrBlock *B : F.Blocks)
+      for (IrInstr *I : B->Instrs)
+        for (Reg A : I->Args)
+          ++Uses[A];
+    for (IrBlock *B : F.Blocks) {
+      auto Dead = [&](IrInstr *I) {
+        if (!isPure(I->Op) || I->Dsts.empty())
+          return false;
+        for (Reg D : I->Dsts)
+          if (Uses.count(D))
+            return false;
+        return true;
+      };
+      size_t Before = B->Instrs.size();
+      B->Instrs.erase(
+          std::remove_if(B->Instrs.begin(), B->Instrs.end(), Dead),
+          B->Instrs.end());
+      if (B->Instrs.size() != Before) {
+        Removed += Before - B->Instrs.size();
+        Changed = true;
+      }
+    }
+  }
+  return Removed;
+}
+
+//===----------------------------------------------------------------------===//
+// Destruction
+//===----------------------------------------------------------------------===//
+
+void virgil::ssa::destroySsa(IrModule &M, IrFunction &F, SsaInfo &Info,
+                             SsaPassStats &Stats) {
+  // Congruence-class register assignment. Untainted values collapse
+  // onto their original variable's register; tainted values get a
+  // fresh singleton.
+  std::map<Reg, Reg> Singleton;
+  auto classReg = [&](Reg R) -> Reg {
+    if (!Info.tainted(R))
+      return Info.origVar(R);
+    auto It = Singleton.find(R);
+    if (It != Singleton.end())
+      return It->second;
+    Reg Fresh = F.newReg(F.RegTypes[R]);
+    Singleton.emplace(R, Fresh);
+    return Fresh;
+  };
+
+  // Tainted *parameters* still carry a caller-provided value, which a
+  // fresh register wouldn't: copy it on entry. (A tainted non-param
+  // original register is never written, so its fresh singleton reads
+  // the same frame default and needs no copy.)
+  std::vector<IrInstr *> EntryCopies;
+  for (Reg P = 0; P != F.NumParams; ++P) {
+    if (!Info.tainted(P))
+      continue;
+    Reg Fresh = classReg(P);
+    auto *Mv = M.Nodes.make<IrInstr>();
+    Mv->Op = Opcode::Move;
+    Mv->Dsts = {Fresh};
+    Mv->Args = {P};
+    Mv->Ty = F.RegTypes[P];
+    EntryCopies.push_back(Mv);
+  }
+
+  // Phi elimination: per in-edge parallel copies between class
+  // registers, critical edges split, copies sequentialized.
+  size_t OrigBlockCount = F.Blocks.size();
+  for (size_t BI = 0; BI != OrigBlockCount; ++BI) {
+    IrBlock *B = F.Blocks[BI];
+    std::vector<IrInstr *> Phis;
+    for (IrInstr *I : B->Instrs) {
+      if (I->Op != Opcode::Phi)
+        break;
+      Phis.push_back(I);
+    }
+    if (Phis.empty())
+      continue;
+    auto Preds = computePredEdges(F)[B];
+    for (size_t Pos = 0; Pos != Preds.size(); ++Pos) {
+      IrBlock *P = Preds[Pos].Pred;
+      struct Copy {
+        Reg Dst, Src;
+        Type *Ty;
+      };
+      std::vector<Copy> Copies;
+      for (IrInstr *Phi : Phis) {
+        assert(Phi->Args.size() == Preds.size() &&
+               "phi arity out of sync with predecessors");
+        Reg D = classReg(Phi->Dsts[0]);
+        Reg S = classReg(Phi->Args[Pos]);
+        if (D != S)
+          Copies.push_back({D, S, Phi->Ty});
+      }
+      if (Copies.empty())
+        continue;
+      // Split the edge when the predecessor has another successor:
+      // copies must run only on this edge.
+      IrBlock *Site = P;
+      if (P->Succ0 && P->Succ1) {
+        auto *E = M.Nodes.make<IrBlock>((uint32_t)F.Blocks.size());
+        F.Blocks.push_back(E);
+        auto *Jump = M.Nodes.make<IrInstr>();
+        Jump->Op = Opcode::Br;
+        E->Instrs.push_back(Jump);
+        E->Succ0 = B;
+        if (Preds[Pos].SuccIdx == 0)
+          P->Succ0 = E;
+        else
+          P->Succ1 = E;
+        Site = E;
+      }
+      // Sequentialize the parallel copy: emit copies whose
+      // destination no other pending copy still reads; break cycles
+      // by saving a destination into a temp.
+      std::vector<IrInstr *> Seq;
+      auto emit = [&](Reg D, Reg S, Type *Ty) {
+        auto *Mv = M.Nodes.make<IrInstr>();
+        Mv->Op = Opcode::Move;
+        Mv->Dsts = {D};
+        Mv->Args = {S};
+        Mv->Ty = Ty;
+        Seq.push_back(Mv);
+        ++Stats.EdgeCopies;
+      };
+      while (!Copies.empty()) {
+        bool Progress = false;
+        for (size_t I = 0; I != Copies.size();) {
+          Reg D = Copies[I].Dst;
+          bool Read = false;
+          for (size_t J = 0; J != Copies.size(); ++J)
+            if (J != I && Copies[J].Src == D)
+              Read = true;
+          if (Read) {
+            ++I;
+            continue;
+          }
+          emit(Copies[I].Dst, Copies[I].Src, Copies[I].Ty);
+          Copies.erase(Copies.begin() + I);
+          Progress = true;
+        }
+        if (!Progress) {
+          // Cycle: free one destination via a temp.
+          Reg D = Copies[0].Dst;
+          Reg T = F.newReg(F.RegTypes[D]);
+          emit(T, D, Copies[0].Ty);
+          for (Copy &C : Copies)
+            if (C.Src == D)
+              C.Src = T;
+        }
+      }
+      // Insert before the site's terminator.
+      assert(!Site->Instrs.empty() && "block without terminator");
+      Site->Instrs.insert(Site->Instrs.end() - 1, Seq.begin(), Seq.end());
+    }
+    // Drop the phis.
+    B->Instrs.erase(B->Instrs.begin(),
+                    B->Instrs.begin() + (ptrdiff_t)Phis.size());
+  }
+
+  // Rewrite every remaining register through its class.
+  for (IrBlock *B : F.Blocks)
+    for (IrInstr *I : B->Instrs) {
+      for (Reg &A : I->Args)
+        A = classReg(A);
+      for (Reg &D : I->Dsts)
+        D = classReg(D);
+    }
+  if (!EntryCopies.empty()) {
+    auto &Entry = F.Blocks[0]->Instrs;
+    Entry.insert(Entry.begin(), EntryCopies.begin(), EntryCopies.end());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Register compaction
+//===----------------------------------------------------------------------===//
+
+size_t virgil::ssa::compactRegisters(IrFunction &F) {
+  size_t NumRegs = F.RegTypes.size();
+  std::vector<char> Used(NumRegs, 0);
+  for (Reg P = 0; P != F.NumParams && P < NumRegs; ++P)
+    Used[P] = 1;
+  for (IrBlock *B : F.Blocks)
+    for (IrInstr *I : B->Instrs) {
+      for (Reg A : I->Args)
+        Used[A] = 1;
+      for (Reg D : I->Dsts)
+        Used[D] = 1;
+    }
+  std::vector<Reg> Map(NumRegs, NoReg);
+  std::vector<Type *> NewTypes;
+  NewTypes.reserve(NumRegs);
+  for (size_t R = 0; R != NumRegs; ++R)
+    if (Used[R]) {
+      Map[R] = (Reg)NewTypes.size();
+      NewTypes.push_back(F.RegTypes[R]);
+    }
+  if (NewTypes.size() == NumRegs)
+    return 0;
+  for (IrBlock *B : F.Blocks)
+    for (IrInstr *I : B->Instrs) {
+      for (Reg &A : I->Args)
+        A = Map[A];
+      for (Reg &D : I->Dsts)
+        D = Map[D];
+    }
+  size_t Dropped = NumRegs - NewTypes.size();
+  F.RegTypes = std::move(NewTypes);
+  return Dropped;
+}

@@ -1,0 +1,34 @@
+//===- ssa/SsaInternal.h - Helpers shared by the SSA passes -----*- C++ -*-===//
+///
+/// \file
+/// Internal plumbing shared by SsaBuilder, Sccp, and LoadStoreElim:
+/// batched replace-all-uses (which taints targets, see Ssa.h) and
+/// batched instruction deletion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VIRGIL_SSA_SSAINTERNAL_H
+#define VIRGIL_SSA_SSAINTERNAL_H
+
+#include "ssa/Ssa.h"
+
+#include <set>
+
+namespace virgil {
+namespace ssa {
+
+/// Rewrites every argument (including phi arguments) of \p F through
+/// \p Repl, resolving chains (a->b, b->c applies a->c). Each final
+/// replacement target is tainted in \p Info: the replacement extended
+/// its live range, so it must leave its variable's congruence class
+/// at destruction.
+void applyReplacements(IrFunction &F, const std::map<Reg, Reg> &Repl,
+                       SsaInfo &Info);
+
+/// Erases the listed instructions from their blocks.
+void eraseInstrs(IrFunction &F, const std::set<IrInstr *> &Dead);
+
+} // namespace ssa
+} // namespace virgil
+
+#endif // VIRGIL_SSA_SSAINTERNAL_H

@@ -341,6 +341,9 @@ void Emitter::emitFunction(IrFunction *F, BcFunction &BF) {
       case Opcode::Trap:
         emit(BcOp::TrapOp, 0, 0, 0, I->Index);
         break;
+      case Opcode::Phi:
+        assert(false && "phi outside the SSA sandwich");
+        break;
       }
     }
   }

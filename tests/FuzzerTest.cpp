@@ -345,6 +345,22 @@ TEST(FuzzDriver, MonoShareSweepIsClean) {
   EXPECT_EQ(Summary.SeedsRun, 200u);
 }
 
+// SSA sweep: every seed also recompiles with the SSA mid-tier forced
+// on (the baseline legs force it off, strict-SSA verification armed)
+// and runs the SSA pipeline's norm-interp and VM legs. Any divergence
+// — value, output, or trap diagnostic — breaks the sandwich's
+// observational-invisibility contract (src/ssa/Ssa.h), so this is the
+// fuzz-strength backstop behind --opt-ssa and the CI ssa-stress lane.
+TEST(FuzzDriver, SsaSweepIsClean) {
+  FuzzOptions Options;
+  Options.Seeds = 200;
+  Options.Reduce = false;
+  Options.Oracle.OptSsa = true;
+  FuzzSummary Summary = Fuzzer(Options).run();
+  EXPECT_TRUE(Summary.clean()) << Summary.toJson();
+  EXPECT_EQ(Summary.SeedsRun, 200u);
+}
+
 // JIT sweep: every seed also runs the "vm+jit" strategy — the same
 // program with the baseline JIT tier forced on at a mid threshold, so
 // hot functions execute natively and cold ones interpret, crossing

@@ -397,6 +397,10 @@ const char *kSpinProgram =
 /// Allocates an unbounded live list; only the heap quota stops it.
 /// Both fields are read so the optimizer cannot strip `next` (which
 /// would let the GC reclaim the chain and fuel win the race).
+// The periodic chain walk reads `next` through a loop-carried value,
+// which no store-to-load forwarding can satisfy — otherwise the SSA
+// pipeline proves `next` dead, dead-field elimination severs the
+// chain, and the GC collects it before the quota ever trips.
 const char *kHeapBomb =
     "class Node { var v: int; var next: Node; new(v, next) { } }\n"
     "def main() -> int {\n"
@@ -405,7 +409,9 @@ const char *kHeapBomb =
     "  var sum = 0;\n"
     "  while (i >= 0) {\n"
     "    head = Node.new(i, head);\n"
-    "    if (head.next != null) sum = sum + head.next.v;\n"
+    "    if (i % 1024 == 0) {\n"
+    "      for (p = head; p != null; p = p.next) sum = sum + p.v;\n"
+    "    }\n"
     "    i = i + 1;\n"
     "  }\n"
     "  return sum;\n"

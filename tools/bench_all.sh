@@ -220,6 +220,72 @@ else:
         print("FAIL: JIT tier is not 2x the interpreter on the E1 "
               "hot loop")
         sys.exit(1)
+# SSA mid-tier gate (E19): retired VM instructions on the
+# field/classify workload, ssa-off / ssa-on. A same-process ratio of
+# two deterministic instruction counts, so it gates at the baseline
+# floor exactly (and never below the 1.15x acceptance bar). Guards
+# both the sparse passes (SCCP stops folding / load elim stops
+# forwarding -> ratio drops toward 1.0) and the workload (stops
+# exercising join re-reads and query ladders).
+ssa_key = "ssa_instr_reduction"
+ssa_have = cur.get("e5_expansion", {}).get(ssa_key)
+ssa_want = base.get("e5_expansion", {}).get(ssa_key)
+if ssa_have is None or ssa_want is None:
+    print("FAIL: e5_expansion %s missing from results or baseline"
+          % ssa_key)
+    sys.exit(1)
+ssa_floor = max(ssa_want, 1.15)
+print(f"perf gate: e5_expansion {ssa_key} = {ssa_have:.2f}x, "
+      f"floor {ssa_floor:.2f}x")
+if ssa_have < ssa_floor:
+    print("FAIL: SSA mid-tier retires fewer instructions than the "
+          "baseline floor")
+    sys.exit(1)
+# The sparse rewrite must not trade instruction count for wall time:
+# ssa-on wall-time per run (interpreter and, when available, JIT)
+# must stay within a 30% envelope of ssa-off in the same run. The
+# comparison is run time, not Minstr/s — the two legs execute
+# different instruction streams by design, and the instructions SSA
+# removes are the cheap ones, so rate alone would under-credit the
+# win.
+ssa_rt = cur.get("e5_expansion", {}).get("ssa_run_time_ratio")
+if ssa_rt is None:
+    print("FAIL: e5_expansion ssa_run_time_ratio missing")
+    sys.exit(1)
+print(f"perf gate: e5_expansion ssa on/off VM run-time ratio = "
+      f"{ssa_rt:.2f}")
+if ssa_rt > 1.30:
+    print("FAIL: ssa-on VM run time regressed more than 30% vs "
+          "ssa-off in the same run")
+    sys.exit(1)
+if jit_avail != 0:
+    sj_rt = cur.get("e5_expansion", {}).get("ssa_jit_run_time_ratio")
+    if sj_rt is None:
+        print("FAIL: e5_expansion ssa_jit_run_time_ratio missing")
+        sys.exit(1)
+    print(f"perf gate: e5_expansion ssa on/off JIT run-time ratio = "
+          f"{sj_rt:.2f}")
+    if sj_rt > 1.30:
+        print("FAIL: ssa-on JIT run time regressed more than 30% vs "
+              "ssa-off in the same run")
+        sys.exit(1)
+# Opt wall-time: SCCP subsumes the dense ConstFold/CopyProp rounds,
+# so the whole-optimizer cost with the sandwich on must stay in the
+# same envelope as the dense pipeline it replaced. Wall-clock ms on a
+# shared runner is the noisiest thing this gate touches, so the slack
+# is 2x, not 30%; catching "SSA made the optimizer quadratic" is the
+# point, not ms-level jitter.
+om_on = cur.get("e5_expansion", {}).get("opt_ms_ssa_on")
+om_off = cur.get("e5_expansion", {}).get("opt_ms_ssa_off")
+if om_on is None or om_off is None:
+    print("FAIL: e5_expansion ssa on/off opt wall-time missing")
+    sys.exit(1)
+print(f"perf gate: e5_expansion ssa on/off opt ms = "
+      f"{om_on:.2f}/{om_off:.2f}")
+if om_on > om_off * 2.0 and om_on - om_off > 20.0:
+    print("FAIL: optimizer wall-time with the SSA mid-tier more than "
+          "doubled vs the dense pipeline")
+    sys.exit(1)
 print("perf gate: ok")
 EOF
 fi

@@ -16,6 +16,14 @@
 ///                   VIRGIL_MONO_SHARE environment setting, on)
 ///   --opt-escape on|off  force escape analysis + scalar replacement
 ///                   (default: the VIRGIL_OPT_ESCAPE setting, on)
+///   --opt-ssa on|off  force the SSA mid-tier: pruned-SSA construction,
+///                   SCCP, load/store elimination (default: the
+///                   VIRGIL_OPT_SSA setting, on)
+///   --dump-ir=<pass>  print the IR after every run of the named
+///                   optimizer pass (devirt, inline, ssa, sccp,
+///                   loadelim, ssa-out, fold, copyprop, dce, escape,
+///                   deadfields); ssa/sccp/loadelim dump in SSA form,
+///                   with phis visible
 ///   -e <source>     compile <source> text instead of a file
 ///
 /// `virgilc batch [options] <files...>` — compiles many programs
@@ -75,6 +83,12 @@
 ///                    off) and the escape pipeline's norm-interp/vm
 ///                    legs must agree (the scalar-replacement
 ///                    invisibility contract)
+///   --opt-ssa        add the "/ssa" strategies: each program is
+///                    recompiled with the SSA mid-tier forced on
+///                    (baseline legs force it off, strict-SSA
+///                    verification armed) and the SSA pipeline's
+///                    norm-interp/vm legs must agree (the SSA
+///                    sandwich's invisibility contract)
 ///
 /// Fuzz exit codes: 0 all seeds agree, 1 divergences found, 2 usage.
 ///
@@ -102,17 +116,19 @@ static void usage() {
                "[--vm-dispatch auto|switch|threaded] "
                "[--vm-gc gen|semi] [--vm-nursery-bytes N] [--no-opt] "
                "[--mono-share on|off] [--opt-escape on|off] "
+               "[--opt-ssa on|off] [--dump-ir=<pass>] "
                "(file.v3 | -e <source>)\n"
                "       virgilc batch [--jobs N] [--cache-dir D] "
                "[--cache-max-bytes N] [--run] [--stats] [--no-opt] "
-               "[--mono-share on|off] [--opt-escape on|off] <files...>\n"
+               "[--mono-share on|off] [--opt-escape on|off] "
+               "[--opt-ssa on|off] <files...>\n"
                "       virgilc fuzz [--seeds N] [--start-seed K] "
                "[--time-budget S] [--out-dir D] [--fuel N]\n"
                "                    [--no-reduce] [--no-opt-compare] "
                "[--gen-off FEATURE] [--verbose]\n"
                "                    [--vm-gc gen|semi] "
                "[--vm-nursery-bytes N] [--vm-pool] [--vm-jit] "
-               "[--mono-share] [--opt-escape]\n");
+               "[--mono-share] [--opt-escape] [--opt-ssa]\n");
 }
 
 static bool readWholeFile(const std::string &Path, std::string &Out) {
@@ -236,6 +252,30 @@ static int parseOptEscapeFlag(const std::string &Arg, int &I, int Argc,
   return 1;
 }
 
+/// Parses `--opt-ssa on|off` into \p Ssa (overriding the
+/// VIRGIL_OPT_SSA process default). Returns 1 if consumed, 0 if not
+/// this flag, -1 on a bad value.
+static int parseOptSsaFlag(const std::string &Arg, int &I, int Argc,
+                           char **Argv, bool &Ssa) {
+  if (Arg != "--opt-ssa")
+    return 0;
+  if (I + 1 >= Argc) {
+    std::fprintf(stderr, "virgilc: --opt-ssa needs on|off\n");
+    return -1;
+  }
+  std::string Mode = Argv[++I];
+  if (Mode == "on")
+    Ssa = true;
+  else if (Mode == "off")
+    Ssa = false;
+  else {
+    std::fprintf(stderr, "virgilc: --opt-ssa needs on|off, got '%s'\n",
+                 Mode.c_str());
+    return -1;
+  }
+  return 1;
+}
+
 //===----------------------------------------------------------------------===//
 // batch mode
 //===----------------------------------------------------------------------===//
@@ -296,6 +336,10 @@ static int runBatch(int Argc, char **Argv) {
     } else if (int K2 = parseOptEscapeFlag(Arg, I, Argc, Argv,
                                            Options.Compile.Opt.Escape)) {
       if (K2 < 0)
+        return BatchUsage;
+    } else if (int K3 = parseOptSsaFlag(Arg, I, Argc, Argv,
+                                        Options.Compile.Opt.Ssa)) {
+      if (K3 < 0)
         return BatchUsage;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "virgilc: unknown batch option '%s'\n",
@@ -380,6 +424,13 @@ static int runBatch(int Argc, char **Argv) {
                 S.Opt.AllocsElided, S.Opt.FieldsScalarized,
                 S.Opt.ClosuresFlattened, S.Opt.CallsDevirtualized,
                 S.Opt.DevirtualizedByCha, S.Opt.CallsInlined);
+    std::printf("ssa: %s, %zu phis placed, %zu sccp folds, %zu loads "
+                "eliminated, %zu stores killed, %zu null checks "
+                "removed; %zu pass runs skipped\n",
+                Options.Compile.Opt.Ssa ? "on" : "off", S.Opt.PhisPlaced,
+                S.Opt.SccpFolded, S.Opt.LoadsEliminated,
+                S.Opt.StoresKilled, S.Opt.NullChecksRemoved,
+                S.Opt.PassRunsSkipped);
   }
   std::printf("{\"jobs\":%d,\"files\":%zu,\"ok\":%zu,\"failed\":%zu,"
               "\"hits\":%zu,\"misses\":%zu,\"hit_rate_pct\":%.1f,"
@@ -388,9 +439,13 @@ static int runBatch(int Argc, char **Argv) {
               "\"escape_enabled\":%s,\"allocs_elided\":%zu,"
               "\"fields_scalarized\":%zu,\"closures_flattened\":%zu,"
               "\"devirtualized\":%zu,\"devirtualized_by_cha\":%zu,"
+              "\"ssa_enabled\":%s,\"phis_placed\":%zu,"
+              "\"sccp_folded\":%zu,\"loads_eliminated\":%zu,"
+              "\"stores_killed\":%zu,\"null_checks_removed\":%zu,"
+              "\"pass_runs_skipped\":%zu,"
               "\"pass_ms\":{\"devirt\":%.3f,\"inline\":%.3f,"
               "\"fold\":%.3f,\"copyprop\":%.3f,\"dce\":%.3f,"
-              "\"escape\":%.3f,\"deadfields\":%.3f},"
+              "\"escape\":%.3f,\"deadfields\":%.3f,\"ssa\":%.3f},"
               "\"wall_ms\":%.2f}\n",
               Options.Jobs, S.Jobs, S.Succeeded, S.Failed, S.Hits,
               S.Misses, S.hitRatePct(),
@@ -399,11 +454,15 @@ static int runBatch(int Argc, char **Argv) {
               Options.Compile.Opt.Escape ? "true" : "false",
               S.Opt.AllocsElided, S.Opt.FieldsScalarized,
               S.Opt.ClosuresFlattened, S.Opt.CallsDevirtualized,
-              S.Opt.DevirtualizedByCha, S.Phases.PassDevirtMs,
+              S.Opt.DevirtualizedByCha,
+              Options.Compile.Opt.Ssa ? "true" : "false",
+              S.Opt.PhisPlaced, S.Opt.SccpFolded, S.Opt.LoadsEliminated,
+              S.Opt.StoresKilled, S.Opt.NullChecksRemoved,
+              S.Opt.PassRunsSkipped, S.Phases.PassDevirtMs,
               S.Phases.PassInlineMs, S.Phases.PassFoldMs,
               S.Phases.PassCopyPropMs, S.Phases.PassDceMs,
               S.Phases.PassEscapeMs, S.Phases.PassDeadFieldsMs,
-              S.WallMs);
+              S.Phases.PassSsaMs, S.WallMs);
   if (AnyCompileFailed)
     return BatchCompileFailed;
   return AnyTrapped ? BatchTrapped : BatchOk;
@@ -469,6 +528,8 @@ static int runFuzz(int Argc, char **Argv) {
       Options.Oracle.MonoShare = true;
     } else if (Arg == "--opt-escape") {
       Options.Oracle.OptEscape = true;
+    } else if (Arg == "--opt-ssa") {
+      Options.Oracle.OptSsa = true;
     } else if (Arg == "--gen-off" && I + 1 < Argc) {
       std::string Feature = Argv[++I];
       if (!setGenFeature(Options.Gen, Feature, false)) {
@@ -570,6 +631,16 @@ int main(int Argc, char **Argv) {
                                            Options.Opt.Escape)) {
       if (K3 < 0)
         return 2;
+    } else if (int K4 = parseOptSsaFlag(Arg, I, Argc, Argv,
+                                        Options.Opt.Ssa)) {
+      if (K4 < 0)
+        return 2;
+    } else if (Arg.rfind("--dump-ir=", 0) == 0) {
+      Options.DumpIrAfter = Arg.substr(10);
+      if (Options.DumpIrAfter.empty()) {
+        std::fprintf(stderr, "virgilc: --dump-ir= needs a pass name\n");
+        return 2;
+      }
     } else if (Arg == "--no-opt")
       Options.Optimize = false;
     else if (Arg == "-e" && I + 1 < Argc) {
@@ -632,6 +703,12 @@ int main(int Argc, char **Argv) {
                 Opt.FieldsScalarized, Opt.ClosuresFlattened,
                 Opt.CallsDevirtualized, Opt.DevirtualizedByCha,
                 Opt.CallsInlined);
+    std::printf("ssa: %s, %zu phis placed, %zu sccp folds, %zu loads "
+                "eliminated, %zu stores killed, %zu null checks "
+                "removed; %zu pass runs skipped\n",
+                Options.Opt.Ssa ? "on" : "off", Opt.PhisPlaced,
+                Opt.SccpFolded, Opt.LoadsEliminated, Opt.StoresKilled,
+                Opt.NullChecksRemoved, Opt.PassRunsSkipped);
     std::printf("time: %s\n", S.Timings.toString().c_str());
   }
   if (DumpAst || DumpIr || DumpMono || DumpNorm)

@@ -43,6 +43,10 @@
 ///                        (default: the VIRGIL_OPT_ESCAPE environment
 ///                        setting, on); totals appear in the STATS
 ///                        "opt" section
+///   --opt-ssa on|off     SSA mid-tier: pruned-SSA construction, SCCP,
+///                        load/store elimination (default: the
+///                        VIRGIL_OPT_SSA environment setting, on);
+///                        totals appear in the STATS "opt" section
 ///   --stats-on-exit      print the final STATS JSON to stdout on drain
 ///
 /// Exit codes: 0 clean drain, 1 startup failure, 2 usage error.
@@ -81,7 +85,7 @@ static void usage() {
       "               [--vm-pool on|off] [--vm-pool-size N]\n"
       "               [--vm-jit on|off|auto] [--jit-threshold N]\n"
       "               [--no-opt] [--mono-share on|off] "
-      "[--opt-escape on|off]\n"
+      "[--opt-escape on|off] [--opt-ssa on|off]\n"
       "               [--stats-on-exit]\n");
 }
 
@@ -231,6 +235,16 @@ int main(int Argc, char **Argv) {
         Config.Compile.Opt.Escape = false;
       } else {
         std::fprintf(stderr, "virgild: --opt-escape is on|off\n");
+        return 2;
+      }
+    } else if (Arg == "--opt-ssa" && I + 1 < Argc) {
+      std::string Mode = Argv[++I];
+      if (Mode == "on") {
+        Config.Compile.Opt.Ssa = true;
+      } else if (Mode == "off") {
+        Config.Compile.Opt.Ssa = false;
+      } else {
+        std::fprintf(stderr, "virgild: --opt-ssa is on|off\n");
         return 2;
       }
     } else if (Arg == "--stats-on-exit") {
